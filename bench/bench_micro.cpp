@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the TraceLens pipeline stages:
+ * simulation/trace generation, wait-graph construction, impact
+ * analysis, AWG aggregation, meta-pattern enumeration, full mining,
+ * and corpus serialization.
+ */
+
+#include <sstream>
+
+#include <benchmark/benchmark.h>
+
+#include "src/awg/awg.h"
+#include "src/core/analyzer.h"
+#include "src/impact/impact.h"
+#include "src/mining/miner.h"
+#include "src/trace/serialize.h"
+#include "src/waitgraph/waitgraph.h"
+#include "src/workload/generator.h"
+
+namespace
+{
+
+using namespace tracelens;
+
+const TraceCorpus &
+sharedCorpus()
+{
+    static const TraceCorpus corpus = [] {
+        CorpusSpec spec;
+        spec.machines = 30;
+        spec.seed = 42;
+        return generateCorpus(spec);
+    }();
+    return corpus;
+}
+
+void
+BM_GenerateMachine(benchmark::State &state)
+{
+    CorpusSpec spec;
+    spec.machines = 1;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        spec.seed = seed++;
+        TraceCorpus corpus = generateCorpus(spec);
+        benchmark::DoNotOptimize(corpus.totalEvents());
+    }
+}
+BENCHMARK(BM_GenerateMachine)->Unit(benchmark::kMillisecond);
+
+void
+BM_WaitGraphBuildAll(benchmark::State &state)
+{
+    const TraceCorpus &corpus = sharedCorpus();
+    for (auto _ : state) {
+        WaitGraphBuilder builder(corpus);
+        auto graphs = builder.buildAll();
+        benchmark::DoNotOptimize(graphs.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(corpus.instances().size()));
+}
+BENCHMARK(BM_WaitGraphBuildAll)->Unit(benchmark::kMillisecond);
+
+void
+BM_ImpactAnalysis(benchmark::State &state)
+{
+    const TraceCorpus &corpus = sharedCorpus();
+    WaitGraphBuilder builder(corpus);
+    const auto graphs = builder.buildAll();
+    ImpactAnalysis impact(corpus, NameFilter({"*.sys"}));
+    for (auto _ : state) {
+        const ImpactResult result = impact.analyze(graphs);
+        benchmark::DoNotOptimize(result.dWait);
+    }
+}
+BENCHMARK(BM_ImpactAnalysis)->Unit(benchmark::kMillisecond);
+
+void
+BM_AwgAggregate(benchmark::State &state)
+{
+    const TraceCorpus &corpus = sharedCorpus();
+    WaitGraphBuilder builder(corpus);
+    const auto graphs = builder.buildAll();
+    AwgBuilder awg_builder(corpus, NameFilter({"*.sys"}));
+    for (auto _ : state) {
+        const AggregatedWaitGraph awg = awg_builder.aggregate(graphs);
+        benchmark::DoNotOptimize(awg.nodes().size());
+    }
+}
+BENCHMARK(BM_AwgAggregate)->Unit(benchmark::kMillisecond);
+
+void
+BM_MetaPatternEnumeration(benchmark::State &state)
+{
+    const TraceCorpus &corpus = sharedCorpus();
+    WaitGraphBuilder builder(corpus);
+    const auto graphs = builder.buildAll();
+    AwgBuilder awg_builder(corpus, NameFilter({"*.sys"}));
+    const AggregatedWaitGraph awg = awg_builder.aggregate(graphs);
+    MiningOptions options;
+    options.maxSegmentLength =
+        static_cast<std::uint32_t>(state.range(0));
+    ContrastMiner miner(corpus, options);
+    for (auto _ : state) {
+        const auto metas = miner.enumerateMetaPatterns(awg);
+        benchmark::DoNotOptimize(metas.size());
+    }
+}
+BENCHMARK(BM_MetaPatternEnumeration)
+    ->Arg(1)
+    ->Arg(3)
+    ->Arg(5)
+    ->Arg(7)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_FullScenarioAnalysis(benchmark::State &state)
+{
+    const TraceCorpus &corpus = sharedCorpus();
+    for (auto _ : state) {
+        Analyzer analyzer(corpus);
+        const ScenarioAnalysis analysis = analyzer.analyzeScenario(
+            "WebPageNavigation", fromMs(500), fromMs(1000));
+        benchmark::DoNotOptimize(analysis.mining.patterns.size());
+    }
+}
+BENCHMARK(BM_FullScenarioAnalysis)->Unit(benchmark::kMillisecond);
+
+void
+BM_SerializeCorpus(benchmark::State &state)
+{
+    const TraceCorpus &corpus = sharedCorpus();
+    for (auto _ : state) {
+        std::ostringstream buffer;
+        writeCorpus(corpus, buffer);
+        benchmark::DoNotOptimize(buffer.str().size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(sharedCorpus().totalEvents()));
+}
+BENCHMARK(BM_SerializeCorpus)->Unit(benchmark::kMillisecond);
+
+void
+BM_DeserializeCorpus(benchmark::State &state)
+{
+    std::ostringstream buffer;
+    writeCorpus(sharedCorpus(), buffer);
+    const std::string bytes = buffer.str();
+    for (auto _ : state) {
+        std::istringstream in(bytes);
+        TraceCorpus corpus = readCorpus(in);
+        benchmark::DoNotOptimize(corpus.totalEvents());
+    }
+}
+BENCHMARK(BM_DeserializeCorpus)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

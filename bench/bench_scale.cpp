@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Methodological supplement: stability of the Section-5.1 impact
+ * metrics as the corpus grows. The paper argues large-scale trace
+ * collections are needed to expose amortized problems; this bench
+ * shows how quickly the fleet-level metrics converge with corpus size
+ * and how analysis time scales.
+ *
+ * Usage: bench_scale [max_machines] [seed]
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/analyzer.h"
+#include "src/util/table.h"
+#include "src/workload/generator.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tracelens;
+
+    const std::uint32_t max_machines =
+        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 400;
+    std::uint64_t seed = 20140301;
+    if (argc > 2)
+        seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+
+    std::cout << "== Scaling study: impact metrics vs corpus size ==\n";
+    TextTable table({"Machines", "Instances", "Events", "IA_wait",
+                     "IA_run", "IA_opt", "Dw/Dwd", "gen-ms",
+                     "analyze-ms"});
+
+    for (std::uint32_t machines = 25; machines <= max_machines;
+         machines *= 2) {
+        CorpusSpec spec;
+        spec.machines = machines;
+        spec.seed = seed;
+
+        const auto gen_start = std::chrono::steady_clock::now();
+        const TraceCorpus corpus = generateCorpus(spec);
+        const double gen_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - gen_start)
+                .count();
+
+        const auto analyze_start = std::chrono::steady_clock::now();
+        Analyzer analyzer(corpus);
+        const ImpactResult impact = analyzer.impactAll();
+        const double analyze_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - analyze_start)
+                .count();
+
+        table.addRow({std::to_string(machines),
+                      std::to_string(impact.instances),
+                      std::to_string(corpus.totalEvents()),
+                      TextTable::pct(impact.iaWait()),
+                      TextTable::pct(impact.iaRun()),
+                      TextTable::pct(impact.iaOpt()),
+                      TextTable::num(impact.waitAmplification(), 2),
+                      TextTable::num(gen_ms, 0),
+                      TextTable::num(analyze_ms, 0)});
+    }
+    std::cout << table.render();
+    std::cout << "\n(expect the ratios to stabilize once a few hundred "
+                 "instances are aggregated, while cost scales roughly "
+                 "linearly)\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table 1 reproduction: selected scenarios with instance counts and
+ * fast/slow contrast-class sizes.
+ *
+ * Paper (17,612 instances over 8 scenarios): every scenario has a
+ * substantial number of instances in both classes, with WebPageNavigation
+ * the largest scenario and its slow share the smallest.
+ *
+ * Usage: bench_table1_scenarios [machines] [seed]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/analyzer.h"
+#include "src/util/table.h"
+#include "src/workload/generator.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tracelens;
+
+    CorpusSpec spec;
+    spec.machines = argc > 1 ? static_cast<std::uint32_t>(
+                                   std::atoi(argv[1]))
+                             : 400;
+    if (argc > 2)
+        spec.seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+
+    std::cout << "== Table 1: selected scenarios ==\n";
+    const TraceCorpus corpus = generateCorpus(spec);
+    Analyzer analyzer(corpus);
+
+    TextTable table({"Scenario", "#Instances", "in {I}fast",
+                     "in {I}slow", "T_fast", "T_slow"});
+    std::size_t total = 0, total_fast = 0, total_slow = 0;
+    for (const ScenarioSpec &scn : scenarioCatalog()) {
+        if (!scn.selected)
+            continue;
+        const auto id = corpus.findScenario(scn.name);
+        if (id == UINT32_MAX)
+            continue;
+        const ContrastClasses classes =
+            analyzer.classify(id, scn.tFast, scn.tSlow);
+        const std::size_t count = classes.fast.size() +
+                                  classes.middle.size() +
+                                  classes.slow.size();
+        table.addRow({scn.name, std::to_string(count),
+                      std::to_string(classes.fast.size()),
+                      std::to_string(classes.slow.size()),
+                      TextTable::ms(toMs(scn.tFast), 0),
+                      TextTable::ms(toMs(scn.tSlow), 0)});
+        total += count;
+        total_fast += classes.fast.size();
+        total_slow += classes.slow.size();
+    }
+    table.addRow({"Total", std::to_string(total),
+                  std::to_string(total_fast),
+                  std::to_string(total_slow), "", ""});
+    std::cout << table.render();
+    std::cout << "\n(paper totals: 17612 instances, 7426 fast, 6738 "
+                 "slow; both classes populated everywhere)\n";
+    return 0;
+}

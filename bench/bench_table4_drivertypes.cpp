@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Table 4 reproduction: driver types involved in the top-10 contrast
+ * patterns of each scenario.
+ *
+ * Paper shape: file-system + filter drivers appear in most patterns
+ * everywhere; network drivers dominate MenuDisplay (7/10); storage
+ * encryption shows up with filter drivers; graphics appears in
+ * AppNonResponsive (hard-fault case).
+ *
+ * Usage: bench_table4_drivertypes [machines] [seed]
+ */
+
+#include <array>
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/analyzer.h"
+#include "src/util/table.h"
+#include "src/workload/driverzoo.h"
+#include "src/workload/generator.h"
+
+namespace
+{
+
+/** Count of top-N patterns per driver type for one scenario. */
+std::array<int, tracelens::kDriverTypeCount>
+countDriverTypes(const tracelens::TraceCorpus &corpus,
+                 const tracelens::MiningResult &mining, std::size_t top_n)
+{
+    using namespace tracelens;
+    std::array<int, kDriverTypeCount> counts{};
+    const SymbolTable &sym = corpus.symbols();
+    const std::size_t n = std::min(top_n, mining.patterns.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const SignatureSetTuple &tuple = mining.patterns[i].tuple;
+        std::array<bool, kDriverTypeCount> seen{};
+        auto scan = [&](const std::vector<FrameId> &frames) {
+            for (FrameId f : frames) {
+                if (f == kNoFrame)
+                    continue;
+                const auto type = classifySignature(sym.frameName(f));
+                if (type)
+                    seen[static_cast<std::size_t>(*type)] = true;
+            }
+        };
+        scan(tuple.waits);
+        scan(tuple.unwaits);
+        scan(tuple.runnings);
+        for (std::size_t t = 0; t < kDriverTypeCount; ++t)
+            counts[t] += seen[t];
+    }
+    return counts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tracelens;
+
+    CorpusSpec spec;
+    spec.machines = argc > 1 ? static_cast<std::uint32_t>(
+                                   std::atoi(argv[1]))
+                             : 250;
+    if (argc > 2)
+        spec.seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+
+    std::cout << "== Table 4: top-10 patterns categorized by driver "
+                 "types ==\n";
+    const TraceCorpus corpus = generateCorpus(spec);
+    Analyzer analyzer(corpus);
+
+    std::vector<std::string> headers = {"Scenario"};
+    for (DriverType type : allDriverTypes())
+        headers.emplace_back(driverTypeName(type));
+    TextTable table(std::move(headers));
+
+    for (const ScenarioSpec &scn : scenarioCatalog()) {
+        if (!scn.selected)
+            continue;
+        const ScenarioAnalysis analysis = analyzer.analyzeScenario(
+            scn.name, scn.tFast, scn.tSlow);
+        const auto counts =
+            countDriverTypes(corpus, analysis.mining, 10);
+        std::vector<std::string> row = {scn.name};
+        for (int c : counts)
+            row.push_back(c == 0 ? "-" : std::to_string(c));
+        table.addRow(std::move(row));
+    }
+    std::cout << table.render();
+    std::cout << "\n(paper shape: FS+filter drivers near-ubiquitous; "
+                 "network dominates MenuDisplay; graphics appears in "
+                 "AppNonResponsive via the hard-fault chain)\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Regression tracking across fleets: analyze the same scenario on two
+ * fleets (e.g. before/after a driver update, or two hardware cohorts)
+ * and diff the mined patterns to see what behaviour appeared,
+ * disappeared, or changed cost.
+ *
+ * Here the "after" fleet ships storage encryption everywhere and
+ * slower disks — the diff surfaces the new se.sys-based propagation
+ * patterns that the rollout introduced.
+ *
+ * Build & run:  ./build/examples/example_fleet_regression
+ */
+
+#include <iostream>
+
+#include "src/core/analyzer.h"
+#include "src/mining/diff.h"
+#include "src/workload/generator.h"
+
+int
+main()
+{
+    using namespace tracelens;
+
+    // Baseline fleet: no storage encryption, fast disks.
+    CorpusSpec before_spec;
+    before_spec.machines = 80;
+    before_spec.seed = 2024;
+    before_spec.encryptedFraction = 0.0;
+    before_spec.hddFraction = 0.1;
+    const TraceCorpus before = generateCorpus(before_spec);
+
+    // After the rollout: encryption everywhere, more HDDs.
+    CorpusSpec after_spec = before_spec;
+    after_spec.seed = 2025;
+    after_spec.encryptedFraction = 1.0;
+    after_spec.hddFraction = 0.5;
+    const TraceCorpus after = generateCorpus(after_spec);
+
+    const ScenarioSpec &scn = scenarioByName("BrowserTabCreate");
+
+    Analyzer ana_before(before);
+    Analyzer ana_after(after);
+    const ScenarioAnalysis rb =
+        ana_before.analyzeScenario(scn.name, scn.tFast, scn.tSlow);
+    const ScenarioAnalysis ra =
+        ana_after.analyzeScenario(scn.name, scn.tFast, scn.tSlow);
+
+    std::cout << "before: " << rb.classes.slow.size() << " slow of "
+              << rb.classes.slow.size() + rb.classes.middle.size() +
+                     rb.classes.fast.size()
+              << " instances; driver share "
+              << rb.driverCostShare() * 100 << "%\n";
+    std::cout << "after:  " << ra.classes.slow.size() << " slow of "
+              << ra.classes.slow.size() + ra.classes.middle.size() +
+                     ra.classes.fast.size()
+              << " instances; driver share "
+              << ra.driverCostShare() * 100 << "%\n\n";
+
+    const MiningDiff diff = diffMiningResults(
+        rb.mining, before.symbols(), ra.mining, after.symbols());
+    std::cout << "pattern diff: " << diff.render(after.symbols(), 3);
+
+    // Count how many of the new patterns involve the rolled-out
+    // encryption driver.
+    int se_patterns = 0;
+    for (const ContrastPattern &p : diff.appeared) {
+        bool has_se = false;
+        auto scan = [&](const std::vector<FrameId> &set) {
+            for (FrameId f : set) {
+                has_se = has_se ||
+                         (f != kNoFrame &&
+                          after.symbols().componentName(f) == "se.sys");
+            }
+        };
+        scan(p.tuple.waits);
+        scan(p.tuple.unwaits);
+        scan(p.tuple.runnings);
+        se_patterns += has_se;
+    }
+    std::cout << "\n" << se_patterns << " of " << diff.appeared.size()
+              << " new patterns involve se.sys — the rollout's "
+                 "signature.\n";
+    return 0;
+}

@@ -1,0 +1,372 @@
+#include "src/awg/awg.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+std::string_view
+awgStatusName(AwgStatus status)
+{
+    switch (status) {
+      case AwgStatus::Waiting:
+        return "waiting";
+      case AwgStatus::Running:
+        return "running";
+      case AwgStatus::Hardware:
+        return "hardware";
+    }
+    TL_PANIC("bad AWG status ", static_cast<int>(status));
+}
+
+const AggregatedWaitGraph::Node &
+AggregatedWaitGraph::node(std::uint32_t index) const
+{
+    TL_ASSERT(index < nodes_.size(), "bad AWG node ", index);
+    return nodes_[index];
+}
+
+DurationNs
+AggregatedWaitGraph::totalRootCost() const
+{
+    DurationNs total = 0;
+    for (std::uint32_t root : roots_)
+        total += nodes_[root].cost;
+    return total;
+}
+
+namespace
+{
+
+std::string
+frameLabel(const SymbolTable &symbols, FrameId frame)
+{
+    return frame == kNoFrame ? "<other>" : symbols.frameName(frame);
+}
+
+std::string
+nodeLabel(const SymbolTable &symbols,
+          const AggregatedWaitGraph::Node &node)
+{
+    std::ostringstream oss;
+    switch (node.key.status) {
+      case AwgStatus::Waiting:
+        oss << frameLabel(symbols, node.key.primary) << " -> "
+            << frameLabel(symbols, node.key.secondary);
+        break;
+      case AwgStatus::Running:
+      case AwgStatus::Hardware:
+        oss << frameLabel(symbols, node.key.primary);
+        break;
+    }
+    oss << " [" << awgStatusName(node.key.status)
+        << " C=" << toMs(node.cost) << "ms N=" << node.count << "]";
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+AggregatedWaitGraph::renderText(const SymbolTable &symbols,
+                                std::size_t max_nodes) const
+{
+    std::ostringstream oss;
+    std::size_t emitted = 0;
+
+    // Children sorted by aggregated cost, heaviest first.
+    auto sortedByCost = [&](std::vector<std::uint32_t> ids) {
+        std::sort(ids.begin(), ids.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                      return nodes_[a].cost > nodes_[b].cost;
+                  });
+        return ids;
+    };
+
+    struct Frame
+    {
+        std::uint32_t node;
+        std::size_t depth;
+    };
+    std::vector<Frame> stack;
+    for (std::uint32_t root : sortedByCost(roots_))
+        stack.push_back({root, 0});
+    std::reverse(stack.begin(), stack.end());
+
+    while (!stack.empty()) {
+        const auto [id, depth] = stack.back();
+        stack.pop_back();
+        if (emitted++ >= max_nodes) {
+            oss << "...\n";
+            break;
+        }
+        const Node &n = nodes_[id];
+        oss << std::string(depth * 2, ' ') << nodeLabel(symbols, n)
+            << "\n";
+        auto kids = sortedByCost(n.children);
+        std::reverse(kids.begin(), kids.end());
+        for (std::uint32_t child : kids)
+            stack.push_back({child, depth + 1});
+    }
+    return oss.str();
+}
+
+std::string
+AggregatedWaitGraph::renderDot(const SymbolTable &symbols,
+                               std::size_t max_nodes) const
+{
+    std::ostringstream oss;
+    oss << "digraph awg {\n  rankdir=TB;\n  node [shape=box];\n";
+    std::size_t emitted = 0;
+    std::vector<std::uint32_t> stack(roots_.rbegin(), roots_.rend());
+    std::vector<char> visited(nodes_.size(), 0);
+    while (!stack.empty() && emitted < max_nodes) {
+        const std::uint32_t id = stack.back();
+        stack.pop_back();
+        if (visited[id])
+            continue;
+        visited[id] = 1;
+        ++emitted;
+        oss << "  n" << id << " [label=\"" << nodeLabel(symbols,
+                                                        nodes_[id])
+            << "\"];\n";
+        for (std::uint32_t child : nodes_[id].children) {
+            oss << "  n" << id << " -> n" << child << ";\n";
+            stack.push_back(child);
+        }
+    }
+    oss << "}\n";
+    return oss.str();
+}
+
+/** Trie child-lookup table used during one aggregate() call. */
+struct AwgBuilder::Lookup
+{
+    // parent node index (kInvalidIndex for the root level) -> key -> node.
+    std::unordered_map<std::uint32_t,
+                       std::unordered_map<AwgKey, std::uint32_t,
+                                          AwgKeyHash>>
+        children;
+};
+
+AwgBuilder::~AwgBuilder() = default;
+
+AwgBuilder::AwgBuilder(const TraceCorpus &corpus, NameFilter components,
+                       AwgOptions options)
+    : corpus_(corpus), components_(std::move(components)),
+      options_(options)
+{
+    corpus_.symbols().primeFilter(components_);
+}
+
+FrameId
+AwgBuilder::signatureOf(CallstackId stack) const
+{
+    if (stack == kNoCallstack)
+        return kNoFrame;
+    return corpus_.symbols().topMatchingFrame(stack, components_);
+}
+
+FrameId
+AwgBuilder::hardwareSignatureOf(CallstackId stack) const
+{
+    if (stack == kNoCallstack)
+        return kNoFrame;
+    const auto frames = corpus_.symbols().stackFrames(stack);
+    return frames.empty() ? kNoFrame : frames.back();
+}
+
+void
+AwgBuilder::process(const WaitGraph &graph, std::uint32_t node_index,
+                    std::vector<ProcNode> &out) const
+{
+    const WaitGraph::Node &source = graph.node(node_index);
+    const Event &e = source.event;
+
+    switch (e.type) {
+      case EventType::Wait: {
+        const FrameId wsig = signatureOf(e.stack);
+        const FrameId usig = signatureOf(source.unwaitStack);
+
+        const bool relevant = wsig != kNoFrame || usig != kNoFrame;
+        if (!relevant && options_.eliminateInnerIrrelevant) {
+            // Promote children in place of the irrelevant wait.
+            for (std::uint32_t child : source.children)
+                process(graph, child, out);
+            return;
+        }
+
+        ProcNode node;
+        node.key = {AwgStatus::Waiting, wsig, usig};
+        node.cost = e.cost;
+        for (std::uint32_t child : source.children)
+            process(graph, child, node.children);
+        out.push_back(std::move(node));
+        return;
+      }
+      case EventType::Running: {
+        const FrameId sig = signatureOf(e.stack);
+        if (sig == kNoFrame && options_.eliminateInnerIrrelevant)
+            return;
+        out.push_back({{AwgStatus::Running, sig, kNoFrame}, e.cost, {}});
+        return;
+      }
+      case EventType::HardwareService: {
+        const FrameId sig = hardwareSignatureOf(e.stack);
+        if (sig == kNoFrame)
+            return;
+        out.push_back({{AwgStatus::Hardware, sig, kNoFrame}, e.cost, {}});
+        return;
+      }
+      case EventType::Unwait:
+        // Paired unwaits were merged into their wait node; stray unwait
+        // children are instantaneous and carry no cost — dropped.
+        return;
+    }
+    TL_PANIC("bad event type in wait graph");
+}
+
+void
+AwgBuilder::merge(AggregatedWaitGraph &awg, std::uint32_t awg_parent,
+                  const ProcNode &node) const
+{
+    // Lookup entries store node index + 1 so that the map's
+    // default-constructed 0 means "absent".
+    std::uint32_t id;
+    std::uint32_t &encoded = lookup_->children[awg_parent][node.key];
+    if (encoded == 0) {
+        id = static_cast<std::uint32_t>(awg.nodes_.size());
+        awg.nodes_.emplace_back();
+        awg.nodes_.back().key = node.key;
+        encoded = id + 1;
+        if (awg_parent == kInvalidIndex)
+            awg.roots_.push_back(id);
+        else
+            awg.nodes_[awg_parent].children.push_back(id);
+    } else {
+        id = encoded - 1;
+    }
+
+    AggregatedWaitGraph::Node &merged = awg.nodes_[id];
+    merged.cost += node.cost;
+    merged.count += 1;
+    merged.maxCost = std::max(merged.maxCost, node.cost);
+
+    for (const ProcNode &child : node.children)
+        merge(awg, id, child);
+}
+
+void
+AwgBuilder::reduce(AggregatedWaitGraph &awg) const
+{
+    // Identify root waiting nodes whose only child is a single
+    // hardware-service leaf; their cost is pure non-propagated hardware
+    // time that developers cannot optimize.
+    std::vector<std::uint32_t> kept_roots;
+    std::vector<char> removed(awg.nodes_.size(), 0);
+    for (std::uint32_t root : awg.roots_) {
+        const auto &n = awg.nodes_[root];
+        // "Single hardware-service leaf" in aggregated terms: a direct
+        // device wait — signalled by the device itself (no component
+        // unwait signature) with nothing under it but hardware leaves
+        // (queue-mates on the same device are still pure hardware
+        // time). Lock waits *fed* by hardware keep their component
+        // unwait signature and survive: that time did propagate.
+        // Childless device-readied waits are also pure hardware time:
+        // their service interval was claimed by an earlier window.
+        bool prunable = n.key.status == AwgStatus::Waiting &&
+                        n.key.secondary == kNoFrame;
+        for (std::uint32_t child : n.children) {
+            prunable = prunable &&
+                       awg.nodes_[child].key.status ==
+                           AwgStatus::Hardware &&
+                       awg.nodes_[child].children.empty();
+        }
+        if (prunable) {
+            awg.reducedCost_ += n.cost;
+            awg.reducedNodes_ += 1 + n.children.size();
+            removed[root] = 1;
+            for (std::uint32_t child : n.children)
+                removed[child] = 1;
+        } else {
+            kept_roots.push_back(root);
+        }
+    }
+    if (awg.reducedNodes_ == 0)
+        return;
+
+    // Compact the node vector, dropping pruned structures.
+    std::vector<std::uint32_t> remap(awg.nodes_.size(), kInvalidIndex);
+    std::vector<AggregatedWaitGraph::Node> compacted;
+    compacted.reserve(awg.nodes_.size());
+    for (std::uint32_t i = 0; i < awg.nodes_.size(); ++i) {
+        if (removed[i])
+            continue;
+        remap[i] = static_cast<std::uint32_t>(compacted.size());
+        compacted.push_back(std::move(awg.nodes_[i]));
+    }
+    for (auto &n : compacted) {
+        for (auto &child : n.children)
+            child = remap[child];
+    }
+    for (auto &root : kept_roots)
+        root = remap[root];
+    awg.nodes_ = std::move(compacted);
+    awg.roots_ = std::move(kept_roots);
+}
+
+AggregatedWaitGraph
+AwgBuilder::aggregate(std::span<const WaitGraph> graphs) const
+{
+    AggregatedWaitGraph awg;
+    awg.sourceGraphs_ = graphs.size();
+    lookup_ = std::make_unique<Lookup>();
+
+    for (const WaitGraph &graph : graphs) {
+        // Steps 1-2: eliminate irrelevant nodes (always at the roots,
+        // recursively when configured) and merge wait/unwait pairs.
+        std::vector<ProcNode> processed;
+        for (std::uint32_t root : graph.roots())
+            process(graph, root, processed);
+
+        if (!options_.eliminateInnerIrrelevant) {
+            // Root-level elimination is unconditional in Algorithm 1:
+            // repeat promoting children until all roots are relevant.
+            std::vector<ProcNode> relevant_roots;
+            std::vector<ProcNode> queue = std::move(processed);
+            while (!queue.empty()) {
+                std::vector<ProcNode> next;
+                for (ProcNode &n : queue) {
+                    const bool irrelevant =
+                        n.key.primary == kNoFrame &&
+                        n.key.secondary == kNoFrame;
+                    if (!irrelevant) {
+                        relevant_roots.push_back(std::move(n));
+                    } else {
+                        for (ProcNode &c : n.children)
+                            next.push_back(std::move(c));
+                    }
+                }
+                queue = std::move(next);
+            }
+            processed = std::move(relevant_roots);
+        }
+
+        // Step 3: merge into the trie by common signature prefix.
+        for (const ProcNode &root : processed)
+            merge(awg, kInvalidIndex, root);
+    }
+
+    // Step 4: non-optimizable reduction.
+    if (options_.reduceNonOptimizable)
+        reduce(awg);
+
+    lookup_.reset();
+    return awg;
+}
+
+} // namespace tracelens

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Aggregated Wait Graphs (paper Definitions 2-3 and Algorithm 1).
+ *
+ * An AWG abstracts and aggregates the runtime behaviour of a *set* of
+ * Wait Graphs belonging to one class of scenario instances. It is a
+ * forest whose inner nodes are *waiting* nodes (merged wait/unwait event
+ * pairs) and whose leaves are *running* or *hardware-service* nodes.
+ * Each node carries a signature, an aggregated duration v.C, and an
+ * occurrence counter v.N.
+ *
+ * The *signature* of an event is the topmost frame of its callstack that
+ * belongs to one of the chosen components ({C}); events whose stacks
+ * contain no component frame get the reserved signature kNoFrame,
+ * rendered as "<other>". Hardware-service nodes carry their dummy
+ * signature (the top stack frame, e.g. "DiskService").
+ *
+ * Aggregation follows Algorithm 1:
+ *   1. eliminate component-irrelevant nodes, promoting children (the
+ *     paper applies this at the roots; we apply the same rule
+ *     recursively so inner kernel-only hops collapse as well, keeping
+ *     patterns focused on component behaviour),
+ *   2. merge paired wait/unwait nodes into waiting nodes,
+ *   3. merge the processed trees into the AWG trie by common signature
+ *     prefix,
+ *   4. reduce non-optimizable portions: prune root waiting nodes whose
+ *     sole child is a single hardware-service leaf (hardware time that
+ *     did not propagate anywhere is not actionable). The pruned cost is
+ *     retained in statistics so reports can quote the non-optimizable
+ *     share.
+ */
+
+#ifndef TRACELENS_AWG_AWG_H
+#define TRACELENS_AWG_AWG_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/trace/stream.h"
+#include "src/util/wildcard.h"
+#include "src/waitgraph/waitgraph.h"
+
+namespace tracelens
+{
+
+/** Node status in an Aggregated Wait Graph (Definition 2). */
+enum class AwgStatus : std::uint8_t
+{
+    Waiting = 0,
+    Running = 1,
+    Hardware = 2,
+};
+
+/** Human-readable status name. */
+std::string_view awgStatusName(AwgStatus status);
+
+/**
+ * Aggregation key of an AWG node: its status plus its signature(s).
+ * Waiting nodes carry the (wait, unwait) signature pair; running and
+ * hardware nodes use only @c primary.
+ */
+struct AwgKey
+{
+    AwgStatus status = AwgStatus::Running;
+    FrameId primary = kNoFrame;   //!< v.w / v.r / v.h
+    FrameId secondary = kNoFrame; //!< v.u (waiting nodes only)
+
+    friend bool
+    operator==(const AwgKey &a, const AwgKey &b)
+    {
+        return a.status == b.status && a.primary == b.primary &&
+               a.secondary == b.secondary;
+    }
+};
+
+/** Hash functor for AwgKey. */
+struct AwgKeyHash
+{
+    std::size_t
+    operator()(const AwgKey &k) const
+    {
+        std::size_t h = static_cast<std::size_t>(k.status);
+        h = h * 0x9e3779b97f4a7c15ULL + k.primary;
+        h = h * 0x9e3779b97f4a7c15ULL + k.secondary;
+        return h;
+    }
+};
+
+/**
+ * An Aggregated Wait Graph: trie-shaped forest of aggregated nodes.
+ */
+class AggregatedWaitGraph
+{
+  public:
+    /** One aggregated node (Definition 3). */
+    struct Node
+    {
+        AwgKey key;
+        DurationNs cost = 0;      //!< v.C: summed duration.
+        std::uint64_t count = 0;  //!< v.N: number of merged source nodes.
+        DurationNs maxCost = 0;   //!< Largest single source duration.
+        std::vector<std::uint32_t> children;
+    };
+
+    const std::vector<Node> &nodes() const { return nodes_; }
+    const std::vector<std::uint32_t> &roots() const { return roots_; }
+    const Node &node(std::uint32_t index) const;
+    bool empty() const { return roots_.empty(); }
+
+    /** Cost removed by the non-optimizable reduction (step 4). */
+    DurationNs reducedCost() const { return reducedCost_; }
+    /** Nodes removed by the reduction. */
+    std::uint64_t reducedNodes() const { return reducedNodes_; }
+    /** Total cost of all root nodes after reduction. */
+    DurationNs totalRootCost() const;
+    /** Number of wait graphs aggregated. */
+    std::size_t sourceGraphs() const { return sourceGraphs_; }
+
+    /** Render the forest as an indented text tree (for Figure 2). */
+    std::string renderText(const SymbolTable &symbols,
+                           std::size_t max_nodes = 200) const;
+
+    /** Render the forest in Graphviz DOT syntax. */
+    std::string renderDot(const SymbolTable &symbols,
+                          std::size_t max_nodes = 500) const;
+
+  private:
+    friend class AwgBuilder;
+
+    std::vector<Node> nodes_;
+    std::vector<std::uint32_t> roots_;
+    DurationNs reducedCost_ = 0;
+    std::uint64_t reducedNodes_ = 0;
+    std::size_t sourceGraphs_ = 0;
+};
+
+/** Options controlling AWG construction. */
+struct AwgOptions
+{
+    /**
+     * When true (default), the component-irrelevant elimination of
+     * Algorithm 1 is applied recursively to inner nodes, not only to
+     * roots. The ablation bench flips this off.
+     */
+    bool eliminateInnerIrrelevant = true;
+
+    /** When false, skip the non-optimizable reduction (ablation). */
+    bool reduceNonOptimizable = true;
+};
+
+/**
+ * Builds Aggregated Wait Graphs from sets of Wait Graphs (Algorithm 1).
+ */
+class AwgBuilder
+{
+  public:
+    AwgBuilder(const TraceCorpus &corpus, NameFilter components,
+               AwgOptions options = {});
+    ~AwgBuilder(); // out of line: Lookup is incomplete here
+
+    /** Aggregate @p graphs into one AWG. */
+    AggregatedWaitGraph aggregate(std::span<const WaitGraph> graphs) const;
+
+    const NameFilter &components() const { return components_; }
+
+  private:
+    /** Intermediate per-graph node after merge + signature mapping. */
+    struct ProcNode
+    {
+        AwgKey key;
+        DurationNs cost = 0;
+        std::vector<ProcNode> children;
+    };
+
+    /** Signature of a callstack: topmost component frame or kNoFrame. */
+    FrameId signatureOf(CallstackId stack) const;
+
+    /** Dummy signature of a hardware event: its topmost frame. */
+    FrameId hardwareSignatureOf(CallstackId stack) const;
+
+    /**
+     * Convert one wait-graph subtree into processed form (steps 1-2 of
+     * Algorithm 1). Appends resulting nodes (zero, one, or many after
+     * irrelevant-node promotion) to @p out.
+     */
+    void process(const WaitGraph &graph, std::uint32_t node_index,
+                 std::vector<ProcNode> &out) const;
+
+    /** Merge a processed tree into the AWG trie (step 3). */
+    void merge(AggregatedWaitGraph &awg, std::uint32_t awg_parent,
+               const ProcNode &node) const;
+
+    /** Apply the non-optimizable reduction (step 4). */
+    void reduce(AggregatedWaitGraph &awg) const;
+
+    const TraceCorpus &corpus_;
+    NameFilter components_;
+    AwgOptions options_;
+
+    // Child-lookup side tables for the trie, keyed by (parent, key);
+    // parent kInvalidIndex means root level. Rebuilt per aggregate()
+    // call; mutable because aggregation is logically const.
+    struct Lookup;
+    mutable std::unique_ptr<Lookup> lookup_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_AWG_AWG_H

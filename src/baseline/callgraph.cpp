@@ -1,0 +1,130 @@
+#include "src/baseline/callgraph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/table.h"
+
+namespace tracelens
+{
+
+CallGraphProfiler::CallGraphProfiler(const TraceCorpus &corpus)
+    : corpus_(corpus)
+{
+}
+
+std::vector<ProfileEntry>
+CallGraphProfiler::profile() const
+{
+    std::unordered_map<FrameId, ProfileEntry> entries;
+    for (std::uint32_t s = 0; s < corpus_.streamCount(); ++s) {
+        for (const Event &e : corpus_.stream(s).events()) {
+            if (e.type != EventType::Running ||
+                e.stack == kNoCallstack) {
+                continue;
+            }
+            const auto frames = corpus_.symbols().stackFrames(e.stack);
+            if (frames.empty())
+                continue;
+            // Inclusive: each distinct frame on the stack once.
+            std::unordered_set<FrameId> seen;
+            for (FrameId f : frames) {
+                if (!seen.insert(f).second)
+                    continue;
+                ProfileEntry &entry = entries[f];
+                entry.frame = f;
+                entry.inclusive += e.cost;
+                ++entry.samples;
+            }
+            entries[frames.back()].exclusive += e.cost;
+        }
+    }
+
+    std::vector<ProfileEntry> result;
+    result.reserve(entries.size());
+    for (auto &[frame, entry] : entries)
+        result.push_back(entry);
+    std::sort(result.begin(), result.end(),
+              [](const ProfileEntry &a, const ProfileEntry &b) {
+                  if (a.inclusive != b.inclusive)
+                      return a.inclusive > b.inclusive;
+                  return a.frame < b.frame;
+              });
+    return result;
+}
+
+std::vector<ComponentProfileEntry>
+CallGraphProfiler::byComponent() const
+{
+    std::unordered_map<std::uint32_t, ComponentProfileEntry> rollup;
+    for (std::uint32_t s = 0; s < corpus_.streamCount(); ++s) {
+        for (const Event &e : corpus_.stream(s).events()) {
+            if (e.type != EventType::Running ||
+                e.stack == kNoCallstack) {
+                continue;
+            }
+            const auto frames = corpus_.symbols().stackFrames(e.stack);
+            std::unordered_set<std::uint32_t> seen;
+            for (FrameId f : frames) {
+                const std::uint32_t comp =
+                    corpus_.symbols().componentId(f);
+                if (!seen.insert(comp).second)
+                    continue;
+                ComponentProfileEntry &entry = rollup[comp];
+                if (entry.component.empty())
+                    entry.component = corpus_.symbols().componentName(f);
+                entry.inclusive += e.cost;
+                ++entry.samples;
+            }
+        }
+    }
+    std::vector<ComponentProfileEntry> result;
+    result.reserve(rollup.size());
+    for (auto &[comp, entry] : rollup)
+        result.push_back(entry);
+    std::sort(result.begin(), result.end(),
+              [](const ComponentProfileEntry &a,
+                 const ComponentProfileEntry &b) {
+                  if (a.inclusive != b.inclusive)
+                      return a.inclusive > b.inclusive;
+                  return a.component < b.component;
+              });
+    return result;
+}
+
+DurationNs
+CallGraphProfiler::totalCpu() const
+{
+    DurationNs total = 0;
+    for (std::uint32_t s = 0; s < corpus_.streamCount(); ++s) {
+        for (const Event &e : corpus_.stream(s).events()) {
+            if (e.type == EventType::Running)
+                total += e.cost;
+        }
+    }
+    return total;
+}
+
+std::string
+CallGraphProfiler::renderTop(std::size_t n) const
+{
+    const auto entries = profile();
+    const DurationNs total = totalCpu();
+    TextTable table({"Function", "Incl", "Excl", "Incl%"});
+    for (std::size_t i = 0; i < std::min(n, entries.size()); ++i) {
+        const ProfileEntry &e = entries[i];
+        table.addRow({corpus_.symbols().frameName(e.frame),
+                      TextTable::ms(toMs(e.inclusive)),
+                      TextTable::ms(toMs(e.exclusive)),
+                      TextTable::pct(total
+                                         ? static_cast<double>(
+                                               e.inclusive) /
+                                               static_cast<double>(total)
+                                         : 0.0)});
+    }
+    return table.render();
+}
+
+} // namespace tracelens

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Baseline 1: gprof-style call-graph CPU profiling [Graham et al.,
+ * CC'82], over the same trace streams.
+ *
+ * The profiler attributes Running samples to callstack frames:
+ * exclusive time to the topmost frame, inclusive time to every frame
+ * on the stack. It is deliberately single-aspect — it sees CPU only.
+ * The benches use it to demonstrate the paper's motivation: device
+ * drivers consume ~1.6 % CPU, so a CPU profiler reports nothing
+ * alarming while a driver-induced 800 ms UI stall is in the trace.
+ */
+
+#ifndef TRACELENS_BASELINE_CALLGRAPH_H
+#define TRACELENS_BASELINE_CALLGRAPH_H
+
+#include <string>
+#include <vector>
+
+#include "src/trace/stream.h"
+
+namespace tracelens
+{
+
+/** Per-frame CPU attribution. */
+struct ProfileEntry
+{
+    FrameId frame = kNoFrame;
+    DurationNs inclusive = 0; //!< Frame anywhere on the sampled stack.
+    DurationNs exclusive = 0; //!< Frame topmost on the sampled stack.
+    std::uint64_t samples = 0;
+};
+
+/** Per-component (module) CPU attribution. */
+struct ComponentProfileEntry
+{
+    std::string component;
+    DurationNs inclusive = 0;
+    std::uint64_t samples = 0;
+};
+
+/** gprof-style flat + component profile over Running samples. */
+class CallGraphProfiler
+{
+  public:
+    explicit CallGraphProfiler(const TraceCorpus &corpus);
+
+    /** Flat profile, sorted by inclusive time descending. */
+    std::vector<ProfileEntry> profile() const;
+
+    /**
+     * Component rollup (a frame's module counted once per sample even
+     * if the module has several frames on the stack), sorted by
+     * inclusive time descending.
+     */
+    std::vector<ComponentProfileEntry> byComponent() const;
+
+    /** Total sampled CPU time in the corpus. */
+    DurationNs totalCpu() const;
+
+    /** Render the top @p n rows of the flat profile. */
+    std::string renderTop(std::size_t n) const;
+
+  private:
+    const TraceCorpus &corpus_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_BASELINE_CALLGRAPH_H

@@ -1,0 +1,127 @@
+#include "src/baseline/lockcontention.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "src/util/table.h"
+
+namespace tracelens
+{
+
+namespace
+{
+
+struct SiteStats
+{
+    ContentionEntry entry;
+    std::unordered_map<FrameId, std::uint64_t> unwaitSites;
+};
+
+FrameId
+topFrame(const SymbolTable &symbols, CallstackId stack)
+{
+    if (stack == kNoCallstack)
+        return kNoFrame;
+    const auto frames = symbols.stackFrames(stack);
+    return frames.empty() ? kNoFrame : frames.back();
+}
+
+} // namespace
+
+LockContentionAnalyzer::LockContentionAnalyzer(const TraceCorpus &corpus)
+    : corpus_(corpus)
+{
+}
+
+std::vector<ContentionEntry>
+LockContentionAnalyzer::analyze() const
+{
+    const SymbolTable &symbols = corpus_.symbols();
+    std::unordered_map<FrameId, SiteStats> sites;
+
+    for (std::uint32_t s = 0; s < corpus_.streamCount(); ++s) {
+        const TraceStream &stream = corpus_.stream(s);
+        // FIFO wait/unwait pairing per waiting thread.
+        std::unordered_map<ThreadId, std::deque<const Event *>>
+            outstanding;
+        for (const Event &e : stream.events()) {
+            if (e.type == EventType::Wait) {
+                outstanding[e.tid].push_back(&e);
+            } else if (e.type == EventType::Unwait && e.wtid != e.tid) {
+                auto it = outstanding.find(e.wtid);
+                if (it == outstanding.end() || it->second.empty())
+                    continue;
+                const Event *wait = it->second.front();
+                it->second.pop_front();
+
+                const FrameId site = topFrame(symbols, wait->stack);
+                if (site == kNoFrame)
+                    continue;
+                SiteStats &stats = sites[site];
+                stats.entry.waitSite = site;
+                const DurationNs blocked =
+                    e.timestamp - wait->timestamp;
+                stats.entry.blocked += blocked;
+                stats.entry.maxBlocked =
+                    std::max(stats.entry.maxBlocked, blocked);
+                ++stats.entry.waits;
+                ++stats.unwaitSites[topFrame(symbols, e.stack)];
+            }
+        }
+    }
+
+    std::vector<ContentionEntry> result;
+    result.reserve(sites.size());
+    for (auto &[site, stats] : sites) {
+        FrameId dominant = kNoFrame;
+        std::uint64_t best = 0;
+        for (const auto &[frame, count] : stats.unwaitSites) {
+            if (count > best ||
+                (count == best && frame < dominant)) {
+                best = count;
+                dominant = frame;
+            }
+        }
+        stats.entry.dominantUnwaitSite = dominant;
+        result.push_back(stats.entry);
+    }
+    std::sort(result.begin(), result.end(),
+              [](const ContentionEntry &a, const ContentionEntry &b) {
+                  if (a.blocked != b.blocked)
+                      return a.blocked > b.blocked;
+                  return a.waitSite < b.waitSite;
+              });
+    return result;
+}
+
+DurationNs
+LockContentionAnalyzer::totalBlocked() const
+{
+    DurationNs total = 0;
+    for (const ContentionEntry &e : analyze())
+        total += e.blocked;
+    return total;
+}
+
+std::string
+LockContentionAnalyzer::renderTop(std::size_t n) const
+{
+    const auto entries = analyze();
+    const SymbolTable &symbols = corpus_.symbols();
+    TextTable table({"Wait site", "Blocked", "Waits", "Max",
+                     "Signalled by"});
+    for (std::size_t i = 0; i < std::min(n, entries.size()); ++i) {
+        const ContentionEntry &e = entries[i];
+        table.addRow(
+            {symbols.frameName(e.waitSite),
+             TextTable::ms(toMs(e.blocked)),
+             std::to_string(e.waits), TextTable::ms(toMs(e.maxBlocked)),
+             e.dominantUnwaitSite == kNoFrame
+                 ? "<unknown>"
+                 : symbols.frameName(e.dominantUnwaitSite)});
+    }
+    return table.render();
+}
+
+} // namespace tracelens

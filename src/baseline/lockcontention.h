@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Baseline 2: single-lock contention analysis in the style of Tallent
+ * et al. [PPoPP'10].
+ *
+ * The analyzer pairs each wait event with its unwait, groups blocking
+ * time by the *waiting callsite* (topmost frame of the wait stack),
+ * and records which callsite signalled the wakeup. It covers exactly
+ * one interaction aspect — one lock hop — and deliberately does not
+ * follow the signalling thread's own waits, so multi-lock propagation
+ * chains (the paper's Figure 1) surface only as their first hop.
+ */
+
+#ifndef TRACELENS_BASELINE_LOCKCONTENTION_H
+#define TRACELENS_BASELINE_LOCKCONTENTION_H
+
+#include <string>
+#include <vector>
+
+#include "src/trace/stream.h"
+
+namespace tracelens
+{
+
+/** Aggregated blocking at one wait callsite. */
+struct ContentionEntry
+{
+    FrameId waitSite = kNoFrame;    //!< Topmost frame of the waiters.
+    DurationNs blocked = 0;         //!< Total blocking time.
+    std::uint64_t waits = 0;        //!< Number of wait events.
+    DurationNs maxBlocked = 0;      //!< Longest single wait.
+    /** Most frequent signalling callsite (topmost unwait frame). */
+    FrameId dominantUnwaitSite = kNoFrame;
+};
+
+/** Per-callsite lock/blocking profile. */
+class LockContentionAnalyzer
+{
+  public:
+    explicit LockContentionAnalyzer(const TraceCorpus &corpus);
+
+    /** Contention table, sorted by blocked time descending. */
+    std::vector<ContentionEntry> analyze() const;
+
+    /** Total blocking time across all wait events. */
+    DurationNs totalBlocked() const;
+
+    /** Render the top @p n rows. */
+    std::string renderTop(std::size_t n) const;
+
+  private:
+    const TraceCorpus &corpus_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_BASELINE_LOCKCONTENTION_H

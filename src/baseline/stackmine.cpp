@@ -1,0 +1,122 @@
+#include "src/baseline/stackmine.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/util/table.h"
+
+namespace tracelens
+{
+
+std::string
+CostlyStackPattern::render(const SymbolTable &symbols) const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < suffix.size(); ++i) {
+        if (i)
+            oss << " <- ";
+        oss << symbols.frameName(suffix[i]);
+    }
+    return oss.str();
+}
+
+StackMineAnalyzer::StackMineAnalyzer(const TraceCorpus &corpus,
+                                     std::size_t suffix_depth)
+    : corpus_(corpus), suffixDepth_(suffix_depth == 0 ? 1 : suffix_depth)
+{
+}
+
+std::vector<CostlyStackPattern>
+StackMineAnalyzer::mine() const
+{
+    struct SuffixHash
+    {
+        std::size_t
+        operator()(const std::vector<FrameId> &v) const
+        {
+            std::size_t h = 0xcbf29ce484222325ULL;
+            for (FrameId f : v) {
+                h ^= f;
+                h *= 0x100000001b3ULL;
+            }
+            return h;
+        }
+    };
+
+    std::unordered_map<std::vector<FrameId>, CostlyStackPattern,
+                       SuffixHash>
+        patterns;
+
+    const SymbolTable &symbols = corpus_.symbols();
+    for (std::uint32_t s = 0; s < corpus_.streamCount(); ++s) {
+        const TraceStream &stream = corpus_.stream(s);
+        // Pair waits with unwaits (FIFO per thread) to restore costs.
+        std::unordered_map<ThreadId, std::deque<const Event *>>
+            outstanding;
+        for (const Event &e : stream.events()) {
+            if (e.type == EventType::Wait) {
+                outstanding[e.tid].push_back(&e);
+                continue;
+            }
+            if (e.type != EventType::Unwait || e.wtid == e.tid)
+                continue;
+            auto it = outstanding.find(e.wtid);
+            if (it == outstanding.end() || it->second.empty())
+                continue;
+            const Event *wait = it->second.front();
+            it->second.pop_front();
+            if (wait->stack == kNoCallstack)
+                continue;
+
+            const auto frames = symbols.stackFrames(wait->stack);
+            if (frames.empty())
+                continue;
+            std::vector<FrameId> suffix;
+            const std::size_t depth =
+                std::min(suffixDepth_, frames.size());
+            for (std::size_t i = 0; i < depth; ++i)
+                suffix.push_back(frames[frames.size() - 1 - i]);
+
+            CostlyStackPattern &pattern = patterns[suffix];
+            if (pattern.waits == 0)
+                pattern.suffix = suffix;
+            const DurationNs blocked = e.timestamp - wait->timestamp;
+            pattern.cost += blocked;
+            pattern.maxCost = std::max(pattern.maxCost, blocked);
+            ++pattern.waits;
+        }
+    }
+
+    std::vector<CostlyStackPattern> result;
+    result.reserve(patterns.size());
+    for (auto &[suffix, pattern] : patterns)
+        result.push_back(std::move(pattern));
+    std::sort(result.begin(), result.end(),
+              [](const CostlyStackPattern &a,
+                 const CostlyStackPattern &b) {
+                  if (a.cost != b.cost)
+                      return a.cost > b.cost;
+                  return a.suffix < b.suffix;
+              });
+    return result;
+}
+
+std::string
+StackMineAnalyzer::renderTop(std::size_t n) const
+{
+    const auto patterns = mine();
+    TextTable table({"Stack pattern (top frames)", "Cost", "Waits",
+                     "Max"});
+    for (std::size_t i = 0; i < std::min(n, patterns.size()); ++i) {
+        const CostlyStackPattern &p = patterns[i];
+        table.addRow({p.render(corpus_.symbols()),
+                      TextTable::ms(toMs(p.cost)),
+                      std::to_string(p.waits),
+                      TextTable::ms(toMs(p.maxCost))});
+    }
+    return table.render();
+}
+
+} // namespace tracelens

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Baseline 3: StackMine-style costly callstack-pattern mining
+ * [Han et al., ICSE'12] — the paper's own prior work, which discovers
+ * *within-thread* callstack patterns by cost, but (as the paper notes)
+ * does not characterize the cross-thread behaviour that cost
+ * propagation creates.
+ *
+ * Simplified faithful core: wait events are paired and their durations
+ * restored; each wait is keyed by the top @c suffixDepth frames of its
+ * callstack (the "pattern"); patterns aggregate total cost, count, and
+ * max, and are ranked by total cost. The comparison bench shows that
+ * the Figure-1 incident yields four high-cost *separate* stack
+ * patterns, with nothing connecting them to the se.sys/disk root
+ * cause.
+ */
+
+#ifndef TRACELENS_BASELINE_STACKMINE_H
+#define TRACELENS_BASELINE_STACKMINE_H
+
+#include <string>
+#include <vector>
+
+#include "src/trace/stream.h"
+
+namespace tracelens
+{
+
+/** One costly callstack pattern. */
+struct CostlyStackPattern
+{
+    /** Top-of-stack frames, innermost first. */
+    std::vector<FrameId> suffix;
+    DurationNs cost = 0;       //!< Total restored wait duration.
+    std::uint64_t waits = 0;   //!< Number of wait events merged.
+    DurationNs maxCost = 0;    //!< Longest single wait.
+
+    /** Render the suffix as "a <- b <- c". */
+    std::string render(const SymbolTable &symbols) const;
+};
+
+/** Costly-pattern miner over wait events. */
+class StackMineAnalyzer
+{
+  public:
+    /**
+     * @param corpus The trace corpus.
+     * @param suffix_depth Frames (from the top) forming a pattern key.
+     */
+    explicit StackMineAnalyzer(const TraceCorpus &corpus,
+                               std::size_t suffix_depth = 3);
+
+    /** Mine patterns over all streams, ranked by total cost. */
+    std::vector<CostlyStackPattern> mine() const;
+
+    /** Render the top @p n patterns. */
+    std::string renderTop(std::size_t n) const;
+
+  private:
+    const TraceCorpus &corpus_;
+    std::size_t suffixDepth_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_BASELINE_STACKMINE_H

@@ -1,0 +1,137 @@
+#include "src/core/analyzer.h"
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+double
+ScenarioAnalysis::driverCostShare()
+ const
+{
+    if (slowDuration == 0)
+        return 0.0;
+    return static_cast<double>(slowImpact.dWait + slowImpact.dRun) /
+           static_cast<double>(slowDuration);
+}
+
+double
+ScenarioAnalysis::nonOptimizableShare() const
+{
+    const DurationNs reduced = awgSlow.reducedCost();
+    const DurationNs kept = awgSlow.totalRootCost();
+    if (reduced + kept == 0)
+        return 0.0;
+    return static_cast<double>(reduced) /
+           static_cast<double>(reduced + kept);
+}
+
+Analyzer::Analyzer(const TraceCorpus &corpus, AnalyzerConfig config)
+    : corpus_(corpus), config_(std::move(config)),
+      components_(config_.components)
+{
+}
+
+const std::vector<WaitGraph> &
+Analyzer::graphs() const
+{
+    if (!graphsBuilt_) {
+        WaitGraphBuilder builder(corpus_, config_.waitGraph);
+        graphs_ = builder.buildAll();
+        graphsBuilt_ = true;
+    }
+    return graphs_;
+}
+
+ImpactResult
+Analyzer::impactAll() const
+{
+    ImpactAnalysis impact(corpus_, components_);
+    return impact.analyze(graphs());
+}
+
+std::unordered_map<std::uint32_t, ImpactResult>
+Analyzer::impactPerScenario() const
+{
+    ImpactAnalysis impact(corpus_, components_);
+    return impact.analyzePerScenario(graphs());
+}
+
+ContrastClasses
+Analyzer::classify(std::uint32_t scenario, DurationNs t_fast,
+                   DurationNs t_slow) const
+{
+    TL_ASSERT(t_fast > 0 && t_slow > t_fast, "bad thresholds");
+    ContrastClasses classes;
+    const auto &instances = corpus_.instances();
+    for (std::uint32_t i = 0; i < instances.size(); ++i) {
+        if (instances[i].scenario != scenario)
+            continue;
+        const DurationNs duration = instances[i].duration();
+        if (duration < t_fast)
+            classes.fast.push_back(i);
+        else if (duration > t_slow)
+            classes.slow.push_back(i);
+        else
+            classes.middle.push_back(i);
+    }
+    return classes;
+}
+
+ScenarioAnalysis
+Analyzer::analyzeScenario(std::string_view name, DurationNs t_fast,
+                          DurationNs t_slow) const
+{
+    const std::uint32_t scenario = corpus_.findScenario(name);
+    if (scenario == UINT32_MAX)
+        TL_FATAL("scenario '", std::string(name), "' not in corpus");
+
+    ScenarioAnalysis analysis;
+    analysis.name = std::string(name);
+    analysis.tFast = t_fast;
+    analysis.tSlow = t_slow;
+    analysis.classes = classify(scenario, t_fast, t_slow);
+
+    const std::vector<WaitGraph> &all = graphs();
+    auto gather = [&](const std::vector<std::uint32_t> &indices) {
+        std::vector<WaitGraph> subset;
+        subset.reserve(indices.size());
+        for (std::uint32_t i : indices)
+            subset.push_back(all[i]); // copy: subsets stay independent
+        return subset;
+    };
+
+    const std::vector<WaitGraph> fast_graphs =
+        gather(analysis.classes.fast);
+    const std::vector<WaitGraph> slow_graphs =
+        gather(analysis.classes.slow);
+
+    ImpactAnalysis impact(corpus_, components_);
+    analysis.slowImpact = impact.analyze(slow_graphs);
+    for (std::uint32_t i : analysis.classes.slow)
+        analysis.slowDuration += corpus_.instances()[i].duration();
+
+    AwgBuilder awg_builder(corpus_, components_, config_.awg);
+    analysis.awgFast = awg_builder.aggregate(fast_graphs);
+    analysis.awgSlow = awg_builder.aggregate(slow_graphs);
+
+    MiningOptions mining_options;
+    mining_options.maxSegmentLength = config_.maxSegmentLength;
+    mining_options.tFast = t_fast;
+    mining_options.tSlow = t_slow;
+    mining_options.useMetaPatternGate = config_.useMetaPatternGate;
+    ContrastMiner miner(corpus_, mining_options);
+    analysis.mining = miner.mine(analysis.awgFast, analysis.awgSlow);
+
+    // RQ1 denominator: the total driver cost as aggregated — the kept
+    // graph plus the non-optimizable portion removed by ReduceAWG
+    // (Section 5.2.2 accounts exactly this way).
+    analysis.coverage = computeCoverage(
+        analysis.mining,
+        analysis.awgSlow.reducedCost() + analysis.awgSlow.totalRootCost(),
+        t_slow);
+
+    return analysis;
+}
+
+} // namespace tracelens

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The TraceLens public facade: the full two-step analysis pipeline of
+ * the paper over a trace corpus.
+ *
+ * Step 1 (impact analysis, Section 3): corpus-wide and per-scenario
+ * IA_run / IA_wait / IA_opt for a chosen component filter.
+ *
+ * Step 2 (causality analysis, Section 4): per scenario — classify
+ * instances into fast/slow classes by the scenario's thresholds, build
+ * the two Aggregated Wait Graphs, mine ranked contrast patterns, and
+ * compute the RQ1 coverage figures.
+ *
+ * Wait graphs for all instances are built once and cached; scenario
+ * analyses reuse them.
+ */
+
+#ifndef TRACELENS_CORE_ANALYZER_H
+#define TRACELENS_CORE_ANALYZER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/awg/awg.h"
+#include "src/impact/impact.h"
+#include "src/mining/coverage.h"
+#include "src/mining/miner.h"
+#include "src/trace/stream.h"
+#include "src/waitgraph/waitgraph.h"
+
+namespace tracelens
+{
+
+/** Pipeline configuration. */
+struct AnalyzerConfig
+{
+    /** Component filter; the paper's study uses all drivers. */
+    std::vector<std::string> components = {"*.sys"};
+    WaitGraphOptions waitGraph;
+    AwgOptions awg;
+    /** k and the meta-pattern gate; thresholds come per scenario. */
+    std::uint32_t maxSegmentLength = 5;
+    bool useMetaPatternGate = true;
+};
+
+/** Instance classification for one scenario. */
+struct ContrastClasses
+{
+    std::vector<std::uint32_t> fast;   //!< duration < T_fast.
+    std::vector<std::uint32_t> slow;   //!< duration > T_slow.
+    std::vector<std::uint32_t> middle; //!< between thresholds (unused).
+};
+
+/** Full causality-analysis output for one scenario. */
+struct ScenarioAnalysis
+{
+    std::string name;
+    DurationNs tFast = 0;
+    DurationNs tSlow = 0;
+    ContrastClasses classes;
+
+    /** Impact metrics over the slow class only. */
+    ImpactResult slowImpact;
+    /** Total instance time of the slow class (D_scn of the class). */
+    DurationNs slowDuration = 0;
+
+    AggregatedWaitGraph awgFast;
+    AggregatedWaitGraph awgSlow;
+    MiningResult mining;
+    CoverageResult coverage;
+
+    /** Driver time share of the slow class: (D_wait+D_run)/D_scn. */
+    double driverCostShare() const;
+    /**
+     * Share of slow-class AWG time removed as non-optimizable direct
+     * hardware service (ReduceAWG).
+     */
+    double nonOptimizableShare() const;
+};
+
+/** The pipeline facade. */
+class Analyzer
+{
+  public:
+    explicit Analyzer(const TraceCorpus &corpus,
+                      AnalyzerConfig config = {});
+
+    /** Corpus-wide impact analysis (the Section 5.1 headline). */
+    ImpactResult impactAll() const;
+
+    /** Impact per scenario id. */
+    std::unordered_map<std::uint32_t, ImpactResult>
+    impactPerScenario() const;
+
+    /** Classify one scenario's instances against thresholds. */
+    ContrastClasses classify(std::uint32_t scenario, DurationNs t_fast,
+                             DurationNs t_slow) const;
+
+    /** Run the full causality analysis for one scenario. */
+    ScenarioAnalysis analyzeScenario(std::string_view name,
+                                     DurationNs t_fast,
+                                     DurationNs t_slow) const;
+
+    /** The cached per-instance wait graphs (built on first use). */
+    const std::vector<WaitGraph> &graphs() const;
+
+    const TraceCorpus &corpus() const { return corpus_; }
+    const AnalyzerConfig &config() const { return config_; }
+    const NameFilter &components() const { return components_; }
+
+  private:
+    const TraceCorpus &corpus_;
+    AnalyzerConfig config_;
+    NameFilter components_;
+    mutable std::vector<WaitGraph> graphs_;
+    mutable bool graphsBuilt_ = false;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_CORE_ANALYZER_H

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Self-contained HTML report: the text report's content as a single
+ * shareable .html file (inline CSS, no external assets) with the
+ * slow-class Aggregated Wait Graph rendered as collapsible trees —
+ * the artifact an analyst attaches to a bug report.
+ */
+
+#ifndef TRACELENS_CORE_HTMLREPORT_H
+#define TRACELENS_CORE_HTMLREPORT_H
+
+#include <span>
+#include <string>
+
+#include "src/core/report.h"
+
+namespace tracelens
+{
+
+/** Build the HTML report (same inputs as buildReport). */
+std::string buildHtmlReport(const Analyzer &analyzer,
+                            std::span<const ScenarioThresholds> scenarios,
+                            const ReportOptions &options = {});
+
+/** Write the HTML report to @p path (fatal on I/O failure). */
+void writeHtmlReportFile(const Analyzer &analyzer,
+                         std::span<const ScenarioThresholds> scenarios,
+                         const std::string &path,
+                         const ReportOptions &options = {});
+
+} // namespace tracelens
+
+#endif // TRACELENS_CORE_HTMLREPORT_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Consolidated text report over a corpus: the document a performance
+ * analyst would read first — corpus summary, validation, corpus-wide
+ * and per-component impact, and per-scenario causality results with
+ * by-design patterns filtered out.
+ */
+
+#ifndef TRACELENS_CORE_REPORT_H
+#define TRACELENS_CORE_REPORT_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/analyzer.h"
+#include "src/mining/knowledge.h"
+
+namespace tracelens
+{
+
+/** Scenario name + its developer-specified thresholds. */
+struct ScenarioThresholds
+{
+    std::string name;
+    DurationNs tFast = 0;
+    DurationNs tSlow = 0;
+};
+
+/** Report shaping options. */
+struct ReportOptions
+{
+    /** Patterns listed per scenario. */
+    std::size_t topPatterns = 5;
+    /** Components listed in the per-component impact section. */
+    std::size_t topComponents = 10;
+    /** Apply KnowledgeBase::defaults() to suppress by-design noise. */
+    bool applyKnowledgeFilter = true;
+};
+
+/**
+ * Build the report. Scenarios not present in the corpus are skipped
+ * (noted in the output).
+ */
+std::string buildReport(const Analyzer &analyzer,
+                        std::span<const ScenarioThresholds> scenarios,
+                        const ReportOptions &options = {});
+
+} // namespace tracelens
+
+#endif // TRACELENS_CORE_REPORT_H

@@ -1,0 +1,185 @@
+#include "src/impact/breakdown.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/util/table.h"
+
+namespace tracelens
+{
+
+namespace
+{
+
+/** Accumulate per-component wait/run over one graph's top levels. */
+void
+accumulateComponents(
+    const TraceCorpus &corpus, const WaitGraph &graph,
+    const NameFilter &components,
+    std::unordered_map<std::uint32_t, ComponentImpact> &by_component)
+{
+    const SymbolTable &sym = corpus.symbols();
+
+    // Top-level component waits: BFS stopping at matching waits.
+    std::deque<std::uint32_t> queue(graph.roots().begin(),
+                                    graph.roots().end());
+    while (!queue.empty()) {
+        const WaitGraph::Node &node = graph.node(queue.front());
+        queue.pop_front();
+        const Event &e = node.event;
+        if (e.type == EventType::Wait && e.stack != kNoCallstack) {
+            const FrameId sig = sym.topMatchingFrame(e.stack,
+                                                     components);
+            if (sig != kNoFrame) {
+                ComponentImpact &entry =
+                    by_component[sym.componentId(sig)];
+                if (entry.component.empty())
+                    entry.component = sym.componentName(sig);
+                entry.wait += e.cost;
+                ++entry.waitEvents;
+                continue;
+            }
+        }
+        for (std::uint32_t child : node.children)
+            queue.push_back(child);
+    }
+
+    // Running attribution across the whole graph.
+    for (const WaitGraph::Node &node : graph.nodes()) {
+        const Event &e = node.event;
+        if (e.type != EventType::Running || e.stack == kNoCallstack)
+            continue;
+        const FrameId sig = sym.topMatchingFrame(e.stack, components);
+        if (sig == kNoFrame)
+            continue;
+        ComponentImpact &entry = by_component[sym.componentId(sig)];
+        if (entry.component.empty())
+            entry.component = sym.componentName(sig);
+        entry.run += e.cost;
+    }
+}
+
+std::vector<ComponentImpact>
+sortedComponents(
+    std::unordered_map<std::uint32_t, ComponentImpact> by_component)
+{
+    std::vector<ComponentImpact> result;
+    result.reserve(by_component.size());
+    for (auto &[id, entry] : by_component)
+        result.push_back(std::move(entry));
+    std::sort(result.begin(), result.end(),
+              [](const ComponentImpact &a, const ComponentImpact &b) {
+                  if (a.total() != b.total())
+                      return a.total() > b.total();
+                  return a.component < b.component;
+              });
+    return result;
+}
+
+} // namespace
+
+std::vector<ComponentImpact>
+impactByComponent(const TraceCorpus &corpus,
+                  std::span<const WaitGraph> graphs,
+                  const NameFilter &components)
+{
+    corpus.symbols().primeFilter(components);
+    std::unordered_map<std::uint32_t, ComponentImpact> by_component;
+    for (const WaitGraph &graph : graphs)
+        accumulateComponents(corpus, graph, components, by_component);
+    return sortedComponents(std::move(by_component));
+}
+
+std::string
+InstanceBreakdown::render() const
+{
+    std::ostringstream oss;
+    oss << "total " << toMs(total) << "ms = running "
+        << toMs(running) << "ms + component-wait "
+        << toMs(componentWait) << "ms + other-wait "
+        << toMs(otherWait) << "ms + hardware " << toMs(hardware)
+        << "ms + unattributed " << toMs(unattributed) << "ms\n";
+    for (const ComponentImpact &c : byComponent) {
+        oss << "  " << c.component << ": wait " << toMs(c.wait)
+            << "ms (" << c.waitEvents << " waits), run "
+            << toMs(c.run) << "ms\n";
+    }
+    return oss.str();
+}
+
+InstanceBreakdown
+explainInstance(const TraceCorpus &corpus, const WaitGraph &graph,
+                const NameFilter &components)
+{
+    corpus.symbols().primeFilter(components);
+    const SymbolTable &sym = corpus.symbols();
+
+    InstanceBreakdown breakdown;
+    breakdown.total = graph.instance().duration();
+
+    std::unordered_map<std::uint32_t, ComponentImpact> by_component;
+    accumulateComponents(corpus, graph, components, by_component);
+    breakdown.byComponent = sortedComponents(std::move(by_component));
+    for (const ComponentImpact &c : breakdown.byComponent)
+        breakdown.componentWait += c.wait;
+
+    // Top-level (root) accounting for the remaining categories. A
+    // non-matching root wait's time is split: the parts covered by
+    // nested component waits were already counted above; the remainder
+    // is "other wait".
+    DurationNs nested_component_under_other = 0;
+    for (std::uint32_t root : graph.roots()) {
+        const WaitGraph::Node &node = graph.node(root);
+        const Event &e = node.event;
+        switch (e.type) {
+          case EventType::Running:
+            breakdown.running += e.cost;
+            break;
+          case EventType::HardwareService:
+            breakdown.hardware += e.cost;
+            break;
+          case EventType::Wait: {
+            const FrameId sig =
+                e.stack == kNoCallstack
+                    ? kNoFrame
+                    : sym.topMatchingFrame(e.stack, components);
+            if (sig == kNoFrame) {
+                breakdown.otherWait += e.cost;
+                // Subtract the nested component waits counted within.
+                std::deque<std::uint32_t> queue(node.children.begin(),
+                                                node.children.end());
+                while (!queue.empty()) {
+                    const auto &child = graph.node(queue.front());
+                    queue.pop_front();
+                    const Event &ce = child.event;
+                    if (ce.type == EventType::Wait &&
+                        ce.stack != kNoCallstack &&
+                        sym.topMatchingFrame(ce.stack, components) !=
+                            kNoFrame) {
+                        nested_component_under_other += ce.cost;
+                        continue;
+                    }
+                    for (std::uint32_t grand : child.children)
+                        queue.push_back(grand);
+                }
+            }
+            break;
+          }
+          case EventType::Unwait:
+            break;
+        }
+    }
+    breakdown.otherWait = std::max<DurationNs>(
+        0, breakdown.otherWait - nested_component_under_other);
+
+    const DurationNs accounted =
+        breakdown.running + breakdown.componentWait +
+        breakdown.otherWait + breakdown.hardware;
+    breakdown.unattributed =
+        std::max<DurationNs>(0, breakdown.total - accounted);
+    return breakdown;
+}
+
+} // namespace tracelens

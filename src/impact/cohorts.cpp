@@ -1,0 +1,46 @@
+#include "src/impact/cohorts.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tracelens
+{
+
+std::vector<CohortImpact>
+impactByCohort(const TraceCorpus &corpus,
+               std::span<const WaitGraph> graphs,
+               const NameFilter &components, const std::string &tag_key)
+{
+    // Partition graph indices by tag value (ordered for determinism).
+    std::map<std::string, std::vector<const WaitGraph *>> partitions;
+    for (const WaitGraph &graph : graphs) {
+        const TraceStream &stream =
+            corpus.stream(graph.instance().stream);
+        partitions[stream.tag(tag_key)].push_back(&graph);
+    }
+
+    ImpactAnalysis analysis(corpus, components);
+    std::vector<CohortImpact> cohorts;
+    cohorts.reserve(partitions.size());
+    for (const auto &[value, members] : partitions) {
+        // Copy the member graphs into a contiguous span for analyze().
+        std::vector<WaitGraph> subset;
+        subset.reserve(members.size());
+        double duration_sum = 0.0;
+        for (const WaitGraph *graph : members) {
+            subset.push_back(*graph);
+            duration_sum += toMs(graph->instance().duration());
+        }
+        CohortImpact cohort;
+        cohort.value = value;
+        cohort.impact = analysis.analyze(subset);
+        cohort.meanDurationMs =
+            members.empty()
+                ? 0.0
+                : duration_sum / static_cast<double>(members.size());
+        cohorts.push_back(std::move(cohort));
+    }
+    return cohorts;
+}
+
+} // namespace tracelens

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Cohort analysis: split the impact metrics by a stream tag.
+ *
+ * Streams carry environment metadata (storage encryption, disk class,
+ * load). Splitting IA_wait / IA_opt by cohort quantifies environmental
+ * observations the paper makes qualitatively — e.g. "if the system
+ * also enables storage encryption, the situation could become worse"
+ * (Section 5.2.4) — directly from the same trace corpus.
+ */
+
+#ifndef TRACELENS_IMPACT_COHORTS_H
+#define TRACELENS_IMPACT_COHORTS_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/impact/impact.h"
+
+namespace tracelens
+{
+
+/** Impact metrics of the instances whose streams share a tag value. */
+struct CohortImpact
+{
+    std::string value;       //!< The tag value ("1", "hdd", ...).
+    ImpactResult impact;     //!< Metrics over that cohort's instances.
+    double meanDurationMs = 0.0; //!< Mean instance duration.
+};
+
+/**
+ * Group the graphs by their stream's value for @p tag_key and compute
+ * impact per group (D_waitdist de-duplicated within each cohort).
+ * Sorted by cohort value for deterministic output. Streams without the
+ * tag fall into the "unknown" cohort.
+ */
+std::vector<CohortImpact>
+impactByCohort(const TraceCorpus &corpus,
+               std::span<const WaitGraph> graphs,
+               const NameFilter &components, const std::string &tag_key);
+
+} // namespace tracelens
+
+#endif // TRACELENS_IMPACT_COHORTS_H

@@ -1,0 +1,135 @@
+#include "src/impact/impact.h"
+
+#include <deque>
+#include <sstream>
+
+#include "src/util/logging.h"
+#include "src/util/table.h"
+
+namespace tracelens
+{
+
+namespace
+{
+
+double
+ratio(DurationNs num, DurationNs den)
+{
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+}
+
+} // namespace
+
+double
+ImpactResult::iaRun() const
+{
+    return ratio(dRun, dScn);
+}
+
+double
+ImpactResult::iaWait() const
+{
+    return ratio(dWait, dScn);
+}
+
+double
+ImpactResult::iaOpt() const
+{
+    return ratio(dWait - dWaitDist, dScn);
+}
+
+double
+ImpactResult::waitAmplification() const
+{
+    return dWaitDist == 0 ? 0.0 : ratio(dWait, dWaitDist);
+}
+
+std::string
+ImpactResult::render() const
+{
+    std::ostringstream oss;
+    oss << "instances=" << instances
+        << " IA_run=" << TextTable::pct(iaRun())
+        << " IA_wait=" << TextTable::pct(iaWait())
+        << " IA_opt=" << TextTable::pct(iaOpt())
+        << " Dwait/Dwaitdist=" << TextTable::num(waitAmplification(), 2);
+    return oss.str();
+}
+
+ImpactAnalysis::ImpactAnalysis(const TraceCorpus &corpus,
+                               NameFilter components)
+    : corpus_(corpus), components_(std::move(components))
+{
+    corpus_.symbols().primeFilter(components_);
+}
+
+void
+ImpactAnalysis::accumulate(
+    const WaitGraph &graph, ImpactResult &result,
+    std::unordered_set<EventRef, EventRefHash> &seen) const
+{
+    const SymbolTable &sym = corpus_.symbols();
+    ++result.instances;
+    result.dScn += graph.topLevelDuration();
+
+    // Top-level component waits: breadth-first search that stops at the
+    // first matching wait on each path (children constitute time already
+    // counted by their parent).
+    std::deque<std::uint32_t> queue(graph.roots().begin(),
+                                    graph.roots().end());
+    while (!queue.empty()) {
+        const WaitGraph::Node &node = graph.node(queue.front());
+        queue.pop_front();
+        const Event &e = node.event;
+        if (e.type == EventType::Wait && e.stack != kNoCallstack &&
+            sym.stackTouches(e.stack, components_)) {
+            result.dWait += e.cost;
+            if (seen.insert(node.ref).second)
+                result.dWaitDist += e.cost;
+            continue; // do not descend into already-counted time
+        }
+        for (std::uint32_t child : node.children)
+            queue.push_back(child);
+    }
+
+    // Component running time: every running sample in the graph whose
+    // callstack contains a chosen component, each distinct event counted
+    // once per instance.
+    std::unordered_set<EventRef, EventRefHash> seen_running;
+    for (const WaitGraph::Node &node : graph.nodes()) {
+        const Event &e = node.event;
+        if (e.type != EventType::Running || e.stack == kNoCallstack)
+            continue;
+        if (!sym.stackTouches(e.stack, components_))
+            continue;
+        if (seen_running.insert(node.ref).second)
+            result.dRun += e.cost;
+    }
+}
+
+ImpactResult
+ImpactAnalysis::analyze(std::span<const WaitGraph> graphs) const
+{
+    ImpactResult result;
+    std::unordered_set<EventRef, EventRefHash> seen;
+    for (const WaitGraph &graph : graphs)
+        accumulate(graph, result, seen);
+    return result;
+}
+
+std::unordered_map<std::uint32_t, ImpactResult>
+ImpactAnalysis::analyzePerScenario(std::span<const WaitGraph> graphs) const
+{
+    std::unordered_map<std::uint32_t, ImpactResult> results;
+    std::unordered_map<std::uint32_t,
+                       std::unordered_set<EventRef, EventRefHash>>
+        seen;
+    for (const WaitGraph &graph : graphs) {
+        const std::uint32_t scenario = graph.instance().scenario;
+        accumulate(graph, results[scenario], seen[scenario]);
+    }
+    return results;
+}
+
+} // namespace tracelens

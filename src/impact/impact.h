@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Impact analysis (paper Section 3).
+ *
+ * Given scenario-instance Wait Graphs and a component filter (e.g.
+ * "*.sys" for all device drivers), the impact analysis measures:
+ *
+ *  - D_scn: aggregated execution time of all instances (sum of the
+ *    time periods of top-level events, instance by instance),
+ *  - D_wait: aggregated duration of *top-level* wait events of the
+ *    chosen components (BFS that does not descend into counted waits,
+ *    so child events already covered by a parent are not re-counted),
+ *  - D_run: aggregated duration of running events whose callstacks
+ *    contain the chosen components,
+ *  - D_waitdist: D_wait with duplicate wait events (same stream event
+ *    appearing in multiple instances' graphs) counted once,
+ *
+ * and derives the output metrics:
+ *
+ *  - IA_run  = D_run / D_scn,
+ *  - IA_wait = D_wait / D_scn,
+ *  - IA_opt  = (D_wait - D_waitdist) / D_scn — the share of waiting
+ *    introduced by cost propagation, an upper bound on the optimization
+ *    potential.
+ */
+
+#ifndef TRACELENS_IMPACT_IMPACT_H
+#define TRACELENS_IMPACT_IMPACT_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/trace/stream.h"
+#include "src/util/wildcard.h"
+#include "src/waitgraph/waitgraph.h"
+
+namespace tracelens
+{
+
+/** Aggregated impact metrics for one set of instances. */
+struct ImpactResult
+{
+    DurationNs dScn = 0;      //!< Total instance duration.
+    DurationNs dWait = 0;     //!< Total component wait duration.
+    DurationNs dRun = 0;      //!< Total component running duration.
+    DurationNs dWaitDist = 0; //!< Distinct-wait duration.
+    std::size_t instances = 0;
+
+    /** IA_run = D_run / D_scn. */
+    double iaRun() const;
+    /** IA_wait = D_wait / D_scn. */
+    double iaWait() const;
+    /** IA_opt = (D_wait - D_waitdist) / D_scn. */
+    double iaOpt() const;
+    /** D_wait / D_waitdist: average instances one wait propagates to. */
+    double waitAmplification() const;
+
+    /** One-line summary for reports. */
+    std::string render() const;
+};
+
+/**
+ * Measures component performance impact over Wait Graphs.
+ *
+ * The distinct-wait set is tracked per analyze() call, so a single call
+ * over many instances yields the corpus-level D_waitdist.
+ */
+class ImpactAnalysis
+{
+  public:
+    /**
+     * @param corpus Corpus the graphs were built from.
+     * @param components Component name filter (e.g. {"*.sys"}).
+     */
+    ImpactAnalysis(const TraceCorpus &corpus, NameFilter components);
+
+    /** Aggregate impact over the given instance graphs. */
+    ImpactResult analyze(std::span<const WaitGraph> graphs) const;
+
+    /**
+     * Aggregate impact separately per scenario id. Note D_waitdist is
+     * de-duplicated within each scenario's own instance set.
+     */
+    std::unordered_map<std::uint32_t, ImpactResult>
+    analyzePerScenario(std::span<const WaitGraph> graphs) const;
+
+    const NameFilter &components() const { return components_; }
+
+  private:
+    /** Accumulate one graph into @p result using @p seen for dedup. */
+    void accumulate(const WaitGraph &graph, ImpactResult &result,
+                    std::unordered_set<EventRef, EventRefHash> &seen)
+        const;
+
+    const TraceCorpus &corpus_;
+    NameFilter components_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_IMPACT_IMPACT_H

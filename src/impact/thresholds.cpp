@@ -1,0 +1,65 @@
+#include "src/impact/thresholds.h"
+
+#include <sstream>
+
+#include "src/util/logging.h"
+#include "src/util/stats.h"
+
+namespace tracelens
+{
+
+std::string
+ThresholdSuggestion::render() const
+{
+    std::ostringstream oss;
+    oss << "instances=" << instances << " p25=" << toMs(p25)
+        << "ms p50=" << toMs(p50) << "ms p90=" << toMs(p90)
+        << "ms p99=" << toMs(p99) << "ms -> T_fast=" << toMs(tFast)
+        << "ms T_slow=" << toMs(tSlow) << "ms";
+    return oss.str();
+}
+
+ThresholdSuggestion
+suggestThresholds(const TraceCorpus &corpus, std::uint32_t scenario)
+{
+    SampleSet durations;
+    for (const ScenarioInstance &inst : corpus.instances()) {
+        if (inst.scenario == scenario)
+            durations.add(static_cast<double>(inst.duration()));
+    }
+
+    ThresholdSuggestion suggestion;
+    suggestion.instances = durations.count();
+    if (suggestion.instances == 0)
+        return suggestion;
+
+    auto quantile = [&](double q) {
+        return static_cast<DurationNs>(durations.quantile(q));
+    };
+    suggestion.p25 = quantile(0.25);
+    suggestion.p50 = quantile(0.50);
+    suggestion.p90 = quantile(0.90);
+    suggestion.p99 = quantile(0.99);
+
+    suggestion.tFast = suggestion.p50;
+    suggestion.tSlow = std::max(suggestion.p90, 2 * suggestion.tFast);
+    if (suggestion.tFast <= 0) {
+        // Degenerate distribution (zero-duration instances).
+        suggestion.tFast = 1;
+        suggestion.tSlow = 2;
+    }
+    return suggestion;
+}
+
+ThresholdSuggestion
+suggestThresholds(const TraceCorpus &corpus,
+                  std::string_view scenario_name)
+{
+    const std::uint32_t id = corpus.findScenario(scenario_name);
+    if (id == UINT32_MAX)
+        TL_FATAL("scenario '", std::string(scenario_name),
+                 "' not in corpus");
+    return suggestThresholds(corpus, id);
+}
+
+} // namespace tracelens

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Threshold suggestion.
+ *
+ * The causality analysis takes developer-specified performance
+ * thresholds T_fast and T_slow per scenario (the paper: "developers
+ * need to explicitly specify the two thresholds ... as a part of
+ * performance specification"). When a specification does not exist
+ * yet, this helper proposes thresholds from the observed duration
+ * distribution: T_fast at the median (instances faster than typical
+ * are "expected"), T_slow at the 90th percentile (the degraded tail),
+ * widened to keep the paper's T_slow - T_fast >> 0 requirement.
+ */
+
+#ifndef TRACELENS_IMPACT_THRESHOLDS_H
+#define TRACELENS_IMPACT_THRESHOLDS_H
+
+#include <string>
+
+#include "src/trace/stream.h"
+
+namespace tracelens
+{
+
+/** Duration statistics and proposed thresholds for one scenario. */
+struct ThresholdSuggestion
+{
+    std::size_t instances = 0;
+    DurationNs p25 = 0;
+    DurationNs p50 = 0;
+    DurationNs p90 = 0;
+    DurationNs p99 = 0;
+    DurationNs tFast = 0;
+    DurationNs tSlow = 0;
+
+    /** True when there were enough instances to suggest anything. */
+    bool usable() const { return instances >= 10; }
+
+    std::string render() const;
+};
+
+/**
+ * Suggest thresholds for @p scenario (interned id) from the corpus'
+ * instance durations. The suggestion guarantees tSlow >= 2 * tFast
+ * (widening the slow bound when the distribution is tight), so the
+ * contrast classes cannot blur into each other.
+ */
+ThresholdSuggestion suggestThresholds(const TraceCorpus &corpus,
+                                      std::uint32_t scenario);
+
+/** Convenience overload by scenario name; fatal when unknown. */
+ThresholdSuggestion suggestThresholds(const TraceCorpus &corpus,
+                                      std::string_view scenario_name);
+
+} // namespace tracelens
+
+#endif // TRACELENS_IMPACT_THRESHOLDS_H

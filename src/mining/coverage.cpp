@@ -1,0 +1,80 @@
+#include "src/mining/coverage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/logging.h"
+#include "src/util/table.h"
+
+namespace tracelens
+{
+
+double
+CoverageResult::itc() const
+{
+    return componentCost == 0
+               ? 0.0
+               : static_cast<double>(impactfulCost) /
+                     static_cast<double>(componentCost);
+}
+
+double
+CoverageResult::ttc() const
+{
+    return componentCost == 0
+               ? 0.0
+               : static_cast<double>(totalCost) /
+                     static_cast<double>(componentCost);
+}
+
+std::string
+CoverageResult::render() const
+{
+    std::ostringstream oss;
+    oss << "patterns=" << patternCount
+        << " highImpact=" << highImpactCount
+        << " ITC=" << TextTable::pct(itc())
+        << " TTC=" << TextTable::pct(ttc());
+    return oss.str();
+}
+
+CoverageResult
+computeCoverage(const MiningResult &result, DurationNs component_cost,
+                DurationNs t_slow)
+{
+    CoverageResult coverage;
+    coverage.componentCost = component_cost;
+    coverage.patternCount = result.patterns.size();
+    for (const ContrastPattern &p : result.patterns) {
+        coverage.totalCost += p.cost;
+        if (p.highImpact(t_slow)) {
+            coverage.impactfulCost += p.cost;
+            ++coverage.highImpactCount;
+        }
+    }
+    return coverage;
+}
+
+double
+topPatternCoverage(const MiningResult &result, double fraction)
+{
+    TL_ASSERT(fraction >= 0.0 && fraction <= 1.0,
+              "fraction out of range");
+    if (result.patterns.empty())
+        return 0.0;
+    const DurationNs total = result.totalPatternCost();
+    if (total == 0)
+        return 0.0;
+
+    const auto top = static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(result.patterns.size())));
+    DurationNs covered = 0;
+    for (std::size_t i = 0; i < std::min(top, result.patterns.size());
+         ++i) {
+        covered += result.patterns[i].cost;
+    }
+    return static_cast<double>(covered) / static_cast<double>(total);
+}
+
+} // namespace tracelens

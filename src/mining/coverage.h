@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Execution-time coverage metrics for mined patterns (paper Section 5.2).
+ *
+ * RQ1 coverages:
+ *  - ITC (impactful-time coverage): sum of P.C for high-impact patterns
+ *    (those with at least one execution above T_slow) over the total
+ *    component time in the slow class.
+ *  - TTC (total-time coverage): sum of P.C for all patterns over the
+ *    same denominator.
+ *
+ * RQ2 ranking coverage: cumulative P.C share of the top n% of patterns
+ * under the impact ranking, over the total P.C of all patterns.
+ */
+
+#ifndef TRACELENS_MINING_COVERAGE_H
+#define TRACELENS_MINING_COVERAGE_H
+
+#include <string>
+
+#include "src/mining/miner.h"
+
+namespace tracelens
+{
+
+/** RQ1 coverage figures for one scenario. */
+struct CoverageResult
+{
+    DurationNs componentCost = 0;  //!< Denominator: slow-class driver time.
+    DurationNs impactfulCost = 0;  //!< Sum of P.C of high-impact patterns.
+    DurationNs totalCost = 0;      //!< Sum of P.C of all patterns.
+    std::size_t patternCount = 0;
+    std::size_t highImpactCount = 0;
+
+    double itc() const;
+    double ttc() const;
+    std::string render() const;
+};
+
+/**
+ * Compute ITC/TTC.
+ *
+ * @param result Mined patterns of one scenario.
+ * @param component_cost Total component (driver) time of the slow class,
+ *        typically D_wait + D_run from the impact analysis.
+ * @param t_slow High-impact threshold.
+ */
+CoverageResult computeCoverage(const MiningResult &result,
+                               DurationNs component_cost,
+                               DurationNs t_slow);
+
+/**
+ * RQ2: execution-time coverage of the top @p fraction of patterns by
+ * rank, over the total pattern time. @p fraction in [0, 1]; the top
+ * pattern count is rounded up so a non-empty result always inspects at
+ * least one pattern.
+ */
+double topPatternCoverage(const MiningResult &result, double fraction);
+
+} // namespace tracelens
+
+#endif // TRACELENS_MINING_COVERAGE_H

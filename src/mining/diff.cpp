@@ -1,0 +1,126 @@
+#include "src/mining/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+double
+ChangedPattern::impactRatio() const
+{
+    const double b = before.impact();
+    const double a = after.impact();
+    if (b <= 0.0)
+        return a > 0.0 ? std::numeric_limits<double>::infinity() : 1.0;
+    return a / b;
+}
+
+namespace
+{
+
+/** Name-based canonical key of a tuple (portable across corpora). */
+std::string
+tupleKey(const SignatureSetTuple &tuple, const SymbolTable &symbols)
+{
+    auto render = [&](const std::vector<FrameId> &set, char tag,
+                      std::string &out) {
+        // Sets are sorted by id; re-sort by *name* for portability.
+        std::vector<std::string_view> names;
+        names.reserve(set.size());
+        for (FrameId f : set) {
+            names.push_back(f == kNoFrame
+                                ? std::string_view("<other>")
+                                : std::string_view(
+                                      symbols.frameName(f)));
+        }
+        std::sort(names.begin(), names.end());
+        out += tag;
+        for (const auto &name : names) {
+            out += name;
+            out += '\x1f';
+        }
+        out += '\x1e';
+    };
+    std::string key;
+    render(tuple.waits, 'W', key);
+    render(tuple.unwaits, 'U', key);
+    render(tuple.runnings, 'R', key);
+    return key;
+}
+
+} // namespace
+
+MiningDiff
+diffMiningResults(const MiningResult &before,
+                  const SymbolTable &before_symbols,
+                  const MiningResult &after,
+                  const SymbolTable &after_symbols, double change_ratio)
+{
+    TL_ASSERT(change_ratio > 1.0, "change ratio must exceed 1");
+
+    std::map<std::string, const ContrastPattern *> before_index;
+    for (const ContrastPattern &p : before.patterns)
+        before_index.emplace(tupleKey(p.tuple, before_symbols), &p);
+
+    MiningDiff diff;
+    std::map<std::string, const ContrastPattern *> matched;
+    for (const ContrastPattern &p : after.patterns) {
+        const std::string key = tupleKey(p.tuple, after_symbols);
+        auto it = before_index.find(key);
+        if (it == before_index.end()) {
+            diff.appeared.push_back(p);
+            continue;
+        }
+        matched.emplace(key, it->second);
+        const ContrastPattern &prev = *it->second;
+        const double ratio =
+            prev.impact() > 0.0 ? p.impact() / prev.impact() : 1.0;
+        if (ratio > change_ratio || ratio < 1.0 / change_ratio)
+            diff.changed.push_back({prev, p});
+        else
+            ++diff.stable;
+    }
+
+    for (const ContrastPattern &p : before.patterns) {
+        if (!matched.count(tupleKey(p.tuple, before_symbols)))
+            diff.disappeared.push_back(p);
+    }
+
+    std::sort(diff.changed.begin(), diff.changed.end(),
+              [](const ChangedPattern &a, const ChangedPattern &b) {
+                  return std::abs(std::log(a.impactRatio())) >
+                         std::abs(std::log(b.impactRatio()));
+              });
+    return diff;
+}
+
+std::string
+MiningDiff::render(const SymbolTable &after_symbols,
+                   std::size_t top_n) const
+{
+    std::ostringstream oss;
+    oss << "appeared=" << appeared.size()
+        << " disappeared=" << disappeared.size()
+        << " changed=" << changed.size() << " stable=" << stable
+        << "\n";
+    const std::size_t n = std::min(top_n, appeared.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        oss << "new #" << i + 1 << " (impact "
+            << toMs(static_cast<DurationNs>(appeared[i].impact()))
+            << "ms):\n"
+            << appeared[i].tuple.render(after_symbols);
+    }
+    const std::size_t m = std::min(top_n, changed.size());
+    for (std::size_t i = 0; i < m; ++i) {
+        oss << "changed x" << changed[i].impactRatio() << ":\n"
+            << changed[i].after.tuple.render(after_symbols);
+    }
+    return oss.str();
+}
+
+} // namespace tracelens

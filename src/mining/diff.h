@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Mining-result diffing: compare the contrast patterns of two
+ * analyses of the *same scenario* — e.g. two software builds, two
+ * fleets, or two time windows — to find behaviour that appeared,
+ * disappeared, or changed cost. This turns the paper's one-shot
+ * analysis into the regression-tracking workflow performance teams
+ * actually run release over release.
+ *
+ * Patterns are matched by their Signature Set Tuple (the tuple is the
+ * generalized identity of a behaviour; Section 4.1). Because the two
+ * analyses may come from different corpora with different interned
+ * frame ids, tuples are compared by *signature names*, not ids.
+ */
+
+#ifndef TRACELENS_MINING_DIFF_H
+#define TRACELENS_MINING_DIFF_H
+
+#include <string>
+#include <vector>
+
+#include "src/mining/miner.h"
+#include "src/trace/symbols.h"
+
+namespace tracelens
+{
+
+/** A pattern present in both results, with its cost movement. */
+struct ChangedPattern
+{
+    ContrastPattern before;
+    ContrastPattern after;
+
+    /** after.impact() / before.impact(); >1 means it got slower. */
+    double impactRatio() const;
+};
+
+/** Outcome of diffing two mining results. */
+struct MiningDiff
+{
+    /** Patterns only in the "after" result (new behaviour). */
+    std::vector<ContrastPattern> appeared;
+    /** Patterns only in the "before" result (fixed / gone). */
+    std::vector<ContrastPattern> disappeared;
+    /**
+     * Patterns in both whose average impact moved by more than the
+     * configured ratio, sorted by |log ratio| descending.
+     */
+    std::vector<ChangedPattern> changed;
+    /** Patterns in both with no significant movement. */
+    std::size_t stable = 0;
+
+    std::string render(const SymbolTable &after_symbols,
+                       std::size_t top_n = 5) const;
+};
+
+/**
+ * Diff two mining results.
+ *
+ * @param before,before_symbols The baseline analysis and its symbols.
+ * @param after,after_symbols The new analysis and its symbols.
+ * @param change_ratio Impact movements beyond x(ratio) or /(ratio)
+ *        count as changed (default 1.5x).
+ */
+MiningDiff diffMiningResults(const MiningResult &before,
+                             const SymbolTable &before_symbols,
+                             const MiningResult &after,
+                             const SymbolTable &after_symbols,
+                             double change_ratio = 1.5);
+
+} // namespace tracelens
+
+#endif // TRACELENS_MINING_DIFF_H

@@ -1,0 +1,79 @@
+#include "src/mining/knowledge.h"
+
+namespace tracelens
+{
+
+void
+KnowledgeBase::addRule(std::string component_pattern, std::string reason)
+{
+    rules_.push_back({std::move(component_pattern), std::move(reason)});
+}
+
+namespace
+{
+
+bool
+anyFrameMatches(const std::vector<FrameId> &frames,
+                const SymbolTable &symbols, const std::string &pattern)
+{
+    for (FrameId f : frames) {
+        if (f == kNoFrame)
+            continue;
+        if (wildcardMatch(pattern, symbols.componentName(f)))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+KnowledgeBase::matches(const SignatureSetTuple &tuple,
+                       const SymbolTable &symbols) const
+{
+    return !matchReason(tuple, symbols).empty();
+}
+
+std::string
+KnowledgeBase::matchReason(const SignatureSetTuple &tuple,
+                           const SymbolTable &symbols) const
+{
+    for (const KnowledgeRule &rule : rules_) {
+        if (anyFrameMatches(tuple.waits, symbols,
+                            rule.componentPattern) ||
+            anyFrameMatches(tuple.unwaits, symbols,
+                            rule.componentPattern) ||
+            anyFrameMatches(tuple.runnings, symbols,
+                            rule.componentPattern)) {
+            return rule.reason;
+        }
+    }
+    return {};
+}
+
+FilteredMiningResult
+KnowledgeBase::apply(const MiningResult &result,
+                     const SymbolTable &symbols) const
+{
+    FilteredMiningResult filtered;
+    for (const ContrastPattern &pattern : result.patterns) {
+        const std::string reason = matchReason(pattern.tuple, symbols);
+        if (reason.empty())
+            filtered.kept.push_back(pattern);
+        else
+            filtered.suppressed.push_back({pattern, reason});
+    }
+    return filtered;
+}
+
+KnowledgeBase
+KnowledgeBase::defaults()
+{
+    KnowledgeBase kb;
+    kb.addRule("dp.sys",
+               "disk-protection driver halts I/O by design while the "
+               "machine is in motion");
+    return kb;
+}
+
+} // namespace tracelens

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * By-design-behaviour knowledge filter (paper Section 5.2.5).
+ *
+ * Some drivers block on purpose: the paper's example is a disk-
+ * protection driver that halts all disk I/O while the machine is in
+ * motion. Patterns involving such drivers are real behaviour but not
+ * actionable performance problems — false positives of the causality
+ * analysis. The paper concludes that "we need to incorporate such
+ * knowledge to filter out some known and exceptional cases"; this
+ * module is that mechanism.
+ *
+ * A KnowledgeBase holds rules mapping component-name globs to reasons.
+ * apply() partitions a mining result into kept and suppressed
+ * patterns; a pattern is suppressed when any of its signatures belongs
+ * to a rule's component.
+ */
+
+#ifndef TRACELENS_MINING_KNOWLEDGE_H
+#define TRACELENS_MINING_KNOWLEDGE_H
+
+#include <string>
+#include <vector>
+
+#include "src/mining/miner.h"
+#include "src/trace/symbols.h"
+#include "src/util/wildcard.h"
+
+namespace tracelens
+{
+
+/** One by-design rule. */
+struct KnowledgeRule
+{
+    std::string componentPattern; //!< Glob over component names.
+    std::string reason;           //!< Why the behaviour is expected.
+};
+
+/** A suppressed pattern with the rule that matched it. */
+struct SuppressedPattern
+{
+    ContrastPattern pattern;
+    std::string reason;
+};
+
+/** Result of filtering a mining result. */
+struct FilteredMiningResult
+{
+    /** Patterns that remain actionable, ranking preserved. */
+    std::vector<ContrastPattern> kept;
+    std::vector<SuppressedPattern> suppressed;
+};
+
+/** Rule set for by-design driver behaviours. */
+class KnowledgeBase
+{
+  public:
+    KnowledgeBase() = default;
+
+    /** Add a rule. */
+    void addRule(std::string component_pattern, std::string reason);
+
+    /** True when any signature of @p tuple matches any rule. */
+    bool matches(const SignatureSetTuple &tuple,
+                 const SymbolTable &symbols) const;
+
+    /** Reason of the first matching rule ("" when none match). */
+    std::string matchReason(const SignatureSetTuple &tuple,
+                            const SymbolTable &symbols) const;
+
+    /** Partition @p result into kept and suppressed patterns. */
+    FilteredMiningResult apply(const MiningResult &result,
+                               const SymbolTable &symbols) const;
+
+    std::size_t ruleCount() const { return rules_.size(); }
+
+    /**
+     * The default rule set shipped with TraceLens: the paper's disk-
+     * protection example (dp.sys halts I/O by design).
+     */
+    static KnowledgeBase defaults();
+
+  private:
+    std::vector<KnowledgeRule> rules_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_MINING_KNOWLEDGE_H

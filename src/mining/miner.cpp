@@ -1,0 +1,251 @@
+#include "src/mining/miner.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+double
+ContrastPattern::impact() const
+{
+    return count == 0 ? 0.0
+                      : static_cast<double>(cost) /
+                            static_cast<double>(count);
+}
+
+std::string
+MiningStats::render() const
+{
+    std::ostringstream oss;
+    oss << "metas(fast)=" << fastMetaPatterns
+        << " metas(slow)=" << slowMetaPatterns
+        << " contrasts(slow-only)=" << slowOnlyContrasts
+        << " contrasts(ratio)=" << ratioContrasts
+        << " fullPaths=" << fullPaths
+        << " selectedPaths=" << selectedPaths;
+    return oss.str();
+}
+
+DurationNs
+MiningResult::totalPatternCost() const
+{
+    DurationNs total = 0;
+    for (const auto &p : patterns)
+        total += p.cost;
+    return total;
+}
+
+DurationNs
+MiningResult::impactfulPatternCost(DurationNs t_slow) const
+{
+    DurationNs total = 0;
+    for (const auto &p : patterns) {
+        if (p.highImpact(t_slow))
+            total += p.cost;
+    }
+    return total;
+}
+
+namespace
+{
+
+/** Project a chain of AWG nodes to its Signature Set Tuple. */
+SignatureSetTuple
+tupleOfChain(const AggregatedWaitGraph &awg,
+             const std::vector<std::uint32_t> &chain)
+{
+    SignatureSetTuple tuple;
+    for (std::uint32_t id : chain) {
+        const auto &node = awg.node(id);
+        switch (node.key.status) {
+          case AwgStatus::Waiting:
+            tuple.waits.push_back(node.key.primary);
+            tuple.unwaits.push_back(node.key.secondary);
+            break;
+          case AwgStatus::Running:
+          case AwgStatus::Hardware:
+            // Hardware dummies join the running set (Section 4.1).
+            tuple.runnings.push_back(node.key.primary);
+            break;
+        }
+    }
+    tuple.normalize();
+    return tuple;
+}
+
+using MetaMap = std::unordered_map<SignatureSetTuple, MetaPatternStats,
+                                   SignatureSetTupleHash>;
+using ContrastSet =
+    std::unordered_set<SignatureSetTuple, SignatureSetTupleHash>;
+
+/** Depth-first enumeration of segments starting at one node. */
+void
+enumerateFrom(const AggregatedWaitGraph &awg, std::uint32_t node_id,
+              std::uint32_t max_length,
+              std::vector<std::uint32_t> &chain, MetaMap &metas)
+{
+    chain.push_back(node_id);
+    const auto &end = awg.node(node_id);
+    MetaPatternStats &stats = metas[tupleOfChain(awg, chain)];
+    stats.cost += end.cost;
+    stats.count += end.count;
+
+    if (chain.size() < max_length) {
+        for (std::uint32_t child : end.children)
+            enumerateFrom(awg, child, max_length, chain, metas);
+    }
+    chain.pop_back();
+}
+
+/** Deterministic ordering for ranked output. */
+bool
+rankBefore(const ContrastPattern &a, const ContrastPattern &b)
+{
+    if (a.impact() != b.impact())
+        return a.impact() > b.impact();
+    if (a.cost != b.cost)
+        return a.cost > b.cost;
+    if (a.count != b.count)
+        return a.count > b.count;
+    if (a.tuple.waits != b.tuple.waits)
+        return a.tuple.waits < b.tuple.waits;
+    if (a.tuple.unwaits != b.tuple.unwaits)
+        return a.tuple.unwaits < b.tuple.unwaits;
+    return a.tuple.runnings < b.tuple.runnings;
+}
+
+} // namespace
+
+ContrastMiner::ContrastMiner(const TraceCorpus &corpus,
+                             MiningOptions options)
+    : corpus_(corpus), options_(options)
+{
+    TL_ASSERT(options_.maxSegmentLength >= 1, "k must be at least 1");
+    if (options_.tFast <= 0 || options_.tSlow <= options_.tFast) {
+        TL_FATAL("mining thresholds must satisfy 0 < T_fast < T_slow "
+                 "(got ", options_.tFast, ", ", options_.tSlow, ")");
+    }
+}
+
+MetaMap
+ContrastMiner::enumerateMetaPatterns(const AggregatedWaitGraph &awg) const
+{
+    MetaMap metas;
+    std::vector<std::uint32_t> chain;
+    chain.reserve(options_.maxSegmentLength);
+    // Segments may start at any node, not only at roots.
+    for (std::uint32_t id = 0; id < awg.nodes().size(); ++id)
+        enumerateFrom(awg, id, options_.maxSegmentLength, chain, metas);
+    return metas;
+}
+
+MiningResult
+ContrastMiner::mine(const AggregatedWaitGraph &fast,
+                    const AggregatedWaitGraph &slow) const
+{
+    MiningResult result;
+
+    // Step 1: meta-pattern enumeration per class.
+    const MetaMap fast_metas = enumerateMetaPatterns(fast);
+    const MetaMap slow_metas = enumerateMetaPatterns(slow);
+    result.stats.fastMetaPatterns = fast_metas.size();
+    result.stats.slowMetaPatterns = slow_metas.size();
+
+    // Step 2: contrast meta-patterns.
+    ContrastSet contrasts;
+    const double threshold_ratio =
+        static_cast<double>(options_.tSlow) /
+        static_cast<double>(options_.tFast);
+    for (const auto &[tuple, slow_stats] : slow_metas) {
+        auto it = fast_metas.find(tuple);
+        if (it == fast_metas.end()) {
+            contrasts.insert(tuple);
+            ++result.stats.slowOnlyContrasts;
+            continue;
+        }
+        const MetaPatternStats &fast_stats = it->second;
+        if (slow_stats.count == 0)
+            continue;
+        const double slow_avg = static_cast<double>(slow_stats.cost) /
+                                static_cast<double>(slow_stats.count);
+        if (fast_stats.cost <= 0 || fast_stats.count == 0) {
+            // Zero-cost in the fast class: any slow cost is a contrast.
+            if (slow_avg > 0) {
+                contrasts.insert(tuple);
+                ++result.stats.ratioContrasts;
+            }
+            continue;
+        }
+        const double fast_avg = static_cast<double>(fast_stats.cost) /
+                                static_cast<double>(fast_stats.count);
+        if (slow_avg / fast_avg > threshold_ratio) {
+            contrasts.insert(tuple);
+            ++result.stats.ratioContrasts;
+        }
+    }
+
+    // Step 3: full-path contrast patterns over the slow AWG.
+    std::unordered_map<SignatureSetTuple, ContrastPattern,
+                       SignatureSetTupleHash>
+        merged;
+    std::vector<std::uint32_t> chain;
+
+    auto pathSelected = [&](const std::vector<std::uint32_t> &path) {
+        if (!options_.useMetaPatternGate)
+            return true;
+        // The path contains a contrast meta-pattern iff one of its own
+        // length-<=k sub-segments projects onto one (sub-segment tuples
+        // are exactly how meta-patterns arise in step 1).
+        std::vector<std::uint32_t> segment;
+        for (std::size_t start = 0; start < path.size(); ++start) {
+            segment.clear();
+            const std::size_t limit =
+                std::min<std::size_t>(path.size(),
+                                      start + options_.maxSegmentLength);
+            for (std::size_t i = start; i < limit; ++i) {
+                segment.push_back(path[i]);
+                if (contrasts.count(tupleOfChain(slow, segment)))
+                    return true;
+            }
+        }
+        return false;
+    };
+
+    auto walk = [&](auto &&self, std::uint32_t node_id) -> void {
+        chain.push_back(node_id);
+        const auto &node = slow.node(node_id);
+        if (node.children.empty()) {
+            ++result.stats.fullPaths;
+            if (pathSelected(chain)) {
+                ++result.stats.selectedPaths;
+                SignatureSetTuple tuple = tupleOfChain(slow, chain);
+                ContrastPattern &pattern = merged[tuple];
+                if (pattern.count == 0)
+                    pattern.tuple = std::move(tuple);
+                pattern.cost += node.cost;
+                pattern.count += node.count;
+                pattern.maxExec = std::max(pattern.maxExec,
+                                           node.maxCost);
+            }
+        } else {
+            for (std::uint32_t child : node.children)
+                self(self, child);
+        }
+        chain.pop_back();
+    };
+    for (std::uint32_t root : slow.roots())
+        walk(walk, root);
+
+    result.patterns.reserve(merged.size());
+    for (auto &[tuple, pattern] : merged)
+        result.patterns.push_back(std::move(pattern));
+    std::sort(result.patterns.begin(), result.patterns.end(),
+              rankBefore);
+    return result;
+}
+
+} // namespace tracelens

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Contrast pattern mining (paper Section 4.2.3).
+ *
+ * Given the Aggregated Wait Graphs of a fast and a slow instance class,
+ * the miner works in three steps:
+ *
+ *  1. Meta-pattern enumeration: all downward path segments of length
+ *     1..k in each AWG are projected to Signature Set Tuples; segments
+ *     sharing a tuple aggregate their P.C (end-node cost) and P.N
+ *     (end-node occurrence count).
+ *  2. Meta-pattern contrast discovery, by two criteria:
+ *      (a) a meta-pattern appears only in the slow class;
+ *      (b) a meta-pattern is common to both classes but its average
+ *          cost ratio exceeds the threshold ratio:
+ *          (Ps.C / Ps.N) / (Pf.C / Pf.N) > T_slow / T_fast.
+ *  3. Contrast-pattern discovery: each full root-to-leaf path of the
+ *     slow AWG whose tuple contains a contrast meta-pattern is selected
+ *     (checked via the path's own <=k sub-segments, which is how the
+ *     containment can arise from step 1); identical path patterns merge
+ *     their P.C / P.N, and results are ranked by impact P.C / P.N.
+ */
+
+#ifndef TRACELENS_MINING_MINER_H
+#define TRACELENS_MINING_MINER_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/awg/awg.h"
+#include "src/mining/signature.h"
+
+namespace tracelens
+{
+
+/** Mining parameters. */
+struct MiningOptions
+{
+    /** Maximum path-segment length k (the paper's evaluation uses 5). */
+    std::uint32_t maxSegmentLength = 5;
+    /** Fast-class threshold T_fast. */
+    DurationNs tFast = fromMs(300.0);
+    /** Slow-class threshold T_slow. */
+    DurationNs tSlow = fromMs(500.0);
+    /**
+     * When false, skip meta-pattern gating and emit every full slow-
+     * class path as a pattern (the ablation of the meta-pattern step).
+     */
+    bool useMetaPatternGate = true;
+};
+
+/** One discovered contrast pattern (a merged set of full slow paths). */
+struct ContrastPattern
+{
+    SignatureSetTuple tuple;
+    DurationNs cost = 0;     //!< P.C — aggregated execution cost.
+    std::uint64_t count = 0; //!< P.N — occurrence counter.
+    DurationNs maxExec = 0;  //!< Largest single execution observed.
+
+    /** Ranking key: average execution cost P.C / P.N. */
+    double impact() const;
+
+    /**
+     * The automated high-impact rule of RQ1: at least one execution
+     * exceeded T_slow.
+     */
+    bool highImpact(DurationNs t_slow) const { return maxExec > t_slow; }
+};
+
+/** Aggregated (C, N) of one meta-pattern in one class. */
+struct MetaPatternStats
+{
+    DurationNs cost = 0;
+    std::uint64_t count = 0;
+};
+
+/** Observability counters of one mine() run. */
+struct MiningStats
+{
+    std::size_t fastMetaPatterns = 0;
+    std::size_t slowMetaPatterns = 0;
+    std::size_t slowOnlyContrasts = 0;
+    std::size_t ratioContrasts = 0;
+    std::size_t fullPaths = 0;
+    std::size_t selectedPaths = 0;
+
+    std::string render() const;
+};
+
+/** The ranked output of causality analysis. */
+struct MiningResult
+{
+    /** Contrast patterns, highest impact first. */
+    std::vector<ContrastPattern> patterns;
+    MiningStats stats;
+
+    /** Sum of P.C over all patterns. */
+    DurationNs totalPatternCost() const;
+    /** Sum of P.C over patterns whose maxExec exceeds @p t_slow. */
+    DurationNs impactfulPatternCost(DurationNs t_slow) const;
+};
+
+/**
+ * Mines contrast patterns between a fast-class and a slow-class AWG.
+ */
+class ContrastMiner
+{
+  public:
+    ContrastMiner(const TraceCorpus &corpus, MiningOptions options = {});
+
+    /** Run the three mining steps. */
+    MiningResult mine(const AggregatedWaitGraph &fast,
+                      const AggregatedWaitGraph &slow) const;
+
+    /**
+     * Step 1 alone: enumerate and aggregate the meta-patterns of one
+     * AWG (exposed for tests and the ablation bench).
+     */
+    std::unordered_map<SignatureSetTuple, MetaPatternStats,
+                       SignatureSetTupleHash>
+    enumerateMetaPatterns(const AggregatedWaitGraph &awg) const;
+
+    const MiningOptions &options() const { return options_; }
+
+  private:
+    const TraceCorpus &corpus_;
+    MiningOptions options_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_MINING_MINER_H

@@ -1,0 +1,100 @@
+#include "src/mining/patternindex.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/wildcard.h"
+
+namespace tracelens
+{
+
+PatternIndex::PatternIndex(const SymbolTable &symbols)
+    : symbols_(symbols)
+{
+}
+
+void
+PatternIndex::add(std::string_view scenario, const MiningResult &result)
+{
+    const auto scenario_id =
+        static_cast<std::uint32_t>(scenarios_.size());
+    scenarios_.emplace_back(scenario);
+
+    for (std::size_t rank = 0; rank < result.patterns.size(); ++rank) {
+        const auto id = static_cast<std::uint32_t>(patterns_.size());
+        patterns_.push_back({scenario_id, rank, result.patterns[rank]});
+
+        std::unordered_set<FrameId> frames;
+        const SignatureSetTuple &tuple = result.patterns[rank].tuple;
+        for (const auto *set : {&tuple.waits, &tuple.unwaits,
+                                &tuple.runnings}) {
+            for (FrameId f : *set) {
+                if (f != kNoFrame)
+                    frames.insert(f);
+            }
+        }
+        for (FrameId f : frames)
+            byFrame_[f].push_back(id);
+    }
+}
+
+std::vector<PatternHit>
+PatternIndex::gather(const std::vector<std::uint32_t> &ids) const
+{
+    std::vector<PatternHit> hits;
+    hits.reserve(ids.size());
+    for (std::uint32_t id : ids) {
+        const Stored &stored = patterns_[id];
+        hits.push_back({scenarios_[stored.scenario], stored.rank,
+                        stored.pattern});
+    }
+    std::sort(hits.begin(), hits.end(),
+              [](const PatternHit &a, const PatternHit &b) {
+                  if (a.pattern.impact() != b.pattern.impact())
+                      return a.pattern.impact() > b.pattern.impact();
+                  if (a.scenario != b.scenario)
+                      return a.scenario < b.scenario;
+                  return a.rank < b.rank;
+              });
+    return hits;
+}
+
+std::vector<PatternHit>
+PatternIndex::bySignature(FrameId frame) const
+{
+    auto it = byFrame_.find(frame);
+    if (it == byFrame_.end())
+        return {};
+    return gather(it->second);
+}
+
+std::vector<PatternHit>
+PatternIndex::bySignatureName(std::string_view signature) const
+{
+    // The symbol table has no reverse name lookup beyond interning; a
+    // linear scan over indexed frames keeps the index read-only.
+    for (const auto &[frame, ids] : byFrame_) {
+        if (symbols_.frameName(frame) == signature)
+            return gather(ids);
+    }
+    return {};
+}
+
+std::vector<PatternHit>
+PatternIndex::byComponent(std::string_view component_glob) const
+{
+    std::vector<std::uint32_t> ids;
+    std::unordered_set<std::uint32_t> seen;
+    const std::string glob(component_glob);
+    for (const auto &[frame, frame_ids] : byFrame_) {
+        if (!wildcardMatch(glob, symbols_.componentName(frame)))
+            continue;
+        for (std::uint32_t id : frame_ids) {
+            if (seen.insert(id).second)
+                ids.push_back(id);
+        }
+    }
+    return gather(ids);
+}
+
+} // namespace tracelens

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Cross-scenario pattern index (paper Section 2.3, second analyst
+ * benefit).
+ *
+ * A discovered pattern "as a generalized representation is a clue for
+ * similar cases. The analyst may prioritize the search of the three
+ * driver signatures in other cases to facilitate future analysis."
+ * The PatternIndex supports exactly that workflow: register the mined
+ * patterns of many scenario analyses, then query by function signature
+ * or by component to find every scenario in which related behaviour
+ * was mined, ranked by impact.
+ */
+
+#ifndef TRACELENS_MINING_PATTERNINDEX_H
+#define TRACELENS_MINING_PATTERNINDEX_H
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mining/miner.h"
+#include "src/trace/symbols.h"
+
+namespace tracelens
+{
+
+/** One hit of an index query. */
+struct PatternHit
+{
+    std::string scenario;     //!< Scenario the pattern was mined in.
+    std::size_t rank = 0;     //!< Rank within that scenario (0-based).
+    ContrastPattern pattern;  //!< The pattern itself.
+};
+
+/** Index over the patterns of many scenario analyses. */
+class PatternIndex
+{
+  public:
+    explicit PatternIndex(const SymbolTable &symbols);
+
+    /** Register all patterns of one scenario's mining result. */
+    void add(std::string_view scenario, const MiningResult &result);
+
+    /**
+     * All patterns containing the signature @p frame (in any of the
+     * three sets), sorted by impact descending.
+     */
+    std::vector<PatternHit> bySignature(FrameId frame) const;
+
+    /** Lookup by signature name; empty when the frame is unknown. */
+    std::vector<PatternHit>
+    bySignatureName(std::string_view signature) const;
+
+    /**
+     * All patterns containing any signature of the given component
+     * (glob), sorted by impact descending.
+     */
+    std::vector<PatternHit>
+    byComponent(std::string_view component_glob) const;
+
+    std::size_t patternCount() const { return patterns_.size(); }
+    std::size_t scenarioCount() const { return scenarios_.size(); }
+
+  private:
+    struct Stored
+    {
+        std::uint32_t scenario; //!< Index into scenarios_.
+        std::size_t rank;
+        ContrastPattern pattern;
+    };
+
+    std::vector<PatternHit> gather(
+        const std::vector<std::uint32_t> &ids) const;
+
+    const SymbolTable &symbols_;
+    std::vector<std::string> scenarios_;
+    std::vector<Stored> patterns_;
+    std::unordered_map<FrameId, std::vector<std::uint32_t>> byFrame_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_MINING_PATTERNINDEX_H

@@ -1,0 +1,115 @@
+#include "src/mining/signature.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tracelens
+{
+
+namespace
+{
+
+void
+sortUnique(std::vector<FrameId> &v)
+{
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+bool
+isSubset(const std::vector<FrameId> &sub, const std::vector<FrameId> &sup)
+{
+    // Both sorted & unique.
+    return std::includes(sup.begin(), sup.end(), sub.begin(), sub.end());
+}
+
+void
+renderSet(std::ostringstream &oss, const SymbolTable &symbols,
+          const std::vector<FrameId> &set)
+{
+    oss << "{";
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        if (i)
+            oss << ", ";
+        oss << (set[i] == kNoFrame ? "<other>"
+                                   : symbols.frameName(set[i]));
+    }
+    oss << "}";
+}
+
+} // namespace
+
+void
+SignatureSetTuple::normalize()
+{
+    sortUnique(waits);
+    sortUnique(unwaits);
+    sortUnique(runnings);
+}
+
+bool
+SignatureSetTuple::contains(const SignatureSetTuple &other) const
+{
+    return isSubset(other.waits, waits) &&
+           isSubset(other.unwaits, unwaits) &&
+           isSubset(other.runnings, runnings);
+}
+
+std::size_t
+SignatureSetTuple::totalSignatures() const
+{
+    return waits.size() + unwaits.size() + runnings.size();
+}
+
+bool
+SignatureSetTuple::empty() const
+{
+    return waits.empty() && unwaits.empty() && runnings.empty();
+}
+
+std::string
+SignatureSetTuple::render(const SymbolTable &symbols) const
+{
+    std::ostringstream oss;
+    oss << "wait signatures    : ";
+    renderSet(oss, symbols, waits);
+    oss << "\nunwait signatures  : ";
+    renderSet(oss, symbols, unwaits);
+    oss << "\nrunning signatures : ";
+    renderSet(oss, symbols, runnings);
+    oss << "\n";
+    return oss.str();
+}
+
+std::string
+SignatureSetTuple::renderCompact(const SymbolTable &symbols) const
+{
+    std::ostringstream oss;
+    oss << "W";
+    renderSet(oss, symbols, waits);
+    oss << " U";
+    renderSet(oss, symbols, unwaits);
+    oss << " R";
+    renderSet(oss, symbols, runnings);
+    return oss.str();
+}
+
+std::size_t
+SignatureSetTupleHash::operator()(const SignatureSetTuple &tuple) const
+{
+    std::size_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](const std::vector<FrameId> &v, std::size_t salt) {
+        h ^= salt;
+        h *= 0x100000001b3ULL;
+        for (FrameId f : v) {
+            h ^= f;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(tuple.waits, 0x57);
+    mix(tuple.unwaits, 0x55);
+    mix(tuple.runnings, 0x52);
+    return h;
+}
+
+} // namespace tracelens

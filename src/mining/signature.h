@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Signature Set Tuples (paper Definitions 4-5).
+ *
+ * A Signature Set Tuple generalizes the cost-propagation interactions of
+ * a path segment into three signature sets:
+ *
+ *  - wait signatures: functions whose invocation suspended a thread,
+ *  - unwait signatures: functions that signalled suspended threads,
+ *  - running signatures: functions observed computing, plus the dummy
+ *    signatures of hardware services.
+ *
+ * Sets (rather than sequences) absorb ordering variation: two contention
+ * interleavings that differ only in which thread won a lock first map to
+ * the same pattern.
+ */
+
+#ifndef TRACELENS_MINING_SIGNATURE_H
+#define TRACELENS_MINING_SIGNATURE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/symbols.h"
+#include "src/util/types.h"
+
+namespace tracelens
+{
+
+/** The three signature sets of a pattern (each sorted and unique). */
+struct SignatureSetTuple
+{
+    std::vector<FrameId> waits;
+    std::vector<FrameId> unwaits;
+    std::vector<FrameId> runnings;
+
+    /** Sort each set and remove duplicates (canonical form). */
+    void normalize();
+
+    /** True iff every set of @p other is a subset of this tuple's. */
+    bool contains(const SignatureSetTuple &other) const;
+
+    /** Total number of signatures across the three sets. */
+    std::size_t totalSignatures() const;
+
+    bool empty() const;
+
+    /** Multi-line rendering like the paper's pattern listings. */
+    std::string render(const SymbolTable &symbols) const;
+
+    /** Compact one-line rendering. */
+    std::string renderCompact(const SymbolTable &symbols) const;
+
+    friend bool operator==(const SignatureSetTuple &,
+                           const SignatureSetTuple &) = default;
+};
+
+/** Hash functor over the canonical (normalized) form. */
+struct SignatureSetTupleHash
+{
+    std::size_t operator()(const SignatureSetTuple &tuple) const;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_MINING_SIGNATURE_H

@@ -1,0 +1,116 @@
+#include "src/simkernel/action.h"
+
+namespace tracelens
+{
+
+Action
+actPush(FrameId frame)
+{
+    Action a;
+    a.kind = Action::Kind::PushFrame;
+    a.frame = frame;
+    return a;
+}
+
+Action
+actPop()
+{
+    Action a;
+    a.kind = Action::Kind::PopFrame;
+    return a;
+}
+
+Action
+actCompute(DurationNs duration)
+{
+    Action a;
+    a.kind = Action::Kind::Compute;
+    a.duration = duration;
+    return a;
+}
+
+Action
+actAcquire(LockId lock)
+{
+    Action a;
+    a.kind = Action::Kind::Acquire;
+    a.index = lock;
+    return a;
+}
+
+Action
+actRelease(LockId lock)
+{
+    Action a;
+    a.kind = Action::Kind::Release;
+    a.index = lock;
+    return a;
+}
+
+Action
+actHardware(DeviceId device, DurationNs duration)
+{
+    Action a;
+    a.kind = Action::Kind::Hardware;
+    a.index = device;
+    a.duration = duration;
+    return a;
+}
+
+Action
+actSubmitJob(ChannelId channel, std::shared_ptr<const Script> job,
+             bool wait)
+{
+    Action a;
+    a.kind = Action::Kind::SubmitJob;
+    a.index = channel;
+    a.job = std::move(job);
+    a.wait = wait;
+    return a;
+}
+
+Action
+actReceiveJob(ChannelId channel)
+{
+    Action a;
+    a.kind = Action::Kind::ReceiveJob;
+    a.index = channel;
+    return a;
+}
+
+Action
+actSleep(DurationNs duration)
+{
+    Action a;
+    a.kind = Action::Kind::Sleep;
+    a.duration = duration;
+    return a;
+}
+
+Action
+actJump(std::uint32_t target)
+{
+    Action a;
+    a.kind = Action::Kind::Jump;
+    a.index = target;
+    return a;
+}
+
+Action
+actBeginInstance(std::uint32_t scenario)
+{
+    Action a;
+    a.kind = Action::Kind::BeginInstance;
+    a.index = scenario;
+    return a;
+}
+
+Action
+actEndInstance()
+{
+    Action a;
+    a.kind = Action::Kind::EndInstance;
+    return a;
+}
+
+} // namespace tracelens

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The thread-script action model of the kernel simulator.
+ *
+ * Workload generators compile each simulated thread's behaviour into a
+ * flat list of actions; all randomness (service times, fault decisions)
+ * is resolved at build time, so the simulator itself is deterministic.
+ *
+ * The action set models exactly the mechanisms the paper identifies as
+ * sources of cost propagation:
+ *
+ *  - PushFrame/PopFrame: callstack maintenance (driver call hierarchy —
+ *    a driver invoking a lower driver pushes its frames around the
+ *    inner actions, the analogue of IoCallDriver);
+ *  - Compute: CPU consumption (sampled into Running events);
+ *  - Acquire/Release: kernel lock contention (Wait/Unwait events);
+ *  - Hardware: synchronous hardware service (Wait + HardwareService);
+ *  - SubmitJob/ReceiveJob: system-service calls handed to worker/service
+ *    threads over job channels (the cross-thread dependencies through
+ *    which hard faults and service requests propagate);
+ *  - Sleep: silent idling used to stagger background activity;
+ *  - Jump: loop for long-lived service threads;
+ *  - BeginInstance/EndInstance: scenario-instance markers.
+ */
+
+#ifndef TRACELENS_SIMKERNEL_ACTION_H
+#define TRACELENS_SIMKERNEL_ACTION_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace tracelens
+{
+
+/** Identifier types for simulator resources. */
+using LockId = std::uint32_t;
+using DeviceId = std::uint32_t;
+using ChannelId = std::uint32_t;
+
+/** One step of a thread script. */
+struct Action
+{
+    enum class Kind : std::uint8_t
+    {
+        PushFrame,     //!< Push @c frame onto the callstack.
+        PopFrame,      //!< Pop the top frame.
+        Compute,       //!< Consume @c duration of CPU on a core.
+        Acquire,       //!< Acquire lock @c index (may block).
+        Release,       //!< Release lock @c index.
+        Hardware,      //!< Block on device @c index for @c duration.
+        SubmitJob,     //!< Submit @c job to channel @c index.
+        ReceiveJob,    //!< (Service threads) take a job from @c index.
+        Sleep,         //!< Idle for @c duration without a Wait event.
+        Jump,          //!< Set the program counter to @c index.
+        BeginInstance, //!< Open a scenario instance (@c index = id).
+        EndInstance,   //!< Close the innermost scenario instance.
+    };
+
+    Kind kind = Kind::Sleep;
+    FrameId frame = kNoFrame;  //!< PushFrame.
+    DurationNs duration = 0;   //!< Compute / Hardware / Sleep.
+    std::uint32_t index = 0;   //!< Lock / device / channel / jump target
+                               //!< / scenario id.
+    /** SubmitJob: the action list the service thread executes. */
+    std::shared_ptr<const std::vector<Action>> job;
+    /** SubmitJob: true = synchronous (block until completion). */
+    bool wait = false;
+};
+
+/** A full thread script. */
+using Script = std::vector<Action>;
+
+/** @name Action constructors
+ * Small helpers keeping workload code readable.
+ * @{
+ */
+Action actPush(FrameId frame);
+Action actPop();
+Action actCompute(DurationNs duration);
+Action actAcquire(LockId lock);
+Action actRelease(LockId lock);
+Action actHardware(DeviceId device, DurationNs duration);
+Action actSubmitJob(ChannelId channel, std::shared_ptr<const Script> job,
+                    bool wait);
+Action actReceiveJob(ChannelId channel);
+Action actSleep(DurationNs duration);
+Action actJump(std::uint32_t target);
+Action actBeginInstance(std::uint32_t scenario);
+Action actEndInstance();
+/** @} */
+
+} // namespace tracelens
+
+#endif // TRACELENS_SIMKERNEL_ACTION_H

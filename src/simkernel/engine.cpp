@@ -1,0 +1,41 @@
+#include "src/simkernel/engine.h"
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+void
+SimEngine::scheduleAt(TimeNs when, Callback fn)
+{
+    TL_ASSERT(when >= now_, "cannot schedule into the past (", when,
+              " < ", now_, ")");
+    queue_.push({when, nextSeq_++, std::move(fn)});
+}
+
+void
+SimEngine::scheduleAfter(DurationNs delay, Callback fn)
+{
+    TL_ASSERT(delay >= 0, "negative delay");
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+std::size_t
+SimEngine::run(TimeNs horizon)
+{
+    std::size_t dispatched = 0;
+    while (!queue_.empty()) {
+        if (queue_.top().when > horizon)
+            break;
+        // Move the callback out before popping; the callback may
+        // schedule further events.
+        Scheduled next = queue_.top();
+        queue_.pop();
+        now_ = next.when;
+        next.fn();
+        ++dispatched;
+    }
+    return dispatched;
+}
+
+} // namespace tracelens

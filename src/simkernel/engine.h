@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * A minimal deterministic event loop: callbacks are scheduled at
+ * absolute virtual times and dispatched in (time, insertion-sequence)
+ * order, so equal-time events run in the order they were scheduled and
+ * repeated runs are bit-identical.
+ */
+
+#ifndef TRACELENS_SIMKERNEL_ENGINE_H
+#define TRACELENS_SIMKERNEL_ENGINE_H
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "src/util/types.h"
+
+namespace tracelens
+{
+
+/** Deterministic discrete-event loop over virtual nanoseconds. */
+class SimEngine
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current virtual time. */
+    TimeNs now() const { return now_; }
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    void scheduleAt(TimeNs when, Callback fn);
+
+    /** Schedule @p fn @p delay nanoseconds from now. */
+    void scheduleAfter(DurationNs delay, Callback fn);
+
+    /**
+     * Dispatch events until the queue drains or virtual time would
+     * exceed @p horizon. Returns the number of events dispatched.
+     */
+    std::size_t run(TimeNs horizon = std::numeric_limits<TimeNs>::max());
+
+    /** Events still pending. */
+    std::size_t pending() const { return queue_.size(); }
+
+  private:
+    struct Scheduled
+    {
+        TimeNs when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Scheduled &a, const Scheduled &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    TimeNs now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_SIMKERNEL_ENGINE_H

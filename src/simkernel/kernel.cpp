@@ -1,0 +1,431 @@
+#include "src/simkernel/kernel.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+namespace
+{
+
+/** Device pseudo-thread ids live far above real thread ids. */
+constexpr ThreadId kPseudoTidBase = 1'000'000;
+
+} // namespace
+
+SimKernel::SimKernel(TraceCorpus &corpus, std::string stream_name,
+                     SimConfig config)
+    : corpus_(corpus), builder_(corpus, std::move(stream_name)),
+      config_(config), freeCores_(config.cores),
+      nextPseudoTid_(kPseudoTidBase)
+{
+    TL_ASSERT(config_.cores > 0, "need at least one core");
+    TL_ASSERT(config_.samplingPeriod > 0, "bad sampling period");
+}
+
+FrameId
+SimKernel::frame(std::string_view signature)
+{
+    return corpus_.symbols().internFrame(signature);
+}
+
+std::uint32_t
+SimKernel::scenario(std::string_view name)
+{
+    return corpus_.internScenario(name);
+}
+
+LockId
+SimKernel::createLock()
+{
+    TL_ASSERT(!ran_, "cannot create resources after run()");
+    locks_.emplace_back();
+    return static_cast<LockId>(locks_.size() - 1);
+}
+
+DeviceId
+SimKernel::createDevice(std::string_view service_signature,
+                        std::string_view dpc_signature)
+{
+    TL_ASSERT(!ran_, "cannot create resources after run()");
+    Device device;
+    const FrameId f = frame(service_signature);
+    device.stack = corpus_.symbols().internStack(
+        std::vector<FrameId>{f});
+    if (dpc_signature.empty()) {
+        device.dpcStack = device.stack;
+    } else {
+        const FrameId dpc = frame(dpc_signature);
+        device.dpcStack = corpus_.symbols().internStack(
+            std::vector<FrameId>{dpc});
+    }
+    device.pseudoTid = nextPseudoTid_++;
+    devices_.push_back(std::move(device));
+    return static_cast<DeviceId>(devices_.size() - 1);
+}
+
+ChannelId
+SimKernel::createChannel()
+{
+    TL_ASSERT(!ran_, "cannot create resources after run()");
+    channels_.emplace_back();
+    return static_cast<ChannelId>(channels_.size() - 1);
+}
+
+ThreadId
+SimKernel::spawnThread(Script script, TimeNs start)
+{
+    TL_ASSERT(!ran_, "cannot spawn threads after run()");
+    TL_ASSERT(start >= 0, "negative start time");
+    Thread t;
+    t.script = std::move(script);
+    threads_.push_back(std::move(t));
+    startTimes_.push_back(start);
+    return static_cast<ThreadId>(threads_.size() - 1);
+}
+
+SimKernel::Thread &
+SimKernel::thread(ThreadId tid)
+{
+    TL_ASSERT(tid < threads_.size(), "bad thread id ", tid);
+    return threads_[tid];
+}
+
+CallstackId
+SimKernel::currentStack(Thread &t)
+{
+    if (t.stackDirty) {
+        t.cachedStack = corpus_.symbols().internStack(t.stack);
+        t.stackDirty = false;
+    }
+    return t.cachedStack;
+}
+
+const Action *
+SimKernel::currentAction(Thread &t)
+{
+    while (!t.jobStack.empty()) {
+        JobRun &job = t.jobStack.back();
+        if (job.pc < job.actions->size())
+            return &(*job.actions)[job.pc];
+        // The finished job is completed by the caller (completeJob needs
+        // the thread id); signal via nullptr sentinel handled in step().
+        return nullptr;
+    }
+    if (t.pc < t.script.size())
+        return &t.script[t.pc];
+    return nullptr;
+}
+
+void
+SimKernel::advance(Thread &t)
+{
+    if (!t.jobStack.empty())
+        ++t.jobStack.back().pc;
+    else
+        ++t.pc;
+}
+
+void
+SimKernel::resume(ThreadId tid)
+{
+    engine_.scheduleAt(engine_.now(), [this, tid] { step(tid); });
+}
+
+void
+SimKernel::resumePastCurrent(ThreadId tid)
+{
+    engine_.scheduleAt(engine_.now(), [this, tid] {
+        advance(thread(tid));
+        step(tid);
+    });
+}
+
+void
+SimKernel::completeJob(ThreadId tid)
+{
+    Thread &t = thread(tid);
+    TL_ASSERT(!t.jobStack.empty(), "no job to complete");
+    const JobRun job = t.jobStack.back();
+
+    // Signal the requester from the service context *before* unwinding
+    // the job's frames, so the unwait carries the service signature.
+    if (job.requesterWaits && job.requester != kNoThread) {
+        builder_.unwait(tid, engine_.now(), job.requester,
+                        currentStack(t));
+        resumePastCurrent(job.requester);
+    }
+
+    TL_ASSERT(t.stack.size() >= job.stackDepth,
+              "job popped more frames than it pushed");
+    if (t.stack.size() != job.stackDepth) {
+        t.stack.resize(job.stackDepth);
+        t.stackDirty = true;
+    }
+    t.jobStack.pop_back();
+}
+
+void
+SimKernel::startJob(Thread &t, Job job)
+{
+    JobRun run;
+    run.actions = std::move(job.actions);
+    run.pc = 0;
+    run.stackDepth = t.stack.size();
+    run.requester = job.requester;
+    run.requesterWaits = job.requesterWaits;
+    t.jobStack.push_back(std::move(run));
+}
+
+void
+SimKernel::emitRunningSamples(ThreadId tid, Thread &t, TimeNs start,
+                              DurationNs duration)
+{
+    const DurationNs period = config_.samplingPeriod;
+    const DurationNs total = t.cpuAcc + duration;
+    const std::int64_t samples = total / period;
+    const CallstackId stack = currentStack(t);
+    TimeNs sample_end = start + (period - t.cpuAcc);
+    for (std::int64_t i = 0; i < samples; ++i) {
+        builder_.running(tid, std::max(start, sample_end - period),
+                         period, stack);
+        sample_end += period;
+    }
+    t.cpuAcc = total % period;
+}
+
+void
+SimKernel::startCompute(ThreadId tid, const Action &action)
+{
+    if (freeCores_ == 0) {
+        readyQueue_.push_back(tid);
+        return;
+    }
+    --freeCores_;
+    Thread &t = thread(tid);
+    emitRunningSamples(tid, t, engine_.now(), action.duration);
+    engine_.scheduleAfter(action.duration, [this, tid] {
+        ++freeCores_;
+        if (!readyQueue_.empty()) {
+            const ThreadId next = readyQueue_.front();
+            readyQueue_.pop_front();
+            const Action *pending = currentAction(thread(next));
+            TL_ASSERT(pending &&
+                          pending->kind == Action::Kind::Compute,
+                      "ready thread is not computing");
+            startCompute(next, *pending);
+        }
+        advance(thread(tid));
+        step(tid);
+    });
+}
+
+void
+SimKernel::startDeviceService(DeviceId device_id)
+{
+    Device &device = devices_[device_id];
+    if (device.busy || device.queue.empty())
+        return;
+    device.busy = true;
+    const auto [requester, duration] = device.queue.front();
+    device.queue.pop_front();
+    const TimeNs service_start = engine_.now();
+    engine_.scheduleAfter(duration, [this, device_id, requester,
+                                     duration, service_start] {
+        Device &dev = devices_[device_id];
+        builder_.hardware(dev.pseudoTid, service_start, duration,
+                          dev.stack);
+        builder_.unwait(dev.pseudoTid, engine_.now(), requester,
+                        dev.dpcStack);
+        resumePastCurrent(requester);
+        dev.busy = false;
+        startDeviceService(device_id);
+    });
+}
+
+void
+SimKernel::step(ThreadId tid)
+{
+    Thread &t = thread(tid);
+    if (t.done)
+        return;
+
+    while (true) {
+        // Finished jobs unwind before the next action is considered.
+        while (!t.jobStack.empty() &&
+               t.jobStack.back().pc >= t.jobStack.back().actions->size())
+            completeJob(tid);
+
+        const Action *action = currentAction(t);
+        if (!action) {
+            TL_ASSERT(t.instanceStack.empty(),
+                      "thread finished with an open scenario instance");
+            t.done = true;
+            ++completedThreads_;
+            return;
+        }
+
+        switch (action->kind) {
+          case Action::Kind::PushFrame:
+            t.stack.push_back(action->frame);
+            t.stackDirty = true;
+            advance(t);
+            break;
+
+          case Action::Kind::PopFrame:
+            TL_ASSERT(!t.stack.empty(), "PopFrame on empty stack");
+            t.stack.pop_back();
+            t.stackDirty = true;
+            advance(t);
+            break;
+
+          case Action::Kind::Compute:
+            startCompute(tid, *action);
+            return;
+
+          case Action::Kind::Acquire: {
+            TL_ASSERT(action->index < locks_.size(), "bad lock id");
+            Lock &lock = locks_[action->index];
+            if (lock.owner == kNoThread) {
+                lock.owner = tid;
+                advance(t);
+                break;
+            }
+            TL_ASSERT(lock.owner != tid, "recursive lock acquire");
+            builder_.wait(tid, engine_.now(), currentStack(t));
+            lock.waiters.push_back(tid);
+            return;
+          }
+
+          case Action::Kind::Release: {
+            TL_ASSERT(action->index < locks_.size(), "bad lock id");
+            Lock &lock = locks_[action->index];
+            TL_ASSERT(lock.owner == tid,
+                      "release by non-owner thread ", tid);
+            if (lock.waiters.empty()) {
+                lock.owner = kNoThread;
+            } else {
+                const ThreadId next = lock.waiters.front();
+                lock.waiters.pop_front();
+                lock.owner = next;
+                builder_.unwait(tid, engine_.now(), next,
+                                currentStack(t));
+                resumePastCurrent(next);
+            }
+            advance(t);
+            break;
+          }
+
+          case Action::Kind::Hardware: {
+            TL_ASSERT(action->index < devices_.size(), "bad device id");
+            builder_.wait(tid, engine_.now(), currentStack(t));
+            devices_[action->index].queue.emplace_back(
+                tid, action->duration);
+            startDeviceService(action->index);
+            return;
+          }
+
+          case Action::Kind::SubmitJob: {
+            TL_ASSERT(action->index < channels_.size(),
+                      "bad channel id");
+            TL_ASSERT(action->job, "SubmitJob without a job script");
+            Channel &channel = channels_[action->index];
+            Job job{action->job, tid, action->wait};
+            if (!channel.blockedServers.empty()) {
+                const ThreadId server = channel.blockedServers.front();
+                channel.blockedServers.pop_front();
+                builder_.unwait(tid, engine_.now(), server,
+                                currentStack(t));
+                Thread &st = thread(server);
+                advance(st); // past its blocked ReceiveJob
+                startJob(st, std::move(job));
+                resume(server);
+            } else {
+                channel.jobs.push_back(std::move(job));
+            }
+            if (action->wait) {
+                builder_.wait(tid, engine_.now(), currentStack(t));
+                return; // resumed by completeJob
+            }
+            advance(t);
+            break;
+          }
+
+          case Action::Kind::ReceiveJob: {
+            TL_ASSERT(action->index < channels_.size(),
+                      "bad channel id");
+            Channel &channel = channels_[action->index];
+            if (!channel.jobs.empty()) {
+                Job job = std::move(channel.jobs.front());
+                channel.jobs.pop_front();
+                advance(t);
+                startJob(t, std::move(job));
+                break;
+            }
+            builder_.wait(tid, engine_.now(), currentStack(t));
+            channel.blockedServers.push_back(tid);
+            return;
+          }
+
+          case Action::Kind::Sleep:
+            engine_.scheduleAfter(action->duration, [this, tid] {
+                advance(thread(tid));
+                step(tid);
+            });
+            return;
+
+          case Action::Kind::Jump:
+            if (!t.jobStack.empty()) {
+                TL_ASSERT(action->index <
+                              t.jobStack.back().actions->size(),
+                          "jump out of job range");
+                t.jobStack.back().pc = action->index;
+            } else {
+                TL_ASSERT(action->index <= t.script.size(),
+                          "jump out of range");
+                t.pc = action->index;
+            }
+            break;
+
+          case Action::Kind::BeginInstance:
+            t.instanceStack.emplace_back(action->index, engine_.now());
+            advance(t);
+            break;
+
+          case Action::Kind::EndInstance: {
+            TL_ASSERT(!t.instanceStack.empty(),
+                      "EndInstance without BeginInstance");
+            const auto [scenario_id, t0] = t.instanceStack.back();
+            t.instanceStack.pop_back();
+            builder_.instance(corpus_.scenarioName(scenario_id), tid,
+                              t0, engine_.now());
+            advance(t);
+            break;
+          }
+        }
+    }
+}
+
+std::uint32_t
+SimKernel::run()
+{
+    TL_ASSERT(!ran_, "run() called twice");
+    ran_ = true;
+
+    for (ThreadId tid = 0; tid < threads_.size(); ++tid) {
+        engine_.scheduleAt(startTimes_[tid],
+                           [this, tid] { step(tid); });
+    }
+
+    engine_.run(config_.horizon);
+    if (engine_.pending() > 0) {
+        warn("simulation hit the horizon with ", engine_.pending(),
+             " pending events");
+    }
+
+    return builder_.finish();
+}
+
+} // namespace tracelens

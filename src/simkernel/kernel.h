@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The kernel simulator: threads, cores, locks, devices, job channels,
+ * and the ETW-like tracer.
+ *
+ * SimKernel interprets thread scripts (see action.h) over a
+ * discrete-event engine and records the resulting behaviour as a trace
+ * stream in a TraceCorpus, using exactly the paper's event schema:
+ *
+ *  - Compute actions occupy one of a fixed number of cores and are
+ *    sampled into Running events every samplingPeriod of consumed CPU
+ *    (1 ms by default, like ETW's profiler);
+ *  - blocking on a held lock / a device / an empty job channel / a
+ *    synchronous job emits a Wait event with the thread's callstack;
+ *  - granting a lock, completing a job, or finishing a device request
+ *    emits an Unwait event from the signalling context;
+ *  - device service intervals are recorded as HardwareService events on
+ *    the device's pseudo-thread with the device's dummy signature.
+ *
+ * Everything is deterministic: FIFO lock and channel queues, FIFO
+ * single-server devices, and a (time, sequence)-ordered event loop.
+ */
+
+#ifndef TRACELENS_SIMKERNEL_KERNEL_H
+#define TRACELENS_SIMKERNEL_KERNEL_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/simkernel/action.h"
+#include "src/simkernel/engine.h"
+#include "src/trace/builder.h"
+#include "src/trace/stream.h"
+
+namespace tracelens
+{
+
+/** Simulator configuration. */
+struct SimConfig
+{
+    /** Number of CPU cores available to Compute actions. */
+    std::uint32_t cores = 4;
+    /** CPU consumed per Running sample (ETW uses 1 ms). */
+    DurationNs samplingPeriod = kMillisecond;
+    /** Hard stop for the virtual clock. */
+    TimeNs horizon = 120 * kSecond;
+};
+
+/**
+ * One simulated machine/tracing session. Each SimKernel owns one new
+ * stream in the corpus; run() interprets all spawned threads to
+ * completion (or the horizon) and finalizes the stream.
+ */
+class SimKernel
+{
+  public:
+    SimKernel(TraceCorpus &corpus, std::string stream_name,
+              SimConfig config = {});
+
+    /** Intern a function signature ("fs.sys!AcquireMDU"). */
+    FrameId frame(std::string_view signature);
+
+    /** Intern a scenario name, returning the id BeginInstance takes. */
+    std::uint32_t scenario(std::string_view name);
+
+    /** Create a FIFO mutex. */
+    LockId createLock();
+
+    /**
+     * Create a single-server FIFO device whose service intervals are
+     * recorded under @p service_signature (e.g. "DiskService").
+     *
+     * @param dpc_signature When non-empty, completion unwaits are
+     *        emitted from this frame (a completion-DPC context, like
+     *        NDIS receive indications) instead of the dummy service
+     *        stack; the hardware-service event keeps the dummy stack.
+     */
+    DeviceId createDevice(std::string_view service_signature,
+                          std::string_view dpc_signature = {});
+
+    /** Create a job channel. */
+    ChannelId createChannel();
+
+    /**
+     * Register a thread executing @p script, beginning at @p start.
+     * All threads must be spawned before run().
+     */
+    ThreadId spawnThread(Script script, TimeNs start = 0);
+
+    /**
+     * Interpret all threads to completion (or until the horizon) and
+     * finalize the stream. Must be called exactly once. Returns the
+     * stream index in the corpus.
+     */
+    std::uint32_t run();
+
+    /** Virtual time (valid during and after run()). */
+    TimeNs now() const { return engine_.now(); }
+
+    /** Threads that finished their scripts during run(). */
+    std::size_t completedThreads() const { return completedThreads_; }
+
+  private:
+    /** One running job on a service thread. */
+    struct JobRun
+    {
+        std::shared_ptr<const Script> actions;
+        std::size_t pc = 0;
+        std::size_t stackDepth = 0;   //!< Callstack depth at job entry.
+        ThreadId requester = kNoThread;
+        bool requesterWaits = false;
+    };
+
+    struct Thread
+    {
+        Script script;
+        std::size_t pc = 0;
+        std::vector<FrameId> stack;
+        std::vector<JobRun> jobStack;
+        DurationNs cpuAcc = 0;  //!< CPU since the last Running sample.
+        CallstackId cachedStack = kNoCallstack;
+        bool stackDirty = true;
+        bool done = false;
+        std::vector<std::pair<std::uint32_t, TimeNs>> instanceStack;
+    };
+
+    struct Lock
+    {
+        ThreadId owner = kNoThread;
+        std::deque<ThreadId> waiters;
+    };
+
+    struct Device
+    {
+        CallstackId stack = kNoCallstack;
+        CallstackId dpcStack = kNoCallstack; //!< Unwait context.
+        ThreadId pseudoTid = kNoThread;
+        bool busy = false;
+        std::deque<std::pair<ThreadId, DurationNs>> queue;
+    };
+
+    struct Job
+    {
+        std::shared_ptr<const Script> actions;
+        ThreadId requester = kNoThread;
+        bool requesterWaits = false;
+    };
+
+    struct Channel
+    {
+        std::deque<Job> jobs;
+        std::deque<ThreadId> blockedServers;
+    };
+
+    /** Interpret @p tid until it blocks, finishes, or yields a core. */
+    void step(ThreadId tid);
+
+    /** Schedule step(tid) at the current time. */
+    void resume(ThreadId tid);
+
+    /** Advance-then-step, used when a blocking action completes. */
+    void resumePastCurrent(ThreadId tid);
+
+    /** Current action of a thread (job-aware), or nullptr when done. */
+    const Action *currentAction(Thread &thread);
+
+    /** Advance the program counter at the active level. */
+    void advance(Thread &thread);
+
+    /** Finish the topmost job: unwait the requester, restore stack. */
+    void completeJob(ThreadId tid);
+
+    /** Begin executing a job on a (now unblocked) service thread. */
+    void startJob(Thread &thread, Job job);
+
+    /** Try to start the Compute action of @p tid; queues when no core. */
+    void startCompute(ThreadId tid, const Action &action);
+
+    /** Emit Running samples for @p duration of CPU starting at @p start. */
+    void emitRunningSamples(ThreadId tid, Thread &thread, TimeNs start,
+                            DurationNs duration);
+
+    /** Pump the device's FIFO queue. */
+    void startDeviceService(DeviceId device);
+
+    /** Interned callstack of a thread (cached). */
+    CallstackId currentStack(Thread &thread);
+
+    Thread &thread(ThreadId tid);
+
+    TraceCorpus &corpus_;
+    StreamBuilder builder_;
+    SimConfig config_;
+    SimEngine engine_;
+
+    std::vector<Thread> threads_;
+    std::vector<TimeNs> startTimes_;
+    std::vector<Lock> locks_;
+    std::vector<Device> devices_;
+    std::vector<Channel> channels_;
+
+    std::uint32_t freeCores_;
+    std::deque<ThreadId> readyQueue_; //!< Threads awaiting a core.
+    ThreadId nextPseudoTid_;          //!< Device pseudo-thread ids.
+    bool ran_ = false;
+    std::size_t completedThreads_ = 0;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_SIMKERNEL_KERNEL_H

@@ -1,0 +1,102 @@
+#include "src/trace/builder.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+StreamBuilder::StreamBuilder(TraceCorpus &corpus, std::string name)
+    : corpus_(corpus), streamIndex_(corpus.addStream(std::move(name)))
+{
+}
+
+CallstackId
+StreamBuilder::stack(std::initializer_list<std::string_view> frames)
+{
+    std::vector<FrameId> ids;
+    ids.reserve(frames.size());
+    for (auto f : frames)
+        ids.push_back(corpus_.symbols().internFrame(f));
+    return corpus_.symbols().internStack(ids);
+}
+
+CallstackId
+StreamBuilder::stack(const std::vector<std::string> &frames)
+{
+    std::vector<FrameId> ids;
+    ids.reserve(frames.size());
+    for (const auto &f : frames)
+        ids.push_back(corpus_.symbols().internFrame(f));
+    return corpus_.symbols().internStack(ids);
+}
+
+void
+StreamBuilder::running(ThreadId tid, TimeNs t, DurationNs cost,
+                       CallstackId stack_id)
+{
+    pending_.push_back({t, cost, tid, kNoThread, stack_id,
+                        EventType::Running});
+}
+
+void
+StreamBuilder::wait(ThreadId tid, TimeNs t, CallstackId stack_id)
+{
+    waitWithCost(tid, t, 0, stack_id);
+}
+
+void
+StreamBuilder::waitWithCost(ThreadId tid, TimeNs t, DurationNs cost,
+                            CallstackId stack_id)
+{
+    pending_.push_back({t, cost, tid, kNoThread, stack_id,
+                        EventType::Wait});
+}
+
+void
+StreamBuilder::unwait(ThreadId tid, TimeNs t, ThreadId wtid,
+                      CallstackId stack_id)
+{
+    pending_.push_back({t, 0, tid, wtid, stack_id, EventType::Unwait});
+}
+
+void
+StreamBuilder::hardware(ThreadId tid, TimeNs t, DurationNs cost,
+                        CallstackId stack_id)
+{
+    pending_.push_back({t, cost, tid, kNoThread, stack_id,
+                        EventType::HardwareService});
+}
+
+void
+StreamBuilder::instance(std::string_view scenario, ThreadId tid,
+                        TimeNs t0, TimeNs t1)
+{
+    ScenarioInstance inst;
+    inst.stream = streamIndex_;
+    inst.scenario = corpus_.internScenario(scenario);
+    inst.tid = tid;
+    inst.t0 = t0;
+    inst.t1 = t1;
+    pendingInstances_.push_back(inst);
+}
+
+std::uint32_t
+StreamBuilder::finish()
+{
+    TL_ASSERT(!finished_, "StreamBuilder::finish called twice");
+    finished_ = true;
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const Event &a, const Event &b) {
+                         return a.timestamp < b.timestamp;
+                     });
+    auto &stream = corpus_.stream(streamIndex_);
+    for (const auto &e : pending_)
+        stream.append(e);
+    for (const auto &inst : pendingInstances_)
+        corpus_.addInstance(inst);
+    return streamIndex_;
+}
+
+} // namespace tracelens

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Convenience builder for constructing trace streams by hand.
+ *
+ * Tests and examples assemble small streams with known shapes; the
+ * builder takes events in any order, interns stacks from string frame
+ * lists, and emits a time-sorted stream into the corpus on finish().
+ */
+
+#ifndef TRACELENS_TRACE_BUILDER_H
+#define TRACELENS_TRACE_BUILDER_H
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/trace/stream.h"
+
+namespace tracelens
+{
+
+/** Assembles one TraceStream inside a corpus. */
+class StreamBuilder
+{
+  public:
+    /** Begin building a new stream in @p corpus. */
+    StreamBuilder(TraceCorpus &corpus, std::string name = {});
+
+    /** Intern a callstack given frames bottom-to-top. */
+    CallstackId stack(std::initializer_list<std::string_view> frames);
+
+    /** Intern a callstack from a vector of frames, bottom-to-top. */
+    CallstackId stack(const std::vector<std::string> &frames);
+
+    /** Add a Running sample covering [t, t + cost). */
+    void running(ThreadId tid, TimeNs t, DurationNs cost,
+                 CallstackId stack_id);
+
+    /** Add a Wait event at @p t; duration restored at analysis time. */
+    void wait(ThreadId tid, TimeNs t, CallstackId stack_id);
+
+    /**
+     * Add a Wait event with an explicit recorded cost (tracers normally
+     * record 0; tests of the restoration logic use both forms).
+     */
+    void waitWithCost(ThreadId tid, TimeNs t, DurationNs cost,
+                      CallstackId stack_id);
+
+    /** Add an Unwait: @p tid signals @p wtid at @p t. */
+    void unwait(ThreadId tid, TimeNs t, ThreadId wtid,
+                CallstackId stack_id);
+
+    /** Add a HardwareService interval [t, t + cost) on @p tid. */
+    void hardware(ThreadId tid, TimeNs t, DurationNs cost,
+                  CallstackId stack_id);
+
+    /** Register a scenario instance over this stream. */
+    void instance(std::string_view scenario, ThreadId tid, TimeNs t0,
+                  TimeNs t1);
+
+    /**
+     * Sort buffered events by timestamp (stable) and append them to the
+     * stream. Returns the stream index. The builder must not be used
+     * afterwards.
+     */
+    std::uint32_t finish();
+
+  private:
+    TraceCorpus &corpus_;
+    std::uint32_t streamIndex_;
+    std::vector<Event> pending_;
+    std::vector<ScenarioInstance> pendingInstances_;
+    bool finished_ = false;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_TRACE_BUILDER_H

@@ -1,0 +1,247 @@
+#include "src/trace/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+namespace
+{
+
+std::string_view
+typeToken(EventType type)
+{
+    switch (type) {
+      case EventType::Running:
+        return "running";
+      case EventType::Wait:
+        return "wait";
+      case EventType::Unwait:
+        return "unwait";
+      case EventType::HardwareService:
+        return "hardware";
+    }
+    TL_PANIC("bad event type");
+}
+
+EventType
+tokenToType(std::string_view token, std::size_t line)
+{
+    if (token == "running")
+        return EventType::Running;
+    if (token == "wait")
+        return EventType::Wait;
+    if (token == "unwait")
+        return EventType::Unwait;
+    if (token == "hardware")
+        return EventType::HardwareService;
+    TL_FATAL("CSV line ", line, ": unknown event type '",
+             std::string(token), "'");
+}
+
+std::vector<std::string_view>
+splitCsvRow(std::string_view row)
+{
+    std::vector<std::string_view> cells;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t comma = row.find(',', start);
+        if (comma == std::string_view::npos) {
+            cells.push_back(row.substr(start));
+            break;
+        }
+        cells.push_back(row.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return cells;
+}
+
+template <typename T>
+T
+parseNumber(std::string_view cell, std::size_t line)
+{
+    T value{};
+    const auto [ptr, ec] =
+        std::from_chars(cell.data(), cell.data() + cell.size(), value);
+    if (ec != std::errc() || ptr != cell.data() + cell.size())
+        TL_FATAL("CSV line ", line, ": bad number '", std::string(cell),
+                 "'");
+    return value;
+}
+
+void
+writeStack(const SymbolTable &symbols, CallstackId stack,
+           std::ostream &out)
+{
+    if (stack == kNoCallstack)
+        return;
+    const auto frames = symbols.stackFrames(stack);
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        if (i)
+            out << ';';
+        out << symbols.frameName(frames[i]);
+    }
+}
+
+CallstackId
+parseStack(SymbolTable &symbols, std::string_view cell)
+{
+    if (cell.empty())
+        return kNoCallstack;
+    std::vector<FrameId> frames;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t semi = cell.find(';', start);
+        const std::string_view frame =
+            semi == std::string_view::npos
+                ? cell.substr(start)
+                : cell.substr(start, semi - start);
+        if (!frame.empty())
+            frames.push_back(symbols.internFrame(frame));
+        if (semi == std::string_view::npos)
+            break;
+        start = semi + 1;
+    }
+    return symbols.internStack(frames);
+}
+
+} // namespace
+
+void
+writeEventsCsv(const TraceCorpus &corpus, std::ostream &out)
+{
+    out << "stream,type,timestamp,cost,tid,wtid,stack\n";
+    for (std::uint32_t s = 0; s < corpus.streamCount(); ++s) {
+        for (const Event &e : corpus.stream(s).events()) {
+            out << s << ',' << typeToken(e.type) << ',' << e.timestamp
+                << ',' << e.cost << ',' << e.tid << ',';
+            if (e.type == EventType::Unwait)
+                out << e.wtid;
+            out << ',';
+            writeStack(corpus.symbols(), e.stack, out);
+            out << '\n';
+        }
+    }
+}
+
+void
+writeInstancesCsv(const TraceCorpus &corpus, std::ostream &out)
+{
+    out << "stream,scenario,tid,t0,t1\n";
+    for (const ScenarioInstance &inst : corpus.instances()) {
+        out << inst.stream << ','
+            << corpus.scenarioName(inst.scenario) << ',' << inst.tid
+            << ',' << inst.t0 << ',' << inst.t1 << '\n';
+    }
+}
+
+TraceCorpus
+readCorpusCsv(std::istream &events, std::istream &instances)
+{
+    TraceCorpus corpus;
+
+    std::string row;
+    std::size_t line = 0;
+
+    // Events.
+    std::getline(events, row); // header
+    ++line;
+    std::int64_t current_stream = -1;
+    while (std::getline(events, row)) {
+        ++line;
+        if (row.empty())
+            continue;
+        const auto cells = splitCsvRow(row);
+        if (cells.size() != 7)
+            TL_FATAL("CSV line ", line, ": expected 7 columns, got ",
+                     cells.size());
+        const auto stream_id =
+            parseNumber<std::uint32_t>(cells[0], line);
+        if (static_cast<std::int64_t>(stream_id) != current_stream) {
+            if (static_cast<std::int64_t>(stream_id) !=
+                current_stream + 1) {
+                TL_FATAL("CSV line ", line,
+                         ": streams must be grouped in order");
+            }
+            const std::uint32_t created = corpus.addStream(
+                "csv-stream-" + std::to_string(stream_id));
+            TL_ASSERT(created == stream_id, "stream id mismatch");
+            current_stream = stream_id;
+        }
+
+        Event e;
+        e.type = tokenToType(cells[1], line);
+        e.timestamp = parseNumber<TimeNs>(cells[2], line);
+        e.cost = parseNumber<DurationNs>(cells[3], line);
+        e.tid = parseNumber<ThreadId>(cells[4], line);
+        e.wtid = cells[5].empty()
+                     ? kNoThread
+                     : parseNumber<ThreadId>(cells[5], line);
+        e.stack = parseStack(corpus.symbols(), cells[6]);
+        corpus.stream(stream_id).append(e);
+    }
+
+    // Instances.
+    line = 0;
+    std::getline(instances, row); // header
+    ++line;
+    while (std::getline(instances, row)) {
+        ++line;
+        if (row.empty())
+            continue;
+        const auto cells = splitCsvRow(row);
+        if (cells.size() != 5)
+            TL_FATAL("instances CSV line ", line,
+                     ": expected 5 columns, got ", cells.size());
+        ScenarioInstance inst;
+        inst.stream = parseNumber<std::uint32_t>(cells[0], line);
+        if (inst.stream >= corpus.streamCount())
+            TL_FATAL("instances CSV line ", line,
+                     ": unknown stream ", inst.stream);
+        inst.scenario = corpus.internScenario(cells[1]);
+        inst.tid = parseNumber<ThreadId>(cells[2], line);
+        inst.t0 = parseNumber<TimeNs>(cells[3], line);
+        inst.t1 = parseNumber<TimeNs>(cells[4], line);
+        corpus.addInstance(inst);
+    }
+
+    return corpus;
+}
+
+void
+writeCorpusCsvFiles(const TraceCorpus &corpus,
+                    const std::string &events_path,
+                    const std::string &instances_path)
+{
+    std::ofstream events(events_path);
+    if (!events)
+        TL_FATAL("cannot open '", events_path, "' for writing");
+    writeEventsCsv(corpus, events);
+
+    std::ofstream instances(instances_path);
+    if (!instances)
+        TL_FATAL("cannot open '", instances_path, "' for writing");
+    writeInstancesCsv(corpus, instances);
+}
+
+TraceCorpus
+readCorpusCsvFiles(const std::string &events_path,
+                   const std::string &instances_path)
+{
+    std::ifstream events(events_path);
+    if (!events)
+        TL_FATAL("cannot open '", events_path, "'");
+    std::ifstream instances(instances_path);
+    if (!instances)
+        TL_FATAL("cannot open '", instances_path, "'");
+    return readCorpusCsv(events, instances);
+}
+
+} // namespace tracelens

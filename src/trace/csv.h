@@ -1,0 +1,60 @@
+/**
+ * @file
+ * CSV interchange format for trace corpora.
+ *
+ * The binary format (serialize.h) is compact but opaque; the CSV form
+ * lets users import traces produced by *other* tracing infrastructures
+ * (ETW/DTrace exports, custom tooling) and inspect corpora with
+ * standard tools.
+ *
+ * Events file (one row per event):
+ *   stream,type,timestamp,cost,tid,wtid,stack
+ * where type is one of running|wait|unwait|hardware, and stack is the
+ * ';'-joined frame list bottom-to-top (frames must not contain ';' or
+ * ',').
+ *
+ * Instances file (one row per scenario instance):
+ *   stream,scenario,tid,t0,t1
+ *
+ * Events must be grouped by stream and time-ordered within a stream,
+ * which is how trace exports naturally arrive. Stream tags (cohort
+ * metadata) are not part of the CSV form; use the binary format when
+ * tags must round-trip.
+ */
+
+#ifndef TRACELENS_TRACE_CSV_H
+#define TRACELENS_TRACE_CSV_H
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/stream.h"
+
+namespace tracelens
+{
+
+/** Write all events of @p corpus as CSV (with header row). */
+void writeEventsCsv(const TraceCorpus &corpus, std::ostream &out);
+
+/** Write all scenario instances of @p corpus as CSV (with header). */
+void writeInstancesCsv(const TraceCorpus &corpus, std::ostream &out);
+
+/**
+ * Read a corpus from the two CSV streams. Fatal on malformed rows
+ * (wrong column count, unknown event type, unparsable numbers, events
+ * out of order).
+ */
+TraceCorpus readCorpusCsv(std::istream &events, std::istream &instances);
+
+/** Convenience: write both files next to each other. */
+void writeCorpusCsvFiles(const TraceCorpus &corpus,
+                         const std::string &events_path,
+                         const std::string &instances_path);
+
+/** Convenience: read both files. */
+TraceCorpus readCorpusCsvFiles(const std::string &events_path,
+                               const std::string &instances_path);
+
+} // namespace tracelens
+
+#endif // TRACELENS_TRACE_CSV_H

@@ -1,0 +1,24 @@
+#include "src/trace/event.h"
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+std::string_view
+eventTypeName(EventType type)
+{
+    switch (type) {
+      case EventType::Running:
+        return "Running";
+      case EventType::Wait:
+        return "Wait";
+      case EventType::Unwait:
+        return "Unwait";
+      case EventType::HardwareService:
+        return "HardwareService";
+    }
+    TL_PANIC("bad event type ", static_cast<int>(type));
+}
+
+} // namespace tracelens

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The trace-stream event schema (paper Section 2.1).
+ *
+ * A trace stream is a time-ordered sequence of events of four types:
+ *
+ *  - Running: a CPU-usage sample over a constant interval (1 ms in ETW).
+ *  - Wait: a thread entered the waiting state on a blocking operation.
+ *  - Unwait: a running thread signalled a waiting thread to continue.
+ *  - HardwareService: a hardware operation with start time and duration.
+ *
+ * Each event carries the fields the paper names: callstack e.S, timestamp
+ * e.T, cost e.C, thread id e.TID, and (for unwait) the readied thread id
+ * e.WTID. Callstacks are interned ids into a per-corpus SymbolTable.
+ */
+
+#ifndef TRACELENS_TRACE_EVENT_H
+#define TRACELENS_TRACE_EVENT_H
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/util/types.h"
+
+namespace tracelens
+{
+
+/** The four trace-event types of the paper's trace-stream schema. */
+enum class EventType : std::uint8_t
+{
+    Running = 0,
+    Wait = 1,
+    Unwait = 2,
+    HardwareService = 3,
+};
+
+/** Human-readable name of an event type. */
+std::string_view eventTypeName(EventType type);
+
+/**
+ * One tracing event. Compact (32 bytes) because corpora hold millions.
+ *
+ * Cost semantics by type:
+ *  - Running: the sampling interval the sample accounts for.
+ *  - Wait: the wait duration; emitted as 0 by tracers and *restored*
+ *    from the paired unwait's timestamp during wait-graph construction,
+ *    exactly as the paper describes.
+ *  - Unwait: always 0 (an instantaneous signal).
+ *  - HardwareService: the hardware operation's service time.
+ */
+struct Event
+{
+    TimeNs timestamp = 0;       //!< e.T — start time.
+    DurationNs cost = 0;        //!< e.C — duration (see above).
+    ThreadId tid = kNoThread;   //!< e.TID — triggering thread.
+    ThreadId wtid = kNoThread;  //!< e.WTID — readied thread (Unwait only).
+    CallstackId stack = kNoCallstack; //!< e.S — interned callstack.
+    EventType type = EventType::Running;
+
+    /** End time of the interval this event accounts for. */
+    TimeNs end() const { return timestamp + cost; }
+};
+
+/**
+ * Stable identity of an event across the whole corpus: (stream index,
+ * event index within the stream). Used to de-duplicate wait events that
+ * appear in the wait graphs of multiple scenario instances when deriving
+ * the distinct-wait duration D_waitdist.
+ */
+struct EventRef
+{
+    std::uint32_t stream = 0;
+    std::uint32_t index = 0;
+
+    friend bool
+    operator==(const EventRef &a, const EventRef &b)
+    {
+        return a.stream == b.stream && a.index == b.index;
+    }
+
+    friend auto operator<=>(const EventRef &, const EventRef &) = default;
+};
+
+/** Hash functor for EventRef. */
+struct EventRefHash
+{
+    std::size_t
+    operator()(const EventRef &r) const
+    {
+        return (static_cast<std::size_t>(r.stream) << 32) ^ r.index;
+    }
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_TRACE_EVENT_H

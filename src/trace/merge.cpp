@@ -1,0 +1,65 @@
+#include "src/trace/merge.h"
+
+#include <vector>
+
+namespace tracelens
+{
+
+void
+appendCorpus(TraceCorpus &target, const TraceCorpus &part)
+{
+    const std::uint32_t stream_base =
+        static_cast<std::uint32_t>(target.streamCount());
+
+    // Re-intern frames and stacks; build translation tables.
+    const SymbolTable &src = part.symbols();
+    SymbolTable &dst = target.symbols();
+
+    std::vector<FrameId> frame_map(src.frameCount());
+    for (FrameId f = 0; f < src.frameCount(); ++f)
+        frame_map[f] = dst.internFrame(src.frameName(f));
+
+    std::vector<CallstackId> stack_map(src.stackCount());
+    std::vector<FrameId> scratch;
+    for (CallstackId s = 0; s < src.stackCount(); ++s) {
+        const auto frames = src.stackFrames(s);
+        scratch.clear();
+        scratch.reserve(frames.size());
+        for (FrameId f : frames)
+            scratch.push_back(frame_map[f]);
+        stack_map[s] = dst.internStack(scratch);
+    }
+
+    std::vector<std::uint32_t> scenario_map(part.scenarioCount());
+    for (std::uint32_t i = 0; i < part.scenarioCount(); ++i)
+        scenario_map[i] = target.internScenario(part.scenarioName(i));
+
+    for (std::uint32_t i = 0; i < part.streamCount(); ++i) {
+        const TraceStream &source = part.stream(i);
+        const std::uint32_t index = target.addStream(source.name);
+        TraceStream &stream = target.stream(index);
+        stream.tags = source.tags;
+        for (Event e : source.events()) {
+            if (e.stack != kNoCallstack)
+                e.stack = stack_map[e.stack];
+            stream.append(e);
+        }
+    }
+
+    for (ScenarioInstance inst : part.instances()) {
+        inst.stream += stream_base;
+        inst.scenario = scenario_map[inst.scenario];
+        target.addInstance(inst);
+    }
+}
+
+TraceCorpus
+mergeCorpora(std::span<const TraceCorpus> parts)
+{
+    TraceCorpus merged;
+    for (const TraceCorpus &part : parts)
+        appendCorpus(merged, part);
+    return merged;
+}
+
+} // namespace tracelens

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Corpus merging: combine per-machine (or per-site) trace corpora into
+ * one analysis corpus, re-interning symbols and remapping stream
+ * indices. This is how a fleet the size of the paper's (19,500
+ * streams collected machine by machine) is assembled from individual
+ * trace files.
+ */
+
+#ifndef TRACELENS_TRACE_MERGE_H
+#define TRACELENS_TRACE_MERGE_H
+
+#include <span>
+
+#include "src/trace/stream.h"
+
+namespace tracelens
+{
+
+/**
+ * Merge @p parts into one corpus. Streams keep their order (all of
+ * part 0's streams, then part 1's, ...); scenario instances are
+ * remapped to the new stream indices; frames, stacks, and scenario
+ * names are re-interned into the merged symbol table.
+ */
+TraceCorpus mergeCorpora(std::span<const TraceCorpus> parts);
+
+/** Append all of @p part into @p target (same remapping rules). */
+void appendCorpus(TraceCorpus &target, const TraceCorpus &part);
+
+} // namespace tracelens
+
+#endif // TRACELENS_TRACE_MERGE_H

@@ -1,0 +1,263 @@
+#include "src/trace/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+namespace
+{
+
+constexpr std::uint32_t kMagic = 0x31434c54; // "TLC1" little-endian
+constexpr std::uint32_t kVersion = 2;
+
+void
+putU32(std::ostream &out, std::uint32_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+putI64(std::ostream &out, std::int64_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+putString(std::ostream &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::uint32_t
+getU32(std::istream &in)
+{
+    std::uint32_t v = 0;
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!in)
+        TL_FATAL("truncated corpus file (u32)");
+    return v;
+}
+
+std::int64_t
+getI64(std::istream &in)
+{
+    std::int64_t v = 0;
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!in)
+        TL_FATAL("truncated corpus file (i64)");
+    return v;
+}
+
+std::string
+getString(std::istream &in)
+{
+    const std::uint32_t len = getU32(in);
+    std::string s(len, '\0');
+    in.read(s.data(), len);
+    if (!in)
+        TL_FATAL("truncated corpus file (string)");
+    return s;
+}
+
+} // namespace
+
+void
+writeCorpus(const TraceCorpus &corpus, std::ostream &out)
+{
+    putU32(out, kMagic);
+    putU32(out, kVersion);
+
+    const SymbolTable &sym = corpus.symbols();
+
+    putU32(out, static_cast<std::uint32_t>(sym.frameCount()));
+    for (FrameId f = 0; f < sym.frameCount(); ++f)
+        putString(out, sym.frameName(f));
+
+    putU32(out, static_cast<std::uint32_t>(sym.stackCount()));
+    for (CallstackId s = 0; s < sym.stackCount(); ++s) {
+        const auto frames = sym.stackFrames(s);
+        putU32(out, static_cast<std::uint32_t>(frames.size()));
+        for (FrameId f : frames)
+            putU32(out, f);
+    }
+
+    putU32(out, static_cast<std::uint32_t>(corpus.scenarioCount()));
+    for (std::uint32_t i = 0; i < corpus.scenarioCount(); ++i)
+        putString(out, corpus.scenarioName(i));
+
+    putU32(out, static_cast<std::uint32_t>(corpus.streamCount()));
+    for (std::uint32_t i = 0; i < corpus.streamCount(); ++i) {
+        const TraceStream &stream = corpus.stream(i);
+        putString(out, stream.name);
+        putU32(out, static_cast<std::uint32_t>(stream.tags.size()));
+        for (const auto &[key, value] : stream.tags) {
+            putString(out, key);
+            putString(out, value);
+        }
+        putU32(out, static_cast<std::uint32_t>(stream.size()));
+        for (const Event &e : stream.events()) {
+            putI64(out, e.timestamp);
+            putI64(out, e.cost);
+            putU32(out, e.tid);
+            putU32(out, e.wtid);
+            putU32(out, e.stack);
+            putU32(out, static_cast<std::uint32_t>(e.type));
+        }
+    }
+
+    putU32(out, static_cast<std::uint32_t>(corpus.instances().size()));
+    for (const ScenarioInstance &inst : corpus.instances()) {
+        putU32(out, inst.stream);
+        putU32(out, inst.scenario);
+        putU32(out, inst.tid);
+        putI64(out, inst.t0);
+        putI64(out, inst.t1);
+    }
+}
+
+void
+writeCorpusFile(const TraceCorpus &corpus, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        TL_FATAL("cannot open '", path, "' for writing");
+    writeCorpus(corpus, out);
+    if (!out)
+        TL_FATAL("write to '", path, "' failed");
+}
+
+TraceCorpus
+readCorpus(std::istream &in)
+{
+    if (getU32(in) != kMagic)
+        TL_FATAL("not a TraceLens corpus (bad magic)");
+    const std::uint32_t version = getU32(in);
+    if (version != kVersion)
+        TL_FATAL("unsupported corpus version ", version);
+
+    TraceCorpus corpus;
+    SymbolTable &sym = corpus.symbols();
+
+    const std::uint32_t frame_count = getU32(in);
+    for (std::uint32_t i = 0; i < frame_count; ++i) {
+        const FrameId f = sym.internFrame(getString(in));
+        if (f != i)
+            TL_FATAL("corpus contains duplicate frame entries");
+    }
+
+    const std::uint32_t stack_count = getU32(in);
+    for (std::uint32_t i = 0; i < stack_count; ++i) {
+        const std::uint32_t len = getU32(in);
+        std::vector<FrameId> frames(len);
+        for (auto &f : frames) {
+            f = getU32(in);
+            if (f >= frame_count)
+                TL_FATAL("corpus stack references unknown frame");
+        }
+        const CallstackId s = sym.internStack(frames);
+        if (s != i)
+            TL_FATAL("corpus contains duplicate stack entries");
+    }
+
+    const std::uint32_t scenario_count = getU32(in);
+    for (std::uint32_t i = 0; i < scenario_count; ++i) {
+        if (corpus.internScenario(getString(in)) != i)
+            TL_FATAL("corpus contains duplicate scenario names");
+    }
+
+    const std::uint32_t stream_count = getU32(in);
+    for (std::uint32_t i = 0; i < stream_count; ++i) {
+        const std::uint32_t index = corpus.addStream(getString(in));
+        TraceStream &stream = corpus.stream(index);
+        const std::uint32_t tag_count = getU32(in);
+        for (std::uint32_t t = 0; t < tag_count; ++t) {
+            std::string key = getString(in);
+            stream.tags.emplace(std::move(key), getString(in));
+        }
+        const std::uint32_t event_count = getU32(in);
+        for (std::uint32_t j = 0; j < event_count; ++j) {
+            Event e;
+            e.timestamp = getI64(in);
+            e.cost = getI64(in);
+            e.tid = getU32(in);
+            e.wtid = getU32(in);
+            e.stack = getU32(in);
+            const std::uint32_t type = getU32(in);
+            if (type > static_cast<std::uint32_t>(
+                           EventType::HardwareService)) {
+                TL_FATAL("corpus event has invalid type ", type);
+            }
+            e.type = static_cast<EventType>(type);
+            if (e.stack != kNoCallstack && e.stack >= stack_count)
+                TL_FATAL("corpus event references unknown stack");
+            stream.append(e);
+        }
+    }
+
+    const std::uint32_t instance_count = getU32(in);
+    for (std::uint32_t i = 0; i < instance_count; ++i) {
+        ScenarioInstance inst;
+        inst.stream = getU32(in);
+        inst.scenario = getU32(in);
+        inst.tid = getU32(in);
+        inst.t0 = getI64(in);
+        inst.t1 = getI64(in);
+        if (inst.scenario >= scenario_count)
+            TL_FATAL("corpus instance references unknown scenario");
+        corpus.addInstance(inst);
+    }
+
+    return corpus;
+}
+
+TraceCorpus
+readCorpusFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        TL_FATAL("cannot open '", path, "' for reading");
+    return readCorpus(in);
+}
+
+std::string
+dumpStream(const TraceCorpus &corpus, std::uint32_t stream,
+           std::size_t max_events)
+{
+    const TraceStream &ts = corpus.stream(stream);
+    const SymbolTable &sym = corpus.symbols();
+    std::ostringstream oss;
+    oss << "stream " << stream << " '" << ts.name << "' ("
+        << ts.size() << " events)\n";
+    std::size_t shown = 0;
+    for (const Event &e : ts.events()) {
+        if (shown++ >= max_events) {
+            oss << "  ... (" << ts.size() - max_events
+                << " more events)\n";
+            break;
+        }
+        oss << "  [" << std::setw(10) << e.timestamp << "ns] "
+            << eventTypeName(e.type) << " tid=" << e.tid;
+        if (e.type == EventType::Unwait)
+            oss << " wtid=" << e.wtid;
+        if (e.cost > 0)
+            oss << " cost=" << e.cost << "ns";
+        if (e.stack != kNoCallstack) {
+            const auto frames = sym.stackFrames(e.stack);
+            if (!frames.empty())
+                oss << " top=" << sym.frameName(frames.back());
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace tracelens

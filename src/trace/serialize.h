@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Binary serialization of trace corpora.
+ *
+ * The on-disk format plays the role ETW's .etl files play for the paper:
+ * corpora can be generated once, persisted, and re-analyzed. The format
+ * is a simple little-endian stream:
+ *
+ *   magic "TLC1", version u32,
+ *   frames   (count, then length-prefixed signature strings in id order),
+ *   stacks   (count, then length-prefixed FrameId arrays in id order),
+ *   scenarios(count, then length-prefixed names in id order),
+ *   streams  (count, then per stream: name, event count, packed events),
+ *   instances(count, then packed ScenarioInstance records).
+ *
+ * Ids are assigned first-seen densely, so writing in id order and
+ * re-interning in read order reproduces identical ids; round-trips are
+ * bit-exact (validated by tests).
+ */
+
+#ifndef TRACELENS_TRACE_SERIALIZE_H
+#define TRACELENS_TRACE_SERIALIZE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/stream.h"
+
+namespace tracelens
+{
+
+/** Serialize @p corpus to a binary ostream. */
+void writeCorpus(const TraceCorpus &corpus, std::ostream &out);
+
+/** Serialize @p corpus to the file at @p path (fatal on I/O failure). */
+void writeCorpusFile(const TraceCorpus &corpus, const std::string &path);
+
+/**
+ * Deserialize a corpus from a binary istream.
+ * Fatal on malformed input (bad magic, truncated data, invalid ids).
+ */
+TraceCorpus readCorpus(std::istream &in);
+
+/** Deserialize a corpus from a file (fatal on I/O failure). */
+TraceCorpus readCorpusFile(const std::string &path);
+
+/**
+ * Render a human-readable dump of one stream (timestamp-ordered event
+ * lines with resolved stacks), for debugging and the examples.
+ */
+std::string dumpStream(const TraceCorpus &corpus, std::uint32_t stream,
+                       std::size_t max_events = 200);
+
+} // namespace tracelens
+
+#endif // TRACELENS_TRACE_SERIALIZE_H

@@ -1,0 +1,112 @@
+#include "src/trace/stream.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+void
+TraceStream::append(const Event &event)
+{
+    if (!events_.empty()) {
+        TL_ASSERT(event.timestamp >= events_.back().timestamp,
+                  "events must be appended in time order");
+    }
+    events_.push_back(event);
+    endTime_ = std::max(endTime_, event.end());
+}
+
+const Event &
+TraceStream::event(std::uint32_t index) const
+{
+    TL_ASSERT(index < events_.size(), "bad event index ", index);
+    return events_[index];
+}
+
+std::string
+TraceStream::tag(const std::string &key, std::string fallback) const
+{
+    auto it = tags.find(key);
+    return it == tags.end() ? std::move(fallback) : it->second;
+}
+
+std::uint32_t
+TraceCorpus::addStream(std::string name)
+{
+    const auto index = static_cast<std::uint32_t>(streams_.size());
+    streams_.emplace_back();
+    streams_.back().name = std::move(name);
+    return index;
+}
+
+TraceStream &
+TraceCorpus::stream(std::uint32_t index)
+{
+    TL_ASSERT(index < streams_.size(), "bad stream index ", index);
+    return streams_[index];
+}
+
+const TraceStream &
+TraceCorpus::stream(std::uint32_t index) const
+{
+    TL_ASSERT(index < streams_.size(), "bad stream index ", index);
+    return streams_[index];
+}
+
+std::uint32_t
+TraceCorpus::internScenario(std::string_view name)
+{
+    return scenarios_.intern(name);
+}
+
+const std::string &
+TraceCorpus::scenarioName(std::uint32_t id) const
+{
+    return scenarios_.lookup(id);
+}
+
+std::uint32_t
+TraceCorpus::findScenario(std::string_view name) const
+{
+    return scenarios_.find(name);
+}
+
+void
+TraceCorpus::addInstance(const ScenarioInstance &instance)
+{
+    TL_ASSERT(instance.stream < streams_.size(),
+              "instance references unknown stream");
+    TL_ASSERT(instance.t1 >= instance.t0, "instance window inverted");
+    instances_.push_back(instance);
+}
+
+std::vector<std::uint32_t>
+TraceCorpus::instancesOfScenario(std::uint32_t scenario) const
+{
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t i = 0; i < instances_.size(); ++i) {
+        if (instances_[i].scenario == scenario)
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::size_t
+TraceCorpus::totalEvents() const
+{
+    std::size_t n = 0;
+    for (const auto &s : streams_)
+        n += s.size();
+    return n;
+}
+
+const Event &
+TraceCorpus::event(const EventRef &ref) const
+{
+    return stream(ref.stream).event(ref.index);
+}
+
+} // namespace tracelens

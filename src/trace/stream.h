@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Trace streams, scenario instances, and the corpus container.
+ *
+ * A TraceStream is the recording of one tracing session on one machine: a
+ * time-ordered event sequence. A ScenarioInstance marks the execution of
+ * one application scenario (e.g. BrowserTabCreate) inside a stream: the
+ * initiating thread and the [t0, t1] window (paper Section 2.1). The
+ * TraceCorpus owns the shared symbol table, all streams, and all
+ * instances — the unit the impact and causality analyses consume.
+ */
+
+#ifndef TRACELENS_TRACE_STREAM_H
+#define TRACELENS_TRACE_STREAM_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/trace/event.h"
+#include "src/trace/symbols.h"
+#include "src/util/types.h"
+
+namespace tracelens
+{
+
+/** One tracing session: a time-ordered event sequence plus metadata. */
+class TraceStream
+{
+  public:
+    /** Append an event; timestamps must be non-decreasing. */
+    void append(const Event &event);
+
+    const std::vector<Event> &events() const { return events_; }
+    const Event &event(std::uint32_t index) const;
+    std::size_t size() const { return events_.size(); }
+
+    /** Timestamp of the last event interval's end (0 when empty). */
+    TimeNs endTime() const { return endTime_; }
+
+    /** Optional stream label (machine / session name). */
+    std::string name;
+
+    /**
+     * Free-form stream metadata ("encrypted" = "1", "disk" = "hdd",
+     * ...), recorded by the tracer/generator and used for cohort
+     * analysis. Ordered so serialization is deterministic.
+     */
+    std::map<std::string, std::string> tags;
+
+    /** Tag lookup with a default for untagged streams. */
+    std::string tag(const std::string &key,
+                    std::string fallback = "unknown") const;
+
+  private:
+    std::vector<Event> events_;
+    TimeNs endTime_ = 0;
+};
+
+/**
+ * The execution of one scenario within one stream: the tuple
+ * (TS, S, TID, t0, t1) of the paper.
+ */
+struct ScenarioInstance
+{
+    std::uint32_t stream = 0;   //!< Index of the enclosing stream.
+    std::uint32_t scenario = 0; //!< Interned scenario-name id.
+    ThreadId tid = kNoThread;   //!< Initiating thread.
+    TimeNs t0 = 0;              //!< Start of the instance window.
+    TimeNs t1 = 0;              //!< End of the instance window.
+
+    DurationNs duration() const { return t1 - t0; }
+};
+
+/**
+ * A collection of trace streams and scenario instances sharing one
+ * symbol table — the input to all analyses.
+ */
+class TraceCorpus
+{
+  public:
+    SymbolTable &symbols() { return symbols_; }
+    const SymbolTable &symbols() const { return symbols_; }
+
+    /** Add an empty stream and return its index. */
+    std::uint32_t addStream(std::string name = {});
+
+    TraceStream &stream(std::uint32_t index);
+    const TraceStream &stream(std::uint32_t index) const;
+    std::size_t streamCount() const { return streams_.size(); }
+
+    /** Intern a scenario name (e.g. "BrowserTabCreate"). */
+    std::uint32_t internScenario(std::string_view name);
+
+    /** Name of an interned scenario id. */
+    const std::string &scenarioName(std::uint32_t id) const;
+
+    /** Scenario id if known, else UINT32_MAX. */
+    std::uint32_t findScenario(std::string_view name) const;
+
+    std::size_t scenarioCount() const { return scenarios_.size(); }
+
+    /** Register a scenario instance. */
+    void addInstance(const ScenarioInstance &instance);
+
+    const std::vector<ScenarioInstance> &instances() const
+    {
+        return instances_;
+    }
+
+    /** Indices of instances belonging to the given scenario id. */
+    std::vector<std::uint32_t>
+    instancesOfScenario(std::uint32_t scenario) const;
+
+    /** Total number of events across all streams. */
+    std::size_t totalEvents() const;
+
+    /** Look up an event by corpus-wide reference. */
+    const Event &event(const EventRef &ref) const;
+
+  private:
+    SymbolTable symbols_;
+    StringInterner scenarios_;
+    std::vector<TraceStream> streams_;
+    std::vector<ScenarioInstance> instances_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_TRACE_STREAM_H

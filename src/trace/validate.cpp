@@ -1,0 +1,78 @@
+#include "src/trace/validate.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace tracelens
+{
+
+bool
+ValidationReport::clean() const
+{
+    return unpairedWaits == 0 && strayUnwaits == 0 &&
+           stacklessEvents == 0 && overrunInstances == 0 &&
+           selfUnwaits == 0;
+}
+
+std::string
+ValidationReport::render() const
+{
+    std::ostringstream oss;
+    oss << "streams=" << streams << " events=" << events
+        << " instances=" << instances
+        << " unpairedWaits=" << unpairedWaits
+        << " strayUnwaits=" << strayUnwaits
+        << " stacklessEvents=" << stacklessEvents
+        << " overrunInstances=" << overrunInstances
+        << " selfUnwaits=" << selfUnwaits;
+    return oss.str();
+}
+
+ValidationReport
+validateCorpus(const TraceCorpus &corpus)
+{
+    ValidationReport report;
+    report.streams = corpus.streamCount();
+    report.instances = corpus.instances().size();
+
+    for (std::uint32_t s = 0; s < corpus.streamCount(); ++s) {
+        const TraceStream &stream = corpus.stream(s);
+        report.events += stream.size();
+
+        // Per-thread count of outstanding waits, scanned in time order.
+        std::unordered_map<ThreadId, std::size_t> waiting;
+        for (const Event &e : stream.events()) {
+            if (e.stack == kNoCallstack)
+                ++report.stacklessEvents;
+            switch (e.type) {
+              case EventType::Wait:
+                ++waiting[e.tid];
+                break;
+              case EventType::Unwait:
+                if (e.wtid == e.tid) {
+                    ++report.selfUnwaits;
+                } else if (auto it = waiting.find(e.wtid);
+                           it != waiting.end() && it->second > 0) {
+                    --it->second;
+                } else {
+                    ++report.strayUnwaits;
+                }
+                break;
+              default:
+                break;
+            }
+        }
+        for (const auto &[tid, count] : waiting)
+            report.unpairedWaits += count;
+    }
+
+    for (const ScenarioInstance &inst : corpus.instances()) {
+        const TraceStream &stream = corpus.stream(inst.stream);
+        if (inst.t1 > stream.endTime())
+            ++report.overrunInstances;
+    }
+
+    return report;
+}
+
+} // namespace tracelens

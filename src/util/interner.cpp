@@ -1,0 +1,43 @@
+#include "src/util/interner.h"
+
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+std::uint32_t
+StringInterner::intern(std::string_view s)
+{
+    auto it = index_.find(s);
+    if (it != index_.end())
+        return it->second;
+
+    TL_ASSERT(strings_.size() < std::numeric_limits<std::uint32_t>::max(),
+              "interner exhausted");
+    const auto id = static_cast<std::uint32_t>(strings_.size());
+    // Deque elements never move, so a view into the stored string stays
+    // valid for the interner's lifetime (including SSO buffers).
+    strings_.emplace_back(s);
+    index_.emplace(std::string_view(strings_.back()), id);
+    return id;
+}
+
+const std::string &
+StringInterner::lookup(std::uint32_t id) const
+{
+    TL_ASSERT(id < strings_.size(), "bad interner id ", id);
+    return strings_[id];
+}
+
+std::uint32_t
+StringInterner::find(std::string_view s) const
+{
+    auto it = index_.find(s);
+    if (it == index_.end())
+        return std::numeric_limits<std::uint32_t>::max();
+    return it->second;
+}
+
+} // namespace tracelens

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * String interning.
+ *
+ * Trace streams contain millions of events whose callstack frames repeat
+ * heavily; analyses compare frames by identity constantly. The interner
+ * maps each distinct string to a dense 32-bit id so frames and stacks can
+ * be compared, hashed, and stored cheaply.
+ */
+
+#ifndef TRACELENS_UTIL_INTERNER_H
+#define TRACELENS_UTIL_INTERNER_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace tracelens
+{
+
+/**
+ * Maps strings to dense uint32 ids and back. Ids are assigned in first-
+ * seen order starting from 0, which keeps serialized traces deterministic.
+ */
+class StringInterner
+{
+  public:
+    /** Intern @p s, returning its id (existing or newly assigned). */
+    std::uint32_t intern(std::string_view s);
+
+    /** Look up an id previously returned by intern(). */
+    const std::string &lookup(std::uint32_t id) const;
+
+    /**
+     * Return the id for @p s if it is already interned, or UINT32_MAX.
+     * Never allocates a new id.
+     */
+    std::uint32_t find(std::string_view s) const;
+
+    /** Number of distinct interned strings. */
+    std::size_t size() const { return strings_.size(); }
+
+  private:
+    std::deque<std::string> strings_;
+    std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_UTIL_INTERNER_H

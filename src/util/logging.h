@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Status-message and error helpers in the gem5 idiom.
+ *
+ * panic()  — an internal invariant was violated; aborts (library bug).
+ * fatal()  — the user supplied an unusable configuration; exits cleanly.
+ * warn()   — something is off but execution can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef TRACELENS_UTIL_LOGGING_H
+#define TRACELENS_UTIL_LOGGING_H
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tracelens
+{
+
+namespace detail
+{
+
+/** Concatenate a mixed argument pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Abort with a message; used for conditions that indicate a TraceLens bug
+ * regardless of user input.
+ */
+#define TL_PANIC(...) \
+    ::tracelens::detail::panicImpl(__FILE__, __LINE__, \
+                                   ::tracelens::detail::concat(__VA_ARGS__))
+
+/**
+ * Exit with an error message; used for conditions caused by bad user
+ * configuration or inputs.
+ */
+#define TL_FATAL(...) \
+    ::tracelens::detail::fatalImpl(__FILE__, __LINE__, \
+                                   ::tracelens::detail::concat(__VA_ARGS__))
+
+/** Panic when a library invariant fails. */
+#define TL_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            TL_PANIC("assertion failed: ", #cond, " ", \
+                     ::tracelens::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Emit a non-fatal warning. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit a status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace tracelens
+
+#endif // TRACELENS_UTIL_LOGGING_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * The simulator must be exactly reproducible from a seed, so we avoid
+ * std::default_random_engine (implementation-defined) and implement
+ * xoshiro256** seeded through SplitMix64, plus the handful of
+ * distributions the workload generator needs. Distribution sampling is
+ * implemented here (not via <random> distributions) because libstdc++'s
+ * distribution algorithms are also not pinned by the standard.
+ */
+
+#ifndef TRACELENS_UTIL_RNG_H
+#define TRACELENS_UTIL_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace tracelens
+{
+
+/**
+ * xoshiro256** PRNG with SplitMix64 seeding.
+ *
+ * Satisfies UniformRandomBitGenerator so it can interoperate with
+ * standard algorithms when exact reproducibility does not matter.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed; any value (including 0) is valid. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit value. */
+    result_type operator()();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /** Exponential with the given mean (mean > 0). */
+    double exponential(double mean);
+
+    /**
+     * Log-normal parameterized by the median and a dispersion factor
+     * sigma (the log-space standard deviation). Heavy-tailed service
+     * times in the simulator use this shape.
+     */
+    double logNormal(double median, double sigma);
+
+    /** Standard normal via Box-Muller (deterministic, no cached spare). */
+    double gaussian();
+
+    /** Bounded Pareto with shape alpha, support [lo, hi). */
+    double boundedPareto(double alpha, double lo, double hi);
+
+    /**
+     * Pick an index in [0, weights.size()) with probability proportional
+     * to weights[i]. Weights must be non-negative with a positive sum.
+     */
+    std::size_t pickWeighted(const std::vector<double> &weights);
+
+    /** Derive an independent child generator (stable given call order). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_UTIL_RNG_H

@@ -1,0 +1,160 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+void
+Accumulator::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+Accumulator::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+Accumulator::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+double
+Accumulator::mean() const
+{
+    return count_ ? mean_ : 0.0;
+}
+
+double
+Accumulator::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+SampleSet::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+double
+SampleSet::sum() const
+{
+    double s = 0.0;
+    for (double x : samples_)
+        s += x;
+    return s;
+}
+
+double
+SampleSet::mean() const
+{
+    return samples_.empty() ? 0.0
+                            : sum() / static_cast<double>(samples_.size());
+}
+
+double
+SampleSet::quantile(double q) const
+{
+    if (samples_.empty())
+        return 0.0;
+    TL_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range");
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const auto n = samples_.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank > 0)
+        --rank;
+    return samples_[std::min(rank, n - 1)];
+}
+
+LogHistogram::LogHistogram(double base, std::size_t num_buckets)
+    : base_(base), counts_(num_buckets, 0)
+{
+    TL_ASSERT(base > 0.0 && num_buckets > 0, "bad histogram shape");
+}
+
+void
+LogHistogram::add(double x)
+{
+    std::size_t bucket = 0;
+    if (x >= base_) {
+        bucket = static_cast<std::size_t>(std::floor(std::log2(x / base_)));
+        bucket = std::min(bucket, counts_.size() - 1);
+    }
+    ++counts_[bucket];
+    ++total_;
+}
+
+std::uint64_t
+LogHistogram::bucketValue(std::size_t i) const
+{
+    TL_ASSERT(i < counts_.size(), "bad bucket");
+    return counts_[i];
+}
+
+std::string
+LogHistogram::render() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        const double lo = base_ * std::pow(2.0, static_cast<double>(i));
+        oss << "[" << lo << ", " << lo * 2 << "): " << counts_[i] << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace tracelens

@@ -1,0 +1,84 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    TL_ASSERT(!headers_.empty(), "table needs headers");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    TL_ASSERT(cells.size() == headers_.size(),
+              "row width ", cells.size(), " != header width ",
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream oss;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << (c == 0 ? "| " : " | ")
+                << std::left << std::setw(static_cast<int>(widths[c]))
+                << row[c];
+        }
+        oss << " |\n";
+    };
+
+    emitRow(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        oss << (c == 0 ? "|" : "-|") << std::string(widths[c] + 2, '-');
+    }
+    oss << "-|\n";
+    for (const auto &row : rows_)
+        emitRow(row);
+    return oss.str();
+}
+
+std::string
+TextTable::pct(double fraction, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << fraction * 100.0
+        << "%";
+    return oss.str();
+}
+
+std::string
+TextTable::num(double value, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << value;
+    return oss.str();
+}
+
+std::string
+TextTable::ms(double milliseconds, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << milliseconds
+        << "ms";
+    return oss.str();
+}
+
+} // namespace tracelens

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * ASCII table renderer for bench/report output.
+ *
+ * Benches print rows shaped like the paper's tables; this helper keeps
+ * column alignment and formatting consistent across all of them.
+ */
+
+#ifndef TRACELENS_UTIL_TABLE_H
+#define TRACELENS_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace tracelens
+{
+
+/** Column-aligned ASCII table with a header row and separator. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table, each row newline-terminated. */
+    std::string render() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Format helpers used by the benches. */
+    static std::string pct(double fraction, int decimals = 1);
+    static std::string num(double value, int decimals = 1);
+    static std::string ms(double milliseconds, int decimals = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_UTIL_TABLE_H

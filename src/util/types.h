@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fundamental scalar types shared across TraceLens.
+ *
+ * All simulation and trace timestamps are expressed in nanoseconds of
+ * virtual time as 64-bit signed integers. Durations use the same unit.
+ * Identifier types are strong-ish aliases (plain integers, but with
+ * distinct names) so signatures document intent.
+ */
+
+#ifndef TRACELENS_UTIL_TYPES_H
+#define TRACELENS_UTIL_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace tracelens
+{
+
+/** Virtual time in nanoseconds. */
+using TimeNs = std::int64_t;
+
+/** A duration in nanoseconds. */
+using DurationNs = std::int64_t;
+
+/** Thread identifier within a trace stream. */
+using ThreadId = std::uint32_t;
+
+/** Process identifier within a trace stream. */
+using ProcessId = std::uint32_t;
+
+/** Interned callstack-frame (function signature) identifier. */
+using FrameId = std::uint32_t;
+
+/** Interned callstack identifier. */
+using CallstackId = std::uint32_t;
+
+/** Sentinel for "no thread". */
+inline constexpr ThreadId kNoThread = std::numeric_limits<ThreadId>::max();
+
+/** Sentinel for "no frame". */
+inline constexpr FrameId kNoFrame = std::numeric_limits<FrameId>::max();
+
+/** Sentinel for "no callstack". */
+inline constexpr CallstackId kNoCallstack =
+    std::numeric_limits<CallstackId>::max();
+
+/** Sentinel for "unknown time". */
+inline constexpr TimeNs kNoTime = std::numeric_limits<TimeNs>::min();
+
+/** One microsecond in nanoseconds. */
+inline constexpr DurationNs kMicrosecond = 1000;
+
+/** One millisecond in nanoseconds. */
+inline constexpr DurationNs kMillisecond = 1000 * kMicrosecond;
+
+/** One second in nanoseconds. */
+inline constexpr DurationNs kSecond = 1000 * kMillisecond;
+
+/** Convert nanoseconds to fractional milliseconds. */
+constexpr double
+toMs(DurationNs ns)
+{
+    return static_cast<double>(ns) / static_cast<double>(kMillisecond);
+}
+
+/** Convert fractional milliseconds to nanoseconds. */
+constexpr DurationNs
+fromMs(double ms)
+{
+    return static_cast<DurationNs>(ms * static_cast<double>(kMillisecond));
+}
+
+} // namespace tracelens
+
+#endif // TRACELENS_UTIL_TYPES_H

@@ -1,0 +1,73 @@
+#include "src/util/wildcard.h"
+
+#include <cctype>
+
+namespace tracelens
+{
+
+namespace
+{
+
+char
+lower(char c)
+{
+    return static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+}
+
+} // namespace
+
+bool
+wildcardMatch(std::string_view pattern, std::string_view text)
+{
+    // Iterative glob match with single backtrack point (classic
+    // two-pointer algorithm, linear in |pattern| + |text| for one '*'
+    // backtrack level, which is all globs like "*.sys" need).
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string_view::npos, mark = 0;
+
+    while (t < text.size()) {
+        // The star branch must win over a literal comparison: text may
+        // itself contain '*', which must not consume the wildcard.
+        if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = t;
+        } else if (p < pattern.size() &&
+                   (pattern[p] == '?' ||
+                    lower(pattern[p]) == lower(text[t]))) {
+            ++p;
+            ++t;
+        } else if (star != std::string_view::npos) {
+            p = star + 1;
+            t = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+NameFilter::NameFilter(std::vector<std::string> patterns)
+    : patterns_(std::move(patterns))
+{
+}
+
+void
+NameFilter::add(std::string pattern)
+{
+    patterns_.push_back(std::move(pattern));
+}
+
+bool
+NameFilter::matches(std::string_view name) const
+{
+    for (const auto &p : patterns_) {
+        if (wildcardMatch(p, name))
+            return true;
+    }
+    return false;
+}
+
+} // namespace tracelens

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Glob-style wildcard matching for component filters.
+ *
+ * The impact and causality analyses select components by name patterns
+ * such as "*.sys" (all device drivers) or "fv.sys" (one driver). Only
+ * '*' (any run, possibly empty) and '?' (any single character) are
+ * supported; matching is case-insensitive, mirroring Windows module
+ * naming conventions.
+ */
+
+#ifndef TRACELENS_UTIL_WILDCARD_H
+#define TRACELENS_UTIL_WILDCARD_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tracelens
+{
+
+/** True iff @p text matches glob @p pattern (case-insensitive). */
+bool wildcardMatch(std::string_view pattern, std::string_view text);
+
+/**
+ * A compiled set of wildcard patterns, matching if any member matches.
+ */
+class NameFilter
+{
+  public:
+    NameFilter() = default;
+
+    /** Construct from a list of glob patterns. */
+    explicit NameFilter(std::vector<std::string> patterns);
+
+    /** Add another pattern. */
+    void add(std::string pattern);
+
+    /** True iff any pattern matches @p name. */
+    bool matches(std::string_view name) const;
+
+    bool empty() const { return patterns_.empty(); }
+    const std::vector<std::string> &patterns() const { return patterns_; }
+
+  private:
+    std::vector<std::string> patterns_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_UTIL_WILDCARD_H

@@ -1,0 +1,336 @@
+#include "src/waitgraph/waitgraph.h"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <deque>
+#include <thread>
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+const WaitGraph::Node &
+WaitGraph::node(std::uint32_t index) const
+{
+    TL_ASSERT(index < nodes_.size(), "bad node index ", index);
+    return nodes_[index];
+}
+
+DurationNs
+WaitGraph::topLevelDuration() const
+{
+    DurationNs total = 0;
+    for (std::uint32_t root : roots_)
+        total += nodes_[root].event.cost;
+    return total;
+}
+
+std::string
+WaitGraph::renderText(const SymbolTable &symbols,
+                      const NameFilter &components,
+                      std::size_t max_nodes) const
+{
+    std::ostringstream oss;
+    std::size_t emitted = 0;
+
+    struct Frame
+    {
+        std::uint32_t node;
+        std::size_t depth;
+    };
+    std::vector<Frame> stack;
+    for (auto it = roots_.rbegin(); it != roots_.rend(); ++it)
+        stack.push_back({*it, 0});
+
+    while (!stack.empty()) {
+        const auto [id, depth] = stack.back();
+        stack.pop_back();
+        if (emitted++ >= max_nodes) {
+            oss << "...\n";
+            break;
+        }
+        const Node &n = nodes_[id];
+        oss << std::string(depth * 2, ' ')
+            << eventTypeName(n.event.type) << " tid=" << n.event.tid
+            << " cost=" << toMs(n.event.cost) << "ms";
+        if (n.event.stack != kNoCallstack) {
+            const FrameId sig =
+                symbols.topMatchingFrame(n.event.stack, components);
+            const auto frames = symbols.stackFrames(n.event.stack);
+            if (sig != kNoFrame)
+                oss << " sig=" << symbols.frameName(sig);
+            else if (!frames.empty())
+                oss << " top=" << symbols.frameName(frames.back());
+        }
+        if (n.truncated)
+            oss << " [truncated]";
+        oss << "\n";
+        for (auto it = n.children.rbegin(); it != n.children.rend();
+             ++it)
+            stack.push_back({*it, depth + 1});
+    }
+    return oss.str();
+}
+
+WaitGraphBuilder::WaitGraphBuilder(const TraceCorpus &corpus,
+                                   WaitGraphOptions options)
+    : corpus_(corpus), options_(options)
+{
+}
+
+const WaitGraphBuilder::StreamIndex &
+WaitGraphBuilder::streamIndex(std::uint32_t stream_id) const
+{
+    auto it = cache_.find(stream_id);
+    if (it != cache_.end())
+        return it->second;
+
+    const TraceStream &stream = corpus_.stream(stream_id);
+    StreamIndex sindex;
+    sindex.pairedUnwait.assign(stream.size(), kInvalidIndex);
+    sindex.effectiveEnd.assign(stream.size(), 0);
+
+    // FIFO pairing: the oldest outstanding wait of a thread is ended by
+    // the next unwait targeting that thread.
+    std::unordered_map<ThreadId, std::deque<std::uint32_t>> outstanding;
+    const auto &events = stream.events();
+    for (std::uint32_t i = 0; i < events.size(); ++i) {
+        const Event &e = events[i];
+        if (e.type == EventType::Wait) {
+            outstanding[e.tid].push_back(i);
+        } else if (e.type == EventType::Unwait && e.wtid != e.tid) {
+            auto oit = outstanding.find(e.wtid);
+            if (oit != outstanding.end() && !oit->second.empty()) {
+                sindex.pairedUnwait[oit->second.front()] = i;
+                oit->second.pop_front();
+            }
+        }
+    }
+
+    // Effective end times (waits restored from their pairing) and the
+    // per-thread indices with prefix maxima for overlap scans.
+    for (std::uint32_t i = 0; i < events.size(); ++i) {
+        const Event &e = events[i];
+        if (e.type == EventType::Wait) {
+            const std::uint32_t u = sindex.pairedUnwait[i];
+            sindex.effectiveEnd[i] =
+                u == kInvalidIndex ? stream.endTime()
+                                   : stream.event(u).timestamp;
+        } else {
+            sindex.effectiveEnd[i] = e.end();
+        }
+        ThreadIndex &tindex = sindex.threads[e.tid];
+        const TimeNs prev_max = tindex.prefixMaxEnd.empty()
+                                    ? std::numeric_limits<TimeNs>::min()
+                                    : tindex.prefixMaxEnd.back();
+        tindex.events.push_back(i);
+        tindex.prefixMaxEnd.push_back(
+            std::max(prev_max, sindex.effectiveEnd[i]));
+    }
+
+    return cache_.emplace(stream_id, std::move(sindex)).first->second;
+}
+
+std::uint32_t
+WaitGraphBuilder::expand(WaitGraph &graph, const StreamIndex &sindex,
+                         std::uint32_t stream_id,
+                         const TraceStream &stream, std::uint32_t index,
+                         std::uint32_t depth, TimeNs win_lo,
+                         TimeNs win_hi,
+                         std::vector<char> &visited) const
+{
+    if (graph.nodes_.size() >= options_.maxNodes)
+        return kInvalidIndex;
+    if (visited[index])
+        return kInvalidIndex; // first-reaching window owns the event
+    visited[index] = 1;
+
+    const Event &source = stream.event(index);
+    const auto node_id = static_cast<std::uint32_t>(graph.nodes_.size());
+    graph.nodes_.emplace_back();
+    {
+        WaitGraph::Node &node = graph.nodes_.back();
+        node.event = source;
+        node.ref = {stream_id, index};
+    }
+
+    // The portion of this event attributed through the ancestor
+    // window (the whole event when clipping is ablated away).
+    const TimeNs eff_end = sindex.effectiveEnd[index];
+    const TimeNs clip_lo = options_.clipToWindows
+                               ? std::max(source.timestamp, win_lo)
+                               : source.timestamp;
+    const TimeNs clip_hi =
+        options_.clipToWindows ? std::min(eff_end, win_hi) : eff_end;
+    const DurationNs clipped =
+        std::max<DurationNs>(0, clip_hi - clip_lo);
+
+    if (source.type != EventType::Wait) {
+        graph.nodes_[node_id].event.cost = clipped;
+        return node_id;
+    }
+
+    graph.nodes_[node_id].event.cost = clipped;
+
+    const std::uint32_t unwait_index = sindex.pairedUnwait[index];
+    if (unwait_index == kInvalidIndex) {
+        // Truncated trace: the wait was restored to the stream's end
+        // (already folded into effectiveEnd); leave it childless.
+        graph.nodes_[node_id].truncated = true;
+        return node_id;
+    }
+
+    const Event &unwait = stream.event(unwait_index);
+    graph.nodes_[node_id].unwaitStack = unwait.stack;
+
+    if (depth >= options_.maxDepth) {
+        graph.nodes_[node_id].truncated = true;
+        return node_id;
+    }
+
+    // Children: the readying thread's events whose intervals overlap
+    // the *clipped* wait window [clip_lo, clip_hi] — including waits
+    // that began earlier but resolved inside it (lock-queue chains).
+    // Unwait events carry no cost and are folded into their wait node,
+    // so they are not materialized as children.
+    if (clip_hi <= clip_lo)
+        return node_id;
+    auto te = sindex.threads.find(unwait.tid);
+    TL_ASSERT(te != sindex.threads.end(),
+              "readying thread has no events");
+    const ThreadIndex &tindex = te->second;
+    const auto &thread_events = tindex.events;
+
+    const auto begin = std::lower_bound(
+        thread_events.begin(), thread_events.end(), clip_lo,
+        [&](std::uint32_t ei, TimeNs t) {
+            return stream.event(ei).timestamp < t;
+        });
+    const auto lb = static_cast<std::size_t>(
+        begin - thread_events.begin());
+
+    // Backward: events starting before the window whose effective end
+    // reaches into it. The prefix maximum bounds the scan. Skipped
+    // entirely under containment-only semantics (ablation).
+    std::vector<std::uint32_t> child_events;
+    if (!options_.containmentOnly) {
+        for (std::size_t i = lb; i-- > 0;) {
+            if (tindex.prefixMaxEnd[i] < clip_lo)
+                break;
+            if (sindex.effectiveEnd[thread_events[i]] > clip_lo)
+                child_events.push_back(thread_events[i]);
+        }
+        std::reverse(child_events.begin(), child_events.end());
+    }
+
+    // Forward: events starting inside the window.
+    for (std::size_t i = lb; i < thread_events.size(); ++i) {
+        if (stream.event(thread_events[i]).timestamp > clip_hi)
+            break;
+        child_events.push_back(thread_events[i]);
+    }
+
+    for (std::uint32_t child_index : child_events) {
+        if (stream.event(child_index).type == EventType::Unwait)
+            continue;
+        if (visited[child_index])
+            continue;
+        const std::uint32_t child_id =
+            expand(graph, sindex, stream_id, stream, child_index,
+                   depth + 1, clip_lo, clip_hi, visited);
+        if (child_id == kInvalidIndex) {
+            graph.nodes_[node_id].truncated = true;
+            continue;
+        }
+        graph.nodes_[node_id].children.push_back(child_id);
+    }
+
+    return node_id;
+}
+
+WaitGraph
+WaitGraphBuilder::build(const ScenarioInstance &instance) const
+{
+    const StreamIndex &sindex = streamIndex(instance.stream);
+    const TraceStream &stream = corpus_.stream(instance.stream);
+
+    WaitGraph graph;
+    graph.instance_ = instance;
+
+    auto te = sindex.threads.find(instance.tid);
+    if (te == sindex.threads.end())
+        return graph; // initiating thread recorded no events
+
+    std::vector<char> visited(stream.size(), 0);
+    const auto &thread_events = te->second.events;
+    const auto begin = std::lower_bound(
+        thread_events.begin(), thread_events.end(), instance.t0,
+        [&](std::uint32_t ei, TimeNs t) {
+            return stream.event(ei).timestamp < t;
+        });
+    for (auto it = begin; it != thread_events.end(); ++it) {
+        if (stream.event(*it).timestamp >= instance.t1)
+            break;
+        if (stream.event(*it).type == EventType::Unwait)
+            continue; // signals carry no cost of their own
+        if (visited[*it])
+            continue;
+        const std::uint32_t root = expand(
+            graph, sindex, instance.stream, stream, *it, 0,
+            std::numeric_limits<TimeNs>::min(),
+            std::numeric_limits<TimeNs>::max(), visited);
+        if (root != kInvalidIndex)
+            graph.roots_.push_back(root);
+    }
+    return graph;
+}
+
+std::vector<WaitGraph>
+WaitGraphBuilder::buildAll() const
+{
+    std::vector<WaitGraph> graphs;
+    graphs.reserve(corpus_.instances().size());
+    for (const ScenarioInstance &instance : corpus_.instances())
+        graphs.push_back(build(instance));
+    return graphs;
+}
+
+std::vector<WaitGraph>
+WaitGraphBuilder::buildAllParallel(unsigned threads) const
+{
+    const auto &instances = corpus_.instances();
+    if (threads <= 1 || instances.size() < 2)
+        return buildAll();
+
+    // Warm the per-stream indices serially: the cache is not safe for
+    // concurrent insertion, but concurrent reads of a complete cache
+    // are.
+    for (const ScenarioInstance &instance : instances)
+        streamIndex(instance.stream);
+
+    std::vector<WaitGraph> graphs(instances.size());
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= instances.size())
+                return;
+            graphs[i] = build(instances[i]);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    const unsigned spawned = std::min<unsigned>(
+        threads, static_cast<unsigned>(instances.size()));
+    pool.reserve(spawned);
+    for (unsigned t = 0; t < spawned; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return graphs;
+}
+
+} // namespace tracelens

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Wait Graphs (paper Definition 1, Section 3.1).
+ *
+ * A Wait Graph models one scenario instance. Nodes are tracing events;
+ * a directed edge e_i -> e_j exists when e_i is a wait event and e_j was
+ * triggered by another thread during e_i's wait interval — specifically
+ * by the thread that eventually unwaited e_i (the "readying" thread),
+ * following the StackMine construction the paper builds on.
+ *
+ * Construction:
+ *  1. pair each wait event with its corresponding unwait event (FIFO per
+ *     waiting thread, scanning the stream in time order),
+ *  2. restore each wait's duration from the paired unwait's timestamp,
+ *  3. roots are the initiating thread's events starting inside
+ *     [t0, t1); each wait node's children are the readying thread's
+ *     events whose intervals *overlap* the wait interval, expanded
+ *     recursively. Overlap (not containment) matters: in a lock queue
+ *     the readying thread's own wait began before the parent's wait
+ *     did, yet its full duration is what propagated.
+ *
+ * Definition 1 makes V a *set* of events, so each event materializes
+ * at most once per graph: the first wait window (in expansion order)
+ * that reaches an event owns it, and later windows skip it. This keeps
+ * a graph's total cost commensurate with the instance's duration even
+ * when many windows overlap.
+ *
+ * Cost attribution is window-clipped: a node's cost is the portion of
+ * its interval that overlaps the (transitively intersected) ancestor
+ * wait windows — only that portion propagated to the instance. Root
+ * nodes carry their full durations. Without clipping, a lock-queue
+ * tail (a short parent wait whose readying thread had been waiting for
+ * seconds) would attribute seconds of unrelated history to a
+ * milliseconds-long wait and aggregate costs would exceed instance
+ * durations.
+ */
+
+#ifndef TRACELENS_WAITGRAPH_WAITGRAPH_H
+#define TRACELENS_WAITGRAPH_WAITGRAPH_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/stream.h"
+
+namespace tracelens
+{
+
+/** Sentinel node/event index. */
+inline constexpr std::uint32_t kInvalidIndex = UINT32_MAX;
+
+/**
+ * One scenario instance's wait graph. A forest: roots are the initiating
+ * thread's top-level events; only wait nodes have children.
+ */
+class WaitGraph
+{
+  public:
+    /** A node wrapping one tracing event. */
+    struct Node
+    {
+        /**
+         * The source event. For wait nodes, cost holds the *restored*
+         * duration (unwait timestamp minus wait timestamp).
+         */
+        Event event;
+        /** Corpus-wide identity of the source event. */
+        EventRef ref;
+        /** Children (only wait nodes have any), as node indices. */
+        std::vector<std::uint32_t> children;
+        /**
+         * For a paired wait node: the callstack of the unwait event
+         * that ended the wait (the signalling context). kNoCallstack
+         * for unpaired waits and all non-wait nodes. The unwait event
+         * itself is folded into the wait node rather than duplicated
+         * as a child (Definition 1's node set is a *set* of events;
+         * unwaits carry no cost of their own).
+         */
+        CallstackId unwaitStack = kNoCallstack;
+        /** Depth of recursion truncation: true if children were cut. */
+        bool truncated = false;
+
+        /** True when the wait was ended by a recorded unwait. */
+        bool paired() const { return unwaitStack != kNoCallstack; }
+    };
+
+    const std::vector<Node> &nodes() const { return nodes_; }
+    const std::vector<std::uint32_t> &roots() const { return roots_; }
+    const Node &node(std::uint32_t index) const;
+    const ScenarioInstance &instance() const { return instance_; }
+
+    /** Sum of root-event costs: the instance's top-level time period. */
+    DurationNs topLevelDuration() const;
+
+    bool empty() const { return nodes_.empty(); }
+    std::size_t size() const { return nodes_.size(); }
+
+    /**
+     * Render the forest as an indented text tree: event type, thread,
+     * cost, and the topmost component signature (or topmost frame when
+     * no component matches).
+     */
+    std::string renderText(const SymbolTable &symbols,
+                           const NameFilter &components,
+                           std::size_t max_nodes = 200) const;
+
+  private:
+    friend class WaitGraphBuilder;
+
+    std::vector<Node> nodes_;
+    std::vector<std::uint32_t> roots_;
+    ScenarioInstance instance_;
+};
+
+/** Construction limits and semantics knobs. */
+struct WaitGraphOptions
+{
+    /** Maximum wait-nesting depth expanded. */
+    std::uint32_t maxDepth = 64;
+    /** Maximum nodes per graph. */
+    std::uint32_t maxNodes = 1u << 20;
+    /**
+     * When true, only events *starting* inside a wait window become
+     * children (the literal reading of Definition 1). Default false:
+     * events whose intervals overlap the window are included, which is
+     * what keeps lock-queue chains connected (DESIGN.md decision 2).
+     * Exposed for the ablation bench.
+     */
+    bool containmentOnly = false;
+    /**
+     * When true (default), node costs are clipped to the intersected
+     * ancestor windows (DESIGN.md decision 3). When false, nodes carry
+     * their full restored durations — the ablation shows aggregate
+     * costs then exceed instance durations by orders of magnitude.
+     */
+    bool clipToWindows = true;
+};
+
+/**
+ * Builds Wait Graphs for scenario instances of a corpus. Per-stream
+ * indices (wait/unwait pairing, per-thread event lists) are computed
+ * lazily and cached, so building graphs for many instances of the same
+ * stream is cheap.
+ */
+class WaitGraphBuilder
+{
+  public:
+    explicit WaitGraphBuilder(const TraceCorpus &corpus,
+                              WaitGraphOptions options = {});
+
+    /** Build the wait graph of one scenario instance. */
+    WaitGraph build(const ScenarioInstance &instance) const;
+
+    /** Build graphs for every instance of the corpus, in order. */
+    std::vector<WaitGraph> buildAll() const;
+
+    /**
+     * buildAll() across @p threads worker threads. Per-stream indices
+     * are warmed serially first, then instances are partitioned; the
+     * result is identical (and bit-deterministic) regardless of thread
+     * count. Falls back to the serial path for threads <= 1.
+     */
+    std::vector<WaitGraph> buildAllParallel(unsigned threads) const;
+
+  private:
+    struct ThreadIndex
+    {
+        /** Time-ordered event indices of this thread. */
+        std::vector<std::uint32_t> events;
+        /** prefixMaxEnd[i] = max effective end over events[0..i]. */
+        std::vector<TimeNs> prefixMaxEnd;
+    };
+
+    struct StreamIndex
+    {
+        /** For each event: paired unwait event index, or kInvalidIndex. */
+        std::vector<std::uint32_t> pairedUnwait;
+        /**
+         * For each event: its effective end time — restored from the
+         * paired unwait for waits (stream end when unpaired), and
+         * timestamp + cost otherwise.
+         */
+        std::vector<TimeNs> effectiveEnd;
+        /** Per-thread index. */
+        std::unordered_map<ThreadId, ThreadIndex> threads;
+    };
+
+    const StreamIndex &streamIndex(std::uint32_t stream) const;
+
+    /**
+     * Append the node for event @p index (recursively expanding waits)
+     * and return its node id, or kInvalidIndex if limits were hit.
+     */
+    /**
+     * @param win_lo,win_hi The ancestor wait window this event is
+     *        attributed through (the full time axis for roots); the
+     *        node's cost and its own child window are clipped to it.
+     */
+    std::uint32_t expand(WaitGraph &graph, const StreamIndex &sindex,
+                         std::uint32_t stream_id,
+                         const TraceStream &stream, std::uint32_t index,
+                         std::uint32_t depth, TimeNs win_lo,
+                         TimeNs win_hi,
+                         std::vector<char> &visited) const;
+
+    const TraceCorpus &corpus_;
+    WaitGraphOptions options_;
+    mutable std::unordered_map<std::uint32_t, StreamIndex> cache_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_WAITGRAPH_WAITGRAPH_H

@@ -1,0 +1,102 @@
+#include "src/workload/driverzoo.h"
+
+#include <array>
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+namespace
+{
+
+struct ModuleEntry
+{
+    std::string_view module;
+    DriverType type;
+};
+
+constexpr std::array<ModuleEntry, 13> kModules = {{
+    {"fs.sys", DriverType::FileSystem},
+    {"stor.sys", DriverType::FileSystem},
+    {"fv.sys", DriverType::FileSystemFilter},
+    {"av_flt.sys", DriverType::FileSystemFilter},
+    {"net.sys", DriverType::Network},
+    {"ndis.sys", DriverType::Network},
+    {"tcpip.sys", DriverType::Network},
+    {"se.sys", DriverType::StorageEncryption},
+    {"dp.sys", DriverType::DiskProtection},
+    {"graphics.sys", DriverType::Graphics},
+    {"bk.sys", DriverType::StorageBackup},
+    {"iocache.sys", DriverType::IoCache},
+    {"mou.sys", DriverType::Mouse},
+}};
+
+// acpi.sys intentionally separate: keeps the array size honest above.
+constexpr ModuleEntry kAcpi = {"acpi.sys", DriverType::Acpi};
+
+} // namespace
+
+std::string_view
+driverTypeName(DriverType type)
+{
+    switch (type) {
+      case DriverType::FileSystem:
+        return "FileSystem/GeneralStorage";
+      case DriverType::FileSystemFilter:
+        return "FileSystemFilter";
+      case DriverType::Network:
+        return "Network";
+      case DriverType::StorageEncryption:
+        return "StorageEncryption";
+      case DriverType::DiskProtection:
+        return "DiskProtection";
+      case DriverType::Graphics:
+        return "Graphics";
+      case DriverType::StorageBackup:
+        return "StorageBackup";
+      case DriverType::IoCache:
+        return "IOCache";
+      case DriverType::Mouse:
+        return "Mouse";
+      case DriverType::Acpi:
+        return "ACPI";
+    }
+    TL_PANIC("bad driver type");
+}
+
+const std::vector<DriverType> &
+allDriverTypes()
+{
+    static const std::vector<DriverType> types = {
+        DriverType::FileSystem,    DriverType::FileSystemFilter,
+        DriverType::Network,       DriverType::StorageEncryption,
+        DriverType::DiskProtection, DriverType::Graphics,
+        DriverType::StorageBackup, DriverType::IoCache,
+        DriverType::Mouse,         DriverType::Acpi,
+    };
+    return types;
+}
+
+std::optional<DriverType>
+classifyModule(std::string_view module)
+{
+    for (const auto &entry : kModules) {
+        if (entry.module == module)
+            return entry.type;
+    }
+    if (module == kAcpi.module)
+        return kAcpi.type;
+    return std::nullopt;
+}
+
+std::optional<DriverType>
+classifySignature(std::string_view signature)
+{
+    const auto bang = signature.find('!');
+    if (bang == std::string_view::npos)
+        return std::nullopt;
+    return classifyModule(signature.substr(0, bang));
+}
+
+} // namespace tracelens

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The synthetic driver zoo: the ten driver categories of the paper's
+ * Table 4, each with a concrete module name used in callstack frames.
+ *
+ * The paper anonymizes driver names (fv.sys, fs.sys, se.sys, ...); we
+ * use the same anonymized convention. classifyModule() maps a module
+ * name back to its category — the Table 4 bench uses it to categorize
+ * mined patterns by driver type.
+ */
+
+#ifndef TRACELENS_WORKLOAD_DRIVERZOO_H
+#define TRACELENS_WORKLOAD_DRIVERZOO_H
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace tracelens
+{
+
+/** Driver categories, in the column order of the paper's Table 4. */
+enum class DriverType
+{
+    FileSystem = 0,       //!< fs.sys, stor.sys
+    FileSystemFilter = 1, //!< fv.sys (virtualization), av_flt.sys (AV)
+    Network = 2,          //!< net.sys, tcpip.sys
+    StorageEncryption = 3,//!< se.sys
+    DiskProtection = 4,   //!< dp.sys
+    Graphics = 5,         //!< graphics.sys
+    StorageBackup = 6,    //!< bk.sys
+    IoCache = 7,          //!< iocache.sys
+    Mouse = 8,            //!< mou.sys
+    Acpi = 9,             //!< acpi.sys
+};
+
+/** Number of driver categories. */
+inline constexpr std::size_t kDriverTypeCount = 10;
+
+/** Table-4 column heading for a category. */
+std::string_view driverTypeName(DriverType type);
+
+/** All categories in Table-4 order. */
+const std::vector<DriverType> &allDriverTypes();
+
+/**
+ * Category of a driver module name ("fs.sys" -> FileSystem), or
+ * nullopt for non-driver modules and unknown drivers.
+ */
+std::optional<DriverType> classifyModule(std::string_view module);
+
+/**
+ * Category of a function signature ("fs.sys!Read" -> FileSystem), or
+ * nullopt when the signature's module is not a known driver.
+ */
+std::optional<DriverType> classifySignature(std::string_view signature);
+
+} // namespace tracelens
+
+#endif // TRACELENS_WORKLOAD_DRIVERZOO_H

@@ -1,0 +1,143 @@
+#include "src/workload/generator.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+namespace
+{
+
+/** Sample one machine's environment. */
+MachineConfig
+sampleMachineConfig(const CorpusSpec &spec, Rng &rng, bool stressed)
+{
+    MachineConfig config;
+    config.cores = rng.chance(0.5) ? 4 : (rng.chance(0.5) ? 2 : 8);
+    config.storageEncryption = rng.chance(spec.encryptedFraction);
+    config.ioCache = rng.chance(0.85);
+    config.diskProtection = rng.chance(spec.diskProtectionFraction);
+
+    if (rng.chance(spec.hddFraction)) {
+        config.diskMedianMs = rng.uniform(2.0, 6.0);
+        config.diskSigma = rng.uniform(1.0, 1.3); // heavy seek tails
+    } else {
+        config.diskMedianMs = rng.uniform(0.15, 0.6);
+        config.diskSigma = rng.uniform(0.7, 1.0);
+    }
+    config.netMedianMs = rng.uniform(3.0, 15.0);
+    config.netSigma = rng.uniform(0.9, 1.4);
+    config.gpuMedianMs = rng.uniform(1.5, 5.0);
+    config.gpuSigma = rng.uniform(1.0, 1.4);
+
+    config.cacheHitRate = rng.uniform(0.6, 0.9);
+    config.hardFaultRate = stressed ? rng.uniform(0.03, 0.10)
+                                    : rng.uniform(0.004, 0.02);
+    config.dbHoldMs = rng.uniform(0.8, 4.0);
+    config.systemWorkers = stressed ? 1 : 2;
+    config.serviceWorkers = 1;
+    return config;
+}
+
+/** Pick a scenario index per catalog weights and spec restriction. */
+const ScenarioSpec &
+pickScenario(const CorpusSpec &spec, Rng &rng)
+{
+    const auto &catalog = scenarioCatalog();
+    std::vector<double> weights;
+    weights.reserve(catalog.size());
+    for (const ScenarioSpec &s : catalog) {
+        const bool allowed =
+            spec.onlyScenarios.empty() ||
+            std::find(spec.onlyScenarios.begin(),
+                      spec.onlyScenarios.end(),
+                      s.name) != spec.onlyScenarios.end();
+        weights.push_back(allowed ? s.weight : 0.0);
+    }
+    return catalog[rng.pickWeighted(weights)];
+}
+
+} // namespace
+
+void
+generateMachine(TraceCorpus &corpus, const CorpusSpec &spec,
+                std::uint32_t machine_index, Rng &rng)
+{
+    const bool stressed = rng.chance(spec.stressedFraction);
+    const MachineConfig config = sampleMachineConfig(spec, rng, stressed);
+    const std::uint32_t stream_index = corpus.streamCount();
+    Machine machine(corpus,
+                    "machine-" + std::to_string(machine_index), config,
+                    rng());
+
+    // Tag the stream with the machine environment for cohort analysis.
+    {
+        TraceStream &stream = corpus.stream(stream_index);
+        stream.tags["encrypted"] = config.storageEncryption ? "1" : "0";
+        stream.tags["disk"] = config.diskMedianMs > 1.0 ? "hdd" : "ssd";
+        stream.tags["stressed"] = stressed ? "1" : "0";
+        stream.tags["cores"] = std::to_string(config.cores);
+        stream.tags["diskProtection"] =
+            config.diskProtection ? "1" : "0";
+    }
+
+    Rng &mrng = machine.rng();
+
+    // Background interference: heavier on stressed machines.
+    if (mrng.chance(stressed ? 0.9 : 0.5)) {
+        machine.spawnAntivirusWorker(fromMs(mrng.uniform(0.0, 20.0)),
+                                     stressed ? 10 : 4);
+    }
+    if (mrng.chance(stressed ? 0.5 : 0.2)) {
+        machine.spawnBackupWorker(fromMs(mrng.uniform(0.0, 40.0)),
+                                  stressed ? 8 : 3);
+    }
+    if (mrng.chance(0.6)) {
+        machine.spawnConfigManagerWorker(
+            fromMs(mrng.uniform(0.0, 30.0)), stressed ? 6 : 3);
+    }
+    const int browser_workers =
+        static_cast<int>(mrng.uniformInt(0, stressed ? 3 : 1));
+    for (int i = 0; i < browser_workers; ++i) {
+        machine.spawnBrowserWorker(fromMs(mrng.uniform(0.0, 15.0)),
+                                   stressed ? 6 : 3);
+    }
+    if (config.diskProtection && mrng.chance(0.35)) {
+        machine.spawnDiskProtectionBurst(
+            fromMs(mrng.uniform(5.0, 50.0)),
+            fromMs(mrng.uniform(80.0, 400.0)));
+    }
+
+    // Concurrent scenario instances with staggered starts.
+    const auto instances = static_cast<std::uint32_t>(mrng.uniformInt(
+        spec.minInstancesPerMachine, spec.maxInstancesPerMachine));
+    for (std::uint32_t i = 0; i < instances; ++i) {
+        const ScenarioSpec &scenario = pickScenario(spec, mrng);
+        const double severity =
+            stressed ? mrng.uniform(0.35, 1.0) : mrng.uniform(0.0, 0.8);
+        Script body = scenario.build(machine, severity);
+        machine.spawnInstance(scenario.name, scenario.processFrame,
+                              std::move(body),
+                              fromMs(mrng.uniform(0.0, 12.0)));
+    }
+
+    machine.run();
+}
+
+TraceCorpus
+generateCorpus(const CorpusSpec &spec)
+{
+    TL_ASSERT(spec.minInstancesPerMachine >= 1 &&
+                  spec.maxInstancesPerMachine >=
+                      spec.minInstancesPerMachine,
+              "bad instance range");
+    TraceCorpus corpus;
+    Rng rng(spec.seed);
+    for (std::uint32_t m = 0; m < spec.machines; ++m)
+        generateMachine(corpus, spec, m, rng);
+    return corpus;
+}
+
+} // namespace tracelens

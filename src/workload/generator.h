@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Corpus generator: synthesizes a whole deployment fleet of machines,
+ * each running several concurrent scenario instances plus background
+ * interference, standing in for the paper's 19,500 real-world ETW
+ * trace streams.
+ *
+ * Machine environments vary (disk class, encryption, cache, fault
+ * pressure, background load), so the same scenario lands sometimes in
+ * the fast and sometimes in the slow class — exactly the contrast the
+ * causality analysis mines.
+ */
+
+#ifndef TRACELENS_WORKLOAD_GENERATOR_H
+#define TRACELENS_WORKLOAD_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/stream.h"
+#include "src/workload/scenarios.h"
+
+namespace tracelens
+{
+
+/** Fleet-level generation parameters. */
+struct CorpusSpec
+{
+    std::uint64_t seed = 20140301;
+    /** Number of machines (= trace streams). */
+    std::uint32_t machines = 150;
+    /** Concurrent scenario instances per machine (inclusive range). */
+    std::uint32_t minInstancesPerMachine = 6;
+    std::uint32_t maxInstancesPerMachine = 10;
+    /** Fraction of machines with storage encryption. */
+    double encryptedFraction = 0.55;
+    /** Fraction of machines with an HDD (vs. SSD). */
+    double hddFraction = 0.45;
+    /** Fraction of machines with the disk-protection driver. */
+    double diskProtectionFraction = 0.08;
+    /** Fraction of heavily loaded ("stressed") machines. */
+    double stressedFraction = 0.35;
+    /** Restrict generation to these scenarios (empty = all). */
+    std::vector<std::string> onlyScenarios;
+};
+
+/** Generate a corpus per @p spec (deterministic in spec.seed). */
+TraceCorpus generateCorpus(const CorpusSpec &spec);
+
+/**
+ * Generate a single machine's stream into @p corpus with explicit
+ * parameters (used by tests and focused benches).
+ */
+void generateMachine(TraceCorpus &corpus, const CorpusSpec &spec,
+                     std::uint32_t machine_index, Rng &rng);
+
+} // namespace tracelens
+
+#endif // TRACELENS_WORKLOAD_GENERATOR_H

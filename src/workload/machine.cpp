@@ -1,0 +1,407 @@
+#include "src/workload/machine.h"
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+Machine::Machine(TraceCorpus &corpus, std::string stream_name,
+                 MachineConfig config, std::uint64_t seed)
+    : corpus_(corpus), config_(config), rng_(seed),
+      kernel_(corpus, std::move(stream_name),
+              SimConfig{config.cores, kMillisecond, 600 * kSecond})
+{
+    fileTableLock_ = kernel_.createLock();
+    mduLock_ = kernel_.createLock();
+    cacheLock_ = kernel_.createLock();
+    gpuLock_ = kernel_.createLock();
+    dbLock_ = kernel_.createLock();
+    dpLock_ = kernel_.createLock();
+    acpiLock_ = kernel_.createLock();
+    socketLock_ = kernel_.createLock();
+    bkLock_ = kernel_.createLock();
+    mouLock_ = kernel_.createLock();
+
+    disk_ = kernel_.createDevice("DiskService");
+    net_ = kernel_.createDevice("NetworkService",
+                             "ndis.sys!ReceiveIndication");
+    gpu_ = kernel_.createDevice("GpuService");
+
+    sysWorkerChannel_ = kernel_.createChannel();
+    serviceChannel_ = kernel_.createChannel();
+    appWorkerChannel_ = kernel_.createChannel();
+
+    // Shared system worker pool (serves encrypted reads & page faults).
+    const FrameId worker_frame = kernel_.frame("kernel!Worker");
+    for (std::uint32_t i = 0; i < config_.systemWorkers; ++i) {
+        kernel_.spawnThread({actPush(worker_frame),
+                             actReceiveJob(sysWorkerChannel_),
+                             actJump(1)});
+    }
+
+    // Security-service process: single process, shared database lock.
+    const FrameId service_frame = kernel_.frame("avsvc.exe!ServiceLoop");
+    for (std::uint32_t i = 0; i < config_.serviceWorkers; ++i) {
+        kernel_.spawnThread({actPush(service_frame),
+                             actReceiveJob(serviceChannel_),
+                             actJump(1)});
+    }
+
+    // Application worker pool shared by every instance on the machine.
+    const FrameId app_worker_frame = kernel_.frame("app.exe!WorkerLoop");
+    for (std::uint32_t i = 0; i < config_.appWorkers; ++i) {
+        kernel_.spawnThread({actPush(app_worker_frame),
+                             actReceiveJob(appWorkerChannel_),
+                             actJump(1)});
+    }
+}
+
+void
+Machine::appendDelegated(Script &script, Script ops)
+{
+    // The client's wait stack is app/kernel only (kernel!WaitForWorker
+    // is not a driver frame), so the analysis descends into the shared
+    // worker's events.
+    script.push_back(actPush(kernel_.frame("kernel!WaitForWorker")));
+    script.push_back(actSubmitJob(
+        appWorkerChannel_, std::make_shared<const Script>(std::move(ops)),
+        /*wait=*/true));
+    script.push_back(actPop());
+}
+
+DurationNs
+Machine::diskTime()
+{
+    return fromMs(rng_.logNormal(config_.diskMedianMs,
+                                 config_.diskSigma));
+}
+
+DurationNs
+Machine::netTime()
+{
+    return fromMs(rng_.logNormal(config_.netMedianMs, config_.netSigma));
+}
+
+DurationNs
+Machine::gpuTime()
+{
+    return fromMs(rng_.logNormal(config_.gpuMedianMs, config_.gpuSigma));
+}
+
+DurationNs
+Machine::smallCompute(double lo_us, double hi_us)
+{
+    return static_cast<DurationNs>(rng_.uniform(lo_us, hi_us) *
+                                   kMicrosecond);
+}
+
+std::shared_ptr<const Script>
+Machine::makePageReadJob()
+{
+    Script job;
+    const DurationNs page_read =
+        static_cast<DurationNs>(static_cast<double>(diskTime()) *
+                                config_.hardFaultDiskFactor);
+    if (config_.storageEncryption) {
+        job.push_back(actPush(kernel_.frame("se.sys!ReadDecrypt")));
+        job.push_back(actHardware(disk_, page_read));
+        job.push_back(actCompute(smallCompute(1125, 3000)));
+    } else {
+        job.push_back(actPush(kernel_.frame("fs.sys!PageRead")));
+        job.push_back(actHardware(disk_, page_read));
+    }
+    // Job frames are auto-unwound after the completion unwait, so the
+    // unwait carries the storage signature.
+    return std::make_shared<const Script>(std::move(job));
+}
+
+void
+Machine::appendStorageAccess(Script &script, bool is_write,
+                             double disk_factor)
+{
+    // IO cache lookup.
+    if (config_.ioCache) {
+        script.push_back(actPush(kernel_.frame("iocache.sys!Lookup")));
+        script.push_back(actAcquire(cacheLock_));
+        script.push_back(actCompute(smallCompute(10, 45)));
+        script.push_back(actRelease(cacheLock_));
+        script.push_back(actPop());
+        if (!is_write && rng_.chance(config_.cacheHitRate)) {
+            // Served from cache: a short copy, no disk.
+            script.push_back(actCompute(smallCompute(22, 67)));
+            return;
+        }
+    }
+
+    // Disk protection gate (contended only during motion bursts).
+    if (config_.diskProtection) {
+        script.push_back(actPush(kernel_.frame("dp.sys!CheckMotion")));
+        script.push_back(actAcquire(dpLock_));
+        script.push_back(actRelease(dpLock_));
+        script.push_back(actPop());
+    }
+
+    const auto scaled = static_cast<DurationNs>(
+        static_cast<double>(diskTime()) * disk_factor);
+    if (config_.storageEncryption) {
+        // Encrypted media: the read/decrypt (or encrypt/write) runs on
+        // a shared system worker via a system-service call.
+        Script job;
+        job.push_back(actPush(kernel_.frame(
+            is_write ? "se.sys!EncryptWrite" : "se.sys!ReadDecrypt")));
+        job.push_back(actHardware(disk_, scaled));
+        job.push_back(actCompute(smallCompute(600, 1950)));
+        script.push_back(actSubmitJob(
+            sysWorkerChannel_,
+            std::make_shared<const Script>(std::move(job)),
+            /*wait=*/true));
+    } else {
+        script.push_back(actHardware(disk_, scaled));
+    }
+}
+
+void
+Machine::appendFileRead(Script &script)
+{
+    // Filter driver: FileTable query under the FileTable lock, holding
+    // it across the call into the file system (Figure-1 hierarchy).
+    // Entry points vary by request type, widening the signature space
+    // the miner sees (real filters expose many dispatch routines).
+    static const char *const kFilterEntries[] = {
+        "fv.sys!QueryFileTable", "fv.sys!QueryFileTable",
+        "fv.sys!ResolveReparse", "fv.sys!PreCreateCallback"};
+    script.push_back(actPush(kernel_.frame(
+        kFilterEntries[rng_.uniformInt(0, 3)])));
+    script.push_back(actAcquire(fileTableLock_));
+    script.push_back(actCompute(smallCompute(33, 135)));
+
+    script.push_back(actPush(kernel_.frame("fs.sys!AcquireMDU")));
+    script.push_back(actAcquire(mduLock_));
+    script.push_back(actCompute(smallCompute(22, 67)));
+
+    static const char *const kReadEntries[] = {
+        "fs.sys!Read", "fs.sys!Read", "fs.sys!ReadAhead",
+        "fs.sys!QueryAttributes"};
+    script.push_back(actPush(kernel_.frame(
+        kReadEntries[rng_.uniformInt(0, 3)])));
+    appendStorageAccess(script, /*is_write=*/false, 1.0);
+    script.push_back(actPop()); // fs.sys read entry
+
+    script.push_back(actRelease(mduLock_));
+    script.push_back(actPop()); // fs.sys!AcquireMDU
+
+    script.push_back(actCompute(smallCompute(10, 55)));
+    script.push_back(actRelease(fileTableLock_));
+    script.push_back(actPop()); // fv.sys!QueryFileTable
+}
+
+void
+Machine::appendFileWrite(Script &script)
+{
+    script.push_back(actPush(kernel_.frame("fv.sys!QueryFileTable")));
+    script.push_back(actAcquire(fileTableLock_));
+    script.push_back(actCompute(smallCompute(33, 112)));
+
+    script.push_back(actPush(kernel_.frame("fs.sys!AcquireMDU")));
+    script.push_back(actAcquire(mduLock_));
+    script.push_back(actCompute(smallCompute(33, 100)));
+
+    // bk.sys intercepts writes to keep its snapshot consistent.
+    script.push_back(actPush(kernel_.frame("bk.sys!SnapshotWrite")));
+    script.push_back(actAcquire(bkLock_));
+    script.push_back(actCompute(smallCompute(10, 40)));
+    script.push_back(actRelease(bkLock_));
+    script.push_back(actPop());
+
+    script.push_back(actPush(kernel_.frame("fs.sys!Write")));
+    appendStorageAccess(script, /*is_write=*/true, 1.2);
+    script.push_back(actPop());
+
+    script.push_back(actRelease(mduLock_));
+    script.push_back(actPop());
+    script.push_back(actRelease(fileTableLock_));
+    script.push_back(actPop());
+}
+
+void
+Machine::appendAccessCheck(Script &script)
+{
+    // Client side: an app-level RPC wait (no driver frames), so the
+    // service's driver waits become the shared top-level driver waits
+    // of every blocked requester — the cross-instance propagation the
+    // impact analysis measures as D_wait/D_waitdist.
+    Script job;
+    job.push_back(actPush(kernel_.frame("av_flt.sys!InspectRequest")));
+    job.push_back(actAcquire(dbLock_));
+    job.push_back(actCompute(
+        fromMs(rng_.logNormal(config_.dbHoldMs, 0.5))));
+    // Inspection consults signature files on disk.
+    appendFileRead(job);
+    job.push_back(actRelease(dbLock_));
+    script.push_back(actPush(kernel_.frame("rpc!SendRequest")));
+    script.push_back(actSubmitJob(
+        serviceChannel_, std::make_shared<const Script>(std::move(job)),
+        /*wait=*/true));
+    script.push_back(actPop());
+}
+
+void
+Machine::appendNetRequest(Script &script)
+{
+    static const char *const kTcpEntries[] = {
+        "tcpip.sys!Transmit", "tcpip.sys!Transmit",
+        "tcpip.sys!Connect", "tcpip.sys!QueryDns"};
+    script.push_back(actPush(kernel_.frame(
+        kTcpEntries[rng_.uniformInt(0, 3)])));
+    script.push_back(actCompute(smallCompute(22, 67)));
+    static const char *const kNetEntries[] = {
+        "net.sys!Send", "net.sys!Receive", "net.sys!WaitForData",
+        "net.sys!PollCompletion"};
+    script.push_back(actPush(kernel_.frame(
+        kNetEntries[rng_.uniformInt(0, 3)])));
+    script.push_back(actCompute(smallCompute(10, 45)));
+    script.push_back(actHardware(net_, netTime()));
+    script.push_back(actPop());
+    script.push_back(actPop());
+}
+
+void
+Machine::appendGpuRender(Script &script, bool may_hard_fault)
+{
+    script.push_back(actPush(kernel_.frame("graphics.sys!AcquireGpu")));
+    script.push_back(actAcquire(gpuLock_));
+    if (may_hard_fault && rng_.chance(config_.hardFaultRate)) {
+        // Hard fault while initializing a pageable structure: the page
+        // read is served by a shared system worker through the storage
+        // stack (the RQ3 graphics.sys case).
+        script.push_back(actPush(kernel_.frame(
+            "graphics.sys!InitStruct")));
+        script.push_back(actSubmitJob(sysWorkerChannel_,
+                                      makePageReadJob(),
+                                      /*wait=*/true));
+        script.push_back(actPop());
+    }
+    script.push_back(actCompute(smallCompute(450, 1575)));
+    script.push_back(actRelease(gpuLock_));
+    script.push_back(actPush(kernel_.frame("graphics.sys!Present")));
+    script.push_back(actHardware(gpu_, gpuTime()));
+    script.push_back(actPop());
+    script.push_back(actPop());
+}
+
+void
+Machine::appendMouseQuery(Script &script)
+{
+    script.push_back(actPush(kernel_.frame("mou.sys!GetPosition")));
+    script.push_back(actCompute(smallCompute(10, 45)));
+    script.push_back(actPop());
+}
+
+void
+Machine::appendAcpiQuery(Script &script)
+{
+    script.push_back(actPush(kernel_.frame("acpi.sys!QueryPower")));
+    script.push_back(actAcquire(acpiLock_));
+    script.push_back(actCompute(smallCompute(33, 100)));
+    script.push_back(actRelease(acpiLock_));
+    script.push_back(actPop());
+}
+
+void
+Machine::appendAppCompute(Script &script, double lo_ms, double hi_ms)
+{
+    script.push_back(actCompute(fromMs(rng_.uniform(lo_ms, hi_ms))));
+}
+
+void
+Machine::spawnAntivirusWorker(TimeNs start, int file_ops)
+{
+    Script script;
+    script.push_back(actPush(kernel_.frame("av.exe!Worker")));
+    script.push_back(actPush(kernel_.frame("av_flt.sys!ScanWorker")));
+    for (int i = 0; i < file_ops; ++i) {
+        appendFileRead(script);
+        script.push_back(actCompute(smallCompute(112, 450)));
+        script.push_back(
+            actSleep(fromMs(rng_.uniform(0.5, 5.0))));
+    }
+    script.push_back(actPop());
+    script.push_back(actPop());
+    kernel_.spawnThread(std::move(script), start);
+}
+
+void
+Machine::spawnBackupWorker(TimeNs start, int file_ops)
+{
+    Script script;
+    script.push_back(actPush(kernel_.frame("backup.exe!Worker")));
+    script.push_back(actPush(kernel_.frame("bk.sys!StreamRead")));
+    for (int i = 0; i < file_ops; ++i) {
+        script.push_back(actAcquire(bkLock_));
+        appendFileRead(script);
+        script.push_back(actRelease(bkLock_));
+        script.push_back(actSleep(fromMs(rng_.uniform(0.2, 2.0))));
+    }
+    script.push_back(actPop());
+    script.push_back(actPop());
+    kernel_.spawnThread(std::move(script), start);
+}
+
+void
+Machine::spawnConfigManagerWorker(TimeNs start, int ops)
+{
+    Script script;
+    script.push_back(actPush(kernel_.frame("cm.exe!Worker")));
+    for (int i = 0; i < ops; ++i) {
+        appendFileRead(script);
+        script.push_back(actCompute(smallCompute(112, 450)));
+        script.push_back(actSleep(fromMs(rng_.uniform(1.0, 8.0))));
+    }
+    script.push_back(actPop());
+    kernel_.spawnThread(std::move(script), start);
+}
+
+void
+Machine::spawnDiskProtectionBurst(TimeNs start, DurationNs hold)
+{
+    TL_ASSERT(config_.diskProtection,
+              "disk-protection burst needs dp.sys enabled");
+    Script script;
+    script.push_back(actPush(kernel_.frame("dp.sys!MotionSensor")));
+    script.push_back(actAcquire(dpLock_));
+    script.push_back(actCompute(smallCompute(45, 112)));
+    script.push_back(actSleep(hold));
+    script.push_back(actRelease(dpLock_));
+    script.push_back(actPop());
+    kernel_.spawnThread(std::move(script), start);
+}
+
+void
+Machine::spawnBrowserWorker(TimeNs start, int file_ops)
+{
+    Script script;
+    script.push_back(actPush(kernel_.frame("browser.exe!Worker")));
+    for (int i = 0; i < file_ops; ++i) {
+        appendFileRead(script);
+        script.push_back(actSleep(fromMs(rng_.uniform(0.2, 3.0))));
+    }
+    script.push_back(actPop());
+    kernel_.spawnThread(std::move(script), start);
+}
+
+ThreadId
+Machine::spawnInstance(std::string_view scenario,
+                       std::string_view process_frame, Script body,
+                       TimeNs start)
+{
+    Script script;
+    script.push_back(actPush(kernel_.frame(process_frame)));
+    script.push_back(actBeginInstance(kernel_.scenario(scenario)));
+    for (Action &a : body)
+        script.push_back(std::move(a));
+    script.push_back(actEndInstance());
+    script.push_back(actPop());
+    return kernel_.spawnThread(std::move(script), start);
+}
+
+} // namespace tracelens

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * A simulated Windows machine: one SimKernel wired with the driver
+ * zoo's resources (locks, devices, worker pools) plus op builders that
+ * compile driver interactions into thread-script actions.
+ *
+ * The op builders encode the interaction topologies the paper
+ * describes:
+ *
+ *  - file I/O descends the driver stack fv.sys (filter, FileTable
+ *    lock) -> fs.sys (MDU lock) -> iocache.sys -> dp.sys ->
+ *    se.sys/disk, with the encrypted read handed to a *shared* system
+ *    worker via a system-service call (the Figure-1 chain);
+ *  - access checks RPC into a single security-service process whose
+ *    workers inspect requests under one database lock (the paper's
+ *    "single process and database" bottleneck);
+ *  - network requests descend tcpip.sys -> net.sys -> the network
+ *    device with heavy-tailed latency;
+ *  - GPU rendering contends a GPU lock inside graphics.sys and may
+ *    take a hard fault whose page read goes through the storage stack
+ *    on a system worker (the RQ3 graphics case);
+ *  - background antivirus / backup / config-manager threads generate
+ *    the cross-application interference that shares waits across
+ *    concurrently-running scenario instances.
+ *
+ * All randomness is drawn at script-build time from the machine's
+ * seeded RNG, so a machine builds a deterministic trace.
+ */
+
+#ifndef TRACELENS_WORKLOAD_MACHINE_H
+#define TRACELENS_WORKLOAD_MACHINE_H
+
+#include <string>
+#include <string_view>
+
+#include "src/simkernel/kernel.h"
+#include "src/util/rng.h"
+
+namespace tracelens
+{
+
+/** Per-machine environment knobs (sampled by the corpus generator). */
+struct MachineConfig
+{
+    std::uint32_t cores = 4;
+
+    /** Storage encryption (se.sys) present in the storage stack. */
+    bool storageEncryption = true;
+    /** IO cache driver present. */
+    bool ioCache = true;
+    /** Disk-protection driver present (blocks I/O during bursts). */
+    bool diskProtection = false;
+
+    /** Median disk service time (ms); sigma is log-space dispersion. */
+    double diskMedianMs = 2.0;
+    double diskSigma = 0.8;
+    /** Median network round trip (ms). */
+    double netMedianMs = 12.0;
+    double netSigma = 1.1;
+    /** GPU present/render service time (ms). */
+    double gpuMedianMs = 2.0;
+    double gpuSigma = 0.5;
+
+    /** Cache hit probability for file reads. */
+    double cacheHitRate = 0.6;
+    /** Probability a pageable access takes a hard fault. */
+    double hardFaultRate = 0.05;
+    /** Hard-fault page-read size factor (multiplies disk time). */
+    double hardFaultDiskFactor = 150.0;
+
+    /** Security-service database inspection time (ms, median). */
+    double dbHoldMs = 1.5;
+
+    /** Shared system worker threads serving storage/page jobs. */
+    std::uint32_t systemWorkers = 2;
+    /** Security-service worker threads. */
+    std::uint32_t serviceWorkers = 1;
+    /** Application worker-pool threads (shared by all instances). */
+    std::uint32_t appWorkers = 1;
+};
+
+/**
+ * One machine = one trace stream. Create, spawn instances/background
+ * load, then run() exactly once.
+ */
+class Machine
+{
+  public:
+    Machine(TraceCorpus &corpus, std::string stream_name,
+            MachineConfig config, std::uint64_t seed);
+
+    SimKernel &kernel() { return kernel_; }
+    Rng &rng() { return rng_; }
+    const MachineConfig &config() const { return config_; }
+
+    /** @name Driver-op builders (append actions to a script)
+     * @{
+     */
+    /** Full file read through the filter/FS/storage stack. */
+    void appendFileRead(Script &script);
+    /** File write (journal + data) through the same stack. */
+    void appendFileWrite(Script &script);
+    /** Access check: synchronous RPC into the security service. */
+    void appendAccessCheck(Script &script);
+    /** Network round trip through tcpip.sys/net.sys. */
+    void appendNetRequest(Script &script);
+    /** GPU render + present; may take a hard fault when allowed. */
+    void appendGpuRender(Script &script, bool may_hard_fault);
+    /** Mouse position query (tiny). */
+    void appendMouseQuery(Script &script);
+    /** ACPI power/thermal query (tiny lock-protected read). */
+    void appendAcpiQuery(Script &script);
+    /** Pure application computation (no drivers). */
+    void appendAppCompute(Script &script, double lo_ms, double hi_ms);
+    /**
+     * Delegate @p ops to the shared per-machine application worker
+     * pool and block until completion. The client's wait carries only
+     * app/kernel frames, so the *workers'* driver waits become the
+     * top-level driver waits of every instance blocked on the pool —
+     * the paper's cross-instance cost propagation. All instances of a
+     * machine share one pool, so concurrent instances share the same
+     * underlying wait events (driving D_wait/D_waitdist above 1).
+     */
+    void appendDelegated(Script &script, Script ops);
+    /** @} */
+
+    /** @name Background interference
+     * @{
+     */
+    /** Antivirus worker scanning files through the filter stack. */
+    void spawnAntivirusWorker(TimeNs start, int file_ops);
+    /** Backup worker streaming file reads. */
+    void spawnBackupWorker(TimeNs start, int file_ops);
+    /** Config-manager worker doing small registry-file reads. */
+    void spawnConfigManagerWorker(TimeNs start, int ops);
+    /** Disk-protection burst: dp.sys halts disk I/O for @p hold. */
+    void spawnDiskProtectionBurst(TimeNs start, DurationNs hold);
+    /** Extra browser worker contending the FileTable lock. */
+    void spawnBrowserWorker(TimeNs start, int file_ops);
+    /** @} */
+
+    /**
+     * Spawn a scenario-instance thread: @p body wrapped in
+     * Begin/EndInstance markers under a process frame.
+     */
+    ThreadId spawnInstance(std::string_view scenario,
+                           std::string_view process_frame, Script body,
+                           TimeNs start);
+
+    /** Run the simulation; returns the stream index. */
+    std::uint32_t run() { return kernel_.run(); }
+
+    /** @name Sampled service times (exposed for scenario builders)
+     * @{
+     */
+    DurationNs diskTime();
+    DurationNs netTime();
+    DurationNs gpuTime();
+    /** Uniform small CPU burst in [lo_us, hi_us] microseconds. */
+    DurationNs smallCompute(double lo_us, double hi_us);
+    /** @} */
+
+  private:
+    /** The storage-stack tail: cache, protection, encryption, disk. */
+    void appendStorageAccess(Script &script, bool is_write,
+                             double disk_factor);
+
+    /** Build the page-read job script of a hard fault. */
+    std::shared_ptr<const Script> makePageReadJob();
+
+    TraceCorpus &corpus_;
+    MachineConfig config_;
+    Rng rng_;
+    SimKernel kernel_;
+
+    // Locks.
+    LockId fileTableLock_;
+    LockId mduLock_;
+    LockId cacheLock_;
+    LockId gpuLock_;
+    LockId dbLock_;
+    LockId dpLock_;
+    LockId acpiLock_;
+    LockId socketLock_;
+    LockId bkLock_;
+    LockId mouLock_;
+
+    // Devices.
+    DeviceId disk_;
+    DeviceId net_;
+    DeviceId gpu_;
+
+    // Worker channels.
+    ChannelId sysWorkerChannel_;
+    ChannelId serviceChannel_;
+    ChannelId appWorkerChannel_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_WORKLOAD_MACHINE_H

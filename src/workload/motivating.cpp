@@ -1,0 +1,197 @@
+#include "src/workload/motivating.h"
+
+#include "src/simkernel/kernel.h"
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+CaseHandles
+buildMotivatingExample(TraceCorpus &corpus)
+{
+    SimKernel sim(corpus, "fig1-machine");
+
+    const LockId file_table = sim.createLock();
+    const LockId mdu = sim.createLock();
+    const DeviceId disk = sim.createDevice("DiskService");
+    const ChannelId sys_chan = sim.createChannel();
+
+    // T_S,W0: the system worker that will serve the encrypted read.
+    sim.spawnThread({actPush(sim.frame("kernel!Worker")),
+                     actReceiveJob(sys_chan), actJump(1)});
+
+    // The se.sys read+decrypt job: the root cost of the incident
+    // (hundreds of milliseconds of disk service plus decryption CPU).
+    auto read_decrypt = std::make_shared<const Script>(Script{
+        actPush(sim.frame("se.sys!ReadDecrypt")),
+        actHardware(disk, fromMs(760)),
+        actCompute(fromMs(30)),
+    });
+
+    // T_C,W0: Configuration Manager worker — first MDU owner; it
+    // issues the system-service call into se.sys (dependency (1)).
+    sim.spawnThread(
+        {
+            actPush(sim.frame("cm.exe!Worker")),
+            actPush(sim.frame("kernel!OpenFile")),
+            actPush(sim.frame("fs.sys!AcquireMDU")),
+            actAcquire(mdu),
+            actCompute(fromMs(1)),
+            actPush(sim.frame("fs.sys!Read")),
+            actSubmitJob(sys_chan, read_decrypt, /*wait=*/true),
+            actPop(),
+            actRelease(mdu), // propagates the delay to T_A,W0 (2)
+            actPop(),
+            actPop(),
+            actPop(),
+        },
+        fromMs(0));
+
+    // T_A,W0: AntiVirus worker — second MDU contender.
+    sim.spawnThread(
+        {
+            actPush(sim.frame("av.exe!Worker")),
+            actPush(sim.frame("kernel!OpenFile")),
+            actPush(sim.frame("fs.sys!AcquireMDU")),
+            actAcquire(mdu),
+            actCompute(fromMs(2)),
+            actRelease(mdu), // propagates to T_B,W1 (3)
+            actPop(),
+            actPop(),
+            actPop(),
+        },
+        fromMs(1));
+
+    // T_B,W1: browser worker — FileTable owner that joins the MDU
+    // contention while holding the FileTable lock (dependency (4)).
+    sim.spawnThread(
+        {
+            actPush(sim.frame("browser.exe!Worker")),
+            actPush(sim.frame("kernel!CreateFile")),
+            actPush(sim.frame("fv.sys!QueryFileTable")),
+            actAcquire(file_table),
+            actCompute(fromMs(1)),
+            actPush(sim.frame("fs.sys!AcquireMDU")),
+            actAcquire(mdu),
+            actCompute(fromMs(1)),
+            actRelease(mdu),
+            actPop(),
+            actRelease(file_table), // propagates to T_B,W0 (5)
+            actPop(),
+            actPop(),
+            actPop(),
+        },
+        fromMs(2));
+
+    // T_B,W0: browser worker — second FileTable contender.
+    sim.spawnThread(
+        {
+            actPush(sim.frame("browser.exe!Worker")),
+            actPush(sim.frame("kernel!CreateFile")),
+            actPush(sim.frame("fv.sys!QueryFileTable")),
+            actAcquire(file_table),
+            actCompute(fromMs(1)),
+            actRelease(file_table), // propagates to T_B,UI (6)
+            actPop(),
+            actPop(),
+            actPop(),
+        },
+        fromMs(3));
+
+    // T_B,UI: the browser UI thread creating the tab — the thread on
+    // which the user perceives the >800 ms delay.
+    const std::uint32_t scenario = sim.scenario("BrowserTabCreate");
+    const ThreadId ui = sim.spawnThread(
+        {
+            actPush(sim.frame("browser.exe!TabCreate")),
+            actBeginInstance(scenario),
+            actPush(sim.frame("kernel!OpenFile")),
+            actPush(sim.frame("fv.sys!QueryFileTable")),
+            actAcquire(file_table),
+            actCompute(fromMs(2)),
+            actRelease(file_table),
+            actPop(),
+            actPop(),
+            actCompute(fromMs(40)), // rendering the new tab
+            actEndInstance(),
+            actPop(),
+        },
+        fromMs(4));
+
+    CaseHandles handles;
+    handles.initiatingThread = ui;
+    handles.instance = static_cast<std::uint32_t>(
+        corpus.instances().size()); // next registered instance
+    handles.stream = sim.run();
+    TL_ASSERT(handles.instance < corpus.instances().size(),
+              "motivating example registered no instance");
+    return handles;
+}
+
+CaseHandles
+buildGraphicsHardFaultCase(TraceCorpus &corpus)
+{
+    SimKernel sim(corpus, "rq3-graphics-machine");
+
+    const LockId gpu_lock = sim.createLock();
+    const DeviceId disk = sim.createDevice("DiskService");
+    const ChannelId sys_chan = sim.createChannel();
+
+    // T_S,W1: the worker that performs the page read through se.sys.
+    sim.spawnThread({actPush(sim.frame("kernel!Worker")),
+                     actReceiveJob(sys_chan), actJump(1)});
+
+    // The ~4.7 s page read on the storage-encrypted system.
+    auto page_read = std::make_shared<const Script>(Script{
+        actPush(sim.frame("se.sys!ReadDecrypt")),
+        actHardware(disk, fromMs(4600)),
+        actCompute(fromMs(60)),
+    });
+
+    // T_S,W0: system thread running a graphics.sys routine that holds
+    // the GPU resources and takes a hard fault initializing an
+    // internal (pageable) structure.
+    sim.spawnThread(
+        {
+            actPush(sim.frame("kernel!Worker")),
+            actPush(sim.frame("graphics.sys!EventRoutine")),
+            actAcquire(gpu_lock),
+            actCompute(fromMs(1)),
+            actPush(sim.frame("graphics.sys!InitStruct")),
+            actSubmitJob(sys_chan, page_read, /*wait=*/true),
+            actPop(),
+            actCompute(fromMs(2)),
+            actRelease(gpu_lock),
+            actPop(),
+            actPop(),
+        },
+        fromMs(0));
+
+    // T_U,UI: the UI thread that needs the GPU and freezes.
+    const std::uint32_t scenario = sim.scenario("AppNonResponsive");
+    const ThreadId ui = sim.spawnThread(
+        {
+            actPush(sim.frame("app.exe!UI")),
+            actBeginInstance(scenario),
+            actPush(sim.frame("graphics.sys!AcquireGpu")),
+            actAcquire(gpu_lock),
+            actCompute(fromMs(3)),
+            actRelease(gpu_lock),
+            actPop(),
+            actCompute(fromMs(20)),
+            actEndInstance(),
+            actPop(),
+        },
+        fromMs(1));
+
+    CaseHandles handles;
+    handles.initiatingThread = ui;
+    handles.instance =
+        static_cast<std::uint32_t>(corpus.instances().size());
+    handles.stream = sim.run();
+    TL_ASSERT(handles.instance < corpus.instances().size(),
+              "hard-fault case registered no instance");
+    return handles;
+}
+
+} // namespace tracelens

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Deterministic case-study builders.
+ *
+ * buildMotivatingExample() reconstructs the paper's Figure-1 incident
+ * exactly: six threads, three drivers (fv.sys, fs.sys, se.sys), two
+ * lock-contention regions (FileTable, MDU) connected by two
+ * hierarchical dependencies, propagating a ~750 ms disk+decrypt delay
+ * from a system worker all the way to the browser UI thread, making
+ * the BrowserTabCreate instance take over 800 ms.
+ *
+ * buildGraphicsHardFaultCase() reconstructs the RQ3 case: a UI thread
+ * blocked on the GPU lock held by a system thread running a
+ * graphics.sys routine that takes a hard fault; the page read runs
+ * se.sys on another worker and needs ~4.7 s, freezing the UI.
+ */
+
+#ifndef TRACELENS_WORKLOAD_MOTIVATING_H
+#define TRACELENS_WORKLOAD_MOTIVATING_H
+
+#include <cstdint>
+
+#include "src/trace/stream.h"
+
+namespace tracelens
+{
+
+/** Handles into the constructed case. */
+struct CaseHandles
+{
+    std::uint32_t stream = 0;        //!< Stream index in the corpus.
+    std::uint32_t instance = 0;      //!< Instance index in the corpus.
+    ThreadId initiatingThread = 0;   //!< The perceiving UI thread.
+};
+
+/** Build the Figure-1 BrowserTabCreate incident into @p corpus. */
+CaseHandles buildMotivatingExample(TraceCorpus &corpus);
+
+/** Build the RQ3 graphics.sys hard-fault incident into @p corpus. */
+CaseHandles buildGraphicsHardFaultCase(TraceCorpus &corpus);
+
+} // namespace tracelens
+
+#endif // TRACELENS_WORKLOAD_MOTIVATING_H

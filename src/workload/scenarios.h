@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The eight evaluation scenarios (paper Table 1) as script builders.
+ *
+ * Each scenario has developer-specified performance thresholds T_fast
+ * and T_slow (the paper's example: BrowserTabCreate should complete in
+ * 300 ms and not exceed 500 ms) and a builder that compiles the
+ * initiating thread's behaviour from the machine's driver ops. The
+ * @p severity argument in [0, 1] scales the per-instance workload
+ * (number of file/net/GPU operations), standing in for the real-world
+ * input variation that spreads instances across the fast/slow classes.
+ */
+
+#ifndef TRACELENS_WORKLOAD_SCENARIOS_H
+#define TRACELENS_WORKLOAD_SCENARIOS_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/workload/machine.h"
+
+namespace tracelens
+{
+
+/** Catalog entry for one scenario. */
+struct ScenarioSpec
+{
+    std::string name;
+    std::string processFrame; //!< Initiating thread's bottom frame.
+    DurationNs tFast = 0;     //!< Upper bound of normal performance.
+    DurationNs tSlow = 0;     //!< Lower bound of degraded performance.
+    double weight = 1.0;      //!< Relative frequency in the corpus.
+    /**
+     * True for the eight scenarios the paper's evaluation selects;
+     * false for background scenarios that only populate the corpus
+     * (the paper's corpus spans 1,364 scenarios, of which 8 are
+     * analyzed).
+     */
+    bool selected = true;
+    std::function<Script(Machine &, double severity)> build;
+};
+
+/** The full catalog: the eight selected scenarios (paper Table-1
+ * order) followed by unselected background scenarios. */
+const std::vector<ScenarioSpec> &scenarioCatalog();
+
+/** Only the eight selected evaluation scenarios. */
+std::vector<const ScenarioSpec *> selectedScenarios();
+
+/** Lookup by name; fatal when unknown. */
+const ScenarioSpec &scenarioByName(std::string_view name);
+
+/** Number of operations scaled by severity: lo + severity*(hi-lo). */
+int scaledOps(Rng &rng, double severity, int lo, int hi);
+
+} // namespace tracelens
+
+#endif // TRACELENS_WORKLOAD_SCENARIOS_H

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Focused tests for the non-optimizable reduction rule: which root
+ * waiting structures count as direct hardware time (pruned) versus
+ * propagated time (kept).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/awg/awg.h"
+#include "src/simkernel/kernel.h"
+#include "src/trace/builder.h"
+#include "src/waitgraph/waitgraph.h"
+
+namespace tracelens
+{
+namespace
+{
+
+NameFilter
+drivers()
+{
+    return NameFilter({"*.sys"});
+}
+
+AggregatedWaitGraph
+aggregate(const TraceCorpus &corpus, AwgOptions options = {})
+{
+    WaitGraphBuilder builder(corpus);
+    const auto graphs = builder.buildAll();
+    return AwgBuilder(corpus, drivers(), options).aggregate(graphs);
+}
+
+TEST(AwgReduce, DeviceReadiedWaitWithQueueMatesIsPruned)
+{
+    // Two disk requests: the second's wait window overlaps both
+    // service intervals (queue-mates) — still pure hardware time.
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m");
+    const DeviceId disk = sim.createDevice("DiskService");
+    const FrameId f = sim.frame("stor.sys!Read");
+    sim.spawnThread({actPush(f), actHardware(disk, fromMs(4)),
+                     actPop()});
+    const auto scn = sim.scenario("S");
+    sim.spawnThread({actPush(f), actBeginInstance(scn),
+                     actHardware(disk, fromMs(4)), actEndInstance(),
+                     actPop()},
+                    fromMs(1));
+    sim.run();
+
+    const AggregatedWaitGraph awg = aggregate(corpus);
+    // Everything the instance waited on was direct hardware: pruned.
+    EXPECT_TRUE(awg.empty());
+    EXPECT_GT(awg.reducedCost(), 0);
+}
+
+TEST(AwgReduce, DpcReadiedWaitSurvives)
+{
+    // Network-style completion: the unwait carries a driver frame, so
+    // the structure is kept (that time is attributable to the driver
+    // stack and participates in patterns).
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m");
+    const DeviceId net =
+        sim.createDevice("NetworkService", "ndis.sys!ReceiveDpc");
+    const FrameId f = sim.frame("net.sys!Send");
+    const auto scn = sim.scenario("S");
+    sim.spawnThread({actPush(f), actBeginInstance(scn),
+                     actHardware(net, fromMs(5)), actEndInstance(),
+                     actPop()});
+    sim.run();
+
+    const AggregatedWaitGraph awg = aggregate(corpus);
+    ASSERT_EQ(awg.roots().size(), 1u);
+    const auto &root = awg.node(awg.roots()[0]);
+    EXPECT_EQ(root.key.status, AwgStatus::Waiting);
+    EXPECT_EQ(corpus.symbols().frameName(root.key.secondary),
+              "ndis.sys!ReceiveDpc");
+    EXPECT_EQ(awg.reducedCost(), 0);
+}
+
+TEST(AwgReduce, LockWaitOverHardwareSurvives)
+{
+    // A contender blocked on a lock whose holder was doing hardware
+    // I/O: the contender's time propagated through the lock and must
+    // be kept even though hardware sits underneath.
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m");
+    const DeviceId disk = sim.createDevice("DiskService");
+    const LockId lock = sim.createLock();
+    const FrameId f = sim.frame("stor.sys!Read");
+    sim.spawnThread({actPush(f), actAcquire(lock),
+                     actHardware(disk, fromMs(6)), actRelease(lock),
+                     actPop()});
+    const auto scn = sim.scenario("S");
+    sim.spawnThread({actPush(f), actBeginInstance(scn),
+                     actAcquire(lock), actRelease(lock),
+                     actEndInstance(), actPop()},
+                    fromMs(1));
+    sim.run();
+
+    const AggregatedWaitGraph awg = aggregate(corpus);
+    ASSERT_FALSE(awg.empty());
+    const auto &root = awg.node(awg.roots()[0]);
+    // The root is the lock wait, signalled from the holder's driver
+    // frame — propagation, not direct hardware.
+    EXPECT_EQ(root.key.status, AwgStatus::Waiting);
+    EXPECT_NE(root.key.secondary, kNoFrame);
+}
+
+TEST(AwgReduce, ChildlessDeviceReadiedWaitIsPruned)
+{
+    // Two instances wait on the same disk request window; the second
+    // graph's wait finds its hardware event already claimed and ends
+    // up childless — still direct hardware time.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId drv = b.stack({"app!x", "stor.sys!Read"});
+    const CallstackId hw = b.stack({"DiskService"});
+    b.wait(1, 0, drv);
+    b.hardware(9, 0, 400, hw);
+    b.unwait(9, 400, 1, hw);
+    b.instance("S", 1, 0, 500);
+    b.finish();
+
+    const AggregatedWaitGraph awg = aggregate(corpus);
+    EXPECT_TRUE(awg.empty());
+    EXPECT_EQ(awg.reducedCost(), 400);
+}
+
+TEST(AwgReduce, ReducedCostFeedsNonOptimizableAccounting)
+{
+    // Mixed structure: one direct-hardware root and one propagated
+    // root; reducedCost + totalRootCost partitions the aggregate.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId drv = b.stack({"app!x", "stor.sys!Read"});
+    const CallstackId hw = b.stack({"DiskService"});
+    const CallstackId fv = b.stack({"app!x", "fv.sys!Query"});
+
+    b.wait(1, 0, drv); // direct hw wait, 300
+    b.hardware(9, 0, 300, hw);
+    b.unwait(9, 300, 1, hw);
+    b.wait(1, 400, fv); // propagated wait, 200
+    b.running(2, 450, 100, fv);
+    b.unwait(2, 600, 1, fv);
+    b.instance("S", 1, 0, 700);
+    b.finish();
+
+    const AggregatedWaitGraph awg = aggregate(corpus);
+    EXPECT_EQ(awg.reducedCost(), 300);
+    EXPECT_EQ(awg.totalRootCost(), 200);
+}
+
+} // namespace
+} // namespace tracelens

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Unit tests for Aggregated Wait Graph construction (Algorithm 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/awg/awg.h"
+#include "src/trace/builder.h"
+#include "src/waitgraph/waitgraph.h"
+
+namespace tracelens
+{
+namespace
+{
+
+/** Build all wait graphs of a corpus. */
+std::vector<WaitGraph>
+graphsOf(const TraceCorpus &corpus)
+{
+    return WaitGraphBuilder(corpus).buildAll();
+}
+
+NameFilter
+drivers()
+{
+    return NameFilter({"*.sys"});
+}
+
+TEST(Awg, WaitUnwaitPairBecomesWaitingNode)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId wstack = b.stack({"app!U", "fv.sys!Query"});
+    const CallstackId ustack = b.stack({"app!W", "fs.sys!Release"});
+    b.wait(1, 100, wstack);
+    b.unwait(2, 600, 1, ustack);
+    b.instance("S", 1, 0, 700);
+    b.finish();
+
+    const auto graphs = graphsOf(corpus);
+    AwgBuilder builder(corpus, drivers());
+    const AggregatedWaitGraph awg = builder.aggregate(graphs);
+
+    ASSERT_EQ(awg.roots().size(), 1u);
+    const auto &n = awg.node(awg.roots()[0]);
+    EXPECT_EQ(n.key.status, AwgStatus::Waiting);
+    EXPECT_EQ(corpus.symbols().frameName(n.key.primary),
+              "fv.sys!Query");
+    EXPECT_EQ(corpus.symbols().frameName(n.key.secondary),
+              "fs.sys!Release");
+    EXPECT_EQ(n.cost, 500);
+    EXPECT_EQ(n.count, 1u);
+}
+
+TEST(Awg, IrrelevantRootPromotesChildren)
+{
+    // Root wait has no driver frames (and is unwaited from a non-driver
+    // stack); its child driver wait must be promoted to an AWG root.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId app = b.stack({"app!U", "kernel!Wait"});
+    const CallstackId drv = b.stack({"app!W", "fs.sys!Acquire"});
+    b.wait(1, 100, app);
+    b.wait(2, 150, drv);
+    b.unwait(3, 500, 2, drv);
+    b.unwait(2, 600, 1, app);
+    b.instance("S", 1, 0, 700);
+    b.finish();
+
+    const auto graphs = graphsOf(corpus);
+    AwgBuilder builder(corpus, drivers());
+    const AggregatedWaitGraph awg = builder.aggregate(graphs);
+
+    ASSERT_EQ(awg.roots().size(), 1u);
+    const auto &n = awg.node(awg.roots()[0]);
+    EXPECT_EQ(corpus.symbols().frameName(n.key.primary),
+              "fs.sys!Acquire");
+    EXPECT_EQ(n.cost, 350);
+}
+
+TEST(Awg, CommonPrefixAggregationSumsCostAndCount)
+{
+    // Two instances with the identical wait/unwait signature pair merge
+    // into one AWG node with N=2 and summed cost.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId drv = b.stack({"app!U", "fv.sys!Query"});
+    b.wait(1, 100, drv);
+    b.unwait(9, 400, 1, drv); // cost 300
+    b.wait(2, 100, drv);
+    b.unwait(9, 600, 2, drv); // cost 500
+    b.instance("S", 1, 0, 700);
+    b.instance("S", 2, 0, 700);
+    b.finish();
+
+    const auto graphs = graphsOf(corpus);
+    AwgBuilder builder(corpus, drivers());
+    const AggregatedWaitGraph awg = builder.aggregate(graphs);
+
+    ASSERT_EQ(awg.roots().size(), 1u);
+    const auto &n = awg.node(awg.roots()[0]);
+    EXPECT_EQ(n.count, 2u);
+    EXPECT_EQ(n.cost, 800);
+    EXPECT_EQ(n.maxCost, 500);
+}
+
+TEST(Awg, DivergentSuffixesSplitUnderSharedPrefix)
+{
+    // Both instances wait on fv.sys released from fv.sys, but the
+    // nested behaviour differs: one has a nested fs.sys wait, the other
+    // a nested se.sys running sample.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId fv = b.stack({"app!U", "fv.sys!Query"});
+    const CallstackId fsw = b.stack({"app!W", "fs.sys!Acquire"});
+    const CallstackId ser = b.stack({"app!W", "se.sys!Decrypt"});
+
+    // Instance 1: wait(fv) <- worker waits on fs.
+    b.wait(1, 100, fv);
+    b.wait(2, 110, fsw);
+    b.unwait(5, 300, 2, fsw);
+    b.unwait(2, 400, 1, fv);
+    // Instance 2: wait(fv) <- worker runs se.sys.
+    b.wait(3, 100, fv);
+    b.running(4, 150, 100, ser);
+    b.unwait(4, 500, 3, fv);
+    b.instance("S", 1, 0, 600);
+    b.instance("S", 3, 0, 600);
+    b.finish();
+
+    const auto graphs = graphsOf(corpus);
+    AwgBuilder builder(corpus, drivers());
+    const AggregatedWaitGraph awg = builder.aggregate(graphs);
+
+    ASSERT_EQ(awg.roots().size(), 1u);
+    const auto &root = awg.node(awg.roots()[0]);
+    EXPECT_EQ(root.count, 2u);
+    ASSERT_EQ(root.children.size(), 2u);
+    const auto &c0 = awg.node(root.children[0]);
+    const auto &c1 = awg.node(root.children[1]);
+    EXPECT_NE(c0.key.status, c1.key.status);
+}
+
+TEST(Awg, ReduceprunesWaitOnPureHardwareRoot)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId drv = b.stack({"app!U", "disk.sys!Read"});
+    const CallstackId hw = b.stack({"DiskService"});
+    // Driver wait served directly by hardware: non-optimizable.
+    b.wait(1, 100, drv);
+    b.hardware(9, 100, 400, hw);
+    b.unwait(9, 500, 1, hw);
+    // A second, propagated structure that must survive.
+    const CallstackId fv = b.stack({"app!U", "fv.sys!Query"});
+    b.wait(2, 100, fv);
+    b.running(8, 150, 100, fv);
+    b.unwait(8, 700, 2, fv);
+    b.instance("S", 1, 0, 800);
+    b.instance("S", 2, 0, 800);
+    b.finish();
+
+    const auto graphs = graphsOf(corpus);
+    AwgBuilder builder(corpus, drivers());
+    const AggregatedWaitGraph awg = builder.aggregate(graphs);
+
+    // Only the propagated structure remains.
+    ASSERT_EQ(awg.roots().size(), 1u);
+    EXPECT_EQ(corpus.symbols().frameName(
+                  awg.node(awg.roots()[0]).key.primary),
+              "fv.sys!Query");
+    EXPECT_EQ(awg.reducedCost(), 400); // the pruned wait's duration
+    EXPECT_EQ(awg.reducedNodes(), 2u);
+    // Node storage was compacted.
+    for (const auto &n : awg.nodes())
+        EXPECT_NE(n.key.status, AwgStatus::Hardware);
+}
+
+TEST(Awg, ReductionCanBeDisabled)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId drv = b.stack({"app!U", "disk.sys!Read"});
+    const CallstackId hw = b.stack({"DiskService"});
+    b.wait(1, 100, drv);
+    b.hardware(9, 100, 400, hw);
+    b.unwait(9, 500, 1, hw);
+    b.instance("S", 1, 0, 600);
+    b.finish();
+
+    const auto graphs = graphsOf(corpus);
+    AwgOptions options;
+    options.reduceNonOptimizable = false;
+    AwgBuilder builder(corpus, drivers(), options);
+    const AggregatedWaitGraph awg = builder.aggregate(graphs);
+
+    ASSERT_EQ(awg.roots().size(), 1u);
+    EXPECT_EQ(awg.reducedCost(), 0);
+    const auto &root = awg.node(awg.roots()[0]);
+    ASSERT_EQ(root.children.size(), 1u);
+    EXPECT_EQ(awg.node(root.children[0]).key.status,
+              AwgStatus::Hardware);
+}
+
+TEST(Awg, HardwareNodeCarriesDummySignature)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId drv = b.stack({"app!U", "fs.sys!Read"});
+    const CallstackId hw = b.stack({"DiskService"});
+    const CallstackId run = b.stack({"app!W", "se.sys!Decrypt"});
+    b.wait(1, 100, drv);
+    b.hardware(9, 100, 300, hw);
+    b.running(9, 400, 50, run);
+    b.unwait(9, 500, 1, run);
+    b.instance("S", 1, 0, 600);
+    b.finish();
+
+    const auto graphs = graphsOf(corpus);
+    AwgBuilder builder(corpus, drivers());
+    const AggregatedWaitGraph awg = builder.aggregate(graphs);
+
+    ASSERT_EQ(awg.roots().size(), 1u);
+    const auto &root = awg.node(awg.roots()[0]);
+    // Two children survive: hardware + running (the structure is not a
+    // single-hardware-leaf pattern, so no reduction).
+    ASSERT_EQ(root.children.size(), 2u);
+    const auto &hwn = awg.node(root.children[0]);
+    EXPECT_EQ(hwn.key.status, AwgStatus::Hardware);
+    EXPECT_EQ(corpus.symbols().frameName(hwn.key.primary),
+              "DiskService");
+    EXPECT_EQ(hwn.cost, 300);
+}
+
+TEST(Awg, InnerIrrelevantEliminationTogglable)
+{
+    // A driver wait whose nested wait is kernel-only, below which is a
+    // driver running node.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId fv = b.stack({"app!U", "fv.sys!Query"});
+    const CallstackId kern = b.stack({"app!W", "kernel!Wait"});
+    const CallstackId ser = b.stack({"sys!W", "se.sys!Decrypt"});
+    b.wait(1, 100, fv);
+    b.wait(2, 110, kern);
+    b.running(3, 150, 80, ser);
+    b.unwait(3, 400, 2, kern);
+    b.unwait(2, 500, 1, fv);
+    b.instance("S", 1, 0, 600);
+    b.finish();
+
+    const auto graphs = graphsOf(corpus);
+
+    AwgBuilder eliminate(corpus, drivers());
+    const AggregatedWaitGraph a1 = eliminate.aggregate(graphs);
+    ASSERT_EQ(a1.roots().size(), 1u);
+    const auto &root1 = a1.node(a1.roots()[0]);
+    // Kernel-only wait collapsed: the running child is attached
+    // directly under the fv.sys waiting node.
+    ASSERT_EQ(root1.children.size(), 1u);
+    EXPECT_EQ(a1.node(root1.children[0]).key.status, AwgStatus::Running);
+
+    AwgOptions keep;
+    keep.eliminateInnerIrrelevant = false;
+    AwgBuilder keeper(corpus, drivers(), keep);
+    const AggregatedWaitGraph a2 = keeper.aggregate(graphs);
+    const auto &root2 = a2.node(a2.roots()[0]);
+    ASSERT_EQ(root2.children.size(), 1u);
+    // The kernel wait survives as a waiting node with <other> sigs.
+    const auto &mid = a2.node(root2.children[0]);
+    EXPECT_EQ(mid.key.status, AwgStatus::Waiting);
+    EXPECT_EQ(mid.key.primary, kNoFrame);
+}
+
+TEST(Awg, EmptyInputYieldsEmptyGraph)
+{
+    TraceCorpus corpus;
+    AwgBuilder builder(corpus, drivers());
+    const AggregatedWaitGraph awg = builder.aggregate({});
+    EXPECT_TRUE(awg.empty());
+    EXPECT_EQ(awg.totalRootCost(), 0);
+}
+
+TEST(Awg, RenderTextShowsSignatures)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId drv = b.stack({"app!U", "fv.sys!Query"});
+    b.wait(1, 100, drv);
+    b.running(2, 150, 100, drv);
+    b.unwait(2, 600, 1, drv);
+    b.instance("S", 1, 0, 700);
+    b.finish();
+
+    const auto graphs = graphsOf(corpus);
+    AwgBuilder builder(corpus, drivers());
+    const AggregatedWaitGraph awg = builder.aggregate(graphs);
+
+    const std::string text = awg.renderText(corpus.symbols());
+    EXPECT_NE(text.find("fv.sys!Query"), std::string::npos);
+    EXPECT_NE(text.find("waiting"), std::string::npos);
+    EXPECT_NE(text.find("running"), std::string::npos);
+
+    const std::string dot = awg.renderDot(corpus.symbols());
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(Awg, SourceGraphCountTracked)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId drv = b.stack({"app!U", "fv.sys!Query"});
+    b.running(1, 0, 10, drv);
+    b.running(2, 0, 10, drv);
+    b.instance("S", 1, 0, 100);
+    b.instance("S", 2, 0, 100);
+    b.finish();
+
+    const auto graphs = graphsOf(corpus);
+    AwgBuilder builder(corpus, drivers());
+    EXPECT_EQ(builder.aggregate(graphs).sourceGraphs(), 2u);
+}
+
+} // namespace
+} // namespace tracelens

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for per-component impact attribution, per-instance breakdowns,
+ * and the consolidated report builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/report.h"
+#include "src/impact/breakdown.h"
+#include "src/impact/impact.h"
+#include "src/trace/builder.h"
+#include "src/waitgraph/waitgraph.h"
+#include "src/workload/generator.h"
+
+namespace tracelens
+{
+namespace
+{
+
+NameFilter
+drivers()
+{
+    return NameFilter({"*.sys"});
+}
+
+TEST(ComponentImpact, AttributesWaitsToSignatureComponent)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId fv = b.stack({"app!U", "fv.sys!Query"});
+    const CallstackId net = b.stack({"app!U", "net.sys!Send"});
+    b.wait(1, 0, fv);
+    b.unwait(9, 300, 1, fv);
+    b.wait(1, 400, net);
+    b.unwait(9, 1000, 1, net);
+    b.instance("S", 1, 0, 1100);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const auto graphs = builder.buildAll();
+    const auto components = impactByComponent(corpus, graphs,
+                                              drivers());
+    ASSERT_EQ(components.size(), 2u);
+    // Sorted by total descending: net (600) before fv (300).
+    EXPECT_EQ(components[0].component, "net.sys");
+    EXPECT_EQ(components[0].wait, 600);
+    EXPECT_EQ(components[0].waitEvents, 1u);
+    EXPECT_EQ(components[1].component, "fv.sys");
+    EXPECT_EQ(components[1].wait, 300);
+}
+
+TEST(ComponentImpact, RunningAttribution)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId se = b.stack({"w!T", "se.sys!Decrypt"});
+    b.running(1, 0, 500, se);
+    b.instance("S", 1, 0, 600);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const auto graphs = builder.buildAll();
+    const auto components = impactByComponent(corpus, graphs,
+                                              drivers());
+    ASSERT_EQ(components.size(), 1u);
+    EXPECT_EQ(components[0].component, "se.sys");
+    EXPECT_EQ(components[0].run, 500);
+    EXPECT_EQ(components[0].wait, 0);
+}
+
+TEST(InstanceBreakdown, SplitsDurationIntoCategories)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId app = b.stack({"app!U", "app!Compute"});
+    const CallstackId drv = b.stack({"app!U", "fs.sys!Read"});
+    const CallstackId kern = b.stack({"app!U", "kernel!Wait"});
+
+    b.running(1, 0, 100, app);   // running 100
+    b.wait(1, 100, drv);         // component wait 400
+    b.unwait(9, 500, 1, drv);
+    b.wait(1, 600, kern);        // other wait 300 (no nested drivers)
+    b.unwait(9, 900, 1, kern);
+    // 100 ns of unattributed gap at the end.
+    b.instance("S", 1, 0, 1000);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const WaitGraph graph = builder.build(corpus.instances()[0]);
+    const InstanceBreakdown breakdown =
+        explainInstance(corpus, graph, drivers());
+
+    EXPECT_EQ(breakdown.total, 1000);
+    EXPECT_EQ(breakdown.running, 100);
+    EXPECT_EQ(breakdown.componentWait, 400);
+    EXPECT_EQ(breakdown.otherWait, 300);
+    EXPECT_EQ(breakdown.unattributed, 200);
+    ASSERT_EQ(breakdown.byComponent.size(), 1u);
+    EXPECT_EQ(breakdown.byComponent[0].component, "fs.sys");
+    EXPECT_NE(breakdown.render().find("fs.sys"), std::string::npos);
+}
+
+TEST(InstanceBreakdown, NestedComponentWaitUnderOtherWait)
+{
+    // An app-level wait whose readying thread waited inside a driver:
+    // the nested driver wait counts as component wait and is carved
+    // out of "other wait".
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId kern = b.stack({"app!U", "kernel!WaitForWorker"});
+    const CallstackId drv = b.stack({"w!T", "fs.sys!Read"});
+    b.wait(1, 0, kern);         // app-level wait [0, 1000]
+    b.wait(2, 100, drv);        // nested driver wait [100, 900]
+    b.unwait(9, 900, 2, drv);
+    b.unwait(2, 1000, 1, drv);
+    b.instance("S", 1, 0, 1000);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const WaitGraph graph = builder.build(corpus.instances()[0]);
+    const InstanceBreakdown breakdown =
+        explainInstance(corpus, graph, drivers());
+
+    EXPECT_EQ(breakdown.componentWait, 800);
+    EXPECT_EQ(breakdown.otherWait, 200); // 1000 - nested 800
+    EXPECT_EQ(breakdown.total, 1000);
+}
+
+TEST(InstanceBreakdown, CategoriesNeverExceedTotalOnGenerated)
+{
+    CorpusSpec spec;
+    spec.machines = 5;
+    spec.seed = 31;
+    const TraceCorpus corpus = generateCorpus(spec);
+    WaitGraphBuilder builder(corpus);
+    for (const ScenarioInstance &instance : corpus.instances()) {
+        const WaitGraph graph = builder.build(instance);
+        const InstanceBreakdown breakdown =
+            explainInstance(corpus, graph, drivers());
+        EXPECT_GE(breakdown.running, 0);
+        EXPECT_GE(breakdown.componentWait, 0);
+        EXPECT_GE(breakdown.otherWait, 0);
+        EXPECT_GE(breakdown.unattributed, 0);
+    }
+}
+
+TEST(ComponentImpact, ComponentWaitsSumToAggregateDwait)
+{
+    // The per-component attribution uses the same top-level BFS rule
+    // as ImpactAnalysis, so the component waits partition D_wait.
+    CorpusSpec spec;
+    spec.machines = 8;
+    spec.seed = 71;
+    const TraceCorpus corpus = generateCorpus(spec);
+    WaitGraphBuilder builder(corpus);
+    const auto graphs = builder.buildAll();
+
+    ImpactAnalysis impact(corpus, drivers());
+    const ImpactResult total = impact.analyze(graphs);
+
+    DurationNs component_sum = 0;
+    for (const ComponentImpact &c :
+         impactByComponent(corpus, graphs, drivers()))
+        component_sum += c.wait;
+    EXPECT_EQ(component_sum, total.dWait);
+}
+
+TEST(Report, ContainsAllSections)
+{
+    CorpusSpec spec;
+    spec.machines = 6;
+    spec.seed = 13;
+    const TraceCorpus corpus = generateCorpus(spec);
+    Analyzer analyzer(corpus);
+
+    const std::vector<ScenarioThresholds> scenarios = {
+        {"BrowserTabCreate", fromMs(300), fromMs(500)},
+        {"NotInCorpus", fromMs(1), fromMs(2)},
+    };
+    const std::string report =
+        buildReport(analyzer, scenarios, ReportOptions{});
+
+    EXPECT_NE(report.find("TraceLens report"), std::string::npos);
+    EXPECT_NE(report.find("impact analysis"), std::string::npos);
+    EXPECT_NE(report.find("impact by component"), std::string::npos);
+    EXPECT_NE(report.find("scenario BrowserTabCreate"),
+              std::string::npos);
+    EXPECT_NE(report.find("not present in this corpus"),
+              std::string::npos);
+}
+
+TEST(Report, KnowledgeFilterToggle)
+{
+    CorpusSpec spec;
+    spec.machines = 8;
+    spec.seed = 21;
+    spec.diskProtectionFraction = 1.0; // every machine has dp.sys
+    const TraceCorpus corpus = generateCorpus(spec);
+    Analyzer analyzer(corpus);
+
+    const std::vector<ScenarioThresholds> scenarios = {
+        {"BrowserTabCreate", fromMs(300), fromMs(500)},
+    };
+    ReportOptions with_filter;
+    with_filter.applyKnowledgeFilter = true;
+    ReportOptions without_filter;
+    without_filter.applyKnowledgeFilter = false;
+
+    const std::string filtered =
+        buildReport(analyzer, scenarios, with_filter);
+    const std::string unfiltered =
+        buildReport(analyzer, scenarios, without_filter);
+    // The unfiltered report never mentions suppression.
+    EXPECT_EQ(unfiltered.find("suppressed as by-design"),
+              std::string::npos);
+    // Both are well-formed.
+    EXPECT_NE(filtered.find("TraceLens report"), std::string::npos);
+}
+
+} // namespace
+} // namespace tracelens

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the HTML report generator.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/htmlreport.h"
+#include "src/trace/builder.h"
+#include "src/workload/generator.h"
+
+namespace tracelens
+{
+namespace
+{
+
+TEST(HtmlReport, WellFormedSkeleton)
+{
+    CorpusSpec spec;
+    spec.machines = 6;
+    spec.seed = 2;
+    const TraceCorpus corpus = generateCorpus(spec);
+    Analyzer analyzer(corpus);
+
+    const std::vector<ScenarioThresholds> scenarios = {
+        {"BrowserTabCreate", fromMs(300), fromMs(500)},
+        {"Missing", fromMs(1), fromMs(2)},
+    };
+    const std::string html =
+        buildHtmlReport(analyzer, scenarios, ReportOptions{});
+
+    EXPECT_EQ(html.rfind("<!doctype html", 0), 0u);
+    EXPECT_NE(html.find("</html>"), std::string::npos);
+    EXPECT_NE(html.find("TraceLens report"), std::string::npos);
+    EXPECT_NE(html.find("Impact analysis"), std::string::npos);
+    EXPECT_NE(html.find("Impact by component"), std::string::npos);
+    EXPECT_NE(html.find("Scenario BrowserTabCreate"),
+              std::string::npos);
+    EXPECT_NE(html.find("not present in this corpus"),
+              std::string::npos);
+
+    // Balanced details tags.
+    std::size_t open = 0, close = 0, pos = 0;
+    while ((pos = html.find("<details", pos)) != std::string::npos) {
+        ++open;
+        pos += 8;
+    }
+    pos = 0;
+    while ((pos = html.find("</details>", pos)) != std::string::npos) {
+        ++close;
+        pos += 10;
+    }
+    EXPECT_EQ(open, close);
+}
+
+TEST(HtmlReport, EscapesSignatures)
+{
+    // Frame names with HTML-special characters must be escaped.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId st =
+        b.stack({"app!op<tpl>", "x.sys!Read<A&B>"});
+    b.wait(1, 0, st);
+    b.unwait(9, fromMs(600), 1, st);
+    b.instance("S", 1, 0, fromMs(700));
+    // Provide a fast instance for contrast.
+    b.instance("S", 1, 0, fromMs(1));
+    b.finish();
+
+    Analyzer analyzer(corpus);
+    const std::vector<ScenarioThresholds> scenarios = {
+        {"S", fromMs(100), fromMs(500)},
+    };
+    const std::string html =
+        buildHtmlReport(analyzer, scenarios, ReportOptions{});
+    EXPECT_EQ(html.find("x.sys!Read<A&B>"), std::string::npos);
+    EXPECT_NE(html.find("x.sys!Read&lt;A&amp;B&gt;"),
+              std::string::npos);
+}
+
+TEST(HtmlReport, WritesFile)
+{
+    TraceCorpus corpus;
+    Analyzer analyzer(corpus);
+    const std::string path = "/tmp/tracelens_report_test.html";
+    writeHtmlReportFile(analyzer, {}, path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string first_line;
+    std::getline(in, first_line);
+    EXPECT_NE(first_line.find("<!doctype html"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace tracelens

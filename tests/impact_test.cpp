@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the impact analysis (Section 3 metrics) with
+ * hand-computed expectations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/impact/impact.h"
+#include "src/trace/builder.h"
+#include "src/waitgraph/waitgraph.h"
+
+namespace tracelens
+{
+namespace
+{
+
+TEST(ImpactResult, RatiosAndRendering)
+{
+    ImpactResult r;
+    r.dScn = 1000;
+    r.dWait = 364;
+    r.dRun = 16;
+    r.dWaitDist = 104;
+    EXPECT_DOUBLE_EQ(r.iaWait(), 0.364);
+    EXPECT_DOUBLE_EQ(r.iaRun(), 0.016);
+    EXPECT_DOUBLE_EQ(r.iaOpt(), 0.26);
+    EXPECT_NEAR(r.waitAmplification(), 3.5, 0.001);
+    EXPECT_NE(r.render().find("36.4%"), std::string::npos);
+}
+
+TEST(ImpactResult, EmptyIsAllZero)
+{
+    ImpactResult r;
+    EXPECT_DOUBLE_EQ(r.iaWait(), 0.0);
+    EXPECT_DOUBLE_EQ(r.iaRun(), 0.0);
+    EXPECT_DOUBLE_EQ(r.iaOpt(), 0.0);
+    EXPECT_DOUBLE_EQ(r.waitAmplification(), 0.0);
+}
+
+TEST(Impact, CountsTopLevelDriverWaitOnly)
+{
+    // A driver wait nested inside another driver wait must not be
+    // double counted.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId outer = b.stack({"app!U", "fv.sys!Query"});
+    const CallstackId inner = b.stack({"app!W", "fs.sys!Acquire"});
+    const CallstackId plain = b.stack({"app!W"});
+
+    b.wait(1, 0, outer);          // driver wait, cost 1000
+    b.wait(2, 100, inner);        // nested driver wait, cost 400
+    b.unwait(3, 500, 2, plain);
+    b.running(2, 500, 100, plain);
+    b.unwait(2, 1000, 1, plain);
+    b.running(1, 1000, 200, plain);
+    b.instance("S", 1, 0, 1200);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const auto graphs = builder.buildAll();
+    ImpactAnalysis impact(corpus, NameFilter({"*.sys"}));
+    const ImpactResult r = impact.analyze(graphs);
+
+    EXPECT_EQ(r.dScn, 1200); // wait 1000 + running 200
+    EXPECT_EQ(r.dWait, 1000);
+    EXPECT_EQ(r.dWaitDist, 1000);
+    EXPECT_EQ(r.dRun, 0); // no driver frames on running stacks
+    EXPECT_EQ(r.instances, 1u);
+}
+
+TEST(Impact, DescendsThroughNonDriverWaits)
+{
+    // A non-driver wait whose child is a driver wait: the child counts.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId appwait = b.stack({"app!U", "kernel!Wait"});
+    const CallstackId drvwait = b.stack({"app!W", "fs.sys!Acquire"});
+    const CallstackId plain = b.stack({"app!W"});
+
+    b.wait(1, 0, appwait);        // non-driver wait, cost 1000
+    b.wait(2, 100, drvwait);      // driver wait, cost 400
+    b.unwait(3, 500, 2, plain);
+    b.unwait(2, 1000, 1, plain);
+    b.instance("S", 1, 0, 1100);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const auto graphs = builder.buildAll();
+    ImpactAnalysis impact(corpus, NameFilter({"*.sys"}));
+    const ImpactResult r = impact.analyze(graphs);
+
+    EXPECT_EQ(r.dScn, 1000);
+    EXPECT_EQ(r.dWait, 400);
+}
+
+TEST(Impact, RunningTimeCountsDriverStacksAnywhere)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId appwait = b.stack({"app!U", "kernel!Wait"});
+    const CallstackId drvrun = b.stack({"app!W", "se.sys!Decrypt"});
+    const CallstackId apprun = b.stack({"app!W", "app!Compute"});
+
+    b.running(1, 0, 100, apprun);    // root running, not driver
+    b.wait(1, 100, appwait);
+    b.running(2, 200, 300, drvrun);  // nested driver running
+    b.running(2, 500, 100, apprun);  // nested non-driver running
+    b.unwait(2, 700, 1, apprun);
+    b.instance("S", 1, 0, 800);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const auto graphs = builder.buildAll();
+    ImpactAnalysis impact(corpus, NameFilter({"*.sys"}));
+    const ImpactResult r = impact.analyze(graphs);
+
+    EXPECT_EQ(r.dScn, 700); // 100 running + 600 wait
+    EXPECT_EQ(r.dRun, 300);
+    EXPECT_EQ(r.dWait, 0); // the wait stack has no driver frame
+}
+
+TEST(Impact, DistinctWaitDeduplicatesAcrossInstances)
+{
+    // Two instances blocked by the same shared worker wait; the shared
+    // wait is counted twice in D_wait, once in D_waitdist.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId drv = b.stack({"app!X", "fs.sys!Acquire"});
+
+    b.wait(1, 100, drv);  // instance 1's own (top-level driver wait)
+    b.wait(2, 100, drv);  // instance 2's own
+    b.unwait(3, 600, 1, drv);
+    b.unwait(3, 600, 2, drv);
+    b.instance("S", 1, 0, 700);
+    b.instance("T", 2, 0, 700);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const auto graphs = builder.buildAll();
+    ImpactAnalysis impact(corpus, NameFilter({"*.sys"}));
+    const ImpactResult r = impact.analyze(graphs);
+
+    // Each instance has its own distinct wait: no dedup here.
+    EXPECT_EQ(r.dWait, 1000);
+    EXPECT_EQ(r.dWaitDist, 1000);
+
+    // Now the *same* nested wait under both: build a corpus where both
+    // instances' waits expand to one shared child wait.
+    TraceCorpus corpus2;
+    StreamBuilder b2(corpus2, "s");
+    const CallstackId app = b2.stack({"app!X", "kernel!Wait"});
+    const CallstackId drv2 = b2.stack({"app!Y", "fs.sys!Acquire"});
+    b2.wait(1, 100, app);   // non-driver: analysis descends
+    b2.wait(2, 110, app);   // non-driver: analysis descends
+    b2.wait(3, 120, drv2);  // shared driver wait, cost 380
+    b2.unwait(4, 500, 3, drv2);
+    b2.unwait(3, 600, 1, app);
+    b2.unwait(3, 610, 2, app);
+    b2.instance("S", 1, 0, 700);
+    b2.instance("T", 2, 0, 700);
+    b2.finish();
+
+    WaitGraphBuilder builder2(corpus2);
+    const auto graphs2 = builder2.buildAll();
+    ImpactAnalysis impact2(corpus2, NameFilter({"*.sys"}));
+    const ImpactResult r2 = impact2.analyze(graphs2);
+
+    EXPECT_EQ(r2.dWait, 760);     // 380 counted in both graphs
+    EXPECT_EQ(r2.dWaitDist, 380); // but only once distinctly
+    EXPECT_DOUBLE_EQ(r2.waitAmplification(), 2.0);
+}
+
+TEST(Impact, PerScenarioSplitsMetrics)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId drv = b.stack({"app!X", "fs.sys!Acquire"});
+    b.wait(1, 0, drv);
+    b.unwait(9, 100, 1, drv);
+    b.wait(2, 0, drv);
+    b.unwait(9, 300, 2, drv);
+    b.instance("Fast", 1, 0, 150);
+    b.instance("Slow", 2, 0, 350);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const auto graphs = builder.buildAll();
+    ImpactAnalysis impact(corpus, NameFilter({"*.sys"}));
+    const auto per = impact.analyzePerScenario(graphs);
+
+    ASSERT_EQ(per.size(), 2u);
+    const auto fast = corpus.findScenario("Fast");
+    const auto slow = corpus.findScenario("Slow");
+    EXPECT_EQ(per.at(fast).dWait, 100);
+    EXPECT_EQ(per.at(slow).dWait, 300);
+    EXPECT_EQ(per.at(fast).instances, 1u);
+}
+
+TEST(Impact, ComponentFilterScopesMeasurement)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId fs = b.stack({"app!X", "fs.sys!Acquire"});
+    const CallstackId net = b.stack({"app!Y", "net.sys!Send"});
+    b.wait(1, 0, fs);
+    b.unwait(9, 100, 1, fs);
+    b.wait(1, 200, net);
+    b.unwait(9, 500, 1, net);
+    b.instance("S", 1, 0, 600);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const auto graphs = builder.buildAll();
+
+    ImpactAnalysis all(corpus, NameFilter({"*.sys"}));
+    EXPECT_EQ(all.analyze(graphs).dWait, 400);
+
+    ImpactAnalysis fsOnly(corpus, NameFilter({"fs.sys"}));
+    EXPECT_EQ(fsOnly.analyze(graphs).dWait, 100);
+
+    ImpactAnalysis netOnly(corpus, NameFilter({"net.sys"}));
+    EXPECT_EQ(netOnly.analyze(graphs).dWait, 300);
+}
+
+} // namespace
+} // namespace tracelens

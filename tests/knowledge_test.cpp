@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the by-design-behaviour knowledge filter (Section 5.2.5)
+ * and the cross-scenario pattern index (Section 2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/mining/knowledge.h"
+#include "src/mining/patternindex.h"
+
+namespace tracelens
+{
+namespace
+{
+
+SignatureSetTuple
+makeTuple(SymbolTable &sym,
+          std::initializer_list<std::string_view> waits,
+          std::initializer_list<std::string_view> unwaits,
+          std::initializer_list<std::string_view> runnings)
+{
+    SignatureSetTuple tuple;
+    for (auto s : waits)
+        tuple.waits.push_back(sym.internFrame(s));
+    for (auto s : unwaits)
+        tuple.unwaits.push_back(sym.internFrame(s));
+    for (auto s : runnings)
+        tuple.runnings.push_back(sym.internFrame(s));
+    tuple.normalize();
+    return tuple;
+}
+
+ContrastPattern
+makePattern(SignatureSetTuple tuple, DurationNs cost,
+            std::uint64_t count)
+{
+    ContrastPattern p;
+    p.tuple = std::move(tuple);
+    p.cost = cost;
+    p.count = count;
+    p.maxExec = cost;
+    return p;
+}
+
+TEST(Knowledge, MatchesAnySetOfTheTuple)
+{
+    SymbolTable sym;
+    KnowledgeBase kb;
+    kb.addRule("dp.sys", "by design");
+
+    EXPECT_TRUE(kb.matches(
+        makeTuple(sym, {"dp.sys!CheckMotion"}, {}, {}), sym));
+    EXPECT_TRUE(kb.matches(
+        makeTuple(sym, {}, {"dp.sys!MotionSensor"}, {}), sym));
+    EXPECT_TRUE(kb.matches(
+        makeTuple(sym, {}, {}, {"dp.sys!Spin"}), sym));
+    EXPECT_FALSE(kb.matches(
+        makeTuple(sym, {"fs.sys!Read"}, {"fv.sys!Q"}, {}), sym));
+}
+
+TEST(Knowledge, GlobRulesMatchComponents)
+{
+    SymbolTable sym;
+    KnowledgeBase kb;
+    kb.addRule("av_*.sys", "security software inspects by design");
+    EXPECT_TRUE(kb.matches(
+        makeTuple(sym, {"av_flt.sys!Inspect"}, {}, {}), sym));
+    EXPECT_FALSE(kb.matches(
+        makeTuple(sym, {"avocado.exe!Guac"}, {}, {}), sym));
+}
+
+TEST(Knowledge, ApplyPartitionsAndPreservesOrder)
+{
+    SymbolTable sym;
+    KnowledgeBase kb;
+    kb.addRule("dp.sys", "disk protection halts I/O by design");
+
+    MiningResult result;
+    result.patterns.push_back(makePattern(
+        makeTuple(sym, {"fs.sys!Read"}, {}, {"DiskService"}), 900, 1));
+    result.patterns.push_back(makePattern(
+        makeTuple(sym, {"dp.sys!CheckMotion"}, {}, {}), 800, 1));
+    result.patterns.push_back(makePattern(
+        makeTuple(sym, {"fv.sys!Query"}, {}, {}), 700, 1));
+
+    const FilteredMiningResult filtered = kb.apply(result, sym);
+    ASSERT_EQ(filtered.kept.size(), 2u);
+    ASSERT_EQ(filtered.suppressed.size(), 1u);
+    EXPECT_EQ(filtered.kept[0].cost, 900);
+    EXPECT_EQ(filtered.kept[1].cost, 700);
+    EXPECT_EQ(filtered.suppressed[0].pattern.cost, 800);
+    EXPECT_NE(filtered.suppressed[0].reason.find("by design"),
+              std::string::npos);
+}
+
+TEST(Knowledge, DefaultsSuppressDiskProtection)
+{
+    SymbolTable sym;
+    const KnowledgeBase kb = KnowledgeBase::defaults();
+    EXPECT_GT(kb.ruleCount(), 0u);
+    EXPECT_TRUE(kb.matches(
+        makeTuple(sym, {"dp.sys!CheckMotion"}, {"dp.sys!MotionSensor"},
+                  {}),
+        sym));
+    EXPECT_FALSE(kb.matches(
+        makeTuple(sym, {"fs.sys!Read"}, {}, {}), sym));
+}
+
+TEST(PatternIndex, FindsPatternsBySignature)
+{
+    SymbolTable sym;
+    const FrameId shared = sym.internFrame("se.sys!ReadDecrypt");
+
+    MiningResult tab_create;
+    tab_create.patterns.push_back(makePattern(
+        makeTuple(sym, {"fv.sys!Query"}, {}, {"se.sys!ReadDecrypt"}),
+        1000, 1));
+    MiningResult navigation;
+    navigation.patterns.push_back(makePattern(
+        makeTuple(sym, {"fs.sys!Read"}, {"se.sys!ReadDecrypt"}, {}),
+        4000, 2));
+    navigation.patterns.push_back(makePattern(
+        makeTuple(sym, {"net.sys!Send"}, {}, {}), 500, 1));
+
+    PatternIndex index(sym);
+    index.add("BrowserTabCreate", tab_create);
+    index.add("WebPageNavigation", navigation);
+    EXPECT_EQ(index.patternCount(), 3u);
+    EXPECT_EQ(index.scenarioCount(), 2u);
+
+    const auto hits = index.bySignature(shared);
+    ASSERT_EQ(hits.size(), 2u);
+    // Sorted by impact: 4000/2=2000 first, then 1000/1.
+    EXPECT_EQ(hits[0].scenario, "WebPageNavigation");
+    EXPECT_EQ(hits[1].scenario, "BrowserTabCreate");
+    EXPECT_EQ(hits[0].rank, 0u);
+}
+
+TEST(PatternIndex, LookupByNameAndComponent)
+{
+    SymbolTable sym;
+    MiningResult result;
+    result.patterns.push_back(makePattern(
+        makeTuple(sym, {"fv.sys!Query"}, {"fs.sys!Release"},
+                  {"DiskService"}),
+        100, 1));
+    PatternIndex index(sym);
+    index.add("S", result);
+
+    EXPECT_EQ(index.bySignatureName("fv.sys!Query").size(), 1u);
+    EXPECT_TRUE(index.bySignatureName("unknown!frame").empty());
+
+    EXPECT_EQ(index.byComponent("*.sys").size(), 1u);
+    EXPECT_EQ(index.byComponent("fs.sys").size(), 1u);
+    EXPECT_TRUE(index.byComponent("net.sys").empty());
+    // A pattern with several matching frames appears once.
+    EXPECT_EQ(index.byComponent("f*.sys").size(), 1u);
+}
+
+TEST(PatternIndex, UnknownSignatureYieldsNothing)
+{
+    SymbolTable sym;
+    PatternIndex index(sym);
+    EXPECT_TRUE(index.bySignature(12345).empty());
+    EXPECT_EQ(index.patternCount(), 0u);
+}
+
+} // namespace
+} // namespace tracelens

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for corpus merging and the wait-graph text renderer.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/analyzer.h"
+#include "src/trace/builder.h"
+#include "src/trace/merge.h"
+#include "src/trace/serialize.h"
+#include "src/workload/generator.h"
+#include "src/workload/motivating.h"
+
+namespace tracelens
+{
+namespace
+{
+
+TEST(Merge, RemapsStreamsStacksAndScenarios)
+{
+    TraceCorpus a;
+    {
+        StreamBuilder b(a, "machine-a");
+        const CallstackId st = b.stack({"app!X", "fs.sys!Read"});
+        b.running(1, 0, 100, st);
+        b.instance("S", 1, 0, 200);
+        b.finish();
+    }
+    TraceCorpus b;
+    {
+        // Same frame names, interned independently (different ids).
+        StreamBuilder sb(b, "machine-b");
+        const CallstackId other = sb.stack({"other!Y"});
+        const CallstackId st = sb.stack({"app!X", "fs.sys!Read"});
+        sb.running(2, 0, 50, other);
+        sb.wait(3, 10, st);
+        sb.unwait(2, 60, 3, st);
+        sb.instance("T", 3, 0, 100);
+        sb.instance("S", 2, 0, 80);
+        sb.finish();
+    }
+
+    const std::vector<TraceCorpus> parts = [&] {
+        std::vector<TraceCorpus> v;
+        v.push_back(std::move(a));
+        v.push_back(std::move(b));
+        return v;
+    }();
+    const TraceCorpus merged = mergeCorpora(parts);
+
+    EXPECT_EQ(merged.streamCount(), 2u);
+    EXPECT_EQ(merged.totalEvents(), 4u);
+    ASSERT_EQ(merged.instances().size(), 3u);
+
+    // Instance stream indices remapped.
+    EXPECT_EQ(merged.instances()[0].stream, 0u);
+    EXPECT_EQ(merged.instances()[1].stream, 1u);
+    EXPECT_EQ(merged.instances()[2].stream, 1u);
+
+    // Scenario names unified: "S" appears once.
+    EXPECT_EQ(merged.scenarioCount(), 2u);
+    EXPECT_EQ(merged.scenarioName(merged.instances()[0].scenario),
+              "S");
+    EXPECT_EQ(merged.scenarioName(merged.instances()[2].scenario),
+              "S");
+
+    // The shared stack deduplicated into one interned id.
+    const Event &e0 = merged.stream(0).event(0);
+    const Event &e1 = merged.stream(1).event(1); // the wait
+    EXPECT_EQ(e0.stack, e1.stack);
+    EXPECT_EQ(
+        merged.symbols().renderStack(e0.stack).find("fs.sys!Read") !=
+            std::string::npos,
+        true);
+}
+
+TEST(Merge, MergedAnalysisEqualsJointGeneration)
+{
+    // Generating machines into one corpus or into separate corpora and
+    // merging must yield identical analysis results.
+    CorpusSpec spec;
+    spec.machines = 6;
+    spec.seed = 5150;
+    const TraceCorpus joint = generateCorpus(spec);
+
+    std::vector<TraceCorpus> parts;
+    {
+        Rng rng(spec.seed);
+        for (std::uint32_t m = 0; m < spec.machines; ++m) {
+            TraceCorpus single;
+            generateMachine(single, spec, m, rng);
+            parts.push_back(std::move(single));
+        }
+    }
+    const TraceCorpus merged = mergeCorpora(parts);
+
+    EXPECT_EQ(merged.totalEvents(), joint.totalEvents());
+    EXPECT_EQ(merged.instances().size(), joint.instances().size());
+
+    const ImpactResult a = Analyzer(joint).impactAll();
+    const ImpactResult b = Analyzer(merged).impactAll();
+    EXPECT_EQ(a.dScn, b.dScn);
+    EXPECT_EQ(a.dWait, b.dWait);
+    EXPECT_EQ(a.dRun, b.dRun);
+    EXPECT_EQ(a.dWaitDist, b.dWaitDist);
+}
+
+TEST(Merge, EmptyPartsAreFine)
+{
+    const std::vector<TraceCorpus> none;
+    const TraceCorpus merged = mergeCorpora(none);
+    EXPECT_EQ(merged.streamCount(), 0u);
+
+    TraceCorpus target;
+    TraceCorpus empty;
+    appendCorpus(target, empty);
+    EXPECT_EQ(target.streamCount(), 0u);
+}
+
+TEST(WaitGraphRender, ShowsChainWithSignatures)
+{
+    TraceCorpus corpus;
+    const CaseHandles handles = buildMotivatingExample(corpus);
+    WaitGraphBuilder builder(corpus);
+    const WaitGraph graph =
+        builder.build(corpus.instances()[handles.instance]);
+
+    const std::string text = graph.renderText(
+        corpus.symbols(), NameFilter({"*.sys"}), 100);
+    EXPECT_NE(text.find("Wait"), std::string::npos);
+    EXPECT_NE(text.find("fv.sys!QueryFileTable"), std::string::npos);
+    EXPECT_NE(text.find("se.sys!ReadDecrypt"), std::string::npos);
+    EXPECT_NE(text.find("HardwareService"), std::string::npos);
+    // Indentation shows nesting.
+    EXPECT_NE(text.find("  "), std::string::npos);
+}
+
+} // namespace
+} // namespace tracelens

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Edge-case tests for the contrast miner: threshold boundaries,
+ * zero-cost patterns, deep chains, and empty classes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/awg/awg.h"
+#include "src/mining/miner.h"
+#include "src/trace/builder.h"
+#include "src/waitgraph/waitgraph.h"
+
+namespace tracelens
+{
+namespace
+{
+
+NameFilter
+drivers()
+{
+    return NameFilter({"*.sys"});
+}
+
+AggregatedWaitGraph
+awgOfScenario(const TraceCorpus &corpus, std::string_view scenario)
+{
+    WaitGraphBuilder builder(corpus);
+    std::vector<WaitGraph> graphs;
+    const auto id = corpus.findScenario(scenario);
+    if (id != UINT32_MAX) {
+        for (std::uint32_t i : corpus.instancesOfScenario(id))
+            graphs.push_back(builder.build(corpus.instances()[i]));
+    }
+    return AwgBuilder(corpus, drivers()).aggregate(graphs);
+}
+
+MiningOptions
+options(DurationNs t_fast = 300, DurationNs t_slow = 500)
+{
+    MiningOptions o;
+    o.tFast = t_fast;
+    o.tSlow = t_slow;
+    return o;
+}
+
+TEST(MinerEdge, RatioExactlyAtThresholdIsNotAContrast)
+{
+    // slow avg / fast avg == Tslow/Tfast exactly: criterion is strict
+    // '>', so not a contrast.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId fv = b.stack({"app!U", "fv.sys!Query"});
+    b.wait(1, 0, fv);
+    b.unwait(9, 300, 1, fv); // fast cost 300
+    b.instance("Fast", 1, 0, 400);
+    b.wait(2, 1000, fv);
+    b.unwait(9, 1500, 2, fv); // slow cost 500; 500/300 == Tslow/Tfast
+    b.instance("Slow", 2, 1000, 1600);
+    b.finish();
+
+    ContrastMiner miner(corpus, options(300, 500));
+    const MiningResult result = miner.mine(
+        awgOfScenario(corpus, "Fast"), awgOfScenario(corpus, "Slow"));
+    EXPECT_EQ(result.stats.ratioContrasts, 0u);
+    EXPECT_TRUE(result.patterns.empty());
+}
+
+TEST(MinerEdge, ZeroCostFastPatternMakesAnySlowCostAContrast)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId fv = b.stack({"app!U", "fv.sys!Query"});
+    // Fast: wait resolved instantaneously (cost 0).
+    b.wait(1, 100, fv);
+    b.unwait(9, 100, 1, fv);
+    b.instance("Fast", 1, 0, 200);
+    // Slow: same tuple with real cost.
+    b.wait(2, 1000, fv);
+    b.unwait(9, 1400, 2, fv);
+    b.instance("Slow", 2, 1000, 1500);
+    b.finish();
+
+    ContrastMiner miner(corpus, options());
+    const MiningResult result = miner.mine(
+        awgOfScenario(corpus, "Fast"), awgOfScenario(corpus, "Slow"));
+    EXPECT_EQ(result.stats.ratioContrasts, 1u);
+    ASSERT_EQ(result.patterns.size(), 1u);
+}
+
+TEST(MinerEdge, EmptyFastClassMakesEverySlowPatternSlowOnly)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId fv = b.stack({"app!U", "fv.sys!Query"});
+    b.wait(1, 0, fv);
+    b.unwait(9, 400, 1, fv);
+    b.instance("Slow", 1, 0, 500);
+    b.finish();
+
+    TraceCorpus empty;
+    const AggregatedWaitGraph fast =
+        AwgBuilder(empty, drivers()).aggregate({});
+    ContrastMiner miner(corpus, options());
+    const MiningResult result =
+        miner.mine(fast, awgOfScenario(corpus, "Slow"));
+    EXPECT_EQ(result.stats.fastMetaPatterns, 0u);
+    EXPECT_GT(result.stats.slowOnlyContrasts, 0u);
+    EXPECT_EQ(result.patterns.size(), 1u);
+}
+
+TEST(MinerEdge, EmptySlowClassYieldsNothing)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId fv = b.stack({"app!U", "fv.sys!Query"});
+    b.wait(1, 0, fv);
+    b.unwait(9, 100, 1, fv);
+    b.instance("Fast", 1, 0, 200);
+    b.finish();
+
+    TraceCorpus empty;
+    const AggregatedWaitGraph slow =
+        AwgBuilder(empty, drivers()).aggregate({});
+    ContrastMiner miner(corpus, options());
+    const MiningResult result =
+        miner.mine(awgOfScenario(corpus, "Fast"), slow);
+    EXPECT_TRUE(result.patterns.empty());
+    EXPECT_EQ(result.stats.fullPaths, 0u);
+}
+
+TEST(MinerEdge, DeepChainYieldsOnePatternPerLeaf)
+{
+    // A 6-deep wait chain: one full path, one pattern; meta-patterns
+    // grow with k but the pattern set does not.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    for (ThreadId t = 1; t <= 5; ++t) {
+        b.wait(t, 100 + t,
+               b.stack({"app!W",
+                        "d" + std::to_string(t) + ".sys!Op"}));
+    }
+    b.running(6, 200, 50,
+              b.stack({"w!T", "d6.sys!Compute"}));
+    for (ThreadId t = 6; t >= 2; --t) {
+        b.unwait(t, 1000 + (6 - t), t - 1,
+                 b.stack({"app!W",
+                          "d" + std::to_string(t) + ".sys!Op"}));
+    }
+    b.instance("Slow", 1, 0, 2000);
+    b.finish();
+
+    TraceCorpus empty;
+    const AggregatedWaitGraph fast =
+        AwgBuilder(empty, drivers()).aggregate({});
+    for (std::uint32_t k : {1u, 3u, 6u}) {
+        MiningOptions o = options();
+        o.maxSegmentLength = k;
+        ContrastMiner miner(corpus, o);
+        const MiningResult result =
+            miner.mine(fast, awgOfScenario(corpus, "Slow"));
+        EXPECT_EQ(result.patterns.size(), 1u) << "k=" << k;
+        // The single pattern's tuple contains all six driver modules.
+        EXPECT_EQ(result.patterns[0].tuple.waits.size(), 5u);
+    }
+}
+
+TEST(MinerEdge, MergedPatternAggregatesAcrossOrderings)
+{
+    // Same signature multiset reached via two different AWG paths
+    // (different orders) merges into one ranked pattern with N=2.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId a = b.stack({"app!U", "a.sys!Op"});
+    const CallstackId c = b.stack({"app!W", "c.sys!Op"});
+
+    // Instance 1: wait(a) <- wait(c).
+    b.wait(1, 0, a);
+    b.wait(2, 10, c);
+    b.unwait(9, 400, 2, c);
+    b.unwait(2, 500, 1, a);
+    b.instance("Slow", 1, 0, 600);
+    // Instance 2: wait(c) <- wait(a).
+    b.wait(3, 1000, c);
+    b.wait(4, 1010, a);
+    b.unwait(9, 1400, 4, a);
+    b.unwait(4, 1500, 3, c);
+    b.instance("Slow", 3, 1000, 1600);
+    b.finish();
+
+    TraceCorpus empty;
+    const AggregatedWaitGraph fast =
+        AwgBuilder(empty, drivers()).aggregate({});
+    ContrastMiner miner(corpus, options());
+    const MiningResult result =
+        miner.mine(fast, awgOfScenario(corpus, "Slow"));
+    ASSERT_EQ(result.patterns.size(), 1u);
+    EXPECT_EQ(result.patterns[0].count, 2u);
+}
+
+} // namespace
+} // namespace tracelens

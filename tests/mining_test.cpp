@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Unit tests for signature tuples and contrast mining.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/awg/awg.h"
+#include "src/mining/coverage.h"
+#include "src/mining/miner.h"
+#include "src/mining/signature.h"
+#include "src/trace/builder.h"
+#include "src/waitgraph/waitgraph.h"
+
+namespace tracelens
+{
+namespace
+{
+
+NameFilter
+drivers()
+{
+    return NameFilter({"*.sys"});
+}
+
+/** Aggregate the wait graphs of all instances of one scenario. */
+AggregatedWaitGraph
+awgOfScenario(const TraceCorpus &corpus, std::string_view scenario)
+{
+    WaitGraphBuilder wg_builder(corpus);
+    std::vector<WaitGraph> graphs;
+    const auto id = corpus.findScenario(scenario);
+    for (std::uint32_t i : corpus.instancesOfScenario(id))
+        graphs.push_back(wg_builder.build(corpus.instances()[i]));
+    return AwgBuilder(corpus, drivers()).aggregate(graphs);
+}
+
+MiningOptions
+testOptions()
+{
+    MiningOptions options;
+    options.maxSegmentLength = 5;
+    options.tFast = 300;
+    options.tSlow = 500;
+    return options;
+}
+
+TEST(SignatureSetTuple, NormalizeSortsAndDeduplicates)
+{
+    SignatureSetTuple t;
+    t.waits = {5, 1, 5, 3};
+    t.runnings = {2, 2};
+    t.normalize();
+    EXPECT_EQ(t.waits, (std::vector<FrameId>{1, 3, 5}));
+    EXPECT_EQ(t.runnings, (std::vector<FrameId>{2}));
+    EXPECT_EQ(t.totalSignatures(), 4u);
+}
+
+TEST(SignatureSetTuple, ContainsIsSubsetPerSet)
+{
+    SignatureSetTuple big;
+    big.waits = {1, 2};
+    big.unwaits = {3};
+    big.runnings = {4, 5};
+
+    SignatureSetTuple small;
+    small.waits = {2};
+    small.runnings = {4};
+    EXPECT_TRUE(big.contains(small));
+    EXPECT_FALSE(small.contains(big));
+
+    SignatureSetTuple crossed;
+    crossed.waits = {4}; // frame 4 is in big's runnings, not waits
+    EXPECT_FALSE(big.contains(crossed));
+
+    EXPECT_TRUE(big.contains(SignatureSetTuple{}));
+}
+
+TEST(SignatureSetTuple, HashAndEqualityAgree)
+{
+    SignatureSetTuple a, b;
+    a.waits = {1, 2};
+    b.waits = {1, 2};
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(SignatureSetTupleHash{}(a), SignatureSetTupleHash{}(b));
+
+    b.unwaits = {1};
+    EXPECT_NE(a, b);
+    // Moving a frame between sets must change the hash.
+    SignatureSetTuple c;
+    c.unwaits = {1, 2};
+    EXPECT_NE(SignatureSetTupleHash{}(a), SignatureSetTupleHash{}(c));
+}
+
+TEST(SignatureSetTuple, RenderResolvesNames)
+{
+    SymbolTable sym;
+    const FrameId f = sym.internFrame("fv.sys!Query");
+    SignatureSetTuple t;
+    t.waits = {f};
+    t.runnings = {kNoFrame};
+    const std::string text = t.render(sym);
+    EXPECT_NE(text.find("fv.sys!Query"), std::string::npos);
+    EXPECT_NE(text.find("<other>"), std::string::npos);
+    EXPECT_NE(t.renderCompact(sym).find("fv.sys!Query"),
+              std::string::npos);
+}
+
+TEST(Miner, MetaPatternEnumerationCountsSegments)
+{
+    // One slow instance: wait(fv) -> running(se) chain; segments of
+    // length 1 and 2 produce three distinct tuples.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId fv = b.stack({"app!U", "fv.sys!Query"});
+    const CallstackId se = b.stack({"w!T", "se.sys!Decrypt"});
+    b.wait(1, 0, fv);
+    b.running(2, 100, 200, se);
+    b.unwait(2, 600, 1, fv);
+    b.instance("Slow", 1, 0, 700);
+    b.finish();
+
+    const auto awg = awgOfScenario(corpus, "Slow");
+    ContrastMiner miner(corpus, testOptions());
+    const auto metas = miner.enumerateMetaPatterns(awg);
+
+    // Segments: [wait], [wait,run], [run] -> 3 tuples.
+    EXPECT_EQ(metas.size(), 3u);
+}
+
+TEST(Miner, SlowOnlyPatternIsDiscovered)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId fv = b.stack({"app!U", "fv.sys!Query"});
+    const CallstackId se = b.stack({"w!T", "se.sys!Decrypt"});
+
+    // Fast class: plain short driver wait.
+    b.wait(1, 0, fv);
+    b.unwait(9, 100, 1, fv);
+    b.instance("Fast", 1, 0, 200);
+
+    // Slow class: driver wait fed by a long decryption run.
+    b.wait(2, 1000, fv);
+    b.running(3, 1100, 600, se);
+    b.unwait(3, 1800, 2, fv);
+    b.instance("Slow", 2, 1000, 1900);
+    b.finish();
+
+    const auto fast = awgOfScenario(corpus, "Fast");
+    const auto slow = awgOfScenario(corpus, "Slow");
+    ContrastMiner miner(corpus, testOptions());
+    const MiningResult result = miner.mine(fast, slow);
+
+    ASSERT_FALSE(result.patterns.empty());
+    EXPECT_GT(result.stats.slowOnlyContrasts, 0u);
+    // The top pattern references the decrypting runner.
+    const SymbolTable &sym = corpus.symbols();
+    const std::string text = result.patterns[0].tuple.render(sym);
+    EXPECT_NE(text.find("se.sys!Decrypt"), std::string::npos);
+    EXPECT_NE(text.find("fv.sys!Query"), std::string::npos);
+}
+
+TEST(Miner, RatioCriterionRequiresThresholdExceedance)
+{
+    // The same tuple appears in both classes. Slow avg / fast avg is
+    // 4000/1000 = 4.0 > Tslow/Tfast (500/300): contrast. A second
+    // corpus where the ratio is 1.2 must NOT produce the contrast.
+    auto makeCorpus = [](DurationNs slow_wait) {
+        TraceCorpus corpus;
+        StreamBuilder b(corpus, "s");
+        const CallstackId fv = b.stack({"app!U", "fv.sys!Query"});
+        b.wait(1, 0, fv);
+        b.unwait(9, 1000, 1, fv); // fast: cost 1000
+        b.instance("Fast", 1, 0, 1100);
+        b.wait(2, 5000, fv);
+        b.unwait(9, 5000 + slow_wait, 2, fv);
+        b.instance("Slow", 2, 5000, 5000 + slow_wait + 100);
+        b.finish();
+        return corpus;
+    };
+
+    {
+        const TraceCorpus corpus = makeCorpus(4000);
+        ContrastMiner miner(corpus, testOptions());
+        const auto result = miner.mine(awgOfScenario(corpus, "Fast"),
+                                       awgOfScenario(corpus, "Slow"));
+        EXPECT_EQ(result.stats.ratioContrasts, 1u);
+        ASSERT_EQ(result.patterns.size(), 1u);
+        EXPECT_EQ(result.patterns[0].cost, 4000);
+    }
+    {
+        const TraceCorpus corpus = makeCorpus(1200);
+        ContrastMiner miner(corpus, testOptions());
+        const auto result = miner.mine(awgOfScenario(corpus, "Fast"),
+                                       awgOfScenario(corpus, "Slow"));
+        EXPECT_EQ(result.stats.ratioContrasts, 0u);
+        EXPECT_TRUE(result.patterns.empty());
+    }
+}
+
+TEST(Miner, ContentionOrderVariantsShareOnePattern)
+{
+    // Design rationale: two interleavings of the same contention (the
+    // lock is won by A first or by B first) must map to one pattern.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId fv = b.stack({"app!U", "fv.sys!Query"});
+    const CallstackId fs = b.stack({"app!W", "fs.sys!Acquire"});
+
+    // Interleaving 1: fv-wait unwaited from fs-stack.
+    b.wait(1, 0, fv);
+    b.wait(2, 10, fs);
+    b.unwait(9, 600, 2, fs);
+    b.unwait(2, 700, 1, fs);
+    b.instance("Slow", 1, 0, 800);
+
+    // Interleaving 2 (other thread won first): same signatures, the
+    // nested wait resolves from the same stacks but timing differs.
+    b.wait(3, 1000, fv);
+    b.wait(4, 1010, fs);
+    b.unwait(9, 1650, 4, fs);
+    b.unwait(4, 1700, 3, fs);
+    b.instance("Slow", 3, 1000, 1800);
+    b.finish();
+
+    // Empty fast class: aggregate from an empty corpus view.
+    TraceCorpus empty;
+    AggregatedWaitGraph fast =
+        AwgBuilder(empty, drivers()).aggregate({});
+
+    const auto slow = awgOfScenario(corpus, "Slow");
+    ContrastMiner miner(corpus, testOptions());
+    const MiningResult result = miner.mine(fast, slow);
+
+    ASSERT_EQ(result.patterns.size(), 1u);
+    EXPECT_EQ(result.patterns[0].count, 2u);
+}
+
+TEST(Miner, RankingIsByAverageImpactDescending)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId fv = b.stack({"app!U", "fv.sys!Query"});
+    const CallstackId net = b.stack({"app!U", "net.sys!Recv"});
+
+    // Pattern A: one execution costing 5000.
+    b.wait(1, 0, fv);
+    b.unwait(9, 5000, 1, fv);
+    b.instance("Slow", 1, 0, 5100);
+    // Pattern B: two executions costing 600 each (avg 600).
+    b.wait(2, 6000, net);
+    b.unwait(9, 6600, 2, net);
+    b.instance("Slow", 2, 6000, 6700);
+    b.wait(3, 7000, net);
+    b.unwait(9, 7600, 3, net);
+    b.instance("Slow", 3, 7000, 7700);
+    b.finish();
+
+    TraceCorpus empty;
+    const auto fast = AwgBuilder(empty, drivers()).aggregate({});
+    const auto slow = awgOfScenario(corpus, "Slow");
+    ContrastMiner miner(corpus, testOptions());
+    const MiningResult result = miner.mine(fast, slow);
+
+    ASSERT_EQ(result.patterns.size(), 2u);
+    EXPECT_GT(result.patterns[0].impact(), result.patterns[1].impact());
+    EXPECT_EQ(result.patterns[0].cost, 5000);
+    EXPECT_EQ(result.patterns[1].count, 2u);
+}
+
+TEST(Miner, HighImpactRuleUsesMaxSingleExecution)
+{
+    ContrastPattern p;
+    p.cost = 900;
+    p.count = 3;
+    p.maxExec = 450;
+    EXPECT_FALSE(p.highImpact(500));
+    p.maxExec = 501;
+    EXPECT_TRUE(p.highImpact(500));
+    EXPECT_DOUBLE_EQ(p.impact(), 300.0);
+}
+
+TEST(Miner, MetaPatternGateCanBeDisabled)
+{
+    // With the gate disabled, even non-contrast paths are emitted.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId fv = b.stack({"app!U", "fv.sys!Query"});
+    // The identical behaviour in both classes (no contrast).
+    b.wait(1, 0, fv);
+    b.unwait(9, 400, 1, fv);
+    b.instance("Fast", 1, 0, 500);
+    b.wait(2, 1000, fv);
+    b.unwait(9, 1400, 2, fv);
+    b.instance("Slow", 2, 1000, 1500);
+    b.finish();
+
+    const auto fast = awgOfScenario(corpus, "Fast");
+    const auto slow = awgOfScenario(corpus, "Slow");
+
+    ContrastMiner gated(corpus, testOptions());
+    EXPECT_TRUE(gated.mine(fast, slow).patterns.empty());
+
+    MiningOptions open = testOptions();
+    open.useMetaPatternGate = false;
+    ContrastMiner ungated(corpus, open);
+    EXPECT_EQ(ungated.mine(fast, slow).patterns.size(), 1u);
+}
+
+TEST(Miner, RejectsBadThresholds)
+{
+    TraceCorpus corpus;
+    MiningOptions bad = testOptions();
+    bad.tSlow = bad.tFast;
+    EXPECT_DEATH({ ContrastMiner miner(corpus, bad); }, "thresholds");
+}
+
+TEST(Coverage, ItcNeverExceedsTtc)
+{
+    MiningResult result;
+    ContrastPattern a;
+    a.cost = 600;
+    a.count = 1;
+    a.maxExec = 600; // high impact (> 500)
+    ContrastPattern b;
+    b.cost = 400;
+    b.count = 2;
+    b.maxExec = 200; // low impact
+    result.patterns = {a, b};
+
+    const CoverageResult cov = computeCoverage(result, 2000, 500);
+    EXPECT_DOUBLE_EQ(cov.itc(), 0.3);
+    EXPECT_DOUBLE_EQ(cov.ttc(), 0.5);
+    EXPECT_LE(cov.itc(), cov.ttc());
+    EXPECT_EQ(cov.highImpactCount, 1u);
+    EXPECT_NE(cov.render().find("ITC"), std::string::npos);
+}
+
+TEST(Coverage, TopPatternCoverageMonotone)
+{
+    MiningResult result;
+    for (int i = 0; i < 10; ++i) {
+        ContrastPattern p;
+        p.cost = 1000 - i * 100;
+        p.count = 1;
+        result.patterns.push_back(p);
+    }
+    double prev = 0.0;
+    for (double f : {0.1, 0.2, 0.3, 0.5, 1.0}) {
+        const double c = topPatternCoverage(result, f);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_DOUBLE_EQ(topPatternCoverage(result, 1.0), 1.0);
+    // Top 10% of 10 patterns is the single heaviest one.
+    EXPECT_NEAR(topPatternCoverage(result, 0.1), 1000.0 / 5500.0, 1e-9);
+}
+
+TEST(Coverage, EmptyResultIsZero)
+{
+    MiningResult result;
+    EXPECT_DOUBLE_EQ(topPatternCoverage(result, 0.5), 0.0);
+    const CoverageResult cov = computeCoverage(result, 0, 500);
+    EXPECT_DOUBLE_EQ(cov.itc(), 0.0);
+    EXPECT_DOUBLE_EQ(cov.ttc(), 0.0);
+}
+
+} // namespace
+} // namespace tracelens

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Edge-case and misuse tests for the simulator: invariant violations
+ * die loudly, DPC completion contexts, nested jobs, and scheduling
+ * corner cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/simkernel/engine.h"
+#include "src/simkernel/kernel.h"
+#include "src/trace/validate.h"
+
+namespace tracelens
+{
+namespace
+{
+
+TEST(SimEngineDeath, SchedulingIntoThePastPanics)
+{
+    SimEngine engine;
+    engine.scheduleAt(100, [] {});
+    engine.run();
+    EXPECT_DEATH(engine.scheduleAt(50, [] {}), "past");
+}
+
+TEST(SimKernelDeath, ReleaseByNonOwnerPanics)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m");
+    const LockId lock = sim.createLock();
+    const FrameId f = sim.frame("a.sys!F");
+    sim.spawnThread({actPush(f), actAcquire(lock), actPop()});
+    sim.spawnThread({actPush(f), actRelease(lock), actPop()},
+                    fromMs(1));
+    EXPECT_DEATH(sim.run(), "non-owner");
+}
+
+TEST(SimKernelDeath, RecursiveAcquirePanics)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m");
+    const LockId lock = sim.createLock();
+    sim.spawnThread({actAcquire(lock), actAcquire(lock)});
+    EXPECT_DEATH(sim.run(), "recursive");
+}
+
+TEST(SimKernelDeath, PopOnEmptyStackPanics)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m");
+    sim.spawnThread({actPop()});
+    EXPECT_DEATH(sim.run(), "empty stack");
+}
+
+TEST(SimKernelDeath, EndInstanceWithoutBeginPanics)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m");
+    sim.spawnThread({actEndInstance()});
+    EXPECT_DEATH(sim.run(), "EndInstance");
+}
+
+TEST(SimKernelDeath, UnclosedInstancePanics)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m");
+    const auto scn = sim.scenario("S");
+    sim.spawnThread({actBeginInstance(scn)});
+    EXPECT_DEATH(sim.run(), "open scenario instance");
+}
+
+TEST(SimKernelDeath, RunTwicePanics)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m");
+    sim.run();
+    EXPECT_DEATH(sim.run(), "twice");
+}
+
+TEST(SimKernel, DeviceDpcContextUsedForUnwait)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m");
+    const DeviceId net =
+        sim.createDevice("NetworkService", "ndis.sys!ReceiveDpc");
+    const FrameId f = sim.frame("net.sys!Send");
+    sim.spawnThread({actPush(f), actHardware(net, fromMs(2)),
+                     actPop()});
+    const auto stream_idx = sim.run();
+
+    bool saw_hw = false, saw_unwait = false;
+    for (const Event &e : corpus.stream(stream_idx).events()) {
+        const auto frames = corpus.symbols().stackFrames(e.stack);
+        ASSERT_FALSE(frames.empty());
+        const std::string &top =
+            corpus.symbols().frameName(frames.back());
+        if (e.type == EventType::HardwareService) {
+            EXPECT_EQ(top, "NetworkService"); // dummy service stack
+            saw_hw = true;
+        } else if (e.type == EventType::Unwait) {
+            EXPECT_EQ(top, "ndis.sys!ReceiveDpc"); // DPC context
+            saw_unwait = true;
+        }
+    }
+    EXPECT_TRUE(saw_hw);
+    EXPECT_TRUE(saw_unwait);
+}
+
+TEST(SimKernel, DeviceWithoutDpcUsesServiceStackForUnwait)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m");
+    const DeviceId disk = sim.createDevice("DiskService");
+    sim.spawnThread({actPush(sim.frame("fs.sys!Read")),
+                     actHardware(disk, fromMs(1)), actPop()});
+    const auto stream_idx = sim.run();
+    for (const Event &e : corpus.stream(stream_idx).events()) {
+        if (e.type != EventType::Unwait)
+            continue;
+        const auto frames = corpus.symbols().stackFrames(e.stack);
+        EXPECT_EQ(corpus.symbols().frameName(frames.back()),
+                  "DiskService");
+    }
+}
+
+TEST(SimKernel, NestedSynchronousJobs)
+{
+    // A service job that itself submits a synchronous job to another
+    // pool (the fs -> se system-service chain shape).
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m");
+    const ChannelId outer = sim.createChannel();
+    const ChannelId inner = sim.createChannel();
+
+    sim.spawnThread({actPush(sim.frame("kernel!OuterWorker")),
+                     actReceiveJob(outer), actJump(1)});
+    sim.spawnThread({actPush(sim.frame("kernel!InnerWorker")),
+                     actReceiveJob(inner), actJump(1)});
+
+    auto inner_job = std::make_shared<const Script>(Script{
+        actPush(sim.frame("se.sys!Decrypt")), actCompute(fromMs(2))});
+    auto outer_job = std::make_shared<const Script>(Script{
+        actPush(sim.frame("fs.sys!Read")),
+        actSubmitJob(inner, inner_job, /*wait=*/true),
+        actCompute(fromMs(1))});
+
+    sim.spawnThread({actPush(sim.frame("app.exe!Main")),
+                     actSubmitJob(outer, outer_job, /*wait=*/true),
+                     actPop()},
+                    fromMs(1));
+    sim.run();
+    EXPECT_EQ(sim.now(), fromMs(4));
+
+    const ValidationReport report = validateCorpus(corpus);
+    EXPECT_EQ(report.strayUnwaits, 0u) << report.render();
+}
+
+TEST(SimKernel, JobsQueueFifoAcrossManyClients)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m");
+    const ChannelId chan = sim.createChannel();
+    sim.spawnThread({actPush(sim.frame("kernel!Worker")),
+                     actReceiveJob(chan), actJump(1)});
+
+    auto job = std::make_shared<const Script>(
+        Script{actCompute(fromMs(2))});
+    for (int i = 0; i < 4; ++i) {
+        sim.spawnThread({actPush(sim.frame("app.exe!Main")),
+                         actSubmitJob(chan, job, /*wait=*/true),
+                         actPop()},
+                        fromMs(i) / 10);
+    }
+    sim.run();
+    // Four serialized 2 ms jobs, the first starting at t=0.
+    EXPECT_EQ(sim.now(), fromMs(8));
+}
+
+TEST(SimKernel, ZeroDurationComputeIsLegal)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m");
+    sim.spawnThread({actPush(sim.frame("a.exe!F")), actCompute(0),
+                     actPop()});
+    const auto stream_idx = sim.run();
+    EXPECT_EQ(corpus.stream(stream_idx).size(), 0u);
+    EXPECT_EQ(sim.completedThreads(), 1u);
+}
+
+TEST(SimKernel, HorizonStopsRunawaySimulation)
+{
+    TraceCorpus corpus;
+    SimConfig config;
+    config.horizon = fromMs(10);
+    SimKernel sim(corpus, "m", config);
+    // Two threads ping-ponging jobs forever would never drain; the
+    // Sleep loop keeps the event queue alive past the horizon.
+    sim.spawnThread({actSleep(fromMs(3)), actJump(0)});
+    sim.run();
+    EXPECT_LE(sim.now(), fromMs(10));
+}
+
+TEST(SimKernel, ManyThreadsManyLocksComplete)
+{
+    TraceCorpus corpus;
+    SimConfig config;
+    config.cores = 2;
+    SimKernel sim(corpus, "m", config);
+    std::vector<LockId> locks;
+    for (int i = 0; i < 4; ++i)
+        locks.push_back(sim.createLock());
+    const FrameId f = sim.frame("x.sys!Op");
+
+    // 16 threads acquiring locks in a consistent global order.
+    for (ThreadId t = 0; t < 16; ++t) {
+        Script s;
+        s.push_back(actPush(f));
+        for (std::size_t l = t % 2; l < locks.size(); l += 2) {
+            s.push_back(actAcquire(locks[l]));
+            s.push_back(actCompute(fromMs(1)));
+        }
+        for (std::size_t l = locks.size(); l-- > 0;) {
+            if (l % 2 == t % 2)
+                s.push_back(actRelease(locks[l]));
+        }
+        s.push_back(actPop());
+        sim.spawnThread(std::move(s), fromMs(t) / 4);
+    }
+    sim.run();
+    EXPECT_EQ(sim.completedThreads(), 16u);
+    const ValidationReport report = validateCorpus(corpus);
+    EXPECT_EQ(report.unpairedWaits, 0u) << report.render();
+}
+
+} // namespace
+} // namespace tracelens

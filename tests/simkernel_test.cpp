@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine and the kernel simulator:
+ * scheduling order, CPU sampling, core contention, locks, devices, job
+ * channels, scenario instances, and determinism.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/simkernel/engine.h"
+#include "src/simkernel/kernel.h"
+#include "src/trace/serialize.h"
+#include "src/trace/validate.h"
+
+namespace tracelens
+{
+namespace
+{
+
+TEST(SimEngine, DispatchesInTimeOrder)
+{
+    SimEngine engine;
+    std::vector<int> order;
+    engine.scheduleAt(30, [&] { order.push_back(3); });
+    engine.scheduleAt(10, [&] { order.push_back(1); });
+    engine.scheduleAt(20, [&] { order.push_back(2); });
+    EXPECT_EQ(engine.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(SimEngine, EqualTimesRunInScheduleOrder)
+{
+    SimEngine engine;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        engine.scheduleAt(7, [&order, i] { order.push_back(i); });
+    engine.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimEngine, CallbacksMayScheduleMore)
+{
+    SimEngine engine;
+    int hits = 0;
+    engine.scheduleAt(0, [&] {
+        ++hits;
+        engine.scheduleAfter(5, [&] { ++hits; });
+    });
+    EXPECT_EQ(engine.run(), 2u);
+    EXPECT_EQ(hits, 2);
+    EXPECT_EQ(engine.now(), 5);
+}
+
+TEST(SimEngine, HorizonStopsDispatch)
+{
+    SimEngine engine;
+    int hits = 0;
+    engine.scheduleAt(10, [&] { ++hits; });
+    engine.scheduleAt(100, [&] { ++hits; });
+    engine.run(50);
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(engine.pending(), 1u);
+}
+
+/** Count events of a type in a stream. */
+std::size_t
+countType(const TraceStream &stream, EventType type)
+{
+    std::size_t n = 0;
+    for (const Event &e : stream.events())
+        n += (e.type == type);
+    return n;
+}
+
+TEST(SimKernel, ComputeEmitsRunningSamples)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m0");
+    const FrameId f = sim.frame("app.exe!Work");
+    sim.spawnThread({actPush(f), actCompute(fromMs(3.5)), actPop()});
+    const auto stream_idx = sim.run();
+
+    const TraceStream &stream = corpus.stream(stream_idx);
+    EXPECT_EQ(countType(stream, EventType::Running), 3u);
+    for (const Event &e : stream.events()) {
+        EXPECT_EQ(e.type, EventType::Running);
+        EXPECT_EQ(e.cost, kMillisecond);
+        EXPECT_EQ(e.tid, 0u);
+    }
+    EXPECT_EQ(sim.completedThreads(), 1u);
+}
+
+TEST(SimKernel, CpuRemainderCarriesAcrossComputes)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m0");
+    const FrameId f = sim.frame("app.exe!Work");
+    // 0.6 + 0.6 ms: one sample total.
+    sim.spawnThread({actPush(f), actCompute(fromMs(0.6)),
+                     actCompute(fromMs(0.6)), actPop()});
+    const auto stream_idx = sim.run();
+    EXPECT_EQ(countType(corpus.stream(stream_idx), EventType::Running),
+              1u);
+}
+
+TEST(SimKernel, SingleCoreSerializesComputes)
+{
+    TraceCorpus corpus;
+    SimConfig config;
+    config.cores = 1;
+    SimKernel sim(corpus, "m0", config);
+    const FrameId f = sim.frame("app.exe!Work");
+    sim.spawnThread({actPush(f), actCompute(fromMs(5)), actPop()});
+    sim.spawnThread({actPush(f), actCompute(fromMs(5)), actPop()});
+    sim.run();
+    // Total CPU demand is 10 ms on one core: the clock must end at 10.
+    EXPECT_EQ(sim.now(), fromMs(10));
+}
+
+TEST(SimKernel, MultiCoreOverlapsComputes)
+{
+    TraceCorpus corpus;
+    SimConfig config;
+    config.cores = 2;
+    SimKernel sim(corpus, "m0", config);
+    const FrameId f = sim.frame("app.exe!Work");
+    sim.spawnThread({actPush(f), actCompute(fromMs(5)), actPop()});
+    sim.spawnThread({actPush(f), actCompute(fromMs(5)), actPop()});
+    sim.run();
+    EXPECT_EQ(sim.now(), fromMs(5));
+}
+
+TEST(SimKernel, LockContentionEmitsWaitAndUnwait)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m0");
+    const LockId lock = sim.createLock();
+    const FrameId fa = sim.frame("fv.sys!Query");
+    const FrameId fb = sim.frame("fv.sys!Update");
+
+    // Thread 0 takes the lock and computes 5 ms; thread 1 (staggered
+    // 1 ms) must wait ~4 ms.
+    sim.spawnThread({actPush(fa), actAcquire(lock), actCompute(fromMs(5)),
+                     actRelease(lock), actPop()});
+    sim.spawnThread({actPush(fb), actAcquire(lock), actRelease(lock),
+                     actPop()},
+                    fromMs(1));
+    const auto stream_idx = sim.run();
+
+    const TraceStream &stream = corpus.stream(stream_idx);
+    ASSERT_EQ(countType(stream, EventType::Wait), 1u);
+    ASSERT_EQ(countType(stream, EventType::Unwait), 1u);
+
+    const ValidationReport report = validateCorpus(corpus);
+    EXPECT_EQ(report.unpairedWaits, 0u);
+    EXPECT_EQ(report.strayUnwaits, 0u);
+
+    for (const Event &e : stream.events()) {
+        if (e.type == EventType::Wait) {
+            EXPECT_EQ(e.tid, 1u);
+            EXPECT_EQ(e.timestamp, fromMs(1));
+        } else if (e.type == EventType::Unwait) {
+            EXPECT_EQ(e.tid, 0u);
+            EXPECT_EQ(e.wtid, 1u);
+            EXPECT_EQ(e.timestamp, fromMs(5));
+            // The unwait stack carries the releaser's driver frame.
+            const auto frames =
+                corpus.symbols().stackFrames(e.stack);
+            ASSERT_FALSE(frames.empty());
+            EXPECT_EQ(corpus.symbols().frameName(frames.back()),
+                      "fv.sys!Query");
+        }
+    }
+}
+
+TEST(SimKernel, LockQueueIsFifo)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m0");
+    const LockId lock = sim.createLock();
+    const FrameId f = sim.frame("fs.sys!Acquire");
+    sim.spawnThread({actPush(f), actAcquire(lock), actCompute(fromMs(3)),
+                     actRelease(lock), actPop()});
+    sim.spawnThread({actPush(f), actAcquire(lock), actCompute(fromMs(1)),
+                     actRelease(lock), actPop()},
+                    fromMs(1));
+    sim.spawnThread({actPush(f), actAcquire(lock), actCompute(fromMs(1)),
+                     actRelease(lock), actPop()},
+                    fromMs(2));
+    const auto stream_idx = sim.run();
+
+    // Unwait order: thread1 first (granted at 3 ms), thread2 second.
+    std::vector<ThreadId> granted;
+    for (const Event &e : corpus.stream(stream_idx).events()) {
+        if (e.type == EventType::Unwait)
+            granted.push_back(e.wtid);
+    }
+    EXPECT_EQ(granted, (std::vector<ThreadId>{1, 2}));
+}
+
+TEST(SimKernel, HardwareServiceRecordsDeviceInterval)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m0");
+    const DeviceId disk = sim.createDevice("DiskService");
+    const FrameId f = sim.frame("fs.sys!Read");
+    sim.spawnThread({actPush(f), actHardware(disk, fromMs(7)),
+                     actPop()});
+    const auto stream_idx = sim.run();
+
+    const TraceStream &stream = corpus.stream(stream_idx);
+    ASSERT_EQ(countType(stream, EventType::HardwareService), 1u);
+    ASSERT_EQ(countType(stream, EventType::Wait), 1u);
+    ASSERT_EQ(countType(stream, EventType::Unwait), 1u);
+    for (const Event &e : stream.events()) {
+        if (e.type == EventType::HardwareService) {
+            EXPECT_EQ(e.cost, fromMs(7));
+            EXPECT_GE(e.tid, 1'000'000u); // pseudo thread
+        }
+    }
+    EXPECT_EQ(sim.now(), fromMs(7));
+}
+
+TEST(SimKernel, DeviceQueueSerializesRequests)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m0");
+    const DeviceId disk = sim.createDevice("DiskService");
+    const FrameId f = sim.frame("fs.sys!Read");
+    sim.spawnThread({actPush(f), actHardware(disk, fromMs(4)),
+                     actPop()});
+    sim.spawnThread({actPush(f), actHardware(disk, fromMs(4)),
+                     actPop()});
+    sim.run();
+    // Single-server FIFO: second request finishes at 8 ms.
+    EXPECT_EQ(sim.now(), fromMs(8));
+}
+
+TEST(SimKernel, SynchronousJobRunsOnServiceThread)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m0");
+    const ChannelId channel = sim.createChannel();
+    const FrameId worker = sim.frame("kernel!Worker");
+    const FrameId service = sim.frame("se.sys!ReadDecrypt");
+    const FrameId client = sim.frame("fs.sys!Read");
+
+    // Service thread: loop receiving jobs.
+    sim.spawnThread({actPush(worker), actReceiveJob(channel),
+                     actJump(1)});
+
+    // Client: submit a decrypt job and wait for it.
+    auto job = std::make_shared<Script>(
+        Script{actPush(service), actCompute(fromMs(2))});
+    sim.spawnThread({actPush(client),
+                     actSubmitJob(channel, job, /*wait=*/true),
+                     actPop()},
+                    fromMs(1));
+    const auto stream_idx = sim.run();
+
+    const TraceStream &stream = corpus.stream(stream_idx);
+    // Waits: the idle server's queue wait, the client's job wait, and
+    // the server's re-wait after looping back to ReceiveJob.
+    EXPECT_EQ(countType(stream, EventType::Wait), 3u);
+    // Unwaits: client->server handoff + server->client completion.
+    EXPECT_EQ(countType(stream, EventType::Unwait), 2u);
+
+    // The completion unwait must carry the service frame (emitted
+    // before the job's pushed frames are unwound).
+    bool saw_completion = false;
+    for (const Event &e : stream.events()) {
+        if (e.type == EventType::Unwait && e.tid == 0 && e.wtid == 1) {
+            const auto frames = corpus.symbols().stackFrames(e.stack);
+            ASSERT_FALSE(frames.empty());
+            EXPECT_EQ(corpus.symbols().frameName(frames.back()),
+                      "se.sys!ReadDecrypt");
+            saw_completion = true;
+        }
+    }
+    EXPECT_TRUE(saw_completion);
+    EXPECT_EQ(sim.now(), fromMs(3));
+}
+
+TEST(SimKernel, AsynchronousJobDoesNotBlockClient)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m0");
+    const ChannelId channel = sim.createChannel();
+    const FrameId worker = sim.frame("kernel!Worker");
+    const FrameId client = sim.frame("app.exe!Main");
+    auto job = std::make_shared<Script>(
+        Script{actPush(sim.frame("net.sys!Poll")),
+               actCompute(fromMs(10))});
+
+    sim.spawnThread({actPush(worker), actReceiveJob(channel)});
+    sim.spawnThread({actPush(client),
+                     actSubmitJob(channel, job, /*wait=*/false),
+                     actCompute(fromMs(1)), actPop()},
+                    fromMs(1));
+    const auto stream_idx = sim.run();
+
+    // Client produced no Wait event of its own.
+    for (const Event &e : corpus.stream(stream_idx).events()) {
+        if (e.type == EventType::Wait) {
+            EXPECT_EQ(e.tid, 0u); // only the server's idle wait
+        }
+    }
+    EXPECT_EQ(sim.now(), fromMs(11));
+}
+
+TEST(SimKernel, QueuedJobIsPickedUpWithoutServerWait)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m0");
+    const ChannelId channel = sim.createChannel();
+    auto job = std::make_shared<Script>(
+        Script{actCompute(fromMs(1))});
+    // Client submits before the server starts: job waits in queue.
+    sim.spawnThread({actPush(sim.frame("app.exe!Main")),
+                     actSubmitJob(channel, job, false), actPop()});
+    sim.spawnThread({actPush(sim.frame("kernel!Worker")),
+                     actReceiveJob(channel), actPop()},
+                    fromMs(2));
+    const auto stream_idx = sim.run();
+    EXPECT_EQ(countType(corpus.stream(stream_idx), EventType::Wait), 0u);
+    EXPECT_EQ(sim.now(), fromMs(3));
+}
+
+TEST(SimKernel, ScenarioInstancesAreRecorded)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m0");
+    const auto scn = sim.scenario("BrowserTabCreate");
+    const FrameId f = sim.frame("browser.exe!TabCreate");
+    sim.spawnThread({actBeginInstance(scn), actPush(f),
+                     actCompute(fromMs(4)), actPop(),
+                     actEndInstance()},
+                    fromMs(2));
+    sim.run();
+
+    ASSERT_EQ(corpus.instances().size(), 1u);
+    const ScenarioInstance &inst = corpus.instances()[0];
+    EXPECT_EQ(corpus.scenarioName(inst.scenario), "BrowserTabCreate");
+    EXPECT_EQ(inst.t0, fromMs(2));
+    EXPECT_EQ(inst.t1, fromMs(6));
+    EXPECT_EQ(inst.tid, 0u);
+}
+
+TEST(SimKernel, SleepConsumesTimeSilently)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m0");
+    sim.spawnThread({actSleep(fromMs(9))});
+    const auto stream_idx = sim.run();
+    EXPECT_EQ(corpus.stream(stream_idx).size(), 0u);
+    EXPECT_EQ(sim.now(), fromMs(9));
+}
+
+Script
+contentionScript(SimKernel & /*sim*/, LockId lock, FrameId f,
+                 DurationNs hold)
+{
+    return {actPush(f), actAcquire(lock), actCompute(hold),
+            actRelease(lock), actPop()};
+}
+
+TEST(SimKernel, DeterministicAcrossRuns)
+{
+    auto build = [] {
+        TraceCorpus corpus;
+        SimKernel sim(corpus, "m0");
+        const LockId lock = sim.createLock();
+        const DeviceId disk = sim.createDevice("DiskService");
+        const FrameId f = sim.frame("fs.sys!Acquire");
+        for (int i = 0; i < 4; ++i) {
+            sim.spawnThread(contentionScript(sim, lock, f,
+                                             fromMs(1 + i)),
+                            fromMs(i) / 2);
+        }
+        sim.spawnThread({actPush(f), actHardware(disk, fromMs(3)),
+                         actPop()},
+                        fromMs(1));
+        sim.run();
+        std::ostringstream buffer;
+        writeCorpus(corpus, buffer);
+        return buffer.str();
+    };
+    EXPECT_EQ(build(), build());
+}
+
+TEST(SimKernel, CleanTraceFromContendedWorkload)
+{
+    TraceCorpus corpus;
+    SimKernel sim(corpus, "m0");
+    const LockId lock = sim.createLock();
+    const FrameId f = sim.frame("fv.sys!Query");
+    for (int i = 0; i < 3; ++i)
+        sim.spawnThread(contentionScript(sim, lock, f, fromMs(2)),
+                        fromMs(i) / 4);
+    sim.run();
+    const ValidationReport report = validateCorpus(corpus);
+    EXPECT_EQ(report.unpairedWaits, 0u);
+    EXPECT_EQ(report.strayUnwaits, 0u);
+    EXPECT_EQ(report.selfUnwaits, 0u);
+    EXPECT_EQ(report.stacklessEvents, 0u);
+}
+
+} // namespace
+} // namespace tracelens

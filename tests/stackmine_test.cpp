@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the StackMine-style costly-pattern baseline and the
+ * parallel wait-graph construction path.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/stackmine.h"
+#include "src/trace/builder.h"
+#include "src/trace/serialize.h"
+#include "src/waitgraph/waitgraph.h"
+#include "src/workload/generator.h"
+#include "src/workload/motivating.h"
+
+namespace tracelens
+{
+namespace
+{
+
+TEST(StackMine, AggregatesWaitsBySuffix)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId deep =
+        b.stack({"app!main", "app!open", "fv.sys!Query",
+                 "kernel!Acquire"});
+    const CallstackId deep2 =
+        b.stack({"app!other", "app!load", "fv.sys!Query",
+                 "kernel!Acquire"});
+    // Same top-3 suffix (kernel!Acquire <- fv.sys!Query <- app!open /
+    // app!load differ at depth 3 — different patterns at depth 3, same
+    // at depth 2).
+    b.wait(1, 0, deep);
+    b.unwait(9, 100, 1, deep);
+    b.wait(2, 0, deep2);
+    b.unwait(9, 300, 2, deep2);
+    b.finish();
+
+    StackMineAnalyzer depth2(corpus, 2);
+    const auto merged = depth2.mine();
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0].cost, 400);
+    EXPECT_EQ(merged[0].waits, 2u);
+    EXPECT_EQ(merged[0].maxCost, 300);
+
+    StackMineAnalyzer depth3(corpus, 3);
+    EXPECT_EQ(depth3.mine().size(), 2u);
+}
+
+TEST(StackMine, RanksByTotalCost)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId cheap = b.stack({"a!x", "net.sys!Send"});
+    const CallstackId costly = b.stack({"a!y", "fs.sys!Read"});
+    b.wait(1, 0, cheap);
+    b.unwait(9, 10, 1, cheap);
+    b.wait(2, 0, costly);
+    b.unwait(9, 500, 2, costly);
+    b.finish();
+
+    StackMineAnalyzer analyzer(corpus);
+    const auto patterns = analyzer.mine();
+    ASSERT_EQ(patterns.size(), 2u);
+    EXPECT_EQ(patterns[0].cost, 500);
+    EXPECT_NE(patterns[0].render(corpus.symbols()).find("fs.sys!Read"),
+              std::string::npos);
+}
+
+TEST(StackMine, SeesHotspotsButNotTheChainOnFigure1)
+{
+    TraceCorpus corpus;
+    buildMotivatingExample(corpus);
+    StackMineAnalyzer analyzer(corpus);
+    const auto patterns = analyzer.mine();
+    ASSERT_GE(patterns.size(), 3u);
+
+    // Every pattern is a single-thread stack suffix; none of them can
+    // contain frames from two different drivers of the chain (each
+    // wait stack belongs to one blocking site).
+    const SymbolTable &sym = corpus.symbols();
+    for (const CostlyStackPattern &p : patterns) {
+        bool fv = false, se = false;
+        for (FrameId f : p.suffix) {
+            const std::string &component = sym.componentName(f);
+            fv = fv || component == "fv.sys";
+            se = se || component == "se.sys";
+        }
+        EXPECT_FALSE(fv && se) << p.render(sym);
+    }
+    EXPECT_NE(analyzer.renderTop(3).find("Cost"), std::string::npos);
+}
+
+TEST(StackMine, EmptyCorpus)
+{
+    TraceCorpus corpus;
+    StackMineAnalyzer analyzer(corpus);
+    EXPECT_TRUE(analyzer.mine().empty());
+}
+
+TEST(WaitGraphParallel, MatchesSerialExactly)
+{
+    CorpusSpec spec;
+    spec.machines = 8;
+    spec.seed = 44;
+    const TraceCorpus corpus = generateCorpus(spec);
+
+    WaitGraphBuilder serial_builder(corpus);
+    const auto serial = serial_builder.buildAll();
+
+    for (unsigned threads : {2u, 4u, 8u}) {
+        WaitGraphBuilder parallel_builder(corpus);
+        const auto parallel =
+            parallel_builder.buildAllParallel(threads);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            ASSERT_EQ(parallel[i].size(), serial[i].size()) << i;
+            ASSERT_EQ(parallel[i].roots(), serial[i].roots()) << i;
+            for (std::size_t n = 0; n < serial[i].size(); ++n) {
+                const auto &a =
+                    serial[i].node(static_cast<std::uint32_t>(n));
+                const auto &b =
+                    parallel[i].node(static_cast<std::uint32_t>(n));
+                ASSERT_EQ(a.ref, b.ref);
+                ASSERT_EQ(a.event.cost, b.event.cost);
+                ASSERT_EQ(a.children, b.children);
+            }
+        }
+    }
+}
+
+TEST(WaitGraphParallel, SingleThreadFallsBackToSerial)
+{
+    CorpusSpec spec;
+    spec.machines = 2;
+    spec.seed = 45;
+    const TraceCorpus corpus = generateCorpus(spec);
+    WaitGraphBuilder builder(corpus);
+    const auto a = builder.buildAll();
+    const auto b = builder.buildAllParallel(1);
+    ASSERT_EQ(a.size(), b.size());
+}
+
+} // namespace
+} // namespace tracelens

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the threshold-suggestion helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/impact/thresholds.h"
+#include "src/trace/builder.h"
+#include "src/workload/generator.h"
+
+namespace tracelens
+{
+namespace
+{
+
+TraceCorpus
+corpusWithDurations(const std::vector<double> &durations_ms)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId st = b.stack({"a!x"});
+    b.running(1, 0, 1, st);
+    for (double ms : durations_ms)
+        b.instance("S", 1, 0, fromMs(ms));
+    b.finish();
+    return corpus;
+}
+
+TEST(Thresholds, QuantilesFromDurations)
+{
+    std::vector<double> durations;
+    for (int i = 1; i <= 100; ++i)
+        durations.push_back(i); // 1..100 ms
+    const TraceCorpus corpus = corpusWithDurations(durations);
+
+    const ThresholdSuggestion s = suggestThresholds(corpus, "S");
+    EXPECT_EQ(s.instances, 100u);
+    EXPECT_TRUE(s.usable());
+    EXPECT_NEAR(toMs(s.p50), 50.0, 1.0);
+    EXPECT_NEAR(toMs(s.p90), 90.0, 1.0);
+    EXPECT_EQ(s.tFast, s.p50);
+    // p90 (90) < 2 * p50 (100): widened to keep the classes apart.
+    EXPECT_EQ(s.tSlow, 2 * s.tFast);
+    EXPECT_NE(s.render().find("T_slow"), std::string::npos);
+}
+
+TEST(Thresholds, HeavyTailUsesP90)
+{
+    std::vector<double> durations(95, 10.0);
+    for (int i = 0; i < 5; ++i)
+        durations.push_back(500.0 + i);
+    const TraceCorpus corpus = corpusWithDurations(durations);
+
+    const ThresholdSuggestion s = suggestThresholds(corpus, "S");
+    EXPECT_NEAR(toMs(s.tFast), 10.0, 0.5);
+    // p90 is 10 (still in the body): widened to 20.
+    EXPECT_EQ(s.tSlow, 2 * s.tFast);
+}
+
+TEST(Thresholds, SlowBoundFollowsTailWhenWideEnough)
+{
+    std::vector<double> durations(50, 10.0);
+    for (int i = 0; i < 50; ++i)
+        durations.push_back(100.0 + i);
+    const TraceCorpus corpus = corpusWithDurations(durations);
+
+    const ThresholdSuggestion s = suggestThresholds(corpus, "S");
+    // p50 falls in the fast mode, p90 deep in the slow mode.
+    EXPECT_LE(toMs(s.tFast), 101.0);
+    EXPECT_GE(toMs(s.tSlow), 100.0);
+    EXPECT_GE(s.tSlow, 2 * s.tFast);
+}
+
+TEST(Thresholds, EmptyScenarioUnusable)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId st = b.stack({"a!x"});
+    b.running(1, 0, 1, st);
+    b.instance("Other", 1, 0, 100);
+    b.finish();
+
+    const auto id = corpus.internScenario("Empty");
+    const ThresholdSuggestion s = suggestThresholds(corpus, id);
+    EXPECT_EQ(s.instances, 0u);
+    EXPECT_FALSE(s.usable());
+}
+
+TEST(ThresholdsDeath, UnknownScenarioNameIsFatal)
+{
+    TraceCorpus corpus;
+    EXPECT_EXIT(suggestThresholds(corpus, "nope"),
+                testing::ExitedWithCode(1), "not in corpus");
+}
+
+TEST(Thresholds, SuggestionsWorkOnGeneratedCorpus)
+{
+    CorpusSpec spec;
+    spec.machines = 30;
+    spec.seed = 8;
+    const TraceCorpus corpus = generateCorpus(spec);
+    for (std::uint32_t id = 0; id < corpus.scenarioCount(); ++id) {
+        const ThresholdSuggestion s = suggestThresholds(corpus, id);
+        if (s.instances == 0)
+            continue;
+        EXPECT_GT(s.tFast, 0);
+        EXPECT_GE(s.tSlow, 2 * s.tFast);
+        EXPECT_LE(s.p25, s.p50);
+        EXPECT_LE(s.p50, s.p90);
+        EXPECT_LE(s.p90, s.p99);
+    }
+}
+
+} // namespace
+} // namespace tracelens

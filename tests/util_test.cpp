@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Unit tests for src/util: RNG, interner, stats, wildcard, table.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/interner.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/util/types.h"
+#include "src/util/wildcard.h"
+
+namespace tracelens
+{
+namespace
+{
+
+TEST(Types, MillisecondConversionRoundTrips)
+{
+    EXPECT_EQ(fromMs(1.0), kMillisecond);
+    EXPECT_DOUBLE_EQ(toMs(kMillisecond), 1.0);
+    EXPECT_DOUBLE_EQ(toMs(fromMs(123.5)), 123.5);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(7);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, LogNormalMedianApproximatelyCorrect)
+{
+    Rng rng(13);
+    std::vector<double> xs;
+    const int n = 20001;
+    for (int i = 0; i < n; ++i)
+        xs.push_back(rng.logNormal(10.0, 0.8));
+    std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+    EXPECT_NEAR(xs[n / 2], 10.0, 0.5);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, BoundedParetoStaysInSupport)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.boundedPareto(1.5, 1.0, 100.0);
+        EXPECT_GE(x, 1.0);
+        EXPECT_LE(x, 100.0);
+    }
+}
+
+TEST(Rng, PickWeightedRespectsZeroWeights)
+{
+    Rng rng(5);
+    const std::vector<double> weights = {0.0, 1.0, 0.0};
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(rng.pickWeighted(weights), 1u);
+}
+
+TEST(Rng, PickWeightedApproximatesRatios)
+{
+    Rng rng(9);
+    const std::vector<double> weights = {1.0, 3.0};
+    int hits1 = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits1 += rng.pickWeighted(weights) == 1;
+    EXPECT_NEAR(static_cast<double>(hits1) / n, 0.75, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(42);
+    Rng child = a.fork();
+    // The fork consumes one value; a forked generator must not mirror
+    // the parent's subsequent outputs.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == child());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Interner, AssignsDenseIdsInFirstSeenOrder)
+{
+    StringInterner interner;
+    EXPECT_EQ(interner.intern("alpha"), 0u);
+    EXPECT_EQ(interner.intern("beta"), 1u);
+    EXPECT_EQ(interner.intern("alpha"), 0u);
+    EXPECT_EQ(interner.size(), 2u);
+    EXPECT_EQ(interner.lookup(1), "beta");
+}
+
+TEST(Interner, FindDoesNotAllocate)
+{
+    StringInterner interner;
+    interner.intern("x");
+    EXPECT_EQ(interner.find("x"), 0u);
+    EXPECT_EQ(interner.find("missing"), UINT32_MAX);
+    EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(Interner, SurvivesManyInsertions)
+{
+    StringInterner interner;
+    for (int i = 0; i < 10000; ++i)
+        interner.intern("sym" + std::to_string(i));
+    // Views must stay valid after growth.
+    EXPECT_EQ(interner.find("sym0"), 0u);
+    EXPECT_EQ(interner.find("sym9999"), 9999u);
+    EXPECT_EQ(interner.lookup(1234), "sym1234");
+}
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator acc;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(x);
+    EXPECT_EQ(acc.count(), 8u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential)
+{
+    Accumulator a, b, whole;
+    for (int i = 0; i < 50; ++i) {
+        const double x = std::sin(i) * 10;
+        (i % 2 ? a : b).add(x);
+        whole.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(SampleSet, QuantilesExact)
+{
+    SampleSet s;
+    for (int i = 10; i >= 1; --i)
+        s.add(i);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.5);
+}
+
+TEST(LogHistogram, BucketsAndOverflow)
+{
+    LogHistogram h(1.0, 4); // [1,2) [2,4) [4,8) [8,inf clamp)
+    h.add(0.5);
+    h.add(1.5);
+    h.add(3.0);
+    h.add(100.0);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.bucketValue(0), 2u); // 0.5 clamps down, 1.5 in range
+    EXPECT_EQ(h.bucketValue(1), 1u);
+    EXPECT_EQ(h.bucketValue(3), 1u);
+}
+
+TEST(Wildcard, LiteralAndCase)
+{
+    EXPECT_TRUE(wildcardMatch("fs.sys", "fs.sys"));
+    EXPECT_TRUE(wildcardMatch("FS.SYS", "fs.sys"));
+    EXPECT_FALSE(wildcardMatch("fs.sys", "fv.sys"));
+}
+
+TEST(Wildcard, StarPatterns)
+{
+    EXPECT_TRUE(wildcardMatch("*.sys", "fv.sys"));
+    EXPECT_TRUE(wildcardMatch("*.sys", ".sys"));
+    EXPECT_FALSE(wildcardMatch("*.sys", "browser.exe"));
+    EXPECT_TRUE(wildcardMatch("*", ""));
+    EXPECT_TRUE(wildcardMatch("fs*", "fs.sys"));
+    EXPECT_TRUE(wildcardMatch("*sys*", "fs.sys"));
+}
+
+TEST(Wildcard, QuestionMark)
+{
+    EXPECT_TRUE(wildcardMatch("f?.sys", "fv.sys"));
+    EXPECT_TRUE(wildcardMatch("f?.sys", "fs.sys"));
+    EXPECT_FALSE(wildcardMatch("f?.sys", "fxx.sys"));
+}
+
+TEST(Wildcard, EmptyPatternMatchesOnlyEmpty)
+{
+    EXPECT_TRUE(wildcardMatch("", ""));
+    EXPECT_FALSE(wildcardMatch("", "x"));
+}
+
+TEST(NameFilter, AnyOfSemantics)
+{
+    NameFilter filter({"*.sys", "hal.dll"});
+    EXPECT_TRUE(filter.matches("fv.sys"));
+    EXPECT_TRUE(filter.matches("HAL.DLL"));
+    EXPECT_FALSE(filter.matches("browser.exe"));
+    EXPECT_FALSE(NameFilter{}.matches("anything"));
+}
+
+TEST(TextTable, RendersAlignedRows)
+{
+    TextTable t({"Name", "Value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "2"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| Name"), std::string::npos);
+    EXPECT_NE(out.find("| longer | 2"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, Formatters)
+{
+    EXPECT_EQ(TextTable::pct(0.364), "36.4%");
+    EXPECT_EQ(TextTable::num(3.456, 2), "3.46");
+    EXPECT_EQ(TextTable::ms(12.3), "12.3ms");
+}
+
+} // namespace
+} // namespace tracelens

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Unit tests for Wait Graph construction on hand-built streams with
+ * known shapes (pairing, duration restoration, recursive expansion,
+ * truncation, and limit handling).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/trace/builder.h"
+#include "src/waitgraph/waitgraph.h"
+
+namespace tracelens
+{
+namespace
+{
+
+/** Find the first node of the given type among a node list. */
+std::uint32_t
+findChildOfType(const WaitGraph &graph,
+                const std::vector<std::uint32_t> &candidates,
+                EventType type)
+{
+    for (std::uint32_t c : candidates) {
+        if (graph.node(c).event.type == type)
+            return c;
+    }
+    return kInvalidIndex;
+}
+
+TEST(WaitGraph, SingleWaitRestoredAndExpanded)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId wait_stack =
+        b.stack({"app.exe!main", "fv.sys!QueryFileTable"});
+    const CallstackId worker_stack =
+        b.stack({"app.exe!Worker", "fv.sys!QueryFileTable"});
+
+    // Thread 1 waits at t=100; thread 2 runs and unwaits at t=600.
+    b.wait(1, 100, wait_stack);
+    b.running(2, 150, 200, worker_stack);
+    b.unwait(2, 600, 1, worker_stack);
+    b.running(1, 600, 100, wait_stack);
+    b.instance("S", 1, 100, 700);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const WaitGraph graph = builder.build(corpus.instances()[0]);
+
+    ASSERT_EQ(graph.roots().size(), 2u);
+    const WaitGraph::Node &wait = graph.node(graph.roots()[0]);
+    EXPECT_EQ(wait.event.type, EventType::Wait);
+    EXPECT_EQ(wait.event.cost, 500); // restored from unwait timestamp
+    EXPECT_FALSE(wait.truncated);
+
+    // Children: thread 2's running event; the unwait is folded into
+    // the wait node as its signalling stack.
+    ASSERT_EQ(wait.children.size(), 1u);
+    EXPECT_EQ(graph.node(wait.children[0]).event.type,
+              EventType::Running);
+    EXPECT_TRUE(wait.paired());
+    EXPECT_NE(wait.unwaitStack, kNoCallstack);
+
+    // Second root: the post-wait running event.
+    EXPECT_EQ(graph.node(graph.roots()[1]).event.type,
+              EventType::Running);
+    EXPECT_EQ(graph.topLevelDuration(), 600);
+}
+
+TEST(WaitGraph, ChildrenExcludeEventsOutsideWindow)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId st = b.stack({"a.sys!F"});
+
+    b.running(2, 50, 10, st);   // before the wait: excluded
+    b.wait(1, 100, st);
+    b.running(2, 200, 10, st);  // inside: included
+    b.unwait(2, 300, 1, st);
+    b.running(2, 400, 10, st);  // after the unwait: excluded
+    b.instance("S", 1, 100, 500);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const WaitGraph graph = builder.build(corpus.instances()[0]);
+
+    ASSERT_EQ(graph.roots().size(), 1u);
+    const auto &wait = graph.node(graph.roots()[0]);
+    ASSERT_EQ(wait.children.size(), 1u); // running@200 only
+    EXPECT_EQ(graph.node(wait.children[0]).event.timestamp, 200);
+}
+
+TEST(WaitGraph, NestedPropagationChain)
+{
+    // A waits on B, B waits on C, C performs a hardware service and
+    // computes, then unwaits B, which unwaits A — the miniature of the
+    // paper's Figure 1 chain.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId sa = b.stack({"app!U", "fv.sys!QueryFileTable"});
+    const CallstackId sb = b.stack({"app!W", "fs.sys!AcquireMDU"});
+    const CallstackId sc = b.stack({"kernel!Worker", "se.sys!ReadDecrypt"});
+    const CallstackId disk = b.stack({"DiskService"});
+
+    b.wait(1, 100, sa);           // A waits (until 1000)
+    b.wait(2, 150, sb);           // B waits (until 900)
+    b.hardware(3, 200, 600, disk);// C's disk service
+    b.running(3, 800, 100, sc);   // C decrypts
+    b.unwait(3, 900, 2, sc);      // C releases B
+    b.unwait(2, 1000, 1, sb);     // B releases A
+    b.running(1, 1000, 50, sa);
+    b.instance("S", 1, 100, 1100);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const WaitGraph graph = builder.build(corpus.instances()[0]);
+
+    ASSERT_EQ(graph.roots().size(), 2u);
+    const auto &wait_a = graph.node(graph.roots()[0]);
+    EXPECT_EQ(wait_a.event.cost, 900); // 1000 - 100
+
+    // A's children are B's events in [100, 1000]: B's wait (the
+    // unwait is folded into the wait node).
+    const std::uint32_t wait_b_id =
+        findChildOfType(graph, wait_a.children, EventType::Wait);
+    ASSERT_NE(wait_b_id, kInvalidIndex);
+    const auto &wait_b = graph.node(wait_b_id);
+    EXPECT_EQ(wait_b.event.cost, 750); // 900 - 150
+    EXPECT_TRUE(wait_b.paired());
+
+    // B's children are C's events: hardware and the decrypt run.
+    ASSERT_EQ(wait_b.children.size(), 2u);
+    EXPECT_EQ(graph.node(wait_b.children[0]).event.type,
+              EventType::HardwareService);
+    EXPECT_EQ(graph.node(wait_b.children[1]).event.type,
+              EventType::Running);
+}
+
+TEST(WaitGraph, UnpairedWaitTruncatesToStreamEnd)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId st = b.stack({"a.sys!F"});
+    b.wait(1, 100, st);
+    b.running(2, 100, 900, st);
+    b.instance("S", 1, 50, 1000);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const WaitGraph graph = builder.build(corpus.instances()[0]);
+    ASSERT_EQ(graph.roots().size(), 1u);
+    const auto &wait = graph.node(graph.roots()[0]);
+    EXPECT_TRUE(wait.truncated);
+    EXPECT_EQ(wait.event.cost, 900); // stream end 1000 - 100
+    EXPECT_TRUE(wait.children.empty());
+}
+
+TEST(WaitGraph, FifoPairingMatchesWaitsInOrder)
+{
+    // Thread 1 waits twice; two unwaits target it. FIFO: first wait
+    // pairs with first unwait.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId st = b.stack({"a.sys!F"});
+    b.wait(1, 100, st);
+    b.unwait(2, 200, 1, st);
+    b.wait(1, 300, st);
+    b.unwait(3, 450, 1, st);
+    b.instance("S", 1, 0, 500);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const WaitGraph graph = builder.build(corpus.instances()[0]);
+    ASSERT_EQ(graph.roots().size(), 2u);
+    EXPECT_EQ(graph.node(graph.roots()[0]).event.cost, 100);
+    EXPECT_EQ(graph.node(graph.roots()[1]).event.cost, 150);
+}
+
+TEST(WaitGraph, InstanceWindowSelectsRoots)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId st = b.stack({"a.sys!F"});
+    b.running(1, 0, 10, st);
+    b.running(1, 100, 10, st);
+    b.running(1, 200, 10, st);
+    b.instance("S", 1, 50, 150);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const WaitGraph graph = builder.build(corpus.instances()[0]);
+    ASSERT_EQ(graph.roots().size(), 1u);
+    EXPECT_EQ(graph.node(graph.roots()[0]).event.timestamp, 100);
+}
+
+TEST(WaitGraph, MissingInitiatingThreadYieldsEmptyGraph)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId st = b.stack({"a.sys!F"});
+    b.running(1, 0, 10, st);
+    b.instance("S", 99, 0, 100);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const WaitGraph graph = builder.build(corpus.instances()[0]);
+    EXPECT_TRUE(graph.empty());
+    EXPECT_EQ(graph.topLevelDuration(), 0);
+}
+
+TEST(WaitGraph, DepthLimitTruncates)
+{
+    // Build a 5-deep chain but limit depth to 2.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId st = b.stack({"a.sys!F"});
+    // Chain: 1 waits on 2 waits on 3 waits on 4 waits on 5.
+    for (ThreadId t = 1; t <= 4; ++t)
+        b.wait(t, 100 + t, st);
+    b.running(5, 200, 10, st);
+    for (ThreadId t = 5; t >= 2; --t)
+        b.unwait(t, 1000 + (5 - t), t - 1, st);
+    b.instance("S", 1, 0, 2000);
+    b.finish();
+
+    WaitGraphOptions options;
+    options.maxDepth = 2;
+    WaitGraphBuilder builder(corpus, options);
+    const WaitGraph graph = builder.build(corpus.instances()[0]);
+
+    // Depth 0: wait(1); depth 1: wait(2); depth 2: wait(3) truncated.
+    ASSERT_FALSE(graph.roots().empty());
+    const auto &w1 = graph.node(graph.roots()[0]);
+    const auto w2_id = findChildOfType(graph, w1.children,
+                                       EventType::Wait);
+    ASSERT_NE(w2_id, kInvalidIndex);
+    const auto w3_id = findChildOfType(graph, graph.node(w2_id).children,
+                                       EventType::Wait);
+    ASSERT_NE(w3_id, kInvalidIndex);
+    EXPECT_TRUE(graph.node(w3_id).truncated);
+    EXPECT_TRUE(graph.node(w3_id).children.empty());
+    // Cost is still restored even when expansion is truncated.
+    EXPECT_GT(graph.node(w3_id).event.cost, 0);
+}
+
+TEST(WaitGraph, BuildAllCoversEveryInstance)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId st = b.stack({"a.sys!F"});
+    b.running(1, 0, 10, st);
+    b.running(2, 0, 10, st);
+    b.instance("S", 1, 0, 100);
+    b.instance("T", 2, 0, 100);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const auto graphs = builder.buildAll();
+    ASSERT_EQ(graphs.size(), 2u);
+    EXPECT_EQ(graphs[0].instance().tid, 1u);
+    EXPECT_EQ(graphs[1].instance().tid, 2u);
+}
+
+TEST(WaitGraph, SharedWaitAppearsInTwoInstanceGraphsWithSameRef)
+{
+    // Two scenario instances on different threads both blocked by the
+    // same worker: the worker's wait event appears (as a child) in both
+    // graphs with the same EventRef — the overlap that drives
+    // D_waitdist.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId st = b.stack({"a.sys!F"});
+
+    b.wait(1, 100, st);  // instance 1 root wait
+    b.wait(2, 110, st);  // instance 2 root wait
+    b.wait(3, 120, st);  // the shared worker wait
+    b.unwait(4, 500, 3, st);
+    b.unwait(3, 600, 1, st);
+    b.unwait(3, 610, 2, st);
+    b.instance("S", 1, 0, 700);
+    b.instance("T", 2, 0, 700);
+    b.finish();
+
+    WaitGraphBuilder builder(corpus);
+    const auto graphs = builder.buildAll();
+    ASSERT_EQ(graphs.size(), 2u);
+
+    auto sharedWaitRef = [&](const WaitGraph &g) -> EventRef {
+        const auto &root = g.node(g.roots()[0]);
+        const auto id = findChildOfType(g, root.children,
+                                        EventType::Wait);
+        EXPECT_NE(id, kInvalidIndex);
+        return g.node(id).ref;
+    };
+    EXPECT_EQ(sharedWaitRef(graphs[0]), sharedWaitRef(graphs[1]));
+}
+
+TEST(WaitGraph, ContainmentOnlySeversLockQueueChains)
+{
+    // A lock-queue shape: B's wait started before A's but resolved
+    // inside A's window. Overlap semantics connect it; containment
+    // semantics do not.
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId st = b.stack({"a.sys!F"});
+    b.wait(2, 50, st);           // B waits first
+    b.wait(1, 100, st);          // A waits second
+    b.unwait(9, 500, 2, st);     // B resolves inside A's window
+    b.unwait(2, 600, 1, st);     // B readies A
+    b.instance("S", 1, 0, 700);
+    b.finish();
+
+    WaitGraphBuilder overlap(corpus);
+    const WaitGraph with_overlap = overlap.build(corpus.instances()[0]);
+    ASSERT_EQ(with_overlap.roots().size(), 1u);
+    EXPECT_FALSE(
+        with_overlap.node(with_overlap.roots()[0]).children.empty());
+
+    WaitGraphOptions options;
+    options.containmentOnly = true;
+    WaitGraphBuilder contain(corpus, options);
+    const WaitGraph without = contain.build(corpus.instances()[0]);
+    ASSERT_EQ(without.roots().size(), 1u);
+    EXPECT_TRUE(without.node(without.roots()[0]).children.empty());
+}
+
+TEST(WaitGraph, UnclippedCostsExceedParentWindows)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId st = b.stack({"a.sys!F"});
+    b.wait(2, 0, st);            // B's long wait [0, 900]
+    b.wait(1, 800, st);          // A's short wait [800, 1000]
+    b.unwait(9, 900, 2, st);
+    b.unwait(2, 1000, 1, st);
+    b.instance("S", 1, 700, 1100);
+    b.finish();
+
+    // Clipped (default): B's wait contributes only its overlap.
+    WaitGraphBuilder clipped(corpus);
+    const WaitGraph g1 = clipped.build(corpus.instances()[0]);
+    ASSERT_EQ(g1.roots().size(), 1u);
+    const auto &root1 = g1.node(g1.roots()[0]);
+    ASSERT_EQ(root1.children.size(), 1u);
+    EXPECT_EQ(g1.node(root1.children[0]).event.cost, 100); // [800,900]
+    EXPECT_LE(g1.node(root1.children[0]).event.cost,
+              root1.event.cost);
+
+    WaitGraphOptions options;
+    options.clipToWindows = false;
+    WaitGraphBuilder unclipped(corpus, options);
+    const WaitGraph g2 = unclipped.build(corpus.instances()[0]);
+    const auto &root2 = g2.node(g2.roots()[0]);
+    ASSERT_EQ(root2.children.size(), 1u);
+    EXPECT_EQ(g2.node(root2.children[0]).event.cost, 900); // full wait
+    EXPECT_GT(g2.node(root2.children[0]).event.cost,
+              root2.event.cost);
+}
+
+} // namespace
+} // namespace tracelens

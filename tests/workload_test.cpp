@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests for the workload substrate: driver zoo, machine ops, scenario
+ * catalog, corpus generator, and the deterministic case studies.
+ */
+
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/trace/serialize.h"
+#include "src/trace/validate.h"
+#include "src/waitgraph/waitgraph.h"
+#include "src/workload/driverzoo.h"
+#include "src/workload/generator.h"
+#include "src/workload/machine.h"
+#include "src/workload/motivating.h"
+#include "src/workload/scenarios.h"
+
+namespace tracelens
+{
+namespace
+{
+
+TEST(DriverZoo, ClassifiesKnownModules)
+{
+    EXPECT_EQ(classifyModule("fs.sys"), DriverType::FileSystem);
+    EXPECT_EQ(classifyModule("fv.sys"), DriverType::FileSystemFilter);
+    EXPECT_EQ(classifyModule("av_flt.sys"),
+              DriverType::FileSystemFilter);
+    EXPECT_EQ(classifyModule("net.sys"), DriverType::Network);
+    EXPECT_EQ(classifyModule("se.sys"), DriverType::StorageEncryption);
+    EXPECT_EQ(classifyModule("dp.sys"), DriverType::DiskProtection);
+    EXPECT_EQ(classifyModule("graphics.sys"), DriverType::Graphics);
+    EXPECT_EQ(classifyModule("bk.sys"), DriverType::StorageBackup);
+    EXPECT_EQ(classifyModule("iocache.sys"), DriverType::IoCache);
+    EXPECT_EQ(classifyModule("mou.sys"), DriverType::Mouse);
+    EXPECT_EQ(classifyModule("acpi.sys"), DriverType::Acpi);
+    EXPECT_FALSE(classifyModule("browser.exe").has_value());
+    EXPECT_FALSE(classifyModule("unknown.sys").has_value());
+}
+
+TEST(DriverZoo, ClassifiesSignatures)
+{
+    EXPECT_EQ(classifySignature("fs.sys!Read"), DriverType::FileSystem);
+    EXPECT_FALSE(classifySignature("DiskService").has_value());
+    EXPECT_FALSE(classifySignature("app.exe!Main").has_value());
+}
+
+TEST(DriverZoo, TypeNamesAndOrder)
+{
+    EXPECT_EQ(allDriverTypes().size(), kDriverTypeCount);
+    std::set<std::string_view> names;
+    for (DriverType t : allDriverTypes())
+        names.insert(driverTypeName(t));
+    EXPECT_EQ(names.size(), kDriverTypeCount);
+}
+
+TEST(Machine, FileReadProducesDriverStackEvents)
+{
+    TraceCorpus corpus;
+    MachineConfig config;
+    config.storageEncryption = true;
+    config.cacheHitRate = 0.0; // force the disk path
+    Machine machine(corpus, "m", config, 42);
+
+    Script body;
+    machine.appendFileRead(body);
+    machine.spawnInstance("Test", "app.exe!Main", std::move(body), 0);
+    const auto stream_idx = machine.run();
+
+    // The stream must mention the storage tail of the driver chain.
+    const std::string dump = dumpStream(corpus, stream_idx, 1000);
+    EXPECT_NE(dump.find("fs.sys!"), std::string::npos);
+    EXPECT_NE(dump.find("se.sys!ReadDecrypt"), std::string::npos);
+    EXPECT_NE(dump.find("DiskService"), std::string::npos);
+    ASSERT_EQ(corpus.instances().size(), 1u);
+
+    // The client's wait (on the system-service call) carries the full
+    // filter -> FS stack.
+    bool saw_client_wait = false;
+    for (const Event &e : corpus.stream(stream_idx).events()) {
+        if (e.type != EventType::Wait || e.stack == kNoCallstack)
+            continue;
+        const std::string stack =
+            corpus.symbols().renderStack(e.stack);
+        if (stack.find("fs.sys!") == std::string::npos ||
+            stack.find("fs.sys!AcquireMDU") == std::string::npos)
+            continue;
+        EXPECT_NE(stack.find("fv.sys!"), std::string::npos);
+        saw_client_wait = true;
+    }
+    EXPECT_TRUE(saw_client_wait);
+}
+
+TEST(Machine, UnencryptedReadSkipsSe)
+{
+    TraceCorpus corpus;
+    MachineConfig config;
+    config.storageEncryption = false;
+    config.cacheHitRate = 0.0;
+    Machine machine(corpus, "m", config, 42);
+
+    Script body;
+    machine.appendFileRead(body);
+    machine.spawnInstance("Test", "app.exe!Main", std::move(body), 0);
+    const auto stream_idx = machine.run();
+    const std::string dump = dumpStream(corpus, stream_idx, 1000);
+    EXPECT_EQ(dump.find("se.sys"), std::string::npos);
+    EXPECT_NE(dump.find("DiskService"), std::string::npos);
+}
+
+TEST(Machine, AccessCheckRunsOnServiceThread)
+{
+    TraceCorpus corpus;
+    MachineConfig config;
+    config.cacheHitRate = 1.0; // keep the inspection read cheap
+    Machine machine(corpus, "m", config, 7);
+
+    Script body;
+    machine.appendAccessCheck(body);
+    machine.spawnInstance("Test", "app.exe!Main", std::move(body), 0);
+    const auto stream_idx = machine.run();
+
+    const std::string dump = dumpStream(corpus, stream_idx, 2000);
+    EXPECT_NE(dump.find("av_flt.sys!InspectRequest"),
+              std::string::npos);
+    EXPECT_NE(dump.find("rpc!SendRequest"), std::string::npos);
+}
+
+TEST(Machine, DiskProtectionBurstBlocksReads)
+{
+    TraceCorpus corpus;
+    MachineConfig config;
+    config.diskProtection = true;
+    config.storageEncryption = false;
+    config.ioCache = false;
+    Machine machine(corpus, "m", config, 11);
+
+    machine.spawnDiskProtectionBurst(0, fromMs(100));
+    Script body;
+    machine.appendFileRead(body);
+    machine.spawnInstance("Test", "app.exe!Main", std::move(body),
+                          fromMs(5));
+    machine.run();
+
+    // The read must have been delayed past the 100 ms burst.
+    ASSERT_EQ(corpus.instances().size(), 1u);
+    EXPECT_GT(corpus.instances()[0].t1, fromMs(100));
+}
+
+TEST(Scenarios, CatalogHasEightSelectedEntriesWithSaneThresholds)
+{
+    const auto &catalog = scenarioCatalog();
+    ASSERT_GE(catalog.size(), 8u);
+    std::set<std::string> names;
+    for (const ScenarioSpec &spec : catalog) {
+        EXPECT_GT(spec.tFast, 0) << spec.name;
+        EXPECT_GT(spec.tSlow, spec.tFast) << spec.name;
+        EXPECT_GT(spec.weight, 0.0) << spec.name;
+        EXPECT_TRUE(spec.build != nullptr) << spec.name;
+        names.insert(spec.name);
+    }
+    EXPECT_EQ(names.size(), catalog.size()); // unique names
+
+    // Exactly the paper's eight scenarios are selected for analysis.
+    const auto selected = selectedScenarios();
+    ASSERT_EQ(selected.size(), 8u);
+    EXPECT_EQ(selected.front()->name, "AppAccessControl");
+    EXPECT_EQ(selected.back()->name, "WebPageNavigation");
+    EXPECT_TRUE(names.count("BrowserTabCreate"));
+}
+
+TEST(Scenarios, LookupByNameWorks)
+{
+    EXPECT_EQ(scenarioByName("MenuDisplay").name, "MenuDisplay");
+    EXPECT_EQ(scenarioByName("BrowserTabCreate").tFast, fromMs(300));
+    EXPECT_EQ(scenarioByName("BrowserTabCreate").tSlow, fromMs(500));
+}
+
+TEST(Scenarios, ScaledOpsRespectsBounds)
+{
+    Rng rng(5);
+    for (double severity : {0.0, 0.5, 1.0}) {
+        for (int i = 0; i < 100; ++i) {
+            const int n = scaledOps(rng, severity, 2, 6);
+            EXPECT_GE(n, 2);
+            EXPECT_LE(n, 7); // +0.5 jitter rounds at most one above
+        }
+    }
+}
+
+TEST(Scenarios, EveryBuilderProducesRunnableScript)
+{
+    for (const ScenarioSpec &spec : scenarioCatalog()) {
+        TraceCorpus corpus;
+        MachineConfig config;
+        Machine machine(corpus, "m", config, 99);
+        Script body = spec.build(machine, 0.5);
+        EXPECT_FALSE(body.empty()) << spec.name;
+        machine.spawnInstance(spec.name, spec.processFrame,
+                              std::move(body), 0);
+        machine.run();
+        ASSERT_EQ(corpus.instances().size(), 1u) << spec.name;
+        EXPECT_GT(corpus.instances()[0].duration(), 0) << spec.name;
+    }
+}
+
+TEST(Generator, SmallCorpusIsDeterministic)
+{
+    CorpusSpec spec;
+    spec.machines = 4;
+    spec.seed = 123;
+
+    auto serialize = [&] {
+        const TraceCorpus corpus = generateCorpus(spec);
+        std::ostringstream buffer;
+        writeCorpus(corpus, buffer);
+        return buffer.str();
+    };
+    EXPECT_EQ(serialize(), serialize());
+}
+
+TEST(Generator, ProducesInstancesOfRequestedScenarios)
+{
+    CorpusSpec spec;
+    spec.machines = 6;
+    spec.onlyScenarios = {"MenuDisplay"};
+    const TraceCorpus corpus = generateCorpus(spec);
+
+    EXPECT_EQ(corpus.streamCount(), 6u);
+    EXPECT_GE(corpus.instances().size(),
+              6u * spec.minInstancesPerMachine);
+    const auto menu = corpus.findScenario("MenuDisplay");
+    ASSERT_NE(menu, UINT32_MAX);
+    for (const ScenarioInstance &inst : corpus.instances())
+        EXPECT_EQ(inst.scenario, menu);
+}
+
+TEST(Generator, TracesAreStructurallySound)
+{
+    CorpusSpec spec;
+    spec.machines = 5;
+    const TraceCorpus corpus = generateCorpus(spec);
+    const ValidationReport report = validateCorpus(corpus);
+
+    EXPECT_EQ(report.strayUnwaits, 0u) << report.render();
+    EXPECT_EQ(report.selfUnwaits, 0u) << report.render();
+    EXPECT_EQ(report.stacklessEvents, 0u) << report.render();
+    // Idle service threads legitimately end blocked; bound the rest.
+    EXPECT_LE(report.unpairedWaits, 6u * corpus.streamCount())
+        << report.render();
+    EXPECT_GT(report.events, 100u);
+}
+
+TEST(Motivating, Figure1CaseExceeds800Ms)
+{
+    TraceCorpus corpus;
+    const CaseHandles handles = buildMotivatingExample(corpus);
+
+    const ScenarioInstance &inst =
+        corpus.instances()[handles.instance];
+    EXPECT_EQ(corpus.scenarioName(inst.scenario), "BrowserTabCreate");
+    EXPECT_GT(inst.duration(), fromMs(800));
+    EXPECT_LT(inst.duration(), fromMs(1200));
+    EXPECT_EQ(inst.tid, handles.initiatingThread);
+}
+
+TEST(Motivating, Figure1PropagationChainIsVisibleInWaitGraph)
+{
+    TraceCorpus corpus;
+    const CaseHandles handles = buildMotivatingExample(corpus);
+
+    WaitGraphBuilder builder(corpus);
+    const WaitGraph graph =
+        builder.build(corpus.instances()[handles.instance]);
+    ASSERT_FALSE(graph.empty());
+
+    // Walk the graph and collect the driver signatures seen on wait
+    // nodes: the full fv -> fs chain plus the se.sys leaf must appear.
+    std::set<std::string> wait_modules;
+    bool saw_disk = false;
+    bool saw_se_running = false;
+    const SymbolTable &sym = corpus.symbols();
+    NameFilter drivers({"*.sys"});
+    for (const auto &node : graph.nodes()) {
+        const Event &e = node.event;
+        if (e.stack == kNoCallstack)
+            continue;
+        if (e.type == EventType::Wait) {
+            const FrameId top = sym.topMatchingFrame(e.stack, drivers);
+            if (top != kNoFrame)
+                wait_modules.insert(sym.componentName(top));
+        } else if (e.type == EventType::HardwareService) {
+            saw_disk = true;
+        } else if (e.type == EventType::Running) {
+            const FrameId top = sym.topMatchingFrame(e.stack, drivers);
+            if (top != kNoFrame && sym.componentName(top) == "se.sys")
+                saw_se_running = true;
+        }
+    }
+    EXPECT_TRUE(wait_modules.count("fv.sys"));
+    EXPECT_TRUE(wait_modules.count("fs.sys"));
+    EXPECT_TRUE(wait_modules.count("se.sys"));
+    EXPECT_TRUE(saw_disk);
+    EXPECT_TRUE(saw_se_running);
+}
+
+TEST(Motivating, GraphicsHardFaultFreezesUiForSeconds)
+{
+    TraceCorpus corpus;
+    const CaseHandles handles = buildGraphicsHardFaultCase(corpus);
+    const ScenarioInstance &inst =
+        corpus.instances()[handles.instance];
+    EXPECT_EQ(corpus.scenarioName(inst.scenario), "AppNonResponsive");
+    EXPECT_GT(inst.duration(), fromMs(4500));
+
+    const std::string dump = dumpStream(corpus, handles.stream, 2000);
+    EXPECT_NE(dump.find("graphics.sys"), std::string::npos);
+    EXPECT_NE(dump.find("se.sys!ReadDecrypt"), std::string::npos);
+}
+
+} // namespace
+} // namespace tracelens

@@ -1,0 +1,413 @@
+/**
+ * @file
+ * tracelens — command-line front end for the TraceLens pipeline.
+ *
+ * Subcommands:
+ *   generate   --out FILE [--machines N] [--seed S] [--scenario NAME]
+ *              Synthesize a corpus and write the binary corpus file.
+ *   validate   FILE
+ *              Structural validation report.
+ *   impact     FILE [--components GLOB]...
+ *              Corpus-wide + per-scenario impact analysis.
+ *   analyze    FILE --scenario NAME [--tfast MS] [--tslow MS]
+ *              [--top N] [--no-knowledge-filter]
+ *              Causality analysis with ranked patterns.
+ *   dump       FILE [--stream N] [--max N]
+ *              Human-readable event dump of one stream.
+ *   export-csv FILE --events OUT --instances OUT
+ *   import-csv --events IN --instances IN --out FILE
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/analyzer.h"
+#include "src/core/htmlreport.h"
+#include "src/core/report.h"
+#include "src/impact/thresholds.h"
+#include "src/mining/diff.h"
+#include "src/mining/knowledge.h"
+#include "src/trace/csv.h"
+#include "src/trace/serialize.h"
+#include "src/trace/validate.h"
+#include "src/util/table.h"
+#include "src/workload/generator.h"
+#include "src/workload/scenarios.h"
+
+namespace
+{
+
+using namespace tracelens;
+
+/** Minimal flag parser: positional args plus --name value pairs. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int start)
+    {
+        for (int i = start; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--", 0) == 0) {
+                const std::string name = arg.substr(2);
+                if (i + 1 < argc &&
+                    std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                    flags_[name].push_back(argv[++i]);
+                } else {
+                    flags_[name].push_back(""); // boolean flag
+                }
+            } else {
+                positional_.push_back(arg);
+            }
+        }
+    }
+
+    std::optional<std::string>
+    flag(const std::string &name) const
+    {
+        auto it = flags_.find(name);
+        if (it == flags_.end() || it->second.empty())
+            return std::nullopt;
+        return it->second.front();
+    }
+
+    std::vector<std::string>
+    flagAll(const std::string &name) const
+    {
+        auto it = flags_.find(name);
+        return it == flags_.end() ? std::vector<std::string>{}
+                                  : it->second;
+    }
+
+    bool has(const std::string &name) const
+    {
+        return flags_.count(name) > 0;
+    }
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::map<std::string, std::vector<std::string>> flags_;
+    std::vector<std::string> positional_;
+};
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  tracelens generate --out FILE [--machines N] [--seed S]"
+           " [--scenario NAME]\n"
+           "  tracelens validate FILE\n"
+           "  tracelens impact FILE [--components GLOB]...\n"
+           "  tracelens analyze FILE --scenario NAME [--tfast MS]"
+           " [--tslow MS] [--top N] [--no-knowledge-filter]\n"
+           "  tracelens thresholds FILE [--scenario NAME]\n"
+           "  tracelens report FILE [--top N] [--html OUT]"
+           " [--no-knowledge-filter]\n"
+           "  tracelens diff BEFORE AFTER --scenario NAME"
+           " [--tfast MS] [--tslow MS]\n"
+           "  tracelens dump FILE [--stream N] [--max N]\n"
+           "  tracelens export-csv FILE --events OUT --instances OUT\n"
+           "  tracelens import-csv --events IN --instances IN --out "
+           "FILE\n";
+    return 2;
+}
+
+int
+cmdGenerate(const Args &args)
+{
+    const auto out = args.flag("out");
+    if (!out)
+        return usage();
+    CorpusSpec spec;
+    if (auto v = args.flag("machines"))
+        spec.machines = static_cast<std::uint32_t>(std::stoul(*v));
+    if (auto v = args.flag("seed"))
+        spec.seed = std::stoull(*v);
+    for (const std::string &name : args.flagAll("scenario"))
+        spec.onlyScenarios.push_back(name);
+
+    const TraceCorpus corpus = generateCorpus(spec);
+    writeCorpusFile(corpus, *out);
+    std::cout << "wrote " << corpus.streamCount() << " streams / "
+              << corpus.instances().size() << " instances / "
+              << corpus.totalEvents() << " events to " << *out << "\n";
+    return 0;
+}
+
+int
+cmdValidate(const Args &args)
+{
+    if (args.positional().empty())
+        return usage();
+    const TraceCorpus corpus = readCorpusFile(args.positional()[0]);
+    const ValidationReport report = validateCorpus(corpus);
+    std::cout << report.render() << "\n";
+    return report.strayUnwaits == 0 && report.selfUnwaits == 0 ? 0 : 1;
+}
+
+int
+cmdImpact(const Args &args)
+{
+    if (args.positional().empty())
+        return usage();
+    const TraceCorpus corpus = readCorpusFile(args.positional()[0]);
+
+    AnalyzerConfig config;
+    const auto globs = args.flagAll("components");
+    if (!globs.empty())
+        config.components = globs;
+    Analyzer analyzer(corpus, config);
+
+    std::cout << "components:";
+    for (const auto &g : analyzer.components().patterns())
+        std::cout << " " << g;
+    std::cout << "\nall scenarios: " << analyzer.impactAll().render()
+              << "\n";
+    for (const auto &[scenario, impact] :
+         analyzer.impactPerScenario()) {
+        std::cout << "  " << corpus.scenarioName(scenario) << ": "
+                  << impact.render() << "\n";
+    }
+    return 0;
+}
+
+int
+cmdAnalyze(const Args &args)
+{
+    const auto scenario = args.flag("scenario");
+    if (args.positional().empty() || !scenario)
+        return usage();
+    const TraceCorpus corpus = readCorpusFile(args.positional()[0]);
+
+    // Thresholds default to the catalog's when the scenario is known.
+    DurationNs t_fast = 0, t_slow = 0;
+    for (const ScenarioSpec &spec : scenarioCatalog()) {
+        if (spec.name == *scenario) {
+            t_fast = spec.tFast;
+            t_slow = spec.tSlow;
+        }
+    }
+    if (auto v = args.flag("tfast"))
+        t_fast = fromMs(std::stod(*v));
+    if (auto v = args.flag("tslow"))
+        t_slow = fromMs(std::stod(*v));
+    if (t_fast <= 0 || t_slow <= t_fast) {
+        std::cerr << "need --tfast/--tslow for unknown scenarios\n";
+        return 2;
+    }
+
+    Analyzer analyzer(corpus);
+    const ScenarioAnalysis analysis =
+        analyzer.analyzeScenario(*scenario, t_fast, t_slow);
+
+    std::cout << *scenario << ": " << analysis.classes.fast.size()
+              << " fast / " << analysis.classes.middle.size()
+              << " middle / " << analysis.classes.slow.size()
+              << " slow\n";
+    std::cout << "slow impact: " << analysis.slowImpact.render()
+              << "\n";
+    std::cout << "coverage: " << analysis.coverage.render() << "\n";
+    std::cout << "mining: " << analysis.mining.stats.render() << "\n\n";
+
+    std::vector<ContrastPattern> patterns = analysis.mining.patterns;
+    if (!args.has("no-knowledge-filter")) {
+        const auto filtered = KnowledgeBase::defaults().apply(
+            analysis.mining, corpus.symbols());
+        if (!filtered.suppressed.empty()) {
+            std::cout << filtered.suppressed.size()
+                      << " pattern(s) suppressed as by-design "
+                         "behaviour (--no-knowledge-filter to keep)\n\n";
+        }
+        patterns = filtered.kept;
+    }
+
+    std::size_t top = 5;
+    if (auto v = args.flag("top"))
+        top = std::stoul(*v);
+    for (std::size_t i = 0; i < std::min(top, patterns.size()); ++i) {
+        const ContrastPattern &p = patterns[i];
+        std::cout << "#" << i + 1 << " impact="
+                  << toMs(static_cast<DurationNs>(p.impact()))
+                  << "ms N=" << p.count
+                  << (p.highImpact(t_slow) ? " [high-impact]" : "")
+                  << "\n"
+                  << p.tuple.render(corpus.symbols()) << "\n";
+    }
+    return 0;
+}
+
+int
+cmdThresholds(const Args &args)
+{
+    if (args.positional().empty())
+        return usage();
+    const TraceCorpus corpus = readCorpusFile(args.positional()[0]);
+    if (auto name = args.flag("scenario")) {
+        std::cout << *name << ": "
+                  << suggestThresholds(corpus, *name).render() << "\n";
+        return 0;
+    }
+    for (std::uint32_t id = 0; id < corpus.scenarioCount(); ++id) {
+        std::cout << corpus.scenarioName(id) << ": "
+                  << suggestThresholds(corpus, id).render() << "\n";
+    }
+    return 0;
+}
+
+int
+cmdReport(const Args &args)
+{
+    if (args.positional().empty())
+        return usage();
+    const TraceCorpus corpus = readCorpusFile(args.positional()[0]);
+    Analyzer analyzer(corpus);
+
+    std::vector<ScenarioThresholds> scenarios;
+    for (const ScenarioSpec &spec : scenarioCatalog()) {
+        if (spec.selected &&
+            corpus.findScenario(spec.name) != UINT32_MAX) {
+            scenarios.push_back({spec.name, spec.tFast, spec.tSlow});
+        }
+    }
+    ReportOptions options;
+    if (auto v = args.flag("top"))
+        options.topPatterns = std::stoul(*v);
+    options.applyKnowledgeFilter = !args.has("no-knowledge-filter");
+    if (auto html = args.flag("html")) {
+        writeHtmlReportFile(analyzer, scenarios, *html, options);
+        std::cout << "wrote " << *html << "\n";
+        return 0;
+    }
+    std::cout << buildReport(analyzer, scenarios, options);
+    return 0;
+}
+
+int
+cmdDiff(const Args &args)
+{
+    const auto scenario = args.flag("scenario");
+    if (args.positional().size() < 2 || !scenario)
+        return usage();
+    const TraceCorpus before = readCorpusFile(args.positional()[0]);
+    const TraceCorpus after = readCorpusFile(args.positional()[1]);
+
+    DurationNs t_fast = 0, t_slow = 0;
+    for (const ScenarioSpec &spec : scenarioCatalog()) {
+        if (spec.name == *scenario) {
+            t_fast = spec.tFast;
+            t_slow = spec.tSlow;
+        }
+    }
+    if (auto v = args.flag("tfast"))
+        t_fast = fromMs(std::stod(*v));
+    if (auto v = args.flag("tslow"))
+        t_slow = fromMs(std::stod(*v));
+    if (t_fast <= 0 || t_slow <= t_fast) {
+        std::cerr << "need --tfast/--tslow for unknown scenarios\n";
+        return 2;
+    }
+
+    Analyzer ana_before(before);
+    Analyzer ana_after(after);
+    const ScenarioAnalysis rb =
+        ana_before.analyzeScenario(*scenario, t_fast, t_slow);
+    const ScenarioAnalysis ra =
+        ana_after.analyzeScenario(*scenario, t_fast, t_slow);
+
+    const MiningDiff diff = diffMiningResults(
+        rb.mining, before.symbols(), ra.mining, after.symbols());
+    std::cout << diff.render(after.symbols());
+    return 0;
+}
+
+int
+cmdDump(const Args &args)
+{
+    if (args.positional().empty())
+        return usage();
+    const TraceCorpus corpus = readCorpusFile(args.positional()[0]);
+    std::uint32_t stream = 0;
+    std::size_t max_events = 100;
+    if (auto v = args.flag("stream"))
+        stream = static_cast<std::uint32_t>(std::stoul(*v));
+    if (auto v = args.flag("max"))
+        max_events = std::stoul(*v);
+    if (stream >= corpus.streamCount()) {
+        std::cerr << "stream " << stream << " out of range (corpus has "
+                  << corpus.streamCount() << ")\n";
+        return 1;
+    }
+    std::cout << dumpStream(corpus, stream, max_events);
+    return 0;
+}
+
+int
+cmdExportCsv(const Args &args)
+{
+    const auto events = args.flag("events");
+    const auto instances = args.flag("instances");
+    if (args.positional().empty() || !events || !instances)
+        return usage();
+    const TraceCorpus corpus = readCorpusFile(args.positional()[0]);
+    writeCorpusCsvFiles(corpus, *events, *instances);
+    std::cout << "exported to " << *events << " + " << *instances
+              << "\n";
+    return 0;
+}
+
+int
+cmdImportCsv(const Args &args)
+{
+    const auto events = args.flag("events");
+    const auto instances = args.flag("instances");
+    const auto out = args.flag("out");
+    if (!events || !instances || !out)
+        return usage();
+    const TraceCorpus corpus =
+        readCorpusCsvFiles(*events, *instances);
+    writeCorpusFile(corpus, *out);
+    std::cout << "imported " << corpus.totalEvents() << " events into "
+              << *out << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    const Args args(argc, argv, 2);
+
+    if (command == "generate")
+        return cmdGenerate(args);
+    if (command == "validate")
+        return cmdValidate(args);
+    if (command == "impact")
+        return cmdImpact(args);
+    if (command == "analyze")
+        return cmdAnalyze(args);
+    if (command == "thresholds")
+        return cmdThresholds(args);
+    if (command == "report")
+        return cmdReport(args);
+    if (command == "diff")
+        return cmdDiff(args);
+    if (command == "dump")
+        return cmdDump(args);
+    if (command == "export-csv")
+        return cmdExportCsv(args);
+    if (command == "import-csv")
+        return cmdImportCsv(args);
+    return usage();
+}
