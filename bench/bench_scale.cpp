@@ -1,21 +1,52 @@
 /**
  * @file
  * Methodological supplement: stability of the Section-5.1 impact
- * metrics as the corpus grows. The paper argues large-scale trace
+ * metrics as the corpus grows, and serial-vs-parallel throughput of
+ * the analysis pipeline. The paper argues large-scale trace
  * collections are needed to expose amortized problems; this bench
  * shows how quickly the fleet-level metrics converge with corpus size
- * and how analysis time scales.
+ * and how much corpus-parallel sharding buys on multicore hardware.
  *
- * Usage: bench_scale [max_machines] [seed]
+ * Usage: bench_scale [max_machines] [seed] [threads]
+ *   threads defaults to the hardware thread count; pass an explicit
+ *   value to measure a specific worker count.
+ *
+ * Emits machine-parseable BENCH_* lines for the trajectory:
+ *   BENCH_scale_waitgraph_speedup, BENCH_scale_impact_speedup,
+ *   BENCH_scale_scenario_speedup, BENCH_scale_pipeline_speedup.
  */
 
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <thread>
 
 #include "src/core/analyzer.h"
+#include "src/impact/impact.h"
+#include "src/util/parallel.h"
 #include "src/util/table.h"
+#include "src/waitgraph/waitgraph.h"
 #include "src/workload/generator.h"
+#include "src/workload/scenarios.h"
+
+namespace
+{
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+double
+speedup(double serial_ms, double parallel_ms)
+{
+    return parallel_ms <= 0.0 ? 0.0 : serial_ms / parallel_ms;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -27,6 +58,9 @@ main(int argc, char **argv)
     std::uint64_t seed = 20140301;
     if (argc > 2)
         seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+    const unsigned threads =
+        argc > 3 ? static_cast<unsigned>(std::atoi(argv[3]))
+                 : resolveThreads(0);
 
     std::cout << "== Scaling study: impact metrics vs corpus size ==\n";
     TextTable table({"Machines", "Instances", "Events", "IA_wait",
@@ -41,18 +75,12 @@ main(int argc, char **argv)
 
         const auto gen_start = std::chrono::steady_clock::now();
         const TraceCorpus corpus = generateCorpus(spec);
-        const double gen_ms =
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - gen_start)
-                .count();
+        const double gen_ms = msSince(gen_start);
 
         const auto analyze_start = std::chrono::steady_clock::now();
         Analyzer analyzer(corpus);
         const ImpactResult impact = analyzer.impactAll();
-        const double analyze_ms =
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - analyze_start)
-                .count();
+        const double analyze_ms = msSince(analyze_start);
 
         table.addRow({std::to_string(machines),
                       std::to_string(impact.instances),
@@ -67,6 +95,132 @@ main(int argc, char **argv)
     std::cout << table.render();
     std::cout << "\n(expect the ratios to stabilize once a few hundred "
                  "instances are aggregated, while cost scales roughly "
-                 "linearly)\n";
+                 "linearly)\n\n";
+
+    // ---- serial vs parallel pipeline throughput --------------------
+    // A >= 1,000-instance corpus, the whole pipeline timed twice:
+    // threads=1 (the exact serial path) and threads=N. Every stage
+    // merges deterministically, so both runs produce identical
+    // analysis results — only the wall time differs.
+    CorpusSpec spec;
+    spec.machines = std::max<std::uint32_t>(150, max_machines / 2);
+    spec.seed = seed;
+    const TraceCorpus corpus = generateCorpus(spec);
+
+    std::vector<ScenarioThresholds> scenarios;
+    for (const ScenarioSpec &sspec : scenarioCatalog()) {
+        if (sspec.selected &&
+            corpus.findScenario(sspec.name) != UINT32_MAX)
+            scenarios.push_back({sspec.name, sspec.tFast, sspec.tSlow});
+    }
+
+    std::cout << "== Serial vs parallel pipeline (" << threads
+              << " threads, " << corpus.instances().size()
+              << " instances, " << corpus.totalEvents()
+              << " events) ==\n";
+
+    // Wait-graph construction (index caches rebuilt per run).
+    double graphs_serial_ms = 0, graphs_parallel_ms = 0;
+    std::vector<WaitGraph> graphs;
+    {
+        WaitGraphBuilder builder(corpus);
+        const auto start = std::chrono::steady_clock::now();
+        graphs = builder.buildAll();
+        graphs_serial_ms = msSince(start);
+    }
+    {
+        WaitGraphBuilder builder(corpus);
+        const auto start = std::chrono::steady_clock::now();
+        const auto parallel_graphs = builder.buildAllParallel(threads);
+        graphs_parallel_ms = msSince(start);
+        if (parallel_graphs.size() != graphs.size()) {
+            std::cerr << "parallel graph count mismatch\n";
+            return 1;
+        }
+    }
+
+    // Corpus-wide impact over the prebuilt graphs.
+    ImpactAnalysis impact_analysis(corpus, NameFilter({"*.sys"}));
+    const auto impact_serial_start = std::chrono::steady_clock::now();
+    const ImpactResult impact_serial =
+        impact_analysis.analyze(graphs, 1);
+    const double impact_serial_ms = msSince(impact_serial_start);
+
+    const auto impact_parallel_start = std::chrono::steady_clock::now();
+    const ImpactResult impact_parallel =
+        impact_analysis.analyze(graphs, threads);
+    const double impact_parallel_ms = msSince(impact_parallel_start);
+    if (impact_serial.dWaitDist != impact_parallel.dWaitDist ||
+        impact_serial.dWait != impact_parallel.dWait) {
+        std::cerr << "parallel impact mismatch\n";
+        return 1;
+    }
+
+    // Full per-scenario causality analysis (graphs cached up front in
+    // both analyzers so the timing isolates the scenario stages).
+    AnalyzerConfig serial_config;
+    serial_config.threads = 1;
+    Analyzer serial_analyzer(corpus, serial_config);
+    serial_analyzer.graphs();
+    const auto scn_serial_start = std::chrono::steady_clock::now();
+    const auto serial_analyses =
+        serial_analyzer.analyzeScenarios(scenarios);
+    const double scn_serial_ms = msSince(scn_serial_start);
+
+    AnalyzerConfig parallel_config;
+    parallel_config.threads = threads;
+    Analyzer parallel_analyzer(corpus, parallel_config);
+    parallel_analyzer.graphs();
+    const auto scn_parallel_start = std::chrono::steady_clock::now();
+    const auto parallel_analyses =
+        parallel_analyzer.analyzeScenarios(scenarios);
+    const double scn_parallel_ms = msSince(scn_parallel_start);
+
+    for (std::size_t i = 0; i < serial_analyses.size(); ++i) {
+        if (serial_analyses[i].mining.patterns.size() !=
+            parallel_analyses[i].mining.patterns.size()) {
+            std::cerr << "parallel mining mismatch in "
+                      << serial_analyses[i].name << "\n";
+            return 1;
+        }
+    }
+
+    TextTable perf({"Stage", "serial-ms", "parallel-ms", "speedup"});
+    perf.addRow({"wait-graph build", TextTable::num(graphs_serial_ms, 0),
+                 TextTable::num(graphs_parallel_ms, 0),
+                 TextTable::num(
+                     speedup(graphs_serial_ms, graphs_parallel_ms), 2)});
+    perf.addRow({"impact (corpus)", TextTable::num(impact_serial_ms, 0),
+                 TextTable::num(impact_parallel_ms, 0),
+                 TextTable::num(
+                     speedup(impact_serial_ms, impact_parallel_ms), 2)});
+    perf.addRow({"scenario analyses", TextTable::num(scn_serial_ms, 0),
+                 TextTable::num(scn_parallel_ms, 0),
+                 TextTable::num(speedup(scn_serial_ms, scn_parallel_ms),
+                                2)});
+    const double pipeline_serial = graphs_serial_ms + scn_serial_ms;
+    const double pipeline_parallel =
+        graphs_parallel_ms + scn_parallel_ms;
+    perf.addRow({"pipeline (build+scenarios)",
+                 TextTable::num(pipeline_serial, 0),
+                 TextTable::num(pipeline_parallel, 0),
+                 TextTable::num(
+                     speedup(pipeline_serial, pipeline_parallel), 2)});
+    std::cout << perf.render();
+
+    std::cout << "\nBENCH_scale_threads=" << threads << "\n"
+              << "BENCH_scale_instances=" << corpus.instances().size()
+              << "\n"
+              << "BENCH_scale_waitgraph_speedup="
+              << speedup(graphs_serial_ms, graphs_parallel_ms) << "\n"
+              << "BENCH_scale_impact_speedup="
+              << speedup(impact_serial_ms, impact_parallel_ms) << "\n"
+              << "BENCH_scale_scenario_speedup="
+              << speedup(scn_serial_ms, scn_parallel_ms) << "\n"
+              << "BENCH_scale_pipeline_speedup="
+              << speedup(pipeline_serial, pipeline_parallel) << "\n";
+    std::cout << "(speedups track the worker count on multicore "
+                 "hardware; on a single hardware thread they stay "
+                 "near 1.0)\n";
     return 0;
 }

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * AWG construction: Algorithm 1's processing, trie merge, and
+ * non-optimizable reduction, with instance-sharded parallel processing.
+ */
+
 #include "src/awg/awg.h"
 
 #include <algorithm>
@@ -6,6 +12,7 @@
 #include <unordered_map>
 
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 
 namespace tracelens
 {
@@ -319,46 +326,67 @@ AwgBuilder::reduce(AggregatedWaitGraph &awg) const
     awg.roots_ = std::move(kept_roots);
 }
 
+std::vector<AwgBuilder::ProcNode>
+AwgBuilder::processGraph(const WaitGraph &graph) const
+{
+    // Steps 1-2: eliminate irrelevant nodes (always at the roots,
+    // recursively when configured) and merge wait/unwait pairs.
+    std::vector<ProcNode> processed;
+    for (std::uint32_t root : graph.roots())
+        process(graph, root, processed);
+
+    if (!options_.eliminateInnerIrrelevant) {
+        // Root-level elimination is unconditional in Algorithm 1:
+        // repeat promoting children until all roots are relevant.
+        std::vector<ProcNode> relevant_roots;
+        std::vector<ProcNode> queue = std::move(processed);
+        while (!queue.empty()) {
+            std::vector<ProcNode> next;
+            for (ProcNode &n : queue) {
+                const bool irrelevant = n.key.primary == kNoFrame &&
+                                        n.key.secondary == kNoFrame;
+                if (!irrelevant) {
+                    relevant_roots.push_back(std::move(n));
+                } else {
+                    for (ProcNode &c : n.children)
+                        next.push_back(std::move(c));
+                }
+            }
+            queue = std::move(next);
+        }
+        processed = std::move(relevant_roots);
+    }
+    return processed;
+}
+
 AggregatedWaitGraph
-AwgBuilder::aggregate(std::span<const WaitGraph> graphs) const
+AwgBuilder::aggregate(std::span<const WaitGraph> graphs,
+                      unsigned threads) const
 {
     AggregatedWaitGraph awg;
     awg.sourceGraphs_ = graphs.size();
     lookup_ = std::make_unique<Lookup>();
 
-    for (const WaitGraph &graph : graphs) {
-        // Steps 1-2: eliminate irrelevant nodes (always at the roots,
-        // recursively when configured) and merge wait/unwait pairs.
-        std::vector<ProcNode> processed;
-        for (std::uint32_t root : graph.roots())
-            process(graph, root, processed);
-
-        if (!options_.eliminateInnerIrrelevant) {
-            // Root-level elimination is unconditional in Algorithm 1:
-            // repeat promoting children until all roots are relevant.
-            std::vector<ProcNode> relevant_roots;
-            std::vector<ProcNode> queue = std::move(processed);
-            while (!queue.empty()) {
-                std::vector<ProcNode> next;
-                for (ProcNode &n : queue) {
-                    const bool irrelevant =
-                        n.key.primary == kNoFrame &&
-                        n.key.secondary == kNoFrame;
-                    if (!irrelevant) {
-                        relevant_roots.push_back(std::move(n));
-                    } else {
-                        for (ProcNode &c : n.children)
-                            next.push_back(std::move(c));
-                    }
-                }
-                queue = std::move(next);
-            }
-            processed = std::move(relevant_roots);
+    if (resolveThreads(threads) <= 1 || graphs.size() < 2) {
+        for (const WaitGraph &graph : graphs) {
+            // Step 3: merge into the trie by common signature prefix.
+            for (const ProcNode &root : processGraph(graph))
+                merge(awg, kInvalidIndex, root);
         }
-
-        // Step 3: merge into the trie by common signature prefix.
-        for (const ProcNode &root : processed)
-            merge(awg, kInvalidIndex, root);
+    } else {
+        // Shard the per-graph processing (the expensive phase: it
+        // walks every wait-graph node and resolves signatures), then
+        // fold the forests into the trie serially in graph order —
+        // node creation order, child order, and therefore the whole
+        // AWG are bit-identical to the serial path.
+        const std::vector<std::vector<ProcNode>> processed =
+            parallelMap<std::vector<ProcNode>>(
+                threads, graphs.size(),
+                [&](std::size_t i) { return processGraph(graphs[i]); });
+        for (const std::vector<ProcNode> &forest : processed) {
+            for (const ProcNode &root : forest)
+                merge(awg, kInvalidIndex, root);
+        }
     }
 
     // Step 4: non-optimizable reduction.

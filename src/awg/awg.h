@@ -161,8 +161,19 @@ class AwgBuilder
                AwgOptions options = {});
     ~AwgBuilder(); // out of line: Lookup is incomplete here
 
-    /** Aggregate @p graphs into one AWG. */
-    AggregatedWaitGraph aggregate(std::span<const WaitGraph> graphs) const;
+    /**
+     * Aggregate @p graphs into one AWG.
+     *
+     * @param threads Worker count for the per-graph processing phase
+     *        (0 = all hardware threads, 1 = serial). Steps 1-2 of
+     *        Algorithm 1 run per graph and are sharded over instance
+     *        partitions; the trie merge (step 3) is associative but
+     *        order-sensitive in node layout, so it folds the processed
+     *        forests serially in graph order. The result is
+     *        bit-identical to the serial path for every thread count.
+     */
+    AggregatedWaitGraph aggregate(std::span<const WaitGraph> graphs,
+                                  unsigned threads = 1) const;
 
     const NameFilter &components() const { return components_; }
 
@@ -174,6 +185,14 @@ class AwgBuilder
         DurationNs cost = 0;
         std::vector<ProcNode> children;
     };
+
+    /**
+     * Steps 1-2 of Algorithm 1 for one graph: eliminate irrelevant
+     * nodes (roots always; inner nodes when configured) and merge
+     * wait/unwait pairs. Thread-safe once the component filter is
+     * primed (done in the constructor).
+     */
+    std::vector<ProcNode> processGraph(const WaitGraph &graph) const;
 
     /** Signature of a callstack: topmost component frame or kNoFrame. */
     FrameId signatureOf(CallstackId stack) const;

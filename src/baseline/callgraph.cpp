@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Baseline 1 implementation: flat/cumulative CPU attribution of Running
+ * samples to callstack frames, gprof-style.
+ */
+
 #include "src/baseline/callgraph.h"
 
 #include <algorithm>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Baseline 2 implementation: wait/unwait pairing and per-resource
+ * blocking-time aggregation for lock-contention ranking.
+ */
+
 #include "src/baseline/lockcontention.h"
 
 #include <algorithm>

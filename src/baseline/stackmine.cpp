@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Baseline 3 implementation: within-thread costly callstack-pattern
+ * mining in the StackMine style.
+ */
+
 #include "src/baseline/stackmine.h"
 
 #include <algorithm>

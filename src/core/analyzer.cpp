@@ -1,6 +1,13 @@
+/**
+ * @file
+ * Analyzer facade: thread-safe one-time wait-graph build, parallel
+ * impact/AWG/mining stages, and the multi-scenario fan-out.
+ */
+
 #include "src/core/analyzer.h"
 
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 
 namespace tracelens
 {
@@ -30,16 +37,20 @@ Analyzer::Analyzer(const TraceCorpus &corpus, AnalyzerConfig config)
     : corpus_(corpus), config_(std::move(config)),
       components_(config_.components)
 {
+    // Prime the symbol table's per-filter match cache up front: the
+    // parallel stages (and the analyzeScenarios fan-out) may consult
+    // it concurrently, which is safe only once the entry exists.
+    corpus_.symbols().primeFilter(components_);
 }
 
 const std::vector<WaitGraph> &
 Analyzer::graphs() const
 {
-    if (!graphsBuilt_) {
+    std::call_once(graphsOnce_, [&] {
         WaitGraphBuilder builder(corpus_, config_.waitGraph);
-        graphs_ = builder.buildAll();
-        graphsBuilt_ = true;
-    }
+        graphs_ =
+            builder.buildAllParallel(resolveThreads(config_.threads));
+    });
     return graphs_;
 }
 
@@ -47,14 +58,14 @@ ImpactResult
 Analyzer::impactAll() const
 {
     ImpactAnalysis impact(corpus_, components_);
-    return impact.analyze(graphs());
+    return impact.analyze(graphs(), config_.threads);
 }
 
 std::unordered_map<std::uint32_t, ImpactResult>
 Analyzer::impactPerScenario() const
 {
     ImpactAnalysis impact(corpus_, components_);
-    return impact.analyzePerScenario(graphs());
+    return impact.analyzePerScenario(graphs(), config_.threads);
 }
 
 ContrastClasses
@@ -82,6 +93,31 @@ ScenarioAnalysis
 Analyzer::analyzeScenario(std::string_view name, DurationNs t_fast,
                           DurationNs t_slow) const
 {
+    return analyzeScenarioWithThreads(name, t_fast, t_slow,
+                                      config_.threads);
+}
+
+std::vector<ScenarioAnalysis>
+Analyzer::analyzeScenarios(
+    std::span<const ScenarioThresholds> scenarios) const
+{
+    graphs(); // build once, up front, across all configured threads
+    // Scenario analyses are independent; fan them out and keep each
+    // one's inner stages serial so the machine is not oversubscribed.
+    return parallelMap<ScenarioAnalysis>(
+        config_.threads, scenarios.size(), [&](std::size_t i) {
+            return analyzeScenarioWithThreads(
+                scenarios[i].name, scenarios[i].tFast,
+                scenarios[i].tSlow, 1);
+        });
+}
+
+ScenarioAnalysis
+Analyzer::analyzeScenarioWithThreads(std::string_view name,
+                                     DurationNs t_fast,
+                                     DurationNs t_slow,
+                                     unsigned threads) const
+{
     const std::uint32_t scenario = corpus_.findScenario(name);
     if (scenario == UINT32_MAX)
         TL_FATAL("scenario '", std::string(name), "' not in corpus");
@@ -107,13 +143,13 @@ Analyzer::analyzeScenario(std::string_view name, DurationNs t_fast,
         gather(analysis.classes.slow);
 
     ImpactAnalysis impact(corpus_, components_);
-    analysis.slowImpact = impact.analyze(slow_graphs);
+    analysis.slowImpact = impact.analyze(slow_graphs, threads);
     for (std::uint32_t i : analysis.classes.slow)
         analysis.slowDuration += corpus_.instances()[i].duration();
 
     AwgBuilder awg_builder(corpus_, components_, config_.awg);
-    analysis.awgFast = awg_builder.aggregate(fast_graphs);
-    analysis.awgSlow = awg_builder.aggregate(slow_graphs);
+    analysis.awgFast = awg_builder.aggregate(fast_graphs, threads);
+    analysis.awgSlow = awg_builder.aggregate(slow_graphs, threads);
 
     MiningOptions mining_options;
     mining_options.maxSegmentLength = config_.maxSegmentLength;
@@ -121,7 +157,8 @@ Analyzer::analyzeScenario(std::string_view name, DurationNs t_fast,
     mining_options.tSlow = t_slow;
     mining_options.useMetaPatternGate = config_.useMetaPatternGate;
     ContrastMiner miner(corpus_, mining_options);
-    analysis.mining = miner.mine(analysis.awgFast, analysis.awgSlow);
+    analysis.mining =
+        miner.mine(analysis.awgFast, analysis.awgSlow, threads);
 
     // RQ1 denominator: the total driver cost as aggregated — the kept
     // graph plus the non-optimizable portion removed by ReduceAWG

@@ -13,12 +13,19 @@
  *
  * Wait graphs for all instances are built once and cached; scenario
  * analyses reuse them.
+ *
+ * Every stage is corpus-parallel across AnalyzerConfig::threads
+ * workers with deterministic merges: results are bit-identical for
+ * every thread count (see docs/ARCHITECTURE.md for the threading
+ * model).
  */
 
 #ifndef TRACELENS_CORE_ANALYZER_H
 #define TRACELENS_CORE_ANALYZER_H
 
 #include <cstdint>
+#include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -44,6 +51,23 @@ struct AnalyzerConfig
     /** k and the meta-pattern gate; thresholds come per scenario. */
     std::uint32_t maxSegmentLength = 5;
     bool useMetaPatternGate = true;
+    /**
+     * Worker threads for every pipeline stage (wait-graph
+     * construction, impact accumulation, AWG aggregation, mining, and
+     * the analyzeScenarios fan-out): 0 = all hardware threads
+     * (default), 1 = fully serial. Every stage merges per-shard
+     * results deterministically, so analysis output is bit-identical
+     * for every thread count.
+     */
+    unsigned threads = 0;
+};
+
+/** A scenario name with its developer-specified thresholds. */
+struct ScenarioThresholds
+{
+    std::string name;
+    DurationNs tFast = 0;
+    DurationNs tSlow = 0;
 };
 
 /** Instance classification for one scenario. */
@@ -104,7 +128,22 @@ class Analyzer
                                      DurationNs t_fast,
                                      DurationNs t_slow) const;
 
-    /** The cached per-instance wait graphs (built on first use). */
+    /**
+     * Analyze several scenarios, fanning the independent analyses out
+     * over the configured thread count (each analysis then runs its
+     * own stages serially to avoid oversubscription). Results are
+     * returned in input order and are identical to calling
+     * analyzeScenario once per entry. Fatal if any named scenario is
+     * not in the corpus — filter with TraceCorpus::findScenario first.
+     */
+    std::vector<ScenarioAnalysis>
+    analyzeScenarios(std::span<const ScenarioThresholds> scenarios) const;
+
+    /**
+     * The cached per-instance wait graphs. Built on first use across
+     * the configured thread count; initialization is thread-safe
+     * (std::call_once), so concurrent analyses share one build.
+     */
     const std::vector<WaitGraph> &graphs() const;
 
     const TraceCorpus &corpus() const { return corpus_; }
@@ -112,11 +151,17 @@ class Analyzer
     const NameFilter &components() const { return components_; }
 
   private:
+    /** analyzeScenario with an explicit stage-level thread count. */
+    ScenarioAnalysis analyzeScenarioWithThreads(std::string_view name,
+                                                DurationNs t_fast,
+                                                DurationNs t_slow,
+                                                unsigned threads) const;
+
     const TraceCorpus &corpus_;
     AnalyzerConfig config_;
     NameFilter components_;
     mutable std::vector<WaitGraph> graphs_;
-    mutable bool graphsBuilt_ = false;
+    mutable std::once_flag graphsOnce_;
 };
 
 } // namespace tracelens

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Self-contained HTML rendering of the consolidated report; scenario
+ * analyses are computed via the Analyzer's parallel fan-out.
+ */
+
 #include "src/core/htmlreport.h"
 
 #include <algorithm>
@@ -149,7 +155,17 @@ buildHtmlReport(const Analyzer &analyzer,
     }
     html << "</table>\n";
 
+    // Fan the scenario analyses out in parallel, render in order.
+    std::vector<ScenarioThresholds> present;
+    for (const ScenarioThresholds &scenario : scenarios) {
+        if (corpus.findScenario(scenario.name) != UINT32_MAX)
+            present.push_back(scenario);
+    }
+    const std::vector<ScenarioAnalysis> analyses =
+        analyzer.analyzeScenarios(present);
+
     const KnowledgeBase knowledge = KnowledgeBase::defaults();
+    std::size_t next_present = 0;
     for (const ScenarioThresholds &scenario : scenarios) {
         html << "<h2>Scenario " << escape(scenario.name)
              << " <span class=muted>(T_fast="
@@ -159,8 +175,7 @@ buildHtmlReport(const Analyzer &analyzer,
             html << "<p class=muted>not present in this corpus</p>\n";
             continue;
         }
-        const ScenarioAnalysis analysis = analyzer.analyzeScenario(
-            scenario.name, scenario.tFast, scenario.tSlow);
+        const ScenarioAnalysis &analysis = analyses[next_present++];
         html << "<p>" << analysis.classes.fast.size() << " fast / "
              << analysis.classes.middle.size() << " middle / "
              << analysis.classes.slow.size() << " slow instances; "

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Text-report assembly: analyses fan out in parallel via
+ * Analyzer::analyzeScenarios, rendering stays serial and ordered.
+ */
+
 #include "src/core/report.h"
 
 #include <sstream>
@@ -45,7 +51,18 @@ buildReport(const Analyzer &analyzer,
     }
     oss << component_table.render() << "\n";
 
+    // Analyze every present scenario concurrently, then render the
+    // results in input order.
+    std::vector<ScenarioThresholds> present;
+    for (const ScenarioThresholds &scenario : scenarios) {
+        if (corpus.findScenario(scenario.name) != UINT32_MAX)
+            present.push_back(scenario);
+    }
+    const std::vector<ScenarioAnalysis> analyses =
+        analyzer.analyzeScenarios(present);
+
     const KnowledgeBase knowledge = KnowledgeBase::defaults();
+    std::size_t next_present = 0;
     for (const ScenarioThresholds &scenario : scenarios) {
         oss << "---- scenario " << scenario.name << " (T_fast="
             << toMs(scenario.tFast) << "ms, T_slow="
@@ -54,8 +71,7 @@ buildReport(const Analyzer &analyzer,
             oss << "not present in this corpus\n\n";
             continue;
         }
-        const ScenarioAnalysis analysis = analyzer.analyzeScenario(
-            scenario.name, scenario.tFast, scenario.tSlow);
+        const ScenarioAnalysis &analysis = analyses[next_present++];
         oss << "classes: " << analysis.classes.fast.size() << " fast / "
             << analysis.classes.middle.size() << " middle / "
             << analysis.classes.slow.size() << " slow\n";

@@ -19,13 +19,8 @@
 namespace tracelens
 {
 
-/** Scenario name + its developer-specified thresholds. */
-struct ScenarioThresholds
-{
-    std::string name;
-    DurationNs tFast = 0;
-    DurationNs tSlow = 0;
-};
+// ScenarioThresholds (the per-scenario input) lives in
+// src/core/analyzer.h next to the analyzeScenarios fan-out.
 
 /** Report shaping options. */
 struct ReportOptions

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Per-component and per-signature splits of the Section-3 impact
+ * metrics over cached wait graphs.
+ */
+
 #include "src/impact/breakdown.h"
 
 #include <algorithm>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Impact-metric splits keyed by a stream tag: groups streams by tag
+ * value and runs the corpus-wide accumulation per cohort.
+ */
+
 #include "src/impact/cohorts.h"
 
 #include <algorithm>

@@ -1,9 +1,16 @@
+/**
+ * @file
+ * Impact-metric accumulation over Wait Graphs: per-graph scans
+ * (parallelizable) feeding an order-preserving distinct-wait fold.
+ */
+
 #include "src/impact/impact.h"
 
 #include <deque>
 #include <sstream>
 
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 #include "src/util/table.h"
 
 namespace tracelens
@@ -64,18 +71,17 @@ ImpactAnalysis::ImpactAnalysis(const TraceCorpus &corpus,
     corpus_.symbols().primeFilter(components_);
 }
 
-void
-ImpactAnalysis::accumulate(
-    const WaitGraph &graph, ImpactResult &result,
-    std::unordered_set<EventRef, EventRefHash> &seen) const
+ImpactAnalysis::GraphContribution
+ImpactAnalysis::collect(const WaitGraph &graph) const
 {
     const SymbolTable &sym = corpus_.symbols();
-    ++result.instances;
-    result.dScn += graph.topLevelDuration();
+    GraphContribution contribution;
+    contribution.dScn = graph.topLevelDuration();
 
     // Top-level component waits: breadth-first search that stops at the
     // first matching wait on each path (children constitute time already
-    // counted by their parent).
+    // counted by their parent). Recorded in BFS order so the caller's
+    // serial dedup fold reproduces the original accumulation exactly.
     std::deque<std::uint32_t> queue(graph.roots().begin(),
                                     graph.roots().end());
     while (!queue.empty()) {
@@ -84,9 +90,7 @@ ImpactAnalysis::accumulate(
         const Event &e = node.event;
         if (e.type == EventType::Wait && e.stack != kNoCallstack &&
             sym.stackTouches(e.stack, components_)) {
-            result.dWait += e.cost;
-            if (seen.insert(node.ref).second)
-                result.dWaitDist += e.cost;
+            contribution.waitHits.emplace_back(node.ref, e.cost);
             continue; // do not descend into already-counted time
         }
         for (std::uint32_t child : node.children)
@@ -104,30 +108,73 @@ ImpactAnalysis::accumulate(
         if (!sym.stackTouches(e.stack, components_))
             continue;
         if (seen_running.insert(node.ref).second)
-            result.dRun += e.cost;
+            contribution.dRun += e.cost;
+    }
+    return contribution;
+}
+
+void
+ImpactAnalysis::mergeInto(const GraphContribution &contribution,
+                          ImpactResult &result,
+                          std::unordered_set<EventRef, EventRefHash> &seen)
+{
+    ++result.instances;
+    result.dScn += contribution.dScn;
+    result.dRun += contribution.dRun;
+    for (const auto &[ref, cost] : contribution.waitHits) {
+        result.dWait += cost;
+        if (seen.insert(ref).second)
+            result.dWaitDist += cost;
     }
 }
 
 ImpactResult
-ImpactAnalysis::analyze(std::span<const WaitGraph> graphs) const
+ImpactAnalysis::analyze(std::span<const WaitGraph> graphs,
+                        unsigned threads) const
 {
     ImpactResult result;
     std::unordered_set<EventRef, EventRefHash> seen;
-    for (const WaitGraph &graph : graphs)
-        accumulate(graph, result, seen);
+    if (resolveThreads(threads) <= 1 || graphs.size() < 2) {
+        for (const WaitGraph &graph : graphs)
+            mergeInto(collect(graph), result, seen);
+        return result;
+    }
+
+    // Parallel per-graph scans, serial in-order dedup fold: the fold
+    // sees the same (ref, cost) sequence as the serial path, so the
+    // result is bit-identical.
+    const std::vector<GraphContribution> contributions =
+        parallelMap<GraphContribution>(
+            threads, graphs.size(),
+            [&](std::size_t i) { return collect(graphs[i]); });
+    for (const GraphContribution &contribution : contributions)
+        mergeInto(contribution, result, seen);
     return result;
 }
 
 std::unordered_map<std::uint32_t, ImpactResult>
-ImpactAnalysis::analyzePerScenario(std::span<const WaitGraph> graphs) const
+ImpactAnalysis::analyzePerScenario(std::span<const WaitGraph> graphs,
+                                   unsigned threads) const
 {
     std::unordered_map<std::uint32_t, ImpactResult> results;
     std::unordered_map<std::uint32_t,
                        std::unordered_set<EventRef, EventRefHash>>
         seen;
-    for (const WaitGraph &graph : graphs) {
-        const std::uint32_t scenario = graph.instance().scenario;
-        accumulate(graph, results[scenario], seen[scenario]);
+    if (resolveThreads(threads) <= 1 || graphs.size() < 2) {
+        for (const WaitGraph &graph : graphs) {
+            const std::uint32_t scenario = graph.instance().scenario;
+            mergeInto(collect(graph), results[scenario], seen[scenario]);
+        }
+        return results;
+    }
+
+    const std::vector<GraphContribution> contributions =
+        parallelMap<GraphContribution>(
+            threads, graphs.size(),
+            [&](std::size_t i) { return collect(graphs[i]); });
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+        const std::uint32_t scenario = graphs[i].instance().scenario;
+        mergeInto(contributions[i], results[scenario], seen[scenario]);
     }
     return results;
 }

@@ -78,23 +78,52 @@ class ImpactAnalysis
      */
     ImpactAnalysis(const TraceCorpus &corpus, NameFilter components);
 
-    /** Aggregate impact over the given instance graphs. */
-    ImpactResult analyze(std::span<const WaitGraph> graphs) const;
+    /**
+     * Aggregate impact over the given instance graphs.
+     *
+     * @param threads Worker count for the per-graph scan (0 = all
+     *        hardware threads, 1 = serial). The D_waitdist dedup is
+     *        order-sensitive (the same wait event can carry different
+     *        window-clipped costs in different graphs), so the scan is
+     *        parallelized per graph and the dedup fold runs serially
+     *        in graph order — the result is bit-identical to the
+     *        serial path for every thread count.
+     */
+    ImpactResult analyze(std::span<const WaitGraph> graphs,
+                         unsigned threads = 1) const;
 
     /**
      * Aggregate impact separately per scenario id. Note D_waitdist is
-     * de-duplicated within each scenario's own instance set.
+     * de-duplicated within each scenario's own instance set. Same
+     * determinism contract as analyze().
      */
     std::unordered_map<std::uint32_t, ImpactResult>
-    analyzePerScenario(std::span<const WaitGraph> graphs) const;
+    analyzePerScenario(std::span<const WaitGraph> graphs,
+                       unsigned threads = 1) const;
 
     const NameFilter &components() const { return components_; }
 
   private:
-    /** Accumulate one graph into @p result using @p seen for dedup. */
-    void accumulate(const WaitGraph &graph, ImpactResult &result,
-                    std::unordered_set<EventRef, EventRefHash> &seen)
-        const;
+    /**
+     * The order-insensitive part of one graph's contribution: sums
+     * that merge commutatively, plus the matched top-level waits in
+     * BFS order whose dedup must be replayed serially.
+     */
+    struct GraphContribution
+    {
+        DurationNs dScn = 0;
+        DurationNs dRun = 0;
+        /** Matched top-level waits (ref, clipped cost), in BFS order. */
+        std::vector<std::pair<EventRef, DurationNs>> waitHits;
+    };
+
+    /** Scan one graph (thread-safe: touches only primed caches). */
+    GraphContribution collect(const WaitGraph &graph) const;
+
+    /** Fold one contribution into @p result using @p seen for dedup. */
+    static void
+    mergeInto(const GraphContribution &contribution, ImpactResult &result,
+              std::unordered_set<EventRef, EventRefHash> &seen);
 
     const TraceCorpus &corpus_;
     NameFilter components_;

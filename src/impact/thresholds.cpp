@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Duration-distribution scan (knee/percentile heuristics) that
+ * proposes T_fast / T_slow per scenario.
+ */
+
 #include "src/impact/thresholds.h"
 
 #include <sstream>

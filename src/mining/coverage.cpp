@@ -1,3 +1,9 @@
+/**
+ * @file
+ * ITC / PTC / component coverage computation over mined patterns and
+ * the slow-class wait graphs.
+ */
+
 #include "src/mining/coverage.h"
 
 #include <algorithm>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Pattern-set diffing between two analyses of the same scenario:
+ * match by tuple, classify appeared/disappeared/shifted.
+ */
+
 #include "src/mining/diff.h"
 
 #include <algorithm>

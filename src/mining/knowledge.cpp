@@ -1,3 +1,9 @@
+/**
+ * @file
+ * By-design knowledge base: wildcard rules over pattern signatures,
+ * applied as a post-mining filter.
+ */
+
 #include "src/mining/knowledge.h"
 
 namespace tracelens

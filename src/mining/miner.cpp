@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Contrast-pattern mining: sharded meta-pattern enumeration, contrast
+ * discovery, and per-root-subtree full-path extraction with a strict
+ * total ranking order.
+ */
+
 #include "src/mining/miner.h"
 
 #include <algorithm>
@@ -5,6 +12,7 @@
 #include <unordered_set>
 
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 
 namespace tracelens
 {
@@ -132,26 +140,63 @@ ContrastMiner::ContrastMiner(const TraceCorpus &corpus,
 }
 
 MetaMap
-ContrastMiner::enumerateMetaPatterns(const AggregatedWaitGraph &awg) const
+ContrastMiner::enumerateMetaPatterns(const AggregatedWaitGraph &awg,
+                                     unsigned threads) const
 {
-    MetaMap metas;
-    std::vector<std::uint32_t> chain;
-    chain.reserve(options_.maxSegmentLength);
-    // Segments may start at any node, not only at roots.
-    for (std::uint32_t id = 0; id < awg.nodes().size(); ++id)
-        enumerateFrom(awg, id, options_.maxSegmentLength, chain, metas);
-    return metas;
+    const std::size_t node_count = awg.nodes().size();
+    const unsigned workers = resolveThreads(threads);
+    if (workers <= 1 || node_count < 2) {
+        MetaMap metas;
+        std::vector<std::uint32_t> chain;
+        chain.reserve(options_.maxSegmentLength);
+        // Segments may start at any node, not only at roots.
+        for (std::uint32_t id = 0; id < node_count; ++id)
+            enumerateFrom(awg, id, options_.maxSegmentLength, chain,
+                          metas);
+        return metas;
+    }
+
+    // Shard the segment-start nodes; per-shard maps merge by integer
+    // summation, which is associative and commutative, so the merged
+    // map's contents match the serial enumeration exactly.
+    const unsigned shard_count = std::min<unsigned>(
+        workers * 4, static_cast<unsigned>(node_count));
+    const std::vector<MetaMap> shards = parallelMap<MetaMap>(
+        threads, shard_count, [&](std::size_t shard) {
+            const std::size_t begin = node_count * shard / shard_count;
+            const std::size_t end =
+                node_count * (shard + 1) / shard_count;
+            MetaMap metas;
+            std::vector<std::uint32_t> chain;
+            chain.reserve(options_.maxSegmentLength);
+            for (std::size_t id = begin; id < end; ++id) {
+                enumerateFrom(awg, static_cast<std::uint32_t>(id),
+                              options_.maxSegmentLength, chain, metas);
+            }
+            return metas;
+        });
+
+    MetaMap merged;
+    for (const MetaMap &shard : shards) {
+        for (const auto &[tuple, stats] : shard) {
+            MetaPatternStats &into = merged[tuple];
+            into.cost += stats.cost;
+            into.count += stats.count;
+        }
+    }
+    return merged;
 }
 
 MiningResult
 ContrastMiner::mine(const AggregatedWaitGraph &fast,
-                    const AggregatedWaitGraph &slow) const
+                    const AggregatedWaitGraph &slow,
+                    unsigned threads) const
 {
     MiningResult result;
 
     // Step 1: meta-pattern enumeration per class.
-    const MetaMap fast_metas = enumerateMetaPatterns(fast);
-    const MetaMap slow_metas = enumerateMetaPatterns(slow);
+    const MetaMap fast_metas = enumerateMetaPatterns(fast, threads);
+    const MetaMap slow_metas = enumerateMetaPatterns(slow, threads);
     result.stats.fastMetaPatterns = fast_metas.size();
     result.stats.slowMetaPatterns = slow_metas.size();
 
@@ -188,11 +233,19 @@ ContrastMiner::mine(const AggregatedWaitGraph &fast,
         }
     }
 
-    // Step 3: full-path contrast patterns over the slow AWG.
-    std::unordered_map<SignatureSetTuple, ContrastPattern,
-                       SignatureSetTupleHash>
-        merged;
-    std::vector<std::uint32_t> chain;
+    // Step 3: full-path contrast patterns over the slow AWG, sharded
+    // per root subtree. Each shard mines its subtree independently;
+    // shard maps merge by summation and the ranking below imposes a
+    // strict total order, so the output is thread-count independent.
+    using PatternMap =
+        std::unordered_map<SignatureSetTuple, ContrastPattern,
+                           SignatureSetTupleHash>;
+    struct RootMined
+    {
+        PatternMap patterns;
+        std::size_t fullPaths = 0;
+        std::size_t selectedPaths = 0;
+    };
 
     auto pathSelected = [&](const std::vector<std::uint32_t> &path) {
         if (!options_.useMetaPatternGate)
@@ -215,30 +268,60 @@ ContrastMiner::mine(const AggregatedWaitGraph &fast,
         return false;
     };
 
-    auto walk = [&](auto &&self, std::uint32_t node_id) -> void {
-        chain.push_back(node_id);
-        const auto &node = slow.node(node_id);
-        if (node.children.empty()) {
-            ++result.stats.fullPaths;
-            if (pathSelected(chain)) {
-                ++result.stats.selectedPaths;
-                SignatureSetTuple tuple = tupleOfChain(slow, chain);
-                ContrastPattern &pattern = merged[tuple];
-                if (pattern.count == 0)
-                    pattern.tuple = std::move(tuple);
-                pattern.cost += node.cost;
-                pattern.count += node.count;
-                pattern.maxExec = std::max(pattern.maxExec,
-                                           node.maxCost);
+    auto mineRoot = [&](std::uint32_t root) {
+        RootMined mined;
+        std::vector<std::uint32_t> chain;
+        auto walk = [&](auto &&self, std::uint32_t node_id) -> void {
+            chain.push_back(node_id);
+            const auto &node = slow.node(node_id);
+            if (node.children.empty()) {
+                ++mined.fullPaths;
+                if (pathSelected(chain)) {
+                    ++mined.selectedPaths;
+                    SignatureSetTuple tuple = tupleOfChain(slow, chain);
+                    ContrastPattern &pattern = mined.patterns[tuple];
+                    if (pattern.count == 0)
+                        pattern.tuple = std::move(tuple);
+                    pattern.cost += node.cost;
+                    pattern.count += node.count;
+                    pattern.maxExec =
+                        std::max(pattern.maxExec, node.maxCost);
+                }
+            } else {
+                for (std::uint32_t child : node.children)
+                    self(self, child);
             }
-        } else {
-            for (std::uint32_t child : node.children)
-                self(self, child);
-        }
-        chain.pop_back();
-    };
-    for (std::uint32_t root : slow.roots())
+            chain.pop_back();
+        };
         walk(walk, root);
+        return mined;
+    };
+
+    const auto &slow_roots = slow.roots();
+    std::vector<RootMined> mined_roots;
+    if (resolveThreads(threads) <= 1 || slow_roots.size() < 2) {
+        mined_roots.reserve(slow_roots.size());
+        for (std::uint32_t root : slow_roots)
+            mined_roots.push_back(mineRoot(root));
+    } else {
+        mined_roots = parallelMap<RootMined>(
+            threads, slow_roots.size(),
+            [&](std::size_t i) { return mineRoot(slow_roots[i]); });
+    }
+
+    PatternMap merged;
+    for (RootMined &mined : mined_roots) {
+        result.stats.fullPaths += mined.fullPaths;
+        result.stats.selectedPaths += mined.selectedPaths;
+        for (auto &[tuple, pattern] : mined.patterns) {
+            ContrastPattern &into = merged[tuple];
+            if (into.count == 0)
+                into.tuple = pattern.tuple;
+            into.cost += pattern.cost;
+            into.count += pattern.count;
+            into.maxExec = std::max(into.maxExec, pattern.maxExec);
+        }
+    }
 
     result.patterns.reserve(merged.size());
     for (auto &[tuple, pattern] : merged)

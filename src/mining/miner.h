@@ -110,17 +110,29 @@ class ContrastMiner
   public:
     ContrastMiner(const TraceCorpus &corpus, MiningOptions options = {});
 
-    /** Run the three mining steps. */
+    /**
+     * Run the three mining steps.
+     *
+     * @param threads Worker count (0 = all hardware threads, 1 =
+     *        serial). Meta-pattern enumeration and the full-path walk
+     *        are sharded over AWG node/root partitions; per-shard maps
+     *        merge by integer summation (associative and commutative)
+     *        and the final ranking uses a strict total order, so the
+     *        ranked result is bit-identical for every thread count.
+     */
     MiningResult mine(const AggregatedWaitGraph &fast,
-                      const AggregatedWaitGraph &slow) const;
+                      const AggregatedWaitGraph &slow,
+                      unsigned threads = 1) const;
 
     /**
      * Step 1 alone: enumerate and aggregate the meta-patterns of one
-     * AWG (exposed for tests and the ablation bench).
+     * AWG (exposed for tests and the ablation bench). Sharded over
+     * segment-start nodes when @p threads allows.
      */
     std::unordered_map<SignatureSetTuple, MetaPatternStats,
                        SignatureSetTupleHash>
-    enumerateMetaPatterns(const AggregatedWaitGraph &awg) const;
+    enumerateMetaPatterns(const AggregatedWaitGraph &awg,
+                          unsigned threads = 1) const;
 
     const MiningOptions &options() const { return options_; }
 

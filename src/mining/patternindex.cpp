@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Cross-scenario pattern index: normalizes mined tuples and tracks
+ * which scenarios each generalized pattern recurs in.
+ */
+
 #include "src/mining/patternindex.h"
 
 #include <algorithm>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Signature Set Tuple construction from AWG path segments, plus
+ * tuple subsumption/equality used by mining and the index.
+ */
+
 #include "src/mining/signature.h"
 
 #include <algorithm>

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Thread-script action constructors and debug formatting.
+ */
+
 #include "src/simkernel/action.h"
 
 namespace tracelens

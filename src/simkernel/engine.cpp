@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Discrete-event loop: (time, sequence)-ordered heap dispatch.
+ */
+
 #include "src/simkernel/engine.h"
 
 #include "src/util/logging.h"

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * SimKernel implementation: thread scheduling over simulated cores,
+ * lock/device/channel blocking, and ETW-like event emission.
+ */
+
 #include "src/simkernel/kernel.h"
 
 #include <algorithm>

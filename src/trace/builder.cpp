@@ -1,3 +1,9 @@
+/**
+ * @file
+ * StreamBuilder implementation: interns string stacks, sorts events
+ * into time order, and finalizes instances.
+ */
+
 #include "src/trace/builder.h"
 
 #include <algorithm>

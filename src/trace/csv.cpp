@@ -1,3 +1,9 @@
+/**
+ * @file
+ * CSV reader/writer for events and instances; parses the
+ * semicolon-joined stack column through the corpus interner.
+ */
+
 #include "src/trace/csv.h"
 
 #include <charconv>

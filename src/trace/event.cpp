@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Event-type names and event formatting helpers.
+ */
+
 #include "src/trace/event.h"
 
 #include "src/util/logging.h"

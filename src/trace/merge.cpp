@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Corpus merge: re-interns frames/stacks/scenarios of each source
+ * corpus into the destination and remaps stream indices.
+ */
+
 #include "src/trace/merge.h"
 
 #include <vector>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Binary reader/writer for the TLC1 corpus container (see
+ * docs/TRACE_FORMAT.md for the byte-level layout).
+ */
+
 #include "src/trace/serialize.h"
 
 #include <cstring>

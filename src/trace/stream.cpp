@@ -1,3 +1,9 @@
+/**
+ * @file
+ * TraceStream / TraceCorpus containers: event storage, instance
+ * registration, and scenario lookup.
+ */
+
 #include "src/trace/stream.h"
 
 #include <algorithm>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Symbol table implementation: frame/stack interning, component
+ * extraction, and the per-filter match cache primed by the Analyzer.
+ */
+
 #include "src/trace/symbols.h"
 
 #include <algorithm>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Structural corpus validation: unmatched waits/unwaits, unsorted
+ * timestamps, out-of-range instances.
+ */
+
 #include "src/trace/validate.h"
 
 #include <sstream>

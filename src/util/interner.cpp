@@ -1,3 +1,8 @@
+/**
+ * @file
+ * String interner implementation.
+ */
+
 #include "src/util/interner.h"
 
 #include <limits>

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * panic/fatal/warn/inform implementations.
+ */
+
 #include "src/util/logging.h"
 
 #include <cstdio>

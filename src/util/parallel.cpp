@@ -1,0 +1,236 @@
+/**
+ * @file
+ * ThreadPool implementation: packed-range shards, CAS chunk claiming,
+ * steal-half-from-the-back, condition-variable job hand-off.
+ */
+
+#include "src/util/parallel.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+unsigned
+resolveThreads(unsigned threads)
+{
+    if (threads != 0)
+        return std::max(1u, threads);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+std::uint64_t
+ThreadPool::pack(std::uint32_t lo, std::uint32_t hi)
+{
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threadCount_(resolveThreads(threads)), shards_(threadCount_)
+{
+    workers_.reserve(threadCount_ - 1);
+    for (unsigned t = 1; t < threadCount_; ++t)
+        workers_.emplace_back([this, t] { workerLoop(t); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stopping_ || jobSerial_ != seen;
+            });
+            if (stopping_)
+                return;
+            seen = jobSerial_;
+        }
+        runShards(self);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+        }
+        done_.notify_one();
+    }
+}
+
+bool
+ThreadPool::claimFront(Shard &shard, std::uint32_t &lo,
+                       std::uint32_t &hi, std::uint32_t chunk)
+{
+    std::uint64_t current = shard.range.load(std::memory_order_acquire);
+    while (true) {
+        const auto cur_lo = static_cast<std::uint32_t>(current >> 32);
+        const auto cur_hi = static_cast<std::uint32_t>(current);
+        if (cur_lo >= cur_hi)
+            return false;
+        const std::uint32_t take =
+            std::min<std::uint32_t>(chunk, cur_hi - cur_lo);
+        if (shard.range.compare_exchange_weak(
+                current, pack(cur_lo + take, cur_hi),
+                std::memory_order_acq_rel)) {
+            lo = cur_lo;
+            hi = cur_lo + take;
+            return true;
+        }
+    }
+}
+
+bool
+ThreadPool::stealBack(Shard &shard, std::uint32_t &lo,
+                      std::uint32_t &hi)
+{
+    std::uint64_t current = shard.range.load(std::memory_order_acquire);
+    while (true) {
+        const auto cur_lo = static_cast<std::uint32_t>(current >> 32);
+        const auto cur_hi = static_cast<std::uint32_t>(current);
+        if (cur_lo >= cur_hi)
+            return false;
+        // Take the back half (at least one index) so the victim keeps
+        // its cache-warm front and the thief gets a meaty chunk.
+        const std::uint32_t take =
+            std::max<std::uint32_t>(1, (cur_hi - cur_lo) / 2);
+        if (shard.range.compare_exchange_weak(
+                current, pack(cur_lo, cur_hi - take),
+                std::memory_order_acq_rel)) {
+            lo = cur_hi - take;
+            hi = cur_hi;
+            return true;
+        }
+    }
+}
+
+void
+ThreadPool::invoke(std::uint32_t lo, std::uint32_t hi)
+{
+    const std::function<void(std::size_t)> &body = *jobBody_;
+    for (std::uint32_t i = lo; i < hi; ++i) {
+        try {
+            body(jobBegin_ + i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(errorMutex_);
+            if (!jobError_)
+                jobError_ = std::current_exception();
+        }
+    }
+}
+
+void
+ThreadPool::runShards(unsigned self)
+{
+    // Chunk small enough to balance, large enough to amortize the CAS.
+    const std::uint64_t own = shards_[self].range.load(
+        std::memory_order_acquire);
+    const std::uint32_t own_size = static_cast<std::uint32_t>(own) -
+                                   static_cast<std::uint32_t>(own >> 32);
+    const std::uint32_t chunk = std::max<std::uint32_t>(
+        1, own_size / 8);
+
+    std::uint32_t lo = 0, hi = 0;
+    while (claimFront(shards_[self], lo, hi, chunk))
+        invoke(lo, hi);
+
+    // Own shard drained: steal from the victim with the most work
+    // left until every shard is empty.
+    while (true) {
+        unsigned victim = threadCount_;
+        std::uint32_t best = 0;
+        for (unsigned t = 0; t < threadCount_; ++t) {
+            if (t == self)
+                continue;
+            const std::uint64_t r =
+                shards_[t].range.load(std::memory_order_acquire);
+            const auto r_lo = static_cast<std::uint32_t>(r >> 32);
+            const auto r_hi = static_cast<std::uint32_t>(r);
+            if (r_hi > r_lo && r_hi - r_lo > best) {
+                best = r_hi - r_lo;
+                victim = t;
+            }
+        }
+        if (victim == threadCount_)
+            return; // nothing left anywhere
+        if (stealBack(shards_[victim], lo, hi))
+            invoke(lo, hi);
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (begin >= end)
+        return;
+    const std::size_t n = end - begin;
+    TL_ASSERT(n <= UINT32_MAX, "parallelFor range too large");
+
+    if (threadCount_ == 1 || n == 1) {
+        for (std::size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+
+    // Partition [0, n) into one contiguous shard per worker.
+    const std::size_t per = n / threadCount_;
+    const std::size_t extra = n % threadCount_;
+    std::size_t next = 0;
+    for (unsigned t = 0; t < threadCount_; ++t) {
+        const std::size_t size = per + (t < extra ? 1 : 0);
+        shards_[t].range.store(
+            pack(static_cast<std::uint32_t>(next),
+                 static_cast<std::uint32_t>(next + size)),
+            std::memory_order_release);
+        next += size;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobBegin_ = begin;
+        jobBody_ = &body;
+        jobError_ = nullptr;
+        active_ = threadCount_ - 1;
+        ++jobSerial_;
+    }
+    wake_.notify_all();
+
+    runShards(0); // the caller is worker 0
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return active_ == 0; });
+        jobBody_ = nullptr;
+    }
+    if (jobError_)
+        std::rethrow_exception(jobError_);
+}
+
+void
+parallelFor(unsigned threads, std::size_t begin, std::size_t end,
+            const std::function<void(std::size_t)> &body)
+{
+    const unsigned resolved = resolveThreads(threads);
+    if (resolved == 1 || end - begin <= 1) {
+        for (std::size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+    ThreadPool pool(resolved);
+    pool.parallelFor(begin, end, body);
+}
+
+} // namespace tracelens

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * SplitMix64 / xoshiro-style deterministic RNG implementation.
+ */
+
 #include "src/util/rng.h"
 
 #include <cmath>

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Accumulator, histogram, and percentile implementations.
+ */
+
 #include "src/util/stats.h"
 
 #include <algorithm>

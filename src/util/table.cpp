@@ -1,3 +1,8 @@
+/**
+ * @file
+ * ASCII table layout and number formatting.
+ */
+
 #include "src/util/table.h"
 
 #include <algorithm>

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Iterative glob matcher ('*' and '?') used by component filters.
+ */
+
 #include "src/util/wildcard.h"
 
 #include <cctype>

@@ -1,12 +1,18 @@
+/**
+ * @file
+ * Wait-graph construction (paper Algorithm: wait/unwait chaining with
+ * window clipping) and the corpus-parallel buildAllParallel variant
+ * that shards instances across the work-stealing pool.
+ */
+
 #include "src/waitgraph/waitgraph.h"
 
 #include <algorithm>
-#include <atomic>
 #include <sstream>
 #include <deque>
-#include <thread>
 
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 
 namespace tracelens
 {
@@ -311,25 +317,10 @@ WaitGraphBuilder::buildAllParallel(unsigned threads) const
         streamIndex(instance.stream);
 
     std::vector<WaitGraph> graphs(instances.size());
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-        while (true) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= instances.size())
-                return;
-            graphs[i] = build(instances[i]);
-        }
-    };
-
-    std::vector<std::thread> pool;
-    const unsigned spawned = std::min<unsigned>(
-        threads, static_cast<unsigned>(instances.size()));
-    pool.reserve(spawned);
-    for (unsigned t = 0; t < spawned; ++t)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
+    tracelens::parallelFor(threads, 0, instances.size(),
+                           [&](std::size_t i) {
+                               graphs[i] = build(instances[i]);
+                           });
     return graphs;
 }
 

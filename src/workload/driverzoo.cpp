@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Driver-zoo tables: module names, resources, and service-time
+ * distributions per driver category.
+ */
+
 #include "src/workload/driverzoo.h"
 
 #include <array>

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Fleet synthesis: seeds per-machine RNGs, schedules scenario
+ * instances and background interference, runs SimKernel per machine.
+ */
+
 #include "src/workload/generator.h"
 
 #include <algorithm>

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Simulated-machine wiring and driver-op script compilation.
+ */
+
 #include "src/workload/machine.h"
 
 #include "src/util/logging.h"

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Hand-scripted Figure-1 incident and other deterministic case
+ * studies used by tests and examples.
+ */
+
 #include "src/workload/motivating.h"
 
 #include "src/simkernel/kernel.h"

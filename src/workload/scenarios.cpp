@@ -1,3 +1,8 @@
+/**
+ * @file
+ * The eight Table-1 scenario script builders and their thresholds.
+ */
+
 #include "src/workload/scenarios.h"
 
 #include <cmath>

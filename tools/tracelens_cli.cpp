@@ -18,6 +18,7 @@
  *   import-csv --events IN --instances IN --out FILE
  */
 
+#include <charconv>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -34,6 +35,7 @@
 #include "src/trace/csv.h"
 #include "src/trace/serialize.h"
 #include "src/trace/validate.h"
+#include "src/util/logging.h"
 #include "src/util/table.h"
 #include "src/workload/generator.h"
 #include "src/workload/scenarios.h"
@@ -105,19 +107,42 @@ usage()
            "  tracelens generate --out FILE [--machines N] [--seed S]"
            " [--scenario NAME]\n"
            "  tracelens validate FILE\n"
-           "  tracelens impact FILE [--components GLOB]...\n"
+           "  tracelens impact FILE [--components GLOB]..."
+           " [--threads N]\n"
            "  tracelens analyze FILE --scenario NAME [--tfast MS]"
-           " [--tslow MS] [--top N] [--no-knowledge-filter]\n"
+           " [--tslow MS] [--top N] [--no-knowledge-filter]"
+           " [--threads N]\n"
            "  tracelens thresholds FILE [--scenario NAME]\n"
            "  tracelens report FILE [--top N] [--html OUT]"
-           " [--no-knowledge-filter]\n"
+           " [--no-knowledge-filter] [--threads N]\n"
            "  tracelens diff BEFORE AFTER --scenario NAME"
-           " [--tfast MS] [--tslow MS]\n"
+           " [--tfast MS] [--tslow MS] [--threads N]\n"
            "  tracelens dump FILE [--stream N] [--max N]\n"
            "  tracelens export-csv FILE --events OUT --instances OUT\n"
            "  tracelens import-csv --events IN --instances IN --out "
-           "FILE\n";
+           "FILE\n"
+           "\n--threads 0 (default) uses every hardware thread; 1 "
+           "runs serially.\nAnalysis results are identical for every "
+           "thread count.\n";
     return 2;
+}
+
+/** Shared --threads flag: 0 = all hardware threads (the default). */
+unsigned
+threadsFlag(const Args &args)
+{
+    const auto v = args.flag("threads");
+    if (!v)
+        return 0;
+    unsigned threads = 0;
+    const auto [ptr, ec] =
+        std::from_chars(v->data(), v->data() + v->size(), threads);
+    if (ec != std::errc() || ptr != v->data() + v->size() ||
+        threads > 1024) {
+        TL_FATAL("--threads expects an integer in [0, 1024], got '",
+                 std::string(*v), "'");
+    }
+    return threads;
 }
 
 int
@@ -161,6 +186,7 @@ cmdImpact(const Args &args)
     const TraceCorpus corpus = readCorpusFile(args.positional()[0]);
 
     AnalyzerConfig config;
+    config.threads = threadsFlag(args);
     const auto globs = args.flagAll("components");
     if (!globs.empty())
         config.components = globs;
@@ -204,7 +230,9 @@ cmdAnalyze(const Args &args)
         return 2;
     }
 
-    Analyzer analyzer(corpus);
+    AnalyzerConfig config;
+    config.threads = threadsFlag(args);
+    Analyzer analyzer(corpus, config);
     const ScenarioAnalysis analysis =
         analyzer.analyzeScenario(*scenario, t_fast, t_slow);
 
@@ -268,7 +296,9 @@ cmdReport(const Args &args)
     if (args.positional().empty())
         return usage();
     const TraceCorpus corpus = readCorpusFile(args.positional()[0]);
-    Analyzer analyzer(corpus);
+    AnalyzerConfig config;
+    config.threads = threadsFlag(args);
+    Analyzer analyzer(corpus, config);
 
     std::vector<ScenarioThresholds> scenarios;
     for (const ScenarioSpec &spec : scenarioCatalog()) {
@@ -315,8 +345,10 @@ cmdDiff(const Args &args)
         return 2;
     }
 
-    Analyzer ana_before(before);
-    Analyzer ana_after(after);
+    AnalyzerConfig config;
+    config.threads = threadsFlag(args);
+    Analyzer ana_before(before, config);
+    Analyzer ana_after(after, config);
     const ScenarioAnalysis rb =
         ana_before.analyzeScenario(*scenario, t_fast, t_slow);
     const ScenarioAnalysis ra =
