@@ -33,8 +33,22 @@ ScenarioAnalysis::nonOptimizableShare() const
            static_cast<double>(reduced + kept);
 }
 
+Analyzer::Analyzer(TraceSource &source, AnalyzerConfig config)
+    : Analyzer(nullptr, &source, std::move(config))
+{
+}
+
 Analyzer::Analyzer(const TraceCorpus &corpus, AnalyzerConfig config)
-    : corpus_(corpus), config_(std::move(config)),
+    : Analyzer(std::make_unique<EagerSource>(corpus), nullptr,
+               std::move(config))
+{
+}
+
+Analyzer::Analyzer(std::unique_ptr<TraceSource> owned,
+                   TraceSource *external, AnalyzerConfig config)
+    : ownedSource_(std::move(owned)),
+      source_(external != nullptr ? external : ownedSource_.get()),
+      corpus_(source_->corpus()), config_(std::move(config)),
       components_(config_.components)
 {
     // Prime the symbol table's per-filter match cache up front: the

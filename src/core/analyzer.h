@@ -24,6 +24,7 @@
 #define TRACELENS_CORE_ANALYZER_H
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -35,6 +36,7 @@
 #include "src/impact/impact.h"
 #include "src/mining/coverage.h"
 #include "src/mining/miner.h"
+#include "src/trace/source.h"
 #include "src/trace/stream.h"
 #include "src/waitgraph/waitgraph.h"
 
@@ -109,6 +111,24 @@ struct ScenarioAnalysis
 class Analyzer
 {
   public:
+    /**
+     * Analyze the corpus served by @p source — the preferred
+     * constructor: the source decides how trace bytes reach memory
+     * (eager load, mmap, sharded directory) and isolates corrupt
+     * shards; the analyzer only consumes the merged view. The first
+     * call materializes the corpus, so construction may ingest.
+     * @p source must outlive the analyzer.
+     */
+    explicit Analyzer(TraceSource &source, AnalyzerConfig config = {});
+
+    /**
+     * Analyze an already-resident corpus. Kept for compatibility —
+     * delegates to an internal EagerSource wrapping @p corpus, with
+     * identical results. New code should construct a TraceSource
+     * (see openSource()) and use the constructor above; this one is
+     * slated for removal once callers have migrated (see
+     * docs/ARCHITECTURE.md, "TraceSource API").
+     */
     explicit Analyzer(const TraceCorpus &corpus,
                       AnalyzerConfig config = {});
 
@@ -147,16 +167,24 @@ class Analyzer
     const std::vector<WaitGraph> &graphs() const;
 
     const TraceCorpus &corpus() const { return corpus_; }
+    /** The ingestion source feeding this analyzer. */
+    TraceSource &source() const { return *source_; }
     const AnalyzerConfig &config() const { return config_; }
     const NameFilter &components() const { return components_; }
 
   private:
+    /** Common constructor: exactly one of @p owned / @p external. */
+    Analyzer(std::unique_ptr<TraceSource> owned, TraceSource *external,
+             AnalyzerConfig config);
+
     /** analyzeScenario with an explicit stage-level thread count. */
     ScenarioAnalysis analyzeScenarioWithThreads(std::string_view name,
                                                 DurationNs t_fast,
                                                 DurationNs t_slow,
                                                 unsigned threads) const;
 
+    std::unique_ptr<TraceSource> ownedSource_;
+    TraceSource *source_;
     const TraceCorpus &corpus_;
     AnalyzerConfig config_;
     NameFilter components_;

@@ -6,6 +6,7 @@
 
 #include "src/trace/merge.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace tracelens
@@ -66,6 +67,86 @@ mergeCorpora(std::span<const TraceCorpus> parts)
     for (const TraceCorpus &part : parts)
         appendCorpus(merged, part);
     return merged;
+}
+
+void
+appendCorpusStreams(TraceCorpus &target, const TraceCorpus &part,
+                    std::uint32_t first, std::uint32_t count)
+{
+    const std::uint32_t stream_base =
+        static_cast<std::uint32_t>(target.streamCount());
+
+    const SymbolTable &src = part.symbols();
+    SymbolTable &dst = target.symbols();
+
+    // Symbols are re-interned lazily so a slice carries only the
+    // frames/stacks/scenarios its own streams reference — that is
+    // what keeps shard files self-contained without duplicating the
+    // whole fleet-level symbol table into every shard.
+    std::vector<FrameId> frame_map(src.frameCount(), kNoFrame);
+    std::vector<CallstackId> stack_map(src.stackCount(), kNoCallstack);
+    std::vector<FrameId> scratch;
+    const auto map_stack = [&](CallstackId s) {
+        if (stack_map[s] != kNoCallstack)
+            return stack_map[s];
+        const auto frames = src.stackFrames(s);
+        scratch.clear();
+        scratch.reserve(frames.size());
+        for (FrameId f : frames) {
+            if (frame_map[f] == kNoFrame)
+                frame_map[f] = dst.internFrame(src.frameName(f));
+            scratch.push_back(frame_map[f]);
+        }
+        stack_map[s] = dst.internStack(scratch);
+        return stack_map[s];
+    };
+
+    for (std::uint32_t i = first; i < first + count; ++i) {
+        const TraceStream &source = part.stream(i);
+        const std::uint32_t index = target.addStream(source.name);
+        TraceStream &stream = target.stream(index);
+        stream.tags = source.tags;
+        for (Event e : source.events()) {
+            if (e.stack != kNoCallstack)
+                e.stack = map_stack(e.stack);
+            stream.append(e);
+        }
+    }
+
+    std::vector<std::uint32_t> scenario_map(part.scenarioCount(),
+                                            UINT32_MAX);
+    for (ScenarioInstance inst : part.instances()) {
+        if (inst.stream < first || inst.stream >= first + count)
+            continue;
+        if (scenario_map[inst.scenario] == UINT32_MAX) {
+            scenario_map[inst.scenario] =
+                target.internScenario(part.scenarioName(inst.scenario));
+        }
+        inst.scenario = scenario_map[inst.scenario];
+        inst.stream = inst.stream - first + stream_base;
+        target.addInstance(inst);
+    }
+}
+
+std::vector<TraceCorpus>
+splitCorpus(const TraceCorpus &corpus, std::size_t parts)
+{
+    if (parts == 0)
+        parts = 1;
+    const auto streams =
+        static_cast<std::uint32_t>(corpus.streamCount());
+    const std::uint32_t per_part = static_cast<std::uint32_t>(
+        (streams + parts - 1) / parts);
+
+    std::vector<TraceCorpus> out(parts);
+    for (std::size_t k = 0; k < parts; ++k) {
+        const std::uint32_t first =
+            std::min(streams, static_cast<std::uint32_t>(k) * per_part);
+        const std::uint32_t count =
+            std::min(per_part, streams - first);
+        appendCorpusStreams(out[k], corpus, first, count);
+    }
+    return out;
 }
 
 } // namespace tracelens

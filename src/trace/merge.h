@@ -28,6 +28,25 @@ TraceCorpus mergeCorpora(std::span<const TraceCorpus> parts);
 /** Append all of @p part into @p target (same remapping rules). */
 void appendCorpus(TraceCorpus &target, const TraceCorpus &part);
 
+/**
+ * Append only streams [first, first + count) of @p part into
+ * @p target, carrying the scenario instances those streams own.
+ * Symbols are re-interned, so the slice corpus is self-contained.
+ */
+void appendCorpusStreams(TraceCorpus &target, const TraceCorpus &part,
+                         std::uint32_t first, std::uint32_t count);
+
+/**
+ * The inverse of mergeCorpora for sharded storage: partition
+ * @p corpus into @p parts corpora of contiguous stream blocks (block
+ * k holds streams [k*ceil(n/parts), ...)), each with its own
+ * re-interned symbol table. Merging the parts back in order yields a
+ * corpus with the original stream order; instances follow the stream
+ * that owns them. Parts may be empty when parts > streamCount().
+ */
+std::vector<TraceCorpus> splitCorpus(const TraceCorpus &corpus,
+                                     std::size_t parts);
+
 } // namespace tracelens
 
 #endif // TRACELENS_TRACE_MERGE_H

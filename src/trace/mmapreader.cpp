@@ -1,0 +1,294 @@
+/**
+ * @file
+ * mmap-backed TLC1 reader: POSIX mapping plus the bounds-checked
+ * skip-scan indexer. The full decode reuses parseCorpus() so the
+ * eager and mmap paths can never diverge semantically.
+ */
+
+#include "src/trace/mmapreader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/trace/serialize.h"
+#include "src/trace/tlcformat.h"
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+// ---------------------------------------------------------------- MappedFile
+
+MappedFile::~MappedFile()
+{
+    if (addr_ != nullptr)
+        ::munmap(addr_, size_);
+}
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      path_(std::move(other.path_))
+{
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this != &other) {
+        if (addr_ != nullptr)
+            ::munmap(addr_, size_);
+        addr_ = std::exchange(other.addr_, nullptr);
+        size_ = std::exchange(other.size_, 0);
+        path_ = std::move(other.path_);
+    }
+    return *this;
+}
+
+Expected<MappedFile>
+MappedFile::open(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        return SourceError{path, 0,
+                           "cannot open '" + path +
+                               "' for reading: " + std::strerror(errno)};
+    }
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return SourceError{path, 0,
+                           std::string("fstat failed: ") +
+                               std::strerror(err)};
+    }
+    if (!S_ISREG(st.st_mode)) {
+        ::close(fd);
+        return SourceError{path, 0, "not a regular file"};
+    }
+
+    MappedFile map;
+    map.path_ = path;
+    map.size_ = static_cast<std::size_t>(st.st_size);
+    if (map.size_ > 0) {
+        void *addr =
+            ::mmap(nullptr, map.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (addr == MAP_FAILED) {
+            const int err = errno;
+            ::close(fd);
+            return SourceError{path, 0,
+                               std::string("mmap failed: ") +
+                                   std::strerror(err)};
+        }
+        map.addr_ = addr;
+        // The skip-scan and any subsequent materialization walk the
+        // file front to back; tell the kernel so readahead works for
+        // cold page-cache ingestion.
+        ::madvise(addr, map.size_, MADV_SEQUENTIAL);
+    }
+    ::close(fd); // the mapping keeps the file alive
+    return map;
+}
+
+// ---------------------------------------------------------------- MmapReader
+
+Expected<MmapReader>
+MmapReader::open(const std::string &path)
+{
+    Expected<MappedFile> map = MappedFile::open(path);
+    if (!map)
+        return map.error();
+
+    MmapReader reader;
+    reader.map_ = std::move(map.value());
+    const std::span<const std::byte> bytes = reader.map_.bytes();
+    tlc::ByteCursor cur(bytes, path);
+    TlcShardIndex &index = reader.index_;
+
+    std::uint32_t magic = 0;
+    if (!cur.u32(magic, "magic"))
+        return cur.error();
+    if (magic != tlc::kMagic) {
+        cur.fail("not a TraceLens corpus (bad magic)");
+        return cur.error();
+    }
+    if (!cur.u32(index.version, "version"))
+        return cur.error();
+    if (index.version != tlc::kVersion) {
+        cur.fail(detail::concat("unsupported corpus version ",
+                                index.version));
+        return cur.error();
+    }
+
+    if (!cur.count(index.frameCount, sizeof(std::uint32_t), "frame"))
+        return cur.error();
+    for (std::uint32_t i = 0; i < index.frameCount; ++i) {
+        if (!cur.skipString("frame name"))
+            return cur.error();
+    }
+
+    if (!cur.count(index.stackCount, sizeof(std::uint32_t), "stack"))
+        return cur.error();
+    for (std::uint32_t i = 0; i < index.stackCount; ++i) {
+        std::uint32_t len = 0;
+        if (!cur.count(len, sizeof(FrameId), "stack frame") ||
+            !cur.skip(len * sizeof(FrameId), "stack frames"))
+            return cur.error();
+    }
+
+    index.scenariosOffset = cur.offset();
+    if (!cur.count(index.scenarioCount, sizeof(std::uint32_t),
+                   "scenario"))
+        return cur.error();
+    for (std::uint32_t i = 0; i < index.scenarioCount; ++i) {
+        if (!cur.skipString("scenario name"))
+            return cur.error();
+    }
+
+    if (!cur.count(index.streamCount, sizeof(std::uint32_t), "stream"))
+        return cur.error();
+    reader.streams_.reserve(index.streamCount);
+    for (std::uint32_t i = 0; i < index.streamCount; ++i) {
+        TlcStreamExtent extent;
+        extent.nameOffset = cur.offset();
+        if (!cur.skipString("stream name"))
+            return cur.error();
+        std::uint32_t tag_count = 0;
+        if (!cur.count(tag_count, 2 * sizeof(std::uint32_t),
+                       "stream tag"))
+            return cur.error();
+        for (std::uint32_t t = 0; t < tag_count; ++t) {
+            if (!cur.skipString("tag key") ||
+                !cur.skipString("tag value"))
+                return cur.error();
+        }
+        if (!cur.count(extent.eventCount, tlc::kEventRecordBytes,
+                       "event"))
+            return cur.error();
+        extent.eventsOffset = cur.offset();
+        if (!cur.skip(static_cast<std::size_t>(extent.eventCount) *
+                          tlc::kEventRecordBytes,
+                      "events"))
+            return cur.error();
+        index.eventCount += extent.eventCount;
+        reader.streams_.push_back(extent);
+    }
+
+    if (!cur.count(index.instanceCount, tlc::kInstanceRecordBytes,
+                   "instance"))
+        return cur.error();
+    index.instancesOffset = cur.offset();
+    // Validate the instance records now (a tiny fixed-size section)
+    // so the lazy instances() accessor is infallible.
+    for (std::uint32_t i = 0; i < index.instanceCount; ++i) {
+        ScenarioInstance inst;
+        if (!cur.u32(inst.stream, "instance stream") ||
+            !cur.u32(inst.scenario, "instance scenario") ||
+            !cur.u32(inst.tid, "instance tid") ||
+            !cur.i64(inst.t0, "instance t0") ||
+            !cur.i64(inst.t1, "instance t1"))
+            return cur.error();
+        if (inst.scenario >= index.scenarioCount) {
+            cur.fail("corpus instance references unknown scenario");
+            return cur.error();
+        }
+        if (inst.stream >= index.streamCount) {
+            cur.fail("corpus instance references unknown stream");
+            return cur.error();
+        }
+        if (inst.t1 < inst.t0) {
+            cur.fail("corpus instance window inverted");
+            return cur.error();
+        }
+    }
+
+    return reader;
+}
+
+std::vector<ScenarioInstance>
+MmapReader::instances() const
+{
+    const std::span<const std::byte> bytes = map_.bytes();
+    std::vector<ScenarioInstance> out;
+    out.reserve(index_.instanceCount);
+    std::size_t pos = static_cast<std::size_t>(index_.instancesOffset);
+    for (std::uint32_t i = 0; i < index_.instanceCount; ++i) {
+        ScenarioInstance inst;
+        std::memcpy(&inst.stream, bytes.data() + pos, 4);
+        std::memcpy(&inst.scenario, bytes.data() + pos + 4, 4);
+        std::memcpy(&inst.tid, bytes.data() + pos + 8, 4);
+        std::memcpy(&inst.t0, bytes.data() + pos + 12, 8);
+        std::memcpy(&inst.t1, bytes.data() + pos + 20, 8);
+        pos += tlc::kInstanceRecordBytes;
+        out.push_back(inst);
+    }
+    return out;
+}
+
+std::vector<std::string>
+MmapReader::scenarioNames() const
+{
+    tlc::ByteCursor cur(map_.bytes(), map_.path());
+    TL_ASSERT(cur.skip(static_cast<std::size_t>(index_.scenariosOffset),
+                       "scenario section"),
+              "scenario section offset out of range");
+    std::uint32_t count = 0;
+    std::vector<std::string> names;
+    TL_ASSERT(cur.u32(count, "scenario count"), "indexed file shrank");
+    names.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::string_view sv;
+        TL_ASSERT(cur.stringView(sv, "scenario name"),
+                  "scenario section invalid after indexing");
+        names.emplace_back(sv);
+    }
+    return names;
+}
+
+std::span<const std::byte>
+MmapReader::eventRecords(std::uint32_t stream) const
+{
+    TL_ASSERT(stream < streams_.size(), "bad stream index ", stream);
+    const TlcStreamExtent &extent = streams_[stream];
+    return map_.bytes().subspan(
+        static_cast<std::size_t>(extent.eventsOffset),
+        static_cast<std::size_t>(extent.eventCount) *
+            tlc::kEventRecordBytes);
+}
+
+Event
+MmapReader::decodeEvent(std::span<const std::byte> records,
+                        std::uint32_t i)
+{
+    TL_ASSERT(static_cast<std::size_t>(i + 1) *
+                      tlc::kEventRecordBytes <=
+                  records.size(),
+              "bad event record index ", i);
+    const std::byte *p =
+        records.data() +
+        static_cast<std::size_t>(i) * tlc::kEventRecordBytes;
+    Event e;
+    std::uint32_t type = 0;
+    std::memcpy(&e.timestamp, p, 8);
+    std::memcpy(&e.cost, p + 8, 8);
+    std::memcpy(&e.tid, p + 16, 4);
+    std::memcpy(&e.wtid, p + 20, 4);
+    std::memcpy(&e.stack, p + 24, 4);
+    std::memcpy(&type, p + 28, 4);
+    e.type = static_cast<EventType>(type);
+    return e;
+}
+
+Expected<TraceCorpus>
+MmapReader::materialize() const
+{
+    return parseCorpus(map_.bytes(), map_.path());
+}
+
+} // namespace tracelens

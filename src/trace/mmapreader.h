@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Zero-copy mmap-backed reader for TLC1 corpus files.
+ *
+ * The eager path (readCorpusFile) pays for the whole file up front:
+ * one full read into a heap buffer, then a full decode that interns
+ * every frame and materializes every event. At fleet scale that makes
+ * ingestion the wall. MmapReader instead maps the file and performs a
+ * cheap bounds-checked *skip-scan* that only records section offsets
+ * and counts — frame names, callstacks, and event payloads stay
+ * untouched (and mostly unpaged) until something actually needs them:
+ *
+ *  - open()            maps + indexes; validates the structural
+ *                      skeleton and the fixed-size instance records.
+ *  - instances()       decodes only the 28-byte instance records —
+ *                      enough for counting, classification windows,
+ *                      and threshold work.
+ *  - scenarioNames()   decodes only the scenario string section.
+ *  - eventRecords()    zero-copy std::span view of one stream's
+ *                      packed event records inside the mapping.
+ *  - materialize()     full decode into a TraceCorpus via the shared
+ *                      bounds-checked parser; this is the lazy
+ *                      symbol-table materialization point.
+ *
+ * All record access uses memcpy-based decoding: TLC1 sections follow
+ * variable-length strings, so nothing in the file is alignment-
+ * guaranteed and a reinterpret_cast view would be UB (see
+ * docs/TRACE_FORMAT.md, "mmap and alignment").
+ */
+
+#ifndef TRACELENS_TRACE_MMAPREADER_H
+#define TRACELENS_TRACE_MMAPREADER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/trace/stream.h"
+#include "src/util/expected.h"
+
+namespace tracelens
+{
+
+/** RAII read-only memory mapping of one file. */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile();
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /** Map @p path read-only (empty files map to an empty span). */
+    static Expected<MappedFile> open(const std::string &path);
+
+    std::span<const std::byte> bytes() const
+    {
+        return {static_cast<const std::byte *>(addr_), size_};
+    }
+    const std::string &path() const { return path_; }
+
+  private:
+    void *addr_ = nullptr;
+    std::size_t size_ = 0;
+    std::string path_;
+};
+
+/** Section offsets/counts recorded by the skip-scan. */
+struct TlcShardIndex
+{
+    std::uint32_t version = 0;
+    std::uint32_t frameCount = 0;
+    std::uint32_t stackCount = 0;
+    std::uint32_t scenarioCount = 0;
+    std::uint32_t streamCount = 0;
+    std::uint32_t instanceCount = 0;
+    /** Events summed over all streams. */
+    std::uint64_t eventCount = 0;
+    /** Byte offset of the scenario-name section (at its count). */
+    std::uint64_t scenariosOffset = 0;
+    /** Byte offset of the first packed instance record. */
+    std::uint64_t instancesOffset = 0;
+};
+
+/** Per-stream extents inside the mapping. */
+struct TlcStreamExtent
+{
+    /** Offset of the stream's name length prefix. */
+    std::uint64_t nameOffset = 0;
+    /** Offset of the first packed 32-byte event record. */
+    std::uint64_t eventsOffset = 0;
+    std::uint32_t eventCount = 0;
+};
+
+/** Lazy zero-copy view of one TLC1 file. */
+class MmapReader
+{
+  public:
+    /**
+     * Map and index @p path. Fails (without dying) on unopenable
+     * files, bad magic/version, and any structural truncation or
+     * hostile count; also fully validates the instance records so
+     * instances() cannot fail afterwards. Event payload bytes are
+     * validated later, by materialize().
+     */
+    static Expected<MmapReader> open(const std::string &path);
+
+    const std::string &path() const { return map_.path(); }
+    std::size_t fileBytes() const { return map_.bytes().size(); }
+    const TlcShardIndex &index() const { return index_; }
+
+    /** Decode the fixed-size instance records (validated at open). */
+    std::vector<ScenarioInstance> instances() const;
+
+    /** Decode only the scenario-name section (validated at open). */
+    std::vector<std::string> scenarioNames() const;
+
+    /**
+     * Zero-copy view of one stream's packed event records
+     * (index().eventCount records of 32 bytes, unaligned). Decode
+     * individual events with decodeEvent().
+     */
+    std::span<const std::byte> eventRecords(std::uint32_t stream) const;
+
+    /** Decode record @p i of an eventRecords() span. */
+    static Event decodeEvent(std::span<const std::byte> records,
+                             std::uint32_t i);
+
+    /** Full decode into an owning corpus (lazy path's slow door). */
+    Expected<TraceCorpus> materialize() const;
+
+  private:
+    MappedFile map_;
+    TlcShardIndex index_;
+    std::vector<TlcStreamExtent> streams_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_TRACE_MMAPREADER_H

@@ -2,17 +2,29 @@
  * @file
  * Binary reader/writer for the TLC1 corpus container (see
  * docs/TRACE_FORMAT.md for the byte-level layout).
+ *
+ * All decoding funnels through parseCorpus(), a bounds-checked parser
+ * over an in-memory byte image: the eager path slurps the file into a
+ * buffer first, the mmap path (src/trace/mmapreader.h) hands in the
+ * mapped region directly. On-disk counts, string lengths, ids, and
+ * record arrays are validated against the actual buffer size before
+ * any allocation or access, so truncated and hostile inputs fail with
+ * a located SourceError instead of overrunning the buffer.
  */
 
 #include "src/trace/serialize.h"
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <limits>
 #include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "src/trace/merge.h"
+#include "src/trace/tlcformat.h"
 #include "src/util/logging.h"
 
 namespace tracelens
@@ -21,8 +33,11 @@ namespace tracelens
 namespace
 {
 
-constexpr std::uint32_t kMagic = 0x31434c54; // "TLC1" little-endian
-constexpr std::uint32_t kVersion = 2;
+using tlc::ByteCursor;
+using tlc::kEventRecordBytes;
+using tlc::kInstanceRecordBytes;
+using tlc::kMagic;
+using tlc::kVersion;
 
 void
 putU32(std::ostream &out, std::uint32_t v)
@@ -43,35 +58,23 @@ putString(std::ostream &out, const std::string &s)
     out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-std::uint32_t
-getU32(std::istream &in)
+/** Read a whole file into a byte buffer, or report why not. */
+Expected<std::vector<std::byte>>
+slurpFile(const std::string &path)
 {
-    std::uint32_t v = 0;
-    in.read(reinterpret_cast<char *>(&v), sizeof(v));
-    if (!in)
-        TL_FATAL("truncated corpus file (u32)");
-    return v;
-}
-
-std::int64_t
-getI64(std::istream &in)
-{
-    std::int64_t v = 0;
-    in.read(reinterpret_cast<char *>(&v), sizeof(v));
-    if (!in)
-        TL_FATAL("truncated corpus file (i64)");
-    return v;
-}
-
-std::string
-getString(std::istream &in)
-{
-    const std::uint32_t len = getU32(in);
-    std::string s(len, '\0');
-    in.read(s.data(), len);
-    if (!in)
-        TL_FATAL("truncated corpus file (string)");
-    return s;
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+        return SourceError{path, 0,
+                           "cannot open '" + path + "' for reading"};
+    }
+    const std::streamoff size = in.tellg();
+    in.seekg(0, std::ios::beg);
+    std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+    if (size > 0 &&
+        !in.read(reinterpret_cast<char *>(bytes.data()), size)) {
+        return SourceError{path, 0, "read of '" + path + "' failed"};
+    }
+    return bytes;
 }
 
 } // namespace
@@ -141,97 +144,212 @@ writeCorpusFile(const TraceCorpus &corpus, const std::string &path)
         TL_FATAL("write to '", path, "' failed");
 }
 
-TraceCorpus
-readCorpus(std::istream &in)
+std::vector<std::string>
+writeShardedCorpusDir(const TraceCorpus &corpus, const std::string &dir,
+                      std::size_t shards)
 {
-    if (getU32(in) != kMagic)
-        TL_FATAL("not a TraceLens corpus (bad magic)");
-    const std::uint32_t version = getU32(in);
-    if (version != kVersion)
-        TL_FATAL("unsupported corpus version ", version);
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        TL_FATAL("cannot create shard directory '", dir, "': ",
+                 ec.message());
+    }
+    const std::vector<TraceCorpus> parts = splitCorpus(corpus, shards);
+    std::vector<std::string> paths;
+    paths.reserve(parts.size());
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        std::ostringstream name;
+        name << "shard-" << std::setfill('0') << std::setw(4) << i
+             << ".tlc";
+        const std::string path =
+            (std::filesystem::path(dir) / name.str()).string();
+        writeCorpusFile(parts[i], path);
+        paths.push_back(path);
+    }
+    return paths;
+}
+
+Expected<TraceCorpus>
+parseCorpus(std::span<const std::byte> bytes, const std::string &file)
+{
+    ByteCursor cur(bytes, file);
+    const auto err = [&]() -> SourceError { return cur.error(); };
+
+    std::uint32_t magic = 0;
+    if (!cur.u32(magic, "magic"))
+        return err();
+    if (magic != kMagic) {
+        cur.fail("not a TraceLens corpus (bad magic)");
+        return err();
+    }
+    std::uint32_t version = 0;
+    if (!cur.u32(version, "version"))
+        return err();
+    if (version != kVersion) {
+        cur.fail(detail::concat("unsupported corpus version ", version));
+        return err();
+    }
 
     TraceCorpus corpus;
     SymbolTable &sym = corpus.symbols();
 
-    const std::uint32_t frame_count = getU32(in);
+    std::uint32_t frame_count = 0;
+    if (!cur.count(frame_count, sizeof(std::uint32_t), "frame"))
+        return err();
     for (std::uint32_t i = 0; i < frame_count; ++i) {
-        const FrameId f = sym.internFrame(getString(in));
-        if (f != i)
-            TL_FATAL("corpus contains duplicate frame entries");
+        std::string_view name;
+        if (!cur.stringView(name, "frame name"))
+            return err();
+        if (sym.internFrame(name) != i) {
+            cur.fail("corpus contains duplicate frame entries");
+            return err();
+        }
     }
 
-    const std::uint32_t stack_count = getU32(in);
+    std::uint32_t stack_count = 0;
+    if (!cur.count(stack_count, sizeof(std::uint32_t), "stack"))
+        return err();
+    std::vector<FrameId> frames;
     for (std::uint32_t i = 0; i < stack_count; ++i) {
-        const std::uint32_t len = getU32(in);
-        std::vector<FrameId> frames(len);
+        std::uint32_t len = 0;
+        if (!cur.count(len, sizeof(FrameId), "stack frame"))
+            return err();
+        frames.resize(len);
         for (auto &f : frames) {
-            f = getU32(in);
-            if (f >= frame_count)
-                TL_FATAL("corpus stack references unknown frame");
+            if (!cur.u32(f, "stack frame id"))
+                return err();
+            if (f >= frame_count) {
+                cur.fail("corpus stack references unknown frame");
+                return err();
+            }
         }
-        const CallstackId s = sym.internStack(frames);
-        if (s != i)
-            TL_FATAL("corpus contains duplicate stack entries");
+        if (sym.internStack(frames) != i) {
+            cur.fail("corpus contains duplicate stack entries");
+            return err();
+        }
     }
 
-    const std::uint32_t scenario_count = getU32(in);
+    std::uint32_t scenario_count = 0;
+    if (!cur.count(scenario_count, sizeof(std::uint32_t), "scenario"))
+        return err();
     for (std::uint32_t i = 0; i < scenario_count; ++i) {
-        if (corpus.internScenario(getString(in)) != i)
-            TL_FATAL("corpus contains duplicate scenario names");
+        std::string_view name;
+        if (!cur.stringView(name, "scenario name"))
+            return err();
+        if (corpus.internScenario(name) != i) {
+            cur.fail("corpus contains duplicate scenario names");
+            return err();
+        }
     }
 
-    const std::uint32_t stream_count = getU32(in);
+    std::uint32_t stream_count = 0;
+    if (!cur.count(stream_count, sizeof(std::uint32_t), "stream"))
+        return err();
     for (std::uint32_t i = 0; i < stream_count; ++i) {
-        const std::uint32_t index = corpus.addStream(getString(in));
+        std::string_view name;
+        if (!cur.stringView(name, "stream name"))
+            return err();
+        const std::uint32_t index = corpus.addStream(std::string(name));
         TraceStream &stream = corpus.stream(index);
-        const std::uint32_t tag_count = getU32(in);
+        std::uint32_t tag_count = 0;
+        if (!cur.count(tag_count, 2 * sizeof(std::uint32_t),
+                       "stream tag"))
+            return err();
         for (std::uint32_t t = 0; t < tag_count; ++t) {
-            std::string key = getString(in);
-            stream.tags.emplace(std::move(key), getString(in));
+            std::string_view key, value;
+            if (!cur.stringView(key, "tag key") ||
+                !cur.stringView(value, "tag value"))
+                return err();
+            stream.tags.emplace(std::string(key), std::string(value));
         }
-        const std::uint32_t event_count = getU32(in);
+        std::uint32_t event_count = 0;
+        if (!cur.count(event_count, kEventRecordBytes, "event"))
+            return err();
+        TimeNs prev_ts = std::numeric_limits<TimeNs>::min();
         for (std::uint32_t j = 0; j < event_count; ++j) {
             Event e;
-            e.timestamp = getI64(in);
-            e.cost = getI64(in);
-            e.tid = getU32(in);
-            e.wtid = getU32(in);
-            e.stack = getU32(in);
-            const std::uint32_t type = getU32(in);
+            std::uint32_t type = 0;
+            if (!cur.i64(e.timestamp, "event timestamp") ||
+                !cur.i64(e.cost, "event cost") ||
+                !cur.u32(e.tid, "event tid") ||
+                !cur.u32(e.wtid, "event wtid") ||
+                !cur.u32(e.stack, "event stack") ||
+                !cur.u32(type, "event type"))
+                return err();
             if (type > static_cast<std::uint32_t>(
                            EventType::HardwareService)) {
-                TL_FATAL("corpus event has invalid type ", type);
+                cur.fail(detail::concat(
+                    "corpus event has invalid type ", type));
+                return err();
             }
             e.type = static_cast<EventType>(type);
-            if (e.stack != kNoCallstack && e.stack >= stack_count)
-                TL_FATAL("corpus event references unknown stack");
+            if (e.stack != kNoCallstack && e.stack >= stack_count) {
+                cur.fail("corpus event references unknown stack");
+                return err();
+            }
+            if (e.timestamp < prev_ts) {
+                cur.fail("corpus events out of time order");
+                return err();
+            }
+            prev_ts = e.timestamp;
             stream.append(e);
         }
     }
 
-    const std::uint32_t instance_count = getU32(in);
+    std::uint32_t instance_count = 0;
+    if (!cur.count(instance_count, kInstanceRecordBytes, "instance"))
+        return err();
     for (std::uint32_t i = 0; i < instance_count; ++i) {
         ScenarioInstance inst;
-        inst.stream = getU32(in);
-        inst.scenario = getU32(in);
-        inst.tid = getU32(in);
-        inst.t0 = getI64(in);
-        inst.t1 = getI64(in);
-        if (inst.scenario >= scenario_count)
-            TL_FATAL("corpus instance references unknown scenario");
+        if (!cur.u32(inst.stream, "instance stream") ||
+            !cur.u32(inst.scenario, "instance scenario") ||
+            !cur.u32(inst.tid, "instance tid") ||
+            !cur.i64(inst.t0, "instance t0") ||
+            !cur.i64(inst.t1, "instance t1"))
+            return err();
+        if (inst.scenario >= scenario_count) {
+            cur.fail("corpus instance references unknown scenario");
+            return err();
+        }
+        if (inst.stream >= stream_count) {
+            cur.fail("corpus instance references unknown stream");
+            return err();
+        }
+        if (inst.t1 < inst.t0) {
+            cur.fail("corpus instance window inverted");
+            return err();
+        }
         corpus.addInstance(inst);
     }
 
     return corpus;
 }
 
+Expected<TraceCorpus>
+readCorpusFileChecked(const std::string &path)
+{
+    Expected<std::vector<std::byte>> bytes = slurpFile(path);
+    if (!bytes)
+        return bytes.error();
+    return parseCorpus(bytes.value(), path);
+}
+
+TraceCorpus
+readCorpus(std::istream &in)
+{
+    std::vector<std::byte> bytes;
+    char chunk[64 * 1024];
+    while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+        const auto *p = reinterpret_cast<const std::byte *>(chunk);
+        bytes.insert(bytes.end(), p, p + in.gcount());
+    }
+    return parseCorpus(bytes, "<stream>").valueOrFatal();
+}
+
 TraceCorpus
 readCorpusFile(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        TL_FATAL("cannot open '", path, "' for reading");
-    return readCorpus(in);
+    return readCorpusFileChecked(path).valueOrFatal();
 }
 
 std::string

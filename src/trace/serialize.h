@@ -16,15 +16,28 @@
  * Ids are assigned first-seen densely, so writing in id order and
  * re-interning in read order reproduces identical ids; round-trips are
  * bit-exact (validated by tests).
+ *
+ * Decoding is built on one bounds-checked buffer parser, parseCorpus():
+ * every count, length, and id on disk is validated against the actual
+ * buffer size before use, so truncated or hostile files produce a
+ * SourceError (file, byte offset, reason) instead of reading past the
+ * end. The legacy readCorpus() / readCorpusFile() entry points keep their
+ * fatal-on-bad-input contract by rendering that error into TL_FATAL;
+ * the streaming ingestion layer (src/trace/source.h) uses the checked
+ * variants and skips bad shards instead.
  */
 
 #ifndef TRACELENS_TRACE_SERIALIZE_H
 #define TRACELENS_TRACE_SERIALIZE_H
 
+#include <cstddef>
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "src/trace/stream.h"
+#include "src/util/expected.h"
 
 namespace tracelens
 {
@@ -34,6 +47,32 @@ void writeCorpus(const TraceCorpus &corpus, std::ostream &out);
 
 /** Serialize @p corpus to the file at @p path (fatal on I/O failure). */
 void writeCorpusFile(const TraceCorpus &corpus, const std::string &path);
+
+/**
+ * Split @p corpus into @p shards parts (see splitCorpus) and write
+ * them as "shard-NNNN.tlc" files under @p dir (created if missing).
+ * Returns the written paths in shard order. Fatal on I/O failure.
+ */
+std::vector<std::string> writeShardedCorpusDir(const TraceCorpus &corpus,
+                                               const std::string &dir,
+                                               std::size_t shards);
+
+/**
+ * Decode a corpus from an in-memory TLC1 image with full bounds
+ * checking; @p file names the origin in any SourceError. The returned
+ * corpus owns all its data — @p bytes may be released afterwards —
+ * but decoding itself is zero-copy: strings are interned straight from
+ * views into the buffer and packed records are decoded in place, which
+ * is what makes the mmap path fast.
+ */
+Expected<TraceCorpus> parseCorpus(std::span<const std::byte> bytes,
+                                  const std::string &file = "<memory>");
+
+/**
+ * Read and decode a corpus file, reporting failures (including open /
+ * read errors) as a SourceError instead of exiting.
+ */
+Expected<TraceCorpus> readCorpusFileChecked(const std::string &path);
 
 /**
  * Deserialize a corpus from a binary istream.

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "src/trace/source.h"
+
 namespace tracelens
 {
 
@@ -17,7 +19,8 @@ ValidationReport::clean() const
 {
     return unpairedWaits == 0 && strayUnwaits == 0 &&
            stacklessEvents == 0 && overrunInstances == 0 &&
-           selfUnwaits == 0;
+           selfUnwaits == 0 && skippedShards == 0 &&
+           loadErrors.empty();
 }
 
 std::string
@@ -31,6 +34,10 @@ ValidationReport::render() const
         << " stacklessEvents=" << stacklessEvents
         << " overrunInstances=" << overrunInstances
         << " selfUnwaits=" << selfUnwaits;
+    if (skippedShards > 0)
+        oss << " skippedShards=" << skippedShards;
+    for (const std::string &error : loadErrors)
+        oss << "\nload error: " << error;
     return oss.str();
 }
 
@@ -79,6 +86,33 @@ validateCorpus(const TraceCorpus &corpus)
     }
 
     return report;
+}
+
+ValidationReport
+validateSource(TraceSource &source)
+{
+    ValidationReport total;
+    for (std::size_t i = 0; i < source.shardCount(); ++i) {
+        Expected<CorpusPtr> shard = source.shard(i);
+        if (!shard) {
+            total.skippedShards++;
+            total.loadErrors.push_back(shard.error().render());
+            continue;
+        }
+        // Streams and instances never cross shard boundaries, so
+        // validating shard by shard counts exactly what validating
+        // the merged corpus would.
+        const ValidationReport part = validateCorpus(*shard.value());
+        total.streams += part.streams;
+        total.events += part.events;
+        total.instances += part.instances;
+        total.unpairedWaits += part.unpairedWaits;
+        total.strayUnwaits += part.strayUnwaits;
+        total.stacklessEvents += part.stacklessEvents;
+        total.overrunInstances += part.overrunInstances;
+        total.selfUnwaits += part.selfUnwaits;
+    }
+    return total;
 }
 
 } // namespace tracelens

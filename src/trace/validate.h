@@ -12,11 +12,14 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "src/trace/stream.h"
 
 namespace tracelens
 {
+
+class TraceSource;
 
 /** Counters produced by validateCorpus(). */
 struct ValidationReport
@@ -36,15 +39,30 @@ struct ValidationReport
     /** Unwait events that target the emitting thread itself. */
     std::size_t selfUnwaits = 0;
 
+    /** Shard files that could not be ingested at all. */
+    std::size_t skippedShards = 0;
+    /** Rendered SourceError per skipped shard (file, offset, reason),
+     *  so load failures surface in the same report as structural
+     *  defects instead of via ad-hoc exception text. */
+    std::vector<std::string> loadErrors;
+
     /** True when no defects were found. */
     bool clean() const;
 
-    /** One-line-per-counter rendering. */
+    /** One-line-per-counter rendering (plus any load errors). */
     std::string render() const;
 };
 
 /** Validate every stream and instance of @p corpus. */
 ValidationReport validateCorpus(const TraceCorpus &corpus);
+
+/**
+ * Validate a whole source shard by shard. Streams each shard through
+ * TraceSource::shard() — on the mmap path memory stays bounded by the
+ * source's cache budget instead of the corpus size — and folds
+ * corrupt-shard errors into the report's loadErrors.
+ */
+ValidationReport validateSource(TraceSource &source);
 
 } // namespace tracelens
 

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 
+#include "src/trace/merge.h"
 #include "src/util/logging.h"
 
 namespace tracelens
@@ -144,6 +145,17 @@ generateCorpus(const CorpusSpec &spec)
     for (std::uint32_t m = 0; m < spec.machines; ++m)
         generateMachine(corpus, spec, m, rng);
     return corpus;
+}
+
+std::vector<TraceCorpus>
+generateShardedCorpus(const CorpusSpec &spec, std::size_t shards)
+{
+    // Generate the fleet once, then slice it into contiguous machine
+    // blocks, so the sharded fleet is the exact same workload as the
+    // monolithic one — only the storage layout differs. Each shard
+    // gets its own self-contained (re-interned) symbol table, like
+    // per-site trace collections in the field.
+    return splitCorpus(generateCorpus(spec), shards);
 }
 
 } // namespace tracelens

@@ -49,6 +49,15 @@ struct CorpusSpec
 TraceCorpus generateCorpus(const CorpusSpec &spec);
 
 /**
+ * Generate the same fleet as generateCorpus(spec), sliced into
+ * @p shards self-contained corpora of contiguous machine blocks —
+ * the multi-file layout the streaming ingestion layer
+ * (src/trace/source.h) consumes. Deterministic in spec.seed.
+ */
+std::vector<TraceCorpus> generateShardedCorpus(const CorpusSpec &spec,
+                                               std::size_t shards);
+
+/**
  * Generate a single machine's stream into @p corpus with explicit
  * parameters (used by tests and focused benches).
  */

@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Tests for the streaming ingestion layer (src/trace/source.h): eager
+ * vs mmap equivalence, the byte-budget LRU shard cache, corrupt-shard
+ * isolation, and hostile-input robustness of the bounds-checked
+ * parser.
+ */
+
+#include <cstddef>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/analyzer.h"
+#include "src/core/report.h"
+#include "src/trace/builder.h"
+#include "src/trace/mmapreader.h"
+#include "src/trace/serialize.h"
+#include "src/trace/source.h"
+#include "src/trace/validate.h"
+#include "src/workload/generator.h"
+#include "src/workload/scenarios.h"
+
+namespace tracelens
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Fresh scratch directory under /tmp, removed on destruction. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &name)
+        : path_(fs::temp_directory_path() /
+                ("tracelens_source_test_" + name))
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~ScratchDir() { fs::remove_all(path_); }
+
+    const fs::path &path() const { return path_; }
+    std::string str() const { return path_.string(); }
+    std::string file(const std::string &name) const
+    {
+        return (path_ / name).string();
+    }
+
+  private:
+    fs::path path_;
+};
+
+CorpusSpec
+smallSpec()
+{
+    CorpusSpec spec;
+    spec.machines = 10;
+    spec.seed = 777;
+    return spec;
+}
+
+/** Thresholds for every catalog scenario present in @p corpus. */
+std::vector<ScenarioThresholds>
+catalogThresholds(const TraceCorpus &corpus)
+{
+    std::vector<ScenarioThresholds> scenarios;
+    for (const ScenarioSpec &spec : scenarioCatalog()) {
+        if (spec.selected &&
+            corpus.findScenario(spec.name) != UINT32_MAX)
+            scenarios.push_back({spec.name, spec.tFast, spec.tSlow});
+    }
+    return scenarios;
+}
+
+/** The full analysis report a source yields — the equivalence probe. */
+std::string
+reportFor(TraceSource &source)
+{
+    Analyzer analyzer(source);
+    return buildReport(analyzer, catalogThresholds(analyzer.corpus()));
+}
+
+/** A tiny hand-built corpus serialized to bytes (for fuzz loops). */
+std::vector<std::byte>
+tinyCorpusBytes()
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "machine-x");
+    const CallstackId app = b.stack({"app!Main", "fs.sys!Read"});
+    const CallstackId drv = b.stack({"se.sys!Decrypt"});
+    b.running(1, 0, 100, app);
+    b.wait(1, 100, app);
+    b.running(2, 100, 50, drv);
+    b.unwait(2, 150, 1, drv);
+    b.running(1, 150, 30, app);
+    b.instance("S", 1, 0, 200);
+    b.finish();
+
+    std::ostringstream oss;
+    writeCorpus(corpus, oss);
+    const std::string raw = oss.str();
+    std::vector<std::byte> bytes(raw.size());
+    std::memcpy(bytes.data(), raw.data(), raw.size());
+    return bytes;
+}
+
+// ------------------------------------------------- eager/mmap equivalence
+
+TEST(Source, EagerAndMmapReportsAreIdentical)
+{
+    const ScratchDir dir("equiv");
+    const TraceCorpus corpus = generateCorpus(smallSpec());
+
+    const std::string single = dir.file("corpus.tlc");
+    writeCorpusFile(corpus, single);
+    const std::string sharded = dir.file("shards");
+    writeShardedCorpusDir(corpus, sharded, 4);
+
+    // Reference: the in-memory corpus through the legacy wrapper. A
+    // serialized round-trip reproduces interning order, so the
+    // single-file reports must equal this byte for byte. The sharded
+    // layout re-interns symbols per shard (different ids, same
+    // semantics), so it gets its own reference; eager and mmap must
+    // still agree byte for byte within the layout.
+    EagerSource reference(corpus);
+    const std::string expected = reportFor(reference);
+    ASSERT_FALSE(expected.empty());
+
+    SourceOptions eager_opts, mmap_opts;
+    mmap_opts.useMmap = true;
+    for (const std::string &path : {single, sharded}) {
+        std::vector<std::string> reports;
+        for (const SourceOptions &opts : {eager_opts, mmap_opts}) {
+            auto source = openSource(path, opts);
+            ASSERT_TRUE(source.ok()) << source.error().render();
+            reports.push_back(reportFor(*source.value()));
+            EXPECT_EQ(source.value()->stats().skippedShards, 0u);
+        }
+        EXPECT_EQ(reports[0], reports[1]) << "eager != mmap: " << path;
+        if (path == single) {
+            EXPECT_EQ(reports[0], expected);
+        }
+    }
+}
+
+TEST(Source, ShardSummariesMatchBetweenPaths)
+{
+    const ScratchDir dir("summaries");
+    const std::string sharded = dir.file("shards");
+    writeShardedCorpusDir(generateCorpus(smallSpec()), sharded, 5);
+
+    SourceOptions mmap_opts;
+    mmap_opts.useMmap = true;
+    auto eager = openSource(sharded);
+    auto mapped = openSource(sharded, mmap_opts);
+    ASSERT_TRUE(eager.ok() && mapped.ok());
+    ASSERT_EQ(eager.value()->shardCount(), mapped.value()->shardCount());
+
+    for (std::size_t i = 0; i < eager.value()->shardCount(); ++i) {
+        auto a = eager.value()->summarize(i);
+        auto b = mapped.value()->summarize(i);
+        ASSERT_TRUE(a.ok() && b.ok());
+        EXPECT_EQ(a.value().path, b.value().path);
+        EXPECT_EQ(a.value().fileBytes, b.value().fileBytes);
+        EXPECT_EQ(a.value().events, b.value().events);
+        EXPECT_EQ(a.value().scenarios, b.value().scenarios);
+        ASSERT_EQ(a.value().instances.size(), b.value().instances.size());
+        for (std::size_t j = 0; j < a.value().instances.size(); ++j) {
+            EXPECT_EQ(a.value().instances[j].scenario,
+                      b.value().instances[j].scenario);
+            EXPECT_EQ(a.value().instances[j].t0,
+                      b.value().instances[j].t0);
+            EXPECT_EQ(a.value().instances[j].t1,
+                      b.value().instances[j].t1);
+        }
+    }
+}
+
+TEST(Source, ShardedDirectoryEqualsMonolithicFile)
+{
+    // The sharded layout must analyze identically to the single file
+    // it was split from (lazy re-interning in appendCorpusStreams).
+    const ScratchDir dir("split");
+    const TraceCorpus corpus = generateCorpus(smallSpec());
+    const std::string sharded = dir.file("shards");
+    writeShardedCorpusDir(corpus, sharded, 3);
+
+    auto source = openSource(sharded);
+    ASSERT_TRUE(source.ok());
+    const TraceCorpus &merged = source.value()->corpus();
+    EXPECT_EQ(merged.streamCount(), corpus.streamCount());
+    EXPECT_EQ(merged.totalEvents(), corpus.totalEvents());
+    EXPECT_EQ(merged.instances().size(), corpus.instances().size());
+
+    const ImpactResult a = Analyzer(corpus).impactAll();
+    const ImpactResult b = Analyzer(*source.value()).impactAll();
+    EXPECT_EQ(a.dScn, b.dScn);
+    EXPECT_EQ(a.dWait, b.dWait);
+    EXPECT_EQ(a.dRun, b.dRun);
+    EXPECT_EQ(a.dWaitDist, b.dWaitDist);
+}
+
+// ----------------------------------------------------------- LRU cache
+
+TEST(Source, CacheEvictsUnderTinyBudgetAndStaysCorrect)
+{
+    const ScratchDir dir("cache");
+    const std::string sharded = dir.file("shards");
+    writeShardedCorpusDir(generateCorpus(smallSpec()), sharded, 5);
+
+    SourceOptions opts;
+    opts.useMmap = true;
+    opts.cacheBytes = 1; // every shard overflows the budget
+    auto opened = openSource(sharded, opts);
+    ASSERT_TRUE(opened.ok());
+    TraceSource &source = *opened.value();
+
+    // Handles taken before evictions must stay valid throughout.
+    auto first = source.shard(0);
+    ASSERT_TRUE(first.ok());
+    const std::uint64_t first_events = first.value()->totalEvents();
+    EXPECT_GT(first_events, 0u);
+
+    std::vector<std::uint64_t> events(source.shardCount());
+    for (std::size_t i = 0; i < source.shardCount(); ++i) {
+        auto shard = source.shard(i);
+        ASSERT_TRUE(shard.ok());
+        events[i] = shard.value()->totalEvents();
+    }
+    EXPECT_GT(source.stats().cacheEvictions, 0u);
+    EXPECT_LE(source.stats().residentBytes, estimateCorpusBytes(
+                                                *first.value()) *
+                                                source.shardCount());
+
+    // Re-materializing an evicted shard reproduces the same contents.
+    for (std::size_t i = 0; i < source.shardCount(); ++i) {
+        auto shard = source.shard(i);
+        ASSERT_TRUE(shard.ok());
+        EXPECT_EQ(shard.value()->totalEvents(), events[i]);
+    }
+    EXPECT_EQ(first.value()->totalEvents(), first_events);
+}
+
+TEST(Source, MostRecentShardSurvivesOversizedBudget)
+{
+    const ScratchDir dir("mru");
+    const std::string sharded = dir.file("shards");
+    writeShardedCorpusDir(generateCorpus(smallSpec()), sharded, 2);
+
+    SourceOptions opts;
+    opts.useMmap = true;
+    opts.cacheBytes = 1;
+    auto opened = openSource(sharded, opts);
+    ASSERT_TRUE(opened.ok());
+    TraceSource &source = *opened.value();
+
+    ASSERT_TRUE(source.shard(0).ok());
+    const std::size_t misses = source.stats().cacheMisses;
+    ASSERT_TRUE(source.shard(0).ok()); // MRU kept despite the budget
+    EXPECT_EQ(source.stats().cacheMisses, misses);
+    EXPECT_GT(source.stats().cacheHits, 0u);
+}
+
+// ----------------------------------------------------- error isolation
+
+TEST(Source, CorruptShardIsSkippedAndReported)
+{
+    const ScratchDir dir("corrupt");
+    const std::string sharded = dir.file("shards");
+    const auto paths =
+        writeShardedCorpusDir(generateCorpus(smallSpec()), sharded, 4);
+    ASSERT_EQ(paths.size(), 4u);
+
+    // Tally the instances the healthy shards contribute.
+    std::size_t good_instances = 0;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        if (i == 2)
+            continue;
+        auto part = readCorpusFileChecked(paths[i]);
+        ASSERT_TRUE(part.ok());
+        good_instances += part.value().instances().size();
+    }
+
+    // Wreck shard 2: keep the magic, garbage after it.
+    {
+        std::ofstream out(paths[2], std::ios::binary | std::ios::trunc);
+        out << "TLC1 this is not a corpus";
+    }
+
+    SourceOptions eager_opts, mmap_opts;
+    mmap_opts.useMmap = true;
+    for (const SourceOptions &opts : {eager_opts, mmap_opts}) {
+        auto opened = openSource(sharded, opts);
+        ASSERT_TRUE(opened.ok());
+        TraceSource &source = *opened.value();
+
+        const TraceCorpus &merged = source.corpus(); // never fatal
+        EXPECT_EQ(merged.instances().size(), good_instances);
+
+        const IngestStats &stats = source.stats();
+        EXPECT_EQ(stats.shards, 4u);
+        EXPECT_EQ(stats.loadedShards, 3u);
+        EXPECT_EQ(stats.skippedShards, 1u);
+        ASSERT_EQ(stats.errors.size(), 1u);
+        EXPECT_NE(stats.errors[0].file.find("shard-0002"),
+                  std::string::npos);
+        EXPECT_FALSE(stats.errors[0].reason.empty());
+        EXPECT_FALSE(source.summarize(2).ok());
+        EXPECT_FALSE(source.shard(2).ok());
+        // Repeated access must not double-count the skip.
+        EXPECT_EQ(source.stats().skippedShards, 1u);
+
+        const ValidationReport report = validateSource(source);
+        EXPECT_EQ(report.skippedShards, 1u);
+        EXPECT_FALSE(report.clean());
+        EXPECT_NE(report.render().find("load error"),
+                  std::string::npos);
+    }
+}
+
+TEST(Source, OpenSourceRejectsMissingAndEmptyPaths)
+{
+    const ScratchDir dir("open");
+    EXPECT_FALSE(openSource(dir.file("nope.tlc")).ok());
+    // A directory with no *.tlc shards is an error up front.
+    fs::create_directories(dir.file("empty"));
+    auto empty = openSource(dir.file("empty"));
+    ASSERT_FALSE(empty.ok());
+    EXPECT_NE(empty.error().reason.find("no"), std::string::npos);
+}
+
+// ------------------------------------------------- hostile-input fuzzing
+
+TEST(Source, ParseCorpusSurvivesEveryTruncation)
+{
+    const std::vector<std::byte> bytes = tinyCorpusBytes();
+    ASSERT_TRUE(
+        parseCorpus({bytes.data(), bytes.size()}, "full").ok());
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        auto result = parseCorpus({bytes.data(), len}, "trunc");
+        EXPECT_FALSE(result.ok()) << "prefix of " << len << " bytes";
+        EXPECT_LE(result.error().offset, len);
+    }
+}
+
+TEST(Source, ParseCorpusSurvivesEveryByteFlip)
+{
+    const std::vector<std::byte> bytes = tinyCorpusBytes();
+    std::size_t rejected = 0;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        std::vector<std::byte> mutated = bytes;
+        mutated[i] ^= std::byte{0xFF};
+        // Must either reject cleanly or decode something; never crash
+        // or read out of bounds (the ASan preset checks the latter).
+        auto result =
+            parseCorpus({mutated.data(), mutated.size()}, "flip");
+        if (!result.ok())
+            ++rejected;
+    }
+    EXPECT_GT(rejected, 0u);
+}
+
+TEST(Source, ParseCorpusRejectsImpossibleCounts)
+{
+    // A frame count of 0xFFFFFFFF cannot fit in the file; the parser
+    // must reject it up front instead of attempting the allocation.
+    std::vector<std::byte> bytes = tinyCorpusBytes();
+    const std::size_t frame_count_at = 8; // magic + version
+    ASSERT_GE(bytes.size(), frame_count_at + 4);
+    std::memset(bytes.data() + frame_count_at, 0xFF, 4);
+    auto result = parseCorpus({bytes.data(), bytes.size()}, "huge");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().reason.find("corpus"), std::string::npos);
+}
+
+TEST(Source, MmapReaderRejectsCorruptFilesCleanly)
+{
+    const ScratchDir dir("reader");
+    const std::vector<std::byte> bytes = tinyCorpusBytes();
+    for (std::size_t len = 0; len < bytes.size(); len += 7) {
+        const std::string path = dir.file("t.tlc");
+        std::ofstream(path, std::ios::binary | std::ios::trunc)
+            .write(reinterpret_cast<const char *>(bytes.data()),
+                   static_cast<std::streamsize>(len));
+        auto reader = MmapReader::open(path);
+        EXPECT_FALSE(reader.ok()) << "prefix of " << len << " bytes";
+    }
+}
+
+TEST(Source, LegacyAnalyzerConstructorStillWorks)
+{
+    // The compatibility path: corpus in, identical results out.
+    const TraceCorpus corpus = generateCorpus(smallSpec());
+    Analyzer legacy(corpus);
+    EagerSource source(corpus);
+    Analyzer current(source);
+    EXPECT_EQ(legacy.impactAll().dWait, current.impactAll().dWait);
+    EXPECT_EQ(&current.source(), &source);
+}
+
+} // namespace
+} // namespace tracelens

@@ -3,19 +3,30 @@
  * tracelens — command-line front end for the TraceLens pipeline.
  *
  * Subcommands:
- *   generate   --out FILE [--machines N] [--seed S] [--scenario NAME]
- *              Synthesize a corpus and write the binary corpus file.
- *   validate   FILE
- *              Structural validation report.
- *   impact     FILE [--components GLOB]...
+ *   generate   --out PATH [--machines N] [--seed S] [--scenario NAME]
+ *              [--shards N]
+ *              Synthesize a corpus; write one corpus file, or with
+ *              --shards > 1 a directory of shard files.
+ *   ingest     PATH [--mmap] [--cache-bytes N]
+ *              Streaming ingestion summary (per-scenario instance
+ *              counts/durations) plus throughput and cache stats —
+ *              on the mmap path without materializing symbol tables.
+ *   validate   PATH
+ *              Structural validation report (shard by shard).
+ *   impact     PATH [--components GLOB]...
  *              Corpus-wide + per-scenario impact analysis.
- *   analyze    FILE --scenario NAME [--tfast MS] [--tslow MS]
+ *   analyze    PATH --scenario NAME [--tfast MS] [--tslow MS]
  *              [--top N] [--no-knowledge-filter]
  *              Causality analysis with ranked patterns.
- *   dump       FILE [--stream N] [--max N]
+ *   dump       PATH [--stream N] [--max N]
  *              Human-readable event dump of one stream.
- *   export-csv FILE --events OUT --instances OUT
+ *   export-csv PATH --events OUT --instances OUT
  *   import-csv --events IN --instances IN --out FILE
+ *
+ * Every PATH that names a corpus accepts either a single .tlc file or
+ * a directory of shards, and takes --mmap (zero-copy mmap ingestion)
+ * and --cache-bytes N (shard-cache budget); corrupt shards inside a
+ * directory are reported and skipped, never fatal.
  */
 
 #include <charconv>
@@ -26,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "src/core/analyzer.h"
 #include "src/core/htmlreport.h"
 #include "src/core/report.h"
@@ -34,6 +47,7 @@
 #include "src/mining/knowledge.h"
 #include "src/trace/csv.h"
 #include "src/trace/serialize.h"
+#include "src/trace/source.h"
 #include "src/trace/validate.h"
 #include "src/util/logging.h"
 #include "src/util/table.h"
@@ -104,27 +118,92 @@ usage()
 {
     std::cerr
         << "usage:\n"
-           "  tracelens generate --out FILE [--machines N] [--seed S]"
-           " [--scenario NAME]\n"
-           "  tracelens validate FILE\n"
-           "  tracelens impact FILE [--components GLOB]..."
+           "  tracelens generate --out PATH [--machines N] [--seed S]"
+           " [--scenario NAME] [--shards N]\n"
+           "  tracelens ingest PATH\n"
+           "  tracelens validate PATH\n"
+           "  tracelens impact PATH [--components GLOB]..."
            " [--threads N]\n"
-           "  tracelens analyze FILE --scenario NAME [--tfast MS]"
+           "  tracelens analyze PATH --scenario NAME [--tfast MS]"
            " [--tslow MS] [--top N] [--no-knowledge-filter]"
            " [--threads N]\n"
-           "  tracelens thresholds FILE [--scenario NAME]\n"
-           "  tracelens report FILE [--top N] [--html OUT]"
+           "  tracelens thresholds PATH [--scenario NAME]\n"
+           "  tracelens report PATH [--top N] [--html OUT]"
            " [--no-knowledge-filter] [--threads N]\n"
            "  tracelens diff BEFORE AFTER --scenario NAME"
            " [--tfast MS] [--tslow MS] [--threads N]\n"
-           "  tracelens dump FILE [--stream N] [--max N]\n"
-           "  tracelens export-csv FILE --events OUT --instances OUT\n"
+           "  tracelens dump PATH [--stream N] [--max N]\n"
+           "  tracelens export-csv PATH --events OUT --instances OUT\n"
            "  tracelens import-csv --events IN --instances IN --out "
            "FILE\n"
-           "\n--threads 0 (default) uses every hardware thread; 1 "
-           "runs serially.\nAnalysis results are identical for every "
-           "thread count.\n";
+           "\nPATH is a .tlc corpus file or a directory of shards; "
+           "corpus-reading\ncommands accept --mmap (zero-copy "
+           "ingestion) and --cache-bytes N\n(shard-cache budget, "
+           "suffixes k/m/g).\n--threads 0 (default) uses every "
+           "hardware thread; 1 runs serially.\nAnalysis results are "
+           "identical for every thread count and for every\n"
+           "ingestion path.\n";
     return 2;
+}
+
+/** Shared --mmap / --cache-bytes ingestion flags. */
+SourceOptions
+sourceOptionsFlag(const Args &args)
+{
+    SourceOptions options;
+    options.useMmap = args.has("mmap");
+    if (auto v = args.flag("cache-bytes")) {
+        std::size_t multiplier = 1;
+        std::string digits = *v;
+        if (!digits.empty()) {
+            switch (digits.back()) {
+              case 'k': case 'K': multiplier = 1ull << 10; break;
+              case 'm': case 'M': multiplier = 1ull << 20; break;
+              case 'g': case 'G': multiplier = 1ull << 30; break;
+              default: break;
+            }
+            if (multiplier != 1)
+                digits.pop_back();
+        }
+        std::size_t value = 0;
+        const auto [ptr, ec] = std::from_chars(
+            digits.data(), digits.data() + digits.size(), value);
+        if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+            TL_FATAL("--cache-bytes expects BYTES[k|m|g], got '",
+                     std::string(*v), "'");
+        }
+        options.cacheBytes = value * multiplier;
+    }
+    return options;
+}
+
+/** Open PATH as a TraceSource or die with the located error. */
+std::unique_ptr<TraceSource>
+openSourceOrDie(const std::string &path, const Args &args)
+{
+    Expected<std::unique_ptr<TraceSource>> source =
+        openSource(path, sourceOptionsFlag(args));
+    if (!source)
+        TL_FATAL(source.error().render());
+    return std::move(source.value());
+}
+
+/**
+ * Materialize the merged corpus. Corrupt shards are skipped with a
+ * warning; a source with no usable shard at all is fatal (the
+ * single-file case keeps its fail-loudly behavior).
+ */
+const TraceCorpus &
+loadCorpus(TraceSource &source)
+{
+    const TraceCorpus &corpus = source.corpus();
+    const IngestStats &stats = source.stats();
+    if (stats.shards > 0 && stats.loadedShards == 0) {
+        TL_FATAL(stats.errors.empty()
+                     ? "no usable shards in source"
+                     : stats.errors.front().render());
+    }
+    return corpus;
 }
 
 /** Shared --threads flag: 0 = all hardware threads (the default). */
@@ -159,7 +238,19 @@ cmdGenerate(const Args &args)
     for (const std::string &name : args.flagAll("scenario"))
         spec.onlyScenarios.push_back(name);
 
+    std::size_t shards = 1;
+    if (auto v = args.flag("shards"))
+        shards = std::stoul(*v);
+
     const TraceCorpus corpus = generateCorpus(spec);
+    if (shards > 1) {
+        const auto paths = writeShardedCorpusDir(corpus, *out, shards);
+        std::cout << "wrote " << corpus.streamCount() << " streams / "
+                  << corpus.instances().size() << " instances / "
+                  << corpus.totalEvents() << " events to "
+                  << paths.size() << " shards under " << *out << "\n";
+        return 0;
+    }
     writeCorpusFile(corpus, *out);
     std::cout << "wrote " << corpus.streamCount() << " streams / "
               << corpus.instances().size() << " instances / "
@@ -168,14 +259,72 @@ cmdGenerate(const Args &args)
 }
 
 int
+cmdIngest(const Args &args)
+{
+    if (args.positional().empty())
+        return usage();
+    const auto start = std::chrono::steady_clock::now();
+    const std::unique_ptr<TraceSource> source =
+        openSourceOrDie(args.positional()[0], args);
+
+    // Per-scenario instance tallies straight from shard summaries: on
+    // the mmap path this touches only instance records and scenario
+    // names — frames, stacks, and events stay unmaterialized.
+    std::map<std::string, std::pair<std::size_t, DurationNs>> scenarios;
+    std::uint64_t events = 0;
+    std::size_t instances = 0;
+    for (std::size_t i = 0; i < source->shardCount(); ++i) {
+        Expected<ShardSummary> summary = source->summarize(i);
+        if (!summary)
+            continue; // recorded in stats
+        events += summary.value().events;
+        instances += summary.value().instances.size();
+        for (const ScenarioInstance &inst : summary.value().instances) {
+            auto &[count, total] =
+                scenarios[summary.value().scenarios[inst.scenario]];
+            ++count;
+            total += inst.duration();
+        }
+    }
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+
+    const IngestStats &stats = source->stats();
+    std::cout << "source:   " << source->describe() << "\n"
+              << stats.render();
+    TextTable table({"Scenario", "Instances", "MeanMs"});
+    for (const auto &[name, entry] : scenarios) {
+        table.addRow({name, std::to_string(entry.first),
+                      TextTable::num(toMs(entry.second) /
+                                         static_cast<double>(
+                                             entry.first),
+                                     2)});
+    }
+    std::cout << table.render();
+    const double mb = static_cast<double>(stats.ingestBytes) /
+                      (1024.0 * 1024.0);
+    std::cout << instances << " instances / " << events << " events; "
+              << TextTable::num(mb, 1) << " MiB in "
+              << TextTable::num(ms, 1) << " ms ("
+              << TextTable::num(ms > 0.0 ? mb / (ms / 1000.0) : 0.0, 1)
+              << " MiB/s)\n";
+    return stats.skippedShards == 0 ? 0 : 1;
+}
+
+int
 cmdValidate(const Args &args)
 {
     if (args.positional().empty())
         return usage();
-    const TraceCorpus corpus = readCorpusFile(args.positional()[0]);
-    const ValidationReport report = validateCorpus(corpus);
+    const std::unique_ptr<TraceSource> source =
+        openSourceOrDie(args.positional()[0], args);
+    const ValidationReport report = validateSource(*source);
     std::cout << report.render() << "\n";
-    return report.strayUnwaits == 0 && report.selfUnwaits == 0 ? 0 : 1;
+    return report.strayUnwaits == 0 && report.selfUnwaits == 0 &&
+                   report.skippedShards == 0
+               ? 0
+               : 1;
 }
 
 int
@@ -183,14 +332,16 @@ cmdImpact(const Args &args)
 {
     if (args.positional().empty())
         return usage();
-    const TraceCorpus corpus = readCorpusFile(args.positional()[0]);
+    const std::unique_ptr<TraceSource> source =
+        openSourceOrDie(args.positional()[0], args);
+    const TraceCorpus &corpus = loadCorpus(*source);
 
     AnalyzerConfig config;
     config.threads = threadsFlag(args);
     const auto globs = args.flagAll("components");
     if (!globs.empty())
         config.components = globs;
-    Analyzer analyzer(corpus, config);
+    Analyzer analyzer(*source, config);
 
     std::cout << "components:";
     for (const auto &g : analyzer.components().patterns())
@@ -211,7 +362,9 @@ cmdAnalyze(const Args &args)
     const auto scenario = args.flag("scenario");
     if (args.positional().empty() || !scenario)
         return usage();
-    const TraceCorpus corpus = readCorpusFile(args.positional()[0]);
+    const std::unique_ptr<TraceSource> source =
+        openSourceOrDie(args.positional()[0], args);
+    const TraceCorpus &corpus = loadCorpus(*source);
 
     // Thresholds default to the catalog's when the scenario is known.
     DurationNs t_fast = 0, t_slow = 0;
@@ -232,7 +385,7 @@ cmdAnalyze(const Args &args)
 
     AnalyzerConfig config;
     config.threads = threadsFlag(args);
-    Analyzer analyzer(corpus, config);
+    Analyzer analyzer(*source, config);
     const ScenarioAnalysis analysis =
         analyzer.analyzeScenario(*scenario, t_fast, t_slow);
 
@@ -277,7 +430,9 @@ cmdThresholds(const Args &args)
 {
     if (args.positional().empty())
         return usage();
-    const TraceCorpus corpus = readCorpusFile(args.positional()[0]);
+    const std::unique_ptr<TraceSource> source =
+        openSourceOrDie(args.positional()[0], args);
+    const TraceCorpus &corpus = loadCorpus(*source);
     if (auto name = args.flag("scenario")) {
         std::cout << *name << ": "
                   << suggestThresholds(corpus, *name).render() << "\n";
@@ -295,10 +450,12 @@ cmdReport(const Args &args)
 {
     if (args.positional().empty())
         return usage();
-    const TraceCorpus corpus = readCorpusFile(args.positional()[0]);
+    const std::unique_ptr<TraceSource> source =
+        openSourceOrDie(args.positional()[0], args);
+    const TraceCorpus &corpus = loadCorpus(*source);
     AnalyzerConfig config;
     config.threads = threadsFlag(args);
-    Analyzer analyzer(corpus, config);
+    Analyzer analyzer(*source, config);
 
     std::vector<ScenarioThresholds> scenarios;
     for (const ScenarioSpec &spec : scenarioCatalog()) {
@@ -326,8 +483,12 @@ cmdDiff(const Args &args)
     const auto scenario = args.flag("scenario");
     if (args.positional().size() < 2 || !scenario)
         return usage();
-    const TraceCorpus before = readCorpusFile(args.positional()[0]);
-    const TraceCorpus after = readCorpusFile(args.positional()[1]);
+    const std::unique_ptr<TraceSource> source_before =
+        openSourceOrDie(args.positional()[0], args);
+    const std::unique_ptr<TraceSource> source_after =
+        openSourceOrDie(args.positional()[1], args);
+    const TraceCorpus &before = loadCorpus(*source_before);
+    const TraceCorpus &after = loadCorpus(*source_after);
 
     DurationNs t_fast = 0, t_slow = 0;
     for (const ScenarioSpec &spec : scenarioCatalog()) {
@@ -347,8 +508,8 @@ cmdDiff(const Args &args)
 
     AnalyzerConfig config;
     config.threads = threadsFlag(args);
-    Analyzer ana_before(before, config);
-    Analyzer ana_after(after, config);
+    Analyzer ana_before(*source_before, config);
+    Analyzer ana_after(*source_after, config);
     const ScenarioAnalysis rb =
         ana_before.analyzeScenario(*scenario, t_fast, t_slow);
     const ScenarioAnalysis ra =
@@ -365,7 +526,9 @@ cmdDump(const Args &args)
 {
     if (args.positional().empty())
         return usage();
-    const TraceCorpus corpus = readCorpusFile(args.positional()[0]);
+    const std::unique_ptr<TraceSource> source =
+        openSourceOrDie(args.positional()[0], args);
+    const TraceCorpus &corpus = loadCorpus(*source);
     std::uint32_t stream = 0;
     std::size_t max_events = 100;
     if (auto v = args.flag("stream"))
@@ -388,7 +551,9 @@ cmdExportCsv(const Args &args)
     const auto instances = args.flag("instances");
     if (args.positional().empty() || !events || !instances)
         return usage();
-    const TraceCorpus corpus = readCorpusFile(args.positional()[0]);
+    const std::unique_ptr<TraceSource> source =
+        openSourceOrDie(args.positional()[0], args);
+    const TraceCorpus &corpus = loadCorpus(*source);
     writeCorpusCsvFiles(corpus, *events, *instances);
     std::cout << "exported to " << *events << " + " << *instances
               << "\n";
@@ -423,6 +588,8 @@ main(int argc, char **argv)
 
     if (command == "generate")
         return cmdGenerate(args);
+    if (command == "ingest")
+        return cmdIngest(args);
     if (command == "validate")
         return cmdValidate(args);
     if (command == "impact")
