@@ -58,7 +58,8 @@ main(int argc, char **argv)
         for (std::uint32_t k = 1; k <= 7; ++k) {
             AnalyzerConfig config;
             config.maxSegmentLength = k;
-            Analyzer analyzer(corpus, config);
+            EagerSource analyzer_source(corpus);
+            Analyzer analyzer(analyzer_source, config);
             const auto start = std::chrono::steady_clock::now();
             const ScenarioAnalysis analysis = analyzer.analyzeScenario(
                 scn.name, scn.tFast, scn.tSlow);
@@ -85,7 +86,8 @@ main(int argc, char **argv)
         for (bool reduce : {true, false}) {
             AnalyzerConfig config;
             config.awg.reduceNonOptimizable = reduce;
-            Analyzer analyzer(corpus, config);
+            EagerSource analyzer_source(corpus);
+            Analyzer analyzer(analyzer_source, config);
             const ScenarioAnalysis analysis = analyzer.analyzeScenario(
                 scn.name, scn.tFast, scn.tSlow);
             table.addRow(
@@ -106,7 +108,8 @@ main(int argc, char **argv)
         for (bool gate : {true, false}) {
             AnalyzerConfig config;
             config.useMetaPatternGate = gate;
-            Analyzer analyzer(corpus, config);
+            EagerSource analyzer_source(corpus);
+            Analyzer analyzer(analyzer_source, config);
             const ScenarioAnalysis analysis = analyzer.analyzeScenario(
                 scn.name, scn.tFast, scn.tSlow);
             table.addRow(
@@ -188,7 +191,8 @@ main(int argc, char **argv)
         for (bool inner : {true, false}) {
             AnalyzerConfig config;
             config.awg.eliminateInnerIrrelevant = inner;
-            Analyzer analyzer(corpus, config);
+            EagerSource analyzer_source(corpus);
+            Analyzer analyzer(analyzer_source, config);
             const ScenarioAnalysis analysis = analyzer.analyzeScenario(
                 scn.name, scn.tFast, scn.tSlow);
             table.addRow(

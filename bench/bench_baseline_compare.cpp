@@ -66,7 +66,8 @@ main()
                          actEndInstance(), actPop()});
         sim.run();
     }
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+    Analyzer analyzer(analyzer_source);
     const ImpactResult impact = analyzer.impactAll();
     std::cout << "impact: " << impact.render() << "\n";
 

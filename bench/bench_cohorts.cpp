@@ -35,7 +35,8 @@ main(int argc, char **argv)
     std::cout << "== Environmental cohorts (impact split by machine "
                  "tags) ==\n";
     const TraceCorpus corpus = generateCorpus(spec);
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+    Analyzer analyzer(analyzer_source);
 
     for (const std::string tag :
          {"encrypted", "disk", "stressed", "diskProtection"}) {

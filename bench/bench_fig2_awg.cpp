@@ -38,7 +38,9 @@ main(int argc, char **argv)
     // aggregated path is present.
     buildMotivatingExample(corpus);
 
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+
+    Analyzer analyzer(analyzer_source);
     const ScenarioAnalysis analysis = analyzer.analyzeScenario(
         "BrowserTabCreate", fromMs(300), fromMs(500));
 

@@ -40,7 +40,9 @@ main(int argc, char **argv)
               << corpus.totalEvents() << " events\n";
     std::cout << "validation: " << validation.render() << "\n\n";
 
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+
+    Analyzer analyzer(analyzer_source);
     const ImpactResult impact = analyzer.impactAll();
 
     TextTable table({"Metric", "Paper", "Measured"});

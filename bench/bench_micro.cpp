@@ -121,7 +121,8 @@ BM_FullScenarioAnalysis(benchmark::State &state)
 {
     const TraceCorpus &corpus = sharedCorpus();
     for (auto _ : state) {
-        Analyzer analyzer(corpus);
+        EagerSource analyzer_source(corpus);
+        Analyzer analyzer(analyzer_source);
         const ScenarioAnalysis analysis = analyzer.analyzeScenario(
             "WebPageNavigation", fromMs(500), fromMs(1000));
         benchmark::DoNotOptimize(analysis.mining.patterns.size());

@@ -34,7 +34,8 @@ main(int argc, char **argv)
     std::cout << "== RQ3 case 1: MenuDisplay is network-bound ==\n";
     {
         const TraceCorpus corpus = generateCorpus(spec);
-        Analyzer analyzer(corpus);
+        EagerSource analyzer_source(corpus);
+        Analyzer analyzer(analyzer_source);
         const ScenarioSpec &scn = scenarioByName("MenuDisplay");
         const ScenarioAnalysis analysis = analyzer.analyzeScenario(
             scn.name, scn.tFast, scn.tSlow);

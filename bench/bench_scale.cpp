@@ -16,7 +16,8 @@
  *   BENCH_scale_scenario_speedup, BENCH_scale_pipeline_speedup,
  *   BENCH_scale_ingest_speedup
  * and writes the eager-vs-mmap ingestion comparison to
- * BENCH_ingest.json in the working directory.
+ * BENCH_ingest.json and the cold-vs-warm artifact-cache pipeline
+ * comparison to BENCH_pipeline.json in the working directory.
  */
 
 #include <chrono>
@@ -85,7 +86,8 @@ main(int argc, char **argv)
         const double gen_ms = msSince(gen_start);
 
         const auto analyze_start = std::chrono::steady_clock::now();
-        Analyzer analyzer(corpus);
+        EagerSource source(corpus);
+        Analyzer analyzer(source);
         const ImpactResult impact = analyzer.impactAll();
         const double analyze_ms = msSince(analyze_start);
 
@@ -167,7 +169,8 @@ main(int argc, char **argv)
     // both analyzers so the timing isolates the scenario stages).
     AnalyzerConfig serial_config;
     serial_config.threads = 1;
-    Analyzer serial_analyzer(corpus, serial_config);
+    EagerSource serial_source(corpus);
+    Analyzer serial_analyzer(serial_source, serial_config);
     serial_analyzer.graphs();
     const auto scn_serial_start = std::chrono::steady_clock::now();
     const auto serial_analyses =
@@ -176,7 +179,8 @@ main(int argc, char **argv)
 
     AnalyzerConfig parallel_config;
     parallel_config.threads = threads;
-    Analyzer parallel_analyzer(corpus, parallel_config);
+    EagerSource parallel_source(corpus);
+    Analyzer parallel_analyzer(parallel_source, parallel_config);
     parallel_analyzer.graphs();
     const auto scn_parallel_start = std::chrono::steady_clock::now();
     const auto parallel_analyses =
@@ -214,6 +218,104 @@ main(int argc, char **argv)
                  TextTable::num(
                      speedup(pipeline_serial, pipeline_parallel), 2)});
     std::cout << perf.render();
+
+    // ---- artifact cache: cold vs warm full pipeline ----------------
+    // The same corpus and scenario set analyzed twice through a disk
+    // artifact cache: the cold run computes and persists every
+    // wait-graph bundle and AWG, the warm run (a fresh Analyzer, as a
+    // new process would be) restores them and only recomputes the
+    // cheap memory-only stages.
+    const std::filesystem::path cache_dir =
+        std::filesystem::temp_directory_path() /
+        "tracelens_bench_artifact_cache";
+    std::filesystem::remove_all(cache_dir);
+
+    AnalyzerConfig cached_config;
+    cached_config.threads = threads;
+    cached_config.artifactCacheDir = cache_dir.string();
+
+    auto stageTotals = [](const PipelineStats &stats) {
+        StageStats total;
+        for (const StageStats &s : stats.stages) {
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.diskHits += s.diskHits;
+            total.diskWrites += s.diskWrites;
+            total.diskBytes += s.diskBytes;
+        }
+        return total;
+    };
+
+    double cold_ms = 0, warm_ms = 0;
+    StageStats cold_totals, warm_totals;
+    std::size_t cold_patterns = 0, warm_patterns = 0;
+    {
+        EagerSource source(corpus);
+        const auto start = std::chrono::steady_clock::now();
+        Analyzer analyzer(source, cached_config);
+        const auto analyses = analyzer.analyzeScenarios(scenarios);
+        cold_ms = msSince(start);
+        cold_totals = stageTotals(analyzer.pipelineStats());
+        for (const auto &analysis : analyses)
+            cold_patterns += analysis.mining.patterns.size();
+    }
+    {
+        EagerSource source(corpus);
+        const auto start = std::chrono::steady_clock::now();
+        Analyzer analyzer(source, cached_config);
+        const auto analyses = analyzer.analyzeScenarios(scenarios);
+        warm_ms = msSince(start);
+        warm_totals = stageTotals(analyzer.pipelineStats());
+        for (const auto &analysis : analyses)
+            warm_patterns += analysis.mining.patterns.size();
+    }
+    std::uint64_t cache_bytes = 0;
+    std::size_t cache_files = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(cache_dir)) {
+        cache_bytes += std::filesystem::file_size(entry.path());
+        ++cache_files;
+    }
+    std::filesystem::remove_all(cache_dir);
+    if (cold_patterns != warm_patterns) {
+        std::cerr << "warm-cache mining mismatch\n";
+        return 1;
+    }
+
+    std::cout << "\n== Artifact cache (" << cache_files << " files, "
+              << TextTable::num(
+                     static_cast<double>(cache_bytes) / (1024.0 * 1024.0),
+                     1)
+              << " MiB) ==\n";
+    TextTable cache({"Run", "ms", "misses", "disk hits", "disk writes"});
+    cache.addRow({"cold", TextTable::num(cold_ms, 0),
+                  std::to_string(cold_totals.misses),
+                  std::to_string(cold_totals.diskHits),
+                  std::to_string(cold_totals.diskWrites)});
+    cache.addRow({"warm", TextTable::num(warm_ms, 0),
+                  std::to_string(warm_totals.misses),
+                  std::to_string(warm_totals.diskHits),
+                  std::to_string(warm_totals.diskWrites)});
+    std::cout << cache.render();
+
+    {
+        std::ofstream json("BENCH_pipeline.json");
+        json << "{\n"
+             << "  \"scenarios\": " << scenarios.size() << ",\n"
+             << "  \"threads\": " << threads << ",\n"
+             << "  \"cache_files\": " << cache_files << ",\n"
+             << "  \"cache_bytes\": " << cache_bytes << ",\n"
+             << "  \"cold_ms\": " << cold_ms << ",\n"
+             << "  \"cold_misses\": " << cold_totals.misses << ",\n"
+             << "  \"cold_disk_writes\": " << cold_totals.diskWrites
+             << ",\n"
+             << "  \"warm_ms\": " << warm_ms << ",\n"
+             << "  \"warm_misses\": " << warm_totals.misses << ",\n"
+             << "  \"warm_disk_hits\": " << warm_totals.diskHits << ",\n"
+             << "  \"warm_speedup\": " << speedup(cold_ms, warm_ms)
+             << "\n}\n";
+        std::cout << "wrote BENCH_pipeline.json\n";
+    }
 
     // ---- ingestion throughput: eager full-read vs mmap streaming ---
     // The corpus from above (>= 100 instances), sharded on disk the
@@ -323,7 +425,9 @@ main(int argc, char **argv)
               << "BENCH_scale_ingest_mbps_mmap=" << mbps(scan_ms)
               << "\n"
               << "BENCH_scale_ingest_speedup="
-              << speedup(eager_ms, scan_ms) << "\n";
+              << speedup(eager_ms, scan_ms) << "\n"
+              << "BENCH_scale_artifact_warm_speedup="
+              << speedup(cold_ms, warm_ms) << "\n";
     std::cout << "(speedups track the worker count on multicore "
                  "hardware; on a single hardware thread they stay "
                  "near 1.0)\n";

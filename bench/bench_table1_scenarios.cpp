@@ -31,7 +31,8 @@ main(int argc, char **argv)
 
     std::cout << "== Table 1: selected scenarios ==\n";
     const TraceCorpus corpus = generateCorpus(spec);
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+    Analyzer analyzer(analyzer_source);
 
     TextTable table({"Scenario", "#Instances", "in {I}fast",
                      "in {I}slow", "T_fast", "T_slow"});

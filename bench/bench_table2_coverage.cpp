@@ -33,7 +33,8 @@ main(int argc, char **argv)
     std::cout << "== Table 2: impactful-time and total-time coverages "
                  "==\n";
     const TraceCorpus corpus = generateCorpus(spec);
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+    Analyzer analyzer(analyzer_source);
 
     TextTable table({"Scenario", "DriverCost", "ITC", "TTC",
                      "NonOpt", "#Slow"});

@@ -32,7 +32,8 @@ main(int argc, char **argv)
 
     std::cout << "== Table 3: coverages by ranking ==\n";
     const TraceCorpus corpus = generateCorpus(spec);
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+    Analyzer analyzer(analyzer_source);
 
     TextTable table({"Scenario", "#Patterns", "10%", "20%", "30%"});
     double c10 = 0, c20 = 0, c30 = 0;

@@ -70,7 +70,8 @@ main(int argc, char **argv)
     std::cout << "== Table 4: top-10 patterns categorized by driver "
                  "types ==\n";
     const TraceCorpus corpus = generateCorpus(spec);
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+    Analyzer analyzer(analyzer_source);
 
     std::vector<std::string> headers = {"Scenario"};
     for (DriverType type : allDriverTypes())

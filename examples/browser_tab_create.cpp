@@ -90,7 +90,8 @@ main()
 
     std::cout << "\nStep 3 — causality analysis distils the incident "
                  "into one actionable pattern:\n";
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+    Analyzer analyzer(analyzer_source);
     const ScenarioAnalysis analysis = analyzer.analyzeScenario(
         "BrowserTabCreate", fromMs(300), fromMs(500));
     if (!analysis.mining.patterns.empty()) {

@@ -40,8 +40,11 @@ main()
 
     const ScenarioSpec &scn = scenarioByName("BrowserTabCreate");
 
-    Analyzer ana_before(before);
-    Analyzer ana_after(after);
+    EagerSource ana_before_source(before);
+
+    Analyzer ana_before(ana_before_source);
+    EagerSource ana_after_source(after);
+    Analyzer ana_after(ana_after_source);
     const ScenarioAnalysis rb =
         ana_before.analyzeScenario(scn.name, scn.tFast, scn.tSlow);
     const ScenarioAnalysis ra =

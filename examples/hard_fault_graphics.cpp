@@ -43,7 +43,9 @@ main()
         sim.run();
     }
 
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+
+    Analyzer analyzer(analyzer_source);
     const ScenarioAnalysis analysis = analyzer.analyzeScenario(
         "AppNonResponsive", fromMs(350), fromMs(700));
 

@@ -29,7 +29,9 @@ main()
     spec.onlyScenarios = {"MenuDisplay"};
     const TraceCorpus corpus = generateCorpus(spec);
 
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+
+    Analyzer analyzer(analyzer_source);
     const ScenarioSpec &scn = scenarioByName("MenuDisplay");
     const ScenarioAnalysis analysis =
         analyzer.analyzeScenario(scn.name, scn.tFast, scn.tSlow);

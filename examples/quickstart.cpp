@@ -32,7 +32,8 @@ main()
               << corpus.totalEvents() << " events\n\n";
 
     // 2. Impact analysis over all instances, components = all drivers.
-    Analyzer analyzer(corpus); // default filter: {"*.sys"}
+    EagerSource analyzer_source(corpus);
+    Analyzer analyzer(analyzer_source); // default filter: {"*.sys"}
     const ImpactResult impact = analyzer.impactAll();
     std::cout << "impact analysis (all scenarios):\n  "
               << impact.render() << "\n\n";

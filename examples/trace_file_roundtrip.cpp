@@ -40,7 +40,9 @@ main(int argc, char **argv)
     const ValidationReport report = validateCorpus(corpus);
     std::cout << "reloaded: " << report.render() << "\n";
 
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+
+    Analyzer analyzer(analyzer_source);
     std::cout << "impact: " << analyzer.impactAll().render() << "\n";
 
     // Per-scenario impact from the reloaded corpus.

@@ -129,6 +129,8 @@ class AggregatedWaitGraph
 
   private:
     friend class AwgBuilder;
+    /** Binary artifact-cache codec (src/core/artifacts.cpp). */
+    friend struct AwgCodec;
 
     std::vector<Node> nodes_;
     std::vector<std::uint32_t> roots_;

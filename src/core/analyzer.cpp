@@ -1,11 +1,14 @@
 /**
  * @file
- * Analyzer facade: thread-safe one-time wait-graph build, parallel
- * impact/AWG/mining stages, and the multi-scenario fan-out.
+ * Analyzer: per-shard ingestion with content digesting, the artifact
+ * stage graph (wait graphs -> classes/impact -> AWGs -> mining), and
+ * the multi-scenario fan-out.
  */
 
 #include "src/core/analyzer.h"
 
+#include "src/trace/merge.h"
+#include "src/trace/serialize.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
 
@@ -34,52 +37,165 @@ ScenarioAnalysis::nonOptimizableShare() const
 }
 
 Analyzer::Analyzer(TraceSource &source, AnalyzerConfig config)
-    : Analyzer(nullptr, &source, std::move(config))
+    : source_(&source), config_(std::move(config)),
+      components_(config_.components), store_(config_.artifactCacheDir)
 {
+    computeFingerprints();
+    const std::size_t count = source.shardCount();
+    for (std::size_t i = 0; i < count; ++i) {
+        Expected<CorpusPtr> shard = source.shard(i);
+        if (!shard)
+            continue; // isolated and recorded in source.stats()
+        absorb(*shard.value(), shard.value());
+    }
 }
 
-Analyzer::Analyzer(const TraceCorpus &corpus, AnalyzerConfig config)
-    : Analyzer(std::make_unique<EagerSource>(corpus), nullptr,
-               std::move(config))
+void
+Analyzer::computeFingerprints()
 {
+    Digest base;
+    base.mix(kSchemaVersion);
+    base.mix(static_cast<std::uint64_t>(config_.components.size()));
+    for (const std::string &component : config_.components)
+        base.mix(std::string_view(component));
+
+    fpWaitGraph_ = base;
+    fpWaitGraph_.mix(config_.waitGraph.maxDepth)
+        .mix(config_.waitGraph.maxNodes)
+        .mix(static_cast<std::uint64_t>(config_.waitGraph.containmentOnly))
+        .mix(static_cast<std::uint64_t>(config_.waitGraph.clipToWindows));
+
+    // Classification reads only instance durations, so its fingerprint
+    // carries no component or graph options.
+    fpClasses_ = Digest{};
+    fpClasses_.mix(kSchemaVersion);
+
+    fpAwg_ = fpWaitGraph_;
+    fpAwg_.mix(static_cast<std::uint64_t>(
+                   config_.awg.eliminateInnerIrrelevant))
+        .mix(static_cast<std::uint64_t>(config_.awg.reduceNonOptimizable));
+
+    fpMining_ = fpAwg_;
+    fpMining_.mix(config_.maxSegmentLength)
+        .mix(static_cast<std::uint64_t>(config_.useMetaPatternGate));
 }
 
-Analyzer::Analyzer(std::unique_ptr<TraceSource> owned,
-                   TraceSource *external, AnalyzerConfig config)
-    : ownedSource_(std::move(owned)),
-      source_(external != nullptr ? external : ownedSource_.get()),
-      corpus_(source_->corpus()), config_(std::move(config)),
-      components_(config_.components)
+void
+Analyzer::absorb(const TraceCorpus &part, CorpusPtr alias)
 {
-    // Prime the symbol table's per-filter match cache up front: the
-    // parallel stages (and the analyzeScenarios fan-out) may consult
-    // it concurrently, which is safe only once the entry exists.
-    corpus_.symbols().primeFilter(components_);
+    ShardRecord record;
+    record.digest = digestCorpus(part);
+    record.chain = shards_.empty() ? Digest{} : shards_.back().chain;
+    record.chain.mix(record.digest);
+    record.firstInstance =
+        static_cast<std::uint32_t>(corpus_->instances().size());
+    record.instanceCount =
+        static_cast<std::uint32_t>(part.instances().size());
+
+    if (shards_.empty() && alias != nullptr) {
+        // Single-shard fast path: adopt the shard as the analysis
+        // corpus without a merge copy (copy-on-append later).
+        aliasShard_ = std::move(alias);
+        corpus_ = aliasShard_.get();
+    } else {
+        ensureOwned();
+        appendCorpus(ownedCorpus_, part);
+    }
+    shards_.push_back(record);
+
+    // (Re-)prime the symbol table's per-filter match cache: the
+    // parallel stages consult it concurrently, which is safe only
+    // once the entry covers every interned frame.
+    corpus_->symbols().primeFilter(components_);
+}
+
+void
+Analyzer::ensureOwned()
+{
+    if (aliasShard_ == nullptr)
+        return;
+    // appendCorpus re-interns in id order, so the copy is structurally
+    // identical to the alias (same ids, same instance order) and every
+    // existing artifact stays valid.
+    ownedCorpus_ = TraceCorpus{};
+    appendCorpus(ownedCorpus_, *aliasShard_);
+    aliasShard_.reset();
+    corpus_ = &ownedCorpus_;
+}
+
+void
+Analyzer::addStreams(const TraceCorpus &part)
+{
+    ensureOwned();
+    absorb(part, nullptr);
+}
+
+const Digest &
+Analyzer::chainTip() const
+{
+    static const Digest kEmptyChain;
+    return shards_.empty() ? kEmptyChain : shards_.back().chain;
+}
+
+Digest
+Analyzer::stageKey(const Digest &fingerprint, std::string_view salt,
+                   const Digest &input)
+{
+    Digest key = fingerprint;
+    key.mix(salt);
+    key.mix(input);
+    return key;
 }
 
 const std::vector<WaitGraph> &
 Analyzer::graphs() const
 {
-    std::call_once(graphsOnce_, [&] {
-        WaitGraphBuilder builder(corpus_, config_.waitGraph);
-        graphs_ =
-            builder.buildAllParallel(resolveThreads(config_.threads));
-    });
+    std::lock_guard<std::mutex> lock(graphsMutex_);
+    if (graphsShards_ != shards_.size()) {
+        graphs_.clear();
+        graphs_.reserve(corpus_->instances().size());
+        const unsigned threads = resolveThreads(config_.threads);
+        WaitGraphBuilder builder(*corpus_, config_.waitGraph);
+        for (const ShardRecord &shard : shards_) {
+            // Keyed by the shard's *chain* digest: a shard's graphs
+            // depend on the merged corpus' stream indices and interned
+            // ids, which the prefix shards determine.
+            const Digest key =
+                stageKey(fpWaitGraph_, "waitgraphs", shard.chain);
+            auto bundle = store_.waitGraphs(key, [&] {
+                return builder.buildRangeParallel(
+                    shard.firstInstance, shard.instanceCount, threads);
+            });
+            graphs_.insert(graphs_.end(), bundle->begin(),
+                           bundle->end());
+        }
+        graphsShards_ = shards_.size();
+    }
     return graphs_;
 }
 
 ImpactResult
 Analyzer::impactAll() const
 {
-    ImpactAnalysis impact(corpus_, components_);
-    return impact.analyze(graphs(), config_.threads);
+    const Digest key = stageKey(fpWaitGraph_, "impact:all", chainTip());
+    auto result = store_.get<ImpactResult>(Stage::Impact, key, [&] {
+        ImpactAnalysis impact(*corpus_, components_);
+        return impact.analyze(graphs(), config_.threads);
+    });
+    return *result;
 }
 
 std::unordered_map<std::uint32_t, ImpactResult>
 Analyzer::impactPerScenario() const
 {
-    ImpactAnalysis impact(corpus_, components_);
-    return impact.analyzePerScenario(graphs(), config_.threads);
+    const Digest key =
+        stageKey(fpWaitGraph_, "impact:per-scenario", chainTip());
+    using Map = std::unordered_map<std::uint32_t, ImpactResult>;
+    auto result = store_.get<Map>(Stage::Impact, key, [&] {
+        ImpactAnalysis impact(*corpus_, components_);
+        return impact.analyzePerScenario(graphs(), config_.threads);
+    });
+    return *result;
 }
 
 ContrastClasses
@@ -87,20 +203,27 @@ Analyzer::classify(std::uint32_t scenario, DurationNs t_fast,
                    DurationNs t_slow) const
 {
     TL_ASSERT(t_fast > 0 && t_slow > t_fast, "bad thresholds");
-    ContrastClasses classes;
-    const auto &instances = corpus_.instances();
-    for (std::uint32_t i = 0; i < instances.size(); ++i) {
-        if (instances[i].scenario != scenario)
-            continue;
-        const DurationNs duration = instances[i].duration();
-        if (duration < t_fast)
-            classes.fast.push_back(i);
-        else if (duration > t_slow)
-            classes.slow.push_back(i);
-        else
-            classes.middle.push_back(i);
-    }
-    return classes;
+    Digest key = stageKey(fpClasses_, "classes", chainTip());
+    key.mix(scenario)
+        .mix(static_cast<std::uint64_t>(t_fast))
+        .mix(static_cast<std::uint64_t>(t_slow));
+    auto classes = store_.get<ContrastClasses>(Stage::Classes, key, [&] {
+        ContrastClasses result;
+        const auto &instances = corpus_->instances();
+        for (std::uint32_t i = 0; i < instances.size(); ++i) {
+            if (instances[i].scenario != scenario)
+                continue;
+            const DurationNs duration = instances[i].duration();
+            if (duration < t_fast)
+                result.fast.push_back(i);
+            else if (duration > t_slow)
+                result.slow.push_back(i);
+            else
+                result.middle.push_back(i);
+        }
+        return result;
+    });
+    return *classes;
 }
 
 ScenarioAnalysis
@@ -132,7 +255,7 @@ Analyzer::analyzeScenarioWithThreads(std::string_view name,
                                      DurationNs t_slow,
                                      unsigned threads) const
 {
-    const std::uint32_t scenario = corpus_.findScenario(name);
+    const std::uint32_t scenario = corpus_->findScenario(name);
     if (scenario == UINT32_MAX)
         TL_FATAL("scenario '", std::string(name), "' not in corpus");
 
@@ -141,6 +264,13 @@ Analyzer::analyzeScenarioWithThreads(std::string_view name,
     analysis.tFast = t_fast;
     analysis.tSlow = t_slow;
     analysis.classes = classify(scenario, t_fast, t_slow);
+
+    // Per-scenario stage keys share this suffix: the data chain plus
+    // the (scenario, thresholds) coordinates of the contrast classes.
+    Digest coords = chainTip();
+    coords.mix(scenario)
+        .mix(static_cast<std::uint64_t>(t_fast))
+        .mix(static_cast<std::uint64_t>(t_slow));
 
     const std::vector<WaitGraph> &all = graphs();
     auto gather = [&](const std::vector<std::uint32_t> &indices) {
@@ -151,32 +281,49 @@ Analyzer::analyzeScenarioWithThreads(std::string_view name,
         return subset;
     };
 
-    const std::vector<WaitGraph> fast_graphs =
-        gather(analysis.classes.fast);
-    const std::vector<WaitGraph> slow_graphs =
-        gather(analysis.classes.slow);
-
-    ImpactAnalysis impact(corpus_, components_);
-    analysis.slowImpact = impact.analyze(slow_graphs, threads);
+    auto slowImpact = store_.get<ImpactResult>(
+        Stage::Impact, stageKey(fpWaitGraph_, "impact:slow", coords),
+        [&] {
+            ImpactAnalysis impact(*corpus_, components_);
+            return impact.analyze(gather(analysis.classes.slow),
+                                  threads);
+        });
+    analysis.slowImpact = *slowImpact;
     for (std::uint32_t i : analysis.classes.slow)
-        analysis.slowDuration += corpus_.instances()[i].duration();
+        analysis.slowDuration += corpus_->instances()[i].duration();
 
-    AwgBuilder awg_builder(corpus_, components_, config_.awg);
-    analysis.awgFast = awg_builder.aggregate(fast_graphs, threads);
-    analysis.awgSlow = awg_builder.aggregate(slow_graphs, threads);
+    auto awgFast = store_.awg(
+        stageKey(fpAwg_, "awg:fast", coords), [&] {
+            AwgBuilder builder(*corpus_, components_, config_.awg);
+            return builder.aggregate(gather(analysis.classes.fast),
+                                     threads);
+        });
+    auto awgSlow = store_.awg(
+        stageKey(fpAwg_, "awg:slow", coords), [&] {
+            AwgBuilder builder(*corpus_, components_, config_.awg);
+            return builder.aggregate(gather(analysis.classes.slow),
+                                     threads);
+        });
+    analysis.awgFast = *awgFast;
+    analysis.awgSlow = *awgSlow;
 
-    MiningOptions mining_options;
-    mining_options.maxSegmentLength = config_.maxSegmentLength;
-    mining_options.tFast = t_fast;
-    mining_options.tSlow = t_slow;
-    mining_options.useMetaPatternGate = config_.useMetaPatternGate;
-    ContrastMiner miner(corpus_, mining_options);
-    analysis.mining =
-        miner.mine(analysis.awgFast, analysis.awgSlow, threads);
+    auto mining = store_.get<MiningResult>(
+        Stage::Mining, stageKey(fpMining_, "mining", coords), [&] {
+            MiningOptions mining_options;
+            mining_options.maxSegmentLength = config_.maxSegmentLength;
+            mining_options.tFast = t_fast;
+            mining_options.tSlow = t_slow;
+            mining_options.useMetaPatternGate =
+                config_.useMetaPatternGate;
+            ContrastMiner miner(*corpus_, mining_options);
+            return miner.mine(*awgFast, *awgSlow, threads);
+        });
+    analysis.mining = *mining;
 
     // RQ1 denominator: the total driver cost as aggregated — the kept
     // graph plus the non-optimizable portion removed by ReduceAWG
-    // (Section 5.2.2 accounts exactly this way).
+    // (Section 5.2.2 accounts exactly this way). Cheap to derive, so
+    // not memoized.
     analysis.coverage = computeCoverage(
         analysis.mining,
         analysis.awgSlow.reducedCost() + analysis.awgSlow.totalRootCost(),

@@ -1,7 +1,8 @@
 /**
  * @file
- * The TraceLens public facade: the full two-step analysis pipeline of
- * the paper over a trace corpus.
+ * The TraceLens pipeline facade: the full two-step analysis of the
+ * paper over a trace corpus, restructured as an explicit stage graph
+ * over an artifact store.
  *
  * Step 1 (impact analysis, Section 3): corpus-wide and per-scenario
  * IA_run / IA_wait / IA_opt for a chosen component filter.
@@ -11,13 +12,23 @@
  * the two Aggregated Wait Graphs, mine ranked contrast patterns, and
  * compute the RQ1 coverage figures.
  *
- * Wait graphs for all instances are built once and cached; scenario
- * analyses reuse them.
+ * Every derived result is an *artifact* in an ArtifactStore
+ * (src/core/artifacts.h), keyed by a content hash of its inputs: the
+ * digest chain of the ingested shards plus a fingerprint of the
+ * relevant configuration. Two consequences:
  *
- * Every stage is corpus-parallel across AnalyzerConfig::threads
- * workers with deterministic merges: results are bit-identical for
- * every thread count (see docs/ARCHITECTURE.md for the threading
- * model).
+ *  - Incrementality: addStreams() appends trace data and invalidates
+ *    nothing that was derived from the existing shards — only the new
+ *    shard's artifacts (and whole-corpus aggregates) rebuild. The
+ *    results are bit-identical to a cold analysis of the merged
+ *    corpus (asserted by tests/incremental_test.cpp).
+ *  - Warm starts: with AnalyzerConfig::artifactCacheDir set, wait
+ *    graphs and AWGs persist to disk and a later process reuses them.
+ *
+ * Keys exclude the thread count: every stage merges per-shard results
+ * deterministically, so analysis output is bit-identical for every
+ * thread count (see docs/ARCHITECTURE.md for the threading model and
+ * the stage-graph key derivation).
  */
 
 #ifndef TRACELENS_CORE_ANALYZER_H
@@ -33,11 +44,13 @@
 #include <vector>
 
 #include "src/awg/awg.h"
+#include "src/core/artifacts.h"
 #include "src/impact/impact.h"
 #include "src/mining/coverage.h"
 #include "src/mining/miner.h"
 #include "src/trace/source.h"
 #include "src/trace/stream.h"
+#include "src/util/hash.h"
 #include "src/waitgraph/waitgraph.h"
 
 namespace tracelens
@@ -59,9 +72,16 @@ struct AnalyzerConfig
      * the analyzeScenarios fan-out): 0 = all hardware threads
      * (default), 1 = fully serial. Every stage merges per-shard
      * results deterministically, so analysis output is bit-identical
-     * for every thread count.
+     * for every thread count — which is also why artifact keys exclude
+     * the thread count.
      */
     unsigned threads = 0;
+    /**
+     * Directory for the on-disk artifact cache (wait-graph bundles and
+     * AWGs survive the process; CLI: --artifact-cache DIR). Empty
+     * (default) = in-memory memoization only.
+     */
+    std::string artifactCacheDir;
 };
 
 /** A scenario name with its developer-specified thresholds. */
@@ -112,25 +132,27 @@ class Analyzer
 {
   public:
     /**
-     * Analyze the corpus served by @p source — the preferred
-     * constructor: the source decides how trace bytes reach memory
-     * (eager load, mmap, sharded directory) and isolates corrupt
-     * shards; the analyzer only consumes the merged view. The first
-     * call materializes the corpus, so construction may ingest.
-     * @p source must outlive the analyzer.
+     * Analyze the corpus served by @p source: the source decides how
+     * trace bytes reach memory (eager load, mmap, sharded directory)
+     * and isolates corrupt shards; the analyzer ingests the usable
+     * shards one at a time, recording each shard's content digest for
+     * artifact keying, so construction may materialize. @p source
+     * must outlive the analyzer.
      */
     explicit Analyzer(TraceSource &source, AnalyzerConfig config = {});
 
     /**
-     * Analyze an already-resident corpus. Kept for compatibility —
-     * delegates to an internal EagerSource wrapping @p corpus, with
-     * identical results. New code should construct a TraceSource
-     * (see openSource()) and use the constructor above; this one is
-     * slated for removal once callers have migrated (see
-     * docs/ARCHITECTURE.md, "TraceSource API").
+     * Append @p part's streams and instances to the analysis corpus
+     * as one additional shard. Artifacts derived from the existing
+     * shards keep their keys and are served from the store; only the
+     * new shard's wait graphs and the whole-corpus aggregates
+     * (impact, classes, AWGs, mining) rebuild. Results are
+     * bit-identical to analyzing the merged corpus cold.
+     *
+     * Not thread-safe against concurrent analysis calls; references
+     * previously returned by corpus() and graphs() are invalidated.
      */
-    explicit Analyzer(const TraceCorpus &corpus,
-                      AnalyzerConfig config = {});
+    void addStreams(const TraceCorpus &part);
 
     /** Corpus-wide impact analysis (the Section 5.1 headline). */
     ImpactResult impactAll() const;
@@ -160,22 +182,62 @@ class Analyzer
     analyzeScenarios(std::span<const ScenarioThresholds> scenarios) const;
 
     /**
-     * The cached per-instance wait graphs. Built on first use across
-     * the configured thread count; initialization is thread-safe
-     * (std::call_once), so concurrent analyses share one build.
+     * The per-instance wait graphs, in instance order. Assembled from
+     * the store's per-shard bundles on first use (and re-assembled
+     * after addStreams); thread-safe, so concurrent analyses share
+     * one build.
      */
     const std::vector<WaitGraph> &graphs() const;
 
-    const TraceCorpus &corpus() const { return corpus_; }
+    /** The merged analysis corpus over all ingested shards. */
+    const TraceCorpus &corpus() const { return *corpus_; }
     /** The ingestion source feeding this analyzer. */
     TraceSource &source() const { return *source_; }
     const AnalyzerConfig &config() const { return config_; }
     const NameFilter &components() const { return components_; }
 
+    /** Number of shards ingested so far (source shards + addStreams). */
+    std::size_t shardCount() const { return shards_.size(); }
+
+    /** Snapshot of the per-stage artifact-cache counters. */
+    PipelineStats pipelineStats() const { return store_.stats(); }
+
   private:
-    /** Common constructor: exactly one of @p owned / @p external. */
-    Analyzer(std::unique_ptr<TraceSource> owned, TraceSource *external,
-             AnalyzerConfig config);
+    /**
+     * One ingested shard: its content digest, the running chain
+     * digest over all shards up to and including it (artifact keys
+     * hash the chain, so a change anywhere in the prefix invalidates
+     * every later shard's artifacts), and its instance range in the
+     * merged corpus.
+     */
+    struct ShardRecord
+    {
+        Digest digest;
+        Digest chain;
+        std::uint32_t firstInstance = 0;
+        std::uint32_t instanceCount = 0;
+    };
+
+    /** Derive the per-stage config fingerprints (constructor). */
+    void computeFingerprints();
+
+    /**
+     * Ingest @p part as the next shard. @p alias, when non-null, is a
+     * handle to @p part that may be adopted directly as the analysis
+     * corpus (single-shard fast path — no copy); a second shard
+     * forces the copy-on-append switch to an owned merged corpus.
+     */
+    void absorb(const TraceCorpus &part, CorpusPtr alias);
+
+    /** Switch from an aliased single shard to an owned copy. */
+    void ensureOwned();
+
+    /** Chain digest over all ingested shards (seed when none). */
+    const Digest &chainTip() const;
+
+    /** fingerprint + stage salt + input digest -> artifact key. */
+    static Digest stageKey(const Digest &fingerprint,
+                           std::string_view salt, const Digest &input);
 
     /** analyzeScenario with an explicit stage-level thread count. */
     ScenarioAnalysis analyzeScenarioWithThreads(std::string_view name,
@@ -183,13 +245,28 @@ class Analyzer
                                                 DurationNs t_slow,
                                                 unsigned threads) const;
 
-    std::unique_ptr<TraceSource> ownedSource_;
     TraceSource *source_;
-    const TraceCorpus &corpus_;
     AnalyzerConfig config_;
     NameFilter components_;
+
+    /** Non-null while the corpus aliases a single source shard. */
+    CorpusPtr aliasShard_;
+    /** The merged corpus once >1 shard (or addStreams) forced a copy. */
+    TraceCorpus ownedCorpus_;
+    const TraceCorpus *corpus_ = &ownedCorpus_;
+
+    std::vector<ShardRecord> shards_;
+    static constexpr std::uint64_t kSchemaVersion = 1;
+    Digest fpWaitGraph_; //!< components + wait-graph options.
+    Digest fpClasses_;   //!< thresholds-only stage (no components).
+    Digest fpAwg_;       //!< fpWaitGraph_ + AWG options.
+    Digest fpMining_;    //!< fpAwg_ + mining options.
+
+    mutable ArtifactStore store_;
+    mutable std::mutex graphsMutex_;
     mutable std::vector<WaitGraph> graphs_;
-    mutable std::once_flag graphsOnce_;
+    /** Shard count graphs_ was assembled for (stale when != shards_). */
+    mutable std::size_t graphsShards_ = 0;
 };
 
 } // namespace tracelens

@@ -1,0 +1,621 @@
+/**
+ * @file
+ * ArtifactStore: thread-safe keyed memoization with an optional
+ * on-disk cache, plus the binary codecs for the two disk-backed
+ * artifact kinds (wait-graph bundles and AWGs).
+ *
+ * Disk format ("TLA1"):
+ *
+ *   magic "TLA1", version u32, stage u32,
+ *   key echo (hi u64, lo u64),
+ *   payload size u64, payload checksum (hi u64, lo u64),
+ *   payload bytes.
+ *
+ * A load is trusted only when every header field matches what the
+ * reader expects *and* the payload re-hashes to the stored checksum;
+ * anything else (truncation, bit flips, a stale schema, a key
+ * collision in the file name) degrades to a cache miss. Writes go to
+ * a temporary file first and are renamed into place, so readers never
+ * observe a half-written artifact.
+ */
+
+#include "src/core/artifacts.h"
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'T', 'L', 'A', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+/** Fixed-size header preceding every artifact payload. */
+constexpr std::size_t kHeaderBytes =
+    4 + 4 + 4 + 8 + 8 + 8 + 8 + 8; // magic..checksum
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+putI64(std::string &out, std::int64_t v)
+{
+    putU64(out, static_cast<std::uint64_t>(v));
+}
+
+void
+putU8(std::string &out, std::uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+/** Bounds-checked little-endian reader over an artifact payload. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::string &bytes) : bytes_(bytes) {}
+
+    bool failed() const { return failed_; }
+    bool atEnd() const { return pos_ == bytes_.size(); }
+
+    std::uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return static_cast<std::uint8_t>(bytes_[pos_++]);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(bytes_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(bytes_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    /**
+     * Validate a count of records of at least @p recordBytes each
+     * against the remaining buffer, so a hostile count cannot drive a
+     * multi-gigabyte reserve before the per-record reads would fail.
+     */
+    bool
+    countFits(std::uint64_t count, std::size_t recordBytes)
+    {
+        const std::uint64_t remaining = bytes_.size() - pos_;
+        if (count > remaining / recordBytes) {
+            failed_ = true;
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    need(std::size_t n)
+    {
+        if (failed_ || bytes_.size() - pos_ < n) {
+            failed_ = true;
+            return false;
+        }
+        return true;
+    }
+
+    const std::string &bytes_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+Digest
+payloadChecksum(const std::string &payload)
+{
+    Digest d;
+    d.mixBytes(payload.data(), payload.size());
+    return d;
+}
+
+/**
+ * Read an artifact file and return its payload, or nullopt when the
+ * file is missing, truncated, from another schema version/stage/key,
+ * or fails its checksum.
+ */
+std::optional<std::string>
+loadArtifactFile(const std::string &path, Stage stage, const Digest &key)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string bytes = std::move(buffer).str();
+    if (bytes.size() < kHeaderBytes)
+        return std::nullopt;
+    if (std::memcmp(bytes.data(), kMagic, 4) != 0)
+        return std::nullopt;
+
+    ByteReader reader(bytes);
+    reader.u32(); // magic, already checked
+    if (reader.u32() != kVersion)
+        return std::nullopt;
+    if (reader.u32() != static_cast<std::uint32_t>(stage))
+        return std::nullopt;
+    if (reader.u64() != key.hi() || reader.u64() != key.lo())
+        return std::nullopt;
+    const std::uint64_t payload_size = reader.u64();
+    const std::uint64_t check_hi = reader.u64();
+    const std::uint64_t check_lo = reader.u64();
+    if (reader.failed() ||
+        payload_size != bytes.size() - kHeaderBytes)
+        return std::nullopt;
+
+    std::string payload = bytes.substr(kHeaderBytes);
+    const Digest check = payloadChecksum(payload);
+    if (check.hi() != check_hi || check.lo() != check_lo)
+        return std::nullopt;
+    return payload;
+}
+
+/**
+ * Write an artifact file (tmp + rename, so concurrent readers never
+ * see a partial file). Failures are logged and swallowed: the disk
+ * cache is an optimization, never a correctness dependency.
+ */
+void
+storeArtifactFile(const std::string &path, Stage stage,
+                  const Digest &key, const std::string &payload)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path(), ec);
+
+    std::string header;
+    header.reserve(kHeaderBytes);
+    header.append(kMagic, 4);
+    putU32(header, kVersion);
+    putU32(header, static_cast<std::uint32_t>(stage));
+    putU64(header, key.hi());
+    putU64(header, key.lo());
+    putU64(header, payload.size());
+    const Digest check = payloadChecksum(payload);
+    putU64(header, check.hi());
+    putU64(header, check.lo());
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("artifact cache: cannot write ", tmp);
+            return;
+        }
+        out.write(header.data(),
+                  static_cast<std::streamsize>(header.size()));
+        out.write(payload.data(),
+                  static_cast<std::streamsize>(payload.size()));
+        if (!out) {
+            warn("artifact cache: short write to ", tmp);
+            return;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        warn("artifact cache: rename failed for ", path, ": ",
+             ec.message());
+}
+
+} // namespace
+
+std::string_view
+stageName(Stage stage)
+{
+    switch (stage) {
+    case Stage::WaitGraphs:
+        return "wait-graphs";
+    case Stage::Classes:
+        return "classes";
+    case Stage::Impact:
+        return "impact";
+    case Stage::Awg:
+        return "awg";
+    case Stage::Mining:
+        return "mining";
+    }
+    return "unknown";
+}
+
+std::string
+PipelineStats::render() const
+{
+    std::ostringstream oss;
+    oss << "pipeline stages:\n";
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+        const StageStats &s = stages[i];
+        oss << "  " << stageName(static_cast<Stage>(i)) << ": "
+            << s.hits << " hit" << (s.hits == 1 ? "" : "s") << ", "
+            << s.misses << " miss" << (s.misses == 1 ? "" : "es");
+        if (s.diskHits || s.diskWrites || s.diskBytes)
+            oss << ", " << s.diskHits << " disk hit"
+                << (s.diskHits == 1 ? "" : "s") << ", " << s.diskWrites
+                << " disk write" << (s.diskWrites == 1 ? "" : "s")
+                << ", " << s.diskBytes << " disk bytes";
+        oss << ", " << s.buildMs << " ms build\n";
+    }
+    return oss.str();
+}
+
+ArtifactStore::ArtifactStore(std::string diskDir)
+    : diskDir_(std::move(diskDir))
+{
+}
+
+std::shared_ptr<const void>
+ArtifactStore::getOrBuild(Stage stage, const Digest &key,
+                          const ErasedBuild &build)
+{
+    Entry *entry = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto [it, inserted] = entries_.try_emplace(key);
+        if (inserted)
+            it->second = std::make_unique<Entry>();
+        entry = it->second.get();
+    }
+
+    bool builtHere = false;
+    std::call_once(entry->once, [&] {
+        const auto start = std::chrono::steady_clock::now();
+        BuildOutcome outcome = build();
+        entry->value = std::move(outcome.value);
+        recordBuild(stage, outcome.fromDisk, outcome.diskBytes,
+                    msSince(start));
+        builtHere = true;
+    });
+    if (!builtHere)
+        countHit(stage);
+    return entry->value;
+}
+
+std::string
+ArtifactStore::artifactPath(Stage stage, const Digest &key) const
+{
+    return (std::filesystem::path(diskDir_) /
+            (std::string(stageName(stage)) + "-" + key.hex() + ".tla"))
+        .string();
+}
+
+std::shared_ptr<const std::vector<WaitGraph>>
+ArtifactStore::waitGraphs(
+    const Digest &key,
+    const std::function<std::vector<WaitGraph>()> &build)
+{
+    auto erased = getOrBuild(
+        Stage::WaitGraphs, key, [&]() -> BuildOutcome {
+            if (!diskDir_.empty()) {
+                const std::string path =
+                    artifactPath(Stage::WaitGraphs, key);
+                if (auto payload =
+                        loadArtifactFile(path, Stage::WaitGraphs, key)) {
+                    std::vector<WaitGraph> graphs;
+                    if (WaitGraphCodec::decode(*payload, graphs)) {
+                        return {std::make_shared<
+                                    const std::vector<WaitGraph>>(
+                                    std::move(graphs)),
+                                true, payload->size()};
+                    }
+                }
+            }
+            auto graphs = std::make_shared<const std::vector<WaitGraph>>(
+                build());
+            if (!diskDir_.empty()) {
+                std::string payload;
+                WaitGraphCodec::encode(*graphs, payload);
+                storeArtifactFile(artifactPath(Stage::WaitGraphs, key),
+                                  Stage::WaitGraphs, key, payload);
+                countDiskWrite(Stage::WaitGraphs, payload.size());
+            }
+            return {std::move(graphs), false, 0};
+        });
+    return std::static_pointer_cast<const std::vector<WaitGraph>>(
+        erased);
+}
+
+std::shared_ptr<const AggregatedWaitGraph>
+ArtifactStore::awg(const Digest &key,
+                   const std::function<AggregatedWaitGraph()> &build)
+{
+    auto erased = getOrBuild(Stage::Awg, key, [&]() -> BuildOutcome {
+        if (!diskDir_.empty()) {
+            const std::string path = artifactPath(Stage::Awg, key);
+            if (auto payload = loadArtifactFile(path, Stage::Awg, key)) {
+                AggregatedWaitGraph awg;
+                if (AwgCodec::decode(*payload, awg)) {
+                    return {std::make_shared<const AggregatedWaitGraph>(
+                                std::move(awg)),
+                            true, payload->size()};
+                }
+            }
+        }
+        auto awg =
+            std::make_shared<const AggregatedWaitGraph>(build());
+        if (!diskDir_.empty()) {
+            std::string payload;
+            AwgCodec::encode(*awg, payload);
+            storeArtifactFile(artifactPath(Stage::Awg, key), Stage::Awg,
+                              key, payload);
+            countDiskWrite(Stage::Awg, payload.size());
+        }
+        return {std::move(awg), false, 0};
+    });
+    return std::static_pointer_cast<const AggregatedWaitGraph>(erased);
+}
+
+PipelineStats
+ArtifactStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+ArtifactStore::countHit(Stage stage)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.stages[static_cast<std::size_t>(stage)].hits++;
+}
+
+void
+ArtifactStore::recordBuild(Stage stage, bool fromDisk,
+                           std::uint64_t diskBytes, double ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    StageStats &s = stats_.stages[static_cast<std::size_t>(stage)];
+    if (fromDisk) {
+        s.diskHits++;
+        s.diskBytes += diskBytes;
+    } else {
+        s.misses++;
+    }
+    s.buildMs += ms;
+}
+
+void
+ArtifactStore::countDiskWrite(Stage stage, std::uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    StageStats &s = stats_.stages[static_cast<std::size_t>(stage)];
+    s.diskWrites++;
+    s.diskBytes += bytes;
+}
+
+// ---------------------------------------------------------------------
+// Codecs
+// ---------------------------------------------------------------------
+
+void
+WaitGraphCodec::encode(const std::vector<WaitGraph> &graphs,
+                       std::string &out)
+{
+    putU64(out, graphs.size());
+    for (const WaitGraph &graph : graphs) {
+        const ScenarioInstance &inst = graph.instance_;
+        putU32(out, inst.stream);
+        putU32(out, inst.scenario);
+        putU32(out, inst.tid);
+        putI64(out, inst.t0);
+        putI64(out, inst.t1);
+
+        putU64(out, graph.nodes_.size());
+        for (const WaitGraph::Node &node : graph.nodes_) {
+            putI64(out, node.event.timestamp);
+            putI64(out, node.event.cost);
+            putU32(out, node.event.tid);
+            putU32(out, node.event.wtid);
+            putU32(out, node.event.stack);
+            putU8(out, static_cast<std::uint8_t>(node.event.type));
+            putU32(out, node.ref.stream);
+            putU32(out, node.ref.index);
+            putU32(out, node.unwaitStack);
+            putU8(out, node.truncated ? 1 : 0);
+            putU64(out, node.children.size());
+            for (std::uint32_t child : node.children)
+                putU32(out, child);
+        }
+        putU64(out, graph.roots_.size());
+        for (std::uint32_t root : graph.roots_)
+            putU32(out, root);
+    }
+}
+
+bool
+WaitGraphCodec::decode(const std::string &bytes,
+                       std::vector<WaitGraph> &graphs)
+{
+    ByteReader reader(bytes);
+    const std::uint64_t graph_count = reader.u64();
+    // Minimum bytes per graph: instance + node count + root count.
+    if (!reader.countFits(graph_count, 28 + 8 + 8))
+        return false;
+    graphs.clear();
+    graphs.reserve(graph_count);
+    for (std::uint64_t g = 0; g < graph_count; ++g) {
+        WaitGraph graph;
+        graph.instance_.stream = reader.u32();
+        graph.instance_.scenario = reader.u32();
+        graph.instance_.tid = reader.u32();
+        graph.instance_.t0 = reader.i64();
+        graph.instance_.t1 = reader.i64();
+
+        const std::uint64_t node_count = reader.u64();
+        if (!reader.countFits(node_count, 50)) // fixed node bytes
+            return false;
+        graph.nodes_.reserve(node_count);
+        for (std::uint64_t n = 0; n < node_count; ++n) {
+            WaitGraph::Node node;
+            node.event.timestamp = reader.i64();
+            node.event.cost = reader.i64();
+            node.event.tid = reader.u32();
+            node.event.wtid = reader.u32();
+            node.event.stack = reader.u32();
+            const std::uint8_t type = reader.u8();
+            if (type > static_cast<std::uint8_t>(
+                           EventType::HardwareService))
+                return false;
+            node.event.type = static_cast<EventType>(type);
+            node.ref.stream = reader.u32();
+            node.ref.index = reader.u32();
+            node.unwaitStack = reader.u32();
+            const std::uint8_t truncated = reader.u8();
+            if (truncated > 1)
+                return false;
+            node.truncated = truncated != 0;
+            const std::uint64_t child_count = reader.u64();
+            if (!reader.countFits(child_count, 4))
+                return false;
+            node.children.reserve(child_count);
+            for (std::uint64_t c = 0; c < child_count; ++c) {
+                const std::uint32_t child = reader.u32();
+                if (child >= node_count)
+                    return false;
+                node.children.push_back(child);
+            }
+            graph.nodes_.push_back(std::move(node));
+        }
+        const std::uint64_t root_count = reader.u64();
+        if (!reader.countFits(root_count, 4))
+            return false;
+        graph.roots_.reserve(root_count);
+        for (std::uint64_t r = 0; r < root_count; ++r) {
+            const std::uint32_t root = reader.u32();
+            if (root >= node_count)
+                return false;
+            graph.roots_.push_back(root);
+        }
+        if (reader.failed())
+            return false;
+        graphs.push_back(std::move(graph));
+    }
+    return !reader.failed() && reader.atEnd();
+}
+
+void
+AwgCodec::encode(const AggregatedWaitGraph &awg, std::string &out)
+{
+    putU64(out, awg.nodes_.size());
+    for (const AggregatedWaitGraph::Node &node : awg.nodes_) {
+        putU8(out, static_cast<std::uint8_t>(node.key.status));
+        putU32(out, node.key.primary);
+        putU32(out, node.key.secondary);
+        putI64(out, node.cost);
+        putU64(out, node.count);
+        putI64(out, node.maxCost);
+        putU64(out, node.children.size());
+        for (std::uint32_t child : node.children)
+            putU32(out, child);
+    }
+    putU64(out, awg.roots_.size());
+    for (std::uint32_t root : awg.roots_)
+        putU32(out, root);
+    putI64(out, awg.reducedCost_);
+    putU64(out, awg.reducedNodes_);
+    putU64(out, awg.sourceGraphs_);
+}
+
+bool
+AwgCodec::decode(const std::string &bytes, AggregatedWaitGraph &awg)
+{
+    ByteReader reader(bytes);
+    const std::uint64_t node_count = reader.u64();
+    if (!reader.countFits(node_count, 41)) // fixed node bytes
+        return false;
+    awg.nodes_.clear();
+    awg.nodes_.reserve(node_count);
+    for (std::uint64_t n = 0; n < node_count; ++n) {
+        AggregatedWaitGraph::Node node;
+        const std::uint8_t status = reader.u8();
+        if (status > static_cast<std::uint8_t>(AwgStatus::Hardware))
+            return false;
+        node.key.status = static_cast<AwgStatus>(status);
+        node.key.primary = reader.u32();
+        node.key.secondary = reader.u32();
+        node.cost = reader.i64();
+        node.count = reader.u64();
+        node.maxCost = reader.i64();
+        const std::uint64_t child_count = reader.u64();
+        if (!reader.countFits(child_count, 4))
+            return false;
+        node.children.reserve(child_count);
+        for (std::uint64_t c = 0; c < child_count; ++c) {
+            const std::uint32_t child = reader.u32();
+            if (child >= node_count)
+                return false;
+            node.children.push_back(child);
+        }
+        awg.nodes_.push_back(std::move(node));
+    }
+    const std::uint64_t root_count = reader.u64();
+    if (!reader.countFits(root_count, 4))
+        return false;
+    awg.roots_.clear();
+    awg.roots_.reserve(root_count);
+    for (std::uint64_t r = 0; r < root_count; ++r) {
+        const std::uint32_t root = reader.u32();
+        if (root >= node_count)
+            return false;
+        awg.roots_.push_back(root);
+    }
+    awg.reducedCost_ = reader.i64();
+    awg.reducedNodes_ = reader.u64();
+    awg.sourceGraphs_ = reader.u64();
+    return !reader.failed() && reader.atEnd();
+}
+
+} // namespace tracelens

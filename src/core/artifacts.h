@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The artifact store of the incremental analysis pipeline.
+ *
+ * The Analyzer used to be an opaque facade: every derived result
+ * (wait graphs, contrast classes, impact metrics, AWGs, mined
+ * patterns) was recomputed from scratch for every analyzer instance.
+ * This module turns those results into *artifacts*: immutable values
+ * keyed by a content hash of everything that influenced them — the
+ * digest chain of the input shards plus a fingerprint of the analysis
+ * configuration (see docs/ARCHITECTURE.md, "Pipeline stage graph &
+ * artifact keys").
+ *
+ * ArtifactStore memoizes artifacts per key:
+ *
+ *  - in memory, always: a thread-safe map of type-erased values with
+ *    per-entry once-semantics, so concurrent analyses (the
+ *    analyzeScenarios fan-out) share one build per key;
+ *  - on disk, optionally: the two expensive stages — per-shard wait
+ *    graph bundles and aggregated wait graphs — serialize to
+ *    "<stage>-<keyhex>.tla" files under a cache directory (CLI:
+ *    --artifact-cache DIR), so a later process warm-starts without
+ *    recomputing. Corrupt or stale cache files are never trusted:
+ *    every load validates magic, version, stage, key echo, and a
+ *    payload checksum, and any mismatch falls back to a rebuild that
+ *    overwrites the bad file.
+ *
+ * Because keys are content hashes, incrementality falls out for free:
+ * appending a shard changes only the chain suffix, so every artifact
+ * derived from the unchanged prefix keeps its key and is served from
+ * the store, while artifacts downstream of the new data miss and
+ * rebuild. PipelineStats counts exactly that (hits, misses, disk
+ * traffic, build wall time) per stage.
+ */
+
+#ifndef TRACELENS_CORE_ARTIFACTS_H
+#define TRACELENS_CORE_ARTIFACTS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/awg/awg.h"
+#include "src/util/hash.h"
+#include "src/waitgraph/waitgraph.h"
+
+namespace tracelens
+{
+
+/** The memoized stages of the analysis pipeline. */
+enum class Stage : std::uint8_t
+{
+    WaitGraphs = 0, //!< Per-shard wait-graph bundles (disk-backed).
+    Classes = 1,    //!< Per-scenario fast/slow contrast classes.
+    Impact = 2,     //!< Corpus / per-scenario / slow-class impact.
+    Awg = 3,        //!< Fast and slow aggregated wait graphs (disk-backed).
+    Mining = 4,     //!< Per-scenario contrast-mining results.
+};
+
+/** Number of pipeline stages (array sizing). */
+inline constexpr std::size_t kStageCount = 5;
+
+/** Human-readable stage name ("wait-graphs", ...). */
+std::string_view stageName(Stage stage);
+
+/** Cache counters of one pipeline stage. */
+struct StageStats
+{
+    std::uint64_t hits = 0;       //!< Served from the in-memory map.
+    std::uint64_t misses = 0;     //!< Built from the inputs.
+    std::uint64_t diskHits = 0;   //!< Deserialized from the disk cache.
+    std::uint64_t diskWrites = 0; //!< Artifact files written.
+    std::uint64_t diskBytes = 0;  //!< Bytes read from + written to disk.
+    double buildMs = 0.0;         //!< Wall time spent producing values.
+};
+
+/** Per-stage cache counters of one pipeline run. */
+struct PipelineStats
+{
+    StageStats stages[kStageCount];
+
+    const StageStats &of(Stage stage) const
+    {
+        return stages[static_cast<std::size_t>(stage)];
+    }
+
+    /** Multi-line human-readable rendering (CLI --pipeline-stats). */
+    std::string render() const;
+};
+
+/**
+ * Thread-safe keyed memoization of pipeline artifacts. Values are
+ * immutable once published; concurrent requests for one key run the
+ * build exactly once (the others block and then share the result).
+ * Lookups for *different* keys never serialize behind a build.
+ */
+class ArtifactStore
+{
+  public:
+    /**
+     * @param diskDir Directory for the optional on-disk cache of
+     *        wait-graph bundles and AWGs (created on first write);
+     *        empty = memory-only.
+     */
+    explicit ArtifactStore(std::string diskDir = {});
+
+    ArtifactStore(const ArtifactStore &) = delete;
+    ArtifactStore &operator=(const ArtifactStore &) = delete;
+
+    /**
+     * The artifact for @p key, building it via @p build on first
+     * request. @p T must match the type every caller uses for this
+     * key (keys embed a stage salt, so stages cannot collide).
+     */
+    template <typename T, typename F>
+    std::shared_ptr<const T>
+    get(Stage stage, const Digest &key, F &&build)
+    {
+        auto erased = getOrBuild(stage, key, [&]() -> BuildOutcome {
+            return {std::make_shared<const T>(build()), false, 0};
+        });
+        return std::static_pointer_cast<const T>(erased);
+    }
+
+    /**
+     * One shard's wait-graph bundle: in-memory memoized and, when a
+     * disk directory is configured, persisted/restored as a
+     * "waitgraphs-<keyhex>.tla" file.
+     */
+    std::shared_ptr<const std::vector<WaitGraph>>
+    waitGraphs(const Digest &key,
+               const std::function<std::vector<WaitGraph>()> &build);
+
+    /** An aggregated wait graph; disk-backed like waitGraphs(). */
+    std::shared_ptr<const AggregatedWaitGraph>
+    awg(const Digest &key,
+        const std::function<AggregatedWaitGraph()> &build);
+
+    /** Snapshot of the per-stage counters. */
+    PipelineStats stats() const;
+
+    const std::string &diskDir() const { return diskDir_; }
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        std::shared_ptr<const void> value;
+    };
+
+    /** One erased build's result plus how the value was produced. */
+    struct BuildOutcome
+    {
+        std::shared_ptr<const void> value;
+        bool fromDisk = false;        //!< Deserialized, not computed.
+        std::uint64_t diskBytes = 0;  //!< Payload bytes read.
+    };
+
+    using ErasedBuild = std::function<BuildOutcome()>;
+
+    /**
+     * Core memoization: find-or-insert the entry under the map mutex,
+     * then run @p build under the entry's once_flag *outside* it, so
+     * builds for distinct keys proceed concurrently. The build is
+     * timed and counted as a miss or disk hit per its outcome; a
+     * value already present counts as a hit.
+     */
+    std::shared_ptr<const void>
+    getOrBuild(Stage stage, const Digest &key, const ErasedBuild &build);
+
+    /** Path of the artifact file for @p key in @p stage. */
+    std::string artifactPath(Stage stage, const Digest &key) const;
+
+    void countHit(Stage stage);
+    void recordBuild(Stage stage, bool fromDisk, std::uint64_t diskBytes,
+                     double ms);
+    void countDiskWrite(Stage stage, std::uint64_t bytes);
+
+    std::string diskDir_;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<Digest, std::unique_ptr<Entry>, DigestHash>
+        entries_;
+    PipelineStats stats_;
+};
+
+/**
+ * Binary codec of wait-graph bundles for the disk cache. The payload
+ * is a flat little-endian encoding of every graph's nodes, roots, and
+ * instance; decode() bounds-checks every count and index and reports
+ * failure instead of reading past the buffer.
+ */
+struct WaitGraphCodec
+{
+    static void encode(const std::vector<WaitGraph> &graphs,
+                       std::string &out);
+    static bool decode(const std::string &bytes,
+                       std::vector<WaitGraph> &graphs);
+};
+
+/** Binary codec of aggregated wait graphs for the disk cache. */
+struct AwgCodec
+{
+    static void encode(const AggregatedWaitGraph &awg, std::string &out);
+    static bool decode(const std::string &bytes,
+                       AggregatedWaitGraph &awg);
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_CORE_ARTIFACTS_H

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "src/util/hash.h"
 #include "src/util/types.h"
 
 namespace tracelens
@@ -81,13 +82,21 @@ struct EventRef
     friend auto operator<=>(const EventRef &, const EventRef &) = default;
 };
 
-/** Hash functor for EventRef. */
+/**
+ * Hash functor for EventRef. The two 32-bit fields are packed into one
+ * std::uint64_t and run through splitmix64 — NOT shifted into a
+ * std::size_t, which on 32-bit targets would shift past the type's
+ * width (undefined behaviour) and collapse every stream onto the same
+ * hash. The mixed value truncates safely to any size_t width.
+ */
 struct EventRefHash
 {
     std::size_t
     operator()(const EventRef &r) const
     {
-        return (static_cast<std::size_t>(r.stream) << 32) ^ r.index;
+        const std::uint64_t packed =
+            (static_cast<std::uint64_t>(r.stream) << 32) | r.index;
+        return static_cast<std::size_t>(splitmix64(packed));
     }
 };
 

@@ -38,12 +38,24 @@
 
 #include "src/trace/stream.h"
 #include "src/util/expected.h"
+#include "src/util/hash.h"
 
 namespace tracelens
 {
 
 /** Serialize @p corpus to a binary ostream. */
 void writeCorpus(const TraceCorpus &corpus, std::ostream &out);
+
+/**
+ * Content digest of @p corpus: the streaming hash of its canonical
+ * TLC1 serialization (no buffer is materialized). Two corpora digest
+ * equal iff their serialized bytes are equal, so the digest identifies
+ * a shard's logical content independently of how it reached memory
+ * (eager read, mmap materialization, in-memory generation). This is
+ * the shard-level input key of the artifact-cached analysis pipeline
+ * (src/core/artifacts.h).
+ */
+Digest digestCorpus(const TraceCorpus &corpus);
 
 /** Serialize @p corpus to the file at @p path (fatal on I/O failure). */
 void writeCorpusFile(const TraceCorpus &corpus, const std::string &path);

@@ -109,7 +109,8 @@ EagerSource::EagerSource(TraceCorpus &&corpus) : owned_(std::move(corpus))
 }
 
 EagerSource::EagerSource(std::vector<std::string> paths)
-    : paths_(std::move(paths)), reported_(paths_.size(), false)
+    : paths_(std::move(paths)), reported_(paths_.size(), false),
+      everLoaded_(paths_.size(), false)
 {
     stats_.shards = paths_.size();
 }
@@ -139,6 +140,16 @@ EagerSource::shardPath(std::size_t shard) const
 }
 
 void
+EagerSource::countLoaded(std::size_t shard, std::uint64_t bytes)
+{
+    if (everLoaded_[shard])
+        return;
+    everLoaded_[shard] = true;
+    stats_.loadedShards++;
+    stats_.ingestBytes += bytes;
+}
+
+void
 EagerSource::recordError(std::size_t shard, const SourceError &error)
 {
     if (reported_[shard])
@@ -162,6 +173,7 @@ EagerSource::summarize(std::size_t shard)
         recordError(shard, loaded.error());
         return loaded.error();
     }
+    countLoaded(shard, fileSizeOrZero(paths_[shard]));
     return summarizeCorpus(loaded.value(), paths_[shard],
                            fileSizeOrZero(paths_[shard]));
 }
@@ -180,6 +192,7 @@ EagerSource::shard(std::size_t shard)
         recordError(shard, loaded.error());
         return loaded.error();
     }
+    countLoaded(shard, fileSizeOrZero(paths_[shard]));
     return CorpusPtr(
         std::make_shared<const TraceCorpus>(std::move(loaded.value())));
 }
@@ -198,8 +211,7 @@ EagerSource::ensureLoaded()
             recordError(i, part.error());
             continue;
         }
-        stats_.loadedShards++;
-        stats_.ingestBytes += fileSizeOrZero(paths_[i]);
+        countLoaded(i, fileSizeOrZero(paths_[i]));
         parts.push_back(std::move(part.value()));
     }
     if (parts.size() == 1)

@@ -167,12 +167,17 @@ class EagerSource : public TraceSource
     /** Record a shard's load error in stats (once per shard). */
     void recordError(std::size_t shard, const SourceError &error);
 
+    /** Count shard @p i as loaded (first success only). */
+    void countLoaded(std::size_t shard, std::uint64_t bytes);
+
     const TraceCorpus *borrowed_ = nullptr;
     std::optional<TraceCorpus> owned_;
     std::vector<std::string> paths_;
     bool loaded_ = false;
     /** Shards whose errors were already counted. */
     std::vector<bool> reported_;
+    /** Shards that counted toward loadedShards already. */
+    std::vector<bool> everLoaded_;
     IngestStats stats_;
 };
 

@@ -306,21 +306,38 @@ WaitGraphBuilder::buildAll() const
 std::vector<WaitGraph>
 WaitGraphBuilder::buildAllParallel(unsigned threads) const
 {
+    return buildRangeParallel(
+        0, static_cast<std::uint32_t>(corpus_.instances().size()),
+        threads);
+}
+
+std::vector<WaitGraph>
+WaitGraphBuilder::buildRangeParallel(std::uint32_t first,
+                                     std::uint32_t count,
+                                     unsigned threads) const
+{
     const auto &instances = corpus_.instances();
-    if (threads <= 1 || instances.size() < 2)
-        return buildAll();
+    TL_ASSERT(first + count <= instances.size(),
+              "instance range out of bounds");
+
+    if (threads <= 1 || count < 2) {
+        std::vector<WaitGraph> graphs;
+        graphs.reserve(count);
+        for (std::uint32_t i = first; i < first + count; ++i)
+            graphs.push_back(build(instances[i]));
+        return graphs;
+    }
 
     // Warm the per-stream indices serially: the cache is not safe for
     // concurrent insertion, but concurrent reads of a complete cache
     // are.
-    for (const ScenarioInstance &instance : instances)
-        streamIndex(instance.stream);
+    for (std::uint32_t i = first; i < first + count; ++i)
+        streamIndex(instances[i].stream);
 
-    std::vector<WaitGraph> graphs(instances.size());
-    tracelens::parallelFor(threads, 0, instances.size(),
-                           [&](std::size_t i) {
-                               graphs[i] = build(instances[i]);
-                           });
+    std::vector<WaitGraph> graphs(count);
+    tracelens::parallelFor(threads, 0, count, [&](std::size_t i) {
+        graphs[i] = build(instances[first + i]);
+    });
     return graphs;
 }
 

@@ -107,6 +107,8 @@ class WaitGraph
 
   private:
     friend class WaitGraphBuilder;
+    /** Binary artifact-cache codec (src/core/artifacts.cpp). */
+    friend struct WaitGraphCodec;
 
     std::vector<Node> nodes_;
     std::vector<std::uint32_t> roots_;
@@ -162,6 +164,18 @@ class WaitGraphBuilder
      * count. Falls back to the serial path for threads <= 1.
      */
     std::vector<WaitGraph> buildAllParallel(unsigned threads) const;
+
+    /**
+     * Build graphs for the contiguous instance range
+     * [@p first, @p first + @p count), in instance order, across
+     * @p threads workers (serial for threads <= 1). The unit of work
+     * of the incremental pipeline: one shard's instances form one such
+     * range, and the result is bit-identical to the corresponding
+     * slice of buildAllParallel().
+     */
+    std::vector<WaitGraph> buildRangeParallel(std::uint32_t first,
+                                              std::uint32_t count,
+                                              unsigned threads) const;
 
   private:
     struct ThreadIndex

@@ -172,7 +172,8 @@ TEST(Report, ContainsAllSections)
     spec.machines = 6;
     spec.seed = 13;
     const TraceCorpus corpus = generateCorpus(spec);
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+    Analyzer analyzer(analyzer_source);
 
     const std::vector<ScenarioThresholds> scenarios = {
         {"BrowserTabCreate", fromMs(300), fromMs(500)},
@@ -197,7 +198,8 @@ TEST(Report, KnowledgeFilterToggle)
     spec.seed = 21;
     spec.diskProtectionFraction = 1.0; // every machine has dp.sys
     const TraceCorpus corpus = generateCorpus(spec);
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+    Analyzer analyzer(analyzer_source);
 
     const std::vector<ScenarioThresholds> scenarios = {
         {"BrowserTabCreate", fromMs(300), fromMs(500)},

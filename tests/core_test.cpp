@@ -28,7 +28,9 @@ TEST(Analyzer, ClassifySplitsByThresholds)
     b.instance("T", 1, 0, fromMs(700));   // other scenario
     b.finish();
 
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+
+    Analyzer analyzer(analyzer_source);
     const auto classes = analyzer.classify(corpus.findScenario("S"),
                                            fromMs(300), fromMs(500));
     EXPECT_EQ(classes.fast.size(), 1u);
@@ -52,7 +54,9 @@ TEST(Analyzer, MotivatingExampleEndToEnd)
         sim.run();
     }
 
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+
+    Analyzer analyzer(analyzer_source);
     const ScenarioAnalysis analysis = analyzer.analyzeScenario(
         "BrowserTabCreate", fromMs(300), fromMs(500));
 
@@ -83,7 +87,9 @@ TEST(Analyzer, GeneratedCorpusPipelineProducesSaneMetrics)
     spec.seed = 7;
     const TraceCorpus corpus = generateCorpus(spec);
 
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+
+    Analyzer analyzer(analyzer_source);
     const ImpactResult impact = analyzer.impactAll();
 
     EXPECT_GT(impact.instances, 0u);
@@ -113,7 +119,9 @@ TEST(Analyzer, ScenarioAnalysisOnGeneratedCorpus)
     spec.onlyScenarios = {"BrowserTabCreate"};
     const TraceCorpus corpus = generateCorpus(spec);
 
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+
+    Analyzer analyzer(analyzer_source);
     const ScenarioSpec &scn = scenarioByName("BrowserTabCreate");
     const ScenarioAnalysis analysis =
         analyzer.analyzeScenario("BrowserTabCreate", scn.tFast,
@@ -131,7 +139,8 @@ TEST(Analyzer, ScenarioAnalysisOnGeneratedCorpus)
 TEST(Analyzer, UnknownScenarioIsFatal)
 {
     TraceCorpus corpus;
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+    Analyzer analyzer(analyzer_source);
     EXPECT_DEATH(
         { analyzer.analyzeScenario("Nope", fromMs(1), fromMs(2)); },
         "not in corpus");

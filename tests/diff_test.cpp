@@ -150,7 +150,8 @@ TEST(MiningDiff, TwoSeedsOfSameWorkloadAreMostlyStable)
     const TraceCorpus a = analyze(100);
     const TraceCorpus b = analyze(200);
 
-    Analyzer ana_a(a), ana_b(b);
+    EagerSource source_a(a), source_b(b);
+    Analyzer ana_a(source_a), ana_b(source_b);
     const ScenarioAnalysis ra = ana_a.analyzeScenario(
         "BrowserTabCreate", fromMs(300), fromMs(500));
     const ScenarioAnalysis rb = ana_b.analyzeScenario(

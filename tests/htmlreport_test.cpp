@@ -23,7 +23,8 @@ TEST(HtmlReport, WellFormedSkeleton)
     spec.machines = 6;
     spec.seed = 2;
     const TraceCorpus corpus = generateCorpus(spec);
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+    Analyzer analyzer(analyzer_source);
 
     const std::vector<ScenarioThresholds> scenarios = {
         {"BrowserTabCreate", fromMs(300), fromMs(500)},
@@ -70,7 +71,9 @@ TEST(HtmlReport, EscapesSignatures)
     b.instance("S", 1, 0, fromMs(1));
     b.finish();
 
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+
+    Analyzer analyzer(analyzer_source);
     const std::vector<ScenarioThresholds> scenarios = {
         {"S", fromMs(100), fromMs(500)},
     };
@@ -84,7 +87,8 @@ TEST(HtmlReport, EscapesSignatures)
 TEST(HtmlReport, WritesFile)
 {
     TraceCorpus corpus;
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+    Analyzer analyzer(analyzer_source);
     const std::string path = "/tmp/tracelens_report_test.html";
     writeHtmlReportFile(analyzer, {}, path);
     std::ifstream in(path);

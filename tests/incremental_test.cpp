@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the incremental, artifact-cached analysis pipeline:
+ * appending shards must rebuild only the new shard's artifacts and
+ * still produce byte-identical reports, and the optional disk cache
+ * must warm-start fresh analyzers (while never trusting corrupt
+ * files).
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/analyzer.h"
+#include "src/core/report.h"
+#include "src/trace/merge.h"
+#include "src/trace/source.h"
+#include "src/workload/generator.h"
+#include "src/workload/scenarios.h"
+
+namespace tracelens
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Self-cleaning temp directory for disk-cache tests. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &name)
+        : path_(fs::temp_directory_path() /
+                ("tracelens_incremental_test_" + name))
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~ScratchDir() { fs::remove_all(path_); }
+
+    std::string str() const { return path_.string(); }
+    const fs::path &path() const { return path_; }
+
+  private:
+    fs::path path_;
+};
+
+CorpusSpec
+smallSpec()
+{
+    CorpusSpec spec;
+    spec.machines = 12;
+    spec.seed = 4242;
+    return spec;
+}
+
+std::vector<ScenarioThresholds>
+catalogThresholds(const TraceCorpus &corpus)
+{
+    std::vector<ScenarioThresholds> scenarios;
+    for (const ScenarioSpec &spec : scenarioCatalog()) {
+        if (spec.selected &&
+            corpus.findScenario(spec.name) != UINT32_MAX)
+            scenarios.push_back({spec.name, spec.tFast, spec.tSlow});
+    }
+    return scenarios;
+}
+
+/** The full analysis report — the byte-identity probe. */
+std::string
+reportOf(const Analyzer &analyzer)
+{
+    return buildReport(analyzer, catalogThresholds(analyzer.corpus()));
+}
+
+/** Merge of parts[0..count) in order, as the analyzer would absorb. */
+TraceCorpus
+mergedPrefix(const std::vector<TraceCorpus> &parts, std::size_t count)
+{
+    TraceCorpus merged;
+    for (std::size_t i = 0; i < count; ++i)
+        appendCorpus(merged, parts[i]);
+    return merged;
+}
+
+TEST(Incremental, AppendRebuildsOnlyTheNewShard)
+{
+    const TraceCorpus corpus = generateCorpus(smallSpec());
+    const std::vector<TraceCorpus> parts = splitCorpus(corpus, 4);
+    ASSERT_EQ(parts.size(), 4u);
+
+    for (const unsigned threads : {1u, 3u}) {
+        AnalyzerConfig config;
+        config.threads = threads;
+
+        // Three shards in, full report out: one wait-graph bundle
+        // built per shard, nothing served from cache yet.
+        EagerSource first(parts[0]);
+        Analyzer analyzer(first, config);
+        analyzer.addStreams(parts[1]);
+        analyzer.addStreams(parts[2]);
+        ASSERT_EQ(analyzer.shardCount(), 3u);
+        const std::string r1 = reportOf(analyzer);
+        {
+            const PipelineStats stats = analyzer.pipelineStats();
+            EXPECT_EQ(stats.of(Stage::WaitGraphs).misses, 3u);
+            EXPECT_EQ(stats.of(Stage::WaitGraphs).hits, 0u);
+        }
+
+        // The cold equivalent of the three-shard state.
+        const TraceCorpus merged3 = mergedPrefix(parts, 3);
+        EagerSource cold3_source(merged3);
+        Analyzer cold3(cold3_source, config);
+        EXPECT_EQ(reportOf(cold3), r1);
+
+        // Appending the fourth shard invalidates only the suffix:
+        // the three prefix bundles are re-served from the store, one
+        // new bundle is built.
+        analyzer.addStreams(parts[3]);
+        const std::string r2 = reportOf(analyzer);
+        {
+            const PipelineStats stats = analyzer.pipelineStats();
+            EXPECT_EQ(stats.of(Stage::WaitGraphs).misses, 4u);
+            EXPECT_GE(stats.of(Stage::WaitGraphs).hits, 3u);
+        }
+
+        // Byte-identical to a cold full analysis of all four parts.
+        const TraceCorpus merged4 = mergedPrefix(parts, 4);
+        EagerSource cold4_source(merged4);
+        Analyzer cold4(cold4_source, config);
+        EXPECT_EQ(reportOf(cold4), r2);
+    }
+}
+
+TEST(Incremental, SerialAndParallelReportsAreIdentical)
+{
+    const TraceCorpus corpus = generateCorpus(smallSpec());
+    EagerSource serial_source(corpus), parallel_source(corpus);
+
+    AnalyzerConfig serial_config;
+    serial_config.threads = 1;
+    Analyzer serial(serial_source, serial_config);
+
+    AnalyzerConfig parallel_config;
+    parallel_config.threads = 4;
+    Analyzer parallel(parallel_source, parallel_config);
+
+    EXPECT_EQ(reportOf(serial), reportOf(parallel));
+}
+
+TEST(Incremental, RepeatedQueriesHitTheMemoizedStore)
+{
+    const TraceCorpus corpus = generateCorpus(smallSpec());
+    EagerSource source(corpus);
+    Analyzer analyzer(source);
+
+    const ImpactResult first = analyzer.impactAll();
+    const ImpactResult second = analyzer.impactAll();
+    EXPECT_EQ(first.dWait, second.dWait);
+    EXPECT_EQ(first.dWaitDist, second.dWaitDist);
+
+    const PipelineStats stats = analyzer.pipelineStats();
+    EXPECT_EQ(stats.of(Stage::Impact).misses, 1u);
+    EXPECT_GE(stats.of(Stage::Impact).hits, 1u);
+}
+
+TEST(Incremental, DiskCacheWarmStartsAFreshAnalyzer)
+{
+    const ScratchDir dir("warm");
+    const TraceCorpus corpus = generateCorpus(smallSpec());
+
+    AnalyzerConfig config;
+    config.threads = 1;
+    config.artifactCacheDir = dir.str();
+
+    std::string cold_report;
+    {
+        EagerSource source(corpus);
+        Analyzer cold(source, config);
+        cold_report = reportOf(cold);
+        const PipelineStats stats = cold.pipelineStats();
+        EXPECT_EQ(stats.of(Stage::WaitGraphs).misses, 1u);
+        EXPECT_EQ(stats.of(Stage::WaitGraphs).diskHits, 0u);
+        EXPECT_EQ(stats.of(Stage::WaitGraphs).diskWrites, 1u);
+        EXPECT_GT(stats.of(Stage::Awg).diskWrites, 0u);
+    }
+    ASSERT_FALSE(fs::is_empty(dir.path()));
+
+    // A fresh analyzer — different process in real life, and a
+    // different thread count on purpose: artifact keys must not
+    // depend on parallelism.
+    AnalyzerConfig warm_config = config;
+    warm_config.threads = 4;
+    EagerSource source(corpus);
+    Analyzer warm(source, warm_config);
+    EXPECT_EQ(reportOf(warm), cold_report);
+    const PipelineStats stats = warm.pipelineStats();
+    EXPECT_EQ(stats.of(Stage::WaitGraphs).misses, 0u);
+    EXPECT_EQ(stats.of(Stage::WaitGraphs).diskHits, 1u);
+    EXPECT_GT(stats.of(Stage::Awg).diskHits, 0u);
+    EXPECT_EQ(stats.of(Stage::Awg).misses, 0u);
+}
+
+TEST(Incremental, CorruptCacheFilesAreRebuiltNotTrusted)
+{
+    const ScratchDir dir("corrupt");
+    const TraceCorpus corpus = generateCorpus(smallSpec());
+
+    AnalyzerConfig config;
+    config.threads = 1;
+    config.artifactCacheDir = dir.str();
+
+    std::string cold_report;
+    {
+        EagerSource source(corpus);
+        Analyzer cold(source, config);
+        cold_report = reportOf(cold);
+    }
+
+    // Damage every cached artifact: truncate half of them, scramble
+    // payload bytes in the rest. Neither must ever be deserialized.
+    std::size_t corrupted = 0;
+    for (const auto &entry : fs::directory_iterator(dir.path())) {
+        const auto size = fs::file_size(entry.path());
+        if (corrupted % 2 == 0) {
+            fs::resize_file(entry.path(), size / 2);
+        } else {
+            std::fstream f(entry.path(),
+                           std::ios::in | std::ios::out |
+                               std::ios::binary);
+            f.seekp(static_cast<std::streamoff>(size / 2));
+            f.write("\xde\xad\xbe\xef", 4);
+        }
+        ++corrupted;
+    }
+    ASSERT_GT(corrupted, 0u);
+
+    EagerSource source(corpus);
+    Analyzer rebuilt(source, config);
+    EXPECT_EQ(reportOf(rebuilt), cold_report);
+    const PipelineStats stats = rebuilt.pipelineStats();
+    EXPECT_EQ(stats.of(Stage::WaitGraphs).diskHits, 0u);
+    EXPECT_EQ(stats.of(Stage::WaitGraphs).misses, 1u);
+    EXPECT_EQ(stats.of(Stage::Awg).diskHits, 0u);
+}
+
+TEST(Incremental, CacheDirIsSharedAcrossDistinctConfigs)
+{
+    // Different analysis options fingerprint to different keys, so
+    // one directory serves both without cross-contamination.
+    const ScratchDir dir("configs");
+    const TraceCorpus corpus = generateCorpus(smallSpec());
+
+    AnalyzerConfig a;
+    a.threads = 1;
+    a.artifactCacheDir = dir.str();
+    AnalyzerConfig b = a;
+    b.waitGraph.maxDepth = 3; // different graphs, different keys
+
+    EagerSource source_a(corpus), source_b(corpus);
+    Analyzer ana_a(source_a, a), ana_b(source_b, b);
+    (void)ana_a.impactAll();
+    (void)ana_b.impactAll();
+    EXPECT_EQ(ana_a.pipelineStats().of(Stage::WaitGraphs).misses, 1u);
+    EXPECT_EQ(ana_b.pipelineStats().of(Stage::WaitGraphs).misses, 1u);
+
+    // Re-running either configuration now warm-starts from disk.
+    EagerSource source_a2(corpus);
+    Analyzer again(source_a2, a);
+    (void)again.impactAll();
+    EXPECT_EQ(again.pipelineStats().of(Stage::WaitGraphs).diskHits, 1u);
+}
+
+} // namespace
+} // namespace tracelens

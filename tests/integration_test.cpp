@@ -41,7 +41,8 @@ mediumCorpus()
 
 TEST(Integration, HeadlineShapeHolds)
 {
-    Analyzer analyzer(mediumCorpus());
+    EagerSource analyzer_source(mediumCorpus());
+    Analyzer analyzer(analyzer_source);
     const ImpactResult impact = analyzer.impactAll();
 
     // The paper's shape: drivers dominate waiting, not running; a
@@ -58,7 +59,8 @@ TEST(Integration, HeadlineShapeHolds)
 
 TEST(Integration, EveryScenarioAnalyzesCleanly)
 {
-    Analyzer analyzer(mediumCorpus());
+    EagerSource analyzer_source(mediumCorpus());
+    Analyzer analyzer(analyzer_source);
     for (const ScenarioSpec &scn : scenarioCatalog()) {
         if (mediumCorpus().findScenario(scn.name) == UINT32_MAX)
             continue;
@@ -75,7 +77,8 @@ TEST(Integration, EveryScenarioAnalyzesCleanly)
 
 TEST(Integration, PatternIndexAcrossScenarios)
 {
-    Analyzer analyzer(mediumCorpus());
+    EagerSource analyzer_source(mediumCorpus());
+    Analyzer analyzer(analyzer_source);
     PatternIndex index(mediumCorpus().symbols());
     for (const ScenarioSpec &scn : scenarioCatalog()) {
         if (mediumCorpus().findScenario(scn.name) == UINT32_MAX)
@@ -108,7 +111,8 @@ TEST(Integration, KnowledgeFilterOnRealMiningOutput)
     spec.seed = 77;
     spec.diskProtectionFraction = 1.0;
     const TraceCorpus corpus = generateCorpus(spec);
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+    Analyzer analyzer(analyzer_source);
 
     bool saw_suppression = false;
     const KnowledgeBase kb = KnowledgeBase::defaults();
@@ -147,8 +151,9 @@ TEST(Integration, PersistenceBinaryAndCsvAgree)
     const TraceCorpus from_csv = readCorpusCsv(ein, iin);
 
     // Analyses of both copies agree exactly.
-    const ImpactResult a = Analyzer(from_binary).impactAll();
-    const ImpactResult b = Analyzer(from_csv).impactAll();
+    EagerSource binary_source(from_binary), csv_source(from_csv);
+    const ImpactResult a = Analyzer(binary_source).impactAll();
+    const ImpactResult b = Analyzer(csv_source).impactAll();
     EXPECT_EQ(a.dScn, b.dScn);
     EXPECT_EQ(a.dWait, b.dWait);
     EXPECT_EQ(a.dRun, b.dRun);
@@ -204,7 +209,8 @@ TEST(Integration, CaseStudiesSurviveSerialization)
 
 TEST(Integration, ReportOverMediumCorpus)
 {
-    Analyzer analyzer(mediumCorpus());
+    EagerSource analyzer_source(mediumCorpus());
+    Analyzer analyzer(analyzer_source);
     std::vector<ScenarioThresholds> scenarios;
     for (const ScenarioSpec &scn : scenarioCatalog())
         scenarios.push_back({scn.name, scn.tFast, scn.tSlow});

@@ -100,8 +100,10 @@ TEST(Merge, MergedAnalysisEqualsJointGeneration)
     EXPECT_EQ(merged.totalEvents(), joint.totalEvents());
     EXPECT_EQ(merged.instances().size(), joint.instances().size());
 
-    const ImpactResult a = Analyzer(joint).impactAll();
-    const ImpactResult b = Analyzer(merged).impactAll();
+    EagerSource joint_source(joint);
+    EagerSource merged_source(merged);
+    const ImpactResult a = Analyzer(joint_source).impactAll();
+    const ImpactResult b = Analyzer(merged_source).impactAll();
     EXPECT_EQ(a.dScn, b.dScn);
     EXPECT_EQ(a.dWait, b.dWait);
     EXPECT_EQ(a.dRun, b.dRun);

@@ -180,11 +180,13 @@ TEST(ParallelDeterminism, ImpactAllIdentical)
 
     AnalyzerConfig serial_config;
     serial_config.threads = 1;
-    Analyzer serial(corpus, serial_config);
+    EagerSource serial_source(corpus);
+    Analyzer serial(serial_source, serial_config);
 
     AnalyzerConfig parallel_config;
     parallel_config.threads = manyThreads();
-    Analyzer parallel(corpus, parallel_config);
+    EagerSource parallel_source(corpus);
+    Analyzer parallel(parallel_source, parallel_config);
 
     expectSameImpact(serial.impactAll(), parallel.impactAll());
 
@@ -204,11 +206,13 @@ TEST(ParallelDeterminism, ScenarioAnalysisIdentical)
 
     AnalyzerConfig serial_config;
     serial_config.threads = 1;
-    Analyzer serial(corpus, serial_config);
+    EagerSource serial_source(corpus);
+    Analyzer serial(serial_source, serial_config);
 
     AnalyzerConfig parallel_config;
     parallel_config.threads = manyThreads();
-    Analyzer parallel(corpus, parallel_config);
+    EagerSource parallel_source(corpus);
+    Analyzer parallel(parallel_source, parallel_config);
 
     for (const ScenarioSpec &spec : scenarioCatalog()) {
         if (!spec.selected ||
@@ -263,7 +267,8 @@ TEST(ParallelDeterminism, ScenarioFanOutMatchesSequentialCalls)
     const TraceCorpus corpus = generateCorpus(smallFleet());
     AnalyzerConfig config;
     config.threads = manyThreads();
-    Analyzer analyzer(corpus, config);
+    EagerSource analyzer_source(corpus);
+    Analyzer analyzer(analyzer_source, config);
 
     std::vector<ScenarioThresholds> requests;
     for (const ScenarioSpec &spec : scenarioCatalog()) {

@@ -81,7 +81,8 @@ TEST_P(CorpusProperty, EventsAreTimeOrderedWithinStreams)
 
 TEST_P(CorpusProperty, ImpactInvariants)
 {
-    Analyzer analyzer(corpus());
+    EagerSource analyzer_source(corpus());
+    Analyzer analyzer(analyzer_source);
     const ImpactResult impact = analyzer.impactAll();
 
     EXPECT_GE(impact.dWait, impact.dWaitDist);
@@ -97,7 +98,8 @@ TEST_P(CorpusProperty, ImpactInvariants)
 
 TEST_P(CorpusProperty, PerScenarioImpactPartitionsTotals)
 {
-    Analyzer analyzer(corpus());
+    EagerSource analyzer_source(corpus());
+    Analyzer analyzer(analyzer_source);
     const ImpactResult total = analyzer.impactAll();
     const auto per = analyzer.impactPerScenario();
 
@@ -173,7 +175,8 @@ TEST_P(CorpusProperty, CsvAndBinaryAgreeOnEventCounts)
 
 TEST_P(CorpusProperty, ScenarioAnalysisInvariants)
 {
-    Analyzer analyzer(corpus());
+    EagerSource analyzer_source(corpus());
+    Analyzer analyzer(analyzer_source);
     for (const ScenarioSpec &scn : scenarioCatalog()) {
         if (corpus().findScenario(scn.name) == UINT32_MAX)
             continue;
@@ -269,7 +272,8 @@ TEST(MiningProperty, MiningIsDeterministic)
     const TraceCorpus corpus = generateCorpus(spec);
 
     auto run = [&] {
-        Analyzer analyzer(corpus);
+        EagerSource analyzer_source(corpus);
+        Analyzer analyzer(analyzer_source);
         const ScenarioAnalysis analysis = analyzer.analyzeScenario(
             "WebPageNavigation", fromMs(500), fromMs(1000));
         std::ostringstream oss;
@@ -295,7 +299,8 @@ TEST(MiningProperty, MetaPatternsGrowMonotonicallyWithK)
     for (std::uint32_t k = 1; k <= 6; ++k) {
         AnalyzerConfig config;
         config.maxSegmentLength = k;
-        Analyzer analyzer(corpus, config);
+        EagerSource analyzer_source(corpus);
+        Analyzer analyzer(analyzer_source, config);
         const ScenarioAnalysis analysis = analyzer.analyzeScenario(
             "BrowserTabCreate", fromMs(300), fromMs(500));
         EXPECT_GE(analysis.mining.stats.slowMetaPatterns, last);

@@ -138,7 +138,9 @@ TEST(Robustness, AnalysisToleratesTruncatedTraces)
     b.instance("S", 2, 0, fromMs(5));
     b.finish();
 
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+
+    Analyzer analyzer(analyzer_source);
     const ImpactResult impact = analyzer.impactAll();
     EXPECT_GE(impact.dWait, 0);
     EXPECT_GE(impact.dScn, 0);
@@ -147,7 +149,8 @@ TEST(Robustness, AnalysisToleratesTruncatedTraces)
 TEST(Robustness, AnalysisToleratesEmptyCorpus)
 {
     TraceCorpus corpus;
-    Analyzer analyzer(corpus);
+    EagerSource analyzer_source(corpus);
+    Analyzer analyzer(analyzer_source);
     const ImpactResult impact = analyzer.impactAll();
     EXPECT_EQ(impact.instances, 0u);
     EXPECT_EQ(impact.dScn, 0);

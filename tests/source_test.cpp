@@ -199,7 +199,8 @@ TEST(Source, ShardedDirectoryEqualsMonolithicFile)
     EXPECT_EQ(merged.totalEvents(), corpus.totalEvents());
     EXPECT_EQ(merged.instances().size(), corpus.instances().size());
 
-    const ImpactResult a = Analyzer(corpus).impactAll();
+    EagerSource mono_source(corpus);
+    const ImpactResult a = Analyzer(mono_source).impactAll();
     const ImpactResult b = Analyzer(*source.value()).impactAll();
     EXPECT_EQ(a.dScn, b.dScn);
     EXPECT_EQ(a.dWait, b.dWait);
@@ -394,15 +395,19 @@ TEST(Source, MmapReaderRejectsCorruptFilesCleanly)
     }
 }
 
-TEST(Source, LegacyAnalyzerConstructorStillWorks)
+TEST(Source, BorrowingEagerSourceIsTheCorpusCompatibilityPath)
 {
-    // The compatibility path: corpus in, identical results out.
+    // A corpus wrapped in a borrowing EagerSource analyzes without a
+    // copy and yields the same results as any other source of it.
     const TraceCorpus corpus = generateCorpus(smallSpec());
-    Analyzer legacy(corpus);
-    EagerSource source(corpus);
-    Analyzer current(source);
-    EXPECT_EQ(legacy.impactAll().dWait, current.impactAll().dWait);
-    EXPECT_EQ(&current.source(), &source);
+    EagerSource borrowed(corpus);
+    Analyzer current(borrowed);
+    EXPECT_EQ(&current.source(), &borrowed);
+    EXPECT_EQ(&current.corpus(), &corpus); // aliased, not merged
+
+    EagerSource again(corpus);
+    Analyzer other(again);
+    EXPECT_EQ(current.impactAll().dWait, other.impactAll().dWait);
 }
 
 } // namespace

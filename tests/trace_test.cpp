@@ -4,7 +4,9 @@
  * serialization round-trips, and validation.
  */
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -44,6 +46,29 @@ TEST(EventRef, EqualityAndHash)
     EventRefHash h;
     EXPECT_EQ(h(a), h(b));
     EXPECT_NE(h(a), h(c));
+}
+
+TEST(EventRef, HashMixesStreamIntoLowBits)
+{
+    // Refs that differ only in the stream must differ in the *low 32
+    // bits* of the hash: a 32-bit size_t keeps only those, and the old
+    // `stream << 32` packing collapsed every stream onto one bucket
+    // there (and was UB when size_t itself is 32 bits wide).
+    EventRefHash h;
+    const std::uint64_t mask = 0xffffffffu;
+    std::size_t distinct = 0;
+    std::vector<std::uint64_t> seen;
+    for (std::uint32_t stream = 0; stream < 64; ++stream) {
+        const std::uint64_t low =
+            static_cast<std::uint64_t>(h(EventRef{stream, 7})) & mask;
+        if (std::find(seen.begin(), seen.end(), low) == seen.end()) {
+            seen.push_back(low);
+            ++distinct;
+        }
+    }
+    // splitmix64 makes 64 collisions in 2^32 astronomically unlikely;
+    // demand near-perfect spread to catch any truncating regression.
+    EXPECT_GE(distinct, 63u);
 }
 
 TEST(SymbolTable, FrameInterningAndComponents)

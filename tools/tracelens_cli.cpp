@@ -26,7 +26,10 @@
  * Every PATH that names a corpus accepts either a single .tlc file or
  * a directory of shards, and takes --mmap (zero-copy mmap ingestion)
  * and --cache-bytes N (shard-cache budget); corrupt shards inside a
- * directory are reported and skipped, never fatal.
+ * directory are reported and skipped, never fatal. Analysis commands
+ * additionally take --artifact-cache DIR (persist wait graphs and
+ * AWGs across runs) and --pipeline-stats (print per-stage cache
+ * counters and build times).
  */
 
 #include <charconv>
@@ -140,7 +143,10 @@ usage()
            "corpus-reading\ncommands accept --mmap (zero-copy "
            "ingestion) and --cache-bytes N\n(shard-cache budget, "
            "suffixes k/m/g).\n--threads 0 (default) uses every "
-           "hardware thread; 1 runs serially.\nAnalysis results are "
+           "hardware thread; 1 runs serially.\nAnalysis commands also "
+           "accept --artifact-cache DIR (persist wait\ngraphs/AWGs "
+           "across runs) and --pipeline-stats (per-stage cache\n"
+           "counters and build times).\nAnalysis results are "
            "identical for every thread count and for every\n"
            "ingestion path.\n";
     return 2;
@@ -222,6 +228,45 @@ threadsFlag(const Args &args)
                  std::string(*v), "'");
     }
     return threads;
+}
+
+/** Shared analyzer flags: --threads plus --artifact-cache DIR. */
+AnalyzerConfig
+analyzerConfigFlag(const Args &args)
+{
+    AnalyzerConfig config;
+    config.threads = threadsFlag(args);
+    if (auto dir = args.flag("artifact-cache")) {
+        if (dir->empty())
+            TL_FATAL("--artifact-cache expects a directory path");
+        config.artifactCacheDir = *dir;
+    }
+    return config;
+}
+
+/**
+ * Post-ingestion check for analyzer commands: the analyzer ingests
+ * shard by shard, skipping corrupt ones; a source with no usable
+ * shard at all is fatal (the single-file case keeps its fail-loudly
+ * behavior).
+ */
+void
+requireUsable(const TraceSource &source)
+{
+    const IngestStats &stats = source.stats();
+    if (stats.shards > 0 && stats.loadedShards == 0) {
+        TL_FATAL(stats.errors.empty()
+                     ? "no usable shards in source"
+                     : stats.errors.front().render());
+    }
+}
+
+/** Print the per-stage artifact counters under --pipeline-stats. */
+void
+maybePrintPipelineStats(const Args &args, const Analyzer &analyzer)
+{
+    if (args.has("pipeline-stats"))
+        std::cout << analyzer.pipelineStats().render();
 }
 
 int
@@ -334,14 +379,14 @@ cmdImpact(const Args &args)
         return usage();
     const std::unique_ptr<TraceSource> source =
         openSourceOrDie(args.positional()[0], args);
-    const TraceCorpus &corpus = loadCorpus(*source);
 
-    AnalyzerConfig config;
-    config.threads = threadsFlag(args);
+    AnalyzerConfig config = analyzerConfigFlag(args);
     const auto globs = args.flagAll("components");
     if (!globs.empty())
         config.components = globs;
     Analyzer analyzer(*source, config);
+    requireUsable(*source);
+    const TraceCorpus &corpus = analyzer.corpus();
 
     std::cout << "components:";
     for (const auto &g : analyzer.components().patterns())
@@ -353,6 +398,7 @@ cmdImpact(const Args &args)
         std::cout << "  " << corpus.scenarioName(scenario) << ": "
                   << impact.render() << "\n";
     }
+    maybePrintPipelineStats(args, analyzer);
     return 0;
 }
 
@@ -364,7 +410,6 @@ cmdAnalyze(const Args &args)
         return usage();
     const std::unique_ptr<TraceSource> source =
         openSourceOrDie(args.positional()[0], args);
-    const TraceCorpus &corpus = loadCorpus(*source);
 
     // Thresholds default to the catalog's when the scenario is known.
     DurationNs t_fast = 0, t_slow = 0;
@@ -383,9 +428,9 @@ cmdAnalyze(const Args &args)
         return 2;
     }
 
-    AnalyzerConfig config;
-    config.threads = threadsFlag(args);
-    Analyzer analyzer(*source, config);
+    Analyzer analyzer(*source, analyzerConfigFlag(args));
+    requireUsable(*source);
+    const TraceCorpus &corpus = analyzer.corpus();
     const ScenarioAnalysis analysis =
         analyzer.analyzeScenario(*scenario, t_fast, t_slow);
 
@@ -422,6 +467,7 @@ cmdAnalyze(const Args &args)
                   << "\n"
                   << p.tuple.render(corpus.symbols()) << "\n";
     }
+    maybePrintPipelineStats(args, analyzer);
     return 0;
 }
 
@@ -452,10 +498,9 @@ cmdReport(const Args &args)
         return usage();
     const std::unique_ptr<TraceSource> source =
         openSourceOrDie(args.positional()[0], args);
-    const TraceCorpus &corpus = loadCorpus(*source);
-    AnalyzerConfig config;
-    config.threads = threadsFlag(args);
-    Analyzer analyzer(*source, config);
+    Analyzer analyzer(*source, analyzerConfigFlag(args));
+    requireUsable(*source);
+    const TraceCorpus &corpus = analyzer.corpus();
 
     std::vector<ScenarioThresholds> scenarios;
     for (const ScenarioSpec &spec : scenarioCatalog()) {
@@ -471,9 +516,11 @@ cmdReport(const Args &args)
     if (auto html = args.flag("html")) {
         writeHtmlReportFile(analyzer, scenarios, *html, options);
         std::cout << "wrote " << *html << "\n";
+        maybePrintPipelineStats(args, analyzer);
         return 0;
     }
     std::cout << buildReport(analyzer, scenarios, options);
+    maybePrintPipelineStats(args, analyzer);
     return 0;
 }
 
@@ -487,8 +534,6 @@ cmdDiff(const Args &args)
         openSourceOrDie(args.positional()[0], args);
     const std::unique_ptr<TraceSource> source_after =
         openSourceOrDie(args.positional()[1], args);
-    const TraceCorpus &before = loadCorpus(*source_before);
-    const TraceCorpus &after = loadCorpus(*source_after);
 
     DurationNs t_fast = 0, t_slow = 0;
     for (const ScenarioSpec &spec : scenarioCatalog()) {
@@ -506,10 +551,13 @@ cmdDiff(const Args &args)
         return 2;
     }
 
-    AnalyzerConfig config;
-    config.threads = threadsFlag(args);
+    const AnalyzerConfig config = analyzerConfigFlag(args);
     Analyzer ana_before(*source_before, config);
+    requireUsable(*source_before);
     Analyzer ana_after(*source_after, config);
+    requireUsable(*source_after);
+    const TraceCorpus &before = ana_before.corpus();
+    const TraceCorpus &after = ana_after.corpus();
     const ScenarioAnalysis rb =
         ana_before.analyzeScenario(*scenario, t_fast, t_slow);
     const ScenarioAnalysis ra =
