@@ -16,8 +16,12 @@
  *   BENCH_scale_scenario_speedup, BENCH_scale_pipeline_speedup,
  *   BENCH_scale_ingest_speedup
  * and writes the eager-vs-mmap ingestion comparison to
- * BENCH_ingest.json and the cold-vs-warm artifact-cache pipeline
- * comparison to BENCH_pipeline.json in the working directory.
+ * BENCH_ingest.json, the cold-vs-warm artifact-cache pipeline
+ * comparison to BENCH_pipeline.json, and the self-telemetry
+ * (span-recording) overhead measurement to BENCH_telemetry.json in
+ * the working directory. The telemetry run gates the overhead
+ * contract of src/util/telemetry.h: spans on must stay within a few
+ * percent of spans off (BENCH_scale_telemetry_overhead_pct).
  */
 
 #include <chrono>
@@ -33,6 +37,7 @@
 #include "src/trace/source.h"
 #include "src/util/parallel.h"
 #include "src/util/table.h"
+#include "src/util/telemetry.h"
 #include "src/waitgraph/waitgraph.h"
 #include "src/workload/generator.h"
 #include "src/workload/scenarios.h"
@@ -317,6 +322,83 @@ main(int argc, char **argv)
         std::cout << "wrote BENCH_pipeline.json\n";
     }
 
+    // ---- self-telemetry overhead: span recording off vs on ---------
+    // The full scenario pipeline (fresh Analyzer, memory-only cache)
+    // timed best-of-3 with span recording disabled and enabled. Spans
+    // sit at shard/stage granularity, so the delta bounds what
+    // --trace-out costs a real analysis run; the overhead contract in
+    // src/util/telemetry.h calls for < 3%.
+    auto telemetryRun = [&](std::size_t &patterns) {
+        EagerSource tel_source(corpus);
+        AnalyzerConfig tel_config;
+        tel_config.threads = threads;
+        Analyzer tel_analyzer(tel_source, tel_config);
+        const auto analyses = tel_analyzer.analyzeScenarios(scenarios);
+        patterns = 0;
+        for (const auto &analysis : analyses)
+            patterns += analysis.mining.patterns.size();
+    };
+
+    constexpr int kTelemetryReps = 3;
+    double telemetry_off_ms = 0, telemetry_on_ms = 0;
+    std::size_t telemetry_off_patterns = 0, telemetry_on_patterns = 0;
+    Telemetry::setEnabled(false);
+    for (int rep = 0; rep < kTelemetryReps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        telemetryRun(telemetry_off_patterns);
+        const double ms = msSince(start);
+        if (rep == 0 || ms < telemetry_off_ms)
+            telemetry_off_ms = ms;
+    }
+    Telemetry::setEnabled(true);
+    for (int rep = 0; rep < kTelemetryReps; ++rep) {
+        Telemetry::reset();
+        const auto start = std::chrono::steady_clock::now();
+        telemetryRun(telemetry_on_patterns);
+        const double ms = msSince(start);
+        if (rep == 0 || ms < telemetry_on_ms)
+            telemetry_on_ms = ms;
+    }
+    const std::size_t telemetry_spans = Telemetry::spanCount();
+    const std::size_t telemetry_trace_bytes =
+        Telemetry::renderChromeTrace().size();
+    Telemetry::setEnabled(false);
+    Telemetry::reset();
+    if (telemetry_off_patterns != telemetry_on_patterns) {
+        std::cerr << "telemetry on/off mining mismatch\n";
+        return 1;
+    }
+    const double telemetry_overhead_pct =
+        telemetry_off_ms <= 0.0
+            ? 0.0
+            : (telemetry_on_ms - telemetry_off_ms) / telemetry_off_ms *
+                  100.0;
+
+    std::cout << "\n== Self-telemetry overhead (best of "
+              << kTelemetryReps << ", " << telemetry_spans
+              << " spans/run) ==\n";
+    TextTable telemetry({"Spans", "ms", "overhead"});
+    telemetry.addRow({"off", TextTable::num(telemetry_off_ms, 1), "-"});
+    telemetry.addRow({"on", TextTable::num(telemetry_on_ms, 1),
+                      TextTable::num(telemetry_overhead_pct, 2) + "%"});
+    std::cout << telemetry.render();
+
+    {
+        std::ofstream json("BENCH_telemetry.json");
+        json << "{\n"
+             << "  \"threads\": " << threads << ",\n"
+             << "  \"scenarios\": " << scenarios.size() << ",\n"
+             << "  \"reps\": " << kTelemetryReps << ",\n"
+             << "  \"off_ms\": " << telemetry_off_ms << ",\n"
+             << "  \"on_ms\": " << telemetry_on_ms << ",\n"
+             << "  \"overhead_pct\": " << telemetry_overhead_pct
+             << ",\n"
+             << "  \"spans\": " << telemetry_spans << ",\n"
+             << "  \"trace_bytes\": " << telemetry_trace_bytes
+             << "\n}\n";
+        std::cout << "wrote BENCH_telemetry.json\n";
+    }
+
     // ---- ingestion throughput: eager full-read vs mmap streaming ---
     // The corpus from above (>= 100 instances), sharded on disk the
     // way fleet collections arrive. Three ingestion modes:
@@ -427,7 +509,9 @@ main(int argc, char **argv)
               << "BENCH_scale_ingest_speedup="
               << speedup(eager_ms, scan_ms) << "\n"
               << "BENCH_scale_artifact_warm_speedup="
-              << speedup(cold_ms, warm_ms) << "\n";
+              << speedup(cold_ms, warm_ms) << "\n"
+              << "BENCH_scale_telemetry_overhead_pct="
+              << telemetry_overhead_pct << "\n";
     std::cout << "(speedups track the worker count on multicore "
                  "hardware; on a single hardware thread they stay "
                  "near 1.0)\n";

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Fail if a bare std::cerr / std::cout diagnostic appears under src/.
+#
+# Every diagnostic in the library goes through the leveled telemetry
+# sink (TL_LOG / warn / inform in src/util/logging.h) so that
+# --log-level filters it and the output format stays uniform. The one
+# allowed exception is the sink itself (src/util/logging.{h,cpp}).
+#
+# Usage: check_logging.sh [REPO_ROOT]   (default: script's parent)
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+src="$root/src"
+
+if [ ! -d "$src" ]; then
+    echo "check_logging: source directory '$src' not found" >&2
+    exit 2
+fi
+
+matches=$(grep -rn --include='*.cpp' --include='*.h' \
+    -e 'std::cerr' -e 'std::cout' "$src" |
+    grep -v '^[^:]*src/util/logging\.\(cpp\|h\):')
+
+if [ -n "$matches" ]; then
+    echo "check_logging: bare std::cerr/std::cout under src/ —" \
+         "use TL_LOG (src/util/logging.h) instead:" >&2
+    echo "$matches" >&2
+    exit 1
+fi
+
+echo "check_logging: OK (no bare std::cerr/std::cout under src/)"
+exit 0

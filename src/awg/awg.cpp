@@ -13,6 +13,7 @@
 
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
+#include "src/util/telemetry.h"
 
 namespace tracelens
 {
@@ -363,6 +364,10 @@ AggregatedWaitGraph
 AwgBuilder::aggregate(std::span<const WaitGraph> graphs,
                       unsigned threads) const
 {
+    Span span("awg.aggregate", "analysis");
+    if (span.active())
+        span.arg("graphs", static_cast<std::uint64_t>(graphs.size()));
+
     AggregatedWaitGraph awg;
     awg.sourceGraphs_ = graphs.size();
     lookup_ = std::make_unique<Lookup>();

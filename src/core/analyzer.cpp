@@ -11,6 +11,7 @@
 #include "src/trace/serialize.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
+#include "src/util/telemetry.h"
 
 namespace tracelens
 {
@@ -83,6 +84,13 @@ Analyzer::computeFingerprints()
 void
 Analyzer::absorb(const TraceCorpus &part, CorpusPtr alias)
 {
+    Span span("analyzer.ingest-shard", "analysis");
+    if (span.active()) {
+        span.arg("shard", static_cast<std::uint64_t>(shards_.size()));
+        span.arg("instances",
+                 static_cast<std::uint64_t>(part.instances().size()));
+    }
+
     ShardRecord record;
     record.digest = digestCorpus(part);
     record.chain = shards_.empty() ? Digest{} : shards_.back().chain;
@@ -152,6 +160,13 @@ Analyzer::graphs() const
 {
     std::lock_guard<std::mutex> lock(graphsMutex_);
     if (graphsShards_ != shards_.size()) {
+        Span span("analyzer.graphs", "analysis");
+        if (span.active()) {
+            span.arg("shards",
+                     static_cast<std::uint64_t>(shards_.size()));
+            span.arg("instances", static_cast<std::uint64_t>(
+                                      corpus_->instances().size()));
+        }
         graphs_.clear();
         graphs_.reserve(corpus_->instances().size());
         const unsigned threads = resolveThreads(config_.threads);
@@ -255,6 +270,10 @@ Analyzer::analyzeScenarioWithThreads(std::string_view name,
                                      DurationNs t_slow,
                                      unsigned threads) const
 {
+    Span span("analyzer.scenario", "analysis");
+    if (span.active())
+        span.arg("scenario", std::string(name));
+
     const std::uint32_t scenario = corpus_->findScenario(name);
     if (scenario == UINT32_MAX)
         TL_FATAL("scenario '", std::string(name), "' not in corpus");

@@ -29,6 +29,7 @@
 #include <sstream>
 
 #include "src/util/logging.h"
+#include "src/util/telemetry.h"
 
 namespace tracelens
 {
@@ -272,6 +273,30 @@ stageName(Stage stage)
     return "unknown";
 }
 
+namespace
+{
+
+/** Span name literal per stage (span names must outlive the flush). */
+const char *
+stageSpanName(Stage stage)
+{
+    switch (stage) {
+    case Stage::WaitGraphs:
+        return "stage.wait-graphs";
+    case Stage::Classes:
+        return "stage.classes";
+    case Stage::Impact:
+        return "stage.impact";
+    case Stage::Awg:
+        return "stage.awg";
+    case Stage::Mining:
+        return "stage.mining";
+    }
+    return "stage.unknown";
+}
+
+} // namespace
+
 std::string
 PipelineStats::render() const
 {
@@ -295,12 +320,36 @@ PipelineStats::render() const
 ArtifactStore::ArtifactStore(std::string diskDir)
     : diskDir_(std::move(diskDir))
 {
+    // Resolve the per-stage metric handles once; every hot-path
+    // update after this is a relaxed atomic increment.
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+        const std::string prefix =
+            "pipeline." + std::string(stageName(static_cast<Stage>(i)));
+        counters_[i].hits = &metrics_.counter(prefix + ".hits");
+        counters_[i].misses = &metrics_.counter(prefix + ".misses");
+        counters_[i].diskHits =
+            &metrics_.counter(prefix + ".disk_hits");
+        counters_[i].diskWrites =
+            &metrics_.counter(prefix + ".disk_writes");
+        counters_[i].diskBytes =
+            &metrics_.counter(prefix + ".disk_bytes");
+        counters_[i].buildNs = &metrics_.counter(prefix + ".build_ns");
+    }
+}
+
+ArtifactStore::~ArtifactStore()
+{
+    metrics_.mergeInto(MetricsRegistry::global());
 }
 
 std::shared_ptr<const void>
 ArtifactStore::getOrBuild(Stage stage, const Digest &key,
                           const ErasedBuild &build)
 {
+    Span span(stageSpanName(stage), "pipeline");
+    if (span.active())
+        span.arg("key", key.hex());
+
     Entry *entry = nullptr;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -311,16 +360,24 @@ ArtifactStore::getOrBuild(Stage stage, const Digest &key,
     }
 
     bool builtHere = false;
+    bool fromDisk = false;
     std::call_once(entry->once, [&] {
         const auto start = std::chrono::steady_clock::now();
         BuildOutcome outcome = build();
         entry->value = std::move(outcome.value);
+        fromDisk = outcome.fromDisk;
         recordBuild(stage, outcome.fromDisk, outcome.diskBytes,
                     msSince(start));
         builtHere = true;
     });
     if (!builtHere)
         countHit(stage);
+    if (span.active()) {
+        span.arg("outcome", std::string(builtHere
+                                            ? (fromDisk ? "disk-hit"
+                                                        : "miss")
+                                            : "hit"));
+    }
     return entry->value;
 }
 
@@ -401,39 +458,48 @@ ArtifactStore::awg(const Digest &key,
 PipelineStats
 ArtifactStore::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    // A snapshot view over the registry counters: same struct, same
+    // render, no second set of books.
+    PipelineStats stats;
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+        StageStats &s = stats.stages[i];
+        const StageCounters &c = counters_[i];
+        s.hits = c.hits->value();
+        s.misses = c.misses->value();
+        s.diskHits = c.diskHits->value();
+        s.diskWrites = c.diskWrites->value();
+        s.diskBytes = c.diskBytes->value();
+        s.buildMs = static_cast<double>(c.buildNs->value()) / 1e6;
+    }
+    return stats;
 }
 
 void
 ArtifactStore::countHit(Stage stage)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stats_.stages[static_cast<std::size_t>(stage)].hits++;
+    counters_[static_cast<std::size_t>(stage)].hits->add(1);
 }
 
 void
 ArtifactStore::recordBuild(Stage stage, bool fromDisk,
                            std::uint64_t diskBytes, double ms)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    StageStats &s = stats_.stages[static_cast<std::size_t>(stage)];
+    const StageCounters &c = counters_[static_cast<std::size_t>(stage)];
     if (fromDisk) {
-        s.diskHits++;
-        s.diskBytes += diskBytes;
+        c.diskHits->add(1);
+        c.diskBytes->add(diskBytes);
     } else {
-        s.misses++;
+        c.misses->add(1);
     }
-    s.buildMs += ms;
+    c.buildNs->add(static_cast<std::uint64_t>(ms * 1e6));
 }
 
 void
 ArtifactStore::countDiskWrite(Stage stage, std::uint64_t bytes)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    StageStats &s = stats_.stages[static_cast<std::size_t>(stage)];
-    s.diskWrites++;
-    s.diskBytes += bytes;
+    const StageCounters &c = counters_[static_cast<std::size_t>(stage)];
+    c.diskWrites->add(1);
+    c.diskBytes->add(bytes);
 }
 
 // ---------------------------------------------------------------------

@@ -47,6 +47,7 @@
 
 #include "src/awg/awg.h"
 #include "src/util/hash.h"
+#include "src/util/telemetry.h"
 #include "src/waitgraph/waitgraph.h"
 
 namespace tracelens
@@ -79,7 +80,12 @@ struct StageStats
     double buildMs = 0.0;         //!< Wall time spent producing values.
 };
 
-/** Per-stage cache counters of one pipeline run. */
+/**
+ * Per-stage cache counters of one pipeline run. This is a *snapshot
+ * view* over the store's MetricsRegistry ("pipeline.<stage>.<name>"
+ * counters), kept as a struct so existing callers and the CLI's
+ * --pipeline-stats rendering stay byte-compatible.
+ */
 struct PipelineStats
 {
     StageStats stages[kStageCount];
@@ -108,6 +114,10 @@ class ArtifactStore
      *        empty = memory-only.
      */
     explicit ArtifactStore(std::string diskDir = {});
+
+    /** Folds this store's counters into MetricsRegistry::global(), so
+     *  --metrics-out reports process-wide pipeline totals. */
+    ~ArtifactStore();
 
     ArtifactStore(const ArtifactStore &) = delete;
     ArtifactStore &operator=(const ArtifactStore &) = delete;
@@ -168,7 +178,9 @@ class ArtifactStore
      * then run @p build under the entry's once_flag *outside* it, so
      * builds for distinct keys proceed concurrently. The build is
      * timed and counted as a miss or disk hit per its outcome; a
-     * value already present counts as a hit.
+     * value already present counts as a hit. Every request records a
+     * "stage.<name>" telemetry span carrying the artifact key and the
+     * hit/miss/disk-hit outcome as span args.
      */
     std::shared_ptr<const void>
     getOrBuild(Stage stage, const Digest &key, const ErasedBuild &build);
@@ -186,7 +198,25 @@ class ArtifactStore
     mutable std::mutex mutex_;
     std::unordered_map<Digest, std::unique_ptr<Entry>, DigestHash>
         entries_;
-    PipelineStats stats_;
+
+    /**
+     * Per-store metrics backing PipelineStats: lock-free handles into
+     * metrics_, one set per stage ("pipeline.<stage>.hits", ...).
+     * Build wall time accumulates in nanoseconds (a counter) and is
+     * rendered back to milliseconds by stats().
+     */
+    struct StageCounters
+    {
+        Counter *hits = nullptr;
+        Counter *misses = nullptr;
+        Counter *diskHits = nullptr;
+        Counter *diskWrites = nullptr;
+        Counter *diskBytes = nullptr;
+        Counter *buildNs = nullptr;
+    };
+
+    MetricsRegistry metrics_;
+    StageCounters counters_[kStageCount];
 };
 
 /**

@@ -15,6 +15,7 @@
 #include "src/trace/validate.h"
 #include "src/util/logging.h"
 #include "src/util/table.h"
+#include "src/util/telemetry.h"
 
 namespace tracelens
 {
@@ -247,6 +248,10 @@ writeHtmlReportFile(const Analyzer &analyzer,
                     const std::string &path,
                     const ReportOptions &options)
 {
+    Span span("report.html", "analysis");
+    if (span.active())
+        span.arg("path", path);
+
     std::ofstream out(path);
     if (!out)
         TL_FATAL("cannot open '", path, "' for writing");

@@ -11,6 +11,7 @@
 #include "src/impact/breakdown.h"
 #include "src/trace/validate.h"
 #include "src/util/table.h"
+#include "src/util/telemetry.h"
 
 namespace tracelens
 {
@@ -20,6 +21,11 @@ buildReport(const Analyzer &analyzer,
             std::span<const ScenarioThresholds> scenarios,
             const ReportOptions &options)
 {
+    Span span("report.build", "analysis");
+    if (span.active())
+        span.arg("scenarios",
+                 static_cast<std::uint64_t>(scenarios.size()));
+
     const TraceCorpus &corpus = analyzer.corpus();
     std::ostringstream oss;
 

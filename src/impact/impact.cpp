@@ -12,6 +12,7 @@
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
 #include "src/util/table.h"
+#include "src/util/telemetry.h"
 
 namespace tracelens
 {
@@ -132,6 +133,10 @@ ImpactResult
 ImpactAnalysis::analyze(std::span<const WaitGraph> graphs,
                         unsigned threads) const
 {
+    Span span("impact.analyze", "analysis");
+    if (span.active())
+        span.arg("graphs", static_cast<std::uint64_t>(graphs.size()));
+
     ImpactResult result;
     std::unordered_set<EventRef, EventRefHash> seen;
     if (resolveThreads(threads) <= 1 || graphs.size() < 2) {

@@ -13,6 +13,7 @@
 
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
+#include "src/util/telemetry.h"
 
 namespace tracelens
 {
@@ -145,6 +146,11 @@ ContrastMiner::enumerateMetaPatterns(const AggregatedWaitGraph &awg,
 {
     const std::size_t node_count = awg.nodes().size();
     const unsigned workers = resolveThreads(threads);
+
+    Span span("mining.enumerate-metas", "analysis");
+    if (span.active())
+        span.arg("nodes", static_cast<std::uint64_t>(node_count));
+
     if (workers <= 1 || node_count < 2) {
         MetaMap metas;
         std::vector<std::uint32_t> chain;
@@ -192,6 +198,14 @@ ContrastMiner::mine(const AggregatedWaitGraph &fast,
                     const AggregatedWaitGraph &slow,
                     unsigned threads) const
 {
+    Span span("mining.mine", "analysis");
+    if (span.active()) {
+        span.arg("fast_nodes",
+                 static_cast<std::uint64_t>(fast.nodes().size()));
+        span.arg("slow_nodes",
+                 static_cast<std::uint64_t>(slow.nodes().size()));
+    }
+
     MiningResult result;
 
     // Step 1: meta-pattern enumeration per class.

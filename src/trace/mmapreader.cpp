@@ -19,6 +19,7 @@
 #include "src/trace/serialize.h"
 #include "src/trace/tlcformat.h"
 #include "src/util/logging.h"
+#include "src/util/telemetry.h"
 
 namespace tracelens
 {
@@ -288,6 +289,12 @@ MmapReader::decodeEvent(std::span<const std::byte> records,
 Expected<TraceCorpus>
 MmapReader::materialize() const
 {
+    Span span("source.materialize", "ingest");
+    if (span.active()) {
+        span.arg("path", map_.path());
+        span.arg("bytes",
+                 static_cast<std::uint64_t>(map_.bytes().size()));
+    }
     return parseCorpus(map_.bytes(), map_.path());
 }
 

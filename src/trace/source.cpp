@@ -14,6 +14,7 @@
 #include "src/trace/merge.h"
 #include "src/trace/serialize.h"
 #include "src/util/logging.h"
+#include "src/util/telemetry.h"
 
 namespace tracelens
 {
@@ -22,6 +23,27 @@ namespace
 {
 
 const std::string kMemoryPath = "<memory>";
+
+/** Process-wide ingestion metrics ("source.cache.*" counters). */
+struct SourceMetrics
+{
+    Counter &cacheHits;
+    Counter &cacheMisses;
+    Counter &cacheEvictions;
+    Counter &shardLoads;
+};
+
+SourceMetrics &
+sourceMetrics()
+{
+    static SourceMetrics metrics{
+        MetricsRegistry::global().counter("source.cache.hits"),
+        MetricsRegistry::global().counter("source.cache.misses"),
+        MetricsRegistry::global().counter("source.cache.evictions"),
+        MetricsRegistry::global().counter("source.shard_loads"),
+    };
+    return metrics;
+}
 
 std::uint64_t
 fileSizeOrZero(const std::string &path)
@@ -147,6 +169,7 @@ EagerSource::countLoaded(std::size_t shard, std::uint64_t bytes)
     everLoaded_[shard] = true;
     stats_.loadedShards++;
     stats_.ingestBytes += bytes;
+    sourceMetrics().shardLoads.add(1);
 }
 
 void
@@ -203,6 +226,9 @@ EagerSource::ensureLoaded()
     if (loaded_)
         return;
     loaded_ = true;
+    Span span("source.load-eager", "ingest");
+    if (span.active())
+        span.arg("shards", static_cast<std::uint64_t>(paths_.size()));
     std::vector<TraceCorpus> parts;
     parts.reserve(paths_.size());
     for (std::size_t i = 0; i < paths_.size(); ++i) {
@@ -326,6 +352,7 @@ MmapSource::evictOver(std::size_t budget)
         stats_.residentBytes -= it->second.bytes;
         cache_.erase(it);
         stats_.cacheEvictions++;
+        sourceMetrics().cacheEvictions.add(1);
     }
 }
 
@@ -336,13 +363,23 @@ MmapSource::shard(std::size_t shard)
     if (auto bad = bad_.find(shard); bad != bad_.end())
         return bad->second;
 
+    Span span("source.shard", "ingest");
+    if (span.active())
+        span.arg("shard", static_cast<std::uint64_t>(shard));
+
     if (auto it = cache_.find(shard); it != cache_.end()) {
         stats_.cacheHits++;
+        sourceMetrics().cacheHits.add(1);
+        if (span.active())
+            span.arg("outcome", std::string("hit"));
         touch(it->second, shard);
         return it->second.corpus;
     }
 
     stats_.cacheMisses++;
+    sourceMetrics().cacheMisses.add(1);
+    if (span.active())
+        span.arg("outcome", std::string("miss"));
     Expected<TraceCorpus> materialized = readers_[shard]->materialize();
     if (!materialized) {
         markBad(shard, materialized.error());
@@ -351,6 +388,7 @@ MmapSource::shard(std::size_t shard)
     if (!everLoaded_[shard]) {
         everLoaded_[shard] = true;
         stats_.loadedShards++;
+        sourceMetrics().shardLoads.add(1);
     }
 
     CacheEntry entry;

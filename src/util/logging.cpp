@@ -1,15 +1,69 @@
 /**
  * @file
- * panic/fatal/warn/inform implementations.
+ * panic/fatal and the leveled logging sink.
  */
 
 #include "src/util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <exception>
 
 namespace tracelens
 {
+
+namespace
+{
+
+std::atomic<int> g_logLevel{static_cast<int>(LogLevel::Info)};
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        g_logLevel.load(std::memory_order_relaxed));
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_logLevel.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+std::string_view
+logLevelName(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::Debug:
+        return "debug";
+    case LogLevel::Info:
+        return "info";
+    case LogLevel::Warn:
+        return "warn";
+    case LogLevel::Error:
+        return "error";
+    case LogLevel::Off:
+        return "off";
+    }
+    return "unknown";
+}
+
+bool
+parseLogLevel(std::string_view text, LogLevel &out)
+{
+    for (LogLevel level : {LogLevel::Debug, LogLevel::Info,
+                           LogLevel::Warn, LogLevel::Error,
+                           LogLevel::Off}) {
+        if (text == logLevelName(level)) {
+            out = level;
+            return true;
+        }
+    }
+    return false;
+}
+
 namespace detail
 {
 
@@ -30,15 +84,13 @@ fatalImpl(const char *file, int line, const std::string &msg)
 }
 
 void
-warnImpl(const std::string &msg)
+logImpl(LogLevel level, const std::string &msg)
 {
-    std::cerr << "warn: " << msg << std::endl;
-}
-
-void
-informImpl(const std::string &msg)
-{
-    std::cout << "info: " << msg << std::endl;
+    // Info keeps its historical home on stdout ("info: ..."); every
+    // other level is a diagnostic and goes to stderr.
+    std::ostream &out =
+        level == LogLevel::Info ? std::cout : std::cerr;
+    out << logLevelName(level) << ": " << msg << std::endl;
 }
 
 } // namespace detail

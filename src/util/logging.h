@@ -1,11 +1,19 @@
 /**
  * @file
- * Status-message and error helpers in the gem5 idiom.
+ * Status-message and error helpers in the gem5 idiom, plus the leveled
+ * logging sink of the telemetry layer (src/util/telemetry.h).
  *
  * panic()  — an internal invariant was violated; aborts (library bug).
  * fatal()  — the user supplied an unusable configuration; exits cleanly.
- * warn()   — something is off but execution can continue.
- * inform() — plain status output.
+ * TL_LOG(level, ...) — leveled diagnostics; suppressed below the
+ *                      process log level (CLI: --log-level).
+ * warn()   — shorthand for TL_LOG(Warn, ...).
+ * inform() — shorthand for TL_LOG(Info, ...).
+ *
+ * Every diagnostic in src/ and tools/ goes through this sink — never
+ * a bare std::cerr (enforced by scripts/check_logging.sh, run as the
+ * telemetry.no_bare_cerr ctest). panic/fatal always print regardless
+ * of the log level: they terminate the process.
  */
 
 #ifndef TRACELENS_UTIL_LOGGING_H
@@ -15,9 +23,39 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace tracelens
 {
+
+/** Severity of one diagnostic; Off suppresses everything. */
+enum class LogLevel : int
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Off = 4,
+};
+
+/** Current process-wide log threshold (default Info). Thread-safe. */
+LogLevel logLevel();
+
+/** Set the process-wide log threshold. Thread-safe. */
+void setLogLevel(LogLevel level);
+
+/** Parse "debug"/"info"/"warn"/"error"/"off"; false on anything else. */
+bool parseLogLevel(std::string_view text, LogLevel &out);
+
+/** Lower-case level name ("debug", ...). */
+std::string_view logLevelName(LogLevel level);
+
+/** Whether a message at @p level passes the current threshold. */
+inline bool
+shouldLog(LogLevel level)
+{
+    return static_cast<int>(level) >= static_cast<int>(logLevel());
+}
 
 namespace detail
 {
@@ -36,10 +74,23 @@ concat(Args &&...args)
                             const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
-void warnImpl(const std::string &msg);
-void informImpl(const std::string &msg);
+/** The one sink: "<level>: <msg>" to stdout (Info) or stderr. */
+void logImpl(LogLevel level, const std::string &msg);
 
 } // namespace detail
+
+/**
+ * Emit a leveled diagnostic: TL_LOG(Warn, "shard ", i, " skipped").
+ * Arguments are not evaluated when the level is suppressed.
+ */
+#define TL_LOG(level, ...) \
+    do { \
+        if (::tracelens::shouldLog(::tracelens::LogLevel::level)) { \
+            ::tracelens::detail::logImpl( \
+                ::tracelens::LogLevel::level, \
+                ::tracelens::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
 
 /**
  * Abort with a message; used for conditions that indicate a TraceLens bug
@@ -66,20 +117,24 @@ void informImpl(const std::string &msg);
         } \
     } while (0)
 
-/** Emit a non-fatal warning. */
+/** Emit a non-fatal warning (TL_LOG(Warn, ...)). */
 template <typename... Args>
 void
 warn(Args &&...args)
 {
-    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+    if (shouldLog(LogLevel::Warn))
+        detail::logImpl(LogLevel::Warn,
+                        detail::concat(std::forward<Args>(args)...));
 }
 
-/** Emit a status message. */
+/** Emit a status message (TL_LOG(Info, ...)). */
 template <typename... Args>
 void
 inform(Args &&...args)
 {
-    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+    if (shouldLog(LogLevel::Info))
+        detail::logImpl(LogLevel::Info,
+                        detail::concat(std::forward<Args>(args)...));
 }
 
 } // namespace tracelens

@@ -7,6 +7,7 @@
 #include "src/util/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/util/logging.h"
 
@@ -29,8 +30,19 @@ ThreadPool::pack(std::uint32_t lo, std::uint32_t hi)
 }
 
 ThreadPool::ThreadPool(unsigned threads)
-    : threadCount_(resolveThreads(threads)), shards_(threadCount_)
+    : threadCount_(resolveThreads(threads)), shards_(threadCount_),
+      busyNs_(threadCount_)
 {
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    jobsCounter_ = &metrics.counter("pool.jobs");
+    stealsCounter_ = &metrics.counter("pool.steals");
+    queueDepthHist_ = &metrics.histogram("pool.queue_depth");
+    utilizationGauges_.reserve(threadCount_);
+    for (unsigned t = 0; t < threadCount_; ++t) {
+        utilizationGauges_.push_back(&metrics.gauge(
+            detail::concat("pool.worker", t, ".utilization")));
+    }
+
     workers_.reserve(threadCount_ - 1);
     for (unsigned t = 1; t < threadCount_; ++t)
         workers_.emplace_back([this, t] { workerLoop(t); });
@@ -85,6 +97,7 @@ ThreadPool::claimFront(Shard &shard, std::uint32_t &lo,
         if (shard.range.compare_exchange_weak(
                 current, pack(cur_lo + take, cur_hi),
                 std::memory_order_acq_rel)) {
+            queueDepthHist_->record(cur_hi - cur_lo);
             lo = cur_lo;
             hi = cur_lo + take;
             return true;
@@ -109,6 +122,8 @@ ThreadPool::stealBack(Shard &shard, std::uint32_t &lo,
         if (shard.range.compare_exchange_weak(
                 current, pack(cur_lo, cur_hi - take),
                 std::memory_order_acq_rel)) {
+            queueDepthHist_->record(cur_hi - cur_lo);
+            stealsCounter_->add(1);
             lo = cur_hi - take;
             hi = cur_hi;
             return true;
@@ -134,6 +149,11 @@ ThreadPool::invoke(std::uint32_t lo, std::uint32_t hi)
 void
 ThreadPool::runShards(unsigned self)
 {
+    Span span("pool.worker", "pool");
+    if (span.active())
+        span.arg("worker", static_cast<std::uint64_t>(self));
+    const auto started = std::chrono::steady_clock::now();
+
     // Chunk small enough to balance, large enough to amortize the CAS.
     const std::uint64_t own = shards_[self].range.load(
         std::memory_order_acquire);
@@ -164,10 +184,17 @@ ThreadPool::runShards(unsigned self)
             }
         }
         if (victim == threadCount_)
-            return; // nothing left anywhere
+            break; // nothing left anywhere
         if (stealBack(shards_[victim], lo, hi))
             invoke(lo, hi);
     }
+
+    busyNs_[self].fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - started)
+                .count()),
+        std::memory_order_relaxed);
 }
 
 void
@@ -184,6 +211,13 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
             body(i);
         return;
     }
+
+    jobsCounter_->add(1);
+    // Workers are quiescent between jobs, so per-job busy time can be
+    // reset without synchronization beyond the job hand-off itself.
+    for (unsigned t = 0; t < threadCount_; ++t)
+        busyNs_[t].store(0, std::memory_order_relaxed);
+    const auto jobStart = std::chrono::steady_clock::now();
 
     // Partition [0, n) into one contiguous shard per worker.
     const std::size_t per = n / threadCount_;
@@ -215,6 +249,19 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
         done_.wait(lock, [&] { return active_ == 0; });
         jobBody_ = nullptr;
     }
+
+    const double jobNs = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - jobStart)
+            .count());
+    if (jobNs > 0) {
+        for (unsigned t = 0; t < threadCount_; ++t) {
+            const double busy = static_cast<double>(
+                busyNs_[t].load(std::memory_order_relaxed));
+            utilizationGauges_[t]->set(std::min(1.0, busy / jobNs));
+        }
+    }
+
     if (jobError_)
         std::rethrow_exception(jobError_);
 }

@@ -39,6 +39,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/telemetry.h"
+
 namespace tracelens
 {
 
@@ -92,6 +94,20 @@ class ThreadPool
     unsigned threadCount_;
     std::vector<std::thread> workers_;
     std::vector<Shard> shards_;
+
+    /**
+     * Pool telemetry, bound to MetricsRegistry::global() once at
+     * construction so the hot claim/steal paths touch only lock-free
+     * handles: jobs and successful steals as counters, the remaining
+     * range length observed at every claim as a queue-depth histogram,
+     * and one utilization gauge per worker (busy wall time over job
+     * wall time, refreshed after every parallelFor).
+     */
+    Counter *jobsCounter_ = nullptr;
+    Counter *stealsCounter_ = nullptr;
+    Histogram *queueDepthHist_ = nullptr;
+    std::vector<Gauge *> utilizationGauges_;
+    std::vector<std::atomic<std::uint64_t>> busyNs_;
 
     std::mutex mutex_;
     std::condition_variable wake_;

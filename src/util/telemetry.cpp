@@ -1,0 +1,502 @@
+/**
+ * @file
+ * Telemetry implementation: log-scale histograms, the metrics
+ * registry, per-thread span buffers, and the Chrome trace_event JSON
+ * writer.
+ *
+ * Span recording layout: every thread lazily registers one
+ * ThreadBuffer in a process-wide list and appends finished spans to
+ * it. The buffer's mutex is only ever contended by a flush
+ * (renderChromeTrace / reset), so steady-state recording touches no
+ * shared cache line except the enabled flag. Buffers are shared_ptr's
+ * held by both the thread (thread_local) and the registry, so spans
+ * recorded by pool workers survive the worker's exit and still appear
+ * in the flush.
+ */
+
+#include "src/util/telemetry.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <ctime>
+#include <fstream>
+
+namespace tracelens
+{
+
+// ------------------------------------------------------------- Histogram
+
+std::uint32_t
+Histogram::bucketOf(std::uint64_t value)
+{
+    if (value < kSubBuckets)
+        return static_cast<std::uint32_t>(value);
+    const int msb = 63 - std::countl_zero(value);
+    const auto sub = static_cast<std::uint32_t>(
+        (value >> (msb - 3)) & (kSubBuckets - 1));
+    return static_cast<std::uint32_t>(msb - 2) * kSubBuckets + sub;
+}
+
+std::uint64_t
+Histogram::bucketValue(std::uint32_t bucket)
+{
+    if (bucket < kSubBuckets)
+        return bucket;
+    const std::uint32_t msb = bucket / kSubBuckets + 2;
+    const std::uint64_t sub = bucket % kSubBuckets;
+    const std::uint64_t width = std::uint64_t{1} << (msb - 3);
+    return (std::uint64_t{1} << msb) + sub * width + width / 2;
+}
+
+void
+Histogram::record(std::uint64_t value)
+{
+    buckets_[bucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    const std::uint64_t total = count();
+    if (total == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total - 1));
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        cumulative += buckets_[b].load(std::memory_order_relaxed);
+        if (cumulative > rank) {
+            return std::min(bucketValue(static_cast<std::uint32_t>(b)),
+                            max());
+        }
+    }
+    return max();
+}
+
+void
+Histogram::mergeFrom(const Histogram &other)
+{
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        const std::uint64_t n =
+            other.buckets_[b].load(std::memory_order_relaxed);
+        if (n > 0)
+            buckets_[b].fetch_add(n, std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+    std::uint64_t theirs = other.max();
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (theirs > seen &&
+           !max_.compare_exchange_weak(seen, theirs,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+// ------------------------------------------------------- MetricsRegistry
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = cells_.try_emplace(std::string(name));
+    if (inserted)
+        it->second.counter = std::make_unique<Counter>();
+    TL_ASSERT(it->second.counter != nullptr,
+              "metric '", std::string(name), "' is not a counter");
+    return *it->second.counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = cells_.try_emplace(std::string(name));
+    if (inserted)
+        it->second.gauge = std::make_unique<Gauge>();
+    TL_ASSERT(it->second.gauge != nullptr,
+              "metric '", std::string(name), "' is not a gauge");
+    return *it->second.gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = cells_.try_emplace(std::string(name));
+    if (inserted)
+        it->second.histogram = std::make_unique<Histogram>();
+    TL_ASSERT(it->second.histogram != nullptr,
+              "metric '", std::string(name), "' is not a histogram");
+    return *it->second.histogram;
+}
+
+const Counter *
+MetricsRegistry::findCounter(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cells_.find(name);
+    return it == cells_.end() ? nullptr : it->second.counter.get();
+}
+
+void
+MetricsRegistry::mergeInto(MetricsRegistry &target) const
+{
+    // Snapshot the cell pointers under our lock, then apply through
+    // the target's own locking accessors — no lock is ever held on
+    // both registries at once.
+    struct Item
+    {
+        std::string name;
+        const Counter *counter;
+        const Gauge *gauge;
+        const Histogram *histogram;
+    };
+    std::vector<Item> items;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        items.reserve(cells_.size());
+        for (const auto &[name, cell] : cells_) {
+            items.push_back({name, cell.counter.get(),
+                             cell.gauge.get(), cell.histogram.get()});
+        }
+    }
+    for (const Item &item : items) {
+        if (item.counter != nullptr)
+            target.counter(item.name).add(item.counter->value());
+        if (item.gauge != nullptr)
+            target.gauge(item.name).set(item.gauge->value());
+        if (item.histogram != nullptr)
+            target.histogram(item.name).mergeFrom(*item.histogram);
+    }
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping (quotes, backslashes, controls). */
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::renderJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream counters, gauges, histograms;
+    bool firstCounter = true, firstGauge = true, firstHistogram = true;
+    for (const auto &[name, cell] : cells_) {
+        if (cell.counter != nullptr) {
+            counters << (firstCounter ? "" : ",") << "\n    \""
+                     << jsonEscape(name)
+                     << "\": " << cell.counter->value();
+            firstCounter = false;
+        }
+        if (cell.gauge != nullptr) {
+            gauges << (firstGauge ? "" : ",") << "\n    \""
+                   << jsonEscape(name) << "\": "
+                   << cell.gauge->value();
+            firstGauge = false;
+        }
+        if (cell.histogram != nullptr) {
+            const Histogram &h = *cell.histogram;
+            histograms << (firstHistogram ? "" : ",") << "\n    \""
+                       << jsonEscape(name) << "\": {\"count\": "
+                       << h.count() << ", \"sum\": " << h.sum()
+                       << ", \"max\": " << h.max()
+                       << ", \"p50\": " << h.percentile(0.50)
+                       << ", \"p95\": " << h.percentile(0.95)
+                       << ", \"p99\": " << h.percentile(0.99) << "}";
+            firstHistogram = false;
+        }
+    }
+    std::ostringstream out;
+    out << "{\n  \"counters\": {" << counters.str() << "\n  },\n"
+        << "  \"gauges\": {" << gauges.str() << "\n  },\n"
+        << "  \"histograms\": {" << histograms.str() << "\n  }\n}\n";
+    return out.str();
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cells_.clear();
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+// ----------------------------------------------------------------- spans
+
+namespace
+{
+
+/** One finished span as recorded in a thread's buffer. */
+struct SpanRecord
+{
+    const char *name;
+    const char *category;
+    std::uint64_t startUs;
+    std::uint64_t durUs;
+    std::uint64_t cpuNs;
+    std::uint32_t depth;
+    std::vector<std::pair<const char *, std::string>> args;
+};
+
+struct ThreadBuffer
+{
+    std::mutex mutex; //!< Contended only by flush/reset.
+    std::vector<SpanRecord> records;
+    std::uint32_t tid = 0;
+    /** Current nesting depth; owner-thread only. */
+    std::uint32_t depth = 0;
+};
+
+struct BufferRegistry
+{
+    std::mutex mutex;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+BufferRegistry &
+bufferRegistry()
+{
+    static BufferRegistry registry;
+    return registry;
+}
+
+ThreadBuffer &
+threadBuffer()
+{
+    thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+        auto fresh = std::make_shared<ThreadBuffer>();
+        BufferRegistry &registry = bufferRegistry();
+        std::lock_guard<std::mutex> lock(registry.mutex);
+        fresh->tid =
+            static_cast<std::uint32_t>(registry.buffers.size() + 1);
+        registry.buffers.push_back(fresh);
+        return fresh;
+    }();
+    return *buffer;
+}
+
+/** Microseconds since the process's telemetry epoch (steady clock). */
+std::uint64_t
+nowUs()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+/** Calling thread's CPU time in nanoseconds (0 where unsupported). */
+std::uint64_t
+threadCpuNs()
+{
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+        return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+               static_cast<std::uint64_t>(ts.tv_nsec);
+    }
+#endif
+    return 0;
+}
+
+} // namespace
+
+std::atomic<bool> Telemetry::enabled_{false};
+
+Span::Span(const char *name, const char *category)
+    : name_(name), category_(category)
+{
+    if (!Telemetry::enabled())
+        return;
+    active_ = true;
+    threadBuffer().depth++;
+    startUs_ = nowUs();
+    cpuStartNs_ = threadCpuNs();
+}
+
+Span::~Span()
+{
+    if (!active_)
+        return;
+    const std::uint64_t endUs = nowUs();
+    const std::uint64_t cpuEndNs = threadCpuNs();
+    ThreadBuffer &buffer = threadBuffer();
+    SpanRecord record;
+    record.name = name_;
+    record.category = category_;
+    record.startUs = startUs_;
+    record.durUs = endUs > startUs_ ? endUs - startUs_ : 0;
+    record.cpuNs = cpuEndNs > cpuStartNs_ ? cpuEndNs - cpuStartNs_ : 0;
+    record.depth = --buffer.depth;
+    record.args = std::move(args_);
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.records.push_back(std::move(record));
+}
+
+void
+Span::arg(const char *key, std::string value)
+{
+    if (active_)
+        args_.emplace_back(key, std::move(value));
+}
+
+void
+Span::arg(const char *key, std::uint64_t value)
+{
+    if (active_)
+        args_.emplace_back(key, std::to_string(value));
+}
+
+void
+Telemetry::reset()
+{
+    BufferRegistry &registry = bufferRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    for (const auto &buffer : registry.buffers) {
+        std::lock_guard<std::mutex> bufferLock(buffer->mutex);
+        buffer->records.clear();
+    }
+}
+
+std::size_t
+Telemetry::spanCount()
+{
+    BufferRegistry &registry = bufferRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    std::size_t total = 0;
+    for (const auto &buffer : registry.buffers) {
+        std::lock_guard<std::mutex> bufferLock(buffer->mutex);
+        total += buffer->records.size();
+    }
+    return total;
+}
+
+std::string
+Telemetry::renderChromeTrace()
+{
+    // Snapshot every buffer, then sort by (tid, ts, -dur) so each
+    // thread's timeline is monotonic and parents precede children at
+    // equal timestamps — what trace viewers and the nesting validator
+    // in tests/telemetry_test.cpp expect.
+    struct Event
+    {
+        std::uint32_t tid;
+        SpanRecord record;
+    };
+    std::vector<Event> events;
+    {
+        BufferRegistry &registry = bufferRegistry();
+        std::lock_guard<std::mutex> lock(registry.mutex);
+        for (const auto &buffer : registry.buffers) {
+            std::lock_guard<std::mutex> bufferLock(buffer->mutex);
+            for (const SpanRecord &record : buffer->records)
+                events.push_back({buffer->tid, record});
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  if (a.record.startUs != b.record.startUs)
+                      return a.record.startUs < b.record.startUs;
+                  return a.record.durUs > b.record.durUs;
+              });
+
+    std::ostringstream out;
+    out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+    out << "{\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+           "\"args\": {\"name\": \"tracelens\"}}";
+    for (const Event &event : events) {
+        const SpanRecord &r = event.record;
+        out << ",\n{\"name\": \"" << jsonEscape(r.name)
+            << "\", \"cat\": \"" << jsonEscape(r.category)
+            << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << event.tid
+            << ", \"ts\": " << r.startUs << ", \"dur\": " << r.durUs
+            << ", \"args\": {\"cpu_us\": " << r.cpuNs / 1000
+            << ", \"depth\": " << r.depth;
+        for (const auto &[key, value] : r.args) {
+            out << ", \"" << jsonEscape(key) << "\": \""
+                << jsonEscape(value) << "\"";
+        }
+        out << "}}";
+    }
+    out << "\n]}\n";
+    return out.str();
+}
+
+bool
+Telemetry::writeChromeTrace(const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    const std::string json = renderChromeTrace();
+    out.write(json.data(), static_cast<std::streamsize>(json.size()));
+    return static_cast<bool>(out);
+}
+
+bool
+Telemetry::writeMetricsJson(const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    const std::string json = MetricsRegistry::global().renderJson();
+    out.write(json.data(), static_cast<std::streamsize>(json.size()));
+    return static_cast<bool>(out);
+}
+
+} // namespace tracelens

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Self-telemetry for the TraceLens pipeline: the analysis tool emits a
+ * trace of its own execution.
+ *
+ * TraceLens reproduces a paper about comprehending performance from
+ * execution traces, so the pipeline instruments itself with the same
+ * discipline it applies to device drivers. Three facilities share this
+ * module (the leveled TL_LOG sink lives in src/util/logging.h):
+ *
+ *  - Spans: RAII scopes (TL_SPAN / Span) recorded into per-thread
+ *    buffers with wall time, thread CPU time, nesting depth, and
+ *    optional key/value args. The whole recording is flushable as
+ *    Chrome trace_event JSON (CLI: --trace-out FILE) and loads
+ *    directly in Perfetto / chrome://tracing as a flame view of the
+ *    ingest -> wait-graph -> impact -> AWG -> mining pipeline.
+ *  - Metrics: a registry of named counters, gauges, and log-scale
+ *    histograms (p50/p95/p99), dumpable as JSON (CLI: --metrics-out
+ *    FILE). The artifact store's PipelineStats is a thin view over
+ *    one of these registries (src/core/artifacts.h).
+ *
+ * Overhead contract: span recording is off by default; a disabled
+ * Span costs one relaxed atomic load. Enabled recording appends to a
+ * per-thread buffer behind a per-thread mutex that is uncontended
+ * except during a flush, so cross-thread cache traffic stays nil on
+ * the hot path. Spans are placed at shard/stage granularity, never
+ * per event; bench_scale gates the measured end-to-end overhead at
+ * < 3% (BENCH_telemetry.json).
+ *
+ * Naming conventions (docs/TELEMETRY.md): span names are
+ * "<layer>.<operation>" ("stage.wait-graphs", "pool.run-shards"),
+ * categories are the coarse layer ("ingest", "pipeline", "analysis",
+ * "pool", "cli"); metric names are dot-paths ("pipeline.awg.hits",
+ * "source.cache.misses", "pool.queue_depth").
+ */
+
+#ifndef TRACELENS_UTIL_TELEMETRY_H
+#define TRACELENS_UTIL_TELEMETRY_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+// --------------------------------------------------------------- metrics
+
+/** Monotonic event counter. All operations are thread-safe. */
+class Counter
+{
+  public:
+    void add(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. Thread-safe. */
+class Gauge
+{
+  public:
+    void set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Log-scale histogram of non-negative integer samples.
+ *
+ * Values 0..7 get exact buckets; above that each power-of-two octave
+ * splits into 8 geometric sub-buckets, so any recorded value is
+ * represented with <= ~6% relative error — plenty for p50/p95/p99 on
+ * latency- and depth-shaped distributions, at a fixed 496 buckets and
+ * lock-free recording (one relaxed atomic increment per sample).
+ */
+class Histogram
+{
+  public:
+    /** Sub-buckets per power-of-two octave (8 = 3 mantissa bits). */
+    static constexpr std::uint32_t kSubBuckets = 8;
+    /** Exact buckets 0..7, then 8 per octave for msb 3..63. */
+    static constexpr std::size_t kBuckets = kSubBuckets * 62;
+
+    void record(std::uint64_t value);
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t max() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Approximate value at quantile @p q in [0, 1] (bucket midpoint);
+     * 0 when the histogram is empty.
+     */
+    std::uint64_t percentile(double q) const;
+
+    /** Fold @p other's samples into this histogram. */
+    void mergeFrom(const Histogram &other);
+
+  private:
+    static std::uint32_t bucketOf(std::uint64_t value);
+    /** Representative (midpoint) value of bucket @p bucket. */
+    static std::uint64_t bucketValue(std::uint32_t bucket);
+
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/**
+ * Named metrics, created on first use and stable for the registry's
+ * lifetime (returned references never invalidate). Lookup takes a
+ * mutex; the returned handles are lock-free, so hot paths resolve a
+ * metric once and hold the reference.
+ *
+ * Registries are instantiable so a component can keep private
+ * counters (the ArtifactStore's per-analyzer PipelineStats) and still
+ * fold them into the process-wide registry via mergeInto().
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The metric named @p name, creating it on first use. Panics if
+     *  the name already exists as a different metric kind. */
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    Histogram &histogram(std::string_view name);
+
+    /** The counter named @p name, or nullptr if never created. */
+    const Counter *findCounter(std::string_view name) const;
+
+    /**
+     * Fold every metric into @p target by name: counters add, gauges
+     * overwrite, histograms merge samples.
+     */
+    void mergeInto(MetricsRegistry &target) const;
+
+    /**
+     * JSON snapshot: {"counters": {...}, "gauges": {...},
+     * "histograms": {name: {count, sum, max, p50, p95, p99}}},
+     * keys sorted.
+     */
+    std::string renderJson() const;
+
+    /** Drop every metric (tests). Outstanding references invalidate. */
+    void reset();
+
+    /** The process-wide registry (--metrics-out dumps this one). */
+    static MetricsRegistry &global();
+
+  private:
+    struct Cell
+    {
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Cell, std::less<>> cells_;
+};
+
+// ----------------------------------------------------------------- spans
+
+/**
+ * RAII span: records one entry into the calling thread's telemetry
+ * buffer when recording is enabled (Telemetry::setEnabled), and costs
+ * a single relaxed atomic load when it is not. Name and category must
+ * be string literals (the recording keeps the pointers).
+ */
+class Span
+{
+  public:
+    Span(const char *name, const char *category);
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Whether this span is recording (telemetry enabled at entry). */
+    bool active() const { return active_; }
+
+    /** Attach a key/value arg (shown in the trace viewer). The key
+     *  must be a string literal. No-op on an inactive span. */
+    void arg(const char *key, std::string value);
+    void arg(const char *key, std::uint64_t value);
+
+  private:
+    const char *name_;
+    const char *category_;
+    std::uint64_t startUs_ = 0;
+    std::uint64_t cpuStartNs_ = 0;
+    std::vector<std::pair<const char *, std::string>> args_;
+    bool active_ = false;
+};
+
+#define TL_TELEMETRY_CONCAT2(a, b) a##b
+#define TL_TELEMETRY_CONCAT(a, b) TL_TELEMETRY_CONCAT2(a, b)
+
+/** Scope-level span: TL_SPAN("stage.mining", "pipeline"); */
+#define TL_SPAN(name, category) \
+    ::tracelens::Span TL_TELEMETRY_CONCAT(tlSpan_, \
+                                          __LINE__)(name, category)
+
+/** Process-wide span recording control and the Chrome-trace sink. */
+class Telemetry
+{
+  public:
+    /** Whether spans record (off by default; --trace-out enables). */
+    static bool enabled()
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    static void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /** Drop every recorded span (buffers stay registered). */
+    static void reset();
+
+    /** Spans recorded so far, across all threads. */
+    static std::size_t spanCount();
+
+    /**
+     * The recording as Chrome trace_event JSON: one "X" (complete)
+     * event per span with ts/dur in microseconds, thread CPU time and
+     * nesting depth as args, sorted by (tid, ts) so per-thread
+     * timestamps are monotonic. Loads in Perfetto / chrome://tracing.
+     */
+    static std::string renderChromeTrace();
+
+    /** Write renderChromeTrace() to @p path; false on I/O failure. */
+    static bool writeChromeTrace(const std::string &path);
+
+    /** Write the global metrics registry's JSON to @p path. */
+    static bool writeMetricsJson(const std::string &path);
+
+  private:
+    static std::atomic<bool> enabled_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_UTIL_TELEMETRY_H

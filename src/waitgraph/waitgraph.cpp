@@ -13,6 +13,7 @@
 
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
+#include "src/util/telemetry.h"
 
 namespace tracelens
 {
@@ -319,6 +320,12 @@ WaitGraphBuilder::buildRangeParallel(std::uint32_t first,
     const auto &instances = corpus_.instances();
     TL_ASSERT(first + count <= instances.size(),
               "instance range out of bounds");
+
+    Span span("waitgraph.build-range", "analysis");
+    if (span.active()) {
+        span.arg("first", static_cast<std::uint64_t>(first));
+        span.arg("count", static_cast<std::uint64_t>(count));
+    }
 
     if (threads <= 1 || count < 2) {
         std::vector<WaitGraph> graphs;

@@ -7,6 +7,8 @@
  * files).
  */
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -29,13 +31,19 @@ namespace
 
 namespace fs = std::filesystem;
 
-/** Self-cleaning temp directory for disk-cache tests. */
+/**
+ * Self-cleaning temp directory for disk-cache tests. The path embeds
+ * the process id: this file builds into more than one test binary,
+ * and ctest -j runs those binaries concurrently, so a fixed name
+ * would let two processes stomp each other's cache fixtures.
+ */
 class ScratchDir
 {
   public:
     explicit ScratchDir(const std::string &name)
         : path_(fs::temp_directory_path() /
-                ("tracelens_incremental_test_" + name))
+                ("tracelens_incremental_test_" +
+                 std::to_string(::getpid()) + "_" + name))
     {
         fs::remove_all(path_);
         fs::create_directories(path_);

@@ -6,6 +6,8 @@
  * parser.
  */
 
+#include <unistd.h>
+
 #include <cstddef>
 #include <cstring>
 #include <filesystem>
@@ -33,13 +35,19 @@ namespace
 
 namespace fs = std::filesystem;
 
-/** Fresh scratch directory under /tmp, removed on destruction. */
+/**
+ * Fresh scratch directory under /tmp, removed on destruction. The
+ * path embeds the process id: this file builds into more than one
+ * test binary, and ctest -j runs those binaries concurrently, so a
+ * fixed name would let two processes stomp each other's fixtures.
+ */
 class ScratchDir
 {
   public:
     explicit ScratchDir(const std::string &name)
         : path_(fs::temp_directory_path() /
-                ("tracelens_source_test_" + name))
+                ("tracelens_source_test_" +
+                 std::to_string(::getpid()) + "_" + name))
     {
         fs::remove_all(path_);
         fs::create_directories(path_);

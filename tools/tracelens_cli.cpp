@@ -30,6 +30,13 @@
  * additionally take --artifact-cache DIR (persist wait graphs and
  * AWGs across runs) and --pipeline-stats (print per-stage cache
  * counters and build times).
+ *
+ * Self-telemetry flags, valid for every subcommand (docs/TELEMETRY.md):
+ *   --trace-out FILE    Record pipeline spans and write them as Chrome
+ *                       trace_event JSON (load in Perfetto).
+ *   --metrics-out FILE  Write the process-wide metrics registry
+ *                       (counters/gauges/histograms) as JSON.
+ *   --log-level LEVEL   debug|info|warn|error|off (default info).
  */
 
 #include <charconv>
@@ -54,6 +61,7 @@
 #include "src/trace/validate.h"
 #include "src/util/logging.h"
 #include "src/util/table.h"
+#include "src/util/telemetry.h"
 #include "src/workload/generator.h"
 #include "src/workload/scenarios.h"
 
@@ -146,7 +154,12 @@ usage()
            "hardware thread; 1 runs serially.\nAnalysis commands also "
            "accept --artifact-cache DIR (persist wait\ngraphs/AWGs "
            "across runs) and --pipeline-stats (per-stage cache\n"
-           "counters and build times).\nAnalysis results are "
+           "counters and build times).\nEvery command accepts "
+           "--trace-out FILE (self-telemetry spans as\nChrome "
+           "trace_event JSON, Perfetto-loadable), --metrics-out FILE\n"
+           "(counters/gauges/histograms as JSON) and --log-level "
+           "LEVEL\n(debug|info|warn|error|off; default info).\n"
+           "Analysis results are "
            "identical for every thread count and for every\n"
            "ingestion path.\n";
     return 2;
@@ -290,16 +303,16 @@ cmdGenerate(const Args &args)
     const TraceCorpus corpus = generateCorpus(spec);
     if (shards > 1) {
         const auto paths = writeShardedCorpusDir(corpus, *out, shards);
-        std::cout << "wrote " << corpus.streamCount() << " streams / "
-                  << corpus.instances().size() << " instances / "
-                  << corpus.totalEvents() << " events to "
-                  << paths.size() << " shards under " << *out << "\n";
+        TL_LOG(Info, "wrote ", corpus.streamCount(), " streams / ",
+               corpus.instances().size(), " instances / ",
+               corpus.totalEvents(), " events to ", paths.size(),
+               " shards under ", *out);
         return 0;
     }
     writeCorpusFile(corpus, *out);
-    std::cout << "wrote " << corpus.streamCount() << " streams / "
-              << corpus.instances().size() << " instances / "
-              << corpus.totalEvents() << " events to " << *out << "\n";
+    TL_LOG(Info, "wrote ", corpus.streamCount(), " streams / ",
+           corpus.instances().size(), " instances / ",
+           corpus.totalEvents(), " events to ", *out);
     return 0;
 }
 
@@ -424,7 +437,7 @@ cmdAnalyze(const Args &args)
     if (auto v = args.flag("tslow"))
         t_slow = fromMs(std::stod(*v));
     if (t_fast <= 0 || t_slow <= t_fast) {
-        std::cerr << "need --tfast/--tslow for unknown scenarios\n";
+        TL_LOG(Error, "need --tfast/--tslow for unknown scenarios");
         return 2;
     }
 
@@ -515,7 +528,7 @@ cmdReport(const Args &args)
     options.applyKnowledgeFilter = !args.has("no-knowledge-filter");
     if (auto html = args.flag("html")) {
         writeHtmlReportFile(analyzer, scenarios, *html, options);
-        std::cout << "wrote " << *html << "\n";
+        TL_LOG(Info, "wrote ", *html);
         maybePrintPipelineStats(args, analyzer);
         return 0;
     }
@@ -547,7 +560,7 @@ cmdDiff(const Args &args)
     if (auto v = args.flag("tslow"))
         t_slow = fromMs(std::stod(*v));
     if (t_fast <= 0 || t_slow <= t_fast) {
-        std::cerr << "need --tfast/--tslow for unknown scenarios\n";
+        TL_LOG(Error, "need --tfast/--tslow for unknown scenarios");
         return 2;
     }
 
@@ -584,8 +597,8 @@ cmdDump(const Args &args)
     if (auto v = args.flag("max"))
         max_events = std::stoul(*v);
     if (stream >= corpus.streamCount()) {
-        std::cerr << "stream " << stream << " out of range (corpus has "
-                  << corpus.streamCount() << ")\n";
+        TL_LOG(Error, "stream ", stream, " out of range (corpus has ",
+               corpus.streamCount(), ")");
         return 1;
     }
     std::cout << dumpStream(corpus, stream, max_events);
@@ -603,8 +616,7 @@ cmdExportCsv(const Args &args)
         openSourceOrDie(args.positional()[0], args);
     const TraceCorpus &corpus = loadCorpus(*source);
     writeCorpusCsvFiles(corpus, *events, *instances);
-    std::cout << "exported to " << *events << " + " << *instances
-              << "\n";
+    TL_LOG(Info, "exported to ", *events, " + ", *instances);
     return 0;
 }
 
@@ -619,8 +631,8 @@ cmdImportCsv(const Args &args)
     const TraceCorpus corpus =
         readCorpusCsvFiles(*events, *instances);
     writeCorpusFile(corpus, *out);
-    std::cout << "imported " << corpus.totalEvents() << " events into "
-              << *out << "\n";
+    TL_LOG(Info, "imported ", corpus.totalEvents(), " events into ",
+           *out);
     return 0;
 }
 
@@ -634,27 +646,64 @@ main(int argc, char **argv)
     const std::string command = argv[1];
     const Args args(argc, argv, 2);
 
-    if (command == "generate")
-        return cmdGenerate(args);
-    if (command == "ingest")
-        return cmdIngest(args);
-    if (command == "validate")
-        return cmdValidate(args);
-    if (command == "impact")
-        return cmdImpact(args);
-    if (command == "analyze")
-        return cmdAnalyze(args);
-    if (command == "thresholds")
-        return cmdThresholds(args);
-    if (command == "report")
-        return cmdReport(args);
-    if (command == "diff")
-        return cmdDiff(args);
-    if (command == "dump")
-        return cmdDump(args);
-    if (command == "export-csv")
-        return cmdExportCsv(args);
-    if (command == "import-csv")
-        return cmdImportCsv(args);
-    return usage();
+    if (auto v = args.flag("log-level")) {
+        LogLevel level = LogLevel::Info;
+        if (!parseLogLevel(*v, level)) {
+            TL_FATAL("--log-level expects debug|info|warn|error|off, "
+                     "got '",
+                     *v, "'");
+        }
+        setLogLevel(level);
+    }
+    const auto trace_out = args.flag("trace-out");
+    const auto metrics_out = args.flag("metrics-out");
+    if (trace_out && trace_out->empty())
+        TL_FATAL("--trace-out expects a file path");
+    if (metrics_out && metrics_out->empty())
+        TL_FATAL("--metrics-out expects a file path");
+    if (trace_out)
+        Telemetry::setEnabled(true);
+
+    auto dispatch = [&]() -> int {
+        if (command == "generate")
+            return cmdGenerate(args);
+        if (command == "ingest")
+            return cmdIngest(args);
+        if (command == "validate")
+            return cmdValidate(args);
+        if (command == "impact")
+            return cmdImpact(args);
+        if (command == "analyze")
+            return cmdAnalyze(args);
+        if (command == "thresholds")
+            return cmdThresholds(args);
+        if (command == "report")
+            return cmdReport(args);
+        if (command == "diff")
+            return cmdDiff(args);
+        if (command == "dump")
+            return cmdDump(args);
+        if (command == "export-csv")
+            return cmdExportCsv(args);
+        if (command == "import-csv")
+            return cmdImportCsv(args);
+        return usage();
+    };
+
+    int rc = 0;
+    {
+        // The root span: everything the subcommand does nests under
+        // it in the exported trace. Scoped so it closes before the
+        // trace file is written.
+        Span span("cli", "cli");
+        if (span.active())
+            span.arg("cmd", command);
+        rc = dispatch();
+    }
+
+    if (trace_out)
+        Telemetry::writeChromeTrace(*trace_out);
+    if (metrics_out)
+        Telemetry::writeMetricsJson(*metrics_out);
+    return rc;
 }
