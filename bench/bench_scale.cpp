@@ -17,24 +17,34 @@
  *   BENCH_scale_ingest_speedup
  * and writes the eager-vs-mmap ingestion comparison to
  * BENCH_ingest.json, the cold-vs-warm artifact-cache pipeline
- * comparison to BENCH_pipeline.json, and the self-telemetry
- * (span-recording) overhead measurement to BENCH_telemetry.json in
+ * comparison to BENCH_pipeline.json, the self-telemetry
+ * (span-recording) overhead measurement to BENCH_telemetry.json, and
+ * the analysis-service load test (multithreaded clients against a
+ * live daemon, cold vs warm query latency) to BENCH_server.json in
  * the working directory. The telemetry run gates the overhead
  * contract of src/util/telemetry.h: spans on must stay within a few
- * percent of spans off (BENCH_scale_telemetry_overhead_pct).
+ * percent of spans off (BENCH_scale_telemetry_overhead_pct); the
+ * server run gates the warm-query contract of src/server/: warm p50
+ * must be >= 100x better than cold
+ * (BENCH_scale_server_warm_speedup_p50).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <thread>
+#include <vector>
 
 #include "src/core/analyzer.h"
 #include "src/impact/impact.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
 #include "src/trace/serialize.h"
 #include "src/trace/source.h"
+#include "src/util/json.h"
 #include "src/util/parallel.h"
 #include "src/util/table.h"
 #include "src/util/telemetry.h"
@@ -57,6 +67,29 @@ double
 speedup(double serial_ms, double parallel_ms)
 {
     return parallel_ms <= 0.0 ? 0.0 : serial_ms / parallel_ms;
+}
+
+double
+usSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Nearest-rank percentile of @p samples (q in [0,1]); 0 when empty. */
+double
+percentileUs(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    const std::size_t rank = std::min(
+        samples.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(samples.size())));
+    std::nth_element(samples.begin(),
+                     samples.begin() + static_cast<std::ptrdiff_t>(rank),
+                     samples.end());
+    return samples[rank];
 }
 
 } // namespace
@@ -491,6 +524,185 @@ main(int argc, char **argv)
         std::cout << "wrote BENCH_ingest.json\n";
     }
 
+    // ---- analysis service: cold vs warm query latency under load ---
+    // A live daemon on an ephemeral loopback port, the corpus from
+    // above on disk, and real clients over TCP. Cold phase: each
+    // scenario is queried against a freshly started daemon with an
+    // empty artifact cache — what the first query after a deployment
+    // pays (session open, wait-graph and AWG construction, mining).
+    // Warm phase: client threads hammer a long-lived daemon with the
+    // same queries; every one is answered from the shared
+    // ArtifactStore / response cache. The contract (docs/SERVER.md):
+    // warm p50 must beat cold p50 by >= 100x.
+    const std::filesystem::path server_dir =
+        std::filesystem::temp_directory_path() /
+        "tracelens_bench_server";
+    std::filesystem::remove_all(server_dir);
+    std::filesystem::create_directories(server_dir);
+    const std::string server_corpus =
+        (server_dir / "corpus.tlc").string();
+    writeCorpusFile(corpus, server_corpus);
+
+    server::ServerConfig server_config;
+    server_config.host = "127.0.0.1";
+    server_config.port = 0;
+    server_config.workers = threads;
+    server_config.maxInflight = 256;
+    server_config.registry.artifactCacheDir =
+        (server_dir / "artifacts").string();
+
+    auto analyzeParams = [&](const ScenarioThresholds &scenario) {
+        JsonValue params = JsonValue::makeObject();
+        params.set("corpus", JsonValue(server_corpus));
+        params.set("scenario", JsonValue(scenario.name));
+        return params;
+    };
+    auto connectClient = [](std::uint16_t port) {
+        auto client = server::Client::connect(
+            "127.0.0.1", port, std::chrono::milliseconds(60000));
+        if (!client.ok()) {
+            std::cerr << "client connect failed: "
+                      << client.error().render() << "\n";
+            std::exit(1);
+        }
+        return std::move(client.value());
+    };
+    auto startDaemon = [&](server::Server &daemon) {
+        const auto started = daemon.start();
+        if (!started.ok()) {
+            std::cerr << "server start failed: "
+                      << started.error().render() << "\n";
+            std::exit(1);
+        }
+    };
+
+    std::vector<double> cold_us;
+    for (const ScenarioThresholds &scenario : scenarios) {
+        std::filesystem::remove_all(
+            server_config.registry.artifactCacheDir);
+        server::Server daemon(server_config);
+        startDaemon(daemon);
+        server::Client client = connectClient(daemon.port());
+        const auto start = std::chrono::steady_clock::now();
+        const auto reply =
+            client.call("analyze", analyzeParams(scenario));
+        if (!reply.ok() || !reply.value().ok) {
+            std::cerr << "cold analyze failed for " << scenario.name
+                      << "\n";
+            return 1;
+        }
+        cold_us.push_back(usSince(start));
+        daemon.requestStop();
+        daemon.wait();
+    }
+
+    std::filesystem::remove_all(server_config.registry.artifactCacheDir);
+    server::Server daemon(server_config);
+    startDaemon(daemon);
+    const std::uint16_t server_port = daemon.port();
+    {
+        // Untimed warm-up: build the artifacts once and populate the
+        // response cache, so the timed phase measures steady state.
+        server::Client client = connectClient(server_port);
+        for (const ScenarioThresholds &scenario : scenarios) {
+            const auto reply =
+                client.call("analyze", analyzeParams(scenario));
+            if (!reply.ok() || !reply.value().ok) {
+                std::cerr << "warm-up analyze failed for "
+                          << scenario.name << "\n";
+                return 1;
+            }
+        }
+    }
+
+    const unsigned client_threads = std::max(2u, std::min(threads, 8u));
+    const std::size_t requests_per_client = 200;
+    std::vector<std::vector<double>> warm_per_client(client_threads);
+    const auto load_start = std::chrono::steady_clock::now();
+    {
+        std::vector<std::thread> clients;
+        clients.reserve(client_threads);
+        for (unsigned t = 0; t < client_threads; ++t) {
+            clients.emplace_back([&, t] {
+                server::Client client = connectClient(server_port);
+                auto &samples = warm_per_client[t];
+                samples.reserve(requests_per_client);
+                for (std::size_t i = 0; i < requests_per_client; ++i) {
+                    const ScenarioThresholds &scenario =
+                        scenarios[(t + i) % scenarios.size()];
+                    const auto start = std::chrono::steady_clock::now();
+                    const auto reply =
+                        client.call("analyze", analyzeParams(scenario));
+                    if (!reply.ok() || !reply.value().ok) {
+                        std::cerr << "warm analyze failed for "
+                                  << scenario.name << "\n";
+                        std::exit(1);
+                    }
+                    samples.push_back(usSince(start));
+                }
+            });
+        }
+        for (std::thread &thread : clients)
+            thread.join();
+    }
+    const double load_ms = msSince(load_start);
+    daemon.requestStop();
+    daemon.wait();
+    std::filesystem::remove_all(server_dir);
+
+    std::vector<double> warm_us;
+    for (const auto &samples : warm_per_client)
+        warm_us.insert(warm_us.end(), samples.begin(), samples.end());
+    const double warm_rps =
+        load_ms <= 0.0
+            ? 0.0
+            : static_cast<double>(warm_us.size()) / (load_ms / 1000.0);
+
+    const double cold_p50 = percentileUs(cold_us, 0.50);
+    const double cold_p99 = percentileUs(cold_us, 0.99);
+    const double warm_p50 = percentileUs(warm_us, 0.50);
+    const double warm_p99 = percentileUs(warm_us, 0.99);
+    const double warm_speedup_p50 = speedup(cold_p50, warm_p50);
+
+    std::cout << "\n== Analysis service (" << client_threads
+              << " clients x " << requests_per_client << " requests, "
+              << scenarios.size() << " scenarios, " << threads
+              << " workers) ==\n";
+    TextTable server_table({"Phase", "requests", "p50-us", "p99-us"});
+    server_table.addRow({"cold", std::to_string(cold_us.size()),
+                         TextTable::num(cold_p50, 0),
+                         TextTable::num(cold_p99, 0)});
+    server_table.addRow({"warm", std::to_string(warm_us.size()),
+                         TextTable::num(warm_p50, 0),
+                         TextTable::num(warm_p99, 0)});
+    std::cout << server_table.render();
+    std::cout << "warm throughput: " << TextTable::num(warm_rps, 0)
+              << " requests/s, warm p50 speedup over cold: "
+              << TextTable::num(warm_speedup_p50, 0) << "x\n";
+    if (warm_speedup_p50 < 100.0) {
+        std::cerr << "warm p50 speedup " << warm_speedup_p50
+                  << "x below the 100x contract\n";
+        return 1;
+    }
+
+    {
+        std::ofstream json("BENCH_server.json");
+        json << "{\n"
+             << "  \"client_threads\": " << client_threads << ",\n"
+             << "  \"server_workers\": " << threads << ",\n"
+             << "  \"scenarios\": " << scenarios.size() << ",\n"
+             << "  \"cold_requests\": " << cold_us.size() << ",\n"
+             << "  \"cold_p50_us\": " << cold_p50 << ",\n"
+             << "  \"cold_p99_us\": " << cold_p99 << ",\n"
+             << "  \"warm_requests\": " << warm_us.size() << ",\n"
+             << "  \"warm_p50_us\": " << warm_p50 << ",\n"
+             << "  \"warm_p99_us\": " << warm_p99 << ",\n"
+             << "  \"warm_rps\": " << warm_rps << ",\n"
+             << "  \"warm_speedup_p50\": " << warm_speedup_p50
+             << "\n}\n";
+        std::cout << "wrote BENCH_server.json\n";
+    }
+
     std::cout << "\nBENCH_scale_threads=" << threads << "\n"
               << "BENCH_scale_instances=" << corpus.instances().size()
               << "\n"
@@ -511,7 +723,10 @@ main(int argc, char **argv)
               << "BENCH_scale_artifact_warm_speedup="
               << speedup(cold_ms, warm_ms) << "\n"
               << "BENCH_scale_telemetry_overhead_pct="
-              << telemetry_overhead_pct << "\n";
+              << telemetry_overhead_pct << "\n"
+              << "BENCH_scale_server_warm_rps=" << warm_rps << "\n"
+              << "BENCH_scale_server_warm_speedup_p50="
+              << warm_speedup_p50 << "\n";
     std::cout << "(speedups track the worker count on multicore "
                  "hardware; on a single hardware thread they stay "
                  "near 1.0)\n";

@@ -17,6 +17,18 @@ if [ ! -d "$src" ]; then
     exit 2
 fi
 
+# The scan only means something while the code it guards actually
+# lives under src/. If a subsystem is moved or renamed, this check
+# must fail loudly instead of silently scanning nothing.
+for subdir in core server trace util; do
+    if [ ! -d "$src/$subdir" ]; then
+        echo "check_logging: expected subsystem '$src/$subdir'" \
+             "missing — update scripts/check_logging.sh if the tree" \
+             "was restructured" >&2
+        exit 2
+    fi
+done
+
 matches=$(grep -rn --include='*.cpp' --include='*.h' \
     -e 'std::cerr' -e 'std::cout' "$src" |
     grep -v '^[^:]*src/util/logging\.\(cpp\|h\):')

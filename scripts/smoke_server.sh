@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the analysis service: start the real
+# daemon, run query round trips through the real client, then shut it
+# down gracefully over the wire (and verify it exits 0).
+#
+# Usage: smoke_server.sh /path/to/tracelens
+set -euo pipefail
+
+CLI="${1:?usage: smoke_server.sh /path/to/tracelens}"
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/tracelens_smoke.XXXXXX")"
+SERVE_PID=""
+cleanup() {
+    if [[ -n "$SERVE_PID" ]] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill "$SERVE_PID" 2>/dev/null || true
+        wait "$SERVE_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "smoke_server: FAIL: $*" >&2; exit 1; }
+
+"$CLI" generate --out "$WORK/corpus.tlc" --machines 10 --seed 42 \
+    >/dev/null 2>&1 || fail "corpus generation"
+
+# Ephemeral port; the daemon advertises it via --port-file.
+"$CLI" serve --listen 127.0.0.1:0 --port-file "$WORK/port" \
+    --workers 2 --artifact-cache "$WORK/artifacts" \
+    >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+    [[ -s "$WORK/port" ]] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "daemon died on startup: $(cat "$WORK/serve.log")"
+    sleep 0.1
+done
+[[ -s "$WORK/port" ]] || fail "daemon never wrote its port file"
+PORT="$(cat "$WORK/port")"
+ADDR="127.0.0.1:$PORT"
+
+"$CLI" query health --connect "$ADDR" | grep -q '"status":"ok"' \
+    || fail "health check"
+
+"$CLI" query ingest --connect "$ADDR" \
+    --params "{\"corpus\":\"$WORK/corpus.tlc\"}" \
+    | grep -q '"loaded_shards":1' || fail "ingest query"
+
+"$CLI" query analyze --connect "$ADDR" \
+    --params "{\"corpus\":\"$WORK/corpus.tlc\",\"scenario\":\"BrowserTabCreate\"}" \
+    | grep -q '"classes"' || fail "analyze query (cold)"
+
+# Warm repeat must answer identically.
+COLD="$("$CLI" query analyze --connect "$ADDR" \
+    --params "{\"corpus\":\"$WORK/corpus.tlc\",\"scenario\":\"BrowserTabCreate\"}")"
+WARM="$("$CLI" query analyze --connect "$ADDR" \
+    --params "{\"corpus\":\"$WORK/corpus.tlc\",\"scenario\":\"BrowserTabCreate\"}")"
+[[ "$COLD" == "$WARM" ]] || fail "warm response differs from cold"
+
+"$CLI" query stats --connect "$ADDR" | grep -q '"sessions"' \
+    || fail "stats query"
+
+# A parse failure must exit nonzero.
+if "$CLI" query analyze --connect "$ADDR" --params "not json" \
+    >/dev/null 2>&1; then
+    fail "bad --params should exit nonzero"
+fi
+
+# Graceful shutdown over the wire: the daemon drains and exits 0.
+"$CLI" query shutdown --connect "$ADDR" | grep -q '"stopping":true' \
+    || fail "shutdown query"
+wait "$SERVE_PID" || fail "daemon exited nonzero after shutdown"
+SERVE_PID=""
+
+grep -q "drained" "$WORK/serve.log" || fail "daemon never logged drain"
+echo "smoke_server: OK (port $PORT)"

@@ -199,6 +199,14 @@ class Analyzer
     /** Number of shards ingested so far (source shards + addStreams). */
     std::size_t shardCount() const { return shards_.size(); }
 
+    /**
+     * Content digest of the whole ingested corpus (the shard-chain
+     * tip every whole-corpus artifact key hashes). Two analyzers over
+     * identical shard sequences report equal digests, which is what
+     * the analysis service keys its response cache on.
+     */
+    const Digest &corpusDigest() const { return chainTip(); }
+
     /** Snapshot of the per-stage artifact-cache counters. */
     PipelineStats pipelineStats() const { return store_.stats(); }
 

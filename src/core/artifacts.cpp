@@ -21,6 +21,9 @@
 
 #include "src/core/artifacts.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -231,7 +234,16 @@ storeArtifactFile(const std::string &path, Stage stage,
     putU64(header, check.hi());
     putU64(header, check.lo());
 
-    const std::string tmp = path + ".tmp";
+    // The temp name must be unique per writer: two processes (or two
+    // stores in one process) sharing a cache directory may store the
+    // same artifact concurrently, and a shared "path + .tmp" lets one
+    // writer rename the other's half-written file into place. The
+    // content under a given name is identical across writers, so with
+    // unique temp names the last rename wins harmlessly.
+    static std::atomic<std::uint64_t> serial{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(serial.fetch_add(1, std::memory_order_relaxed));
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out) {
@@ -682,6 +694,12 @@ AwgCodec::decode(const std::string &bytes, AggregatedWaitGraph &awg)
     awg.reducedNodes_ = reader.u64();
     awg.sourceGraphs_ = reader.u64();
     return !reader.failed() && reader.atEnd();
+}
+
+std::uint32_t
+artifactCacheVersion()
+{
+    return kVersion;
 }
 
 } // namespace tracelens

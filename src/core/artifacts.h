@@ -241,6 +241,9 @@ struct AwgCodec
                        AggregatedWaitGraph &awg);
 };
 
+/** On-disk artifact (TLA1) format revision (`tracelens version`). */
+std::uint32_t artifactCacheVersion();
+
 } // namespace tracelens
 
 #endif // TRACELENS_CORE_ARTIFACTS_H

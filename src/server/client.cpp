@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Blocking protocol client (src/server/client.h).
+ */
+
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tracelens
+{
+namespace server
+{
+
+Expected<Client>
+Client::connect(const std::string &host, std::uint16_t port,
+                std::chrono::milliseconds timeout)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return SourceError{host, 0,
+                           std::string("socket: ") +
+                               std::strerror(errno)};
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return SourceError{host, 0,
+                           "invalid host '" + host +
+                               "' (IPv4 dotted quad expected)"};
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return SourceError{host + ":" + std::to_string(port), 0,
+                           std::string("connect: ") +
+                               std::strerror(err)};
+    }
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    Client client;
+    client.fd_ = fd;
+    client.peer_ = host + ":" + std::to_string(port);
+    return client;
+}
+
+bool
+Client::sendRaw(std::string_view bytes)
+{
+    if (fd_ < 0)
+        return false;
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd_, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+Expected<std::string>
+Client::readLine()
+{
+    if (fd_ < 0)
+        return SourceError{peer_, 0, "not connected"};
+    while (true) {
+        const std::size_t nl = pending_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = pending_.substr(0, nl);
+            pending_.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return line;
+        }
+        char buffer[4096];
+        const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return SourceError{peer_, 0, "read timeout"};
+            return SourceError{peer_, 0,
+                               std::string("recv: ") +
+                                   std::strerror(errno)};
+        }
+        if (n == 0) {
+            return SourceError{peer_, pending_.size(),
+                               "connection closed by server"};
+        }
+        pending_.append(buffer, static_cast<std::size_t>(n));
+    }
+}
+
+Expected<CallResult>
+Client::call(const std::string &method, const JsonValue &params,
+             std::uint64_t deadlineMs)
+{
+    JsonValue request = JsonValue::makeObject();
+    const double id = nextId_++;
+    request.set("id", JsonValue(id));
+    request.set("method", JsonValue(method));
+    request.set("params", params);
+    if (deadlineMs != 0)
+        request.set("deadline_ms", JsonValue(deadlineMs));
+    if (!sendRaw(request.render() + "\n")) {
+        return SourceError{peer_, 0,
+                           "send failed (connection lost?)"};
+    }
+    Expected<std::string> line = readLine();
+    if (!line)
+        return line.error();
+    Expected<JsonValue> parsed = JsonValue::parse(line.value());
+    if (!parsed) {
+        return SourceError{peer_, parsed.error().offset,
+                           "unparseable response: " +
+                               parsed.error().reason};
+    }
+    const JsonValue &response = parsed.value();
+    CallResult result;
+    if (const JsonValue *rid = response.find("id");
+        rid != nullptr && rid->isNumber())
+        result.id = rid->asNumber();
+    const JsonValue *okField = response.find("ok");
+    result.ok = okField != nullptr && okField->isBool() &&
+                okField->asBool();
+    if (result.ok) {
+        if (const JsonValue *payload = response.find("result"))
+            result.result = *payload;
+    } else {
+        if (const JsonValue *error = response.find("error")) {
+            if (const JsonValue *code = error->find("code");
+                code != nullptr && code->isString())
+                result.errorCode = code->asString();
+            if (const JsonValue *message = error->find("message");
+                message != nullptr && message->isString())
+                result.errorMessage = message->asString();
+        }
+    }
+    return result;
+}
+
+void
+Client::shutdownWrite()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_WR);
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    pending_.clear();
+}
+
+} // namespace server
+} // namespace tracelens

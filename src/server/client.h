@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Blocking client for the analysis service — the counterpart of
+ * src/server/server.h used by `tracelens query`, the protocol tests,
+ * and the bench_scale load generator.
+ *
+ * One Client wraps one TCP connection. call() performs a full
+ * request/response round trip; the lower-level sendRaw() / readLine()
+ * and shutdownWrite() exist so the tests can speak *malformed*
+ * protocol (oversized lines, half-closed sockets, disconnecting
+ * mid-response) — robustness cases a well-behaved helper would hide.
+ */
+
+#ifndef TRACELENS_SERVER_CLIENT_H
+#define TRACELENS_SERVER_CLIENT_H
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/server/protocol.h"
+#include "src/util/expected.h"
+#include "src/util/json.h"
+
+namespace tracelens
+{
+namespace server
+{
+
+/** One response, success or error (transport failures use Expected). */
+struct CallResult
+{
+    bool ok = false;
+    std::optional<double> id;
+    /** The "result" object when ok. */
+    JsonValue result;
+    /** The "error.code" / "error.message" fields when !ok. */
+    std::string errorCode;
+    std::string errorMessage;
+};
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client() { close(); }
+    Client(Client &&other) noexcept { swap(other); }
+    Client &
+    operator=(Client &&other) noexcept
+    {
+        close();
+        swap(other);
+        return *this;
+    }
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Connect to @p host:@p port. @p timeout bounds every subsequent
+     * blocking read (SO_RCVTIMEO), not the connect itself.
+     */
+    static Expected<Client>
+    connect(const std::string &host, std::uint16_t port,
+            std::chrono::milliseconds timeout =
+                std::chrono::milliseconds(10000));
+
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * One round trip: send {"id", "method", "params", "deadline_ms"}
+     * and read the matching response line. Protocol-level errors
+     * ("overloaded", ...) come back as CallResult with ok=false; the
+     * Expected only fails on transport problems (connection lost,
+     * read timeout, unparseable response).
+     */
+    Expected<CallResult> call(const std::string &method,
+                              const JsonValue &params,
+                              std::uint64_t deadlineMs = 0);
+
+    /** Send raw bytes verbatim (tests: malformed / oversized input). */
+    bool sendRaw(std::string_view bytes);
+
+    /** Read one "\n"-terminated line (stripped); respects timeout. */
+    Expected<std::string> readLine();
+
+    /** Half-close: no more writes, reads still possible (tests). */
+    void shutdownWrite();
+
+    void close();
+
+  private:
+    void
+    swap(Client &other) noexcept
+    {
+        std::swap(fd_, other.fd_);
+        std::swap(pending_, other.pending_);
+        std::swap(nextId_, other.nextId_);
+        std::swap(peer_, other.peer_);
+    }
+
+    int fd_ = -1;
+    std::string pending_; //!< Bytes read past the last line.
+    double nextId_ = 1;
+    std::string peer_;
+};
+
+} // namespace server
+} // namespace tracelens
+
+#endif // TRACELENS_SERVER_CLIENT_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Request parsing and response serialization for the analysis-service
+ * protocol (src/server/protocol.h).
+ */
+
+#include "src/server/protocol.h"
+
+#include <cmath>
+
+namespace tracelens
+{
+namespace server
+{
+
+std::string_view
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::BadRequest:
+        return "bad_request";
+    case ErrorCode::Overloaded:
+        return "overloaded";
+    case ErrorCode::DeadlineExceeded:
+        return "deadline_exceeded";
+    case ErrorCode::NotFound:
+        return "not_found";
+    case ErrorCode::ShuttingDown:
+        return "shutting_down";
+    case ErrorCode::Internal:
+        return "internal";
+    }
+    return "internal";
+}
+
+Expected<Request>
+parseRequest(std::string_view line)
+{
+    Expected<JsonValue> doc = JsonValue::parse(line);
+    if (!doc)
+        return doc.error();
+    const JsonValue &root = doc.value();
+    if (!root.isObject())
+        return SourceError{"<request>", 0,
+                           "request must be a JSON object"};
+
+    Request request;
+    if (const JsonValue *id = root.find("id")) {
+        if (!id->isNumber())
+            return SourceError{"<request>", 0,
+                               "\"id\" must be a number"};
+        request.id = id->asNumber();
+    }
+    const JsonValue *method = root.find("method");
+    if (method == nullptr || !method->isString() ||
+        method->asString().empty()) {
+        return SourceError{"<request>", 0,
+                           "missing or invalid \"method\""};
+    }
+    request.method = method->asString();
+
+    if (const JsonValue *params = root.find("params")) {
+        if (!params->isObject())
+            return SourceError{"<request>", 0,
+                               "\"params\" must be an object"};
+        request.params = *params;
+    }
+    if (const JsonValue *deadline = root.find("deadline_ms")) {
+        if (!deadline->isNumber() || deadline->asNumber() < 0 ||
+            !std::isfinite(deadline->asNumber())) {
+            return SourceError{
+                "<request>", 0,
+                "\"deadline_ms\" must be a non-negative number"};
+        }
+        request.deadlineMs =
+            static_cast<std::uint64_t>(deadline->asNumber());
+    }
+    return request;
+}
+
+std::string
+renderResult(const std::optional<double> &id, const JsonValue &result)
+{
+    JsonValue response = JsonValue::makeObject();
+    if (id)
+        response.set("id", JsonValue(*id));
+    response.set("ok", JsonValue(true));
+    response.set("result", result);
+    return response.render() + "\n";
+}
+
+std::string
+renderError(const std::optional<double> &id, ErrorCode code,
+            std::string_view message)
+{
+    JsonValue error = JsonValue::makeObject();
+    error.set("code", JsonValue(errorCodeName(code)));
+    error.set("message", JsonValue(message));
+    JsonValue response = JsonValue::makeObject();
+    if (id)
+        response.set("id", JsonValue(*id));
+    response.set("ok", JsonValue(false));
+    response.set("error", std::move(error));
+    return response.render() + "\n";
+}
+
+} // namespace server
+} // namespace tracelens

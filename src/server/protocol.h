@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Wire protocol of the TraceLens analysis service (docs/SERVER.md).
+ *
+ * Transport: plain TCP; each request and each response is one JSON
+ * document on one line ("\n"-terminated, optional "\r" tolerated).
+ *
+ * Request shape:
+ *
+ *   {"id": 7, "method": "analyze", "params": {...},
+ *    "deadline_ms": 2000}
+ *
+ * "id" (optional, number) is echoed verbatim on the response so a
+ * client may pipeline requests; "deadline_ms" (optional) bounds the
+ * request's total time in the server including queue wait. Responses
+ * are either
+ *
+ *   {"id": 7, "ok": true, "result": {...}}
+ *   {"id": 7, "ok": false,
+ *    "error": {"code": "overloaded", "message": "..."}}
+ *
+ * This module is transport-free: parse/serialize only, so the unit
+ * tests and the client share one implementation with the daemon.
+ */
+
+#ifndef TRACELENS_SERVER_PROTOCOL_H
+#define TRACELENS_SERVER_PROTOCOL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/util/expected.h"
+#include "src/util/json.h"
+
+namespace tracelens
+{
+namespace server
+{
+
+/** Protocol revision, echoed by `health` and `tracelens version`. */
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/** Machine-readable failure classes (the "error.code" field). */
+enum class ErrorCode
+{
+    BadRequest,       //!< Malformed JSON / missing or invalid params.
+    Overloaded,       //!< Bounded queue full — retry later (429-style).
+    DeadlineExceeded, //!< The request's deadline elapsed in the server.
+    NotFound,         //!< Unknown corpus path / scenario / method.
+    ShuttingDown,     //!< Daemon is draining; no new work accepted.
+    Internal,         //!< Unexpected server-side failure.
+};
+
+/** Stable wire name of @p code ("bad_request", ...). */
+std::string_view errorCodeName(ErrorCode code);
+
+/** One parsed request line. */
+struct Request
+{
+    /** Echoed on the response when present. */
+    std::optional<double> id;
+    std::string method;
+    /** The "params" object (empty object when absent). */
+    JsonValue params = JsonValue::makeObject();
+    /** 0 = no explicit deadline (server default applies). */
+    std::uint64_t deadlineMs = 0;
+};
+
+/**
+ * Parse one request line (without the trailing newline). Fails with
+ * the offset-carrying error for malformed JSON, a non-object
+ * document, or a missing/invalid "method".
+ */
+Expected<Request> parseRequest(std::string_view line);
+
+/** A success response line, newline-terminated. */
+std::string renderResult(const std::optional<double> &id,
+                         const JsonValue &result);
+
+/** An error response line, newline-terminated. */
+std::string renderError(const std::optional<double> &id,
+                        ErrorCode code, std::string_view message);
+
+} // namespace server
+} // namespace tracelens
+
+#endif // TRACELENS_SERVER_PROTOCOL_H

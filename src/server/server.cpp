@@ -1,0 +1,1107 @@
+/**
+ * @file
+ * The analysis-service daemon (src/server/server.h): POSIX TCP
+ * plumbing, the bounded request queue, worker dispatch on the
+ * work-stealing pool, cooperative deadlines, and the method handlers
+ * that answer from the session registry's warm state.
+ */
+
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/mining/knowledge.h"
+#include "src/util/logging.h"
+#include "src/util/telemetry.h"
+#include "src/workload/scenarios.h"
+
+namespace tracelens
+{
+namespace server
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Handler failure routed into one error response. */
+struct HandlerError
+{
+    ErrorCode code;
+    std::string message;
+};
+
+[[noreturn]] void
+failRequest(ErrorCode code, std::string message)
+{
+    throw HandlerError{code, std::move(message)};
+}
+
+std::uint64_t
+usSince(Clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - start)
+            .count());
+}
+
+// ------------------------------------------------- param extraction
+
+const JsonValue &
+requireParam(const JsonValue &params, std::string_view key)
+{
+    const JsonValue *value = params.find(key);
+    if (value == nullptr)
+        failRequest(ErrorCode::BadRequest,
+                    "missing required param \"" + std::string(key) +
+                        "\"");
+    return *value;
+}
+
+std::string
+stringParam(const JsonValue &params, std::string_view key)
+{
+    const JsonValue &value = requireParam(params, key);
+    if (!value.isString() || value.asString().empty())
+        failRequest(ErrorCode::BadRequest,
+                    "param \"" + std::string(key) +
+                        "\" must be a non-empty string");
+    return value.asString();
+}
+
+double
+numberParamOr(const JsonValue &params, std::string_view key,
+              double fallback)
+{
+    const JsonValue *value = params.find(key);
+    if (value == nullptr)
+        return fallback;
+    if (!value->isNumber() || !std::isfinite(value->asNumber()))
+        failRequest(ErrorCode::BadRequest,
+                    "param \"" + std::string(key) +
+                        "\" must be a finite number");
+    return value->asNumber();
+}
+
+bool
+boolParamOr(const JsonValue &params, std::string_view key,
+            bool fallback)
+{
+    const JsonValue *value = params.find(key);
+    if (value == nullptr)
+        return fallback;
+    if (!value->isBool())
+        failRequest(ErrorCode::BadRequest,
+                    "param \"" + std::string(key) +
+                        "\" must be a boolean");
+    return value->asBool();
+}
+
+std::vector<std::string>
+stringListParam(const JsonValue &params, std::string_view key)
+{
+    std::vector<std::string> out;
+    const JsonValue *value = params.find(key);
+    if (value == nullptr)
+        return out;
+    if (!value->isArray())
+        failRequest(ErrorCode::BadRequest,
+                    "param \"" + std::string(key) +
+                        "\" must be an array of strings");
+    for (const JsonValue &item : value->asArray()) {
+        if (!item.isString())
+            failRequest(ErrorCode::BadRequest,
+                        "param \"" + std::string(key) +
+                            "\" must be an array of strings");
+        out.push_back(item.asString());
+    }
+    return out;
+}
+
+/** Scenario thresholds: catalog defaults, params override. */
+void
+resolveThresholds(const JsonValue &params, const std::string &scenario,
+                  DurationNs &tFast, DurationNs &tSlow)
+{
+    tFast = 0;
+    tSlow = 0;
+    for (const ScenarioSpec &spec : scenarioCatalog()) {
+        if (spec.name == scenario) {
+            tFast = spec.tFast;
+            tSlow = spec.tSlow;
+        }
+    }
+    const double fastMs =
+        numberParamOr(params, "tfast_ms", toMs(tFast));
+    const double slowMs =
+        numberParamOr(params, "tslow_ms", toMs(tSlow));
+    tFast = fromMs(fastMs);
+    tSlow = fromMs(slowMs);
+    if (tFast <= 0 || tSlow <= tFast) {
+        failRequest(ErrorCode::BadRequest,
+                    "need tfast_ms < tslow_ms (required for scenarios "
+                    "outside the catalog)");
+    }
+}
+
+JsonValue
+impactJson(const ImpactResult &impact)
+{
+    JsonValue out = JsonValue::makeObject();
+    out.set("instances", JsonValue(impact.instances));
+    out.set("d_scn_ms", JsonValue(toMs(impact.dScn)));
+    out.set("d_wait_ms", JsonValue(toMs(impact.dWait)));
+    out.set("d_run_ms", JsonValue(toMs(impact.dRun)));
+    out.set("d_waitdist_ms", JsonValue(toMs(impact.dWaitDist)));
+    out.set("ia_run", JsonValue(impact.iaRun()));
+    out.set("ia_wait", JsonValue(impact.iaWait()));
+    out.set("ia_opt", JsonValue(impact.iaOpt()));
+    return out;
+}
+
+JsonValue
+patternJson(const ContrastPattern &pattern, DurationNs tSlow,
+            const SymbolTable &symbols, std::size_t rank)
+{
+    JsonValue out = JsonValue::makeObject();
+    out.set("rank", JsonValue(rank));
+    out.set("impact_ms",
+            JsonValue(toMs(static_cast<DurationNs>(pattern.impact()))));
+    out.set("count", JsonValue(pattern.count));
+    out.set("high_impact", JsonValue(pattern.highImpact(tSlow)));
+    out.set("tuple", JsonValue(pattern.tuple.renderCompact(symbols)));
+    return out;
+}
+
+/** Assemble an ok-response line around an already-rendered result. */
+std::string
+assembleOk(const std::optional<double> &id,
+           const std::string &resultJson)
+{
+    std::string line = "{";
+    if (id) {
+        line += "\"id\":";
+        line += JsonValue(*id).render();
+        line += ",";
+    }
+    line += "\"ok\":true,\"result\":";
+    line += resultJson;
+    line += "}\n";
+    return line;
+}
+
+} // namespace
+
+// ------------------------------------------------------- Connection
+
+bool
+Server::Connection::sendLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(writeMutex);
+    if (!open.load(std::memory_order_acquire))
+        return false;
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+        const ssize_t n =
+            ::send(fd, line.data() + sent, line.size() - sent,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            open.store(false, std::memory_order_release);
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+Server::Connection::shutdownBoth()
+{
+    open.store(false, std::memory_order_release);
+    ::shutdown(fd, SHUT_RDWR);
+}
+
+// ----------------------------------------------------------- Server
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), registry_(config_.registry)
+{
+}
+
+Server::~Server()
+{
+    if (started_.load(std::memory_order_acquire) && !stopped()) {
+        requestStop();
+        wait();
+    }
+    if (wakeRead_ >= 0)
+        ::close(wakeRead_);
+    if (wakeWrite_ >= 0)
+        ::close(wakeWrite_);
+}
+
+Expected<std::uint16_t>
+Server::start()
+{
+    if (started_.exchange(true))
+        return SourceError{"<server>", 0, "server already started"};
+
+    workerCount_ = resolveThreads(config_.workers);
+
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    requestsCounter_ = &metrics.counter("server.requests");
+    rejectedCounter_ = &metrics.counter("server.rejected");
+    errorsCounter_ = &metrics.counter("server.errors");
+    queueDepthHist_ = &metrics.histogram("server.queue_depth");
+    latencyHist_ = &metrics.histogram("server.latency_us");
+    queueWaitHist_ = &metrics.histogram("server.queue_wait_us");
+    inflightGauge_ = &metrics.gauge("server.inflight");
+
+    int pipeFds[2];
+    if (::pipe(pipeFds) != 0) {
+        return SourceError{"<server>", 0,
+                           std::string("pipe: ") +
+                               std::strerror(errno)};
+    }
+    wakeRead_ = pipeFds[0];
+    wakeWrite_ = pipeFds[1];
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        return SourceError{"<server>", 0,
+                           std::string("socket: ") +
+                               std::strerror(errno)};
+    }
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) !=
+        1) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return SourceError{"<server>", 0,
+                           "invalid listen host '" + config_.host +
+                               "' (IPv4 dotted quad expected)"};
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return SourceError{"<server>", 0,
+                           "bind " + config_.host + ":" +
+                               std::to_string(config_.port) + ": " +
+                               std::strerror(err)};
+    }
+    if (::listen(listenFd_, 128) != 0) {
+        const int err = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return SourceError{"<server>", 0,
+                           std::string("listen: ") +
+                               std::strerror(err)};
+    }
+    sockaddr_in bound{};
+    socklen_t boundLen = sizeof(bound);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
+                  &boundLen);
+    port_ = ntohs(bound.sin_port);
+
+    pool_ = std::make_unique<ThreadPool>(workerCount_);
+    poolDriver_ = std::thread([this] {
+        // Every pool worker claims exactly one index and parks in the
+        // drain loop, so the request queue is serviced by the
+        // work-stealing pool itself.
+        pool_->parallelFor(0, workerCount_,
+                           [this](std::size_t) { workerLoop(); });
+    });
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+
+    TL_LOG(Info, "serve: listening on ", config_.host, ":", port_,
+           " (", workerCount_, " workers, max-inflight ",
+           config_.maxInflight, ")");
+    return port_;
+}
+
+void
+Server::requestStop()
+{
+    // Only async-signal-safe calls here: SIGTERM handlers call this.
+    if (wakeWrite_ >= 0) {
+        const char byte = 's';
+        [[maybe_unused]] const ssize_t n =
+            ::write(wakeWrite_, &byte, 1);
+    }
+}
+
+void
+Server::wait()
+{
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    std::unique_lock<std::mutex> lock(stoppedMutex_);
+    stoppedCv_.wait(lock, [this] {
+        return stopped_.load(std::memory_order_acquire);
+    });
+}
+
+ServerStats
+Server::stats() const
+{
+    ServerStats stats;
+    stats.accepted = accepted_.load(std::memory_order_relaxed);
+    stats.requests = requests_.load(std::memory_order_relaxed);
+    stats.ok = ok_.load(std::memory_order_relaxed);
+    stats.errors = errors_.load(std::memory_order_relaxed);
+    stats.rejected = rejected_.load(std::memory_order_relaxed);
+    stats.dropped = dropped_.load(std::memory_order_relaxed);
+    stats.connections = connections_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(
+            const_cast<std::mutex &>(queueMutex_));
+        stats.inflight = inflight_;
+    }
+    return stats;
+}
+
+// ------------------------------------------------------ accept path
+
+void
+Server::acceptLoop()
+{
+    while (true) {
+        pollfd fds[2];
+        fds[0].fd = listenFd_;
+        fds[0].events = POLLIN;
+        fds[1].fd = wakeRead_;
+        fds[1].events = POLLIN;
+        const int ready = ::poll(fds, 2, 1000);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            TL_LOG(Error, "serve: poll failed: ",
+                   std::strerror(errno));
+            break;
+        }
+        if (ready == 0) {
+            // Housekeeping tick: reap finished readers, evict idle
+            // sessions.
+            reapReaders(false);
+            registry_.evictIdle();
+            continue;
+        }
+        if (fds[1].revents != 0)
+            break; // stop requested
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+
+        sockaddr_in peer{};
+        socklen_t peerLen = sizeof(peer);
+        const int fd = ::accept(
+            listenFd_, reinterpret_cast<sockaddr *>(&peer), &peerLen);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            TL_LOG(Error, "serve: accept failed: ",
+                   std::strerror(errno));
+            break;
+        }
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        char host[INET_ADDRSTRLEN] = "?";
+        ::inet_ntop(AF_INET, &peer.sin_addr, host, sizeof(host));
+        conn->peer = std::string(host) + ":" +
+                     std::to_string(ntohs(peer.sin_port));
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        connections_.fetch_add(1, std::memory_order_relaxed);
+        TL_LOG(Debug, "serve: accepted ", conn->peer);
+
+        auto slot = std::make_unique<ReaderSlot>();
+        ReaderSlot *raw = slot.get();
+        slot->conn = conn;
+        {
+            std::lock_guard<std::mutex> lock(readersMutex_);
+            readers_.push_back(std::move(slot));
+        }
+        raw->thread = std::thread([this, conn, raw] {
+            readerLoop(conn);
+            raw->done.store(true, std::memory_order_release);
+        });
+    }
+    drain();
+}
+
+void
+Server::reapReaders(bool all)
+{
+    std::list<std::unique_ptr<ReaderSlot>> finished;
+    {
+        std::lock_guard<std::mutex> lock(readersMutex_);
+        for (auto it = readers_.begin(); it != readers_.end();) {
+            if (all || (*it)->done.load(std::memory_order_acquire)) {
+                finished.push_back(std::move(*it));
+                it = readers_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (const auto &slot : finished) {
+        if (slot->thread.joinable())
+            slot->thread.join();
+    }
+}
+
+void
+Server::readerLoop(std::shared_ptr<Connection> conn)
+{
+    std::string pending;
+    char buffer[4096];
+    bool readError = false;
+    while (true) {
+        const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            readError = true;
+            break;
+        }
+        if (n == 0)
+            break; // client closed (or half-closed) its write side
+        pending.append(buffer, static_cast<std::size_t>(n));
+
+        std::size_t start = 0;
+        while (true) {
+            const std::size_t nl = pending.find('\n', start);
+            if (nl == std::string::npos)
+                break;
+            std::string_view line(pending.data() + start, nl - start);
+            if (!line.empty() && line.back() == '\r')
+                line.remove_suffix(1);
+            if (!line.empty())
+                handleLine(conn, line);
+            start = nl + 1;
+        }
+        pending.erase(0, start);
+
+        if (pending.size() > config_.maxLineBytes) {
+            // A framing violation, not a slow consumer: reject and
+            // hang up so the buffer cannot grow without bound.
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            errorsCounter_->add(1);
+            conn->sendLine(renderError(
+                std::nullopt, ErrorCode::BadRequest,
+                "request line exceeds " +
+                    std::to_string(config_.maxLineBytes) + " bytes"));
+            conn->shutdownBoth();
+            break;
+        }
+    }
+    // EOF only means the client closed its *write* side; a half-closed
+    // peer can still receive responses for requests already in flight,
+    // so `open` stays set unless the socket actually failed.
+    if (readError)
+        conn->open.store(false, std::memory_order_release);
+    connections_.fetch_sub(1, std::memory_order_relaxed);
+    TL_LOG(Debug, "serve: closed ", conn->peer);
+}
+
+// ----------------------------------------------------- request path
+
+void
+Server::handleLine(const std::shared_ptr<Connection> &conn,
+                   std::string_view line)
+{
+    Expected<Request> parsed = parseRequest(line);
+    if (!parsed) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        errorsCounter_->add(1);
+        conn->sendLine(renderError(std::nullopt,
+                                   ErrorCode::BadRequest,
+                                   parsed.error().reason));
+        return;
+    }
+    Request request = std::move(parsed.value());
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    requestsCounter_->add(1);
+
+    // Control-plane methods answer inline on the reader thread: they
+    // must stay responsive even when the queue is saturated.
+    if (request.method == "health") {
+        JsonValue result = JsonValue::makeObject();
+        result.set("status",
+                   JsonValue(draining_.load(std::memory_order_acquire)
+                                 ? "draining"
+                                 : "ok"));
+        result.set("protocol", JsonValue(kProtocolVersion));
+        ok_.fetch_add(1, std::memory_order_relaxed);
+        sendResponse(conn, assembleOk(request.id, result.render()),
+                     false);
+        return;
+    }
+    if (request.method == "stats") {
+        ok_.fetch_add(1, std::memory_order_relaxed);
+        sendResponse(conn,
+                     assembleOk(request.id, statsResult().render()),
+                     false);
+        return;
+    }
+    if (request.method == "shutdown") {
+        JsonValue result = JsonValue::makeObject();
+        result.set("stopping", JsonValue(true));
+        ok_.fetch_add(1, std::memory_order_relaxed);
+        sendResponse(conn, assembleOk(request.id, result.render()),
+                     false);
+        TL_LOG(Info, "serve: shutdown requested by ", conn->peer);
+        requestStop();
+        return;
+    }
+
+    const bool known =
+        request.method == "analyze" || request.method == "impact" ||
+        request.method == "mine" || request.method == "ingest" ||
+        (config_.enableTestMethods && request.method == "sleep");
+    if (!known) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        errorsCounter_->add(1);
+        sendResponse(conn,
+                     renderError(request.id, ErrorCode::NotFound,
+                                 "unknown method \"" +
+                                     request.method + "\""),
+                     true);
+        return;
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        errorsCounter_->add(1);
+        sendResponse(conn,
+                     renderError(request.id, ErrorCode::ShuttingDown,
+                                 "server is draining"),
+                     true);
+        return;
+    }
+
+    QueuedRequest queued;
+    queued.arrival = Clock::now();
+    const std::uint64_t deadlineMs = request.deadlineMs != 0
+                                         ? request.deadlineMs
+                                         : config_.defaultDeadlineMs;
+    if (deadlineMs != 0) {
+        queued.deadline =
+            queued.arrival + std::chrono::milliseconds(deadlineMs);
+    }
+    queued.request = std::move(request);
+    queued.conn = conn;
+
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        if (inflight_ >= config_.maxInflight) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            rejectedCounter_->add(1);
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            conn->sendLine(renderError(
+                queued.request.id, ErrorCode::Overloaded,
+                "request queue full (" +
+                    std::to_string(config_.maxInflight) +
+                    " inflight); retry later"));
+            return;
+        }
+        ++inflight_;
+        queue_.push_back(std::move(queued));
+        queueDepthHist_->record(queue_.size());
+        inflightGauge_->set(static_cast<double>(inflight_));
+    }
+    queueCv_.notify_one();
+}
+
+void
+Server::workerLoop()
+{
+    while (true) {
+        QueuedRequest request;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex_);
+            queueCv_.wait(lock, [this] {
+                return !queue_.empty() || stopWorkers_;
+            });
+            if (queue_.empty() && stopWorkers_)
+                return;
+            request = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        try {
+            process(std::move(request));
+        } catch (const std::exception &e) {
+            // process() answers handler errors itself; anything that
+            // escapes is a server bug we log rather than propagate
+            // into the pool (which would rethrow on the driver).
+            TL_LOG(Error, "serve: unhandled handler exception: ",
+                   e.what());
+        }
+        {
+            std::lock_guard<std::mutex> lock(queueMutex_);
+            --inflight_;
+            inflightGauge_->set(static_cast<double>(inflight_));
+        }
+        drainCv_.notify_all();
+    }
+}
+
+void
+Server::process(QueuedRequest request)
+{
+    Span span("server.request", "server");
+    if (span.active())
+        span.arg("method", request.request.method);
+    queueWaitHist_->record(usSince(request.arrival));
+
+    std::string responseLine;
+    bool isError = false;
+    const char *outcome = "ok";
+    try {
+        if (request.deadline && Clock::now() >= *request.deadline) {
+            failRequest(ErrorCode::DeadlineExceeded,
+                        "deadline elapsed while queued");
+        }
+        JsonValue result;
+        const std::string &method = request.request.method;
+        if (method == "analyze")
+            result = handleAnalyze(request);
+        else if (method == "impact")
+            result = handleImpact(request);
+        else if (method == "mine")
+            result = handleMine(request);
+        else if (method == "ingest")
+            result = handleIngest(request);
+        else if (method == "sleep")
+            result = handleSleep(request);
+        else
+            failRequest(ErrorCode::Internal, "unroutable method");
+        responseLine =
+            assembleOk(request.request.id, result.render());
+        ok_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const HandlerError &e) {
+        responseLine =
+            renderError(request.request.id, e.code, e.message);
+        isError = true;
+        outcome = errorCodeName(e.code).data();
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        errorsCounter_->add(1);
+    } catch (const std::exception &e) {
+        responseLine = renderError(request.request.id,
+                                   ErrorCode::Internal, e.what());
+        isError = true;
+        outcome = "internal";
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        errorsCounter_->add(1);
+    }
+
+    latencyHist_->record(usSince(request.arrival));
+    if (span.active())
+        span.arg("outcome", std::string(outcome));
+    sendResponse(request.conn, responseLine, isError);
+}
+
+void
+Server::sendResponse(const std::shared_ptr<Connection> &conn,
+                     const std::string &line, bool /*isError*/)
+{
+    if (!conn->sendLine(line))
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------- handlers
+
+namespace
+{
+
+void
+checkDeadline(const std::optional<Clock::time_point> &deadline)
+{
+    if (deadline && Clock::now() >= *deadline)
+        failRequest(ErrorCode::DeadlineExceeded,
+                    "deadline elapsed during processing");
+}
+
+} // namespace
+
+JsonValue
+Server::handleAnalyze(const QueuedRequest &request)
+{
+    const JsonValue &params = request.request.params;
+    const std::string corpusPath = stringParam(params, "corpus");
+    const std::string scenario = stringParam(params, "scenario");
+    DurationNs tFast = 0, tSlow = 0;
+    resolveThresholds(params, scenario, tFast, tSlow);
+    const double topRaw = numberParamOr(params, "top", 5.0);
+    if (topRaw < 0 || topRaw > 10000)
+        failRequest(ErrorCode::BadRequest,
+                    "param \"top\" must be in [0, 10000]");
+    const std::size_t top = static_cast<std::size_t>(topRaw);
+    const bool applyFilter =
+        boolParamOr(params, "knowledge_filter", true);
+    const std::vector<std::string> components =
+        stringListParam(params, "components");
+
+    Expected<SessionRegistry::Handle> session =
+        registry_.acquire(corpusPath, components);
+    if (!session)
+        failRequest(ErrorCode::NotFound, session.error().render());
+    checkDeadline(request.deadline);
+
+    Digest cacheKey;
+    cacheKey.mix("analyze").mix(session.value()->corpusDigest());
+    cacheKey.mix(scenario)
+        .mix(static_cast<std::uint64_t>(tFast))
+        .mix(static_cast<std::uint64_t>(tSlow))
+        .mix(static_cast<std::uint64_t>(top))
+        .mix(static_cast<std::uint64_t>(applyFilter));
+    if (auto cached = session.value()->cachedResponse(cacheKey)) {
+        TL_SPAN("server.response-cache-hit", "server");
+        return std::move(
+            JsonValue::parse(*cached).value()); // cached render
+    }
+
+    Analyzer &analyzer = session.value()->analyzer();
+    const TraceCorpus &corpus = analyzer.corpus();
+    if (corpus.findScenario(scenario) == UINT32_MAX)
+        failRequest(ErrorCode::NotFound,
+                    "scenario \"" + scenario +
+                        "\" not present in corpus");
+    const ScenarioAnalysis analysis =
+        analyzer.analyzeScenario(scenario, tFast, tSlow);
+    checkDeadline(request.deadline);
+
+    std::vector<ContrastPattern> patterns = analysis.mining.patterns;
+    std::size_t suppressed = 0;
+    if (applyFilter) {
+        const auto filtered = KnowledgeBase::defaults().apply(
+            analysis.mining, corpus.symbols());
+        suppressed = filtered.suppressed.size();
+        patterns = filtered.kept;
+    }
+
+    JsonValue result = JsonValue::makeObject();
+    result.set("scenario", JsonValue(scenario));
+    result.set("tfast_ms", JsonValue(toMs(tFast)));
+    result.set("tslow_ms", JsonValue(toMs(tSlow)));
+    JsonValue classes = JsonValue::makeObject();
+    classes.set("fast", JsonValue(analysis.classes.fast.size()));
+    classes.set("middle", JsonValue(analysis.classes.middle.size()));
+    classes.set("slow", JsonValue(analysis.classes.slow.size()));
+    result.set("classes", std::move(classes));
+    result.set("slow_impact", impactJson(analysis.slowImpact));
+    result.set("driver_cost_share",
+               JsonValue(analysis.driverCostShare()));
+    result.set("coverage", JsonValue(analysis.coverage.render()));
+    result.set("mining_stats",
+               JsonValue(analysis.mining.stats.render()));
+    result.set("suppressed", JsonValue(suppressed));
+    JsonValue list = JsonValue::makeArray();
+    for (std::size_t i = 0; i < std::min(top, patterns.size()); ++i) {
+        list.push(patternJson(patterns[i], tSlow, corpus.symbols(),
+                              i + 1));
+    }
+    result.set("patterns", std::move(list));
+
+    session.value()->cacheResponse(
+        cacheKey,
+        std::make_shared<const std::string>(result.render()));
+    return result;
+}
+
+JsonValue
+Server::handleImpact(const QueuedRequest &request)
+{
+    const JsonValue &params = request.request.params;
+    const std::string corpusPath = stringParam(params, "corpus");
+    const std::vector<std::string> components =
+        stringListParam(params, "components");
+
+    Expected<SessionRegistry::Handle> session =
+        registry_.acquire(corpusPath, components);
+    if (!session)
+        failRequest(ErrorCode::NotFound, session.error().render());
+    checkDeadline(request.deadline);
+
+    Digest cacheKey;
+    cacheKey.mix("impact").mix(session.value()->corpusDigest());
+    if (auto cached = session.value()->cachedResponse(cacheKey)) {
+        TL_SPAN("server.response-cache-hit", "server");
+        return std::move(JsonValue::parse(*cached).value());
+    }
+
+    Analyzer &analyzer = session.value()->analyzer();
+    const TraceCorpus &corpus = analyzer.corpus();
+
+    JsonValue result = JsonValue::makeObject();
+    JsonValue componentsJson = JsonValue::makeArray();
+    for (const std::string &glob :
+         analyzer.components().patterns())
+        componentsJson.push(JsonValue(glob));
+    result.set("components", std::move(componentsJson));
+    result.set("all", impactJson(analyzer.impactAll()));
+    checkDeadline(request.deadline);
+    JsonValue perScenario = JsonValue::makeObject();
+    for (const auto &[scenarioId, impact] :
+         analyzer.impactPerScenario()) {
+        perScenario.set(corpus.scenarioName(scenarioId),
+                        impactJson(impact));
+    }
+    result.set("per_scenario", std::move(perScenario));
+
+    session.value()->cacheResponse(
+        cacheKey,
+        std::make_shared<const std::string>(result.render()));
+    return result;
+}
+
+JsonValue
+Server::handleMine(const QueuedRequest &request)
+{
+    const JsonValue &params = request.request.params;
+    const std::string corpusPath = stringParam(params, "corpus");
+    const std::string scenario = stringParam(params, "scenario");
+    DurationNs tFast = 0, tSlow = 0;
+    resolveThresholds(params, scenario, tFast, tSlow);
+    const double maxRaw =
+        numberParamOr(params, "max_patterns", 100.0);
+    if (maxRaw < 1 || maxRaw > 10000)
+        failRequest(ErrorCode::BadRequest,
+                    "param \"max_patterns\" must be in [1, 10000]");
+    const std::size_t maxPatterns =
+        static_cast<std::size_t>(maxRaw);
+
+    Expected<SessionRegistry::Handle> session =
+        registry_.acquire(corpusPath);
+    if (!session)
+        failRequest(ErrorCode::NotFound, session.error().render());
+    checkDeadline(request.deadline);
+
+    Digest cacheKey;
+    cacheKey.mix("mine").mix(session.value()->corpusDigest());
+    cacheKey.mix(scenario)
+        .mix(static_cast<std::uint64_t>(tFast))
+        .mix(static_cast<std::uint64_t>(tSlow))
+        .mix(static_cast<std::uint64_t>(maxPatterns));
+    if (auto cached = session.value()->cachedResponse(cacheKey)) {
+        TL_SPAN("server.response-cache-hit", "server");
+        return std::move(JsonValue::parse(*cached).value());
+    }
+
+    Analyzer &analyzer = session.value()->analyzer();
+    const TraceCorpus &corpus = analyzer.corpus();
+    if (corpus.findScenario(scenario) == UINT32_MAX)
+        failRequest(ErrorCode::NotFound,
+                    "scenario \"" + scenario +
+                        "\" not present in corpus");
+    const ScenarioAnalysis analysis =
+        analyzer.analyzeScenario(scenario, tFast, tSlow);
+    checkDeadline(request.deadline);
+
+    JsonValue result = JsonValue::makeObject();
+    result.set("scenario", JsonValue(scenario));
+    result.set("mining_stats",
+               JsonValue(analysis.mining.stats.render()));
+    result.set("coverage", JsonValue(analysis.coverage.render()));
+    JsonValue list = JsonValue::makeArray();
+    const auto &patterns = analysis.mining.patterns;
+    for (std::size_t i = 0;
+         i < std::min(maxPatterns, patterns.size()); ++i) {
+        list.push(patternJson(patterns[i], tSlow, corpus.symbols(),
+                              i + 1));
+    }
+    result.set("patterns", std::move(list));
+    result.set("total_patterns", JsonValue(patterns.size()));
+
+    session.value()->cacheResponse(
+        cacheKey,
+        std::make_shared<const std::string>(result.render()));
+    return result;
+}
+
+JsonValue
+Server::handleIngest(const QueuedRequest &request)
+{
+    const JsonValue &params = request.request.params;
+    const std::string corpusPath = stringParam(params, "corpus");
+
+    Expected<SessionRegistry::Handle> session =
+        registry_.acquire(corpusPath);
+    if (!session)
+        failRequest(ErrorCode::NotFound, session.error().render());
+    checkDeadline(request.deadline);
+
+    const SessionIngestInfo &info = session.value()->ingestInfo();
+    JsonValue result = JsonValue::makeObject();
+    result.set("source", JsonValue(info.describe));
+    result.set("shards", JsonValue(info.shards));
+    result.set("loaded_shards", JsonValue(info.loadedShards));
+    result.set("skipped_shards", JsonValue(info.skippedShards));
+    result.set("ingest_bytes", JsonValue(info.ingestBytes));
+    result.set("events", JsonValue(info.events));
+    result.set("instances", JsonValue(info.instances));
+    JsonValue scenarios = JsonValue::makeObject();
+    for (const ScenarioTally &tally : info.scenarios) {
+        JsonValue entry = JsonValue::makeObject();
+        entry.set("instances", JsonValue(tally.instances));
+        entry.set("mean_ms", JsonValue(tally.meanMs));
+        scenarios.set(tally.name, std::move(entry));
+    }
+    result.set("scenarios", std::move(scenarios));
+    return result;
+}
+
+JsonValue
+Server::handleSleep(const QueuedRequest &request)
+{
+    // Test-only: occupy a worker for a bounded time, checking the
+    // deadline cooperatively — the determinism hook for the
+    // backpressure and deadline tests and the load bench.
+    const double ms =
+        numberParamOr(request.request.params, "ms", 10.0);
+    if (ms < 0 || ms > 60000)
+        failRequest(ErrorCode::BadRequest,
+                    "param \"ms\" must be in [0, 60000]");
+    const auto until =
+        Clock::now() +
+        std::chrono::microseconds(static_cast<std::int64_t>(ms * 1e3));
+    while (Clock::now() < until) {
+        checkDeadline(request.deadline);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    JsonValue result = JsonValue::makeObject();
+    result.set("slept_ms", JsonValue(ms));
+    return result;
+}
+
+JsonValue
+Server::statsResult()
+{
+    const ServerStats stats = this->stats();
+    const RegistryStats sessions = registry_.stats();
+
+    JsonValue result = JsonValue::makeObject();
+    result.set("draining",
+               JsonValue(draining_.load(std::memory_order_acquire)));
+    result.set("workers", JsonValue(workerCount_));
+    result.set("max_inflight", JsonValue(config_.maxInflight));
+    JsonValue requests = JsonValue::makeObject();
+    requests.set("total", JsonValue(stats.requests));
+    requests.set("ok", JsonValue(stats.ok));
+    requests.set("errors", JsonValue(stats.errors));
+    requests.set("rejected", JsonValue(stats.rejected));
+    requests.set("dropped", JsonValue(stats.dropped));
+    requests.set("inflight", JsonValue(stats.inflight));
+    result.set("requests", std::move(requests));
+    JsonValue connections = JsonValue::makeObject();
+    connections.set("open", JsonValue(stats.connections));
+    connections.set("accepted", JsonValue(stats.accepted));
+    result.set("connections", std::move(connections));
+    JsonValue sessionsJson = JsonValue::makeObject();
+    sessionsJson.set("open", JsonValue(sessions.openSessions));
+    sessionsJson.set("active_handles",
+                     JsonValue(sessions.activeHandles));
+    sessionsJson.set("opened", JsonValue(sessions.opened));
+    sessionsJson.set("reused", JsonValue(sessions.reused));
+    sessionsJson.set("evicted", JsonValue(sessions.evicted));
+    sessionsJson.set("open_failures",
+                     JsonValue(sessions.openFailures));
+    result.set("sessions", std::move(sessionsJson));
+    JsonValue latency = JsonValue::makeObject();
+    latency.set("count", JsonValue(latencyHist_->count()));
+    latency.set("p50_us", JsonValue(latencyHist_->percentile(0.50)));
+    latency.set("p95_us", JsonValue(latencyHist_->percentile(0.95)));
+    latency.set("p99_us", JsonValue(latencyHist_->percentile(0.99)));
+    latency.set("max_us", JsonValue(latencyHist_->max()));
+    result.set("latency", std::move(latency));
+    return result;
+}
+
+// ------------------------------------------------------------ drain
+
+void
+Server::drain()
+{
+    TL_LOG(Info, "serve: draining (", stats().inflight,
+           " requests inflight)");
+    draining_.store(true, std::memory_order_release);
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+
+    // Finish everything already admitted to the queue.
+    {
+        std::unique_lock<std::mutex> lock(queueMutex_);
+        drainCv_.wait(lock, [this] { return inflight_ == 0; });
+        stopWorkers_ = true;
+    }
+    queueCv_.notify_all();
+    if (poolDriver_.joinable())
+        poolDriver_.join();
+    pool_.reset();
+
+    // Hang up on every connection and join the readers.
+    {
+        std::lock_guard<std::mutex> lock(readersMutex_);
+        for (const auto &slot : readers_)
+            slot->conn->shutdownBoth();
+    }
+    reapReaders(true);
+    registry_.evictAll();
+
+    TL_LOG(Info, "serve: drained");
+    {
+        std::lock_guard<std::mutex> lock(stoppedMutex_);
+        stopped_.store(true, std::memory_order_release);
+    }
+    stoppedCv_.notify_all();
+}
+
+// ------------------------------------------------------------ misc
+
+Expected<std::pair<std::string, std::uint16_t>>
+parseHostPort(const std::string &text)
+{
+    const std::size_t colon = text.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= text.size()) {
+        return SourceError{text, 0,
+                           "expected HOST:PORT (e.g. 127.0.0.1:7070)"};
+    }
+    const std::string host = text.substr(0, colon);
+    const std::string portText = text.substr(colon + 1);
+    std::uint32_t port = 0;
+    const auto [ptr, ec] = std::from_chars(
+        portText.data(), portText.data() + portText.size(), port);
+    if (ec != std::errc() ||
+        ptr != portText.data() + portText.size() || port > 65535) {
+        return SourceError{text, colon + 1,
+                           "invalid port '" + portText + "'"};
+    }
+    return std::make_pair(host, static_cast<std::uint16_t>(port));
+}
+
+} // namespace server
+} // namespace tracelens

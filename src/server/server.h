@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The TraceLens analysis service: a long-running TCP daemon over the
+ * warm pipeline state (docs/SERVER.md).
+ *
+ * `tracelens serve` keeps ingested corpora, wait graphs, AWGs, and
+ * mined patterns resident between requests — the batch pipeline of
+ * PRs 1–4 behind an always-on, low-latency query surface. Concurrent
+ * clients speak newline-delimited JSON (src/server/protocol.h);
+ * requests flow
+ *
+ *   reader thread (one per connection, socket I/O only)
+ *     -> bounded request queue (maxInflight; "overloaded" rejection
+ *        when full — backpressure instead of latency collapse)
+ *     -> the work-stealing ThreadPool (src/util/parallel.h), each
+ *        worker draining the queue and running handlers
+ *     -> SessionRegistry (src/server/registry.h) for warm corpora
+ *     -> response line written back on the requesting connection.
+ *
+ * Deadlines are cooperative: "deadline_ms" (or the server default) is
+ * checked at dequeue, after session acquire, and at stage boundaries
+ * inside handlers; an expired request answers "deadline_exceeded"
+ * without burning further pipeline time.
+ *
+ * Shutdown: requestStop() is async-signal-safe (it only writes one
+ * byte to the wake pipe), so a SIGTERM handler may call it directly.
+ * The drain sequence stops accepting connections, rejects new
+ * requests with "shutting_down", finishes everything already queued,
+ * then closes connections and joins every thread.
+ *
+ * Telemetry: one "server.request" span per request (method, outcome,
+ * cache state as args), queue-depth and latency histograms plus
+ * request/rejection counters in MetricsRegistry::global().
+ */
+
+#ifndef TRACELENS_SERVER_SERVER_H
+#define TRACELENS_SERVER_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "src/server/protocol.h"
+#include "src/server/registry.h"
+#include "src/util/expected.h"
+#include "src/util/parallel.h"
+
+namespace tracelens
+{
+namespace server
+{
+
+/** Daemon configuration (CLI: `tracelens serve`). */
+struct ServerConfig
+{
+    /** Bind address; IPv4 dotted quad (use 0.0.0.0 for all). */
+    std::string host = "127.0.0.1";
+    /** TCP port; 0 picks an ephemeral port (see Server::port()). */
+    std::uint16_t port = 0;
+    /** Request workers on the work-stealing pool; 0 = hardware. */
+    unsigned workers = 0;
+    /** Bound on queued + running requests; beyond it requests are
+     *  rejected with "overloaded" (CLI: --max-inflight). */
+    std::size_t maxInflight = 64;
+    /** Deadline applied when a request carries none; 0 = unlimited. */
+    std::uint64_t defaultDeadlineMs = 30000;
+    /** Requests longer than this are rejected and the connection
+     *  closed (a protocol-framing failure, not a slow consumer). */
+    std::size_t maxLineBytes = 1 << 20;
+    /** Enable the test-only "sleep" method (tests and load bench). */
+    bool enableTestMethods = false;
+    /** Session layer: ingestion options, artifact cache, eviction. */
+    RegistryConfig registry;
+};
+
+/** Point-in-time server counters (the `stats` method's source). */
+struct ServerStats
+{
+    std::uint64_t accepted = 0;   //!< Connections accepted.
+    std::uint64_t requests = 0;   //!< Request lines parsed OK.
+    std::uint64_t ok = 0;         //!< Responses with ok=true.
+    std::uint64_t errors = 0;     //!< Error responses (all codes).
+    std::uint64_t rejected = 0;   //!< Of which: overloaded rejections.
+    std::uint64_t dropped = 0;    //!< Responses to vanished clients.
+    std::size_t inflight = 0;     //!< Queued + running right now.
+    std::size_t connections = 0;  //!< Open connections right now.
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig config = {});
+    /** Stops and joins (requestStop + wait) if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, listen, and start the accept loop and worker pool.
+     * Returns the bound port (the chosen one when config.port == 0).
+     */
+    Expected<std::uint16_t> start();
+
+    /** Bound port after a successful start(). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Begin the graceful drain. Async-signal-safe: only writes to the
+     * wake pipe, so SIGTERM/SIGINT handlers may call it directly.
+     * Idempotent.
+     */
+    void requestStop();
+
+    /** Block until the drain completes and all threads are joined. */
+    void wait();
+
+    /** Whether the daemon finished draining. */
+    bool stopped() const
+    {
+        return stopped_.load(std::memory_order_acquire);
+    }
+
+    ServerStats stats() const;
+    const SessionRegistry &registry() const { return registry_; }
+    const ServerConfig &config() const { return config_; }
+
+  private:
+    /** One client connection; shared between its reader thread and
+     *  whichever worker is writing a response. */
+    struct Connection
+    {
+        int fd = -1;
+        std::string peer;
+        std::mutex writeMutex;
+        std::atomic<bool> open{true};
+
+        /** Write a full line; marks the connection closed on error.
+         *  Returns false when the client vanished. */
+        bool sendLine(const std::string &line);
+        void shutdownBoth();
+    };
+
+    /** A request admitted to the bounded queue. */
+    struct QueuedRequest
+    {
+        Request request;
+        std::shared_ptr<Connection> conn;
+        std::chrono::steady_clock::time_point arrival;
+        /** Absolute deadline; nullopt = unlimited. */
+        std::optional<std::chrono::steady_clock::time_point> deadline;
+    };
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Connection> conn);
+    void reapReaders(bool all);
+
+    /** Parse and route one request line from @p conn. */
+    void handleLine(const std::shared_ptr<Connection> &conn,
+                    std::string_view line);
+    /** Run one queued request on a pool worker. */
+    void process(QueuedRequest request);
+    void workerLoop();
+
+    /** Method handlers; return a result or throw HandlerError. */
+    JsonValue handleAnalyze(const QueuedRequest &request);
+    JsonValue handleImpact(const QueuedRequest &request);
+    JsonValue handleMine(const QueuedRequest &request);
+    JsonValue handleIngest(const QueuedRequest &request);
+    JsonValue handleSleep(const QueuedRequest &request);
+    JsonValue statsResult();
+
+    void drain();
+    void sendResponse(const std::shared_ptr<Connection> &conn,
+                      const std::string &line, bool isError);
+
+    ServerConfig config_;
+    SessionRegistry registry_;
+
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    int wakeRead_ = -1;
+    int wakeWrite_ = -1;
+
+    std::thread acceptThread_;
+    std::thread poolDriver_;
+    std::unique_ptr<ThreadPool> pool_;
+    unsigned workerCount_ = 0;
+
+    /** Reader threads and their connections, reaped as they finish. */
+    struct ReaderSlot
+    {
+        std::thread thread;
+        std::shared_ptr<Connection> conn;
+        std::atomic<bool> done{false};
+    };
+    std::mutex readersMutex_;
+    std::list<std::unique_ptr<ReaderSlot>> readers_;
+
+    std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::condition_variable drainCv_;
+    std::deque<QueuedRequest> queue_;
+    std::size_t inflight_ = 0; //!< Queued + running (queueMutex_).
+    bool stopWorkers_ = false;
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> stopped_{false};
+    std::mutex stoppedMutex_;
+    std::condition_variable stoppedCv_;
+
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> ok_{0};
+    std::atomic<std::uint64_t> errors_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+    std::atomic<std::size_t> connections_{0};
+
+    /** Lock-free metric handles, resolved once at start(). */
+    Counter *requestsCounter_ = nullptr;
+    Counter *rejectedCounter_ = nullptr;
+    Counter *errorsCounter_ = nullptr;
+    Histogram *queueDepthHist_ = nullptr;
+    Histogram *latencyHist_ = nullptr;
+    Histogram *queueWaitHist_ = nullptr;
+    Gauge *inflightGauge_ = nullptr;
+};
+
+/** Parse "HOST:PORT"; fails on a malformed address or port. */
+Expected<std::pair<std::string, std::uint16_t>>
+parseHostPort(const std::string &text);
+
+} // namespace server
+} // namespace tracelens
+
+#endif // TRACELENS_SERVER_SERVER_H

@@ -427,4 +427,10 @@ dumpStream(const TraceCorpus &corpus, std::uint32_t stream,
     return oss.str();
 }
 
+std::uint32_t
+traceFormatVersion()
+{
+    return kVersion;
+}
+
 } // namespace tracelens

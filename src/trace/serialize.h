@@ -102,6 +102,9 @@ TraceCorpus readCorpusFile(const std::string &path);
 std::string dumpStream(const TraceCorpus &corpus, std::uint32_t stream,
                        std::size_t max_events = 200);
 
+/** On-disk corpus (TLC1) format revision (`tracelens version`). */
+std::uint32_t traceFormatVersion();
+
 } // namespace tracelens
 
 #endif // TRACELENS_TRACE_SERIALIZE_H

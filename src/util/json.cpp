@@ -1,0 +1,464 @@
+/**
+ * @file
+ * Recursive-descent JSON parser and deterministic renderer
+ * (src/util/json.h). The parser treats its input as hostile: every
+ * read is bounds-checked, recursion is depth-limited, and failures
+ * carry the byte offset for the error response.
+ */
+
+#include "src/util/json.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace tracelens
+{
+
+namespace
+{
+
+constexpr int kMaxDepth = 64;
+
+/** Cursor over the document with offset-carrying failure. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Expected<JsonValue>
+    run()
+    {
+        JsonValue value;
+        if (!parseValue(value, 0))
+            return error_;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return value;
+    }
+
+  private:
+    SourceError
+    fail(std::string reason)
+    {
+        error_ = SourceError{"<json>", pos_, std::move(reason)};
+        failed_ = true;
+        return error_;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_).rfind(word, 0) != 0)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth) {
+            fail("nesting deeper than 64 levels");
+            return false;
+        }
+        skipSpace();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of document");
+            return false;
+        }
+        const char c = text_[pos_];
+        switch (c) {
+        case 'n':
+            if (!literal("null")) {
+                fail("invalid literal");
+                return false;
+            }
+            out = JsonValue(nullptr);
+            return true;
+        case 't':
+            if (!literal("true")) {
+                fail("invalid literal");
+                return false;
+            }
+            out = JsonValue(true);
+            return true;
+        case 'f':
+            if (!literal("false")) {
+                fail("invalid literal");
+                return false;
+            }
+            out = JsonValue(false);
+            return true;
+        case '"':
+            return parseString(out);
+        case '[':
+            return parseArray(out, depth);
+        case '{':
+            return parseObject(out, depth);
+        default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        // from_chars accepts exactly the JSON number grammar apart
+        // from leading '+' / leading '.'; reject those explicitly.
+        const char c = text_[pos_];
+        if (c != '-' && (c < '0' || c > '9')) {
+            fail("invalid value");
+            return false;
+        }
+        double value = 0.0;
+        const char *begin = text_.data() + pos_;
+        const char *end = text_.data() + text_.size();
+        const auto [ptr, ec] = std::from_chars(begin, end, value);
+        if (ec != std::errc() || !std::isfinite(value)) {
+            fail("invalid number");
+            return false;
+        }
+        pos_ += static_cast<std::size_t>(ptr - begin);
+        out = JsonValue(value);
+        return true;
+    }
+
+    bool
+    hex4(std::uint32_t &out)
+    {
+        if (text_.size() - pos_ < 4) {
+            fail("truncated \\u escape");
+            return false;
+        }
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_ + static_cast<std::size_t>(i)];
+            std::uint32_t digit = 0;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<std::uint32_t>(c - 'A' + 10);
+            else {
+                fail("invalid \\u escape");
+                return false;
+            }
+            out = out * 16 + digit;
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &out, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    bool
+    parseString(JsonValue &out)
+    {
+        std::string value;
+        if (!parseRawString(value))
+            return false;
+        out = JsonValue(std::move(value));
+        return true;
+    }
+
+    bool
+    parseRawString(std::string &value)
+    {
+        ++pos_; // opening quote
+        while (true) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+                return false;
+            }
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("unescaped control character in string");
+                return false;
+            }
+            if (c != '\\') {
+                value.push_back(c);
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (pos_ >= text_.size()) {
+                fail("truncated escape");
+                return false;
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': value.push_back('"'); break;
+            case '\\': value.push_back('\\'); break;
+            case '/': value.push_back('/'); break;
+            case 'b': value.push_back('\b'); break;
+            case 'f': value.push_back('\f'); break;
+            case 'n': value.push_back('\n'); break;
+            case 'r': value.push_back('\r'); break;
+            case 't': value.push_back('\t'); break;
+            case 'u': {
+                std::uint32_t cp = 0;
+                if (!hex4(cp))
+                    return false;
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // High surrogate: require the low half.
+                    if (!(consume('\\') && consume('u'))) {
+                        fail("lone high surrogate");
+                        return false;
+                    }
+                    std::uint32_t low = 0;
+                    if (!hex4(low))
+                        return false;
+                    if (low < 0xDC00 || low > 0xDFFF) {
+                        fail("invalid surrogate pair");
+                        return false;
+                    }
+                    cp = 0x10000 + ((cp - 0xD800) << 10) +
+                         (low - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    fail("lone low surrogate");
+                    return false;
+                }
+                appendUtf8(value, cp);
+                break;
+            }
+            default:
+                fail("invalid escape");
+                return false;
+            }
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out, int depth)
+    {
+        ++pos_; // '['
+        JsonValue::Array items;
+        skipSpace();
+        if (consume(']')) {
+            out = JsonValue(std::move(items));
+            return true;
+        }
+        while (true) {
+            JsonValue item;
+            if (!parseValue(item, depth + 1))
+                return false;
+            items.push_back(std::move(item));
+            skipSpace();
+            if (consume(']'))
+                break;
+            if (!consume(',')) {
+                fail("expected ',' or ']' in array");
+                return false;
+            }
+        }
+        out = JsonValue(std::move(items));
+        return true;
+    }
+
+    bool
+    parseObject(JsonValue &out, int depth)
+    {
+        ++pos_; // '{'
+        JsonValue::Object members;
+        skipSpace();
+        if (consume('}')) {
+            out = JsonValue(std::move(members));
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected string key in object");
+                return false;
+            }
+            std::string key;
+            if (!parseRawString(key))
+                return false;
+            skipSpace();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                return false;
+            }
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            members.insert_or_assign(std::move(key),
+                                     std::move(value));
+            skipSpace();
+            if (consume('}'))
+                break;
+            if (!consume(',')) {
+                fail("expected ',' or '}' in object");
+                return false;
+            }
+        }
+        out = JsonValue(std::move(members));
+        return true;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+    SourceError error_;
+};
+
+void
+renderNumber(std::string &out, double value)
+{
+    // Integral values inside the exact-double range render as
+    // integers so ids and counters round-trip textually.
+    if (value == std::floor(value) && std::fabs(value) <= 9e15) {
+        char buf[32];
+        const auto [ptr, ec] = std::to_chars(
+            buf, buf + sizeof(buf),
+            static_cast<long long>(value));
+        out.append(buf, static_cast<std::size_t>(ptr - buf));
+        (void)ec;
+        return;
+    }
+    char buf[40];
+    const int n =
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out.append(buf, static_cast<std::size_t>(n));
+}
+
+void
+renderValue(std::string &out, const JsonValue &value)
+{
+    if (value.isNull()) {
+        out += "null";
+    } else if (value.isBool()) {
+        out += value.asBool() ? "true" : "false";
+    } else if (value.isNumber()) {
+        renderNumber(out, value.asNumber());
+    } else if (value.isString()) {
+        out += jsonQuote(value.asString());
+    } else if (value.isArray()) {
+        out.push_back('[');
+        bool first = true;
+        for (const JsonValue &item : value.asArray()) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            renderValue(out, item);
+        }
+        out.push_back(']');
+    } else {
+        out.push_back('{');
+        bool first = true;
+        for (const auto &[key, member] : value.asObject()) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            out += jsonQuote(key);
+            out.push_back(':');
+            renderValue(out, member);
+        }
+        out.push_back('}');
+    }
+}
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (!isObject())
+        return nullptr;
+    const Object &members = asObject();
+    const auto it = members.find(key);
+    return it == members.end() ? nullptr : &it->second;
+}
+
+std::string
+JsonValue::render() const
+{
+    std::string out;
+    renderValue(out, *this);
+    return out;
+}
+
+Expected<JsonValue>
+JsonValue::parse(std::string_view text)
+{
+    return Parser(text).run();
+}
+
+std::string
+jsonQuote(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    out.push_back('"');
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace tracelens

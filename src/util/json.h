@@ -1,0 +1,140 @@
+/**
+ * @file
+ * A small JSON document model for the analysis-service protocol.
+ *
+ * The `tracelens serve` daemon speaks newline-delimited JSON over TCP
+ * (docs/SERVER.md), which makes JSON text an *untrusted input*: every
+ * byte of a request arrived from a socket. JsonValue::parse is
+ * therefore written with the same discipline as the TLC1 decoders —
+ * bounds-checked, depth-limited, and returning Expected<T> with the
+ * byte offset of the first violation instead of throwing or trusting
+ * the buffer.
+ *
+ * The model is deliberately tiny: null, bool, double, string, array,
+ * object (sorted map, so render() is deterministic — equal documents
+ * render to equal bytes, which the server's response cache relies
+ * on). Numbers are IEEE doubles; integral values up to 2^53 render
+ * without an exponent or trailing ".0", so ids and counters
+ * round-trip textually.
+ */
+
+#ifndef TRACELENS_UTIL_JSON_H
+#define TRACELENS_UTIL_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+#include "src/util/expected.h"
+
+namespace tracelens
+{
+
+/** One JSON document node. */
+class JsonValue
+{
+  public:
+    using Array = std::vector<JsonValue>;
+    /** Sorted keys: deterministic render order. */
+    using Object = std::map<std::string, JsonValue, std::less<>>;
+
+    JsonValue() : state_(nullptr) {}
+    JsonValue(std::nullptr_t) : state_(nullptr) {}
+    JsonValue(bool value) : state_(value) {}
+    JsonValue(double value) : state_(value) {}
+    /** Every integral type maps to the JSON number state. */
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T> &&
+                                          !std::is_same_v<T, bool>>>
+    JsonValue(T value) : state_(static_cast<double>(value))
+    {
+    }
+    JsonValue(std::string value) : state_(std::move(value)) {}
+    JsonValue(std::string_view value) : state_(std::string(value)) {}
+    JsonValue(const char *value) : state_(std::string(value)) {}
+    JsonValue(Array value) : state_(std::move(value)) {}
+    JsonValue(Object value) : state_(std::move(value)) {}
+
+    static JsonValue makeArray() { return JsonValue(Array{}); }
+    static JsonValue makeObject() { return JsonValue(Object{}); }
+
+    bool isNull() const
+    {
+        return std::holds_alternative<std::nullptr_t>(state_);
+    }
+    bool isBool() const { return std::holds_alternative<bool>(state_); }
+    bool isNumber() const
+    {
+        return std::holds_alternative<double>(state_);
+    }
+    bool isString() const
+    {
+        return std::holds_alternative<std::string>(state_);
+    }
+    bool isArray() const
+    {
+        return std::holds_alternative<Array>(state_);
+    }
+    bool isObject() const
+    {
+        return std::holds_alternative<Object>(state_);
+    }
+
+    /** Value accessors; panic on kind mismatch (check is*() first). */
+    bool asBool() const { return std::get<bool>(state_); }
+    double asNumber() const { return std::get<double>(state_); }
+    const std::string &asString() const
+    {
+        return std::get<std::string>(state_);
+    }
+    const Array &asArray() const { return std::get<Array>(state_); }
+    Array &asArray() { return std::get<Array>(state_); }
+    const Object &asObject() const { return std::get<Object>(state_); }
+    Object &asObject() { return std::get<Object>(state_); }
+
+    /** Object member, or nullptr when absent / not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Set an object member (the value must be an object). */
+    JsonValue &
+    set(std::string_view key, JsonValue value)
+    {
+        asObject().insert_or_assign(std::string(key),
+                                    std::move(value));
+        return *this;
+    }
+
+    /** Append an array element (the value must be an array). */
+    JsonValue &
+    push(JsonValue value)
+    {
+        asArray().push_back(std::move(value));
+        return *this;
+    }
+
+    /** Compact single-line rendering (no trailing newline). */
+    std::string render() const;
+
+    /**
+     * Parse one complete JSON document. Trailing non-whitespace, depth
+     * beyond 64 levels, invalid escapes, bad numbers, and truncation
+     * all fail with the byte offset of the violation.
+     */
+    static Expected<JsonValue> parse(std::string_view text);
+
+  private:
+    std::variant<std::nullptr_t, bool, double, std::string, Array,
+                 Object>
+        state_;
+};
+
+/** Escape @p text as a JSON string literal (with quotes). */
+std::string jsonQuote(std::string_view text);
+
+} // namespace tracelens
+
+#endif // TRACELENS_UTIL_JSON_H

@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -281,6 +282,113 @@ TEST(Incremental, CacheDirIsSharedAcrossDistinctConfigs)
     Analyzer again(source_a2, a);
     (void)again.impactAll();
     EXPECT_EQ(again.pipelineStats().of(Stage::WaitGraphs).diskHits, 1u);
+}
+
+TEST(Incremental, TornWritesAndTempLitterDegradeToCacheMiss)
+{
+    // An interrupted writer can leave a zero-byte artifact, a
+    // header-only prefix, or abandoned ".tmp.<pid>.<n>" files in the
+    // cache directory. All three must read as cache misses (never a
+    // crash or a wrong artifact), and the rebuilt run must repair the
+    // cache in place.
+    const ScratchDir dir("torn");
+    const TraceCorpus corpus = generateCorpus(smallSpec());
+
+    AnalyzerConfig config;
+    config.threads = 1;
+    config.artifactCacheDir = dir.str();
+
+    std::string cold_report;
+    {
+        EagerSource source(corpus);
+        Analyzer cold(source, config);
+        cold_report = reportOf(cold);
+    }
+
+    std::size_t torn = 0;
+    for (const auto &entry : fs::directory_iterator(dir.path())) {
+        if (torn % 2 == 0) {
+            fs::resize_file(entry.path(), 0); // rename of empty tmp
+        } else {
+            fs::resize_file(entry.path(), 16); // mid-header tear
+        }
+        // Abandoned unique temp files from a killed writer.
+        std::ofstream litter(entry.path().string() + ".tmp.99999." +
+                             std::to_string(torn));
+        litter << "partial";
+        ++torn;
+    }
+    ASSERT_GT(torn, 0u);
+
+    {
+        EagerSource source(corpus);
+        Analyzer rebuilt(source, config);
+        EXPECT_EQ(reportOf(rebuilt), cold_report);
+        const PipelineStats stats = rebuilt.pipelineStats();
+        EXPECT_EQ(stats.of(Stage::WaitGraphs).diskHits, 0u);
+        EXPECT_EQ(stats.of(Stage::Awg).diskHits, 0u);
+    }
+
+    // The rebuild repaired the artifacts: a third analyzer disk-hits.
+    EagerSource source(corpus);
+    Analyzer warm(source, config);
+    EXPECT_EQ(reportOf(warm), cold_report);
+    EXPECT_GT(warm.pipelineStats().of(Stage::WaitGraphs).diskHits, 0u);
+}
+
+TEST(Incremental, ConcurrentWritersShareOneCacheDirSafely)
+{
+    // Several analyzers over the same corpus and cache directory,
+    // all storing the same artifacts at once. Unique temp names make
+    // the concurrent renames last-writer-wins over identical content;
+    // a shared temp name would let one writer rename another's
+    // half-written file into place. After the storm every cached file
+    // must be valid: a fresh analyzer warm-starts entirely from disk.
+    const ScratchDir dir("racers");
+    const TraceCorpus corpus = generateCorpus(smallSpec());
+
+    AnalyzerConfig config;
+    config.threads = 1;
+    config.artifactCacheDir = dir.str();
+
+    std::string cold_report;
+    {
+        EagerSource probe(corpus);
+        Analyzer cold(probe, AnalyzerConfig{.threads = 1});
+        cold_report = reportOf(cold);
+    }
+
+    constexpr int kWriters = 6;
+    std::vector<std::string> reports(kWriters);
+    {
+        std::vector<std::thread> writers;
+        writers.reserve(kWriters);
+        for (int i = 0; i < kWriters; ++i) {
+            writers.emplace_back([&, i] {
+                EagerSource source(corpus);
+                Analyzer analyzer(source, config);
+                reports[static_cast<std::size_t>(i)] =
+                    reportOf(analyzer);
+            });
+        }
+        for (std::thread &t : writers)
+            t.join();
+    }
+    for (const std::string &report : reports)
+        EXPECT_EQ(report, cold_report);
+
+    // No temp litter left behind, and every artifact loads cleanly.
+    for (const auto &entry : fs::directory_iterator(dir.path())) {
+        EXPECT_EQ(entry.path().string().find(".tmp."),
+                  std::string::npos)
+            << "leftover temp file: " << entry.path();
+    }
+    EagerSource source(corpus);
+    Analyzer warm(source, config);
+    EXPECT_EQ(reportOf(warm), cold_report);
+    const PipelineStats stats = warm.pipelineStats();
+    EXPECT_GT(stats.of(Stage::WaitGraphs).diskHits, 0u);
+    EXPECT_EQ(stats.of(Stage::WaitGraphs).misses, 0u);
 }
 
 } // namespace

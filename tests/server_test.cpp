@@ -1,0 +1,530 @@
+/**
+ * @file
+ * Tests for the analysis service (src/server/): the wire protocol
+ * against hostile input (malformed JSON, oversized lines, half-closed
+ * sockets, clients vanishing mid-response), backpressure and deadline
+ * behaviour, the session registry's leak-freedom, warm-query serving
+ * from the artifact store (asserted via stage-span outcomes), and
+ * graceful drain. Built into the "server" ctest label so the whole
+ * file runs under both sanitizers (ctest --preset asan-server /
+ * tsan-server).
+ */
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/server/client.h"
+#include "src/server/protocol.h"
+#include "src/server/server.h"
+#include "src/trace/serialize.h"
+#include "src/util/json.h"
+#include "src/util/telemetry.h"
+#include "src/workload/generator.h"
+
+namespace tracelens
+{
+namespace server
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Self-cleaning scratch dir (pid-suffixed: binaries run under -j). */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &name)
+        : path_(fs::temp_directory_path() /
+                ("tracelens_server_test_" +
+                 std::to_string(::getpid()) + "_" + name))
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~ScratchDir() { fs::remove_all(path_); }
+
+    std::string str() const { return path_.string(); }
+    const fs::path &path() const { return path_; }
+
+  private:
+    fs::path path_;
+};
+
+/** One small corpus file + one running daemon per fixture. */
+class ServerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        scratch_ = std::make_unique<ScratchDir>(
+            ::testing::UnitTest::GetInstance()
+                ->current_test_info()
+                ->name());
+        CorpusSpec spec;
+        spec.machines = 8;
+        spec.seed = 1337;
+        corpusPath_ = (scratch_->path() / "corpus.tlc").string();
+        writeCorpusFile(generateCorpus(spec), corpusPath_);
+    }
+
+    /** Start a daemon on an ephemeral port with @p config. */
+    void
+    startServer(ServerConfig config = {})
+    {
+        config.host = "127.0.0.1";
+        config.port = 0;
+        config.enableTestMethods = true;
+        server_ = std::make_unique<Server>(config);
+        Expected<std::uint16_t> port = server_->start();
+        ASSERT_TRUE(port.ok()) << port.error().render();
+        port_ = port.value();
+    }
+
+    Client
+    connect()
+    {
+        Expected<Client> client = Client::connect(
+            "127.0.0.1", port_, std::chrono::milliseconds(30000));
+        EXPECT_TRUE(client.ok());
+        return std::move(client.value());
+    }
+
+    JsonValue
+    analyzeParams(double top = 5) const
+    {
+        JsonValue params = JsonValue::makeObject();
+        params.set("corpus", JsonValue(corpusPath_));
+        params.set("scenario", JsonValue("BrowserTabCreate"));
+        params.set("top", JsonValue(top));
+        return params;
+    }
+
+    void
+    TearDown() override
+    {
+        if (server_ != nullptr && !server_->stopped()) {
+            server_->requestStop();
+            server_->wait();
+        }
+        // Leak check on every path out of every test: a request that
+        // crashed, timed out, or vanished must still unpin its
+        // session.
+        if (server_ != nullptr)
+            EXPECT_EQ(server_->registry().stats().activeHandles, 0u);
+        server_.reset();
+        scratch_.reset();
+    }
+
+    std::unique_ptr<ScratchDir> scratch_;
+    std::string corpusPath_;
+    std::unique_ptr<Server> server_;
+    std::uint16_t port_ = 0;
+};
+
+TEST_F(ServerTest, HealthReportsProtocolVersion)
+{
+    startServer();
+    Client client = connect();
+    Expected<CallResult> response =
+        client.call("health", JsonValue::makeObject());
+    ASSERT_TRUE(response.ok()) << response.error().render();
+    ASSERT_TRUE(response.value().ok);
+    const JsonValue *protocol =
+        response.value().result.find("protocol");
+    ASSERT_NE(protocol, nullptr);
+    EXPECT_EQ(protocol->asNumber(), kProtocolVersion);
+}
+
+TEST_F(ServerTest, MalformedJsonAnswersBadRequestAndKeepsConnection)
+{
+    startServer();
+    Client client = connect();
+    const char *garbage[] = {
+        "not json at all",
+        "{\"method\":}",
+        "[1,2,3]",
+        "{\"method\":42}",
+        "{\"method\":\"\"}",
+        "{\"method\":\"analyze\",\"params\":7}",
+        "{\"method\":\"analyze\",\"deadline_ms\":-5}",
+        "{\"unterminated\":\"",
+    };
+    for (const char *line : garbage) {
+        ASSERT_TRUE(client.sendRaw(std::string(line) + "\n"));
+        Expected<std::string> reply = client.readLine();
+        ASSERT_TRUE(reply.ok()) << reply.error().render();
+        EXPECT_NE(reply.value().find("bad_request"),
+                  std::string::npos)
+            << "for input: " << line;
+    }
+    // Deeply nested input must be depth-limited, not stack-overflowed.
+    std::string deep(20000, '[');
+    ASSERT_TRUE(client.sendRaw(deep + "\n"));
+    Expected<std::string> reply = client.readLine();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_NE(reply.value().find("bad_request"), std::string::npos);
+
+    // The connection survived all of it.
+    Expected<CallResult> health =
+        client.call("health", JsonValue::makeObject());
+    ASSERT_TRUE(health.ok());
+    EXPECT_TRUE(health.value().ok);
+}
+
+TEST_F(ServerTest, OversizedRequestLineIsRejectedAndConnectionClosed)
+{
+    ServerConfig config;
+    config.maxLineBytes = 256;
+    startServer(config);
+    Client client = connect();
+
+    // 4 KiB without a newline: the server must bound its buffer, send
+    // one bad_request error, and hang up.
+    ASSERT_TRUE(client.sendRaw(std::string(4096, 'x')));
+    Expected<std::string> reply = client.readLine();
+    ASSERT_TRUE(reply.ok()) << reply.error().render();
+    EXPECT_NE(reply.value().find("bad_request"), std::string::npos);
+    Expected<std::string> eof = client.readLine();
+    EXPECT_FALSE(eof.ok()); // connection closed by server
+
+    // The daemon itself is unaffected.
+    Client fresh = connect();
+    Expected<CallResult> health =
+        fresh.call("health", JsonValue::makeObject());
+    ASSERT_TRUE(health.ok());
+    EXPECT_TRUE(health.value().ok);
+}
+
+TEST_F(ServerTest, UnknownMethodAndUnknownCorpusAnswerNotFound)
+{
+    startServer();
+    Client client = connect();
+
+    Expected<CallResult> method =
+        client.call("frobnicate", JsonValue::makeObject());
+    ASSERT_TRUE(method.ok());
+    EXPECT_FALSE(method.value().ok);
+    EXPECT_EQ(method.value().errorCode, "not_found");
+
+    JsonValue params = JsonValue::makeObject();
+    params.set("corpus",
+               JsonValue((scratch_->path() / "nope.tlc").string()));
+    Expected<CallResult> corpus = client.call("ingest", params);
+    ASSERT_TRUE(corpus.ok());
+    EXPECT_FALSE(corpus.value().ok);
+    EXPECT_EQ(corpus.value().errorCode, "not_found");
+
+    JsonValue bad = analyzeParams();
+    bad.set("scenario", JsonValue("NoSuchScenario"));
+    bad.set("tfast_ms", JsonValue(100));
+    bad.set("tslow_ms", JsonValue(200));
+    Expected<CallResult> scenario = client.call("analyze", bad);
+    ASSERT_TRUE(scenario.ok());
+    EXPECT_FALSE(scenario.value().ok);
+    EXPECT_EQ(scenario.value().errorCode, "not_found");
+}
+
+TEST_F(ServerTest, WarmQueriesAreServedFromTheArtifactStore)
+{
+    startServer();
+    Client client = connect();
+
+    Telemetry::setEnabled(true);
+    Telemetry::reset();
+
+    // Cold: every pipeline stage builds (outcome "miss").
+    Expected<CallResult> cold = client.call("analyze", analyzeParams(3));
+    ASSERT_TRUE(cold.ok()) << cold.error().render();
+    ASSERT_TRUE(cold.value().ok) << cold.value().errorMessage;
+    const std::string coldTrace = Telemetry::renderChromeTrace();
+    EXPECT_NE(coldTrace.find("stage."), std::string::npos);
+    EXPECT_NE(coldTrace.find("\"outcome\": \"miss\""),
+              std::string::npos)
+        << coldTrace;
+
+    // Warm, different params (top=5): a different response-cache key
+    // but the same underlying artifacts — every stage the pipeline
+    // re-enters must be served from the store, nothing recomputed.
+    Telemetry::reset();
+    Expected<CallResult> warm = client.call("analyze", analyzeParams(5));
+    ASSERT_TRUE(warm.ok());
+    ASSERT_TRUE(warm.value().ok);
+    const std::string warmTrace = Telemetry::renderChromeTrace();
+    EXPECT_NE(warmTrace.find("stage."), std::string::npos);
+    EXPECT_EQ(warmTrace.find("\"outcome\": \"miss\""),
+              std::string::npos)
+        << warmTrace;
+
+    // Warm, identical params: the rendered response itself is cached;
+    // the pipeline is not re-entered at all.
+    Telemetry::reset();
+    Expected<CallResult> repeat =
+        client.call("analyze", analyzeParams(5));
+    ASSERT_TRUE(repeat.ok());
+    ASSERT_TRUE(repeat.value().ok);
+    const std::string repeatTrace = Telemetry::renderChromeTrace();
+    EXPECT_EQ(repeatTrace.find("stage."), std::string::npos);
+    EXPECT_NE(repeatTrace.find("server.response-cache-hit"),
+              std::string::npos);
+    EXPECT_EQ(repeat.value().result.render(),
+              warm.value().result.render());
+    Telemetry::setEnabled(false);
+    Telemetry::reset();
+}
+
+TEST_F(ServerTest, BackpressureRejectsBeyondMaxInflight)
+{
+    ServerConfig config;
+    config.workers = 1;
+    config.maxInflight = 1;
+    startServer(config);
+
+    // First request occupies the single worker and the single
+    // inflight slot...
+    Client busy = connect();
+    JsonValue sleepLong = JsonValue::makeObject();
+    sleepLong.set("ms", JsonValue(500));
+    JsonValue request = JsonValue::makeObject();
+    request.set("id", JsonValue(1));
+    request.set("method", JsonValue("sleep"));
+    request.set("params", sleepLong);
+    ASSERT_TRUE(busy.sendRaw(request.render() + "\n"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    // ...so a second is rejected with "overloaded" immediately, from
+    // the reader thread, without queueing behind the sleeper.
+    Client rejected = connect();
+    JsonValue sleepShort = JsonValue::makeObject();
+    sleepShort.set("ms", JsonValue(1));
+    const auto start = std::chrono::steady_clock::now();
+    Expected<CallResult> response =
+        rejected.call("sleep", sleepShort);
+    const auto elapsed =
+        std::chrono::steady_clock::now() - start;
+    ASSERT_TRUE(response.ok()) << response.error().render();
+    EXPECT_FALSE(response.value().ok);
+    EXPECT_EQ(response.value().errorCode, "overloaded");
+    EXPECT_LT(elapsed, std::chrono::milliseconds(400));
+
+    // Control-plane methods still answer while the queue is full.
+    Expected<CallResult> health =
+        rejected.call("health", JsonValue::makeObject());
+    ASSERT_TRUE(health.ok());
+    EXPECT_TRUE(health.value().ok);
+
+    // The sleeper finishes normally.
+    Expected<std::string> done = busy.readLine();
+    ASSERT_TRUE(done.ok());
+    EXPECT_NE(done.value().find("slept_ms"), std::string::npos);
+    EXPECT_GE(server_->stats().rejected, 1u);
+}
+
+TEST_F(ServerTest, DeadlinesCancelCooperatively)
+{
+    ServerConfig config;
+    config.workers = 1;
+    startServer(config);
+    Client client = connect();
+
+    // In-handler expiry: the sleep loop checks the deadline and stops
+    // early instead of burning the full second.
+    JsonValue params = JsonValue::makeObject();
+    params.set("ms", JsonValue(1000));
+    const auto start = std::chrono::steady_clock::now();
+    Expected<CallResult> response = client.call("sleep", params, 50);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    ASSERT_TRUE(response.ok()) << response.error().render();
+    EXPECT_FALSE(response.value().ok);
+    EXPECT_EQ(response.value().errorCode, "deadline_exceeded");
+    EXPECT_LT(elapsed, std::chrono::milliseconds(800));
+
+    // Queue-wait expiry: a request whose deadline elapses while a
+    // long request holds the only worker is answered at dequeue, not
+    // run.
+    Client blocker = connect();
+    JsonValue longSleep = JsonValue::makeObject();
+    longSleep.set("ms", JsonValue(400));
+    JsonValue blockReq = JsonValue::makeObject();
+    blockReq.set("id", JsonValue(1));
+    blockReq.set("method", JsonValue("sleep"));
+    blockReq.set("params", longSleep);
+    ASSERT_TRUE(blocker.sendRaw(blockReq.render() + "\n"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    JsonValue quick = JsonValue::makeObject();
+    quick.set("ms", JsonValue(1));
+    Expected<CallResult> queued = client.call("sleep", quick, 100);
+    ASSERT_TRUE(queued.ok());
+    EXPECT_FALSE(queued.value().ok);
+    EXPECT_EQ(queued.value().errorCode, "deadline_exceeded");
+    Expected<std::string> done = blocker.readLine();
+    ASSERT_TRUE(done.ok());
+}
+
+TEST_F(ServerTest, HalfClosedSocketStillReceivesItsResponse)
+{
+    startServer();
+    Client client = connect();
+    JsonValue request = JsonValue::makeObject();
+    request.set("id", JsonValue(9));
+    request.set("method", JsonValue("ingest"));
+    JsonValue params = JsonValue::makeObject();
+    params.set("corpus", JsonValue(corpusPath_));
+    request.set("params", params);
+    ASSERT_TRUE(client.sendRaw(request.render() + "\n"));
+    client.shutdownWrite(); // half-close: FIN sent, read side open
+
+    Expected<std::string> reply = client.readLine();
+    ASSERT_TRUE(reply.ok()) << reply.error().render();
+    EXPECT_NE(reply.value().find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(reply.value().find("shards"), std::string::npos);
+}
+
+TEST_F(ServerTest, ClientDisconnectMidResponseDoesNotCrashOrLeak)
+{
+    startServer();
+    for (int i = 0; i < 5; ++i) {
+        Client client = connect();
+        JsonValue request = JsonValue::makeObject();
+        request.set("id", JsonValue(i));
+        request.set("method", JsonValue("sleep"));
+        JsonValue params = JsonValue::makeObject();
+        params.set("ms", JsonValue(60));
+        request.set("params", params);
+        ASSERT_TRUE(client.sendRaw(request.render() + "\n"));
+        client.close(); // gone before the worker answers
+    }
+    // Workers must finish the orphaned requests, count the drops, and
+    // release every session handle (checked in TearDown, after the
+    // drain guarantees the workers retired them).
+    Client probe = connect();
+    for (int tries = 0; tries < 100; ++tries) {
+        if (server_->stats().inflight == 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_EQ(server_->stats().inflight, 0u);
+    Expected<CallResult> health =
+        probe.call("health", JsonValue::makeObject());
+    ASSERT_TRUE(health.ok());
+    EXPECT_TRUE(health.value().ok);
+}
+
+TEST_F(ServerTest, ConcurrentClientsAllSucceed)
+{
+    ServerConfig config;
+    config.workers = 4;
+    startServer(config);
+
+    constexpr int kClients = 8;
+    constexpr int kRequests = 6;
+    std::vector<int> failures(kClients, 0);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            Expected<Client> client = Client::connect(
+                "127.0.0.1", port_,
+                std::chrono::milliseconds(60000));
+            if (!client.ok()) {
+                failures[static_cast<std::size_t>(c)] = kRequests;
+                return;
+            }
+            for (int r = 0; r < kRequests; ++r) {
+                JsonValue params = JsonValue::makeObject();
+                params.set("corpus", JsonValue(corpusPath_));
+                const char *method = "ingest";
+                if (r % 3 == 1) {
+                    method = "analyze";
+                    params.set("scenario",
+                               JsonValue("BrowserTabCreate"));
+                } else if (r % 3 == 2) {
+                    method = "impact";
+                }
+                Expected<CallResult> response =
+                    client.value().call(method, params);
+                if (!response.ok() || !response.value().ok)
+                    ++failures[static_cast<std::size_t>(c)];
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    for (int c = 0; c < kClients; ++c)
+        EXPECT_EQ(failures[static_cast<std::size_t>(c)], 0)
+            << "client " << c;
+
+    // All clients hit ONE session (same path, same filter): the
+    // concurrent first requests shared a single open.
+    const RegistryStats registry = server_->registry().stats();
+    EXPECT_EQ(registry.opened, 1u);
+    EXPECT_GE(registry.reused,
+              static_cast<std::uint64_t>(kClients * kRequests - 1));
+}
+
+TEST_F(ServerTest, ShutdownDrainsInflightRequestsFirst)
+{
+    startServer();
+    Client client = connect();
+    JsonValue request = JsonValue::makeObject();
+    request.set("id", JsonValue(1));
+    request.set("method", JsonValue("sleep"));
+    JsonValue params = JsonValue::makeObject();
+    params.set("ms", JsonValue(150));
+    request.set("params", params);
+    ASSERT_TRUE(client.sendRaw(request.render() + "\n"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+    server_->requestStop();
+    // The admitted request still completes and is delivered.
+    Expected<std::string> reply = client.readLine();
+    ASSERT_TRUE(reply.ok()) << reply.error().render();
+    EXPECT_NE(reply.value().find("slept_ms"), std::string::npos);
+
+    server_->wait();
+    EXPECT_TRUE(server_->stopped());
+    EXPECT_EQ(server_->stats().inflight, 0u);
+    EXPECT_GE(server_->stats().ok, 1u);
+}
+
+TEST(ServerUtil, ParseHostPort)
+{
+    auto good = parseHostPort("127.0.0.1:7070");
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value().first, "127.0.0.1");
+    EXPECT_EQ(good.value().second, 7070);
+
+    EXPECT_FALSE(parseHostPort("127.0.0.1").ok());
+    EXPECT_FALSE(parseHostPort(":7070").ok());
+    EXPECT_FALSE(parseHostPort("host:").ok());
+    EXPECT_FALSE(parseHostPort("host:99999").ok());
+    EXPECT_FALSE(parseHostPort("host:7a").ok());
+}
+
+TEST(ServerUtil, ResponseRenderingEchoesIdsAndCodes)
+{
+    const std::string anonymous =
+        renderError(std::nullopt, ErrorCode::Overloaded, "full");
+    EXPECT_NE(anonymous.find("\"ok\":false"), std::string::npos);
+    EXPECT_NE(anonymous.find("\"code\":\"overloaded\""),
+              std::string::npos);
+    EXPECT_EQ(anonymous.find("\"id\""), std::string::npos);
+    EXPECT_EQ(anonymous.back(), '\n');
+    const std::string withId =
+        renderError(7.0, ErrorCode::DeadlineExceeded, "late");
+    EXPECT_NE(withId.find("\"id\":7"), std::string::npos);
+    EXPECT_NE(withId.find("deadline_exceeded"), std::string::npos);
+}
+
+} // namespace
+} // namespace server
+} // namespace tracelens

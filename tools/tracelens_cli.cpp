@@ -22,6 +22,14 @@
  *              Human-readable event dump of one stream.
  *   export-csv PATH --events OUT --instances OUT
  *   import-csv --events IN --instances IN --out FILE
+ *   serve      --listen HOST:PORT [...]
+ *              Long-running analysis daemon (docs/SERVER.md): keeps
+ *              corpora and artifacts warm, answers concurrent clients
+ *              over newline-delimited JSON.
+ *   query      METHOD --connect HOST:PORT [--params JSON]
+ *              One request against a running daemon; prints the
+ *              result JSON.
+ *   version    Build info plus format/protocol revisions (--version).
  *
  * Every PATH that names a corpus accepts either a single .tlc file or
  * a directory of shards, and takes --mmap (zero-copy mmap ingestion)
@@ -40,14 +48,15 @@
  */
 
 #include <charconv>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
-
-#include <chrono>
 
 #include "src/core/analyzer.h"
 #include "src/core/htmlreport.h"
@@ -55,6 +64,9 @@
 #include "src/impact/thresholds.h"
 #include "src/mining/diff.h"
 #include "src/mining/knowledge.h"
+#include "src/server/client.h"
+#include "src/server/protocol.h"
+#include "src/server/server.h"
 #include "src/trace/csv.h"
 #include "src/trace/serialize.h"
 #include "src/trace/source.h"
@@ -147,6 +159,17 @@ usage()
            "  tracelens export-csv PATH --events OUT --instances OUT\n"
            "  tracelens import-csv --events IN --instances IN --out "
            "FILE\n"
+           "  tracelens serve --listen HOST:PORT [--workers N]"
+           " [--max-inflight N]\n"
+           "      [--default-deadline-ms N] [--max-line-bytes N]"
+           " [--analysis-threads N]\n"
+           "      [--max-sessions N] [--idle-timeout-s N]"
+           " [--artifact-cache DIR]\n"
+           "      [--port-file FILE]   (see docs/SERVER.md)\n"
+           "  tracelens query METHOD --connect HOST:PORT"
+           " [--params JSON]\n"
+           "      [--deadline-ms N] [--timeout-ms N]\n"
+           "  tracelens version   (also --version)\n"
            "\nPATH is a .tlc corpus file or a directory of shards; "
            "corpus-reading\ncommands accept --mmap (zero-copy "
            "ingestion) and --cache-bytes N\n(shard-cache budget, "
@@ -163,6 +186,43 @@ usage()
            "identical for every thread count and for every\n"
            "ingestion path.\n";
     return 2;
+}
+
+/** Daemon/client version; format revisions print alongside it. */
+constexpr const char *kTracelensVersion = "0.5.0";
+
+/**
+ * Parse an unsigned flag value in [0, @p max]; fatal (nonzero exit)
+ * on anything else — no silent std::stoul truncation or throwing.
+ */
+std::uint64_t
+parseUnsignedFlag(const char *flag, const std::string &value,
+                  std::uint64_t max)
+{
+    std::uint64_t parsed = 0;
+    const auto [ptr, ec] = std::from_chars(
+        value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc() || ptr != value.data() + value.size() ||
+        parsed > max) {
+        TL_FATAL(flag, " expects an integer in [0, ", max, "], got '",
+                 value, "'");
+    }
+    return parsed;
+}
+
+/** Parse a finite non-negative double flag value; fatal otherwise. */
+double
+parseDoubleFlag(const char *flag, const std::string &value)
+{
+    double parsed = 0.0;
+    const auto [ptr, ec] = std::from_chars(
+        value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc() || ptr != value.data() + value.size() ||
+        !(parsed >= 0.0) || parsed > 1e12) {
+        TL_FATAL(flag, " expects a non-negative number, got '", value,
+                 "'");
+    }
+    return parsed;
 }
 
 /** Shared --mmap / --cache-bytes ingestion flags. */
@@ -289,16 +349,18 @@ cmdGenerate(const Args &args)
     if (!out)
         return usage();
     CorpusSpec spec;
-    if (auto v = args.flag("machines"))
-        spec.machines = static_cast<std::uint32_t>(std::stoul(*v));
+    if (auto v = args.flag("machines")) {
+        spec.machines = static_cast<std::uint32_t>(
+            parseUnsignedFlag("--machines", *v, 10'000'000));
+    }
     if (auto v = args.flag("seed"))
-        spec.seed = std::stoull(*v);
+        spec.seed = parseUnsignedFlag("--seed", *v, UINT64_MAX);
     for (const std::string &name : args.flagAll("scenario"))
         spec.onlyScenarios.push_back(name);
 
     std::size_t shards = 1;
     if (auto v = args.flag("shards"))
-        shards = std::stoul(*v);
+        shards = parseUnsignedFlag("--shards", *v, 100'000);
 
     const TraceCorpus corpus = generateCorpus(spec);
     if (shards > 1) {
@@ -433,9 +495,9 @@ cmdAnalyze(const Args &args)
         }
     }
     if (auto v = args.flag("tfast"))
-        t_fast = fromMs(std::stod(*v));
+        t_fast = fromMs(parseDoubleFlag("--tfast", *v));
     if (auto v = args.flag("tslow"))
-        t_slow = fromMs(std::stod(*v));
+        t_slow = fromMs(parseDoubleFlag("--tslow", *v));
     if (t_fast <= 0 || t_slow <= t_fast) {
         TL_LOG(Error, "need --tfast/--tslow for unknown scenarios");
         return 2;
@@ -470,7 +532,7 @@ cmdAnalyze(const Args &args)
 
     std::size_t top = 5;
     if (auto v = args.flag("top"))
-        top = std::stoul(*v);
+        top = parseUnsignedFlag("--top", *v, 10'000);
     for (std::size_t i = 0; i < std::min(top, patterns.size()); ++i) {
         const ContrastPattern &p = patterns[i];
         std::cout << "#" << i + 1 << " impact="
@@ -523,8 +585,10 @@ cmdReport(const Args &args)
         }
     }
     ReportOptions options;
-    if (auto v = args.flag("top"))
-        options.topPatterns = std::stoul(*v);
+    if (auto v = args.flag("top")) {
+        options.topPatterns = static_cast<std::size_t>(
+            parseUnsignedFlag("--top", *v, 10'000));
+    }
     options.applyKnowledgeFilter = !args.has("no-knowledge-filter");
     if (auto html = args.flag("html")) {
         writeHtmlReportFile(analyzer, scenarios, *html, options);
@@ -556,9 +620,9 @@ cmdDiff(const Args &args)
         }
     }
     if (auto v = args.flag("tfast"))
-        t_fast = fromMs(std::stod(*v));
+        t_fast = fromMs(parseDoubleFlag("--tfast", *v));
     if (auto v = args.flag("tslow"))
-        t_slow = fromMs(std::stod(*v));
+        t_slow = fromMs(parseDoubleFlag("--tslow", *v));
     if (t_fast <= 0 || t_slow <= t_fast) {
         TL_LOG(Error, "need --tfast/--tslow for unknown scenarios");
         return 2;
@@ -592,10 +656,12 @@ cmdDump(const Args &args)
     const TraceCorpus &corpus = loadCorpus(*source);
     std::uint32_t stream = 0;
     std::size_t max_events = 100;
-    if (auto v = args.flag("stream"))
-        stream = static_cast<std::uint32_t>(std::stoul(*v));
+    if (auto v = args.flag("stream")) {
+        stream = static_cast<std::uint32_t>(
+            parseUnsignedFlag("--stream", *v, UINT32_MAX));
+    }
     if (auto v = args.flag("max"))
-        max_events = std::stoul(*v);
+        max_events = parseUnsignedFlag("--max", *v, 100'000'000);
     if (stream >= corpus.streamCount()) {
         TL_LOG(Error, "stream ", stream, " out of range (corpus has ",
                corpus.streamCount(), ")");
@@ -633,6 +699,178 @@ cmdImportCsv(const Args &args)
     writeCorpusFile(corpus, *out);
     TL_LOG(Info, "imported ", corpus.totalEvents(), " events into ",
            *out);
+    return 0;
+}
+
+int
+cmdVersion()
+{
+    std::cout << "tracelens " << kTracelensVersion << "\n"
+              << "  trace format:    TLC1 v" << traceFormatVersion()
+              << "\n"
+              << "  artifact cache:  TLA1 v" << artifactCacheVersion()
+              << "\n"
+              << "  server protocol: v" << server::kProtocolVersion
+              << "\n"
+              << "  build:           "
+#if defined(__clang__)
+              << "clang " << __clang_major__ << "." << __clang_minor__
+#elif defined(__GNUC__)
+              << "gcc " << __GNUC__ << "." << __GNUC_MINOR__
+#else
+              << "unknown compiler"
+#endif
+#ifdef NDEBUG
+              << ", release"
+#else
+              << ", debug"
+#endif
+              << ", c++" << (__cplusplus / 100 % 100) << "\n";
+    return 0;
+}
+
+/** The serving daemon a SIGTERM/SIGINT handler must reach. */
+server::Server *g_server = nullptr;
+
+void
+handleStopSignal(int)
+{
+    // requestStop() only writes one byte to the wake pipe, so it is
+    // safe here.
+    if (g_server != nullptr)
+        g_server->requestStop();
+}
+
+int
+cmdServe(const Args &args)
+{
+    const auto listen = args.flag("listen");
+    if (!listen || listen->empty())
+        return usage();
+    Expected<std::pair<std::string, std::uint16_t>> address =
+        server::parseHostPort(*listen);
+    if (!address)
+        TL_FATAL("--listen: ", address.error().reason);
+
+    server::ServerConfig config;
+    config.host = address.value().first;
+    config.port = address.value().second;
+    if (auto v = args.flag("workers")) {
+        config.workers = static_cast<unsigned>(
+            parseUnsignedFlag("--workers", *v, 1024));
+    }
+    if (auto v = args.flag("max-inflight")) {
+        config.maxInflight = parseUnsignedFlag(
+            "--max-inflight", *v, 1'000'000);
+        if (config.maxInflight == 0)
+            TL_FATAL("--max-inflight must be at least 1");
+    }
+    if (auto v = args.flag("default-deadline-ms")) {
+        config.defaultDeadlineMs = parseUnsignedFlag(
+            "--default-deadline-ms", *v, 86'400'000);
+    }
+    if (auto v = args.flag("max-line-bytes")) {
+        config.maxLineBytes = parseUnsignedFlag(
+            "--max-line-bytes", *v, 1ull << 30);
+        if (config.maxLineBytes < 64)
+            TL_FATAL("--max-line-bytes must be at least 64");
+    }
+    if (auto v = args.flag("analysis-threads")) {
+        config.registry.analysisThreads = static_cast<unsigned>(
+            parseUnsignedFlag("--analysis-threads", *v, 1024));
+    }
+    if (auto v = args.flag("max-sessions")) {
+        config.registry.maxSessions =
+            parseUnsignedFlag("--max-sessions", *v, 100'000);
+        if (config.registry.maxSessions == 0)
+            TL_FATAL("--max-sessions must be at least 1");
+    }
+    if (auto v = args.flag("idle-timeout-s")) {
+        config.registry.idleTimeout = std::chrono::seconds(
+            parseUnsignedFlag("--idle-timeout-s", *v, 86'400));
+    }
+    if (auto dir = args.flag("artifact-cache")) {
+        if (dir->empty())
+            TL_FATAL("--artifact-cache expects a directory path");
+        config.registry.artifactCacheDir = *dir;
+    }
+    config.registry.source = sourceOptionsFlag(args);
+    config.enableTestMethods = args.has("enable-test-methods");
+
+    server::Server daemon(config);
+    Expected<std::uint16_t> port = daemon.start();
+    if (!port)
+        TL_FATAL(port.error().render());
+
+    // Advertise the bound port (ephemeral with --listen HOST:0) for
+    // scripts that need to find the daemon (scripts/smoke_server.sh).
+    if (auto portFile = args.flag("port-file")) {
+        if (portFile->empty())
+            TL_FATAL("--port-file expects a file path");
+        std::ofstream out(*portFile, std::ios::trunc);
+        out << port.value() << "\n";
+        if (!out)
+            TL_FATAL("cannot write --port-file ", *portFile);
+    }
+
+    g_server = &daemon;
+    std::signal(SIGTERM, handleStopSignal);
+    std::signal(SIGINT, handleStopSignal);
+    daemon.wait();
+    g_server = nullptr;
+
+    const server::ServerStats stats = daemon.stats();
+    TL_LOG(Info, "serve: exiting after ", stats.requests,
+           " requests (", stats.ok, " ok, ", stats.errors, " errors, ",
+           stats.rejected, " rejected)");
+    return 0;
+}
+
+int
+cmdQuery(const Args &args)
+{
+    const auto connect = args.flag("connect");
+    if (!connect || connect->empty() || args.positional().empty())
+        return usage();
+    Expected<std::pair<std::string, std::uint16_t>> address =
+        server::parseHostPort(*connect);
+    if (!address)
+        TL_FATAL("--connect: ", address.error().reason);
+
+    JsonValue params = JsonValue::makeObject();
+    if (auto text = args.flag("params")) {
+        Expected<JsonValue> parsed = JsonValue::parse(*text);
+        if (!parsed)
+            TL_FATAL("--params: ", parsed.error().reason);
+        if (!parsed.value().isObject())
+            TL_FATAL("--params must be a JSON object");
+        params = std::move(parsed.value());
+    }
+    std::uint64_t deadlineMs = 0;
+    if (auto v = args.flag("deadline-ms")) {
+        deadlineMs =
+            parseUnsignedFlag("--deadline-ms", *v, 86'400'000);
+    }
+    auto timeout = std::chrono::milliseconds(120'000);
+    if (auto v = args.flag("timeout-ms")) {
+        timeout = std::chrono::milliseconds(
+            parseUnsignedFlag("--timeout-ms", *v, 86'400'000));
+    }
+
+    Expected<server::Client> client = server::Client::connect(
+        address.value().first, address.value().second, timeout);
+    if (!client)
+        TL_FATAL(client.error().render());
+    Expected<server::CallResult> response = client.value().call(
+        args.positional()[0], params, deadlineMs);
+    if (!response)
+        TL_FATAL(response.error().render());
+    if (!response.value().ok) {
+        TL_LOG(Error, "server error [", response.value().errorCode,
+               "]: ", response.value().errorMessage);
+        return 1;
+    }
+    std::cout << response.value().result.render() << "\n";
     return 0;
 }
 
@@ -687,6 +925,13 @@ main(int argc, char **argv)
             return cmdExportCsv(args);
         if (command == "import-csv")
             return cmdImportCsv(args);
+        if (command == "serve")
+            return cmdServe(args);
+        if (command == "query")
+            return cmdQuery(args);
+        if (command == "version" || command == "--version" ||
+            command == "-V")
+            return cmdVersion();
         return usage();
     };
 
