@@ -70,7 +70,7 @@ main()
         // Follow the heaviest child (the dominant propagation edge).
         std::uint32_t next = kInvalidIndex;
         DurationNs best = -1;
-        for (std::uint32_t child : node.children) {
+        for (std::uint32_t child : graph.children(node)) {
             if (graph.node(child).event.cost > best) {
                 best = graph.node(child).event.cost;
                 next = child;

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Faithful pre-refactor wait-graph builder, kept as the baseline side
+ * of the bench_micro regression contract (docs/PERFORMANCE.md).
+ *
+ * This is the construction algorithm exactly as it shipped before the
+ * columnar/arena refactor of the hot core, transplanted verbatim from
+ * the repository history and retargeted at a pre-materialized
+ * array-of-structs event vector (which is what TraceStream stored back
+ * then):
+ *
+ *  - FIFO wait/unwait pairing through a
+ *    std::unordered_map<ThreadId, std::deque<...>> of outstanding
+ *    waits,
+ *  - a per-thread index held in an
+ *    std::unordered_map<ThreadId, ThreadIndex> of per-thread vectors,
+ *  - one std::vector<std::uint32_t> of children allocated per node,
+ *  - one std::vector<char> visited allocation per build, and
+ *  - a freshly allocated child_events vector per expanded wait.
+ *
+ * bench_micro builds every graph of a shared corpus through both this
+ * builder and the production WaitGraphBuilder, asserts node-for-node
+ * parity (roots, refs, costs, children, truncation), and gates on the
+ * columnar builder being at least 2x faster per shard. Do not
+ * "optimize" this file: its point is to preserve the old cost profile.
+ */
+
+#ifndef TRACELENS_BENCH_LEGACY_WAITGRAPH_H
+#define TRACELENS_BENCH_LEGACY_WAITGRAPH_H
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/stream.h"
+#include "src/waitgraph/waitgraph.h"
+
+namespace tracelens::legacy
+{
+
+/** AoS snapshot of one stream, as TraceStream stored it pre-refactor. */
+struct LegacyStream
+{
+    std::vector<Event> events;
+    TimeNs endTime = 0;
+
+    const Event &event(std::uint32_t index) const
+    {
+        return events[index];
+    }
+    std::size_t size() const { return events.size(); }
+};
+
+/** Materialize the AoS snapshots once, outside the timed region. */
+inline std::vector<LegacyStream>
+materializeStreams(const TraceCorpus &corpus)
+{
+    std::vector<LegacyStream> streams(corpus.streamCount());
+    for (std::uint32_t s = 0; s < corpus.streamCount(); ++s) {
+        const TraceStream &stream = corpus.stream(s);
+        streams[s].events.reserve(stream.size());
+        for (const Event &e : stream.events())
+            streams[s].events.push_back(e);
+        streams[s].endTime = stream.endTime();
+    }
+    return streams;
+}
+
+/** Pre-refactor node: per-node child vector instead of a CSR arena. */
+struct LegacyGraph
+{
+    struct Node
+    {
+        Event event;
+        EventRef ref;
+        std::vector<std::uint32_t> children;
+        CallstackId unwaitStack = kNoCallstack;
+        bool truncated = false;
+    };
+
+    std::vector<Node> nodes;
+    std::vector<std::uint32_t> roots;
+    ScenarioInstance instance;
+};
+
+/**
+ * The pre-refactor WaitGraphBuilder, line for line: hash-map pairing,
+ * hash-map-of-vectors thread index, per-build visited allocation,
+ * per-wait candidate allocation, per-node child vectors.
+ */
+class LegacyBuilder
+{
+  public:
+    LegacyBuilder(const TraceCorpus &corpus,
+                  const std::vector<LegacyStream> &streams,
+                  WaitGraphOptions options = {})
+        : corpus_(corpus), streams_(streams), options_(options)
+    {
+    }
+
+    LegacyGraph build(const ScenarioInstance &instance) const
+    {
+        const StreamIndex &sindex = streamIndex(instance.stream);
+        const LegacyStream &stream = streams_[instance.stream];
+
+        LegacyGraph graph;
+        graph.instance = instance;
+
+        auto te = sindex.threads.find(instance.tid);
+        if (te == sindex.threads.end())
+            return graph; // initiating thread recorded no events
+
+        std::vector<char> visited(stream.size(), 0);
+        const auto &thread_events = te->second.events;
+        const auto begin = std::lower_bound(
+            thread_events.begin(), thread_events.end(), instance.t0,
+            [&](std::uint32_t ei, TimeNs t) {
+                return stream.event(ei).timestamp < t;
+            });
+        for (auto it = begin; it != thread_events.end(); ++it) {
+            if (stream.event(*it).timestamp >= instance.t1)
+                break;
+            if (stream.event(*it).type == EventType::Unwait)
+                continue; // signals carry no cost of their own
+            if (visited[*it])
+                continue;
+            const std::uint32_t root = expand(
+                graph, sindex, instance.stream, stream, *it, 0,
+                std::numeric_limits<TimeNs>::min(),
+                std::numeric_limits<TimeNs>::max(), visited);
+            if (root != kInvalidIndex)
+                graph.roots.push_back(root);
+        }
+        return graph;
+    }
+
+    std::vector<LegacyGraph> buildAll() const
+    {
+        std::vector<LegacyGraph> graphs;
+        graphs.reserve(corpus_.instances().size());
+        for (const ScenarioInstance &instance : corpus_.instances())
+            graphs.push_back(build(instance));
+        return graphs;
+    }
+
+    /** Drop the cached per-stream indices (for cold-build timing). */
+    void clearCache() const { cache_.clear(); }
+
+  private:
+    struct ThreadIndex
+    {
+        std::vector<std::uint32_t> events;
+        std::vector<TimeNs> prefixMaxEnd;
+    };
+
+    struct StreamIndex
+    {
+        std::vector<std::uint32_t> pairedUnwait;
+        std::vector<TimeNs> effectiveEnd;
+        std::unordered_map<ThreadId, ThreadIndex> threads;
+    };
+
+    const StreamIndex &streamIndex(std::uint32_t stream_id) const
+    {
+        auto it = cache_.find(stream_id);
+        if (it != cache_.end())
+            return it->second;
+
+        const LegacyStream &stream = streams_[stream_id];
+        StreamIndex sindex;
+        sindex.pairedUnwait.assign(stream.size(), kInvalidIndex);
+        sindex.effectiveEnd.assign(stream.size(), 0);
+
+        // FIFO pairing: the oldest outstanding wait of a thread is
+        // ended by the next unwait targeting that thread.
+        std::unordered_map<ThreadId, std::deque<std::uint32_t>>
+            outstanding;
+        const auto &events = stream.events;
+        for (std::uint32_t i = 0; i < events.size(); ++i) {
+            const Event &e = events[i];
+            if (e.type == EventType::Wait) {
+                outstanding[e.tid].push_back(i);
+            } else if (e.type == EventType::Unwait && e.wtid != e.tid) {
+                auto oit = outstanding.find(e.wtid);
+                if (oit != outstanding.end() && !oit->second.empty()) {
+                    sindex.pairedUnwait[oit->second.front()] = i;
+                    oit->second.pop_front();
+                }
+            }
+        }
+
+        // Effective end times (waits restored from their pairing) and
+        // the per-thread indices with prefix maxima for overlap scans.
+        for (std::uint32_t i = 0; i < events.size(); ++i) {
+            const Event &e = events[i];
+            if (e.type == EventType::Wait) {
+                const std::uint32_t u = sindex.pairedUnwait[i];
+                sindex.effectiveEnd[i] =
+                    u == kInvalidIndex ? stream.endTime
+                                       : stream.event(u).timestamp;
+            } else {
+                sindex.effectiveEnd[i] = e.end();
+            }
+            ThreadIndex &tindex = sindex.threads[e.tid];
+            const TimeNs prev_max =
+                tindex.prefixMaxEnd.empty()
+                    ? std::numeric_limits<TimeNs>::min()
+                    : tindex.prefixMaxEnd.back();
+            tindex.events.push_back(i);
+            tindex.prefixMaxEnd.push_back(
+                std::max(prev_max, sindex.effectiveEnd[i]));
+        }
+
+        return cache_.emplace(stream_id, std::move(sindex))
+            .first->second;
+    }
+
+    std::uint32_t expand(LegacyGraph &graph, const StreamIndex &sindex,
+                         std::uint32_t stream_id,
+                         const LegacyStream &stream,
+                         std::uint32_t index, std::uint32_t depth,
+                         TimeNs win_lo, TimeNs win_hi,
+                         std::vector<char> &visited) const
+    {
+        if (graph.nodes.size() >= options_.maxNodes)
+            return kInvalidIndex;
+        if (visited[index])
+            return kInvalidIndex; // first-reaching window owns it
+        visited[index] = 1;
+
+        const Event &source = stream.event(index);
+        const auto node_id =
+            static_cast<std::uint32_t>(graph.nodes.size());
+        graph.nodes.emplace_back();
+        {
+            LegacyGraph::Node &node = graph.nodes.back();
+            node.event = source;
+            node.ref = {stream_id, index};
+        }
+
+        const TimeNs eff_end = sindex.effectiveEnd[index];
+        const TimeNs clip_lo = options_.clipToWindows
+                                   ? std::max(source.timestamp, win_lo)
+                                   : source.timestamp;
+        const TimeNs clip_hi = options_.clipToWindows
+                                   ? std::min(eff_end, win_hi)
+                                   : eff_end;
+        const DurationNs clipped =
+            std::max<DurationNs>(0, clip_hi - clip_lo);
+
+        graph.nodes[node_id].event.cost = clipped;
+
+        if (source.type != EventType::Wait)
+            return node_id;
+
+        const std::uint32_t unwait_index = sindex.pairedUnwait[index];
+        if (unwait_index == kInvalidIndex) {
+            graph.nodes[node_id].truncated = true;
+            return node_id;
+        }
+
+        const Event &unwait = stream.event(unwait_index);
+        graph.nodes[node_id].unwaitStack = unwait.stack;
+
+        if (depth >= options_.maxDepth) {
+            graph.nodes[node_id].truncated = true;
+            return node_id;
+        }
+
+        if (clip_hi <= clip_lo)
+            return node_id;
+        auto te = sindex.threads.find(unwait.tid);
+        const ThreadIndex &tindex = te->second;
+        const auto &thread_events = tindex.events;
+
+        const auto begin = std::lower_bound(
+            thread_events.begin(), thread_events.end(), clip_lo,
+            [&](std::uint32_t ei, TimeNs t) {
+                return stream.event(ei).timestamp < t;
+            });
+        const auto lb =
+            static_cast<std::size_t>(begin - thread_events.begin());
+
+        std::vector<std::uint32_t> child_events;
+        if (!options_.containmentOnly) {
+            for (std::size_t i = lb; i-- > 0;) {
+                if (tindex.prefixMaxEnd[i] < clip_lo)
+                    break;
+                if (sindex.effectiveEnd[thread_events[i]] > clip_lo)
+                    child_events.push_back(thread_events[i]);
+            }
+            std::reverse(child_events.begin(), child_events.end());
+        }
+
+        for (std::size_t i = lb; i < thread_events.size(); ++i) {
+            if (stream.event(thread_events[i]).timestamp > clip_hi)
+                break;
+            child_events.push_back(thread_events[i]);
+        }
+
+        for (std::uint32_t child_index : child_events) {
+            if (stream.event(child_index).type == EventType::Unwait)
+                continue;
+            if (visited[child_index])
+                continue;
+            const std::uint32_t child_id =
+                expand(graph, sindex, stream_id, stream, child_index,
+                       depth + 1, clip_lo, clip_hi, visited);
+            if (child_id == kInvalidIndex) {
+                graph.nodes[node_id].truncated = true;
+                continue;
+            }
+            graph.nodes[node_id].children.push_back(child_id);
+        }
+
+        return node_id;
+    }
+
+    const TraceCorpus &corpus_;
+    const std::vector<LegacyStream> &streams_;
+    WaitGraphOptions options_;
+    mutable std::unordered_map<std::uint32_t, StreamIndex> cache_;
+};
+
+/**
+ * Node-for-node equality between a legacy graph and a production
+ * graph: same roots, same refs/costs/types, same children, same
+ * truncation and unwait stacks. Returns false at the first mismatch.
+ */
+inline bool
+graphsEqual(const LegacyGraph &legacy, const WaitGraph &graph)
+{
+    if (legacy.nodes.size() != graph.nodes().size() ||
+        legacy.roots != graph.roots())
+        return false;
+    for (std::size_t n = 0; n < legacy.nodes.size(); ++n) {
+        const LegacyGraph::Node &a = legacy.nodes[n];
+        const WaitGraph::Node &b =
+            graph.node(static_cast<std::uint32_t>(n));
+        if (a.ref.stream != b.ref.stream || a.ref.index != b.ref.index)
+            return false;
+        if (a.event.timestamp != b.event.timestamp ||
+            a.event.cost != b.event.cost ||
+            a.event.tid != b.event.tid ||
+            a.event.stack != b.event.stack ||
+            a.event.type != b.event.type)
+            return false;
+        if (a.unwaitStack != b.unwaitStack ||
+            a.truncated != b.truncated)
+            return false;
+        const auto kids = graph.children(b);
+        if (!std::equal(a.children.begin(), a.children.end(),
+                        kids.begin(), kids.end()))
+            return false;
+    }
+    return true;
+}
+
+} // namespace tracelens::legacy
+
+#endif // TRACELENS_BENCH_LEGACY_WAITGRAPH_H

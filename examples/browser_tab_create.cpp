@@ -67,7 +67,7 @@ main()
             std::cout << "\n";
             std::uint32_t heaviest = kInvalidIndex;
             DurationNs best = -1;
-            for (std::uint32_t child : node.children) {
+            for (std::uint32_t child : graph.children(node)) {
                 if (graph.node(child).event.cost > best) {
                     best = graph.node(child).event.cost;
                     heaviest = child;

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Fail if README.md or docs/*.md contains a dead intra-repo link.
+#
+# Validates every inline markdown link/image target that is not an
+# external URL: the referenced file must exist (relative to the file
+# containing the link), and when the target carries a #fragment into a
+# markdown file, a heading with that GitHub-style anchor slug must
+# exist there. Docs rot silently — a renamed file or retitled section
+# leaves dangling references that no compiler catches, so this runs as
+# a ctest (label: docs) alongside the code checks.
+#
+# Usage: check_docs.sh [REPO_ROOT]   (default: script's parent)
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+if [ ! -f "$root/README.md" ] || [ ! -d "$root/docs" ]; then
+    echo "check_docs: expected '$root/README.md' and '$root/docs/' —" \
+         "update scripts/check_docs.sh if the tree was restructured" >&2
+    exit 2
+fi
+
+# GitHub-style anchor slugs of every markdown heading in $1: lowercase,
+# inline markup stripped, punctuation (except - and _) removed, then
+# every space becomes a hyphen — each one, not collapsed, so
+# "Graph & artifact" yields "graph--artifact" exactly as GitHub does.
+# Duplicate-heading "-1" suffixes are not modelled; none of the repo
+# docs repeat a heading.
+slugs_of() {
+    sed -n -e 's/^#\{1,6\}[[:space:]]\{1,\}//p' "$1" |
+        tr '[:upper:]' '[:lower:]' |
+        sed -e 's/[`*]//g' \
+            -e 's/\[\([^]]*\)\]([^)]*)/\1/g' \
+            -e 's/[^a-z0-9 _-]//g' \
+            -e 's/ /-/g'
+}
+
+fail=0
+for doc in "$root/README.md" "$root"/docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    rel=${doc#"$root"/}
+
+    # Inline links and images: every "](target)" occurrence, one per
+    # line, with any ' "title"' suffix dropped.
+    targets=$(grep -o '\]([^)]*)' "$doc" |
+        sed -e 's/^](//' -e 's/)$//' -e 's/ ".*"$//')
+
+    while IFS= read -r target; do
+        [ -n "$target" ] || continue
+        case "$target" in
+        http://* | https://* | mailto:*) continue ;;
+        esac
+
+        path=${target%%#*}
+        anchor=""
+        case "$target" in
+        *#*) anchor=${target#*#} ;;
+        esac
+
+        if [ -z "$path" ]; then
+            resolved="$doc" # same-file anchor
+        else
+            case "$path" in
+            /*) resolved="$root$path" ;; # repo-root-relative
+            *) resolved="$dir/$path" ;;
+            esac
+        fi
+
+        if [ ! -e "$resolved" ]; then
+            echo "check_docs: $rel: dead link '$target'" \
+                 "(no such file: $resolved)" >&2
+            fail=1
+            continue
+        fi
+
+        if [ -n "$anchor" ]; then
+            case "$resolved" in
+            *.md)
+                if ! slugs_of "$resolved" |
+                    grep -qx -- "$anchor"; then
+                    echo "check_docs: $rel: dead anchor" \
+                         "'$target' (no heading with slug" \
+                         "'#$anchor' in ${resolved#"$root"/})" >&2
+                    fail=1
+                fi
+                ;;
+            esac
+        fi
+    done <<EOF
+$targets
+EOF
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+
+echo "check_docs: OK (all intra-repo links and anchors resolve)"
+exit 0

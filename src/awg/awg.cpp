@@ -203,7 +203,7 @@ AwgBuilder::process(const WaitGraph &graph, std::uint32_t node_index,
         const bool relevant = wsig != kNoFrame || usig != kNoFrame;
         if (!relevant && options_.eliminateInnerIrrelevant) {
             // Promote children in place of the irrelevant wait.
-            for (std::uint32_t child : source.children)
+            for (std::uint32_t child : graph.children(source))
                 process(graph, child, out);
             return;
         }
@@ -211,7 +211,7 @@ AwgBuilder::process(const WaitGraph &graph, std::uint32_t node_index,
         ProcNode node;
         node.key = {AwgStatus::Waiting, wsig, usig};
         node.cost = e.cost;
-        for (std::uint32_t child : source.children)
+        for (std::uint32_t child : graph.children(source))
             process(graph, child, node.children);
         out.push_back(std::move(node));
         return;

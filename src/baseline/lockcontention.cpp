@@ -7,7 +7,6 @@
 #include "src/baseline/lockcontention.h"
 
 #include <algorithm>
-#include <deque>
 #include <unordered_map>
 
 #include "src/util/table.h"
@@ -46,34 +45,30 @@ LockContentionAnalyzer::analyze() const
     const SymbolTable &symbols = corpus_.symbols();
     std::unordered_map<FrameId, SiteStats> sites;
 
+    std::vector<std::uint32_t> paired;
     for (std::uint32_t s = 0; s < corpus_.streamCount(); ++s) {
-        const TraceStream &stream = corpus_.stream(s);
+        const EventColumns &columns = corpus_.stream(s).columns();
         // FIFO wait/unwait pairing per waiting thread.
-        std::unordered_map<ThreadId, std::deque<const Event *>>
-            outstanding;
-        for (const Event &e : stream.events()) {
-            if (e.type == EventType::Wait) {
-                outstanding[e.tid].push_back(&e);
-            } else if (e.type == EventType::Unwait && e.wtid != e.tid) {
-                auto it = outstanding.find(e.wtid);
-                if (it == outstanding.end() || it->second.empty())
-                    continue;
-                const Event *wait = it->second.front();
-                it->second.pop_front();
-
-                const FrameId site = topFrame(symbols, wait->stack);
-                if (site == kNoFrame)
-                    continue;
-                SiteStats &stats = sites[site];
-                stats.entry.waitSite = site;
-                const DurationNs blocked =
-                    e.timestamp - wait->timestamp;
-                stats.entry.blocked += blocked;
-                stats.entry.maxBlocked =
-                    std::max(stats.entry.maxBlocked, blocked);
-                ++stats.entry.waits;
-                ++stats.unwaitSites[topFrame(symbols, e.stack)];
-            }
+        pairWaitsFifo(columns, paired);
+        const auto types = columns.types();
+        const auto timestamps = columns.timestamps();
+        const auto stacks = columns.stacks();
+        for (std::uint32_t w = 0; w < columns.size(); ++w) {
+            if (types[w] != EventType::Wait ||
+                paired[w] == kNoEventIndex)
+                continue;
+            const FrameId site = topFrame(symbols, stacks[w]);
+            if (site == kNoFrame)
+                continue;
+            const std::uint32_t u = paired[w];
+            SiteStats &stats = sites[site];
+            stats.entry.waitSite = site;
+            const DurationNs blocked = timestamps[u] - timestamps[w];
+            stats.entry.blocked += blocked;
+            stats.entry.maxBlocked =
+                std::max(stats.entry.maxBlocked, blocked);
+            ++stats.entry.waits;
+            ++stats.unwaitSites[topFrame(symbols, stacks[u])];
         }
     }
 

@@ -7,7 +7,6 @@
 #include "src/baseline/stackmine.h"
 
 #include <algorithm>
-#include <deque>
 #include <sstream>
 #include <unordered_map>
 
@@ -56,27 +55,21 @@ StackMineAnalyzer::mine() const
         patterns;
 
     const SymbolTable &symbols = corpus_.symbols();
+    std::vector<std::uint32_t> paired;
     for (std::uint32_t s = 0; s < corpus_.streamCount(); ++s) {
-        const TraceStream &stream = corpus_.stream(s);
+        const EventColumns &columns = corpus_.stream(s).columns();
         // Pair waits with unwaits (FIFO per thread) to restore costs.
-        std::unordered_map<ThreadId, std::deque<const Event *>>
-            outstanding;
-        for (const Event &e : stream.events()) {
-            if (e.type == EventType::Wait) {
-                outstanding[e.tid].push_back(&e);
-                continue;
-            }
-            if (e.type != EventType::Unwait || e.wtid == e.tid)
-                continue;
-            auto it = outstanding.find(e.wtid);
-            if (it == outstanding.end() || it->second.empty())
-                continue;
-            const Event *wait = it->second.front();
-            it->second.pop_front();
-            if (wait->stack == kNoCallstack)
+        pairWaitsFifo(columns, paired);
+        const auto types = columns.types();
+        const auto timestamps = columns.timestamps();
+        const auto stacks = columns.stacks();
+        for (std::uint32_t w = 0; w < columns.size(); ++w) {
+            if (types[w] != EventType::Wait ||
+                paired[w] == kNoEventIndex ||
+                stacks[w] == kNoCallstack)
                 continue;
 
-            const auto frames = symbols.stackFrames(wait->stack);
+            const auto frames = symbols.stackFrames(stacks[w]);
             if (frames.empty())
                 continue;
             std::vector<FrameId> suffix;
@@ -88,7 +81,8 @@ StackMineAnalyzer::mine() const
             CostlyStackPattern &pattern = patterns[suffix];
             if (pattern.waits == 0)
                 pattern.suffix = suffix;
-            const DurationNs blocked = e.timestamp - wait->timestamp;
+            const DurationNs blocked =
+                timestamps[paired[w]] - timestamps[w];
             pattern.cost += blocked;
             pattern.maxCost = std::max(pattern.maxCost, blocked);
             ++pattern.waits;

@@ -224,11 +224,14 @@ Analyzer::classify(std::uint32_t scenario, DurationNs t_fast,
         .mix(static_cast<std::uint64_t>(t_slow));
     auto classes = store_.get<ContrastClasses>(Stage::Classes, key, [&] {
         ContrastClasses result;
-        const auto &instances = corpus_->instances();
-        for (std::uint32_t i = 0; i < instances.size(); ++i) {
-            if (instances[i].scenario != scenario)
+        // T_fast/T_slow classification as a sweep over the instance
+        // columns — two small arrays instead of the full records.
+        const auto scenarios = corpus_->instanceScenarios();
+        const auto durations = corpus_->instanceDurations();
+        for (std::uint32_t i = 0; i < scenarios.size(); ++i) {
+            if (scenarios[i] != scenario)
                 continue;
-            const DurationNs duration = instances[i].duration();
+            const DurationNs duration = durations[i];
             if (duration < t_fast)
                 result.fast.push_back(i);
             else if (duration > t_slow)

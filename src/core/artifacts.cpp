@@ -543,8 +543,9 @@ WaitGraphCodec::encode(const std::vector<WaitGraph> &graphs,
             putU32(out, node.ref.index);
             putU32(out, node.unwaitStack);
             putU8(out, node.truncated ? 1 : 0);
-            putU64(out, node.children.size());
-            for (std::uint32_t child : node.children)
+            const auto children = graph.children(node);
+            putU64(out, children.size());
+            for (std::uint32_t child : children)
                 putU32(out, child);
         }
         putU64(out, graph.roots_.size());
@@ -598,14 +599,19 @@ WaitGraphCodec::decode(const std::string &bytes,
             const std::uint64_t child_count = reader.u64();
             if (!reader.countFits(child_count, 4))
                 return false;
-            node.children.reserve(child_count);
+            // Rebuild the CSR edge arena: nodes arrive in the same
+            // order encode() walked them, so appending each node's
+            // segment reproduces the builder's layout.
+            node.childBegin =
+                static_cast<std::uint32_t>(graph.child_arena_.size());
+            node.childCount = static_cast<std::uint32_t>(child_count);
             for (std::uint64_t c = 0; c < child_count; ++c) {
                 const std::uint32_t child = reader.u32();
                 if (child >= node_count)
                     return false;
-                node.children.push_back(child);
+                graph.child_arena_.push_back(child);
             }
-            graph.nodes_.push_back(std::move(node));
+            graph.nodes_.push_back(node);
         }
         const std::uint64_t root_count = reader.u64();
         if (!reader.countFits(root_count, 4))

@@ -48,7 +48,7 @@ accumulateComponents(
                 continue;
             }
         }
-        for (std::uint32_t child : node.children)
+        for (std::uint32_t child : graph.children(node))
             queue.push_back(child);
     }
 
@@ -154,8 +154,9 @@ explainInstance(const TraceCorpus &corpus, const WaitGraph &graph,
             if (sig == kNoFrame) {
                 breakdown.otherWait += e.cost;
                 // Subtract the nested component waits counted within.
-                std::deque<std::uint32_t> queue(node.children.begin(),
-                                                node.children.end());
+                const auto kids = graph.children(node);
+                std::deque<std::uint32_t> queue(kids.begin(),
+                                                kids.end());
                 while (!queue.empty()) {
                     const auto &child = graph.node(queue.front());
                     queue.pop_front();
@@ -167,7 +168,7 @@ explainInstance(const TraceCorpus &corpus, const WaitGraph &graph,
                         nested_component_under_other += ce.cost;
                         continue;
                     }
-                    for (std::uint32_t grand : child.children)
+                    for (std::uint32_t grand : graph.children(child))
                         queue.push_back(grand);
                 }
             }

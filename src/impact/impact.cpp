@@ -94,7 +94,7 @@ ImpactAnalysis::collect(const WaitGraph &graph) const
             contribution.waitHits.emplace_back(node.ref, e.cost);
             continue; // do not descend into already-counted time
         }
-        for (std::uint32_t child : node.children)
+        for (std::uint32_t child : graph.children(node))
             queue.push_back(child);
     }
 

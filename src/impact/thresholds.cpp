@@ -28,10 +28,15 @@ ThresholdSuggestion::render() const
 ThresholdSuggestion
 suggestThresholds(const TraceCorpus &corpus, std::uint32_t scenario)
 {
+    // Branch-light gather over the two instance columns: the scenario
+    // filter touches 4 bytes per instance and only matching rows pull
+    // a duration.
     SampleSet durations;
-    for (const ScenarioInstance &inst : corpus.instances()) {
-        if (inst.scenario == scenario)
-            durations.add(static_cast<double>(inst.duration()));
+    const auto scenarios = corpus.instanceScenarios();
+    const auto inst_durations = corpus.instanceDurations();
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        if (scenarios[i] == scenario)
+            durations.add(static_cast<double>(inst_durations[i]));
     }
 
     ThresholdSuggestion suggestion;

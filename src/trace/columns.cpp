@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Columnar event storage: append/materialize plumbing, the FIFO
+ * wait/unwait pairing and effective-end restoration sweeps, and the
+ * strided bulk decoder for packed TLC1 event records.
+ */
+
+#include "src/trace/columns.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "src/trace/tlcformat.h"
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+void
+EventColumns::reserve(std::size_t n)
+{
+    timestamps_.reserve(n);
+    costs_.reserve(n);
+    tids_.reserve(n);
+    wtids_.reserve(n);
+    stacks_.reserve(n);
+    types_.reserve(n);
+}
+
+void
+EventColumns::clear()
+{
+    timestamps_.clear();
+    costs_.clear();
+    tids_.clear();
+    wtids_.clear();
+    stacks_.clear();
+    types_.clear();
+}
+
+void
+EventColumns::append(const Event &event)
+{
+    timestamps_.push_back(event.timestamp);
+    costs_.push_back(event.cost);
+    tids_.push_back(event.tid);
+    wtids_.push_back(event.wtid);
+    stacks_.push_back(event.stack);
+    types_.push_back(event.type);
+}
+
+std::size_t
+EventColumns::residentBytes() const
+{
+    return timestamps_.capacity() * sizeof(TimeNs) +
+           costs_.capacity() * sizeof(DurationNs) +
+           tids_.capacity() * sizeof(ThreadId) +
+           wtids_.capacity() * sizeof(ThreadId) +
+           stacks_.capacity() * sizeof(CallstackId) +
+           types_.capacity() * sizeof(EventType);
+}
+
+TimeNs
+EventColumns::maxEnd() const
+{
+    TimeNs max_end = 0;
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i)
+        max_end = std::max(max_end, timestamps_[i] + costs_[i]);
+    return max_end;
+}
+
+std::optional<EventColumns::DecodeIssue>
+EventColumns::appendTlcRecords(std::span<const std::byte> records,
+                               std::uint32_t count,
+                               std::uint32_t stack_count)
+{
+    constexpr std::size_t kStride = tlc::kEventRecordBytes;
+    TL_ASSERT(records.size() >= count * kStride,
+              "event record block shorter than its count");
+
+    const std::size_t base = size();
+    const std::byte *bytes = records.data();
+    timestamps_.resize(base + count);
+    costs_.resize(base + count);
+    tids_.resize(base + count);
+    wtids_.resize(base + count);
+    stacks_.resize(base + count);
+    types_.resize(base + count);
+
+    // Field-at-a-time strided decode: each loop reads one field column
+    // out of the packed records into its contiguous array. Violations
+    // are *located* in separate passes below so these loops stay
+    // branchless and the common (valid) case never forks.
+    std::uint32_t bad_type = count;
+    for (std::uint32_t j = 0; j < count; ++j) {
+        std::int64_t v;
+        std::memcpy(&v, bytes + j * kStride + 0, sizeof(v));
+        timestamps_[base + j] = v;
+    }
+    for (std::uint32_t j = 0; j < count; ++j) {
+        std::int64_t v;
+        std::memcpy(&v, bytes + j * kStride + 8, sizeof(v));
+        costs_[base + j] = v;
+    }
+    for (std::uint32_t j = 0; j < count; ++j) {
+        std::uint32_t v;
+        std::memcpy(&v, bytes + j * kStride + 16, sizeof(v));
+        tids_[base + j] = v;
+    }
+    for (std::uint32_t j = 0; j < count; ++j) {
+        std::uint32_t v;
+        std::memcpy(&v, bytes + j * kStride + 20, sizeof(v));
+        wtids_[base + j] = v;
+    }
+    for (std::uint32_t j = 0; j < count; ++j) {
+        std::uint32_t v;
+        std::memcpy(&v, bytes + j * kStride + 24, sizeof(v));
+        stacks_[base + j] = v;
+    }
+    for (std::uint32_t j = 0; j < count; ++j) {
+        std::uint32_t v;
+        std::memcpy(&v, bytes + j * kStride + 28, sizeof(v));
+        if (v > static_cast<std::uint32_t>(EventType::HardwareService) &&
+            j < bad_type)
+            bad_type = j;
+        types_[base + j] = static_cast<EventType>(v);
+    }
+
+    // Validation sweeps over the freshly decoded columns. Each pass
+    // finds the first offending index of its kind; the batch fails at
+    // the smallest index overall, ties broken in the order the scalar
+    // parser checked fields (type, stack, cost, time order) so error
+    // reports are byte-identical to the historical decoder.
+    std::uint32_t bad_stack = count;
+    for (std::uint32_t j = 0; j < count; ++j) {
+        const CallstackId s = stacks_[base + j];
+        if (s != kNoCallstack && s >= stack_count) {
+            bad_stack = j;
+            break;
+        }
+    }
+    std::uint32_t bad_cost = count;
+    for (std::uint32_t j = 0; j < count; ++j) {
+        const DurationNs c = costs_[base + j];
+        TimeNs end;
+        if (c < 0 ||
+            __builtin_add_overflow(timestamps_[base + j], c, &end)) {
+            bad_cost = j;
+            break;
+        }
+    }
+    std::uint32_t bad_order = count;
+    TimeNs prev =
+        base == 0 ? std::numeric_limits<TimeNs>::min()
+                  : timestamps_[base - 1];
+    for (std::uint32_t j = 0; j < count; ++j) {
+        if (timestamps_[base + j] < prev) {
+            bad_order = j;
+            break;
+        }
+        prev = timestamps_[base + j];
+    }
+
+    const std::uint32_t first_bad = std::min(
+        std::min(bad_type, bad_stack), std::min(bad_cost, bad_order));
+    if (first_bad == count)
+        return std::nullopt;
+
+    DecodeIssue issue;
+    issue.index = first_bad;
+    if (bad_type == first_bad) {
+        std::uint32_t raw = 0;
+        std::memcpy(&raw, bytes + first_bad * kStride + 28, sizeof(raw));
+        issue.reason =
+            detail::concat("corpus event has invalid type ", raw);
+    } else if (bad_stack == first_bad) {
+        issue.reason = "corpus event references unknown stack";
+    } else if (bad_cost == first_bad) {
+        issue.reason = costs_[base + first_bad] < 0
+                           ? "corpus event has negative cost"
+                           : "corpus event interval overflows the "
+                             "time axis";
+    } else {
+        issue.reason = "corpus events out of time order";
+    }
+
+    timestamps_.resize(base);
+    costs_.resize(base);
+    tids_.resize(base);
+    wtids_.resize(base);
+    stacks_.resize(base);
+    types_.resize(base);
+    return issue;
+}
+
+void
+ThreadSlotMap::build(std::span<const ThreadId> tids,
+                     std::vector<std::uint32_t> &slot_of_event)
+{
+    ids_.clear();
+    slot_of_event.resize(tids.size());
+
+    std::size_t capacity = 64;
+    keys_.assign(capacity, 0);
+    vals_.assign(capacity, kNoEventIndex);
+    mask_ = capacity - 1;
+
+    // First-seen slot ids via insert-or-find; renumbered below.
+    std::vector<ThreadId> first_seen;
+    const auto rehash = [&] {
+        capacity *= 2;
+        keys_.assign(capacity, 0);
+        vals_.assign(capacity, kNoEventIndex);
+        mask_ = capacity - 1;
+        for (std::uint32_t raw = 0; raw < first_seen.size(); ++raw) {
+            std::size_t h = splitmix64(first_seen[raw]) & mask_;
+            while (vals_[h] != kNoEventIndex)
+                h = (h + 1) & mask_;
+            keys_[h] = first_seen[raw];
+            vals_[h] = raw;
+        }
+    };
+
+    for (std::size_t i = 0; i < tids.size(); ++i) {
+        // <= 50% load before every probe chain.
+        if (2 * (first_seen.size() + 1) > capacity)
+            rehash();
+        const ThreadId tid = tids[i];
+        std::size_t h = splitmix64(tid) & mask_;
+        while (vals_[h] != kNoEventIndex && keys_[h] != tid)
+            h = (h + 1) & mask_;
+        if (vals_[h] == kNoEventIndex) {
+            keys_[h] = tid;
+            vals_[h] = static_cast<std::uint32_t>(first_seen.size());
+            first_seen.push_back(tid);
+        }
+        slot_of_event[i] = vals_[h];
+    }
+
+    // Renumber first-seen slots into sorted-tid order so slot ids do
+    // not depend on event order.
+    ids_ = first_seen;
+    std::sort(ids_.begin(), ids_.end());
+    std::vector<std::uint32_t> rank(first_seen.size());
+    for (std::uint32_t raw = 0; raw < first_seen.size(); ++raw) {
+        rank[raw] = static_cast<std::uint32_t>(
+            std::lower_bound(ids_.begin(), ids_.end(),
+                             first_seen[raw]) -
+            ids_.begin());
+    }
+    for (std::uint32_t &v : vals_) {
+        if (v != kNoEventIndex)
+            v = rank[v];
+    }
+    for (std::uint32_t &s : slot_of_event)
+        s = rank[s];
+}
+
+std::uint32_t
+ThreadSlotMap::slotOf(ThreadId tid) const
+{
+    if (vals_.empty())
+        return kNoEventIndex;
+    std::size_t h = splitmix64(tid) & mask_;
+    while (vals_[h] != kNoEventIndex) {
+        if (keys_[h] == tid)
+            return vals_[h];
+        h = (h + 1) & mask_;
+    }
+    return kNoEventIndex;
+}
+
+void
+pairWaitsFifo(const EventColumns &events,
+              const ThreadSlotMap &slot_map,
+              std::span<const std::uint32_t> slot_of_event,
+              std::vector<std::uint32_t> &paired_unwait)
+{
+    const std::size_t n = events.size();
+    TL_ASSERT(slot_of_event.size() == n, "slot/event column skew");
+    paired_unwait.assign(n, kNoEventIndex);
+    const auto types = events.types();
+    const auto tids = events.tids();
+    const auto wtids = events.wtids();
+    const std::size_t slots = slot_map.slots();
+    if (slots == 0)
+        return;
+
+    // CSR of wait events grouped by thread slot, time order preserved
+    // (counting sort over a time-ordered input is stable).
+    std::vector<std::uint32_t> offset(slots + 1, 0);
+    std::uint32_t wait_count = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (types[i] == EventType::Wait) {
+            ++offset[slot_of_event[i] + 1];
+            ++wait_count;
+        }
+    }
+    if (wait_count == 0)
+        return;
+    for (std::size_t s = 0; s < slots; ++s)
+        offset[s + 1] += offset[s];
+    std::vector<std::uint32_t> waits_of(wait_count);
+    {
+        std::vector<std::uint32_t> cursor(offset.begin(),
+                                          offset.end() - 1);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (types[i] == EventType::Wait)
+                waits_of[cursor[slot_of_event[i]]++] = i;
+        }
+    }
+
+    // The pairing sweep: `seen` counts a thread's waits encountered so
+    // far, `head` the ones already paired; the FIFO front is always
+    // waits_of[offset[slot] + head[slot]].
+    std::vector<std::uint32_t> seen(slots, 0);
+    std::vector<std::uint32_t> head(slots, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (types[i] == EventType::Wait) {
+            ++seen[slot_of_event[i]];
+        } else if (types[i] == EventType::Unwait && wtids[i] != tids[i]) {
+            const std::uint32_t slot = slot_map.slotOf(wtids[i]);
+            if (slot != kNoEventIndex && head[slot] < seen[slot])
+                paired_unwait[waits_of[offset[slot] + head[slot]++]] = i;
+        }
+    }
+}
+
+void
+pairWaitsFifo(const EventColumns &events,
+              std::vector<std::uint32_t> &paired_unwait)
+{
+    ThreadSlotMap slot_map;
+    std::vector<std::uint32_t> slot_of_event;
+    slot_map.build(events.tids(), slot_of_event);
+    pairWaitsFifo(events, slot_map, slot_of_event, paired_unwait);
+}
+
+void
+computeEffectiveEnds(const EventColumns &events,
+                     std::span<const std::uint32_t> paired_unwait,
+                     TimeNs stream_end,
+                     std::vector<TimeNs> &effective_end)
+{
+    const std::size_t n = events.size();
+    TL_ASSERT(paired_unwait.size() == n, "pairing/effective-end skew");
+    effective_end.resize(n);
+    const auto timestamps = events.timestamps();
+    const auto costs = events.costs();
+    const auto types = events.types();
+
+    // Dense default: every interval ends at timestamp + cost.
+    for (std::size_t i = 0; i < n; ++i)
+        effective_end[i] = timestamps[i] + costs[i];
+
+    // Sparse correction: waits end where their unwait fired (stream
+    // end when the trace truncated the wait).
+    for (std::size_t i = 0; i < n; ++i) {
+        if (types[i] != EventType::Wait)
+            continue;
+        const std::uint32_t u = paired_unwait[i];
+        effective_end[i] =
+            u == kNoEventIndex ? stream_end : timestamps[u];
+    }
+}
+
+} // namespace tracelens

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Columnar (structure-of-arrays) event storage — the in-memory hot
+ * core of a shard.
+ *
+ * The analyzer's inner loops (wait/unwait pairing, effective-end
+ * restoration, per-thread window scans, threshold classification) are
+ * branch-light linear sweeps that touch one or two event fields per
+ * step. Stored as an array of 32-byte Event structs, every such sweep
+ * drags the whole record through the cache: a timestamps-only scan
+ * uses 8 of every 32 bytes fetched, and nothing autovectorizes across
+ * the padded stride. EventColumns keeps each field in its own
+ * contiguous array instead — a timestamp sweep then reads 8 cache
+ * lines' worth of timestamps per 8 lines fetched, and the compiler is
+ * free to vectorize the compare/accumulate (see docs/PERFORMANCE.md
+ * for the cache-line arithmetic).
+ *
+ * The Event/EventRef API survives as a cheap *materializing view*:
+ * EventColumns::operator[] (and the EventView iterator range) gathers
+ * one Event by value from the columns, so layers that still think in
+ * events — the miner, AWG aggregation, the baselines — migrate
+ * incrementally without a copy of the corpus in both layouts. The
+ * TLC1 on-disk format is unchanged: columns are a memory layout, not
+ * a serialization change (docs/TRACE_FORMAT.md).
+ */
+
+#ifndef TRACELENS_TRACE_COLUMNS_H
+#define TRACELENS_TRACE_COLUMNS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/trace/event.h"
+#include "src/util/types.h"
+
+namespace tracelens
+{
+
+/** Sentinel event index ("no paired event", "no such slot"). */
+inline constexpr std::uint32_t kNoEventIndex = UINT32_MAX;
+
+class EventView;
+
+/**
+ * One shard's events, one contiguous array per field. Append-only,
+ * time-ordered by construction (enforced by TraceStream::append and
+ * the TLC1 decoder's monotonicity sweep, not re-checked here).
+ */
+class EventColumns
+{
+  public:
+    std::size_t size() const { return timestamps_.size(); }
+    bool empty() const { return timestamps_.empty(); }
+    void reserve(std::size_t n);
+    void clear();
+
+    /** Append one event (scatter into the six columns). */
+    void append(const Event &event);
+
+    /** Materialize event @p i as a value (the AoS-compatible view). */
+    Event
+    operator[](std::size_t i) const
+    {
+        Event e;
+        e.timestamp = timestamps_[i];
+        e.cost = costs_[i];
+        e.tid = tids_[i];
+        e.wtid = wtids_[i];
+        e.stack = stacks_[i];
+        e.type = types_[i];
+        return e;
+    }
+
+    /** @name Raw column access (the vectorizable sweep surface). */
+    ///@{
+    std::span<const TimeNs> timestamps() const { return timestamps_; }
+    std::span<const DurationNs> costs() const { return costs_; }
+    std::span<const ThreadId> tids() const { return tids_; }
+    std::span<const ThreadId> wtids() const { return wtids_; }
+    std::span<const CallstackId> stacks() const { return stacks_; }
+    std::span<const EventType> types() const { return types_; }
+    ///@}
+
+    /** Iterator range of materialized Event values. */
+    EventView view() const;
+
+    /** Heap bytes currently held by the six columns (cache budgets). */
+    std::size_t residentBytes() const;
+
+    /**
+     * Decode and append @p count packed TLC1 event records (32 bytes
+     * each, unaligned) as per-field strided sweeps, then validate the
+     * batch with branch-light column passes: event type range, stack
+     * references against @p stack_count, non-negative costs whose
+     * intervals do not overflow the time axis, and timestamp
+     * monotonicity. On a violation the columns are rolled back to
+     * their prior size and the first offending record is reported
+     * (record index plus the parse-compatible reason string).
+     */
+    struct DecodeIssue
+    {
+        /** Index of the first invalid record within this batch. */
+        std::uint64_t index = 0;
+        /** Failure reason, byte-compatible with the scalar parser. */
+        std::string reason;
+    };
+    std::optional<DecodeIssue>
+    appendTlcRecords(std::span<const std::byte> records,
+                     std::uint32_t count, std::uint32_t stack_count);
+
+    /** Largest interval end, max(timestamp + cost), or 0 when empty. */
+    TimeNs maxEnd() const;
+
+  private:
+    std::vector<TimeNs> timestamps_;
+    std::vector<DurationNs> costs_;
+    std::vector<ThreadId> tids_;
+    std::vector<ThreadId> wtids_;
+    std::vector<CallstackId> stacks_;
+    std::vector<EventType> types_;
+};
+
+/**
+ * Random-access range over an EventColumns that yields Event *values*
+ * — the compatibility bridge that lets `for (const Event &e : ...)`
+ * loops run unchanged over columnar storage. Dereferencing gathers
+ * the six fields of one event; no AoS copy of the shard ever exists.
+ */
+class EventView
+{
+  public:
+    EventView() = default;
+    explicit EventView(const EventColumns &columns)
+        : columns_(&columns)
+    {
+    }
+
+    /** Materializing random-access iterator (yields Event by value). */
+    class iterator
+    {
+      public:
+        using iterator_category = std::random_access_iterator_tag;
+        using value_type = Event;
+        using difference_type = std::ptrdiff_t;
+        using reference = Event;
+        using pointer = void;
+
+        iterator() = default;
+        iterator(const EventColumns *columns, std::size_t index)
+            : columns_(columns), index_(index)
+        {
+        }
+
+        Event operator*() const { return (*columns_)[index_]; }
+        Event
+        operator[](difference_type n) const
+        {
+            return (*columns_)[index_ + static_cast<std::size_t>(n)];
+        }
+
+        iterator &
+        operator++()
+        {
+            ++index_;
+            return *this;
+        }
+        iterator
+        operator++(int)
+        {
+            iterator prev = *this;
+            ++index_;
+            return prev;
+        }
+        iterator &
+        operator--()
+        {
+            --index_;
+            return *this;
+        }
+        iterator
+        operator--(int)
+        {
+            iterator prev = *this;
+            --index_;
+            return prev;
+        }
+        iterator &
+        operator+=(difference_type n)
+        {
+            index_ += static_cast<std::size_t>(n);
+            return *this;
+        }
+        iterator &
+        operator-=(difference_type n)
+        {
+            index_ -= static_cast<std::size_t>(n);
+            return *this;
+        }
+        friend iterator
+        operator+(iterator it, difference_type n)
+        {
+            it += n;
+            return it;
+        }
+        friend iterator
+        operator+(difference_type n, iterator it)
+        {
+            it += n;
+            return it;
+        }
+        friend iterator
+        operator-(iterator it, difference_type n)
+        {
+            it -= n;
+            return it;
+        }
+        friend difference_type
+        operator-(const iterator &a, const iterator &b)
+        {
+            return static_cast<difference_type>(a.index_) -
+                   static_cast<difference_type>(b.index_);
+        }
+        friend bool
+        operator==(const iterator &a, const iterator &b)
+        {
+            return a.index_ == b.index_;
+        }
+        friend auto
+        operator<=>(const iterator &a, const iterator &b)
+        {
+            return a.index_ <=> b.index_;
+        }
+
+      private:
+        const EventColumns *columns_ = nullptr;
+        std::size_t index_ = 0;
+    };
+
+    iterator begin() const { return {columns_, 0}; }
+    iterator end() const { return {columns_, size()}; }
+    std::size_t size() const { return columns_ ? columns_->size() : 0; }
+    bool empty() const { return size() == 0; }
+    Event operator[](std::size_t i) const { return (*columns_)[i]; }
+    Event front() const { return (*columns_)[0]; }
+    Event back() const { return (*columns_)[size() - 1]; }
+
+  private:
+    const EventColumns *columns_ = nullptr;
+};
+
+inline EventView
+EventColumns::view() const
+{
+    return EventView(*this);
+}
+
+/**
+ * Dense slot ids for the sparse thread-id space of one stream.
+ *
+ * Thread ids are arbitrary 32-bit values (the generator hands out ids
+ * around 10^6), but a stream only ever sees a few dozen distinct
+ * threads. Sorting the whole tid column to densify it — the first cut
+ * of the columnar index — cost more than the legacy hash-map index it
+ * replaced: an O(n log n) sort plus an O(n log t) binary search per
+ * event, all for t << n distinct values. This map does it in one O(n)
+ * pass over the tid column through a small open-addressing table
+ * (50% max load, linear probing, splitmix64-mixed keys), then
+ * renumbers the slots into sorted-tid order so slot ids are
+ * independent of first-appearance order.
+ *
+ * build() also emits each event's slot id, so downstream counting
+ * sorts (pairWaitsFifo, the wait-graph per-thread CSR) never look a
+ * tid up again; slotOf() serves the remaining by-value queries (e.g.
+ * an unwait's WTID) with one O(1) probe.
+ */
+class ThreadSlotMap
+{
+  public:
+    /**
+     * Build the map from a tid column and fill @p slot_of_event with
+     * each event's slot id (index-aligned with @p tids).
+     */
+    void build(std::span<const ThreadId> tids,
+               std::vector<std::uint32_t> &slot_of_event);
+
+    /** Distinct thread ids, sorted ascending; slot i holds ids()[i]. */
+    std::span<const ThreadId> ids() const { return ids_; }
+
+    /** Number of distinct threads. */
+    std::size_t slots() const { return ids_.size(); }
+
+    /** Slot of @p tid, or kNoEventIndex if the thread has no events. */
+    std::uint32_t slotOf(ThreadId tid) const;
+
+  private:
+    std::vector<ThreadId> ids_;
+    /** Open-addressing table: keys_[h] valid iff vals_[h] is set. */
+    std::vector<ThreadId> keys_;
+    std::vector<std::uint32_t> vals_;
+    std::size_t mask_ = 0;
+};
+
+/**
+ * FIFO wait/unwait pairing as a columnar sweep (paper Section 3.1
+ * step 1): the oldest outstanding wait of a thread is ended by the
+ * next unwait targeting that thread. Resizes @p paired_unwait to
+ * events.size(); entry i holds the pairing unwait's event index for
+ * wait events (kNoEventIndex when the trace truncates the wait) and
+ * kNoEventIndex for all non-wait events.
+ *
+ * Instead of a hash-map of deques, the sweep builds a CSR grouping of
+ * wait events by thread (counting sort over the precomputed slot ids)
+ * and pairs with two flat cursors per thread — no per-event
+ * allocation, and the hot loop touches only the types/tids/wtids
+ * columns. @p slot_map / @p slot_of_event must come from a
+ * ThreadSlotMap::build over this stream's tid column.
+ */
+void pairWaitsFifo(const EventColumns &events,
+                   const ThreadSlotMap &slot_map,
+                   std::span<const std::uint32_t> slot_of_event,
+                   std::vector<std::uint32_t> &paired_unwait);
+
+/** Convenience overload that builds the thread-slot map internally. */
+void pairWaitsFifo(const EventColumns &events,
+                   std::vector<std::uint32_t> &paired_unwait);
+
+/**
+ * Effective interval ends as one select-sweep: timestamp + cost for
+ * non-wait events, the pairing unwait's timestamp for paired waits,
+ * and @p stream_end for waits the trace truncated (paper step 2, the
+ * wait-duration restoration).
+ */
+void computeEffectiveEnds(const EventColumns &events,
+                          std::span<const std::uint32_t> paired_unwait,
+                          TimeNs stream_end,
+                          std::vector<TimeNs> &effective_end);
+
+} // namespace tracelens
+
+#endif // TRACELENS_TRACE_COLUMNS_H

@@ -286,6 +286,27 @@ MmapReader::decodeEvent(std::span<const std::byte> records,
     return e;
 }
 
+Expected<EventColumns>
+MmapReader::decodeStreamColumns(std::uint32_t stream) const
+{
+    TL_ASSERT(stream < streams_.size(), "bad stream index ", stream);
+    const TlcStreamExtent &extent = streams_[stream];
+    EventColumns columns;
+    columns.reserve(extent.eventCount);
+    if (auto issue = columns.appendTlcRecords(eventRecords(stream),
+                                              extent.eventCount,
+                                              index_.stackCount)) {
+        // Same offset convention as parseCorpus: the end of the
+        // offending 32-byte record.
+        return SourceError{map_.path(),
+                           extent.eventsOffset +
+                               (issue->index + 1) *
+                                   tlc::kEventRecordBytes,
+                           std::move(issue->reason)};
+    }
+    return columns;
+}
+
 Expected<TraceCorpus>
 MmapReader::materialize() const
 {

@@ -130,6 +130,15 @@ class MmapReader
     static Event decodeEvent(std::span<const std::byte> records,
                              std::uint32_t i);
 
+    /**
+     * Bulk-decode one stream's packed records into columnar storage
+     * (the per-stream lazy door onto EventColumns): strided per-field
+     * sweeps plus full event validation against this file's stack
+     * table, failing with a located SourceError exactly like the full
+     * parser would.
+     */
+    Expected<EventColumns> decodeStreamColumns(std::uint32_t stream) const;
+
     /** Full decode into an owning corpus (lazy path's slow door). */
     Expected<TraceCorpus> materialize() const;
 

@@ -17,7 +17,6 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <limits>
 #include <iomanip>
 #include <istream>
 #include <ostream>
@@ -308,35 +307,24 @@ parseCorpus(std::span<const std::byte> bytes, const std::string &file)
         std::uint32_t event_count = 0;
         if (!cur.count(event_count, kEventRecordBytes, "event"))
             return err();
-        TimeNs prev_ts = std::numeric_limits<TimeNs>::min();
-        for (std::uint32_t j = 0; j < event_count; ++j) {
-            Event e;
-            std::uint32_t type = 0;
-            if (!cur.i64(e.timestamp, "event timestamp") ||
-                !cur.i64(e.cost, "event cost") ||
-                !cur.u32(e.tid, "event tid") ||
-                !cur.u32(e.wtid, "event wtid") ||
-                !cur.u32(e.stack, "event stack") ||
-                !cur.u32(type, "event type"))
-                return err();
-            if (type > static_cast<std::uint32_t>(
-                           EventType::HardwareService)) {
-                cur.fail(detail::concat(
-                    "corpus event has invalid type ", type));
-                return err();
-            }
-            e.type = static_cast<EventType>(type);
-            if (e.stack != kNoCallstack && e.stack >= stack_count) {
-                cur.fail("corpus event references unknown stack");
-                return err();
-            }
-            if (e.timestamp < prev_ts) {
-                cur.fail("corpus events out of time order");
-                return err();
-            }
-            prev_ts = e.timestamp;
-            stream.append(e);
+        const std::uint64_t block_start = cur.offset();
+        std::span<const std::byte> records;
+        if (!cur.view(records, event_count * kEventRecordBytes,
+                      "event records"))
+            return err();
+        EventColumns columns;
+        columns.reserve(event_count);
+        if (auto issue = columns.appendTlcRecords(records, event_count,
+                                                  stack_count)) {
+            // The scalar parser read a whole record before validating
+            // it, so the historical failure offset is the end of the
+            // offending record — reproduce that exactly.
+            cur.failAt(block_start +
+                           (issue->index + 1) * kEventRecordBytes,
+                       std::move(issue->reason));
+            return err();
         }
+        stream.adopt(std::move(columns));
     }
 
     std::uint32_t instance_count = 0;

@@ -1,7 +1,7 @@
 /**
  * @file
- * TraceStream / TraceCorpus containers: event storage, instance
- * registration, and scenario lookup.
+ * TraceStream / TraceCorpus containers: columnar event storage,
+ * instance registration, and scenario lookup.
  */
 
 #include "src/trace/stream.h"
@@ -18,14 +18,21 @@ void
 TraceStream::append(const Event &event)
 {
     if (!events_.empty()) {
-        TL_ASSERT(event.timestamp >= events_.back().timestamp,
+        TL_ASSERT(event.timestamp >= events_.timestamps().back(),
                   "events must be appended in time order");
     }
-    events_.push_back(event);
+    events_.append(event);
     endTime_ = std::max(endTime_, event.end());
 }
 
-const Event &
+void
+TraceStream::adopt(EventColumns columns)
+{
+    events_ = std::move(columns);
+    endTime_ = events_.maxEnd();
+}
+
+Event
 TraceStream::event(std::uint32_t index) const
 {
     TL_ASSERT(index < events_.size(), "bad event index ", index);
@@ -87,14 +94,16 @@ TraceCorpus::addInstance(const ScenarioInstance &instance)
               "instance references unknown stream");
     TL_ASSERT(instance.t1 >= instance.t0, "instance window inverted");
     instances_.push_back(instance);
+    instance_durations_.push_back(instance.duration());
+    instance_scenarios_.push_back(instance.scenario);
 }
 
 std::vector<std::uint32_t>
 TraceCorpus::instancesOfScenario(std::uint32_t scenario) const
 {
     std::vector<std::uint32_t> out;
-    for (std::uint32_t i = 0; i < instances_.size(); ++i) {
-        if (instances_[i].scenario == scenario)
+    for (std::uint32_t i = 0; i < instance_scenarios_.size(); ++i) {
+        if (instance_scenarios_[i] == scenario)
             out.push_back(i);
     }
     return out;
@@ -109,7 +118,7 @@ TraceCorpus::totalEvents() const
     return n;
 }
 
-const Event &
+Event
 TraceCorpus::event(const EventRef &ref) const
 {
     return stream(ref.stream).event(ref.index);

@@ -8,6 +8,15 @@
  * initiating thread and the [t0, t1] window (paper Section 2.1). The
  * TraceCorpus owns the shared symbol table, all streams, and all
  * instances — the unit the impact and causality analyses consume.
+ *
+ * Events are stored columnar (EventColumns, one contiguous array per
+ * field) so the analyzer's linear sweeps stay cache-dense and
+ * autovectorizable; events() hands out a materializing EventView and
+ * event(i) gathers an Event value, so event-at-a-time consumers are
+ * source-compatible with the old array-of-structs storage. The same
+ * split applies to scenario instances: instances() keeps the
+ * struct-of-record API while instanceDurations()/instanceScenarios()
+ * expose the two columns the threshold and classification sweeps scan.
  */
 
 #ifndef TRACELENS_TRACE_STREAM_H
@@ -15,9 +24,11 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "src/trace/columns.h"
 #include "src/trace/event.h"
 #include "src/trace/symbols.h"
 #include "src/util/types.h"
@@ -32,8 +43,22 @@ class TraceStream
     /** Append an event; timestamps must be non-decreasing. */
     void append(const Event &event);
 
-    const std::vector<Event> &events() const { return events_; }
-    const Event &event(std::uint32_t index) const;
+    /**
+     * Replace this stream's events with an already-decoded column set
+     * (the bulk TLC1 ingestion path). The columns must be time-ordered;
+     * the stream end time is recomputed from the intervals.
+     */
+    void adopt(EventColumns columns);
+
+    /** Materializing view over the events (Event values, in order). */
+    EventView events() const { return events_.view(); }
+
+    /** Columnar storage — the sweepable per-field arrays. */
+    const EventColumns &columns() const { return events_; }
+
+    /** Materialize one event by index. */
+    Event event(std::uint32_t index) const;
+
     std::size_t size() const { return events_.size(); }
 
     /** Timestamp of the last event interval's end (0 when empty). */
@@ -54,7 +79,7 @@ class TraceStream
                     std::string fallback = "unknown") const;
 
   private:
-    std::vector<Event> events_;
+    EventColumns events_;
     TimeNs endTime_ = 0;
 };
 
@@ -109,6 +134,25 @@ class TraceCorpus
         return instances_;
     }
 
+    /**
+     * @name Instance columns
+     * Duration (t1 - t0) and scenario id per instance, index-aligned
+     * with instances() — the two fields the threshold estimation and
+     * fast/slow classification sweeps read. Kept as parallel columns
+     * so those sweeps never stride over the full 24-byte instance
+     * record.
+     */
+    ///@{
+    std::span<const DurationNs> instanceDurations() const
+    {
+        return instance_durations_;
+    }
+    std::span<const std::uint32_t> instanceScenarios() const
+    {
+        return instance_scenarios_;
+    }
+    ///@}
+
     /** Indices of instances belonging to the given scenario id. */
     std::vector<std::uint32_t>
     instancesOfScenario(std::uint32_t scenario) const;
@@ -116,14 +160,16 @@ class TraceCorpus
     /** Total number of events across all streams. */
     std::size_t totalEvents() const;
 
-    /** Look up an event by corpus-wide reference. */
-    const Event &event(const EventRef &ref) const;
+    /** Look up (materialize) an event by corpus-wide reference. */
+    Event event(const EventRef &ref) const;
 
   private:
     SymbolTable symbols_;
     StringInterner scenarios_;
     std::vector<TraceStream> streams_;
     std::vector<ScenarioInstance> instances_;
+    std::vector<DurationNs> instance_durations_;
+    std::vector<std::uint32_t> instance_scenarios_;
 };
 
 } // namespace tracelens

@@ -64,6 +64,36 @@ class ByteCursor
         return false;
     }
 
+    /**
+     * Latch a failure at an explicit byte offset — for block decoders
+     * that consume a whole record section at once and learn the
+     * offending record's position only afterwards.
+     */
+    bool
+    failAt(std::uint64_t offset, std::string reason)
+    {
+        if (!failed_) {
+            failed_ = true;
+            error_ = {file_, offset, std::move(reason)};
+        }
+        return false;
+    }
+
+    /**
+     * Hand out a zero-copy view of the next @p n bytes and advance
+     * past them — the entry point for bulk (whole-section) decoders.
+     */
+    bool
+    view(std::span<const std::byte> &out, std::size_t n,
+         const char *what)
+    {
+        if (!need(n, what))
+            return false;
+        out = bytes_.subspan(pos_, n);
+        pos_ += n;
+        return true;
+    }
+
     bool
     u32(std::uint32_t &v, const char *what)
     {

@@ -3,14 +3,21 @@
  * Wait-graph construction (paper Algorithm: wait/unwait chaining with
  * window clipping) and the corpus-parallel buildAllParallel variant
  * that shards instances across the work-stealing pool.
+ *
+ * The hot path is allocation-free in steady state: the per-stream
+ * index is a set of flat arrays built by the columnar sweeps in
+ * src/trace/columns.h, each graph's edges land in one CSR arena, and
+ * the DFS bookkeeping (visited stamps, candidate and child stacks)
+ * lives in thread_local scratch that survives across builds.
  */
 
 #include "src/waitgraph/waitgraph.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
-#include <deque>
 
+#include "src/trace/columns.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
 #include "src/util/telemetry.h"
@@ -74,8 +81,8 @@ WaitGraph::renderText(const SymbolTable &symbols,
         if (n.truncated)
             oss << " [truncated]";
         oss << "\n";
-        for (auto it = n.children.rbegin(); it != n.children.rend();
-             ++it)
+        const auto kids = children(n);
+        for (auto it = kids.rbegin(); it != kids.rend(); ++it)
             stack.push_back({*it, depth + 1});
     }
     return oss.str();
@@ -87,6 +94,18 @@ WaitGraphBuilder::WaitGraphBuilder(const TraceCorpus &corpus,
 {
 }
 
+void
+WaitGraphBuilder::BuildScratch::beginBuild(std::size_t events)
+{
+    if (visitedStamp.size() < events)
+        visitedStamp.resize(events, 0);
+    if (++epoch == 0) {
+        // Stamp wrap-around (once per ~4G builds): refill and restart.
+        std::fill(visitedStamp.begin(), visitedStamp.end(), 0);
+        epoch = 1;
+    }
+}
+
 const WaitGraphBuilder::StreamIndex &
 WaitGraphBuilder::streamIndex(std::uint32_t stream_id) const
 {
@@ -94,47 +113,56 @@ WaitGraphBuilder::streamIndex(std::uint32_t stream_id) const
     if (it != cache_.end())
         return it->second;
 
-    const TraceStream &stream = corpus_.stream(stream_id);
+    const EventColumns &columns = corpus_.stream(stream_id).columns();
+    const std::size_t n = columns.size();
     StreamIndex sindex;
-    sindex.pairedUnwait.assign(stream.size(), kInvalidIndex);
-    sindex.effectiveEnd.assign(stream.size(), 0);
 
-    // FIFO pairing: the oldest outstanding wait of a thread is ended by
-    // the next unwait targeting that thread.
-    std::unordered_map<ThreadId, std::deque<std::uint32_t>> outstanding;
-    const auto &events = stream.events();
-    for (std::uint32_t i = 0; i < events.size(); ++i) {
-        const Event &e = events[i];
-        if (e.type == EventType::Wait) {
-            outstanding[e.tid].push_back(i);
-        } else if (e.type == EventType::Unwait && e.wtid != e.tid) {
-            auto oit = outstanding.find(e.wtid);
-            if (oit != outstanding.end() && !oit->second.empty()) {
-                sindex.pairedUnwait[oit->second.front()] = i;
-                oit->second.pop_front();
-            }
+    // Dense thread slots first (one O(n) hash pass over the tid
+    // column), then steps 1+2 of the construction as columnar sweeps:
+    // FIFO pairing, then wait-duration restoration into effective end
+    // times.
+    const auto timestamps = columns.timestamps();
+    sindex.threadSlots.build(columns.tids(), sindex.slotOfEvent);
+    pairWaitsFifo(columns, sindex.threadSlots, sindex.slotOfEvent,
+                  sindex.pairedUnwait);
+    computeEffectiveEnds(columns, sindex.pairedUnwait,
+                         corpus_.stream(stream_id).endTime(),
+                         sindex.effectiveEnd);
+
+    // Per-thread CSR: counting sort of event indices over the slot
+    // column (stable, so each thread's group stays in time order).
+    const std::size_t slots = sindex.threadSlots.slots();
+    sindex.threadOffset.assign(slots + 1, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        ++sindex.threadOffset[sindex.slotOfEvent[i] + 1];
+    for (std::size_t s = 0; s < slots; ++s)
+        sindex.threadOffset[s + 1] += sindex.threadOffset[s];
+
+    sindex.threadEvents.resize(n);
+    {
+        std::vector<std::uint32_t> cursor(sindex.threadOffset.begin(),
+                                          sindex.threadOffset.end() - 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            sindex.threadEvents[cursor[sindex.slotOfEvent[i]]++] =
+                static_cast<std::uint32_t>(i);
         }
     }
 
-    // Effective end times (waits restored from their pairing) and the
-    // per-thread indices with prefix maxima for overlap scans.
-    for (std::uint32_t i = 0; i < events.size(); ++i) {
-        const Event &e = events[i];
-        if (e.type == EventType::Wait) {
-            const std::uint32_t u = sindex.pairedUnwait[i];
-            sindex.effectiveEnd[i] =
-                u == kInvalidIndex ? stream.endTime()
-                                   : stream.event(u).timestamp;
-        } else {
-            sindex.effectiveEnd[i] = e.end();
+    // Gather the window-scan columns into CSR-aligned arrays, and the
+    // per-group running end maxima that bound the backward scans.
+    sindex.threadEventTs.resize(n);
+    sindex.threadEventEnd.resize(n);
+    sindex.prefixMaxEnd.resize(n);
+    for (std::size_t s = 0; s < slots; ++s) {
+        TimeNs running = std::numeric_limits<TimeNs>::min();
+        for (std::uint32_t k = sindex.threadOffset[s];
+             k < sindex.threadOffset[s + 1]; ++k) {
+            const std::uint32_t ei = sindex.threadEvents[k];
+            sindex.threadEventTs[k] = timestamps[ei];
+            sindex.threadEventEnd[k] = sindex.effectiveEnd[ei];
+            running = std::max(running, sindex.threadEventEnd[k]);
+            sindex.prefixMaxEnd[k] = running;
         }
-        ThreadIndex &tindex = sindex.threads[e.tid];
-        const TimeNs prev_max = tindex.prefixMaxEnd.empty()
-                                    ? std::numeric_limits<TimeNs>::min()
-                                    : tindex.prefixMaxEnd.back();
-        tindex.events.push_back(i);
-        tindex.prefixMaxEnd.push_back(
-            std::max(prev_max, sindex.effectiveEnd[i]));
     }
 
     return cache_.emplace(stream_id, std::move(sindex)).first->second;
@@ -143,18 +171,18 @@ WaitGraphBuilder::streamIndex(std::uint32_t stream_id) const
 std::uint32_t
 WaitGraphBuilder::expand(WaitGraph &graph, const StreamIndex &sindex,
                          std::uint32_t stream_id,
-                         const TraceStream &stream, std::uint32_t index,
-                         std::uint32_t depth, TimeNs win_lo,
-                         TimeNs win_hi,
-                         std::vector<char> &visited) const
+                         const EventColumns &columns,
+                         std::uint32_t index, std::uint32_t depth,
+                         TimeNs win_lo, TimeNs win_hi,
+                         BuildScratch &scratch) const
 {
     if (graph.nodes_.size() >= options_.maxNodes)
         return kInvalidIndex;
-    if (visited[index])
+    if (scratch.visited(index))
         return kInvalidIndex; // first-reaching window owns the event
-    visited[index] = 1;
+    scratch.mark(index);
 
-    const Event &source = stream.event(index);
+    const Event source = columns[index];
     const auto node_id = static_cast<std::uint32_t>(graph.nodes_.size());
     graph.nodes_.emplace_back();
     {
@@ -174,12 +202,10 @@ WaitGraphBuilder::expand(WaitGraph &graph, const StreamIndex &sindex,
     const DurationNs clipped =
         std::max<DurationNs>(0, clip_hi - clip_lo);
 
-    if (source.type != EventType::Wait) {
-        graph.nodes_[node_id].event.cost = clipped;
-        return node_id;
-    }
-
     graph.nodes_[node_id].event.cost = clipped;
+
+    if (source.type != EventType::Wait)
+        return node_id;
 
     const std::uint32_t unwait_index = sindex.pairedUnwait[index];
     if (unwait_index == kInvalidIndex) {
@@ -189,8 +215,7 @@ WaitGraphBuilder::expand(WaitGraph &graph, const StreamIndex &sindex,
         return node_id;
     }
 
-    const Event &unwait = stream.event(unwait_index);
-    graph.nodes_[node_id].unwaitStack = unwait.stack;
+    graph.nodes_[node_id].unwaitStack = columns.stacks()[unwait_index];
 
     if (depth >= options_.maxDepth) {
         graph.nodes_[node_id].truncated = true;
@@ -204,93 +229,132 @@ WaitGraphBuilder::expand(WaitGraph &graph, const StreamIndex &sindex,
     // so they are not materialized as children.
     if (clip_hi <= clip_lo)
         return node_id;
-    auto te = sindex.threads.find(unwait.tid);
-    TL_ASSERT(te != sindex.threads.end(),
-              "readying thread has no events");
-    const ThreadIndex &tindex = te->second;
-    const auto &thread_events = tindex.events;
+    const std::uint32_t slot = sindex.slotOfEvent[unwait_index];
+    const std::uint32_t t_begin = sindex.threadOffset[slot];
+    const std::uint32_t t_end = sindex.threadOffset[slot + 1];
 
-    const auto begin = std::lower_bound(
-        thread_events.begin(), thread_events.end(), clip_lo,
-        [&](std::uint32_t ei, TimeNs t) {
-            return stream.event(ei).timestamp < t;
-        });
-    const auto lb = static_cast<std::size_t>(
-        begin - thread_events.begin());
+    const auto ts_begin = sindex.threadEventTs.begin() + t_begin;
+    const auto ts_end = sindex.threadEventTs.begin() + t_end;
+    const auto lb = static_cast<std::uint32_t>(
+        std::lower_bound(ts_begin, ts_end, clip_lo) -
+        sindex.threadEventTs.begin());
+
+    // Candidate child events, collected into the DFS scratch stack
+    // (mark/restore keeps this allocation-free across the recursion).
+    // The segment must be re-indexed through the vector on every use:
+    // recursive expansion below pushes and pops its own segments and
+    // may reallocate the storage.
+    const std::size_t cand_mark = scratch.candidates.size();
 
     // Backward: events starting before the window whose effective end
     // reaches into it. The prefix maximum bounds the scan. Skipped
     // entirely under containment-only semantics (ablation).
-    std::vector<std::uint32_t> child_events;
     if (!options_.containmentOnly) {
-        for (std::size_t i = lb; i-- > 0;) {
-            if (tindex.prefixMaxEnd[i] < clip_lo)
+        for (std::uint32_t k = lb; k-- > t_begin;) {
+            if (sindex.prefixMaxEnd[k] < clip_lo)
                 break;
-            if (sindex.effectiveEnd[thread_events[i]] > clip_lo)
-                child_events.push_back(thread_events[i]);
+            if (sindex.threadEventEnd[k] > clip_lo)
+                scratch.candidates.push_back(sindex.threadEvents[k]);
         }
-        std::reverse(child_events.begin(), child_events.end());
+        std::reverse(scratch.candidates.begin() + cand_mark,
+                     scratch.candidates.end());
     }
 
     // Forward: events starting inside the window.
-    for (std::size_t i = lb; i < thread_events.size(); ++i) {
-        if (stream.event(thread_events[i]).timestamp > clip_hi)
+    for (std::uint32_t k = lb; k < t_end; ++k) {
+        if (sindex.threadEventTs[k] > clip_hi)
             break;
-        child_events.push_back(thread_events[i]);
+        scratch.candidates.push_back(sindex.threadEvents[k]);
     }
 
-    for (std::uint32_t child_index : child_events) {
-        if (stream.event(child_index).type == EventType::Unwait)
+    const std::size_t cand_end = scratch.candidates.size();
+    const std::size_t child_mark = scratch.childIds.size();
+    const auto types = columns.types();
+    for (std::size_t c = cand_mark; c < cand_end; ++c) {
+        const std::uint32_t child_index = scratch.candidates[c];
+        if (types[child_index] == EventType::Unwait)
             continue;
-        if (visited[child_index])
+        if (scratch.visited(child_index))
             continue;
         const std::uint32_t child_id =
-            expand(graph, sindex, stream_id, stream, child_index,
-                   depth + 1, clip_lo, clip_hi, visited);
+            expand(graph, sindex, stream_id, columns, child_index,
+                   depth + 1, clip_lo, clip_hi, scratch);
         if (child_id == kInvalidIndex) {
             graph.nodes_[node_id].truncated = true;
             continue;
         }
-        graph.nodes_[node_id].children.push_back(child_id);
+        scratch.childIds.push_back(child_id);
     }
 
+    // Commit this node's finished child segment to the edge arena and
+    // release the scratch segments.
+    const std::size_t child_count = scratch.childIds.size() - child_mark;
+    graph.nodes_[node_id].childBegin =
+        static_cast<std::uint32_t>(graph.child_arena_.size());
+    graph.nodes_[node_id].childCount =
+        static_cast<std::uint32_t>(child_count);
+    graph.child_arena_.insert(graph.child_arena_.end(),
+                              scratch.childIds.begin() + child_mark,
+                              scratch.childIds.end());
+    scratch.childIds.resize(child_mark);
+    scratch.candidates.resize(cand_mark);
+
     return node_id;
+}
+
+WaitGraphBuilder::BuildScratch &
+WaitGraphBuilder::threadScratch()
+{
+    thread_local BuildScratch scratch;
+    return scratch;
 }
 
 WaitGraph
 WaitGraphBuilder::build(const ScenarioInstance &instance) const
 {
     const StreamIndex &sindex = streamIndex(instance.stream);
-    const TraceStream &stream = corpus_.stream(instance.stream);
+    const EventColumns &columns =
+        corpus_.stream(instance.stream).columns();
 
     WaitGraph graph;
     graph.instance_ = instance;
 
-    auto te = sindex.threads.find(instance.tid);
-    if (te == sindex.threads.end())
+    const std::uint32_t slot = sindex.slotOf(instance.tid);
+    if (slot == kInvalidIndex)
         return graph; // initiating thread recorded no events
 
-    std::vector<char> visited(stream.size(), 0);
-    const auto &thread_events = te->second.events;
-    const auto begin = std::lower_bound(
-        thread_events.begin(), thread_events.end(), instance.t0,
-        [&](std::uint32_t ei, TimeNs t) {
-            return stream.event(ei).timestamp < t;
-        });
-    for (auto it = begin; it != thread_events.end(); ++it) {
-        if (stream.event(*it).timestamp >= instance.t1)
+    BuildScratch &scratch = threadScratch();
+    scratch.beginBuild(columns.size());
+    graph.nodes_.reserve(scratch.nodeHint);
+    graph.child_arena_.reserve(scratch.arenaHint);
+
+    const std::uint32_t t_begin = sindex.threadOffset[slot];
+    const std::uint32_t t_end = sindex.threadOffset[slot + 1];
+    const auto ts_begin = sindex.threadEventTs.begin() + t_begin;
+    const auto ts_end = sindex.threadEventTs.begin() + t_end;
+    const auto lb = static_cast<std::uint32_t>(
+        std::lower_bound(ts_begin, ts_end, instance.t0) -
+        sindex.threadEventTs.begin());
+
+    const auto types = columns.types();
+    for (std::uint32_t k = lb; k < t_end; ++k) {
+        if (sindex.threadEventTs[k] >= instance.t1)
             break;
-        if (stream.event(*it).type == EventType::Unwait)
+        const std::uint32_t ei = sindex.threadEvents[k];
+        if (types[ei] == EventType::Unwait)
             continue; // signals carry no cost of their own
-        if (visited[*it])
+        if (scratch.visited(ei))
             continue;
         const std::uint32_t root = expand(
-            graph, sindex, instance.stream, stream, *it, 0,
+            graph, sindex, instance.stream, columns, ei, 0,
             std::numeric_limits<TimeNs>::min(),
-            std::numeric_limits<TimeNs>::max(), visited);
+            std::numeric_limits<TimeNs>::max(), scratch);
         if (root != kInvalidIndex)
             graph.roots_.push_back(root);
     }
+    scratch.nodeHint = std::max(scratch.nodeHint, graph.nodes_.size());
+    scratch.arenaHint =
+        std::max(scratch.arenaHint, graph.child_arena_.size());
     return graph;
 }
 

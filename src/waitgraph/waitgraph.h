@@ -33,12 +33,21 @@
  * seconds) would attribute seconds of unrelated history to a
  * milliseconds-long wait and aggregate costs would exceed instance
  * durations.
+ *
+ * Storage: edges live in one per-graph arena (compressed sparse rows —
+ * each node records an offset + count into a shared child-id array)
+ * instead of a std::vector per node. Building a graph then performs no
+ * per-node edge allocation, nodes shrink to a flat POD record, and a
+ * child walk is a contiguous span read. Access children through
+ * WaitGraph::children(); see docs/PERFORMANCE.md for the layout
+ * rationale and measurements.
  */
 
 #ifndef TRACELENS_WAITGRAPH_WAITGRAPH_H
 #define TRACELENS_WAITGRAPH_WAITGRAPH_H
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -67,8 +76,12 @@ class WaitGraph
         Event event;
         /** Corpus-wide identity of the source event. */
         EventRef ref;
-        /** Children (only wait nodes have any), as node indices. */
-        std::vector<std::uint32_t> children;
+        /**
+         * Child segment in the graph's edge arena (only wait nodes
+         * have children) — read it via WaitGraph::children().
+         */
+        std::uint32_t childBegin = 0;
+        std::uint32_t childCount = 0;
         /**
          * For a paired wait node: the callstack of the unwait event
          * that ended the wait (the signalling context). kNoCallstack
@@ -89,6 +102,21 @@ class WaitGraph
     const std::vector<std::uint32_t> &roots() const { return roots_; }
     const Node &node(std::uint32_t index) const;
     const ScenarioInstance &instance() const { return instance_; }
+
+    /** Children of node @p index, as node ids in the edge arena. */
+    std::span<const std::uint32_t>
+    children(std::uint32_t index) const
+    {
+        return children(node(index));
+    }
+
+    /** Children of @p n (must belong to this graph). */
+    std::span<const std::uint32_t>
+    children(const Node &n) const
+    {
+        return std::span<const std::uint32_t>(child_arena_)
+            .subspan(n.childBegin, n.childCount);
+    }
 
     /** Sum of root-event costs: the instance's top-level time period. */
     DurationNs topLevelDuration() const;
@@ -111,6 +139,8 @@ class WaitGraph
     friend struct WaitGraphCodec;
 
     std::vector<Node> nodes_;
+    /** Edge arena: every node's children, as CSR segments. */
+    std::vector<std::uint32_t> child_arena_;
     std::vector<std::uint32_t> roots_;
     ScenarioInstance instance_;
 };
@@ -144,6 +174,14 @@ struct WaitGraphOptions
  * indices (wait/unwait pairing, per-thread event lists) are computed
  * lazily and cached, so building graphs for many instances of the same
  * stream is cheap.
+ *
+ * The per-stream index is itself columnar: wait pairing and effective
+ * ends come from the pairWaitsFifo/computeEffectiveEnds sweeps, and the
+ * per-thread event lists are one CSR over the tid column (with the
+ * thread events' timestamps, effective ends, and running end maxima
+ * gathered into index-aligned arrays) rather than a hash map of
+ * per-thread vectors. Window scans during expansion binary-search and
+ * sweep those contiguous arrays directly.
  */
 class WaitGraphBuilder
 {
@@ -178,14 +216,6 @@ class WaitGraphBuilder
                                               unsigned threads) const;
 
   private:
-    struct ThreadIndex
-    {
-        /** Time-ordered event indices of this thread. */
-        std::vector<std::uint32_t> events;
-        /** prefixMaxEnd[i] = max effective end over events[0..i]. */
-        std::vector<TimeNs> prefixMaxEnd;
-    };
-
     struct StreamIndex
     {
         /** For each event: paired unwait event index, or kInvalidIndex. */
@@ -196,27 +226,95 @@ class WaitGraphBuilder
          * timestamp + cost otherwise.
          */
         std::vector<TimeNs> effectiveEnd;
-        /** Per-thread index. */
-        std::unordered_map<ThreadId, ThreadIndex> threads;
+
+        /**
+         * @name Per-thread CSR
+         * Event indices grouped by thread, each group in time order;
+         * thread @c s owns threadEvents[threadOffset[s] ..
+         * threadOffset[s+1]). The timestamps, effective ends, and
+         * prefix end-maxima of those events are gathered into arrays
+         * aligned with threadEvents so the expansion's window scans
+         * never chase an indirection. Thread slots come from the
+         * ThreadSlotMap (one O(1) probe per by-value lookup), and
+         * slotOfEvent caches each event's own slot so the expansion
+         * resolves a readying thread without any lookup at all.
+         */
+        ///@{
+        ThreadSlotMap threadSlots;
+        std::vector<std::uint32_t> slotOfEvent;
+        std::vector<std::uint32_t> threadOffset;
+        std::vector<std::uint32_t> threadEvents;
+        std::vector<TimeNs> threadEventTs;
+        std::vector<TimeNs> threadEventEnd;
+        /** Running max of threadEventEnd within each thread's group. */
+        std::vector<TimeNs> prefixMaxEnd;
+        ///@}
+
+        /** Slot of @p tid, or kInvalidIndex. */
+        std::uint32_t slotOf(ThreadId tid) const
+        {
+            return threadSlots.slotOf(tid);
+        }
     };
+
+    /**
+     * Per-build scratch, reused across builds on the same worker
+     * thread: the visited set is epoch-stamped (one fill amortized
+     * over ~4 billion builds instead of one allocation per build), and
+     * the DFS candidate/child stacks grow and shrink by mark/restore
+     * during recursive expansion so collecting a wait's children never
+     * allocates in steady state.
+     */
+    struct BuildScratch
+    {
+        std::vector<std::uint32_t> visitedStamp;
+        std::uint32_t epoch = 0;
+        /** Candidate child events of the waits on the DFS path. */
+        std::vector<std::uint32_t> candidates;
+        /** Expanded child node ids awaiting arena commit. */
+        std::vector<std::uint32_t> childIds;
+        /**
+         * Size of the largest node list / edge arena built so far on
+         * this thread — used to pre-reserve the next graph's storage
+         * (nodes are trivially copyable, but skipping the doubling
+         * growth chain still saves a full copy of every graph).
+         * Capacity only; results are unaffected.
+         */
+        std::size_t nodeHint = 0;
+        std::size_t arenaHint = 0;
+
+        /** Start a build over a stream of @p events events. */
+        void beginBuild(std::size_t events);
+        bool visited(std::uint32_t i) const
+        {
+            return visitedStamp[i] == epoch;
+        }
+        void mark(std::uint32_t i) { visitedStamp[i] = epoch; }
+    };
+
+    /**
+     * This worker thread's scratch. Safe because one thread never
+     * interleaves two builds and the scratch escapes no deeper than
+     * the expand() recursion.
+     */
+    static BuildScratch &threadScratch();
 
     const StreamIndex &streamIndex(std::uint32_t stream) const;
 
     /**
      * Append the node for event @p index (recursively expanding waits)
      * and return its node id, or kInvalidIndex if limits were hit.
-     */
-    /**
+     *
      * @param win_lo,win_hi The ancestor wait window this event is
      *        attributed through (the full time axis for roots); the
      *        node's cost and its own child window are clipped to it.
      */
     std::uint32_t expand(WaitGraph &graph, const StreamIndex &sindex,
                          std::uint32_t stream_id,
-                         const TraceStream &stream, std::uint32_t index,
-                         std::uint32_t depth, TimeNs win_lo,
-                         TimeNs win_hi,
-                         std::vector<char> &visited) const;
+                         const EventColumns &columns,
+                         std::uint32_t index, std::uint32_t depth,
+                         TimeNs win_lo, TimeNs win_hi,
+                         BuildScratch &scratch) const;
 
     const TraceCorpus &corpus_;
     WaitGraphOptions options_;

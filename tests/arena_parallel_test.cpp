@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Thread-safety tests for the arena-backed wait-graph builder, meant
+ * to run under ThreadSanitizer (the `tsan` ctest label). Every graph
+ * owns its node list and edge arena outright and each worker thread
+ * keeps its own BuildScratch, so parallel builds must race on nothing
+ * and produce bit-identical forests at every thread count.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/waitgraph/waitgraph.h"
+#include "src/workload/generator.h"
+
+namespace tracelens
+{
+namespace
+{
+
+/** Structural equality: roots, node payloads, and arena child spans. */
+void
+expectGraphsEqual(const WaitGraph &a, const WaitGraph &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.roots(), b.roots());
+    for (std::uint32_t i = 0; i < a.size(); ++i) {
+        const WaitGraph::Node &na = a.node(i);
+        const WaitGraph::Node &nb = b.node(i);
+        ASSERT_EQ(na.ref.stream, nb.ref.stream) << "node " << i;
+        ASSERT_EQ(na.ref.index, nb.ref.index) << "node " << i;
+        ASSERT_EQ(na.event.timestamp, nb.event.timestamp);
+        ASSERT_EQ(na.event.cost, nb.event.cost);
+        ASSERT_EQ(na.event.tid, nb.event.tid);
+        ASSERT_EQ(na.event.type, nb.event.type);
+        ASSERT_EQ(na.unwaitStack, nb.unwaitStack);
+        ASSERT_EQ(na.truncated, nb.truncated);
+        const auto ca = a.children(na);
+        const auto cb = b.children(nb);
+        ASSERT_TRUE(std::equal(ca.begin(), ca.end(), cb.begin(),
+                               cb.end()))
+            << "children of node " << i;
+    }
+}
+
+TraceCorpus
+seededCorpus(std::uint64_t seed, std::uint32_t machines = 3)
+{
+    CorpusSpec spec;
+    spec.machines = machines;
+    spec.seed = seed;
+    return generateCorpus(spec);
+}
+
+TEST(ArenaParallel, BuildAllParallelMatchesSerialAtEveryThreadCount)
+{
+    const TraceCorpus corpus = seededCorpus(101);
+    WaitGraphBuilder builder(corpus);
+    const std::vector<WaitGraph> serial = builder.buildAll();
+    ASSERT_FALSE(serial.empty());
+
+    for (unsigned threads : {2u, 4u, 8u}) {
+        const std::vector<WaitGraph> parallel =
+            builder.buildAllParallel(threads);
+        ASSERT_EQ(parallel.size(), serial.size())
+            << threads << " threads";
+        for (std::size_t g = 0; g < serial.size(); ++g)
+            expectGraphsEqual(serial[g], parallel[g]);
+    }
+}
+
+TEST(ArenaParallel, BuildRangeParallelMatchesFullBuildSlice)
+{
+    const TraceCorpus corpus = seededCorpus(202);
+    WaitGraphBuilder builder(corpus);
+    const std::vector<WaitGraph> all = builder.buildAll();
+    const auto total = static_cast<std::uint32_t>(all.size());
+    ASSERT_GT(total, 4u);
+
+    // Cover a middle slice, the two edges, and the full range.
+    const std::uint32_t mid_first = total / 3;
+    const std::uint32_t mid_count = total / 2 - mid_first;
+    const struct
+    {
+        std::uint32_t first, count;
+    } ranges[] = {{0, 3},
+                  {mid_first, mid_count},
+                  {total - 2, 2},
+                  {0, total}};
+    for (const auto &r : ranges) {
+        const std::vector<WaitGraph> slice =
+            builder.buildRangeParallel(r.first, r.count, 4);
+        ASSERT_EQ(slice.size(), r.count);
+        for (std::uint32_t g = 0; g < r.count; ++g)
+            expectGraphsEqual(all[r.first + g], slice[g]);
+    }
+}
+
+TEST(ArenaParallel, ConcurrentRangesFromOneBuilderDoNotInterfere)
+{
+    // The incremental pipeline runs shard ranges through one shared
+    // builder; the per-stream index cache and the per-thread scratch
+    // (including its adaptive reserve hints) must tolerate that.
+    const TraceCorpus corpus = seededCorpus(303);
+    WaitGraphBuilder builder(corpus);
+    const std::vector<WaitGraph> all = builder.buildAll();
+    const auto total = static_cast<std::uint32_t>(all.size());
+    const std::uint32_t half = total / 2;
+
+    for (int round = 0; round < 3; ++round) {
+        const std::vector<WaitGraph> lo =
+            builder.buildRangeParallel(0, half, 3);
+        const std::vector<WaitGraph> hi =
+            builder.buildRangeParallel(half, total - half, 3);
+        ASSERT_EQ(lo.size() + hi.size(), all.size());
+        for (std::uint32_t g = 0; g < half; ++g)
+            expectGraphsEqual(all[g], lo[g]);
+        for (std::uint32_t g = half; g < total; ++g)
+            expectGraphsEqual(all[g], hi[g - half]);
+    }
+}
+
+TEST(ArenaParallel, ScratchReuseKeepsRepeatedBuildsIdentical)
+{
+    // Worker threads reuse an epoch-stamped scratch across builds; a
+    // stale visited stamp or reserve hint must never leak into the
+    // next graph. Build the same instance repeatedly, interleaved with
+    // larger builds that stretch the scratch.
+    const TraceCorpus corpus = seededCorpus(404, 2);
+    WaitGraphBuilder builder(corpus);
+    ASSERT_FALSE(corpus.instances().empty());
+    const ScenarioInstance &probe = corpus.instances().front();
+
+    const WaitGraph first = builder.build(probe);
+    for (int round = 0; round < 4; ++round) {
+        const std::vector<WaitGraph> bulk = builder.buildAllParallel(2);
+        ASSERT_FALSE(bulk.empty());
+        const WaitGraph again = builder.build(probe);
+        expectGraphsEqual(first, again);
+    }
+}
+
+} // namespace
+} // namespace tracelens

@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Unit tests for the columnar event storage (src/trace/columns.h):
+ * AoS-view / SoA-storage round trips, the materializing EventView
+ * iterator, thread-slot densification, wait/unwait pairing parity
+ * against a hash-map reference, effective-end restoration, and the
+ * bulk TLC1 record decoder's validation sweeps — including the
+ * negative-cost and interval-overflow checks the column split added.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/trace/builder.h"
+#include "src/trace/columns.h"
+#include "src/trace/stream.h"
+#include "src/workload/generator.h"
+
+namespace tracelens
+{
+namespace
+{
+
+bool
+sameEvent(const Event &a, const Event &b)
+{
+    return a.timestamp == b.timestamp && a.cost == b.cost &&
+           a.tid == b.tid && a.wtid == b.wtid && a.stack == b.stack &&
+           a.type == b.type;
+}
+
+std::vector<Event>
+mixedEvents()
+{
+    return {
+        {100, 10, 1, kNoThread, 0, EventType::Running},
+        {110, 0, 2, kNoThread, 1, EventType::Wait},
+        {120, 5, 3, kNoThread, kNoCallstack, EventType::HardwareService},
+        {150, 0, 3, 2, 2, EventType::Unwait},
+        {160, 40, 2, kNoThread, 1, EventType::Running},
+    };
+}
+
+TEST(EventColumns, AppendRoundTripsThroughGatherAndSpans)
+{
+    const std::vector<Event> events = mixedEvents();
+    EventColumns columns;
+    columns.reserve(events.size());
+    for (const Event &e : events)
+        columns.append(e);
+
+    ASSERT_EQ(columns.size(), events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_TRUE(sameEvent(columns[i], events[i])) << "event " << i;
+        EXPECT_EQ(columns.timestamps()[i], events[i].timestamp);
+        EXPECT_EQ(columns.costs()[i], events[i].cost);
+        EXPECT_EQ(columns.tids()[i], events[i].tid);
+        EXPECT_EQ(columns.wtids()[i], events[i].wtid);
+        EXPECT_EQ(columns.stacks()[i], events[i].stack);
+        EXPECT_EQ(columns.types()[i], events[i].type);
+    }
+    EXPECT_EQ(columns.maxEnd(), 200); // 160 + 40
+    EXPECT_GT(columns.residentBytes(), 0u);
+
+    columns.clear();
+    EXPECT_TRUE(columns.empty());
+    EXPECT_EQ(columns.maxEnd(), 0);
+}
+
+TEST(EventColumns, ViewIteratesMaterializedEventsInOrder)
+{
+    const std::vector<Event> events = mixedEvents();
+    EventColumns columns;
+    for (const Event &e : events)
+        columns.append(e);
+
+    const EventView view = columns.view();
+    ASSERT_EQ(view.size(), events.size());
+    EXPECT_TRUE(sameEvent(view.front(), events.front()));
+    EXPECT_TRUE(sameEvent(view.back(), events.back()));
+
+    // Range-for materializes each event by value; lifetime extension
+    // makes const-reference binding work too.
+    std::size_t i = 0;
+    for (const Event &e : view)
+        EXPECT_TRUE(sameEvent(e, events[i++]));
+    EXPECT_EQ(i, events.size());
+}
+
+TEST(EventColumns, ViewIteratorIsRandomAccess)
+{
+    EventColumns columns;
+    for (const Event &e : mixedEvents())
+        columns.append(e);
+    const EventView view = columns.view();
+
+    auto it = view.begin();
+    EXPECT_EQ((*(it + 3)).timestamp, 150);
+    EXPECT_EQ(it[4].timestamp, 160);
+    it += 2;
+    EXPECT_EQ((*it).timestamp, 120);
+    --it;
+    EXPECT_EQ((*it).timestamp, 110);
+    EXPECT_EQ(view.end() - view.begin(),
+              static_cast<std::ptrdiff_t>(view.size()));
+    EXPECT_TRUE(view.begin() < view.end());
+
+    // Reverse walk via the random-access interface.
+    std::vector<TimeNs> reversed;
+    for (auto rit = view.end(); rit != view.begin();)
+        reversed.push_back((*--rit).timestamp);
+    EXPECT_EQ(reversed,
+              (std::vector<TimeNs>{160, 150, 120, 110, 100}));
+}
+
+TEST(TraceStream, AdoptReplacesEventsAndRecomputesEndTime)
+{
+    EventColumns columns;
+    for (const Event &e : mixedEvents())
+        columns.append(e);
+
+    TraceStream stream;
+    stream.adopt(std::move(columns));
+    EXPECT_EQ(stream.size(), 5u);
+    EXPECT_EQ(stream.endTime(), 200);
+    EXPECT_TRUE(sameEvent(stream.event(3), mixedEvents()[3]));
+}
+
+TEST(ThreadSlotMap, DensifiesSparseTidsIntoSortedSlots)
+{
+    const std::vector<ThreadId> tids = {900001, 7, 900001, 42,
+                                        7,      7, 123456, 42};
+    ThreadSlotMap map;
+    std::vector<std::uint32_t> slot_of_event;
+    map.build(tids, slot_of_event);
+
+    ASSERT_EQ(map.slots(), 4u);
+    const std::vector<ThreadId> expected_ids = {7, 42, 123456, 900001};
+    EXPECT_TRUE(std::equal(map.ids().begin(), map.ids().end(),
+                           expected_ids.begin(), expected_ids.end()));
+
+    // Slot ids are ranks in sorted-tid order, not first-seen order.
+    ASSERT_EQ(slot_of_event.size(), tids.size());
+    for (std::size_t i = 0; i < tids.size(); ++i) {
+        EXPECT_EQ(map.ids()[slot_of_event[i]], tids[i]) << "event " << i;
+        EXPECT_EQ(map.slotOf(tids[i]), slot_of_event[i]);
+    }
+    EXPECT_EQ(map.slotOf(5), kNoEventIndex);
+    EXPECT_EQ(map.slotOf(900002), kNoEventIndex);
+}
+
+TEST(ThreadSlotMap, SurvivesRehashWithThousandsOfThreads)
+{
+    std::mt19937_64 rng(7);
+    std::vector<ThreadId> tids;
+    for (std::uint32_t t = 0; t < 5000; ++t) {
+        // Scatter the values; duplicates exercise insert-or-find.
+        tids.push_back(t * 977 + 13);
+        if (t % 3 == 0)
+            tids.push_back(t * 977 + 13);
+    }
+    std::shuffle(tids.begin(), tids.end(), rng);
+
+    ThreadSlotMap map;
+    std::vector<std::uint32_t> slot_of_event;
+    map.build(tids, slot_of_event);
+
+    ASSERT_EQ(map.slots(), 5000u);
+    EXPECT_TRUE(
+        std::is_sorted(map.ids().begin(), map.ids().end()));
+    for (std::size_t i = 0; i < tids.size(); ++i)
+        ASSERT_EQ(map.ids()[slot_of_event[i]], tids[i]);
+    EXPECT_EQ(map.slotOf(2), kNoEventIndex); // 13 mod 977 pattern miss
+}
+
+/** The pre-refactor pairing: a hash map of per-thread FIFO deques. */
+std::vector<std::uint32_t>
+referencePairing(const EventColumns &events)
+{
+    std::vector<std::uint32_t> paired(events.size(), kNoEventIndex);
+    std::unordered_map<ThreadId, std::deque<std::uint32_t>> outstanding;
+    for (std::uint32_t i = 0; i < events.size(); ++i) {
+        const Event e = events[i];
+        if (e.type == EventType::Wait) {
+            outstanding[e.tid].push_back(i);
+        } else if (e.type == EventType::Unwait && e.wtid != e.tid) {
+            auto it = outstanding.find(e.wtid);
+            if (it != outstanding.end() && !it->second.empty()) {
+                paired[it->second.front()] = i;
+                it->second.pop_front();
+            }
+        }
+    }
+    return paired;
+}
+
+TEST(PairWaitsFifo, MatchesHashMapReferenceOnSeededCorpora)
+{
+    for (std::uint64_t seed : {11ull, 23ull, 2014ull}) {
+        CorpusSpec spec;
+        spec.machines = 3;
+        spec.seed = seed;
+        const TraceCorpus corpus = generateCorpus(spec);
+        for (std::uint32_t s = 0; s < corpus.streamCount(); ++s) {
+            const EventColumns &columns = corpus.stream(s).columns();
+            std::vector<std::uint32_t> paired;
+            pairWaitsFifo(columns, paired);
+            EXPECT_EQ(paired, referencePairing(columns))
+                << "seed " << seed << " stream " << s;
+        }
+    }
+}
+
+TEST(PairWaitsFifo, ExplicitSlotOverloadMatchesConvenienceOverload)
+{
+    CorpusSpec spec;
+    spec.machines = 2;
+    spec.seed = 99;
+    const TraceCorpus corpus = generateCorpus(spec);
+    for (std::uint32_t s = 0; s < corpus.streamCount(); ++s) {
+        const EventColumns &columns = corpus.stream(s).columns();
+        std::vector<std::uint32_t> convenience;
+        pairWaitsFifo(columns, convenience);
+
+        ThreadSlotMap map;
+        std::vector<std::uint32_t> slot_of_event;
+        map.build(columns.tids(), slot_of_event);
+        std::vector<std::uint32_t> explicit_slots;
+        pairWaitsFifo(columns, map, slot_of_event, explicit_slots);
+        EXPECT_EQ(convenience, explicit_slots) << "stream " << s;
+    }
+}
+
+TEST(PairWaitsFifo, FifoOrderAndSelfUnwaitSemantics)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId st = b.stack({"a.sys!F"});
+    b.wait(1, 100, st);       // 0: first outstanding wait of tid 1
+    b.wait(1, 200, st);       // 1: second outstanding wait of tid 1
+    b.unwait(1, 250, 1, st);  // 2: self-unwait — must not pair
+    b.unwait(2, 300, 1, st);  // 3: pairs the *oldest* wait (0)
+    b.unwait(2, 400, 1, st);  // 4: pairs wait 1
+    b.unwait(2, 500, 9, st);  // 5: unknown thread — no pairing
+    b.finish();
+
+    std::vector<std::uint32_t> paired;
+    pairWaitsFifo(corpus.stream(0).columns(), paired);
+    EXPECT_EQ(paired[0], 3u);
+    EXPECT_EQ(paired[1], 4u);
+    for (std::size_t i = 2; i < paired.size(); ++i)
+        EXPECT_EQ(paired[i], kNoEventIndex);
+}
+
+TEST(ComputeEffectiveEnds, RestoresWaitsAndDefaultsIntervals)
+{
+    TraceCorpus corpus;
+    StreamBuilder b(corpus, "s");
+    const CallstackId st = b.stack({"a.sys!F"});
+    b.running(2, 50, 25, st); // 0: ends at 75
+    b.wait(1, 100, st);       // 1: paired, restored to 300
+    b.unwait(2, 300, 1, st);  // 2: instantaneous
+    b.wait(1, 400, st);       // 3: unpaired, restored to stream end
+    b.running(2, 450, 50, st); // 4: ends at 500 (the stream end)
+    b.finish();
+
+    const TraceStream &stream = corpus.stream(0);
+    std::vector<std::uint32_t> paired;
+    pairWaitsFifo(stream.columns(), paired);
+    std::vector<TimeNs> ends;
+    computeEffectiveEnds(stream.columns(), paired, stream.endTime(),
+                         ends);
+    EXPECT_EQ(ends[0], 75);
+    EXPECT_EQ(ends[1], 300);
+    EXPECT_EQ(ends[2], 300);
+    EXPECT_EQ(ends[3], stream.endTime());
+    EXPECT_EQ(ends[4], 500);
+}
+
+// ---- bulk TLC1 record decode ---------------------------------------
+
+constexpr std::size_t kRecordBytes = 32;
+
+/** Serialize one event as a TLC1 32-byte little-endian record. */
+void
+putRecord(std::vector<std::byte> &out, std::int64_t ts,
+          std::int64_t cost, std::uint32_t tid, std::uint32_t wtid,
+          std::uint32_t stack, std::uint32_t type)
+{
+    const std::size_t base = out.size();
+    out.resize(base + kRecordBytes);
+    std::memcpy(out.data() + base + 0, &ts, 8);
+    std::memcpy(out.data() + base + 8, &cost, 8);
+    std::memcpy(out.data() + base + 16, &tid, 4);
+    std::memcpy(out.data() + base + 20, &wtid, 4);
+    std::memcpy(out.data() + base + 24, &stack, 4);
+    std::memcpy(out.data() + base + 28, &type, 4);
+}
+
+TEST(TlcRecordDecode, AcceptsValidRecordsAndMaterializesColumns)
+{
+    std::vector<std::byte> raw;
+    putRecord(raw, 100, 10, 1, UINT32_MAX, 0, 0); // Running
+    putRecord(raw, 110, 0, 2, UINT32_MAX, 1, 1);  // Wait
+    putRecord(raw, 150, 0, 3, 2, kNoCallstack, 2); // Unwait, no stack
+
+    EventColumns columns;
+    const auto issue = columns.appendTlcRecords(raw, 3, 2);
+    ASSERT_FALSE(issue.has_value());
+    ASSERT_EQ(columns.size(), 3u);
+    EXPECT_EQ(columns[0].timestamp, 100);
+    EXPECT_EQ(columns[0].cost, 10);
+    EXPECT_EQ(columns[1].type, EventType::Wait);
+    EXPECT_EQ(columns[2].wtid, 2u);
+    EXPECT_EQ(columns[2].stack, kNoCallstack);
+}
+
+TEST(TlcRecordDecode, RejectsInvalidTypeWithIndexAndRawValue)
+{
+    std::vector<std::byte> raw;
+    putRecord(raw, 100, 10, 1, UINT32_MAX, 0, 0);
+    putRecord(raw, 110, 10, 1, UINT32_MAX, 0, 9); // bad type 9
+
+    EventColumns columns;
+    const auto issue = columns.appendTlcRecords(raw, 2, 1);
+    ASSERT_TRUE(issue.has_value());
+    EXPECT_EQ(issue->index, 1u);
+    EXPECT_EQ(issue->reason, "corpus event has invalid type 9");
+    EXPECT_EQ(columns.size(), 0u); // full rollback
+}
+
+TEST(TlcRecordDecode, RejectsUnknownStackReference)
+{
+    std::vector<std::byte> raw;
+    putRecord(raw, 100, 10, 1, UINT32_MAX, 5, 0); // stack 5 of 2
+
+    EventColumns columns;
+    const auto issue = columns.appendTlcRecords(raw, 1, 2);
+    ASSERT_TRUE(issue.has_value());
+    EXPECT_EQ(issue->index, 0u);
+    EXPECT_EQ(issue->reason, "corpus event references unknown stack");
+}
+
+TEST(TlcRecordDecode, RejectsNegativeCost)
+{
+    // Regression: the scalar decoder accepted a negative cost, which
+    // made effective ends precede timestamps and flipped window
+    // arithmetic downstream. The columnar sweep rejects it.
+    std::vector<std::byte> raw;
+    putRecord(raw, 100, 10, 1, UINT32_MAX, 0, 0);
+    putRecord(raw, 110, -5, 1, UINT32_MAX, 0, 0);
+
+    EventColumns columns;
+    const auto issue = columns.appendTlcRecords(raw, 2, 1);
+    ASSERT_TRUE(issue.has_value());
+    EXPECT_EQ(issue->index, 1u);
+    EXPECT_EQ(issue->reason, "corpus event has negative cost");
+    EXPECT_EQ(columns.size(), 0u);
+}
+
+TEST(TlcRecordDecode, RejectsIntervalOverflowingTheTimeAxis)
+{
+    // Regression: timestamp + cost close to INT64_MAX wrapped negative
+    // in end() and corrupted the stream-end computation. The decoder
+    // now rejects the interval outright.
+    std::vector<std::byte> raw;
+    putRecord(raw, INT64_MAX - 4, 10, 1, UINT32_MAX, 0, 0);
+
+    EventColumns columns;
+    const auto issue = columns.appendTlcRecords(raw, 1, 1);
+    ASSERT_TRUE(issue.has_value());
+    EXPECT_EQ(issue->index, 0u);
+    EXPECT_EQ(issue->reason,
+              "corpus event interval overflows the time axis");
+}
+
+TEST(TlcRecordDecode, RejectsOutOfOrderTimestamps)
+{
+    std::vector<std::byte> raw;
+    putRecord(raw, 200, 10, 1, UINT32_MAX, 0, 0);
+    putRecord(raw, 100, 10, 1, UINT32_MAX, 0, 0); // goes backwards
+
+    EventColumns columns;
+    const auto issue = columns.appendTlcRecords(raw, 2, 1);
+    ASSERT_TRUE(issue.has_value());
+    EXPECT_EQ(issue->index, 1u);
+    EXPECT_EQ(issue->reason, "corpus events out of time order");
+}
+
+TEST(TlcRecordDecode, OrderCheckSpansAppendBatches)
+{
+    // The monotonicity sweep must seed from the last already-adopted
+    // timestamp, not restart at each batch boundary.
+    std::vector<std::byte> first;
+    putRecord(first, 500, 10, 1, UINT32_MAX, 0, 0);
+    std::vector<std::byte> second;
+    putRecord(second, 400, 10, 1, UINT32_MAX, 0, 0);
+
+    EventColumns columns;
+    ASSERT_FALSE(columns.appendTlcRecords(first, 1, 1).has_value());
+    const auto issue = columns.appendTlcRecords(second, 1, 1);
+    ASSERT_TRUE(issue.has_value());
+    EXPECT_EQ(issue->index, 0u);
+    EXPECT_EQ(issue->reason, "corpus events out of time order");
+    EXPECT_EQ(columns.size(), 1u); // only the bad batch rolled back
+}
+
+TEST(TlcRecordDecode, ReportsFirstOffenderWithFieldPriority)
+{
+    // One record violating several checks at once must surface the
+    // scalar parser's field order: type before stack before cost.
+    std::vector<std::byte> raw;
+    putRecord(raw, 100, -1, 1, UINT32_MAX, 77, 9);
+
+    EventColumns columns;
+    const auto issue = columns.appendTlcRecords(raw, 1, 1);
+    ASSERT_TRUE(issue.has_value());
+    EXPECT_EQ(issue->reason, "corpus event has invalid type 9");
+}
+
+TEST(TraceCorpus, InstanceColumnsStayAlignedWithInstances)
+{
+    TraceCorpus corpus;
+    corpus.addStream("s");
+    const std::uint32_t fast = corpus.internScenario("Fast");
+    const std::uint32_t slow = corpus.internScenario("Slow");
+    corpus.addInstance({0, fast, 1, 100, 400});
+    corpus.addInstance({0, slow, 2, 100, 900});
+    corpus.addInstance({0, fast, 3, 200, 300});
+
+    const auto durations = corpus.instanceDurations();
+    const auto scenarios = corpus.instanceScenarios();
+    ASSERT_EQ(durations.size(), corpus.instances().size());
+    ASSERT_EQ(scenarios.size(), corpus.instances().size());
+    for (std::size_t i = 0; i < corpus.instances().size(); ++i) {
+        EXPECT_EQ(durations[i], corpus.instances()[i].duration());
+        EXPECT_EQ(scenarios[i], corpus.instances()[i].scenario);
+    }
+    EXPECT_EQ(corpus.instancesOfScenario(fast),
+              (std::vector<std::uint32_t>{0, 2}));
+}
+
+} // namespace
+} // namespace tracelens

@@ -131,7 +131,7 @@ TEST_P(CorpusProperty, WaitGraphChildCostsAreWindowClipped)
     for (const ScenarioInstance &instance : c.instances()) {
         const WaitGraph graph = builder.build(instance);
         for (const auto &node : graph.nodes()) {
-            for (std::uint32_t child : node.children) {
+            for (std::uint32_t child : graph.children(node)) {
                 EXPECT_LE(graph.node(child).event.cost,
                           node.event.cost);
             }

@@ -5,6 +5,8 @@
  * truncation, and limit handling).
  */
 
+#include <span>
+
 #include <gtest/gtest.h>
 
 #include "src/trace/builder.h"
@@ -18,7 +20,7 @@ namespace
 /** Find the first node of the given type among a node list. */
 std::uint32_t
 findChildOfType(const WaitGraph &graph,
-                const std::vector<std::uint32_t> &candidates,
+                std::span<const std::uint32_t> candidates,
                 EventType type)
 {
     for (std::uint32_t c : candidates) {
@@ -56,8 +58,8 @@ TEST(WaitGraph, SingleWaitRestoredAndExpanded)
 
     // Children: thread 2's running event; the unwait is folded into
     // the wait node as its signalling stack.
-    ASSERT_EQ(wait.children.size(), 1u);
-    EXPECT_EQ(graph.node(wait.children[0]).event.type,
+    ASSERT_EQ(graph.children(wait).size(), 1u);
+    EXPECT_EQ(graph.node(graph.children(wait)[0]).event.type,
               EventType::Running);
     EXPECT_TRUE(wait.paired());
     EXPECT_NE(wait.unwaitStack, kNoCallstack);
@@ -87,8 +89,8 @@ TEST(WaitGraph, ChildrenExcludeEventsOutsideWindow)
 
     ASSERT_EQ(graph.roots().size(), 1u);
     const auto &wait = graph.node(graph.roots()[0]);
-    ASSERT_EQ(wait.children.size(), 1u); // running@200 only
-    EXPECT_EQ(graph.node(wait.children[0]).event.timestamp, 200);
+    ASSERT_EQ(graph.children(wait).size(), 1u); // running@200 only
+    EXPECT_EQ(graph.node(graph.children(wait)[0]).event.timestamp, 200);
 }
 
 TEST(WaitGraph, NestedPropagationChain)
@@ -123,17 +125,17 @@ TEST(WaitGraph, NestedPropagationChain)
     // A's children are B's events in [100, 1000]: B's wait (the
     // unwait is folded into the wait node).
     const std::uint32_t wait_b_id =
-        findChildOfType(graph, wait_a.children, EventType::Wait);
+        findChildOfType(graph, graph.children(wait_a), EventType::Wait);
     ASSERT_NE(wait_b_id, kInvalidIndex);
     const auto &wait_b = graph.node(wait_b_id);
     EXPECT_EQ(wait_b.event.cost, 750); // 900 - 150
     EXPECT_TRUE(wait_b.paired());
 
     // B's children are C's events: hardware and the decrypt run.
-    ASSERT_EQ(wait_b.children.size(), 2u);
-    EXPECT_EQ(graph.node(wait_b.children[0]).event.type,
+    ASSERT_EQ(graph.children(wait_b).size(), 2u);
+    EXPECT_EQ(graph.node(graph.children(wait_b)[0]).event.type,
               EventType::HardwareService);
-    EXPECT_EQ(graph.node(wait_b.children[1]).event.type,
+    EXPECT_EQ(graph.node(graph.children(wait_b)[1]).event.type,
               EventType::Running);
 }
 
@@ -153,7 +155,7 @@ TEST(WaitGraph, UnpairedWaitTruncatesToStreamEnd)
     const auto &wait = graph.node(graph.roots()[0]);
     EXPECT_TRUE(wait.truncated);
     EXPECT_EQ(wait.event.cost, 900); // stream end 1000 - 100
-    EXPECT_TRUE(wait.children.empty());
+    EXPECT_TRUE(graph.children(wait).empty());
 }
 
 TEST(WaitGraph, FifoPairingMatchesWaitsInOrder)
@@ -232,14 +234,14 @@ TEST(WaitGraph, DepthLimitTruncates)
     // Depth 0: wait(1); depth 1: wait(2); depth 2: wait(3) truncated.
     ASSERT_FALSE(graph.roots().empty());
     const auto &w1 = graph.node(graph.roots()[0]);
-    const auto w2_id = findChildOfType(graph, w1.children,
+    const auto w2_id = findChildOfType(graph, graph.children(w1),
                                        EventType::Wait);
     ASSERT_NE(w2_id, kInvalidIndex);
-    const auto w3_id = findChildOfType(graph, graph.node(w2_id).children,
+    const auto w3_id = findChildOfType(graph, graph.children(w2_id),
                                        EventType::Wait);
     ASSERT_NE(w3_id, kInvalidIndex);
     EXPECT_TRUE(graph.node(w3_id).truncated);
-    EXPECT_TRUE(graph.node(w3_id).children.empty());
+    EXPECT_TRUE(graph.children(w3_id).empty());
     // Cost is still restored even when expansion is truncated.
     EXPECT_GT(graph.node(w3_id).event.cost, 0);
 }
@@ -288,7 +290,7 @@ TEST(WaitGraph, SharedWaitAppearsInTwoInstanceGraphsWithSameRef)
 
     auto sharedWaitRef = [&](const WaitGraph &g) -> EventRef {
         const auto &root = g.node(g.roots()[0]);
-        const auto id = findChildOfType(g, root.children,
+        const auto id = findChildOfType(g, g.children(root),
                                         EventType::Wait);
         EXPECT_NE(id, kInvalidIndex);
         return g.node(id).ref;
@@ -315,14 +317,14 @@ TEST(WaitGraph, ContainmentOnlySeversLockQueueChains)
     const WaitGraph with_overlap = overlap.build(corpus.instances()[0]);
     ASSERT_EQ(with_overlap.roots().size(), 1u);
     EXPECT_FALSE(
-        with_overlap.node(with_overlap.roots()[0]).children.empty());
+        with_overlap.children(with_overlap.roots()[0]).empty());
 
     WaitGraphOptions options;
     options.containmentOnly = true;
     WaitGraphBuilder contain(corpus, options);
     const WaitGraph without = contain.build(corpus.instances()[0]);
     ASSERT_EQ(without.roots().size(), 1u);
-    EXPECT_TRUE(without.node(without.roots()[0]).children.empty());
+    EXPECT_TRUE(without.children(without.roots()[0]).empty());
 }
 
 TEST(WaitGraph, UnclippedCostsExceedParentWindows)
@@ -342,9 +344,9 @@ TEST(WaitGraph, UnclippedCostsExceedParentWindows)
     const WaitGraph g1 = clipped.build(corpus.instances()[0]);
     ASSERT_EQ(g1.roots().size(), 1u);
     const auto &root1 = g1.node(g1.roots()[0]);
-    ASSERT_EQ(root1.children.size(), 1u);
-    EXPECT_EQ(g1.node(root1.children[0]).event.cost, 100); // [800,900]
-    EXPECT_LE(g1.node(root1.children[0]).event.cost,
+    ASSERT_EQ(g1.children(root1).size(), 1u);
+    EXPECT_EQ(g1.node(g1.children(root1)[0]).event.cost, 100); // [800,900]
+    EXPECT_LE(g1.node(g1.children(root1)[0]).event.cost,
               root1.event.cost);
 
     WaitGraphOptions options;
@@ -352,9 +354,9 @@ TEST(WaitGraph, UnclippedCostsExceedParentWindows)
     WaitGraphBuilder unclipped(corpus, options);
     const WaitGraph g2 = unclipped.build(corpus.instances()[0]);
     const auto &root2 = g2.node(g2.roots()[0]);
-    ASSERT_EQ(root2.children.size(), 1u);
-    EXPECT_EQ(g2.node(root2.children[0]).event.cost, 900); // full wait
-    EXPECT_GT(g2.node(root2.children[0]).event.cost,
+    ASSERT_EQ(g2.children(root2).size(), 1u);
+    EXPECT_EQ(g2.node(g2.children(root2)[0]).event.cost, 900); // full wait
+    EXPECT_GT(g2.node(g2.children(root2)[0]).event.cost,
               root2.event.cost);
 }
 
