@@ -20,13 +20,19 @@
  * comparison to BENCH_pipeline.json, the self-telemetry
  * (span-recording) overhead measurement to BENCH_telemetry.json, and
  * the analysis-service load test (multithreaded clients against a
- * live daemon, cold vs warm query latency) to BENCH_server.json in
- * the working directory. The telemetry run gates the overhead
- * contract of src/util/telemetry.h: spans on must stay within a few
- * percent of spans off (BENCH_scale_telemetry_overhead_pct); the
- * server run gates the warm-query contract of src/server/: warm p50
- * must be >= 100x better than cold
- * (BENCH_scale_server_warm_speedup_p50).
+ * live daemon, cold vs warm query latency) to BENCH_server.json, and
+ * the protocol-v2 transport comparison (wire bytes with the symbol
+ * dictionary, interactive-probe latency under a saturated worker
+ * pool) to BENCH_proto.json in the working directory. The telemetry
+ * run gates the overhead contract of src/util/telemetry.h: spans on
+ * must stay within a few percent of spans off
+ * (BENCH_scale_telemetry_overhead_pct); the server run gates the
+ * warm-query contract of src/server/: warm p50 must be >= 100x
+ * better than cold (BENCH_scale_server_warm_speedup_p50); the proto
+ * run gates the v2 transport contracts: session wire bytes <= 1/3 of
+ * v1 (BENCH_scale_proto_wire_ratio) and interactive probe p95 >= 5x
+ * better than v1 under load
+ * (BENCH_scale_proto_multiplex_speedup_p95).
  */
 
 #include <algorithm>
@@ -550,6 +556,9 @@ main(int argc, char **argv)
     server_config.maxInflight = 256;
     server_config.registry.artifactCacheDir =
         (server_dir / "artifacts").string();
+    // The multiplexing bench below saturates the workers with the
+    // test-only sleep method.
+    server_config.enableTestMethods = true;
 
     auto analyzeParams = [&](const ScenarioThresholds &scenario) {
         JsonValue params = JsonValue::makeObject();
@@ -557,16 +566,22 @@ main(int argc, char **argv)
         params.set("scenario", JsonValue(scenario.name));
         return params;
     };
-    auto connectClient = [](std::uint16_t port) {
-        auto client = server::Client::connect(
-            "127.0.0.1", port, std::chrono::milliseconds(60000));
-        if (!client.ok()) {
-            std::cerr << "client connect failed: "
-                      << client.error().render() << "\n";
-            std::exit(1);
-        }
-        return std::move(client.value());
-    };
+    auto connectClient =
+        [](std::uint16_t port,
+           server::ProtocolPreference prefer =
+               server::ProtocolPreference::Auto) {
+            server::SessionOptions options;
+            options.prefer = prefer;
+            options.ioTimeout = std::chrono::milliseconds(60000);
+            auto session = server::Session::connect("127.0.0.1", port,
+                                                    options);
+            if (!session.ok()) {
+                std::cerr << "client connect failed: "
+                          << session.error().render() << "\n";
+                std::exit(1);
+            }
+            return std::move(session.value());
+        };
     auto startDaemon = [&](server::Server &daemon) {
         const auto started = daemon.start();
         if (!started.ok()) {
@@ -582,10 +597,10 @@ main(int argc, char **argv)
             server_config.registry.artifactCacheDir);
         server::Server daemon(server_config);
         startDaemon(daemon);
-        server::Client client = connectClient(daemon.port());
+        server::Session client = connectClient(daemon.port());
         const auto start = std::chrono::steady_clock::now();
-        const auto reply =
-            client.call("analyze", analyzeParams(scenario));
+        const auto reply = client.call(server::Method::Analyze,
+                                       analyzeParams(scenario));
         if (!reply.ok() || !reply.value().ok) {
             std::cerr << "cold analyze failed for " << scenario.name
                       << "\n";
@@ -603,10 +618,10 @@ main(int argc, char **argv)
     {
         // Untimed warm-up: build the artifacts once and populate the
         // response cache, so the timed phase measures steady state.
-        server::Client client = connectClient(server_port);
+        server::Session client = connectClient(server_port);
         for (const ScenarioThresholds &scenario : scenarios) {
-            const auto reply =
-                client.call("analyze", analyzeParams(scenario));
+            const auto reply = client.call(server::Method::Analyze,
+                                           analyzeParams(scenario));
             if (!reply.ok() || !reply.value().ok) {
                 std::cerr << "warm-up analyze failed for "
                           << scenario.name << "\n";
@@ -624,7 +639,7 @@ main(int argc, char **argv)
         clients.reserve(client_threads);
         for (unsigned t = 0; t < client_threads; ++t) {
             clients.emplace_back([&, t] {
-                server::Client client = connectClient(server_port);
+                server::Session client = connectClient(server_port);
                 auto &samples = warm_per_client[t];
                 samples.reserve(requests_per_client);
                 for (std::size_t i = 0; i < requests_per_client; ++i) {
@@ -632,7 +647,8 @@ main(int argc, char **argv)
                         scenarios[(t + i) % scenarios.size()];
                     const auto start = std::chrono::steady_clock::now();
                     const auto reply =
-                        client.call("analyze", analyzeParams(scenario));
+                        client.call(server::Method::Analyze,
+                                    analyzeParams(scenario));
                     if (!reply.ok() || !reply.value().ok) {
                         std::cerr << "warm analyze failed for "
                                   << scenario.name << "\n";
@@ -646,6 +662,122 @@ main(int argc, char **argv)
             thread.join();
     }
     const double load_ms = msSince(load_start);
+
+    // ---- protocol v2: wire bytes and multiplexed scheduling --------
+    // Same daemon, same warm response cache, so both measurements
+    // compare transports, not analysis cost.
+    //
+    // (a) Wire bytes. One symbol-heavy session — eight reps of
+    // analyze(top=50) over every scenario plus impact — through a v1
+    // session and a v2 session. The symbol dictionary sends each
+    // module!Function string once per connection, so v2 must land at
+    // <= 1/3 of v1's total wire bytes.
+    const int wire_reps = 8;
+    auto analyzeTopParams = [&](const ScenarioThresholds &scenario) {
+        JsonValue params = analyzeParams(scenario);
+        params.set("top", JsonValue(50));
+        return params;
+    };
+    JsonValue impact_params = JsonValue::makeObject();
+    impact_params.set("corpus", JsonValue(server_corpus));
+
+    auto sessionWireBytes = [&](server::ProtocolPreference prefer) {
+        server::Session session = connectClient(server_port, prefer);
+        for (int rep = 0; rep < wire_reps; ++rep) {
+            for (const ScenarioThresholds &scenario : scenarios) {
+                const auto reply =
+                    session.call(server::Method::Analyze,
+                                 analyzeTopParams(scenario));
+                if (!reply.ok() || !reply.value().ok) {
+                    std::cerr << "wire-bytes analyze failed\n";
+                    std::exit(1);
+                }
+            }
+            const auto reply =
+                session.call(server::Method::Impact, impact_params);
+            if (!reply.ok() || !reply.value().ok) {
+                std::cerr << "wire-bytes impact failed\n";
+                std::exit(1);
+            }
+        }
+        const server::WireStats wire = session.wireStats();
+        return wire.bytesSent + wire.bytesReceived;
+    };
+    const std::uint64_t v1_wire_bytes =
+        sessionWireBytes(server::ProtocolPreference::V1);
+    const std::uint64_t v2_wire_bytes =
+        sessionWireBytes(server::ProtocolPreference::V2);
+    const double wire_ratio =
+        v2_wire_bytes == 0
+            ? 0.0
+            : static_cast<double>(v1_wire_bytes) /
+                  static_cast<double>(v2_wire_bytes);
+
+    // (b) Multiplexed scheduling. Saturate the workers with bulk
+    // sleeps, then measure a near-zero-cost interactive probe (a 1ms
+    // sleep, so the sample is pure queueing delay rather than the
+    // probe's own service time). Over v2 the probe rides an
+    // interactive-priority stream and overtakes the queue; over v1
+    // every request is normal priority and the probe drains FIFO
+    // behind the whole backlog. Contract: probe p95 improves >= 5x.
+    const unsigned pool_workers = std::max(1u, threads);
+    const std::size_t blockers_per_round = 8 * pool_workers;
+    const std::size_t probe_rounds = 8;
+    JsonValue sleep_params = JsonValue::makeObject();
+    sleep_params.set("ms", JsonValue(50));
+    JsonValue probe_params = JsonValue::makeObject();
+    probe_params.set("ms", JsonValue(1));
+
+    auto probeLatencies = [&](server::ProtocolPreference prefer) {
+        server::Session session = connectClient(server_port, prefer);
+        const bool v2 = session.protocolVersion() ==
+                        server::kProtocolVersionV2;
+        std::vector<double> samples;
+        samples.reserve(probe_rounds);
+        for (std::size_t round = 0; round < probe_rounds; ++round) {
+            server::CallOptions bulk;
+            bulk.priority = server::kPriorityBulk; // v1: ignored
+            std::vector<std::uint64_t> handles;
+            handles.reserve(blockers_per_round);
+            for (std::size_t i = 0; i < blockers_per_round; ++i) {
+                auto handle = session.send(server::Method::Sleep,
+                                           sleep_params, bulk);
+                if (!handle.ok()) {
+                    std::cerr << "blocker send failed\n";
+                    std::exit(1);
+                }
+                handles.push_back(handle.value());
+            }
+            server::CallOptions interactive;
+            interactive.priority = server::kPriorityInteractive;
+            const auto start = std::chrono::steady_clock::now();
+            const auto probe = session.call(server::Method::Sleep,
+                                            probe_params, interactive);
+            if (!probe.ok() || !probe.value().ok) {
+                std::cerr << "probe failed ("
+                          << (v2 ? "v2" : "v1") << ")\n";
+                std::exit(1);
+            }
+            samples.push_back(usSince(start));
+            for (std::uint64_t handle : handles) {
+                const auto drained = session.wait(handle);
+                if (!drained.ok() || !drained.value().ok) {
+                    std::cerr << "blocker drain failed\n";
+                    std::exit(1);
+                }
+            }
+        }
+        return samples;
+    };
+    const std::vector<double> v1_probe_us =
+        probeLatencies(server::ProtocolPreference::V1);
+    const std::vector<double> v2_probe_us =
+        probeLatencies(server::ProtocolPreference::V2);
+    const double v1_probe_p95 = percentileUs(v1_probe_us, 0.95);
+    const double v2_probe_p95 = percentileUs(v2_probe_us, 0.95);
+    const double multiplex_speedup =
+        speedup(v1_probe_p95, v2_probe_p95);
+
     daemon.requestStop();
     daemon.wait();
     std::filesystem::remove_all(server_dir);
@@ -703,6 +835,49 @@ main(int argc, char **argv)
         std::cout << "wrote BENCH_server.json\n";
     }
 
+    std::cout << "\n== Protocol v2 vs v1 (same daemon, warm cache) ==\n";
+    TextTable proto_table({"Metric", "v1", "v2", "ratio"});
+    proto_table.addRow({"session wire bytes",
+                        std::to_string(v1_wire_bytes),
+                        std::to_string(v2_wire_bytes),
+                        TextTable::num(wire_ratio, 2) + "x"});
+    proto_table.addRow({"probe p95 us under load",
+                        TextTable::num(v1_probe_p95, 0),
+                        TextTable::num(v2_probe_p95, 0),
+                        TextTable::num(multiplex_speedup, 1) + "x"});
+    std::cout << proto_table.render();
+    if (wire_ratio < 3.0) {
+        std::cerr << "v2 wire bytes only " << TextTable::num(wire_ratio, 2)
+                  << "x smaller than v1; the contract is >= 3x\n";
+        return 1;
+    }
+    if (multiplex_speedup < 5.0) {
+        std::cerr << "interactive probe p95 only "
+                  << TextTable::num(multiplex_speedup, 1)
+                  << "x better over v2; the contract is >= 5x\n";
+        return 1;
+    }
+
+    {
+        std::ofstream json("BENCH_proto.json");
+        json << "{\n"
+             << "  \"wire_reps\": " << wire_reps << ",\n"
+             << "  \"v1_wire_bytes\": " << v1_wire_bytes << ",\n"
+             << "  \"v2_wire_bytes\": " << v2_wire_bytes << ",\n"
+             << "  \"wire_ratio\": " << wire_ratio << ",\n"
+             << "  \"wire_ratio_floor\": 3.0,\n"
+             << "  \"probe_rounds\": " << probe_rounds << ",\n"
+             << "  \"blockers_per_round\": " << blockers_per_round
+             << ",\n"
+             << "  \"v1_probe_p95_us\": " << v1_probe_p95 << ",\n"
+             << "  \"v2_probe_p95_us\": " << v2_probe_p95 << ",\n"
+             << "  \"multiplex_speedup_p95\": " << multiplex_speedup
+             << ",\n"
+             << "  \"multiplex_speedup_floor\": 5.0\n"
+             << "}\n";
+        std::cout << "wrote BENCH_proto.json\n";
+    }
+
     std::cout << "\nBENCH_scale_threads=" << threads << "\n"
               << "BENCH_scale_instances=" << corpus.instances().size()
               << "\n"
@@ -726,7 +901,10 @@ main(int argc, char **argv)
               << telemetry_overhead_pct << "\n"
               << "BENCH_scale_server_warm_rps=" << warm_rps << "\n"
               << "BENCH_scale_server_warm_speedup_p50="
-              << warm_speedup_p50 << "\n";
+              << warm_speedup_p50 << "\n"
+              << "BENCH_scale_proto_wire_ratio=" << wire_ratio << "\n"
+              << "BENCH_scale_proto_multiplex_speedup_p95="
+              << multiplex_speedup << "\n";
     std::cout << "(speedups track the worker count on multicore "
                  "hardware; on a single hardware thread they stay "
                  "near 1.0)\n";

@@ -42,6 +42,12 @@ ADDR="127.0.0.1:$PORT"
 "$CLI" query health --connect "$ADDR" | grep -q '"status":"ok"' \
     || fail "health check"
 
+# Both protocol revisions answer, and health advertises them.
+"$CLI" query health --connect "$ADDR" --protocol v1 \
+    | grep -q '"protocols":\[1,2\]' || fail "health over v1"
+"$CLI" query health --connect "$ADDR" --protocol v2 \
+    | grep -q '"protocols":\[1,2\]' || fail "health over v2"
+
 "$CLI" query ingest --connect "$ADDR" \
     --params "{\"corpus\":\"$WORK/corpus.tlc\"}" \
     | grep -q '"loaded_shards":1' || fail "ingest query"
@@ -56,6 +62,15 @@ COLD="$("$CLI" query analyze --connect "$ADDR" \
 WARM="$("$CLI" query analyze --connect "$ADDR" \
     --params "{\"corpus\":\"$WORK/corpus.tlc\",\"scenario\":\"BrowserTabCreate\"}")"
 [[ "$COLD" == "$WARM" ]] || fail "warm response differs from cold"
+
+# v2 changes the framing, not the answer: byte-identical across
+# protocol revisions.
+V1OUT="$("$CLI" query analyze --connect "$ADDR" --protocol v1 \
+    --params "{\"corpus\":\"$WORK/corpus.tlc\",\"scenario\":\"BrowserTabCreate\"}")"
+V2OUT="$("$CLI" query analyze --connect "$ADDR" --protocol v2 \
+    --params "{\"corpus\":\"$WORK/corpus.tlc\",\"scenario\":\"BrowserTabCreate\"}")"
+[[ "$V1OUT" == "$WARM" ]] || fail "v1 response differs"
+[[ "$V2OUT" == "$WARM" ]] || fail "v2 response differs"
 
 "$CLI" query stats --connect "$ADDR" | grep -q '"sessions"' \
     || fail "stats query"

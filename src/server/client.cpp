@@ -1,12 +1,16 @@
 /**
  * @file
- * Blocking protocol client (src/server/client.h).
+ * Typed, version-transparent protocol client (src/server/client.h):
+ * RawConn socket plumbing, v2 negotiation with v1 fallback, the
+ * stream/dictionary state machine, and the pipelined send/wait core
+ * every blocking call is built on.
  */
 
 #include "src/server/client.h"
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -20,9 +24,11 @@ namespace tracelens
 namespace server
 {
 
-Expected<Client>
-Client::connect(const std::string &host, std::uint16_t port,
-                std::chrono::milliseconds timeout)
+// ------------------------------------------------------------ RawConn
+
+Expected<RawConn>
+RawConn::connect(const std::string &host, std::uint16_t port,
+                 std::chrono::milliseconds timeout)
 {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
@@ -52,15 +58,21 @@ Client::connect(const std::string &host, std::uint16_t port,
     tv.tv_usec =
         static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    // Pipelined small frames must not coalesce behind Nagle: a
+    // request written shortly after another would otherwise wait
+    // ~40ms for the server's delayed ACK.
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                 sizeof(nodelay));
 
-    Client client;
-    client.fd_ = fd;
-    client.peer_ = host + ":" + std::to_string(port);
-    return client;
+    RawConn conn;
+    conn.fd_ = fd;
+    conn.peer_ = host + ":" + std::to_string(port);
+    return conn;
 }
 
 bool
-Client::sendRaw(std::string_view bytes)
+RawConn::sendRaw(std::string_view bytes)
 {
     if (fd_ < 0)
         return false;
@@ -75,11 +87,35 @@ Client::sendRaw(std::string_view bytes)
         }
         sent += static_cast<std::size_t>(n);
     }
+    bytesSent_ += bytes.size();
     return true;
 }
 
+Expected<bool>
+RawConn::fill()
+{
+    char buffer[8192];
+    while (true) {
+        const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return SourceError{peer_, 0, "read timeout"};
+            return SourceError{peer_, 0,
+                               std::string("recv: ") +
+                                   std::strerror(errno)};
+        }
+        if (n == 0)
+            return false; // orderly EOF
+        pending_.append(buffer, static_cast<std::size_t>(n));
+        bytesReceived_ += static_cast<std::uint64_t>(n);
+        return true;
+    }
+}
+
 Expected<std::string>
-Client::readLine()
+RawConn::readLine()
 {
     if (fd_ < 0)
         return SourceError{peer_, 0, "not connected"};
@@ -92,88 +128,442 @@ Client::readLine()
                 line.pop_back();
             return line;
         }
-        char buffer[4096];
-        const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            if (errno == EAGAIN || errno == EWOULDBLOCK)
-                return SourceError{peer_, 0, "read timeout"};
-            return SourceError{peer_, 0,
-                               std::string("recv: ") +
-                                   std::strerror(errno)};
-        }
-        if (n == 0) {
+        Expected<bool> more = fill();
+        if (!more)
+            return more.error();
+        if (!more.value()) {
             return SourceError{peer_, pending_.size(),
                                "connection closed by server"};
         }
-        pending_.append(buffer, static_cast<std::size_t>(n));
     }
 }
 
-Expected<CallResult>
-Client::call(const std::string &method, const JsonValue &params,
-             std::uint64_t deadlineMs)
+Expected<std::string>
+RawConn::readExact(std::size_t n)
 {
-    JsonValue request = JsonValue::makeObject();
-    const double id = nextId_++;
-    request.set("id", JsonValue(id));
-    request.set("method", JsonValue(method));
-    request.set("params", params);
-    if (deadlineMs != 0)
-        request.set("deadline_ms", JsonValue(deadlineMs));
-    if (!sendRaw(request.render() + "\n")) {
-        return SourceError{peer_, 0,
-                           "send failed (connection lost?)"};
-    }
-    Expected<std::string> line = readLine();
-    if (!line)
-        return line.error();
-    Expected<JsonValue> parsed = JsonValue::parse(line.value());
-    if (!parsed) {
-        return SourceError{peer_, parsed.error().offset,
-                           "unparseable response: " +
-                               parsed.error().reason};
-    }
-    const JsonValue &response = parsed.value();
-    CallResult result;
-    if (const JsonValue *rid = response.find("id");
-        rid != nullptr && rid->isNumber())
-        result.id = rid->asNumber();
-    const JsonValue *okField = response.find("ok");
-    result.ok = okField != nullptr && okField->isBool() &&
-                okField->asBool();
-    if (result.ok) {
-        if (const JsonValue *payload = response.find("result"))
-            result.result = *payload;
-    } else {
-        if (const JsonValue *error = response.find("error")) {
-            if (const JsonValue *code = error->find("code");
-                code != nullptr && code->isString())
-                result.errorCode = code->asString();
-            if (const JsonValue *message = error->find("message");
-                message != nullptr && message->isString())
-                result.errorMessage = message->asString();
+    if (fd_ < 0)
+        return SourceError{peer_, 0, "not connected"};
+    while (pending_.size() < n) {
+        Expected<bool> more = fill();
+        if (!more)
+            return more.error();
+        if (!more.value()) {
+            return SourceError{peer_, pending_.size(),
+                               "connection closed by server"};
         }
     }
-    return result;
+    std::string out = pending_.substr(0, n);
+    pending_.erase(0, n);
+    return out;
 }
 
 void
-Client::shutdownWrite()
+RawConn::shutdownWrite()
 {
     if (fd_ >= 0)
         ::shutdown(fd_, SHUT_WR);
 }
 
 void
-Client::close()
+RawConn::close()
 {
     if (fd_ >= 0) {
         ::close(fd_);
         fd_ = -1;
     }
     pending_.clear();
+}
+
+// ------------------------------------------------------------ Session
+
+Expected<Session>
+Session::connect(const std::string &host, std::uint16_t port,
+                 SessionOptions options)
+{
+    Expected<RawConn> conn =
+        RawConn::connect(host, port, options.ioTimeout);
+    if (!conn)
+        return conn.error();
+
+    Session session;
+    session.conn_ = std::move(conn.value());
+    session.options_ = options;
+
+    if (options.prefer == ProtocolPreference::V1) {
+        session.version_ = kProtocolVersionV1;
+        return session;
+    }
+
+    // Offer the upgrade: a v2 server answers a binary SETTINGS frame,
+    // a v1 server answers a JSON bad_request line (first byte '{').
+    std::string preface(wire::kPreface);
+    preface += "\n";
+    if (!session.conn_.sendRaw(preface)) {
+        return SourceError{session.conn_.peer(), 0,
+                           "send failed during negotiation"};
+    }
+    Expected<std::string> first = session.conn_.readExact(1);
+    if (!first)
+        return first.error();
+    if (first.value()[0] == '{') {
+        Expected<std::string> line = session.conn_.readLine();
+        if (!line)
+            return line.error();
+        if (options.prefer == ProtocolPreference::V2) {
+            return SourceError{session.conn_.peer(), 0,
+                               "server does not speak protocol v2"};
+        }
+        session.version_ = kProtocolVersionV1;
+        return session;
+    }
+
+    Expected<std::string> rest =
+        session.conn_.readExact(wire::kFrameHeaderBytes - 1);
+    if (!rest)
+        return rest.error();
+    const std::string headerBytes = first.value() + rest.value();
+    wire::FrameHeader header;
+    wire::decodeFrameHeader(headerBytes, header);
+    if (header.type !=
+            static_cast<std::uint8_t>(wire::FrameType::Settings) ||
+        header.stream != 0 ||
+        header.length > wire::kMaxSaneFramePayload) {
+        return SourceError{session.conn_.peer(), 0,
+                           "malformed negotiation response"};
+    }
+    Expected<std::string> payload =
+        session.conn_.readExact(header.length);
+    if (!payload)
+        return payload.error();
+    Expected<wire::Settings> settings =
+        wire::decodeSettings(payload.value());
+    if (!settings)
+        return settings.error();
+    if (settings.value().protocolVersion != kProtocolVersionV2) {
+        return SourceError{session.conn_.peer(), 0,
+                           "server negotiated unknown protocol"};
+    }
+    session.serverSettings_ = settings.value();
+    ++session.framesReceived_;
+
+    wire::Settings mine;
+    mine.protocolVersion = kProtocolVersionV2;
+    mine.maxFramePayload = options.maxFramePayload;
+    mine.initialWindow = options.initialWindow;
+    std::string out;
+    wire::appendFrame(out, wire::FrameType::Settings, 0, 0,
+                      wire::encodeSettings(mine));
+    if (!session.conn_.sendRaw(out)) {
+        return SourceError{session.conn_.peer(), 0,
+                           "send failed during negotiation"};
+    }
+    ++session.framesSent_;
+    session.version_ = kProtocolVersionV2;
+    return session;
+}
+
+WireStats
+Session::wireStats() const
+{
+    WireStats stats;
+    stats.bytesSent = conn_.bytesSent();
+    stats.bytesReceived = conn_.bytesReceived();
+    stats.framesSent = framesSent_;
+    stats.framesReceived = framesReceived_;
+    return stats;
+}
+
+void
+Session::close()
+{
+    conn_.close();
+    openStreams_.clear();
+    idToStream_.clear();
+    readyV1_.clear();
+    readyV2_.clear();
+}
+
+// ------------------------------------------------------- typed calls
+
+Expected<Response>
+Session::analyze(const AnalyzeRequest &request, CallOptions options)
+{
+    return call(AnalyzeRequest::kMethod, request.toParams(), options);
+}
+
+Expected<Response>
+Session::impact(const ImpactRequest &request, CallOptions options)
+{
+    return call(ImpactRequest::kMethod, request.toParams(), options);
+}
+
+Expected<Response>
+Session::mine(const MineRequest &request, CallOptions options)
+{
+    return call(MineRequest::kMethod, request.toParams(), options);
+}
+
+Expected<Response>
+Session::ingest(const IngestRequest &request, CallOptions options)
+{
+    return call(IngestRequest::kMethod, request.toParams(), options);
+}
+
+Expected<Response>
+Session::sleep(const SleepRequest &request, CallOptions options)
+{
+    return call(SleepRequest::kMethod, request.toParams(), options);
+}
+
+Expected<Response>
+Session::health()
+{
+    return call(Method::Health, JsonValue::makeObject());
+}
+
+Expected<Response>
+Session::stats()
+{
+    return call(Method::Stats, JsonValue::makeObject());
+}
+
+Expected<Response>
+Session::shutdown()
+{
+    return call(Method::Shutdown, JsonValue::makeObject());
+}
+
+Expected<Response>
+Session::call(Method method, const JsonValue &params,
+              CallOptions options)
+{
+    Expected<std::uint64_t> handle = send(method, params, options);
+    if (!handle)
+        return handle.error();
+    return wait(handle.value());
+}
+
+// -------------------------------------------------------- send / wait
+
+Expected<std::uint64_t>
+Session::send(Method method, const JsonValue &params,
+              CallOptions options)
+{
+    if (!conn_.connected())
+        return SourceError{conn_.peer(), 0, "not connected"};
+    if (version_ == kProtocolVersionV2)
+        return sendV2(method, params, options);
+    return sendV1(method, params, options);
+}
+
+Expected<Response>
+Session::wait(std::uint64_t handle)
+{
+    if (version_ == kProtocolVersionV2)
+        return waitV2(handle);
+    return waitV1(handle);
+}
+
+Expected<std::uint64_t>
+Session::sendV1(Method method, const JsonValue &params,
+                const CallOptions &options)
+{
+    const std::uint64_t id = nextId_++;
+    JsonValue request = JsonValue::makeObject();
+    request.set("id", JsonValue(static_cast<double>(id)));
+    request.set("method", JsonValue(methodName(method)));
+    request.set("params", params);
+    if (options.deadlineMs != 0)
+        request.set("deadline_ms", JsonValue(options.deadlineMs));
+    if (!conn_.sendRaw(request.render() + "\n")) {
+        return SourceError{conn_.peer(), 0,
+                           "send failed (connection lost?)"};
+    }
+    return id;
+}
+
+Expected<Response>
+Session::waitV1(std::uint64_t handle)
+{
+    if (const auto ready = readyV1_.find(handle);
+        ready != readyV1_.end()) {
+        Response response = std::move(ready->second);
+        readyV1_.erase(ready);
+        return response;
+    }
+    while (true) {
+        Expected<std::string> line = conn_.readLine();
+        if (!line)
+            return line.error();
+        Expected<Response> parsed = parseResponseLine(line.value());
+        if (!parsed) {
+            return SourceError{conn_.peer(), parsed.error().offset,
+                               "unparseable response: " +
+                                   parsed.error().reason};
+        }
+        Response response = std::move(parsed.value());
+        // An id-less response cannot be correlated (the server could
+        // not parse the request that provoked it) — surface it to the
+        // active waiter rather than dropping it.
+        if (!response.id ||
+            static_cast<std::uint64_t>(*response.id) == handle)
+            return response;
+        readyV1_[static_cast<std::uint64_t>(*response.id)] =
+            std::move(response);
+    }
+}
+
+Expected<std::uint64_t>
+Session::sendV2(Method method, const JsonValue &params,
+                const CallOptions &options)
+{
+    const std::string paramsJson = params.render();
+    // Bound-check before encoding: a failed send must not advance the
+    // shared dictionary, or every later request would desync.
+    if (paramsJson.size() + 64 > serverSettings_.maxFramePayload) {
+        return SourceError{conn_.peer(), 0,
+                           "request params exceed the server's frame "
+                           "limit"};
+    }
+    const std::uint32_t stream = nextStream_;
+    nextStream_ += 2;
+    const std::uint64_t id = nextId_++;
+    const std::string payload = wire::encodeRequestPayload(
+        method, options.priority, options.deadlineMs, paramsJson,
+        sendDict_);
+    std::string out;
+    wire::appendFrame(out, wire::FrameType::Request,
+                      wire::kFlagEndStream, stream, payload);
+    if (!conn_.sendRaw(out)) {
+        return SourceError{conn_.peer(), 0,
+                           "send failed (connection lost?)"};
+    }
+    ++framesSent_;
+    StreamRx rx;
+    rx.id = id;
+    openStreams_.emplace(stream, std::move(rx));
+    idToStream_.emplace(id, stream);
+    return id;
+}
+
+Expected<Response>
+Session::waitV2(std::uint64_t handle)
+{
+    while (true) {
+        if (const auto ready = readyV2_.find(handle);
+            ready != readyV2_.end()) {
+            Response response = std::move(ready->second);
+            readyV2_.erase(ready);
+            return response;
+        }
+        Expected<bool> pumped = pumpFrameV2();
+        if (!pumped)
+            return pumped.error();
+    }
+}
+
+Expected<bool>
+Session::pumpFrameV2()
+{
+    Expected<std::string> headerBytes =
+        conn_.readExact(wire::kFrameHeaderBytes);
+    if (!headerBytes)
+        return headerBytes.error();
+    wire::FrameHeader header;
+    wire::decodeFrameHeader(headerBytes.value(), header);
+    if (header.length > wire::kMaxSaneFramePayload) {
+        return SourceError{conn_.peer(), 0,
+                           "insane frame length from server (stream "
+                           "desync?)"};
+    }
+    Expected<std::string> payload = conn_.readExact(header.length);
+    if (!payload)
+        return payload.error();
+    ++framesReceived_;
+
+    switch (static_cast<wire::FrameType>(header.type)) {
+    case wire::FrameType::Response: {
+        const auto it = openStreams_.find(header.stream);
+        if (it == openStreams_.end()) {
+            return SourceError{conn_.peer(), 0,
+                               "response on unknown stream " +
+                                   std::to_string(header.stream)};
+        }
+        it->second.payload += payload.value();
+        ++it->second.frames;
+        if ((header.flags & wire::kFlagEndStream) == 0) {
+            // Chunked response: return the consumed credit so the
+            // server can keep sending.
+            std::string update;
+            wire::appendFrame(
+                update, wire::FrameType::WindowUpdate, 0,
+                header.stream,
+                wire::encodeWindowUpdate(payload.value().size()));
+            if (conn_.sendRaw(update))
+                ++framesSent_;
+            return true;
+        }
+        Expected<std::string> json =
+            recvDict_.decode(it->second.payload);
+        if (!json) {
+            return SourceError{conn_.peer(), json.error().offset,
+                               "dictionary desync: " +
+                                   json.error().reason};
+        }
+        Expected<JsonValue> doc = JsonValue::parse(json.value());
+        if (!doc) {
+            return SourceError{conn_.peer(), doc.error().offset,
+                               "unparseable response payload: " +
+                                   doc.error().reason};
+        }
+        Response response;
+        response.id = static_cast<double>(it->second.id);
+        if ((header.flags & wire::kFlagError) != 0) {
+            response.ok = false;
+            response.error = parseErrorObject(doc.value());
+        } else {
+            response.ok = true;
+            response.result = std::move(doc.value());
+        }
+        readyV2_[it->second.id] = std::move(response);
+        idToStream_.erase(it->second.id);
+        openStreams_.erase(it);
+        return true;
+    }
+    case wire::FrameType::Settings: {
+        Expected<wire::Settings> settings =
+            wire::decodeSettings(payload.value());
+        if (settings)
+            serverSettings_ = settings.value();
+        return true;
+    }
+    case wire::FrameType::Ping: {
+        if ((header.flags & wire::kFlagAck) == 0) {
+            std::string pong;
+            wire::appendFrame(pong, wire::FrameType::Ping,
+                              wire::kFlagAck, 0, payload.value());
+            if (conn_.sendRaw(pong))
+                ++framesSent_;
+        }
+        return true;
+    }
+    case wire::FrameType::Goaway: {
+        Expected<wire::GoawayInfo> info =
+            wire::decodeGoaway(payload.value());
+        const std::string detail =
+            info ? info.value().message : "unreadable goaway";
+        const std::uint64_t offset = info ? info.value().offset : 0;
+        return SourceError{conn_.peer(), offset,
+                           "server sent GOAWAY: " + detail};
+    }
+    case wire::FrameType::Request:
+    case wire::FrameType::WindowUpdate:
+    default:
+        // Servers never send Request; WindowUpdate is meaningless for
+        // the client (requests are not flow-controlled). Ignore, like
+        // unknown frame types (forward compatibility).
+        return true;
+    }
 }
 
 } // namespace server

@@ -1,14 +1,38 @@
 /**
  * @file
- * Blocking client for the analysis service — the counterpart of
+ * Typed client API for the analysis service — the counterpart of
  * src/server/server.h used by `tracelens query`, the protocol tests,
  * and the bench_scale load generator.
  *
- * One Client wraps one TCP connection. call() performs a full
- * request/response round trip; the lower-level sendRaw() / readLine()
- * and shutdownWrite() exist so the tests can speak *malformed*
- * protocol (oversized lines, half-closed sockets, disconnecting
- * mid-response) — robustness cases a well-behaved helper would hide.
+ * One Session wraps one TCP connection and hides the transport: it
+ * negotiates protocol v2 (binary frames, multiplexed streams, shared
+ * symbol dictionary — src/server/wire.h) and falls back to v1 JSON
+ * lines against older servers, so callers see the same typed
+ * Request/Response structs (src/server/protocol.h) either way.
+ *
+ * Blocking calls:
+ *
+ *   auto session = Session::connect("127.0.0.1", port);
+ *   AnalyzeRequest req;
+ *   req.corpus = "corpus.tlc";
+ *   req.scenario = "BrowserTabCreate";
+ *   Expected<Response> r = session.value().analyze(req);
+ *
+ * Pipelining: send() issues a request without waiting and returns a
+ * handle; wait() blocks for that specific response while buffering
+ * any others that arrive first. Over v2 the requests genuinely
+ * multiplex server-side (a cheap `stats` overtakes a cold `analyze`
+ * because responses complete out of order on separate streams); over
+ * v1 they pipeline in FIFO order on the line protocol.
+ *
+ * A Session is single-threaded by design — one connection, one
+ * caller. Concurrent load generators open one Session per thread.
+ *
+ * RawConn is the low-level escape hatch for the robustness tests and
+ * the smoke script: verbatim bytes in, lines or exact byte counts
+ * out, so tests can speak *malformed* protocol (oversized lines,
+ * truncated frames, bogus stream ids, half-closed sockets) — cases a
+ * well-behaved Session would never produce.
  */
 
 #ifndef TRACELENS_SERVER_CLIENT_H
@@ -16,11 +40,13 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
 
 #include "src/server/protocol.h"
+#include "src/server/wire.h"
 #include "src/util/expected.h"
 #include "src/util/json.h"
 
@@ -29,81 +55,204 @@ namespace tracelens
 namespace server
 {
 
-/** One response, success or error (transport failures use Expected). */
-struct CallResult
-{
-    bool ok = false;
-    std::optional<double> id;
-    /** The "result" object when ok. */
-    JsonValue result;
-    /** The "error.code" / "error.message" fields when !ok. */
-    std::string errorCode;
-    std::string errorMessage;
-};
+// ------------------------------------------------------------ RawConn
 
-class Client
+/** Low-level test/diagnostic connection: raw bytes and lines. */
+class RawConn
 {
   public:
-    Client() = default;
-    ~Client() { close(); }
-    Client(Client &&other) noexcept { swap(other); }
-    Client &
-    operator=(Client &&other) noexcept
+    RawConn() = default;
+    ~RawConn() { close(); }
+    RawConn(RawConn &&other) noexcept { swap(other); }
+    RawConn &
+    operator=(RawConn &&other) noexcept
     {
         close();
         swap(other);
         return *this;
     }
-    Client(const Client &) = delete;
-    Client &operator=(const Client &) = delete;
+    RawConn(const RawConn &) = delete;
+    RawConn &operator=(const RawConn &) = delete;
 
     /**
      * Connect to @p host:@p port. @p timeout bounds every subsequent
      * blocking read (SO_RCVTIMEO), not the connect itself.
      */
-    static Expected<Client>
+    static Expected<RawConn>
     connect(const std::string &host, std::uint16_t port,
             std::chrono::milliseconds timeout =
                 std::chrono::milliseconds(10000));
 
     bool connected() const { return fd_ >= 0; }
+    const std::string &peer() const { return peer_; }
 
-    /**
-     * One round trip: send {"id", "method", "params", "deadline_ms"}
-     * and read the matching response line. Protocol-level errors
-     * ("overloaded", ...) come back as CallResult with ok=false; the
-     * Expected only fails on transport problems (connection lost,
-     * read timeout, unparseable response).
-     */
-    Expected<CallResult> call(const std::string &method,
-                              const JsonValue &params,
-                              std::uint64_t deadlineMs = 0);
-
-    /** Send raw bytes verbatim (tests: malformed / oversized input). */
+    /** Send raw bytes verbatim. */
     bool sendRaw(std::string_view bytes);
 
     /** Read one "\n"-terminated line (stripped); respects timeout. */
     Expected<std::string> readLine();
 
-    /** Half-close: no more writes, reads still possible (tests). */
+    /** Read exactly @p n bytes; respects timeout. */
+    Expected<std::string> readExact(std::size_t n);
+
+    /** Half-close: no more writes, reads still possible. */
     void shutdownWrite();
 
     void close();
 
+    /** Total bytes written / read through this connection. */
+    std::uint64_t bytesSent() const { return bytesSent_; }
+    std::uint64_t bytesReceived() const { return bytesReceived_; }
+
   private:
     void
-    swap(Client &other) noexcept
+    swap(RawConn &other) noexcept
     {
         std::swap(fd_, other.fd_);
         std::swap(pending_, other.pending_);
-        std::swap(nextId_, other.nextId_);
         std::swap(peer_, other.peer_);
+        std::swap(bytesSent_, other.bytesSent_);
+        std::swap(bytesReceived_, other.bytesReceived_);
     }
 
+    /** Pull more bytes from the socket into pending_. */
+    Expected<bool> fill();
+
     int fd_ = -1;
-    std::string pending_; //!< Bytes read past the last line.
-    double nextId_ = 1;
+    std::string pending_; //!< Bytes read past the last consume.
     std::string peer_;
+    std::uint64_t bytesSent_ = 0;
+    std::uint64_t bytesReceived_ = 0;
+};
+
+// ------------------------------------------------------------ Session
+
+/** Which protocol revision connect() should end up speaking. */
+enum class ProtocolPreference
+{
+    Auto, //!< Try v2, fall back to v1 against older servers.
+    V1,   //!< Speak v1 without attempting the upgrade.
+    V2,   //!< Require v2; fail if the server cannot negotiate it.
+};
+
+struct SessionOptions
+{
+    ProtocolPreference prefer = ProtocolPreference::Auto;
+    /** Bounds every blocking read (SO_RCVTIMEO). */
+    std::chrono::milliseconds ioTimeout{10000};
+    /** v2: per-stream response window granted to the server. */
+    std::uint32_t initialWindow = wire::kDefaultInitialWindow;
+    /** v2: largest frame payload this client accepts. */
+    std::uint32_t maxFramePayload = wire::kDefaultMaxFramePayload;
+};
+
+/** Per-request knobs. */
+struct CallOptions
+{
+    /** 0 = server default. */
+    std::uint64_t deadlineMs = 0;
+    /** kPriority* (v2 scheduling class; ignored over v1). */
+    std::uint8_t priority = kPriorityNormal;
+};
+
+/** Transport-level counters (the wire-bytes bench reads these). */
+struct WireStats
+{
+    std::uint64_t bytesSent = 0;
+    std::uint64_t bytesReceived = 0;
+    std::uint64_t framesSent = 0;     //!< v2 only.
+    std::uint64_t framesReceived = 0; //!< v2 only.
+};
+
+class Session
+{
+  public:
+    Session() = default;
+
+    /** Connect and negotiate per @p options (see ProtocolPreference). */
+    static Expected<Session> connect(const std::string &host,
+                                     std::uint16_t port,
+                                     SessionOptions options = {});
+
+    bool connected() const { return conn_.connected(); }
+    /** Negotiated revision: kProtocolVersionV1 or V2. */
+    std::uint32_t protocolVersion() const { return version_; }
+    WireStats wireStats() const;
+
+    // ---- typed blocking calls
+
+    Expected<Response> analyze(const AnalyzeRequest &request,
+                               CallOptions options = {});
+    Expected<Response> impact(const ImpactRequest &request,
+                              CallOptions options = {});
+    Expected<Response> mine(const MineRequest &request,
+                            CallOptions options = {});
+    Expected<Response> ingest(const IngestRequest &request,
+                              CallOptions options = {});
+    Expected<Response> sleep(const SleepRequest &request,
+                             CallOptions options = {});
+    Expected<Response> health();
+    Expected<Response> stats();
+    Expected<Response> shutdown();
+
+    /**
+     * Generic blocking round trip. Protocol-level errors
+     * ("overloaded", ...) come back as Response with ok=false; the
+     * Expected fails only on transport problems (connection lost,
+     * read timeout, unparseable response).
+     */
+    Expected<Response> call(Method method, const JsonValue &params,
+                            CallOptions options = {});
+
+    // ---- pipelining
+
+    /** Issue a request without waiting; returns a wait() handle. */
+    Expected<std::uint64_t> send(Method method, const JsonValue &params,
+                                 CallOptions options = {});
+
+    /** Block for the response to @p handle, buffering any other
+     *  responses that complete first. */
+    Expected<Response> wait(std::uint64_t handle);
+
+    void close();
+
+  private:
+    Expected<std::uint64_t> sendV1(Method method,
+                                   const JsonValue &params,
+                                   const CallOptions &options);
+    Expected<std::uint64_t> sendV2(Method method,
+                                   const JsonValue &params,
+                                   const CallOptions &options);
+    Expected<Response> waitV1(std::uint64_t handle);
+    Expected<Response> waitV2(std::uint64_t handle);
+    /** Read + dispatch one v2 frame (responses, settings, ping...). */
+    Expected<bool> pumpFrameV2();
+
+    RawConn conn_;
+    std::uint32_t version_ = kProtocolVersionV1;
+    SessionOptions options_;
+    std::uint64_t framesSent_ = 0;
+    std::uint64_t framesReceived_ = 0;
+
+    std::uint64_t nextId_ = 1;
+
+    // v1 state: responses that arrived for ids we are not waiting on.
+    std::map<std::uint64_t, Response> readyV1_;
+
+    // v2 state
+    wire::SymbolDict sendDict_; //!< client->server params
+    wire::SymbolDict recvDict_; //!< server->client results
+    wire::Settings serverSettings_;
+    std::uint32_t nextStream_ = 1; //!< odd, strictly increasing
+    struct StreamRx
+    {
+        std::uint64_t id = 0;
+        std::string payload; //!< accumulated dict-encoded chunks
+        std::uint64_t frames = 0;
+    };
+    std::map<std::uint32_t, StreamRx> openStreams_;
+    std::map<std::uint64_t, std::uint32_t> idToStream_;
+    std::map<std::uint64_t, Response> readyV2_;
 };
 
 } // namespace server

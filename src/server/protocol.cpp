@@ -1,7 +1,7 @@
 /**
  * @file
- * Request parsing and response serialization for the analysis-service
- * protocol (src/server/protocol.h).
+ * Method/error vocabulary, typed request params, and the v1 line
+ * codec of the analysis-service protocol (src/server/protocol.h).
  */
 
 #include "src/server/protocol.h"
@@ -12,6 +12,77 @@ namespace tracelens
 {
 namespace server
 {
+
+const std::vector<std::uint32_t> &
+supportedProtocolVersions()
+{
+    static const std::vector<std::uint32_t> versions = {
+        kProtocolVersionV1, kProtocolVersionV2};
+    return versions;
+}
+
+// ------------------------------------------------------------ methods
+
+std::string_view
+methodName(Method method)
+{
+    switch (method) {
+    case Method::Health:
+        return "health";
+    case Method::Stats:
+        return "stats";
+    case Method::Shutdown:
+        return "shutdown";
+    case Method::Analyze:
+        return "analyze";
+    case Method::Impact:
+        return "impact";
+    case Method::Mine:
+        return "mine";
+    case Method::Ingest:
+        return "ingest";
+    case Method::Sleep:
+        return "sleep";
+    }
+    return "health";
+}
+
+std::optional<Method>
+parseMethod(std::string_view name)
+{
+    static constexpr Method kAll[] = {
+        Method::Health, Method::Stats,  Method::Shutdown,
+        Method::Analyze, Method::Impact, Method::Mine,
+        Method::Ingest, Method::Sleep};
+    for (const Method method : kAll) {
+        if (methodName(method) == name)
+            return method;
+    }
+    return std::nullopt;
+}
+
+std::uint8_t
+methodWireByte(Method method)
+{
+    return static_cast<std::uint8_t>(method);
+}
+
+std::optional<Method>
+methodFromWireByte(std::uint8_t byte)
+{
+    if (byte > methodWireByte(Method::Sleep))
+        return std::nullopt;
+    return static_cast<Method>(byte);
+}
+
+bool
+isControlMethod(Method method)
+{
+    return method == Method::Health || method == Method::Stats ||
+           method == Method::Shutdown;
+}
+
+// -------------------------------------------------------- error codes
 
 std::string_view
 errorCodeName(ErrorCode code)
@@ -27,11 +98,100 @@ errorCodeName(ErrorCode code)
         return "not_found";
     case ErrorCode::ShuttingDown:
         return "shutting_down";
+    case ErrorCode::ProtocolError:
+        return "protocol_error";
     case ErrorCode::Internal:
         return "internal";
     }
     return "internal";
 }
+
+std::optional<ErrorCode>
+parseErrorCode(std::string_view name)
+{
+    static constexpr ErrorCode kAll[] = {
+        ErrorCode::BadRequest,    ErrorCode::Overloaded,
+        ErrorCode::DeadlineExceeded, ErrorCode::NotFound,
+        ErrorCode::ShuttingDown,  ErrorCode::ProtocolError,
+        ErrorCode::Internal};
+    for (const ErrorCode code : kAll) {
+        if (errorCodeName(code) == name)
+            return code;
+    }
+    return std::nullopt;
+}
+
+// ------------------------------------------------- typed request params
+
+JsonValue
+AnalyzeRequest::toParams() const
+{
+    JsonValue params = JsonValue::makeObject();
+    params.set("corpus", JsonValue(corpus));
+    params.set("scenario", JsonValue(scenario));
+    if (tfastMs)
+        params.set("tfast_ms", JsonValue(*tfastMs));
+    if (tslowMs)
+        params.set("tslow_ms", JsonValue(*tslowMs));
+    if (top)
+        params.set("top", JsonValue(*top));
+    if (knowledgeFilter)
+        params.set("knowledge_filter", JsonValue(*knowledgeFilter));
+    if (!components.empty()) {
+        JsonValue list = JsonValue::makeArray();
+        for (const std::string &glob : components)
+            list.push(JsonValue(glob));
+        params.set("components", std::move(list));
+    }
+    return params;
+}
+
+JsonValue
+ImpactRequest::toParams() const
+{
+    JsonValue params = JsonValue::makeObject();
+    params.set("corpus", JsonValue(corpus));
+    if (!components.empty()) {
+        JsonValue list = JsonValue::makeArray();
+        for (const std::string &glob : components)
+            list.push(JsonValue(glob));
+        params.set("components", std::move(list));
+    }
+    return params;
+}
+
+JsonValue
+MineRequest::toParams() const
+{
+    JsonValue params = JsonValue::makeObject();
+    params.set("corpus", JsonValue(corpus));
+    params.set("scenario", JsonValue(scenario));
+    if (tfastMs)
+        params.set("tfast_ms", JsonValue(*tfastMs));
+    if (tslowMs)
+        params.set("tslow_ms", JsonValue(*tslowMs));
+    if (maxPatterns)
+        params.set("max_patterns", JsonValue(*maxPatterns));
+    return params;
+}
+
+JsonValue
+IngestRequest::toParams() const
+{
+    JsonValue params = JsonValue::makeObject();
+    params.set("corpus", JsonValue(corpus));
+    return params;
+}
+
+JsonValue
+SleepRequest::toParams() const
+{
+    JsonValue params = JsonValue::makeObject();
+    params.set("ms", JsonValue(ms));
+    return params;
+}
+
+// ------------------------------------------------------ v1 line codec
 
 Expected<Request>
 parseRequest(std::string_view line)
@@ -91,17 +251,75 @@ renderResult(const std::optional<double> &id, const JsonValue &result)
 
 std::string
 renderError(const std::optional<double> &id, ErrorCode code,
-            std::string_view message)
+            std::string_view message, std::uint64_t offset)
 {
     JsonValue error = JsonValue::makeObject();
     error.set("code", JsonValue(errorCodeName(code)));
     error.set("message", JsonValue(message));
+    if (offset != 0)
+        error.set("offset", JsonValue(offset));
     JsonValue response = JsonValue::makeObject();
     if (id)
         response.set("id", JsonValue(*id));
     response.set("ok", JsonValue(false));
     response.set("error", std::move(error));
     return response.render() + "\n";
+}
+
+Expected<Response>
+parseResponseLine(std::string_view line)
+{
+    Expected<JsonValue> doc = JsonValue::parse(line);
+    if (!doc)
+        return doc.error();
+    const JsonValue &root = doc.value();
+    if (!root.isObject())
+        return SourceError{"<response>", 0,
+                           "response must be a JSON object"};
+    Response response;
+    if (const JsonValue *id = root.find("id");
+        id != nullptr && id->isNumber())
+        response.id = id->asNumber();
+    const JsonValue *ok = root.find("ok");
+    response.ok = ok != nullptr && ok->isBool() && ok->asBool();
+    if (response.ok) {
+        if (const JsonValue *result = root.find("result"))
+            response.result = *result;
+    } else if (const JsonValue *error = root.find("error")) {
+        response.error = parseErrorObject(*error);
+    }
+    return response;
+}
+
+// ----------------------------------------- shared payload (v2 bodies)
+
+std::string
+renderErrorObject(const ErrorInfo &error)
+{
+    JsonValue object = JsonValue::makeObject();
+    object.set("code", JsonValue(errorCodeName(error.code)));
+    object.set("message", JsonValue(error.message));
+    if (error.offset != 0)
+        object.set("offset", JsonValue(error.offset));
+    return object.render();
+}
+
+ErrorInfo
+parseErrorObject(const JsonValue &error)
+{
+    ErrorInfo info;
+    if (const JsonValue *code = error.find("code");
+        code != nullptr && code->isString()) {
+        if (const auto parsed = parseErrorCode(code->asString()))
+            info.code = *parsed;
+    }
+    if (const JsonValue *message = error.find("message");
+        message != nullptr && message->isString())
+        info.message = message->asString();
+    if (const JsonValue *offset = error.find("offset");
+        offset != nullptr && offset->isNumber())
+        info.offset = static_cast<std::uint64_t>(offset->asNumber());
+    return info;
 }
 
 } // namespace server

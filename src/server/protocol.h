@@ -1,26 +1,33 @@
 /**
  * @file
- * Wire protocol of the TraceLens analysis service (docs/SERVER.md).
+ * Version-negotiated wire protocol of the TraceLens analysis service
+ * (docs/SERVER.md). This module is transport-free — parse/serialize
+ * only — so the daemon, the client Session, and the tests share one
+ * implementation of methods, error codes, and message shapes.
  *
- * Transport: plain TCP; each request and each response is one JSON
- * document on one line ("\n"-terminated, optional "\r" tolerated).
+ * Two protocol revisions share this vocabulary:
  *
- * Request shape:
+ *  - **v1 (JSON lines)**: each request and each response is one JSON
+ *    document on one "\n"-terminated line:
  *
- *   {"id": 7, "method": "analyze", "params": {...},
- *    "deadline_ms": 2000}
+ *      {"id": 7, "method": "analyze", "params": {...},
+ *       "deadline_ms": 2000}
+ *      {"id": 7, "ok": true, "result": {...}}
+ *      {"id": 7, "ok": false,
+ *       "error": {"code": "overloaded", "message": "..."}}
  *
- * "id" (optional, number) is echoed verbatim on the response so a
- * client may pipeline requests; "deadline_ms" (optional) bounds the
- * request's total time in the server including queue wait. Responses
- * are either
+ *  - **v2 (multiplexed binary frames)**: length-prefixed frames with
+ *    per-stream ids, flow-control windows, priorities, and a shared
+ *    per-session symbol dictionary (src/server/wire.h). Method and
+ *    error-code identities, params shapes, and result JSON are
+ *    identical to v1 — v2 changes the framing, not the semantics, so
+ *    analysis reports are byte-identical across transports.
  *
- *   {"id": 7, "ok": true, "result": {...}}
- *   {"id": 7, "ok": false,
- *    "error": {"code": "overloaded", "message": "..."}}
- *
- * This module is transport-free: parse/serialize only, so the unit
- * tests and the client share one implementation with the daemon.
+ * Negotiation: a v2-capable client opens with the preface line
+ * (wire::kPreface + "\n"). A v2 server upgrades the connection and
+ * answers with a binary SETTINGS frame; a v1-only server answers a
+ * JSON "bad_request" line (first byte '{'), which the client takes as
+ * "speak v1". Anything that never sends the preface gets plain v1.
  */
 
 #ifndef TRACELENS_SERVER_PROTOCOL_H
@@ -30,6 +37,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/util/expected.h"
 #include "src/util/json.h"
@@ -39,8 +47,65 @@ namespace tracelens
 namespace server
 {
 
-/** Protocol revision, echoed by `health` and `tracelens version`. */
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/** Oldest wire revision (newline-delimited JSON, PR 5). */
+inline constexpr std::uint32_t kProtocolVersionV1 = 1;
+/** Multiplexed binary framing + symbol dictionary. */
+inline constexpr std::uint32_t kProtocolVersionV2 = 2;
+/** Highest revision this build speaks (`health`, `version`). */
+inline constexpr std::uint32_t kProtocolVersion = kProtocolVersionV2;
+
+/** Every revision this build can negotiate, ascending. */
+const std::vector<std::uint32_t> &supportedProtocolVersions();
+
+// ------------------------------------------------------------ methods
+
+/**
+ * The service's method vocabulary — the single source of truth shared
+ * by the server dispatch, the typed client API, the CLI, and the
+ * tests. Wire names come from methodName(); nothing outside the
+ * codec layer should spell a method as a string literal.
+ */
+enum class Method : std::uint8_t
+{
+    // Enumerator values are the v2 wire bytes — do not renumber.
+    Health = 0,   //!< Liveness + protocol revisions; answered inline.
+    Stats = 1,    //!< Server counters; answered inline.
+    Shutdown = 2, //!< Begin graceful drain; answered inline.
+    Analyze = 3,  //!< Scenario classification + pattern mining.
+    Impact = 4,   //!< Component impact, overall and per scenario.
+    Mine = 5,     //!< Raw contrast patterns (no knowledge filter).
+    Ingest = 6,   //!< Corpus ingestion summary.
+    Sleep = 7,    //!< Test-only worker occupancy (enableTestMethods).
+};
+
+/** Stable wire name of @p method ("analyze", ...). */
+std::string_view methodName(Method method);
+
+/** Inverse of methodName(); nullopt for unknown names. */
+std::optional<Method> parseMethod(std::string_view name);
+
+/** The v2 wire byte of @p method (the enumerator value). */
+std::uint8_t methodWireByte(Method method);
+
+/** Inverse of methodWireByte(); nullopt for unknown bytes. */
+std::optional<Method> methodFromWireByte(std::uint8_t byte);
+
+/**
+ * Control-plane methods are answered inline on the connection's
+ * reader thread so they stay responsive when the worker queue is
+ * saturated (health/stats/shutdown).
+ */
+bool isControlMethod(Method method);
+
+// ----------------------------------------------------------- priority
+
+/** v2 per-request priorities (v1 requests run as Normal). */
+inline constexpr std::uint8_t kPriorityInteractive = 0;
+inline constexpr std::uint8_t kPriorityNormal = 1;
+inline constexpr std::uint8_t kPriorityBulk = 2;
+inline constexpr std::uint8_t kPriorityLevels = 3;
+
+// -------------------------------------------------------- error codes
 
 /** Machine-readable failure classes (the "error.code" field). */
 enum class ErrorCode
@@ -50,23 +115,114 @@ enum class ErrorCode
     DeadlineExceeded, //!< The request's deadline elapsed in the server.
     NotFound,         //!< Unknown corpus path / scenario / method.
     ShuttingDown,     //!< Daemon is draining; no new work accepted.
+    ProtocolError,    //!< Framing violation (oversized line, bad frame,
+                      //!< dictionary desync); carries a byte offset.
     Internal,         //!< Unexpected server-side failure.
 };
 
 /** Stable wire name of @p code ("bad_request", ...). */
 std::string_view errorCodeName(ErrorCode code);
 
-/** One parsed request line. */
+/** Inverse of errorCodeName(); nullopt for unknown names. */
+std::optional<ErrorCode> parseErrorCode(std::string_view name);
+
+/** One decoded protocol error (the "error" response member). */
+struct ErrorInfo
+{
+    ErrorCode code = ErrorCode::Internal;
+    std::string message;
+    /**
+     * For ProtocolError: the connection byte offset at which the
+     * violation was detected (0 = not applicable / unknown). Rendered
+     * as "error.offset" when nonzero.
+     */
+    std::uint64_t offset = 0;
+};
+
+// ----------------------------------------------------------- requests
+
+/** One parsed request (either transport). */
 struct Request
 {
-    /** Echoed on the response when present. */
+    /** v1: echoed on the response when present. v2 correlates by
+     *  stream id instead and leaves this unset server-side. */
     std::optional<double> id;
     std::string method;
     /** The "params" object (empty object when absent). */
     JsonValue params = JsonValue::makeObject();
     /** 0 = no explicit deadline (server default applies). */
     std::uint64_t deadlineMs = 0;
+    /** Scheduling class (kPriority*); v1 always Normal. */
+    std::uint8_t priority = kPriorityNormal;
 };
+
+/**
+ * Typed request structs — the client-facing shape of each method's
+ * params, one place instead of hand-built JSON at every call site.
+ * toParams() renders exactly the params object the server validates.
+ */
+struct AnalyzeRequest
+{
+    std::string corpus;
+    std::string scenario;
+    std::optional<double> tfastMs;
+    std::optional<double> tslowMs;
+    std::optional<std::size_t> top;
+    std::optional<bool> knowledgeFilter;
+    std::vector<std::string> components;
+    JsonValue toParams() const;
+    static constexpr Method kMethod = Method::Analyze;
+};
+
+struct ImpactRequest
+{
+    std::string corpus;
+    std::vector<std::string> components;
+    JsonValue toParams() const;
+    static constexpr Method kMethod = Method::Impact;
+};
+
+struct MineRequest
+{
+    std::string corpus;
+    std::string scenario;
+    std::optional<double> tfastMs;
+    std::optional<double> tslowMs;
+    std::optional<std::size_t> maxPatterns;
+    JsonValue toParams() const;
+    static constexpr Method kMethod = Method::Mine;
+};
+
+struct IngestRequest
+{
+    std::string corpus;
+    JsonValue toParams() const;
+    static constexpr Method kMethod = Method::Ingest;
+};
+
+struct SleepRequest
+{
+    double ms = 10.0;
+    JsonValue toParams() const;
+    static constexpr Method kMethod = Method::Sleep;
+};
+
+// ---------------------------------------------------------- responses
+
+/** One decoded response, success or error (either transport). */
+struct Response
+{
+    bool ok = false;
+    /** v1: the echoed request id. v2: assigned by the Session from
+     *  its stream bookkeeping. */
+    std::optional<double> id;
+    /** The "result" object when ok. */
+    JsonValue result;
+    /** Populated when !ok. */
+    ErrorInfo error;
+};
+
+// ------------------------------------------------------ v1 line codec
 
 /**
  * Parse one request line (without the trailing newline). Fails with
@@ -79,9 +235,22 @@ Expected<Request> parseRequest(std::string_view line);
 std::string renderResult(const std::optional<double> &id,
                          const JsonValue &result);
 
-/** An error response line, newline-terminated. */
+/** An error response line, newline-terminated. @p offset (when
+ *  nonzero) becomes "error.offset" — see ErrorInfo::offset. */
 std::string renderError(const std::optional<double> &id,
-                        ErrorCode code, std::string_view message);
+                        ErrorCode code, std::string_view message,
+                        std::uint64_t offset = 0);
+
+/** Parse one response line into the shared Response shape. */
+Expected<Response> parseResponseLine(std::string_view line);
+
+// ----------------------------------------- shared payload (v2 bodies)
+
+/** Render the "error" object alone (v2 response payloads). */
+std::string renderErrorObject(const ErrorInfo &error);
+
+/** Decode an "error" object (v2 response payloads). */
+ErrorInfo parseErrorObject(const JsonValue &error);
 
 } // namespace server
 } // namespace tracelens

@@ -10,6 +10,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -212,12 +213,18 @@ bool
 Server::Connection::sendLine(const std::string &line)
 {
     std::lock_guard<std::mutex> lock(writeMutex);
+    return sendAllLocked(line);
+}
+
+bool
+Server::Connection::sendAllLocked(std::string_view bytes)
+{
     if (!open.load(std::memory_order_acquire))
         return false;
     std::size_t sent = 0;
-    while (sent < line.size()) {
+    while (sent < bytes.size()) {
         const ssize_t n =
-            ::send(fd, line.data() + sent, line.size() - sent,
+            ::send(fd, bytes.data() + sent, bytes.size() - sent,
                    MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
@@ -376,6 +383,9 @@ Server::stats() const
     stats.rejected = rejected_.load(std::memory_order_relaxed);
     stats.dropped = dropped_.load(std::memory_order_relaxed);
     stats.connections = connections_.load(std::memory_order_relaxed);
+    stats.v2Connections = v2Conns_.load(std::memory_order_relaxed);
+    stats.protocolErrors =
+        protocolErrors_.load(std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(
             const_cast<std::mutex &>(queueMutex_));
@@ -426,6 +436,12 @@ Server::acceptLoop()
                    std::strerror(errno));
             break;
         }
+        // Interactive protocol, small frames: without TCP_NODELAY a
+        // response written shortly after another stalls ~40ms behind
+        // Nagle waiting for the peer's delayed ACK.
+        const int nodelay = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                     sizeof(nodelay));
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
         char host[INET_ADDRSTRLEN] = "?";
@@ -475,20 +491,46 @@ Server::reapReaders(bool all)
 void
 Server::readerLoop(std::shared_ptr<Connection> conn)
 {
+    const bool readError = readV1Lines(conn);
+    // EOF only means the client closed its *write* side; a half-closed
+    // peer can still receive responses for requests already in flight,
+    // so `open` stays set unless the socket actually failed.
+    if (readError)
+        conn->open.store(false, std::memory_order_release);
+    connections_.fetch_sub(1, std::memory_order_relaxed);
+    TL_LOG(Debug, "serve: closed ", conn->peer);
+}
+
+bool
+Server::readV1Lines(const std::shared_ptr<Connection> &conn)
+{
     std::string pending;
     char buffer[4096];
-    bool readError = false;
+    bool firstLine = true;
+    bool discarding = false;
     while (true) {
         const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            readError = true;
-            break;
+            return true;
         }
         if (n == 0)
-            break; // client closed (or half-closed) its write side
+            return false; // client closed (or half-closed) write side
+        conn->bytesIn += static_cast<std::uint64_t>(n);
         pending.append(buffer, static_cast<std::size_t>(n));
+
+        if (discarding) {
+            // Skipping the tail of an oversized line; resume at the
+            // newline that terminates it.
+            const std::size_t nl = pending.find('\n');
+            if (nl == std::string::npos) {
+                pending.clear();
+                continue;
+            }
+            pending.erase(0, nl + 1);
+            discarding = false;
+        }
 
         std::size_t start = 0;
         while (true) {
@@ -498,6 +540,13 @@ Server::readerLoop(std::shared_ptr<Connection> conn)
             std::string_view line(pending.data() + start, nl - start);
             if (!line.empty() && line.back() == '\r')
                 line.remove_suffix(1);
+            if (firstLine && config_.enableProtocolV2 &&
+                line == wire::kPreface) {
+                // Protocol upgrade: everything past the preface line
+                // is already frame bytes.
+                return readV2Frames(conn, pending.substr(nl + 1));
+            }
+            firstLine = false;
             if (!line.empty())
                 handleLine(conn, line);
             start = nl + 1;
@@ -505,25 +554,254 @@ Server::readerLoop(std::shared_ptr<Connection> conn)
         pending.erase(0, start);
 
         if (pending.size() > config_.maxLineBytes) {
-            // A framing violation, not a slow consumer: reject and
-            // hang up so the buffer cannot grow without bound.
+            // A framing violation, not a slow consumer — but a
+            // recoverable one: report where it started, discard
+            // through the terminating newline, keep the connection.
+            protocolErrors_.fetch_add(1, std::memory_order_relaxed);
             errors_.fetch_add(1, std::memory_order_relaxed);
             errorsCounter_->add(1);
+            const std::uint64_t offset =
+                conn->bytesIn - pending.size();
             conn->sendLine(renderError(
-                std::nullopt, ErrorCode::BadRequest,
+                std::nullopt, ErrorCode::ProtocolError,
                 "request line exceeds " +
-                    std::to_string(config_.maxLineBytes) + " bytes"));
-            conn->shutdownBoth();
-            break;
+                    std::to_string(config_.maxLineBytes) +
+                    " bytes; line discarded",
+                offset));
+            pending.clear();
+            discarding = true;
         }
     }
-    // EOF only means the client closed its *write* side; a half-closed
-    // peer can still receive responses for requests already in flight,
-    // so `open` stays set unless the socket actually failed.
-    if (readError)
-        conn->open.store(false, std::memory_order_release);
-    connections_.fetch_sub(1, std::memory_order_relaxed);
-    TL_LOG(Debug, "serve: closed ", conn->peer);
+}
+
+// --------------------------------------------------- protocol v2 path
+
+bool
+Server::readV2Frames(const std::shared_ptr<Connection> &conn,
+                     std::string pending)
+{
+    v2Conns_.fetch_add(1, std::memory_order_relaxed);
+    conn->wire = std::make_unique<Connection::WireState>();
+    {
+        std::lock_guard<std::mutex> lock(conn->writeMutex);
+        wire::Settings mine;
+        mine.protocolVersion = kProtocolVersionV2;
+        mine.maxFramePayload = static_cast<std::uint32_t>(
+            std::min<std::size_t>(config_.maxLineBytes,
+                                  wire::kMaxSaneFramePayload));
+        std::string frame;
+        wire::appendFrame(frame, wire::FrameType::Settings, 0, 0,
+                          wire::encodeSettings(mine));
+        if (!conn->sendAllLocked(frame))
+            return false;
+    }
+    TL_LOG(Debug, "serve: ", conn->peer, " upgraded to protocol v2");
+
+    char buffer[4096];
+    while (true) {
+        // Consume every complete frame buffered so far.
+        while (pending.size() >= wire::kFrameHeaderBytes) {
+            wire::FrameHeader header;
+            wire::decodeFrameHeader(pending, header);
+            const std::uint64_t frameStart =
+                conn->bytesIn - pending.size();
+            if (header.length > wire::kMaxSaneFramePayload) {
+                // Not a skippable frame: a length like this means the
+                // byte stream itself is desynchronized.
+                protocolErrors_.fetch_add(1,
+                                          std::memory_order_relaxed);
+                sendGoaway(conn, frameStart,
+                           "frame length " +
+                               std::to_string(header.length) +
+                               " exceeds the sane limit");
+                return false;
+            }
+            const std::size_t total =
+                wire::kFrameHeaderBytes + header.length;
+            if (pending.size() < total)
+                break;
+            const std::string_view payload(
+                pending.data() + wire::kFrameHeaderBytes,
+                header.length);
+            if (!handleFrame(conn, header, payload, frameStart))
+                return false;
+            pending.erase(0, total);
+        }
+        const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return true;
+        }
+        if (n == 0) {
+            if (!pending.empty()) {
+                protocolErrors_.fetch_add(1,
+                                          std::memory_order_relaxed);
+                sendGoaway(conn, conn->bytesIn - pending.size(),
+                           "connection closed mid-frame (" +
+                               std::to_string(pending.size()) +
+                               " trailing bytes)");
+            }
+            return false;
+        }
+        conn->bytesIn += static_cast<std::uint64_t>(n);
+        pending.append(buffer, static_cast<std::size_t>(n));
+    }
+}
+
+void
+Server::sendGoaway(const std::shared_ptr<Connection> &conn,
+                   std::uint64_t offset, const std::string &message)
+{
+    TL_LOG(Debug, "serve: goaway to ", conn->peer, " @ byte ", offset,
+           ": ", message);
+    {
+        std::lock_guard<std::mutex> lock(conn->writeMutex);
+        std::string frame;
+        wire::appendFrame(frame, wire::FrameType::Goaway, 0, 0,
+                          wire::encodeGoaway(offset, message));
+        conn->sendAllLocked(frame);
+    }
+    conn->shutdownBoth();
+}
+
+bool
+Server::handleFrame(const std::shared_ptr<Connection> &conn,
+                    const wire::FrameHeader &header,
+                    std::string_view payload, std::uint64_t frameStart)
+{
+    Connection::WireState &state = *conn->wire;
+    switch (static_cast<wire::FrameType>(header.type)) {
+    case wire::FrameType::Settings: {
+        Expected<wire::Settings> settings =
+            wire::decodeSettings(payload);
+        if (!settings) {
+            protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+            sendGoaway(conn, frameStart,
+                       "malformed settings: " +
+                           settings.error().reason);
+            return false;
+        }
+        std::lock_guard<std::mutex> lock(conn->writeMutex);
+        state.peer = settings.value();
+        flushOutboundLocked(conn);
+        return true;
+    }
+    case wire::FrameType::Request: {
+        if ((header.stream & 1u) == 0 ||
+            header.stream <= state.lastStream) {
+            // Client streams are odd and strictly increasing; an id
+            // violating that means we lost framing sync.
+            protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+            sendGoaway(conn, frameStart,
+                       "bogus request stream id " +
+                           std::to_string(header.stream));
+            return false;
+        }
+        state.lastStream = header.stream;
+        if (header.length > config_.maxLineBytes) {
+            // Oversized but framed sanely: skip just this request.
+            protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            errorsCounter_->add(1);
+            respondError(conn, header.stream, std::nullopt,
+                         ErrorCode::ProtocolError,
+                         "request frame exceeds " +
+                             std::to_string(config_.maxLineBytes) +
+                             " bytes",
+                         frameStart);
+            return true;
+        }
+        Expected<wire::RequestFrame> frame =
+            wire::decodeRequestPayload(payload, state.recvDict);
+        if (!frame) {
+            // A dictionary/encoding failure leaves the session's
+            // tables out of lockstep — report it on the stream, then
+            // tear the connection down.
+            protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            errorsCounter_->add(1);
+            respondError(conn, header.stream, std::nullopt,
+                         ErrorCode::ProtocolError,
+                         frame.error().reason,
+                         frameStart + wire::kFrameHeaderBytes +
+                             frame.error().offset);
+            sendGoaway(conn, frameStart,
+                       "request payload undecodable: " +
+                           frame.error().reason);
+            return false;
+        }
+        const std::optional<Method> method =
+            methodFromWireByte(frame.value().methodByte);
+        if (!method) {
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            errorsCounter_->add(1);
+            respondError(
+                conn, header.stream, std::nullopt, ErrorCode::NotFound,
+                "unknown method byte " +
+                    std::to_string(frame.value().methodByte));
+            return true;
+        }
+        Expected<JsonValue> params =
+            JsonValue::parse(frame.value().paramsJson);
+        if (!params || !params.value().isObject()) {
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            errorsCounter_->add(1);
+            respondError(conn, header.stream, std::nullopt,
+                         ErrorCode::BadRequest,
+                         "request params must decode to a JSON "
+                         "object");
+            return true;
+        }
+        Request request;
+        request.method = std::string(methodName(*method));
+        request.params = std::move(params.value());
+        request.deadlineMs = frame.value().deadlineMs;
+        request.priority = frame.value().priority;
+        routeRequest(conn, std::move(request), header.stream);
+        return true;
+    }
+    case wire::FrameType::WindowUpdate: {
+        Expected<std::uint64_t> credit =
+            wire::decodeWindowUpdate(payload);
+        if (!credit || header.stream == 0) {
+            protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+            sendGoaway(conn, frameStart, "malformed window update");
+            return false;
+        }
+        std::lock_guard<std::mutex> lock(conn->writeMutex);
+        auto window = state.window.find(header.stream);
+        if (window == state.window.end()) {
+            window = state.window
+                         .emplace(header.stream,
+                                  static_cast<std::int64_t>(
+                                      state.peer.initialWindow))
+                         .first;
+        }
+        window->second +=
+            static_cast<std::int64_t>(credit.value());
+        flushOutboundLocked(conn);
+        return true;
+    }
+    case wire::FrameType::Ping: {
+        if ((header.flags & wire::kFlagAck) == 0) {
+            std::lock_guard<std::mutex> lock(conn->writeMutex);
+            std::string pong;
+            wire::appendFrame(pong, wire::FrameType::Ping,
+                              wire::kFlagAck, 0, payload);
+            conn->sendAllLocked(pong);
+        }
+        return true;
+    }
+    case wire::FrameType::Goaway:
+        TL_LOG(Debug, "serve: ", conn->peer, " sent goaway");
+        return false;
+    case wire::FrameType::Response:
+    default:
+        // Clients never send Response; unknown types are ignored for
+        // forward compatibility.
+        return true;
+    }
 }
 
 // ----------------------------------------------------- request path
@@ -541,7 +819,13 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
                                    parsed.error().reason));
         return;
     }
-    Request request = std::move(parsed.value());
+    routeRequest(conn, std::move(parsed.value()), 0);
+}
+
+void
+Server::routeRequest(const std::shared_ptr<Connection> &conn,
+                     Request request, std::uint32_t stream)
+{
     requests_.fetch_add(1, std::memory_order_relaxed);
     requestsCounter_->add(1);
 
@@ -554,24 +838,25 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
                                  ? "draining"
                                  : "ok"));
         result.set("protocol", JsonValue(kProtocolVersion));
+        JsonValue protocols = JsonValue::makeArray();
+        for (const std::uint32_t version :
+             supportedProtocolVersions())
+            protocols.push(JsonValue(version));
+        result.set("protocols", std::move(protocols));
         ok_.fetch_add(1, std::memory_order_relaxed);
-        sendResponse(conn, assembleOk(request.id, result.render()),
-                     false);
+        respondOk(conn, stream, request.id, result.render());
         return;
     }
     if (request.method == "stats") {
         ok_.fetch_add(1, std::memory_order_relaxed);
-        sendResponse(conn,
-                     assembleOk(request.id, statsResult().render()),
-                     false);
+        respondOk(conn, stream, request.id, statsResult().render());
         return;
     }
     if (request.method == "shutdown") {
         JsonValue result = JsonValue::makeObject();
         result.set("stopping", JsonValue(true));
         ok_.fetch_add(1, std::memory_order_relaxed);
-        sendResponse(conn, assembleOk(request.id, result.render()),
-                     false);
+        respondOk(conn, stream, request.id, result.render());
         TL_LOG(Info, "serve: shutdown requested by ", conn->peer);
         requestStop();
         return;
@@ -584,20 +869,15 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
     if (!known) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         errorsCounter_->add(1);
-        sendResponse(conn,
-                     renderError(request.id, ErrorCode::NotFound,
-                                 "unknown method \"" +
-                                     request.method + "\""),
-                     true);
+        respondError(conn, stream, request.id, ErrorCode::NotFound,
+                     "unknown method \"" + request.method + "\"");
         return;
     }
     if (draining_.load(std::memory_order_acquire)) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         errorsCounter_->add(1);
-        sendResponse(conn,
-                     renderError(request.id, ErrorCode::ShuttingDown,
-                                 "server is draining"),
-                     true);
+        respondError(conn, stream, request.id,
+                     ErrorCode::ShuttingDown, "server is draining");
         return;
     }
 
@@ -610,8 +890,12 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
         queued.deadline =
             queued.arrival + std::chrono::milliseconds(deadlineMs);
     }
+    const std::uint8_t priority =
+        request.priority < kPriorityLevels ? request.priority
+                                           : kPriorityBulk;
     queued.request = std::move(request);
     queued.conn = conn;
+    queued.stream = stream;
 
     {
         std::lock_guard<std::mutex> lock(queueMutex_);
@@ -619,19 +903,28 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
             rejected_.fetch_add(1, std::memory_order_relaxed);
             rejectedCounter_->add(1);
             errors_.fetch_add(1, std::memory_order_relaxed);
-            conn->sendLine(renderError(
-                queued.request.id, ErrorCode::Overloaded,
-                "request queue full (" +
-                    std::to_string(config_.maxInflight) +
-                    " inflight); retry later"));
+            respondError(conn, stream, queued.request.id,
+                         ErrorCode::Overloaded,
+                         "request queue full (" +
+                             std::to_string(config_.maxInflight) +
+                             " inflight); retry later");
             return;
         }
         ++inflight_;
-        queue_.push_back(std::move(queued));
-        queueDepthHist_->record(queue_.size());
+        queues_[priority].push_back(std::move(queued));
+        queueDepthHist_->record(queuedTotal());
         inflightGauge_->set(static_cast<double>(inflight_));
     }
     queueCv_.notify_one();
+}
+
+std::size_t
+Server::queuedTotal() const
+{
+    std::size_t total = 0;
+    for (const auto &bucket : queues_)
+        total += bucket.size();
+    return total;
 }
 
 void
@@ -642,12 +935,19 @@ Server::workerLoop()
         {
             std::unique_lock<std::mutex> lock(queueMutex_);
             queueCv_.wait(lock, [this] {
-                return !queue_.empty() || stopWorkers_;
+                return queuedTotal() != 0 || stopWorkers_;
             });
-            if (queue_.empty() && stopWorkers_)
+            if (queuedTotal() == 0 && stopWorkers_)
                 return;
-            request = std::move(queue_.front());
-            queue_.pop_front();
+            // Lowest priority index first: interactive requests
+            // overtake queued bulk work.
+            for (auto &bucket : queues_) {
+                if (!bucket.empty()) {
+                    request = std::move(bucket.front());
+                    bucket.pop_front();
+                    break;
+                }
+            }
         }
         try {
             process(std::move(request));
@@ -675,8 +975,8 @@ Server::process(QueuedRequest request)
         span.arg("method", request.request.method);
     queueWaitHist_->record(usSince(request.arrival));
 
-    std::string responseLine;
-    bool isError = false;
+    std::string resultJson;
+    std::optional<HandlerError> failure;
     const char *outcome = "ok";
     try {
         if (request.deadline && Clock::now() >= *request.deadline) {
@@ -697,20 +997,15 @@ Server::process(QueuedRequest request)
             result = handleSleep(request);
         else
             failRequest(ErrorCode::Internal, "unroutable method");
-        responseLine =
-            assembleOk(request.request.id, result.render());
+        resultJson = result.render();
         ok_.fetch_add(1, std::memory_order_relaxed);
     } catch (const HandlerError &e) {
-        responseLine =
-            renderError(request.request.id, e.code, e.message);
-        isError = true;
+        failure = e;
         outcome = errorCodeName(e.code).data();
         errors_.fetch_add(1, std::memory_order_relaxed);
         errorsCounter_->add(1);
     } catch (const std::exception &e) {
-        responseLine = renderError(request.request.id,
-                                   ErrorCode::Internal, e.what());
-        isError = true;
+        failure = HandlerError{ErrorCode::Internal, e.what()};
         outcome = "internal";
         errors_.fetch_add(1, std::memory_order_relaxed);
         errorsCounter_->add(1);
@@ -719,15 +1014,131 @@ Server::process(QueuedRequest request)
     latencyHist_->record(usSince(request.arrival));
     if (span.active())
         span.arg("outcome", std::string(outcome));
-    sendResponse(request.conn, responseLine, isError);
+    if (failure) {
+        respondError(request.conn, request.stream,
+                     request.request.id, failure->code,
+                     failure->message);
+    } else {
+        respondOk(request.conn, request.stream, request.request.id,
+                  resultJson);
+    }
+}
+
+// ------------------------------------------------- response emission
+
+void
+Server::respondOk(const std::shared_ptr<Connection> &conn,
+                  std::uint32_t stream,
+                  const std::optional<double> &id,
+                  const std::string &resultJson)
+{
+    if (stream == 0) {
+        if (!conn->sendLine(assembleOk(id, resultJson)))
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    sendResponseV2(conn, stream, false, resultJson);
 }
 
 void
-Server::sendResponse(const std::shared_ptr<Connection> &conn,
-                     const std::string &line, bool /*isError*/)
+Server::respondError(const std::shared_ptr<Connection> &conn,
+                     std::uint32_t stream,
+                     const std::optional<double> &id, ErrorCode code,
+                     const std::string &message, std::uint64_t offset)
 {
-    if (!conn->sendLine(line))
+    if (stream == 0) {
+        if (!conn->sendLine(renderError(id, code, message, offset)))
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    ErrorInfo info;
+    info.code = code;
+    info.message = message;
+    info.offset = offset;
+    sendResponseV2(conn, stream, true, renderErrorObject(info));
+}
+
+void
+Server::sendResponseV2(const std::shared_ptr<Connection> &conn,
+                       std::uint32_t stream, bool isError,
+                       const std::string &payloadJson)
+{
+    std::lock_guard<std::mutex> lock(conn->writeMutex);
+    if (!conn->open.load(std::memory_order_acquire) || !conn->wire) {
         dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    Connection::WireState &state = *conn->wire;
+    Connection::WireState::Outbound out;
+    out.stream = stream;
+    out.finalFlags = wire::kFlagEndStream |
+                     (isError ? wire::kFlagError : std::uint8_t{0});
+    // Encoding happens here, under writeMutex, in queue order — so
+    // dictionary insertions hit the wire in exactly the order the
+    // client's mirror table will apply them.
+    state.sendDict.encode(payloadJson, out.bytes);
+    state.outbound.push_back(std::move(out));
+    flushOutboundLocked(conn);
+}
+
+void
+Server::flushOutboundLocked(const std::shared_ptr<Connection> &conn)
+{
+    Connection::WireState &state = *conn->wire;
+    while (!state.outbound.empty()) {
+        Connection::WireState::Outbound &head =
+            state.outbound.front();
+        if (head.bytes.empty()) {
+            std::string frame;
+            wire::appendFrame(frame, wire::FrameType::Response,
+                              head.finalFlags, head.stream, {});
+            if (!conn->sendAllLocked(frame)) {
+                dropped_.fetch_add(state.outbound.size(),
+                                   std::memory_order_relaxed);
+                state.outbound.clear();
+                return;
+            }
+            state.window.erase(head.stream);
+            state.outbound.pop_front();
+            continue;
+        }
+        auto window = state.window.find(head.stream);
+        if (window == state.window.end()) {
+            window = state.window
+                         .emplace(head.stream,
+                                  static_cast<std::int64_t>(
+                                      state.peer.initialWindow))
+                         .first;
+        }
+        while (head.sent < head.bytes.size()) {
+            if (window->second <= 0)
+                return; // parked until the client sends credit
+            const std::size_t chunk = std::min<std::size_t>(
+                {head.bytes.size() - head.sent,
+                 static_cast<std::size_t>(state.peer.maxFramePayload),
+                 static_cast<std::size_t>(window->second)});
+            const bool last =
+                head.sent + chunk == head.bytes.size();
+            const std::uint8_t flags =
+                last ? head.finalFlags
+                     : static_cast<std::uint8_t>(head.finalFlags &
+                                                 wire::kFlagError);
+            std::string frame;
+            wire::appendFrame(
+                frame, wire::FrameType::Response, flags, head.stream,
+                std::string_view(head.bytes).substr(head.sent, chunk));
+            if (!conn->sendAllLocked(frame)) {
+                dropped_.fetch_add(state.outbound.size(),
+                                   std::memory_order_relaxed);
+                state.outbound.clear();
+                return;
+            }
+            head.sent += chunk;
+            window->second -= static_cast<std::int64_t>(chunk);
+        }
+        state.window.erase(window);
+        state.outbound.pop_front();
+    }
 }
 
 // --------------------------------------------------------- handlers
@@ -1018,6 +1429,10 @@ Server::statsResult()
     connections.set("open", JsonValue(stats.connections));
     connections.set("accepted", JsonValue(stats.accepted));
     result.set("connections", std::move(connections));
+    JsonValue protocol = JsonValue::makeObject();
+    protocol.set("v2_connections", JsonValue(stats.v2Connections));
+    protocol.set("protocol_errors", JsonValue(stats.protocolErrors));
+    result.set("protocol", std::move(protocol));
     JsonValue sessionsJson = JsonValue::makeObject();
     sessionsJson.set("open", JsonValue(sessions.openSessions));
     sessionsJson.set("active_handles",

@@ -6,8 +6,10 @@
  * `tracelens serve` keeps ingested corpora, wait graphs, AWGs, and
  * mined patterns resident between requests — the batch pipeline of
  * PRs 1–4 behind an always-on, low-latency query surface. Concurrent
- * clients speak newline-delimited JSON (src/server/protocol.h);
- * requests flow
+ * clients speak newline-delimited JSON (protocol v1) or upgrade to
+ * multiplexed binary frames with per-request priorities and a shared
+ * symbol dictionary (protocol v2 — src/server/protocol.h and
+ * src/server/wire.h); requests flow
  *
  *   reader thread (one per connection, socket I/O only)
  *     -> bounded request queue (maxInflight; "overloaded" rejection
@@ -36,12 +38,14 @@
 #ifndef TRACELENS_SERVER_SERVER_H
 #define TRACELENS_SERVER_SERVER_H
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -50,6 +54,7 @@
 
 #include "src/server/protocol.h"
 #include "src/server/registry.h"
+#include "src/server/wire.h"
 #include "src/util/expected.h"
 #include "src/util/parallel.h"
 
@@ -77,6 +82,10 @@ struct ServerConfig
     std::size_t maxLineBytes = 1 << 20;
     /** Enable the test-only "sleep" method (tests and load bench). */
     bool enableTestMethods = false;
+    /** Offer the protocol-v2 upgrade (src/server/wire.h). Off, the
+     *  daemon answers the preface with a JSON bad_request line and v2
+     *  clients fall back to v1 — the interop tests' "old server". */
+    bool enableProtocolV2 = true;
     /** Session layer: ingestion options, artifact cache, eviction. */
     RegistryConfig registry;
 };
@@ -92,6 +101,8 @@ struct ServerStats
     std::uint64_t dropped = 0;    //!< Responses to vanished clients.
     std::size_t inflight = 0;     //!< Queued + running right now.
     std::size_t connections = 0;  //!< Open connections right now.
+    std::uint64_t v2Connections = 0;   //!< Connections upgraded to v2.
+    std::uint64_t protocolErrors = 0;  //!< Framing violations seen.
 };
 
 class Server
@@ -143,9 +154,45 @@ class Server
         std::mutex writeMutex;
         std::atomic<bool> open{true};
 
+        /** Total bytes received (reader thread only) — the source of
+         *  the byte offsets in protocol_error / GOAWAY reports. */
+        std::uint64_t bytesIn = 0;
+
+        /** Protocol-v2 connection state; null while the connection
+         *  speaks v1. Created by the reader thread at upgrade, before
+         *  any v2 request is routed, so workers that reach it via a
+         *  QueuedRequest observe it fully constructed. */
+        struct WireState
+        {
+            // ---- reader thread only
+            wire::SymbolDict recvDict;     //!< client->server params
+            std::uint32_t lastStream = 0;  //!< highest request stream
+
+            // ---- guarded by writeMutex
+            wire::SymbolDict sendDict;     //!< server->client results
+            wire::Settings peer;           //!< client's SETTINGS
+            /** Remaining response credit per open stream (created
+             *  lazily at peer.initialWindow). */
+            std::map<std::uint32_t, std::int64_t> window;
+            /** One queued response, already dictionary-encoded.
+             *  Encode order == queue order == wire order, which is
+             *  what keeps both ends' sendDict/recvDict in lockstep. */
+            struct Outbound
+            {
+                std::uint32_t stream = 0;
+                std::uint8_t finalFlags = 0;
+                std::string bytes;
+                std::size_t sent = 0;
+            };
+            std::deque<Outbound> outbound;
+        };
+        std::unique_ptr<WireState> wire;
+
         /** Write a full line; marks the connection closed on error.
          *  Returns false when the client vanished. */
         bool sendLine(const std::string &line);
+        /** Same, caller already holds writeMutex. */
+        bool sendAllLocked(std::string_view bytes);
         void shutdownBoth();
     };
 
@@ -157,18 +204,58 @@ class Server
         std::chrono::steady_clock::time_point arrival;
         /** Absolute deadline; nullopt = unlimited. */
         std::optional<std::chrono::steady_clock::time_point> deadline;
+        /** v2 response stream; 0 = the connection speaks v1. */
+        std::uint32_t stream = 0;
     };
 
     void acceptLoop();
     void readerLoop(std::shared_ptr<Connection> conn);
     void reapReaders(bool all);
 
+    /** v1 line loop; hands off to readV2Frames() on the preface.
+     *  Returns true when the socket failed (vs orderly close). */
+    bool readV1Lines(const std::shared_ptr<Connection> &conn);
+    /** v2 frame loop; @p pending = bytes read past the preface. */
+    bool readV2Frames(const std::shared_ptr<Connection> &conn,
+                      std::string pending);
+    /** Dispatch one v2 frame; false = stop reading this connection. */
+    bool handleFrame(const std::shared_ptr<Connection> &conn,
+                     const wire::FrameHeader &header,
+                     std::string_view payload,
+                     std::uint64_t frameStart);
+    /** Send GOAWAY (fatal framing violation) and hang up. */
+    void sendGoaway(const std::shared_ptr<Connection> &conn,
+                    std::uint64_t offset, const std::string &message);
+
     /** Parse and route one request line from @p conn. */
     void handleLine(const std::shared_ptr<Connection> &conn,
                     std::string_view line);
+    /** Shared v1/v2 routing: control methods inline, the rest into
+     *  the bounded priority queue. @p stream 0 = v1. */
+    void routeRequest(const std::shared_ptr<Connection> &conn,
+                      Request request, std::uint32_t stream);
     /** Run one queued request on a pool worker. */
     void process(QueuedRequest request);
     void workerLoop();
+    /** Queued requests across all priority buckets (queueMutex_). */
+    std::size_t queuedTotal() const;
+
+    // ---- response emission (version-dispatching on stream == 0)
+    void respondOk(const std::shared_ptr<Connection> &conn,
+                   std::uint32_t stream,
+                   const std::optional<double> &id,
+                   const std::string &resultJson);
+    void respondError(const std::shared_ptr<Connection> &conn,
+                      std::uint32_t stream,
+                      const std::optional<double> &id, ErrorCode code,
+                      const std::string &message,
+                      std::uint64_t offset = 0);
+    void sendResponseV2(const std::shared_ptr<Connection> &conn,
+                        std::uint32_t stream, bool isError,
+                        const std::string &payloadJson);
+    /** Drain Connection::WireState::outbound as far as the peer's
+     *  flow-control windows allow (writeMutex held). */
+    void flushOutboundLocked(const std::shared_ptr<Connection> &conn);
 
     /** Method handlers; return a result or throw HandlerError. */
     JsonValue handleAnalyze(const QueuedRequest &request);
@@ -179,8 +266,6 @@ class Server
     JsonValue statsResult();
 
     void drain();
-    void sendResponse(const std::shared_ptr<Connection> &conn,
-                      const std::string &line, bool isError);
 
     ServerConfig config_;
     SessionRegistry registry_;
@@ -208,7 +293,10 @@ class Server
     std::mutex queueMutex_;
     std::condition_variable queueCv_;
     std::condition_variable drainCv_;
-    std::deque<QueuedRequest> queue_;
+    /** One bucket per priority class; workers drain the lowest
+     *  non-empty index first, so interactive requests overtake queued
+     *  bulk work without preempting anything already running. */
+    std::array<std::deque<QueuedRequest>, kPriorityLevels> queues_;
     std::size_t inflight_ = 0; //!< Queued + running (queueMutex_).
     bool stopWorkers_ = false;
 
@@ -225,6 +313,8 @@ class Server
     std::atomic<std::uint64_t> rejected_{0};
     std::atomic<std::uint64_t> dropped_{0};
     std::atomic<std::size_t> connections_{0};
+    std::atomic<std::uint64_t> v2Conns_{0};
+    std::atomic<std::uint64_t> protocolErrors_{0};
 
     /** Lock-free metric handles, resolved once at start(). */
     Counter *requestsCounter_ = nullptr;

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Protocol-v2 frame and dictionary codecs (src/server/wire.h).
+ */
+
+#include "src/server/wire.h"
+
+#include <cstring>
+
+#include "src/util/varint.h"
+
+namespace tracelens
+{
+namespace server
+{
+namespace wire
+{
+
+namespace
+{
+
+void
+putU32le(std::string &out, std::uint32_t v)
+{
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    out.append(buf, 4);
+}
+
+const unsigned char *
+bytesOf(std::string_view s)
+{
+    return reinterpret_cast<const unsigned char *>(s.data());
+}
+
+} // namespace
+
+// ------------------------------------------------------------ framing
+
+void
+appendFrame(std::string &out, FrameType type, std::uint8_t flags,
+            std::uint32_t stream, std::string_view payload)
+{
+    putU32le(out, static_cast<std::uint32_t>(payload.size()));
+    out.push_back(static_cast<char>(type));
+    out.push_back(static_cast<char>(flags));
+    putU32le(out, stream);
+    out.append(payload);
+}
+
+bool
+decodeFrameHeader(std::string_view bytes, FrameHeader &out)
+{
+    if (bytes.size() < kFrameHeaderBytes)
+        return false;
+    std::memcpy(&out.length, bytes.data(), 4);
+    out.type = static_cast<std::uint8_t>(bytes[4]);
+    out.flags = static_cast<std::uint8_t>(bytes[5]);
+    std::memcpy(&out.stream, bytes.data() + 6, 4);
+    return true;
+}
+
+// ----------------------------------------------------------- settings
+
+namespace
+{
+
+inline constexpr std::uint64_t kSettingProtocolVersion = 1;
+inline constexpr std::uint64_t kSettingMaxFramePayload = 2;
+inline constexpr std::uint64_t kSettingInitialWindow = 3;
+
+} // namespace
+
+std::string
+encodeSettings(const Settings &settings)
+{
+    std::string out;
+    putVarint(out, kSettingProtocolVersion);
+    putVarint(out, settings.protocolVersion);
+    putVarint(out, kSettingMaxFramePayload);
+    putVarint(out, settings.maxFramePayload);
+    putVarint(out, kSettingInitialWindow);
+    putVarint(out, settings.initialWindow);
+    return out;
+}
+
+Expected<Settings>
+decodeSettings(std::string_view payload)
+{
+    Settings settings;
+    const unsigned char *data = bytesOf(payload);
+    std::size_t pos = 0;
+    while (pos < payload.size()) {
+        std::uint64_t id = 0, value = 0;
+        if (!getVarint(data, payload.size(), pos, id) ||
+            !getVarint(data, payload.size(), pos, value)) {
+            return SourceError{"<settings>", pos,
+                               "truncated settings entry"};
+        }
+        switch (id) {
+        case kSettingProtocolVersion:
+            settings.protocolVersion =
+                static_cast<std::uint32_t>(value);
+            break;
+        case kSettingMaxFramePayload:
+            if (value == 0 || value > kMaxSaneFramePayload) {
+                return SourceError{"<settings>", pos,
+                                   "max_frame_payload out of range"};
+            }
+            settings.maxFramePayload =
+                static_cast<std::uint32_t>(value);
+            break;
+        case kSettingInitialWindow:
+            if (value == 0 || value > (1ull << 31)) {
+                return SourceError{"<settings>", pos,
+                                   "initial_window out of range"};
+            }
+            settings.initialWindow = static_cast<std::uint32_t>(value);
+            break;
+        default:
+            break; // unknown setting: skip (forward compatibility)
+        }
+    }
+    return settings;
+}
+
+// ----------------------------------------------------- request frames
+
+std::string
+encodeRequestPayload(Method method, std::uint8_t priority,
+                     std::uint64_t deadlineMs,
+                     std::string_view paramsJson, SymbolDict &dict)
+{
+    std::string out;
+    out.push_back(static_cast<char>(methodWireByte(method)));
+    out.push_back(static_cast<char>(priority));
+    putVarint(out, deadlineMs);
+    dict.encode(paramsJson, out);
+    return out;
+}
+
+Expected<RequestFrame>
+decodeRequestPayload(std::string_view payload, SymbolDict &dict)
+{
+    if (payload.size() < 2) {
+        return SourceError{"<request-frame>", 0,
+                           "truncated request frame"};
+    }
+    RequestFrame frame;
+    frame.methodByte = static_cast<std::uint8_t>(payload[0]);
+    frame.priority = static_cast<std::uint8_t>(payload[1]);
+    if (frame.priority >= kPriorityLevels)
+        frame.priority = kPriorityBulk;
+    std::size_t pos = 2;
+    if (!getVarint(bytesOf(payload), payload.size(), pos,
+                   frame.deadlineMs)) {
+        return SourceError{"<request-frame>", pos,
+                           "truncated request deadline"};
+    }
+    Expected<std::string> params = dict.decode(payload.substr(pos));
+    if (!params) {
+        SourceError error = params.error();
+        error.offset += pos;
+        return error;
+    }
+    frame.paramsJson = std::move(params.value());
+    return frame;
+}
+
+// ------------------------------------------------------------- goaway
+
+std::string
+encodeGoaway(std::uint64_t offset, std::string_view message)
+{
+    std::string out;
+    putVarint(out, offset);
+    out.append(message);
+    return out;
+}
+
+Expected<GoawayInfo>
+decodeGoaway(std::string_view payload)
+{
+    GoawayInfo info;
+    std::size_t pos = 0;
+    if (!getVarint(bytesOf(payload), payload.size(), pos,
+                   info.offset)) {
+        return SourceError{"<goaway>", pos, "truncated goaway frame"};
+    }
+    info.message.assign(payload.substr(pos));
+    return info;
+}
+
+// ------------------------------------------------------ window update
+
+std::string
+encodeWindowUpdate(std::uint64_t credit)
+{
+    std::string out;
+    putVarint(out, credit);
+    return out;
+}
+
+Expected<std::uint64_t>
+decodeWindowUpdate(std::string_view payload)
+{
+    std::uint64_t credit = 0;
+    std::size_t pos = 0;
+    if (!getVarint(bytesOf(payload), payload.size(), pos, credit) ||
+        pos != payload.size() || credit == 0) {
+        return SourceError{"<window-update>", pos,
+                           "malformed window update"};
+    }
+    return credit;
+}
+
+// ---------------------------------------------------------- dictionary
+
+namespace
+{
+
+inline constexpr char kOpReference = 0x01;
+inline constexpr char kOpInsert = 0x02;
+inline constexpr char kOpLiteral = 0x03;
+
+} // namespace
+
+const std::vector<std::string> &
+SymbolDict::staticTable()
+{
+    // Protocol key strings that appear in almost every message, so
+    // they never transit as literals at all. Order is part of the
+    // wire contract: both sides seed identically.
+    static const std::vector<std::string> table = {
+        // request params
+        "corpus", "scenario", "tfast_ms", "tslow_ms", "knowledge_filter",
+        "components", "max_patterns", "deadline_ms",
+        // analyze / mine results
+        "classes", "fast", "middle", "slow", "slow_impact",
+        "driver_cost_share", "coverage", "mining_stats", "suppressed",
+        "patterns", "rank", "impact_ms", "count", "high_impact",
+        "tuple", "total_patterns",
+        // impact results
+        "instances", "d_scn_ms", "d_wait_ms", "d_run_ms",
+        "d_waitdist_ms", "ia_run", "ia_wait", "ia_opt", "per_scenario",
+        // ingest results
+        "source", "shards", "loaded_shards", "skipped_shards",
+        "ingest_bytes", "events", "scenarios", "mean_ms",
+        // health / stats / shutdown results
+        "status", "protocol", "protocols", "draining", "workers",
+        "max_inflight", "requests", "total", "errors", "rejected",
+        "dropped", "inflight", "connections", "open", "accepted",
+        "sessions", "active_handles", "opened", "reused", "evicted",
+        "open_failures", "latency", "p50_us", "p95_us", "p99_us",
+        "max_us", "stopping", "slept_ms",
+        // error objects
+        "code", "message", "offset", "bad_request", "overloaded",
+        "deadline_exceeded", "not_found", "shutting_down",
+        "protocol_error", "internal",
+    };
+    return table;
+}
+
+SymbolDict::SymbolDict()
+{
+    const std::vector<std::string> &seed = staticTable();
+    table_.reserve(seed.size() + 256);
+    for (const std::string &entry : seed) {
+        index_.emplace(entry,
+                       static_cast<std::uint32_t>(table_.size()));
+        table_.push_back(entry);
+    }
+}
+
+void
+SymbolDict::encode(std::string_view json, std::string &out)
+{
+    std::size_t i = 0;
+    const std::size_t n = json.size();
+    while (i < n) {
+        const char c = json[i];
+        if (c != '"') {
+            out.push_back(c);
+            ++i;
+            continue;
+        }
+        // Scan the string literal (rendered JSON, so escapes are
+        // well-formed and the closing quote exists).
+        std::size_t j = i + 1;
+        while (j < n && json[j] != '"') {
+            if (json[j] == '\\' && j + 1 < n)
+                ++j;
+            ++j;
+        }
+        if (j >= n) { // defensive: unterminated — copy verbatim
+            out.append(json.substr(i));
+            return;
+        }
+        const std::string_view token = json.substr(i + 1, j - i - 1);
+        i = j + 1;
+        if (token.size() < kDictMinString ||
+            token.size() > kDictMaxString) {
+            out.push_back('"');
+            out.append(token);
+            out.push_back('"');
+            continue;
+        }
+        const auto hit = index_.find(std::string(token));
+        if (hit != index_.end()) {
+            out.push_back(kOpReference);
+            putVarint(out, hit->second);
+            continue;
+        }
+        if (table_.size() < kDictMaxEntries) {
+            out.push_back(kOpInsert);
+            putVarint(out, token.size());
+            out.append(token);
+            index_.emplace(std::string(token),
+                           static_cast<std::uint32_t>(table_.size()));
+            table_.emplace_back(token);
+        } else {
+            out.push_back(kOpLiteral);
+            putVarint(out, token.size());
+            out.append(token);
+        }
+    }
+}
+
+Expected<std::string>
+SymbolDict::decode(std::string_view bytes)
+{
+    std::string out;
+    out.reserve(bytes.size() + bytes.size() / 2);
+    const unsigned char *data = bytesOf(bytes);
+    std::size_t pos = 0;
+    const std::size_t n = bytes.size();
+    while (pos < n) {
+        const char c = bytes[pos];
+        if (c != kOpReference && c != kOpInsert && c != kOpLiteral) {
+            out.push_back(c);
+            ++pos;
+            continue;
+        }
+        const std::size_t opAt = pos;
+        ++pos;
+        std::uint64_t value = 0;
+        if (!getVarint(data, n, pos, value)) {
+            return SourceError{"<dict>", opAt,
+                               "truncated dictionary instruction"};
+        }
+        if (c == kOpReference) {
+            if (value >= table_.size()) {
+                return SourceError{
+                    "<dict>", opAt,
+                    detail::concat("dictionary index ", value,
+                                   " out of range (table has ",
+                                   table_.size(), " entries)")};
+            }
+            out.push_back('"');
+            out.append(table_[value]);
+            out.push_back('"');
+            continue;
+        }
+        if (value < kDictMinString || value > kDictMaxString ||
+            value > n - pos) {
+            return SourceError{"<dict>", opAt,
+                               detail::concat(
+                                   "dictionary literal length ", value,
+                                   " invalid or truncated")};
+        }
+        const std::string_view token =
+            bytes.substr(pos, static_cast<std::size_t>(value));
+        pos += static_cast<std::size_t>(value);
+        out.push_back('"');
+        out.append(token);
+        out.push_back('"');
+        if (c == kOpInsert && table_.size() < kDictMaxEntries) {
+            index_.emplace(std::string(token),
+                           static_cast<std::uint32_t>(table_.size()));
+            table_.emplace_back(token);
+        }
+    }
+    return out;
+}
+
+} // namespace wire
+} // namespace server
+} // namespace tracelens

@@ -121,7 +121,8 @@ MmapReader::open(const std::string &path)
     }
     if (!cur.u32(index.version, "version"))
         return cur.error();
-    if (index.version != tlc::kVersion) {
+    if (index.version != tlc::kVersion &&
+        index.version != tlc::kVersionCompressed) {
         cur.fail(detail::concat("unsupported corpus version ",
                                 index.version));
         return cur.error();
@@ -169,12 +170,39 @@ MmapReader::open(const std::string &path)
                 !cur.skipString("tag value"))
                 return cur.error();
         }
-        if (!cur.count(extent.eventCount, tlc::kEventRecordBytes,
+        if (!cur.count(extent.eventCount,
+                       index.version == tlc::kVersion
+                           ? tlc::kEventRecordBytes
+                           : 1,
                        "event"))
             return cur.error();
+        if (index.version == tlc::kVersionCompressed &&
+            !cur.u32(extent.encoding, "event encoding"))
+            return cur.error();
+        if (extent.encoding == tlc::kEventEncodingRaw) {
+            extent.encodedBytes =
+                static_cast<std::uint64_t>(extent.eventCount) *
+                tlc::kEventRecordBytes;
+        } else if (extent.encoding == tlc::kEventEncodingDelta) {
+            std::uint32_t encoded_bytes = 0;
+            if (!cur.u32(encoded_bytes, "event block size"))
+                return cur.error();
+            if (extent.eventCount >
+                encoded_bytes / tlc::kDeltaMinBytesPerEvent) {
+                cur.fail(detail::concat(
+                    "corrupt corpus file: ", extent.eventCount,
+                    " events cannot fit in a ", encoded_bytes,
+                    "-byte compressed block"));
+                return cur.error();
+            }
+            extent.encodedBytes = encoded_bytes;
+        } else {
+            cur.fail(detail::concat("unknown event encoding ",
+                                    extent.encoding));
+            return cur.error();
+        }
         extent.eventsOffset = cur.offset();
-        if (!cur.skip(static_cast<std::size_t>(extent.eventCount) *
-                          tlc::kEventRecordBytes,
+        if (!cur.skip(static_cast<std::size_t>(extent.encodedBytes),
                       "events"))
             return cur.error();
         index.eventCount += extent.eventCount;
@@ -257,6 +285,8 @@ MmapReader::eventRecords(std::uint32_t stream) const
 {
     TL_ASSERT(stream < streams_.size(), "bad stream index ", stream);
     const TlcStreamExtent &extent = streams_[stream];
+    TL_ASSERT(extent.encoding == tlc::kEventEncodingRaw,
+              "eventRecords() on compressed stream ", stream);
     return map_.bytes().subspan(
         static_cast<std::size_t>(extent.eventsOffset),
         static_cast<std::size_t>(extent.eventCount) *
@@ -291,6 +321,14 @@ MmapReader::decodeStreamColumns(std::uint32_t stream) const
 {
     TL_ASSERT(stream < streams_.size(), "bad stream index ", stream);
     const TlcStreamExtent &extent = streams_[stream];
+    if (extent.encoding == tlc::kEventEncodingDelta) {
+        return decodeDeltaEventBlock(
+            map_.bytes().subspan(
+                static_cast<std::size_t>(extent.eventsOffset),
+                static_cast<std::size_t>(extent.encodedBytes)),
+            extent.eventCount, index_.stackCount, map_.path(),
+            extent.eventsOffset);
+    }
     EventColumns columns;
     columns.reserve(extent.eventCount);
     if (auto issue = columns.appendTlcRecords(eventRecords(stream),

@@ -91,9 +91,13 @@ struct TlcStreamExtent
 {
     /** Offset of the stream's name length prefix. */
     std::uint64_t nameOffset = 0;
-    /** Offset of the first packed 32-byte event record. */
+    /** Offset of the event payload (records or compressed block). */
     std::uint64_t eventsOffset = 0;
     std::uint32_t eventCount = 0;
+    /** tlc::kEventEncodingRaw or kEventEncodingDelta (v3 files). */
+    std::uint32_t encoding = 0;
+    /** Payload size in bytes (count*32 for raw, block size for delta). */
+    std::uint64_t encodedBytes = 0;
 };
 
 /** Lazy zero-copy view of one TLC1 file. */
@@ -122,7 +126,9 @@ class MmapReader
     /**
      * Zero-copy view of one stream's packed event records
      * (index().eventCount records of 32 bytes, unaligned). Decode
-     * individual events with decodeEvent().
+     * individual events with decodeEvent(). Only valid for streams
+     * with the raw encoding (every v2 file): compressed blocks have
+     * no record view — use decodeStreamColumns() instead.
      */
     std::span<const std::byte> eventRecords(std::uint32_t stream) const;
 

@@ -26,6 +26,7 @@
 #include "src/trace/merge.h"
 #include "src/trace/tlcformat.h"
 #include "src/util/logging.h"
+#include "src/util/varint.h"
 
 namespace tracelens
 {
@@ -77,13 +78,63 @@ slurpFile(const std::string &path)
     return bytes;
 }
 
+/**
+ * Encode one stream's events as a delta-varint block: field-major,
+ * timestamps and thread/stack ids as zigzag deltas (sorted timestamps
+ * and clustered ids make these tiny), costs and types as plain
+ * zigzag/varints. Field-major beats record-major here because runs of
+ * zero deltas compress to runs of single zero bytes.
+ */
+std::string
+encodeDeltaEvents(const TraceStream &stream)
+{
+    std::string block;
+    block.reserve(stream.size() * 4);
+    std::int64_t prev = 0;
+    for (const Event &e : stream.events()) {
+        putVarint(block, zigzagEncode(e.timestamp - prev));
+        prev = e.timestamp;
+    }
+    for (const Event &e : stream.events())
+        putVarint(block, zigzagEncode(e.cost));
+    prev = 0;
+    for (const Event &e : stream.events()) {
+        putVarint(block,
+                  zigzagEncode(static_cast<std::int64_t>(e.tid) - prev));
+        prev = static_cast<std::int64_t>(e.tid);
+    }
+    prev = 0;
+    for (const Event &e : stream.events()) {
+        putVarint(block, zigzagEncode(
+                             static_cast<std::int64_t>(e.wtid) - prev));
+        prev = static_cast<std::int64_t>(e.wtid);
+    }
+    prev = 0;
+    for (const Event &e : stream.events()) {
+        putVarint(block, zigzagEncode(
+                             static_cast<std::int64_t>(e.stack) - prev));
+        prev = static_cast<std::int64_t>(e.stack);
+    }
+    for (const Event &e : stream.events())
+        putVarint(block, static_cast<std::uint32_t>(e.type));
+    return block;
+}
+
 } // namespace
 
 void
 writeCorpus(const TraceCorpus &corpus, std::ostream &out)
 {
+    writeCorpus(corpus, out, CorpusWriteOptions{});
+}
+
+void
+writeCorpus(const TraceCorpus &corpus, std::ostream &out,
+            const CorpusWriteOptions &options)
+{
     putU32(out, kMagic);
-    putU32(out, kVersion);
+    putU32(out, options.compressEvents ? tlc::kVersionCompressed
+                                       : kVersion);
 
     const SymbolTable &sym = corpus.symbols();
 
@@ -113,13 +164,21 @@ writeCorpus(const TraceCorpus &corpus, std::ostream &out)
             putString(out, value);
         }
         putU32(out, static_cast<std::uint32_t>(stream.size()));
-        for (const Event &e : stream.events()) {
-            putI64(out, e.timestamp);
-            putI64(out, e.cost);
-            putU32(out, e.tid);
-            putU32(out, e.wtid);
-            putU32(out, e.stack);
-            putU32(out, static_cast<std::uint32_t>(e.type));
+        if (options.compressEvents) {
+            const std::string block = encodeDeltaEvents(stream);
+            putU32(out, tlc::kEventEncodingDelta);
+            putU32(out, static_cast<std::uint32_t>(block.size()));
+            out.write(block.data(),
+                      static_cast<std::streamsize>(block.size()));
+        } else {
+            for (const Event &e : stream.events()) {
+                putI64(out, e.timestamp);
+                putI64(out, e.cost);
+                putU32(out, e.tid);
+                putU32(out, e.wtid);
+                putU32(out, e.stack);
+                putU32(out, static_cast<std::uint32_t>(e.type));
+            }
         }
     }
 
@@ -176,19 +235,21 @@ digestCorpus(const TraceCorpus &corpus)
 }
 
 void
-writeCorpusFile(const TraceCorpus &corpus, const std::string &path)
+writeCorpusFile(const TraceCorpus &corpus, const std::string &path,
+                const CorpusWriteOptions &options)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out)
         TL_FATAL("cannot open '", path, "' for writing");
-    writeCorpus(corpus, out);
+    writeCorpus(corpus, out, options);
     if (!out)
         TL_FATAL("write to '", path, "' failed");
 }
 
 std::vector<std::string>
 writeShardedCorpusDir(const TraceCorpus &corpus, const std::string &dir,
-                      std::size_t shards)
+                      std::size_t shards,
+                      const CorpusWriteOptions &options)
 {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
@@ -205,10 +266,96 @@ writeShardedCorpusDir(const TraceCorpus &corpus, const std::string &dir,
              << ".tlc";
         const std::string path =
             (std::filesystem::path(dir) / name.str()).string();
-        writeCorpusFile(parts[i], path);
+        writeCorpusFile(parts[i], path, options);
         paths.push_back(path);
     }
     return paths;
+}
+
+Expected<EventColumns>
+decodeDeltaEventBlock(std::span<const std::byte> block,
+                      std::uint32_t event_count,
+                      std::uint32_t stack_count, const std::string &file,
+                      std::uint64_t block_offset)
+{
+    const auto *data =
+        reinterpret_cast<const unsigned char *>(block.data());
+    const std::size_t size = block.size();
+    std::size_t pos = 0;
+
+    const auto fail = [&](const char *what) -> SourceError {
+        return SourceError{file, block_offset + pos,
+                           detail::concat(
+                               "corrupt compressed event block (", what,
+                               ")")};
+    };
+
+    // Decode field-major into canonical packed records, then run the
+    // same bulk columnar decode as the raw path so every validation
+    // (type range, cost sanity, stack bounds) applies unchanged.
+    std::vector<std::byte> records(
+        static_cast<std::size_t>(event_count) * kEventRecordBytes);
+    const auto put = [&](std::size_t event, std::size_t field_offset,
+                         const void *src, std::size_t n) {
+        std::memcpy(records.data() + event * kEventRecordBytes +
+                        field_offset,
+                    src, n);
+    };
+
+    std::uint64_t raw = 0;
+    std::int64_t prev = 0;
+    for (std::uint32_t i = 0; i < event_count; ++i) {
+        if (!getVarint(data, size, pos, raw))
+            return fail("timestamp");
+        const std::int64_t ts = prev + zigzagDecode(raw);
+        prev = ts;
+        put(i, 0, &ts, 8);
+    }
+    for (std::uint32_t i = 0; i < event_count; ++i) {
+        if (!getVarint(data, size, pos, raw))
+            return fail("cost");
+        const std::int64_t cost = zigzagDecode(raw);
+        put(i, 8, &cost, 8);
+    }
+    static constexpr struct {
+        std::size_t offset;
+        const char *name;
+    } kU32DeltaFields[] = {{16, "tid"}, {20, "wtid"}, {24, "stack"}};
+    for (const auto &field : kU32DeltaFields) {
+        prev = 0;
+        for (std::uint32_t i = 0; i < event_count; ++i) {
+            if (!getVarint(data, size, pos, raw))
+                return fail(field.name);
+            const std::int64_t wide = prev + zigzagDecode(raw);
+            prev = wide;
+            if (wide < 0 || wide > 0xffffffffll) {
+                return SourceError{
+                    file, block_offset + pos,
+                    detail::concat("corrupt compressed event block (",
+                                   field.name, " out of u32 range)")};
+            }
+            const std::uint32_t v = static_cast<std::uint32_t>(wide);
+            put(i, field.offset, &v, 4);
+        }
+    }
+    for (std::uint32_t i = 0; i < event_count; ++i) {
+        if (!getVarint(data, size, pos, raw))
+            return fail("type");
+        if (raw > 0xffffffffull)
+            return fail("type out of u32 range");
+        const std::uint32_t v = static_cast<std::uint32_t>(raw);
+        put(i, 28, &v, 4);
+    }
+    if (pos != size)
+        return fail("trailing bytes after last event");
+
+    EventColumns columns;
+    columns.reserve(event_count);
+    if (auto issue = columns.appendTlcRecords(records, event_count,
+                                              stack_count)) {
+        return SourceError{file, block_offset, std::move(issue->reason)};
+    }
+    return columns;
 }
 
 Expected<TraceCorpus>
@@ -227,7 +374,7 @@ parseCorpus(std::span<const std::byte> bytes, const std::string &file)
     std::uint32_t version = 0;
     if (!cur.u32(version, "version"))
         return err();
-    if (version != kVersion) {
+    if (version != kVersion && version != tlc::kVersionCompressed) {
         cur.fail(detail::concat("unsupported corpus version ", version));
         return err();
     }
@@ -305,26 +452,60 @@ parseCorpus(std::span<const std::byte> bytes, const std::string &file)
             stream.tags.emplace(std::string(key), std::string(value));
         }
         std::uint32_t event_count = 0;
-        if (!cur.count(event_count, kEventRecordBytes, "event"))
+        if (!cur.count(event_count,
+                       version == kVersion ? kEventRecordBytes : 1,
+                       "event"))
             return err();
-        const std::uint64_t block_start = cur.offset();
-        std::span<const std::byte> records;
-        if (!cur.view(records, event_count * kEventRecordBytes,
-                      "event records"))
+        std::uint32_t encoding = tlc::kEventEncodingRaw;
+        if (version == tlc::kVersionCompressed &&
+            !cur.u32(encoding, "event encoding"))
             return err();
-        EventColumns columns;
-        columns.reserve(event_count);
-        if (auto issue = columns.appendTlcRecords(records, event_count,
-                                                  stack_count)) {
-            // The scalar parser read a whole record before validating
-            // it, so the historical failure offset is the end of the
-            // offending record — reproduce that exactly.
-            cur.failAt(block_start +
-                           (issue->index + 1) * kEventRecordBytes,
-                       std::move(issue->reason));
+        if (encoding == tlc::kEventEncodingRaw) {
+            const std::uint64_t block_start = cur.offset();
+            std::span<const std::byte> records;
+            if (!cur.view(records, event_count * kEventRecordBytes,
+                          "event records"))
+                return err();
+            EventColumns columns;
+            columns.reserve(event_count);
+            if (auto issue = columns.appendTlcRecords(
+                    records, event_count, stack_count)) {
+                // The scalar parser read a whole record before
+                // validating it, so the historical failure offset is
+                // the end of the offending record — reproduce that
+                // exactly.
+                cur.failAt(block_start +
+                               (issue->index + 1) * kEventRecordBytes,
+                           std::move(issue->reason));
+                return err();
+            }
+            stream.adopt(std::move(columns));
+        } else if (encoding == tlc::kEventEncodingDelta) {
+            std::uint32_t encoded_bytes = 0;
+            if (!cur.u32(encoded_bytes, "event block size"))
+                return err();
+            if (event_count >
+                encoded_bytes / tlc::kDeltaMinBytesPerEvent) {
+                cur.fail(detail::concat(
+                    "corrupt corpus file: ", event_count,
+                    " events cannot fit in a ", encoded_bytes,
+                    "-byte compressed block"));
+                return err();
+            }
+            const std::uint64_t block_start = cur.offset();
+            std::span<const std::byte> block;
+            if (!cur.view(block, encoded_bytes, "event block"))
+                return err();
+            Expected<EventColumns> columns = decodeDeltaEventBlock(
+                block, event_count, stack_count, file, block_start);
+            if (!columns)
+                return columns.error();
+            stream.adopt(std::move(columns.value()));
+        } else {
+            cur.fail(detail::concat("unknown event encoding ",
+                                    encoding));
             return err();
         }
-        stream.adopt(std::move(columns));
     }
 
     std::uint32_t instance_count = 0;
@@ -418,7 +599,7 @@ dumpStream(const TraceCorpus &corpus, std::uint32_t stream,
 std::uint32_t
 traceFormatVersion()
 {
-    return kVersion;
+    return tlc::kVersionCompressed;
 }
 
 } // namespace tracelens

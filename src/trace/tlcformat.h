@@ -27,6 +27,28 @@ namespace tlc
 inline constexpr std::uint32_t kMagic = 0x31434c54; // "TLC1" LE
 inline constexpr std::uint32_t kVersion = 2;
 
+/**
+ * Version 3 extends the container with per-stream event-block
+ * encodings: each stream carries a u32 encoding tag after its event
+ * count. Uncompressed writes still emit version 2 byte-for-byte (the
+ * corpus digest — the artifact-cache key — is the hash of the
+ * canonical v2 serialization and must stay stable), so version 3
+ * appears on disk only when block compression was requested. Readers
+ * accept both.
+ */
+inline constexpr std::uint32_t kVersionCompressed = 3;
+
+/** v3 per-stream event-block encoding tags. */
+inline constexpr std::uint32_t kEventEncodingRaw = 0;
+inline constexpr std::uint32_t kEventEncodingDelta = 1;
+
+/**
+ * Lower bound on the encoded size of one event in a delta block (six
+ * fields, each at least a one-byte varint) — the guard that keeps a
+ * hostile event count from driving a huge allocation before decode.
+ */
+inline constexpr std::size_t kDeltaMinBytesPerEvent = 6;
+
 /** Exact on-disk sizes of the packed record types (no padding). */
 inline constexpr std::size_t kEventRecordBytes = 32;
 inline constexpr std::size_t kInstanceRecordBytes = 28;

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * LEB128 varints and zigzag transforms, shared by the TLC1
+ * compressed-block codec (src/trace/serialize.cpp) and the protocol-v2
+ * wire framing (src/server/wire.cpp).
+ *
+ * Encoding appends to a std::string (both codecs assemble byte
+ * buffers that way); decoding is bounds-checked against the input
+ * span and never reads past it — every caller feeds untrusted bytes
+ * (a corpus file or a socket).
+ */
+
+#ifndef TRACELENS_UTIL_VARINT_H
+#define TRACELENS_UTIL_VARINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tracelens
+{
+
+/** Append @p value as an LEB128 varint (1..10 bytes). */
+inline void
+putVarint(std::string &out, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+        value >>= 7;
+    }
+    out.push_back(static_cast<char>(value));
+}
+
+/** Map a signed value to an unsigned one with small absolute values
+ *  staying small (0,-1,1,-2,... -> 0,1,2,3,...). */
+inline std::uint64_t
+zigzagEncode(std::int64_t value)
+{
+    return (static_cast<std::uint64_t>(value) << 1) ^
+           static_cast<std::uint64_t>(value >> 63);
+}
+
+inline std::int64_t
+zigzagDecode(std::uint64_t value)
+{
+    return static_cast<std::int64_t>(value >> 1) ^
+           -static_cast<std::int64_t>(value & 1);
+}
+
+/**
+ * Decode one LEB128 varint from @p data (size @p size) starting at
+ * @p pos. On success advances @p pos past the varint and returns
+ * true; returns false on truncation or a varint longer than 10 bytes
+ * (which cannot encode a 64-bit value and is therefore hostile
+ * input). @p pos is left unspecified on failure.
+ */
+inline bool
+getVarint(const unsigned char *data, std::size_t size,
+          std::size_t &pos, std::uint64_t &value)
+{
+    value = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        if (pos >= size)
+            return false;
+        const unsigned char byte = data[pos++];
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+            // Reject non-canonical bits dribbling past 64 (shift 63
+            // leaves one usable bit).
+            if (shift == 63 && (byte & 0x7e) != 0)
+                return false;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace tracelens
+
+#endif // TRACELENS_UTIL_VARINT_H

@@ -5,9 +5,12 @@
  * sockets, clients vanishing mid-response), backpressure and deadline
  * behaviour, the session registry's leak-freedom, warm-query serving
  * from the artifact store (asserted via stage-span outcomes), and
- * graceful drain. Built into the "server" ctest label so the whole
- * file runs under both sanitizers (ctest --preset asan-server /
- * tsan-server).
+ * graceful drain. Protocol-v2 framing, negotiation, and corruption
+ * handling live in tests/protocol2_test.cpp; this file drives the
+ * daemon through the typed Session API (negotiating v2 by default)
+ * and through raw v1 lines. Built into the "server" ctest label so
+ * the whole file runs under both sanitizers (ctest --preset
+ * asan-server / tsan-server).
  */
 
 #include <unistd.h>
@@ -89,23 +92,47 @@ class ServerTest : public ::testing::Test
         port_ = port.value();
     }
 
-    Client
-    connect()
+    Session
+    connect(SessionOptions options = {})
     {
-        Expected<Client> client = Client::connect(
-            "127.0.0.1", port_, std::chrono::milliseconds(30000));
-        EXPECT_TRUE(client.ok());
-        return std::move(client.value());
+        Expected<Session> session =
+            Session::connect("127.0.0.1", port_, options);
+        EXPECT_TRUE(session.ok());
+        return std::move(session.value());
     }
 
-    JsonValue
-    analyzeParams(double top = 5) const
+    RawConn
+    connectRaw()
     {
-        JsonValue params = JsonValue::makeObject();
-        params.set("corpus", JsonValue(corpusPath_));
-        params.set("scenario", JsonValue("BrowserTabCreate"));
-        params.set("top", JsonValue(top));
-        return params;
+        Expected<RawConn> conn = RawConn::connect(
+            "127.0.0.1", port_, std::chrono::milliseconds(30000));
+        EXPECT_TRUE(conn.ok());
+        return std::move(conn.value());
+    }
+
+    /** One raw v1 request/response round trip on @p conn. */
+    std::string
+    rawCall(RawConn &conn, const std::string &method,
+            const JsonValue &params, double id = 1)
+    {
+        JsonValue request = JsonValue::makeObject();
+        request.set("id", JsonValue(id));
+        request.set("method", JsonValue(method));
+        request.set("params", params);
+        EXPECT_TRUE(conn.sendRaw(request.render() + "\n"));
+        Expected<std::string> reply = conn.readLine();
+        EXPECT_TRUE(reply.ok());
+        return reply.ok() ? reply.value() : std::string();
+    }
+
+    AnalyzeRequest
+    analyzeRequest(std::size_t top = 5) const
+    {
+        AnalyzeRequest request;
+        request.corpus = corpusPath_;
+        request.scenario = "BrowserTabCreate";
+        request.top = top;
+        return request;
     }
 
     void
@@ -130,24 +157,33 @@ class ServerTest : public ::testing::Test
     std::uint16_t port_ = 0;
 };
 
-TEST_F(ServerTest, HealthReportsProtocolVersion)
+TEST_F(ServerTest, HealthReportsProtocolVersions)
 {
     startServer();
-    Client client = connect();
-    Expected<CallResult> response =
-        client.call("health", JsonValue::makeObject());
+    Session session = connect();
+    // Auto-negotiation against a current server lands on v2.
+    EXPECT_EQ(session.protocolVersion(), kProtocolVersionV2);
+    Expected<Response> response = session.health();
     ASSERT_TRUE(response.ok()) << response.error().render();
     ASSERT_TRUE(response.value().ok);
     const JsonValue *protocol =
         response.value().result.find("protocol");
     ASSERT_NE(protocol, nullptr);
     EXPECT_EQ(protocol->asNumber(), kProtocolVersion);
+    const JsonValue *protocols =
+        response.value().result.find("protocols");
+    ASSERT_NE(protocols, nullptr);
+    ASSERT_TRUE(protocols->isArray());
+    ASSERT_EQ(protocols->asArray().size(),
+              supportedProtocolVersions().size());
+    EXPECT_EQ(protocols->asArray()[0].asNumber(), kProtocolVersionV1);
+    EXPECT_EQ(protocols->asArray()[1].asNumber(), kProtocolVersionV2);
 }
 
 TEST_F(ServerTest, MalformedJsonAnswersBadRequestAndKeepsConnection)
 {
     startServer();
-    Client client = connect();
+    RawConn client = connectRaw();
     const char *garbage[] = {
         "not json at all",
         "{\"method\":}",
@@ -174,77 +210,91 @@ TEST_F(ServerTest, MalformedJsonAnswersBadRequestAndKeepsConnection)
     EXPECT_NE(reply.value().find("bad_request"), std::string::npos);
 
     // The connection survived all of it.
-    Expected<CallResult> health =
-        client.call("health", JsonValue::makeObject());
-    ASSERT_TRUE(health.ok());
-    EXPECT_TRUE(health.value().ok);
+    const std::string health =
+        rawCall(client, "health", JsonValue::makeObject());
+    EXPECT_NE(health.find("\"ok\":true"), std::string::npos);
 }
 
-TEST_F(ServerTest, OversizedRequestLineIsRejectedAndConnectionClosed)
+TEST_F(ServerTest, OversizedRequestLineAnswersProtocolErrorAndRecovers)
 {
     ServerConfig config;
     config.maxLineBytes = 256;
     startServer(config);
-    Client client = connect();
+    RawConn client = connectRaw();
 
-    // 4 KiB without a newline: the server must bound its buffer, send
-    // one bad_request error, and hang up.
+    // 4 KiB without a newline: the server must bound its buffer and
+    // answer one structured protocol_error carrying the byte offset
+    // of the offending line...
     ASSERT_TRUE(client.sendRaw(std::string(4096, 'x')));
     Expected<std::string> reply = client.readLine();
     ASSERT_TRUE(reply.ok()) << reply.error().render();
-    EXPECT_NE(reply.value().find("bad_request"), std::string::npos);
-    Expected<std::string> eof = client.readLine();
-    EXPECT_FALSE(eof.ok()); // connection closed by server
+    Expected<Response> parsed = parseResponseLine(reply.value());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_FALSE(parsed.value().ok);
+    EXPECT_EQ(parsed.value().error.code, ErrorCode::ProtocolError);
+    EXPECT_EQ(parsed.value().error.offset, 0u)
+        << "offending line started at byte 0 of the connection";
 
-    // The daemon itself is unaffected.
-    Client fresh = connect();
-    Expected<CallResult> health =
-        fresh.call("health", JsonValue::makeObject());
-    ASSERT_TRUE(health.ok());
-    EXPECT_TRUE(health.value().ok);
+    // ...and the connection must survive: terminating the discarded
+    // line resumes normal service on the same socket.
+    ASSERT_TRUE(client.sendRaw("\n"));
+    const std::string health =
+        rawCall(client, "health", JsonValue::makeObject());
+    EXPECT_NE(health.find("\"ok\":true"), std::string::npos);
+
+    // A second violation mid-connection reports a nonzero offset.
+    ASSERT_TRUE(client.sendRaw(std::string(4096, 'y')));
+    Expected<std::string> again = client.readLine();
+    ASSERT_TRUE(again.ok());
+    Expected<Response> parsedAgain = parseResponseLine(again.value());
+    ASSERT_TRUE(parsedAgain.ok());
+    EXPECT_EQ(parsedAgain.value().error.code,
+              ErrorCode::ProtocolError);
+    EXPECT_GT(parsedAgain.value().error.offset, 0u);
+    EXPECT_GE(server_->stats().protocolErrors, 2u);
 }
 
 TEST_F(ServerTest, UnknownMethodAndUnknownCorpusAnswerNotFound)
 {
     startServer();
-    Client client = connect();
+    Session session = connect();
 
-    Expected<CallResult> method =
-        client.call("frobnicate", JsonValue::makeObject());
-    ASSERT_TRUE(method.ok());
-    EXPECT_FALSE(method.value().ok);
-    EXPECT_EQ(method.value().errorCode, "not_found");
+    // Unknown method names can only exist over v1 (v2 transits a
+    // method byte), so drive that case with a raw line.
+    RawConn raw = connectRaw();
+    const std::string unknown =
+        rawCall(raw, "frobnicate", JsonValue::makeObject());
+    EXPECT_NE(unknown.find("not_found"), std::string::npos);
 
-    JsonValue params = JsonValue::makeObject();
-    params.set("corpus",
-               JsonValue((scratch_->path() / "nope.tlc").string()));
-    Expected<CallResult> corpus = client.call("ingest", params);
+    IngestRequest missing;
+    missing.corpus = (scratch_->path() / "nope.tlc").string();
+    Expected<Response> corpus = session.ingest(missing);
     ASSERT_TRUE(corpus.ok());
     EXPECT_FALSE(corpus.value().ok);
-    EXPECT_EQ(corpus.value().errorCode, "not_found");
+    EXPECT_EQ(corpus.value().error.code, ErrorCode::NotFound);
 
-    JsonValue bad = analyzeParams();
-    bad.set("scenario", JsonValue("NoSuchScenario"));
-    bad.set("tfast_ms", JsonValue(100));
-    bad.set("tslow_ms", JsonValue(200));
-    Expected<CallResult> scenario = client.call("analyze", bad);
+    AnalyzeRequest bad = analyzeRequest();
+    bad.scenario = "NoSuchScenario";
+    bad.tfastMs = 100;
+    bad.tslowMs = 200;
+    Expected<Response> scenario = session.analyze(bad);
     ASSERT_TRUE(scenario.ok());
     EXPECT_FALSE(scenario.value().ok);
-    EXPECT_EQ(scenario.value().errorCode, "not_found");
+    EXPECT_EQ(scenario.value().error.code, ErrorCode::NotFound);
 }
 
 TEST_F(ServerTest, WarmQueriesAreServedFromTheArtifactStore)
 {
     startServer();
-    Client client = connect();
+    Session session = connect();
 
     Telemetry::setEnabled(true);
     Telemetry::reset();
 
     // Cold: every pipeline stage builds (outcome "miss").
-    Expected<CallResult> cold = client.call("analyze", analyzeParams(3));
+    Expected<Response> cold = session.analyze(analyzeRequest(3));
     ASSERT_TRUE(cold.ok()) << cold.error().render();
-    ASSERT_TRUE(cold.value().ok) << cold.value().errorMessage;
+    ASSERT_TRUE(cold.value().ok) << cold.value().error.message;
     const std::string coldTrace = Telemetry::renderChromeTrace();
     EXPECT_NE(coldTrace.find("stage."), std::string::npos);
     EXPECT_NE(coldTrace.find("\"outcome\": \"miss\""),
@@ -255,7 +305,7 @@ TEST_F(ServerTest, WarmQueriesAreServedFromTheArtifactStore)
     // but the same underlying artifacts — every stage the pipeline
     // re-enters must be served from the store, nothing recomputed.
     Telemetry::reset();
-    Expected<CallResult> warm = client.call("analyze", analyzeParams(5));
+    Expected<Response> warm = session.analyze(analyzeRequest(5));
     ASSERT_TRUE(warm.ok());
     ASSERT_TRUE(warm.value().ok);
     const std::string warmTrace = Telemetry::renderChromeTrace();
@@ -267,8 +317,7 @@ TEST_F(ServerTest, WarmQueriesAreServedFromTheArtifactStore)
     // Warm, identical params: the rendered response itself is cached;
     // the pipeline is not re-entered at all.
     Telemetry::reset();
-    Expected<CallResult> repeat =
-        client.call("analyze", analyzeParams(5));
+    Expected<Response> repeat = session.analyze(analyzeRequest(5));
     ASSERT_TRUE(repeat.ok());
     ASSERT_TRUE(repeat.value().ok);
     const std::string repeatTrace = Telemetry::renderChromeTrace();
@@ -290,7 +339,7 @@ TEST_F(ServerTest, BackpressureRejectsBeyondMaxInflight)
 
     // First request occupies the single worker and the single
     // inflight slot...
-    Client busy = connect();
+    RawConn busy = connectRaw();
     JsonValue sleepLong = JsonValue::makeObject();
     sleepLong.set("ms", JsonValue(500));
     JsonValue request = JsonValue::makeObject();
@@ -302,22 +351,19 @@ TEST_F(ServerTest, BackpressureRejectsBeyondMaxInflight)
 
     // ...so a second is rejected with "overloaded" immediately, from
     // the reader thread, without queueing behind the sleeper.
-    Client rejected = connect();
-    JsonValue sleepShort = JsonValue::makeObject();
-    sleepShort.set("ms", JsonValue(1));
+    Session rejected = connect();
+    SleepRequest sleepShort;
+    sleepShort.ms = 1;
     const auto start = std::chrono::steady_clock::now();
-    Expected<CallResult> response =
-        rejected.call("sleep", sleepShort);
-    const auto elapsed =
-        std::chrono::steady_clock::now() - start;
+    Expected<Response> response = rejected.sleep(sleepShort);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
     ASSERT_TRUE(response.ok()) << response.error().render();
     EXPECT_FALSE(response.value().ok);
-    EXPECT_EQ(response.value().errorCode, "overloaded");
+    EXPECT_EQ(response.value().error.code, ErrorCode::Overloaded);
     EXPECT_LT(elapsed, std::chrono::milliseconds(400));
 
     // Control-plane methods still answer while the queue is full.
-    Expected<CallResult> health =
-        rejected.call("health", JsonValue::makeObject());
+    Expected<Response> health = rejected.health();
     ASSERT_TRUE(health.ok());
     EXPECT_TRUE(health.value().ok);
 
@@ -333,39 +379,44 @@ TEST_F(ServerTest, DeadlinesCancelCooperatively)
     ServerConfig config;
     config.workers = 1;
     startServer(config);
-    Client client = connect();
+    Session session = connect();
 
     // In-handler expiry: the sleep loop checks the deadline and stops
     // early instead of burning the full second.
-    JsonValue params = JsonValue::makeObject();
-    params.set("ms", JsonValue(1000));
+    SleepRequest longSleep;
+    longSleep.ms = 1000;
+    CallOptions tight;
+    tight.deadlineMs = 50;
     const auto start = std::chrono::steady_clock::now();
-    Expected<CallResult> response = client.call("sleep", params, 50);
+    Expected<Response> response = session.sleep(longSleep, tight);
     const auto elapsed = std::chrono::steady_clock::now() - start;
     ASSERT_TRUE(response.ok()) << response.error().render();
     EXPECT_FALSE(response.value().ok);
-    EXPECT_EQ(response.value().errorCode, "deadline_exceeded");
+    EXPECT_EQ(response.value().error.code,
+              ErrorCode::DeadlineExceeded);
     EXPECT_LT(elapsed, std::chrono::milliseconds(800));
 
     // Queue-wait expiry: a request whose deadline elapses while a
     // long request holds the only worker is answered at dequeue, not
     // run.
-    Client blocker = connect();
-    JsonValue longSleep = JsonValue::makeObject();
-    longSleep.set("ms", JsonValue(400));
+    RawConn blocker = connectRaw();
+    JsonValue longParams = JsonValue::makeObject();
+    longParams.set("ms", JsonValue(400));
     JsonValue blockReq = JsonValue::makeObject();
     blockReq.set("id", JsonValue(1));
     blockReq.set("method", JsonValue("sleep"));
-    blockReq.set("params", longSleep);
+    blockReq.set("params", longParams);
     ASSERT_TRUE(blocker.sendRaw(blockReq.render() + "\n"));
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
-    JsonValue quick = JsonValue::makeObject();
-    quick.set("ms", JsonValue(1));
-    Expected<CallResult> queued = client.call("sleep", quick, 100);
+    SleepRequest quick;
+    quick.ms = 1;
+    CallOptions queuedDeadline;
+    queuedDeadline.deadlineMs = 100;
+    Expected<Response> queued = session.sleep(quick, queuedDeadline);
     ASSERT_TRUE(queued.ok());
     EXPECT_FALSE(queued.value().ok);
-    EXPECT_EQ(queued.value().errorCode, "deadline_exceeded");
+    EXPECT_EQ(queued.value().error.code, ErrorCode::DeadlineExceeded);
     Expected<std::string> done = blocker.readLine();
     ASSERT_TRUE(done.ok());
 }
@@ -373,7 +424,7 @@ TEST_F(ServerTest, DeadlinesCancelCooperatively)
 TEST_F(ServerTest, HalfClosedSocketStillReceivesItsResponse)
 {
     startServer();
-    Client client = connect();
+    RawConn client = connectRaw();
     JsonValue request = JsonValue::makeObject();
     request.set("id", JsonValue(9));
     request.set("method", JsonValue("ingest"));
@@ -393,7 +444,7 @@ TEST_F(ServerTest, ClientDisconnectMidResponseDoesNotCrashOrLeak)
 {
     startServer();
     for (int i = 0; i < 5; ++i) {
-        Client client = connect();
+        RawConn client = connectRaw();
         JsonValue request = JsonValue::makeObject();
         request.set("id", JsonValue(i));
         request.set("method", JsonValue("sleep"));
@@ -406,15 +457,14 @@ TEST_F(ServerTest, ClientDisconnectMidResponseDoesNotCrashOrLeak)
     // Workers must finish the orphaned requests, count the drops, and
     // release every session handle (checked in TearDown, after the
     // drain guarantees the workers retired them).
-    Client probe = connect();
+    Session probe = connect();
     for (int tries = 0; tries < 100; ++tries) {
         if (server_->stats().inflight == 0)
             break;
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
     EXPECT_EQ(server_->stats().inflight, 0u);
-    Expected<CallResult> health =
-        probe.call("health", JsonValue::makeObject());
+    Expected<Response> health = probe.health();
     ASSERT_TRUE(health.ok());
     EXPECT_TRUE(health.value().ok);
 }
@@ -432,26 +482,35 @@ TEST_F(ServerTest, ConcurrentClientsAllSucceed)
     clients.reserve(kClients);
     for (int c = 0; c < kClients; ++c) {
         clients.emplace_back([&, c] {
-            Expected<Client> client = Client::connect(
-                "127.0.0.1", port_,
-                std::chrono::milliseconds(60000));
-            if (!client.ok()) {
+            SessionOptions options;
+            options.ioTimeout = std::chrono::milliseconds(60000);
+            // Half the fleet negotiates v2, half stays on v1: both
+            // transports hammer the same daemon concurrently.
+            options.prefer = (c % 2 == 0) ? ProtocolPreference::Auto
+                                          : ProtocolPreference::V1;
+            Expected<Session> session =
+                Session::connect("127.0.0.1", port_, options);
+            if (!session.ok()) {
                 failures[static_cast<std::size_t>(c)] = kRequests;
                 return;
             }
             for (int r = 0; r < kRequests; ++r) {
-                JsonValue params = JsonValue::makeObject();
-                params.set("corpus", JsonValue(corpusPath_));
-                const char *method = "ingest";
-                if (r % 3 == 1) {
-                    method = "analyze";
-                    params.set("scenario",
-                               JsonValue("BrowserTabCreate"));
-                } else if (r % 3 == 2) {
-                    method = "impact";
-                }
-                Expected<CallResult> response =
-                    client.value().call(method, params);
+                Expected<Response> response = [&]() {
+                    if (r % 3 == 1) {
+                        AnalyzeRequest request;
+                        request.corpus = corpusPath_;
+                        request.scenario = "BrowserTabCreate";
+                        return session.value().analyze(request);
+                    }
+                    if (r % 3 == 2) {
+                        ImpactRequest request;
+                        request.corpus = corpusPath_;
+                        return session.value().impact(request);
+                    }
+                    IngestRequest request;
+                    request.corpus = corpusPath_;
+                    return session.value().ingest(request);
+                }();
                 if (!response.ok() || !response.value().ok)
                     ++failures[static_cast<std::size_t>(c)];
             }
@@ -469,12 +528,13 @@ TEST_F(ServerTest, ConcurrentClientsAllSucceed)
     EXPECT_EQ(registry.opened, 1u);
     EXPECT_GE(registry.reused,
               static_cast<std::uint64_t>(kClients * kRequests - 1));
+    EXPECT_GE(server_->stats().v2Connections, 4u);
 }
 
 TEST_F(ServerTest, ShutdownDrainsInflightRequestsFirst)
 {
     startServer();
-    Client client = connect();
+    RawConn client = connectRaw();
     JsonValue request = JsonValue::makeObject();
     request.set("id", JsonValue(1));
     request.set("method", JsonValue("sleep"));
@@ -523,6 +583,36 @@ TEST(ServerUtil, ResponseRenderingEchoesIdsAndCodes)
         renderError(7.0, ErrorCode::DeadlineExceeded, "late");
     EXPECT_NE(withId.find("\"id\":7"), std::string::npos);
     EXPECT_NE(withId.find("deadline_exceeded"), std::string::npos);
+
+    const std::string withOffset = renderError(
+        std::nullopt, ErrorCode::ProtocolError, "desync", 1234);
+    EXPECT_NE(withOffset.find("protocol_error"), std::string::npos);
+    EXPECT_NE(withOffset.find("\"offset\":1234"), std::string::npos);
+    Expected<Response> parsed = parseResponseLine(withOffset);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().error.code, ErrorCode::ProtocolError);
+    EXPECT_EQ(parsed.value().error.offset, 1234u);
+}
+
+TEST(ServerUtil, MethodAndErrorCodeVocabularyRoundTrips)
+{
+    for (const Method method :
+         {Method::Health, Method::Stats, Method::Shutdown,
+          Method::Analyze, Method::Impact, Method::Mine,
+          Method::Ingest, Method::Sleep}) {
+        EXPECT_EQ(parseMethod(methodName(method)), method);
+        EXPECT_EQ(methodFromWireByte(methodWireByte(method)), method);
+    }
+    EXPECT_FALSE(parseMethod("frobnicate").has_value());
+    EXPECT_FALSE(methodFromWireByte(200).has_value());
+    for (const ErrorCode code :
+         {ErrorCode::BadRequest, ErrorCode::Overloaded,
+          ErrorCode::DeadlineExceeded, ErrorCode::NotFound,
+          ErrorCode::ShuttingDown, ErrorCode::ProtocolError,
+          ErrorCode::Internal}) {
+        EXPECT_EQ(parseErrorCode(errorCodeName(code)), code);
+    }
+    EXPECT_FALSE(parseErrorCode("no_such_code").has_value());
 }
 
 } // namespace

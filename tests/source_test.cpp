@@ -158,6 +158,50 @@ TEST(Source, EagerAndMmapReportsAreIdentical)
     }
 }
 
+TEST(Source, CompressedCorpusYieldsIdenticalReports)
+{
+    const ScratchDir dir("compressed");
+    const TraceCorpus corpus = generateCorpus(smallSpec());
+
+    CorpusWriteOptions packed;
+    packed.compressEvents = true;
+    const std::string raw = dir.file("raw.tlc");
+    const std::string compact = dir.file("compact.tlc");
+    writeCorpusFile(corpus, raw);
+    writeCorpusFile(corpus, compact, packed);
+    const std::string shards = dir.file("shards");
+    writeShardedCorpusDir(corpus, shards, 4, packed);
+
+    // The delta encoding has to actually pay for its format tag.
+    EXPECT_LT(fs::file_size(compact), fs::file_size(raw));
+
+    EagerSource reference(corpus);
+    const std::string expected = reportFor(reference);
+
+    SourceOptions eager_opts, mmap_opts;
+    mmap_opts.useMmap = true;
+    for (const std::string &path : {raw, compact, shards}) {
+        for (const SourceOptions &opts : {eager_opts, mmap_opts}) {
+            auto source = openSource(path, opts);
+            ASSERT_TRUE(source.ok()) << source.error().render();
+            EXPECT_EQ(source.value()->stats().skippedShards, 0u);
+            if (path != shards) {
+                EXPECT_EQ(reportFor(*source.value()), expected)
+                    << path << (opts.useMmap ? " (mmap)" : " (eager)");
+            }
+        }
+    }
+
+    // Sharded compressed and sharded raw agree with each other even
+    // though per-shard re-interning keeps them off the single-file
+    // reference.
+    const std::string rawShards = dir.file("raw-shards");
+    writeShardedCorpusDir(corpus, rawShards, 4);
+    auto a = openSource(shards), b = openSource(rawShards);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(reportFor(*a.value()), reportFor(*b.value()));
+}
+
 TEST(Source, ShardSummariesMatchBetweenPaths)
 {
     const ScratchDir dir("summaries");

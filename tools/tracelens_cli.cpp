@@ -25,10 +25,12 @@
  *   serve      --listen HOST:PORT [...]
  *              Long-running analysis daemon (docs/SERVER.md): keeps
  *              corpora and artifacts warm, answers concurrent clients
- *              over newline-delimited JSON.
+ *              over protocol v2 (multiplexed binary frames) or v1
+ *              (newline-delimited JSON), negotiated per connection.
  *   query      METHOD --connect HOST:PORT [--params JSON]
  *              One request against a running daemon; prints the
- *              result JSON.
+ *              result JSON. --protocol auto|v1|v2 picks the wire
+ *              revision (default auto).
  *   version    Build info plus format/protocol revisions (--version).
  *
  * Every PATH that names a corpus accepts either a single .tlc file or
@@ -142,7 +144,7 @@ usage()
     std::cerr
         << "usage:\n"
            "  tracelens generate --out PATH [--machines N] [--seed S]"
-           " [--scenario NAME] [--shards N]\n"
+           " [--scenario NAME] [--shards N] [--compress]\n"
            "  tracelens ingest PATH\n"
            "  tracelens validate PATH\n"
            "  tracelens impact PATH [--components GLOB]..."
@@ -165,10 +167,12 @@ usage()
            " [--analysis-threads N]\n"
            "      [--max-sessions N] [--idle-timeout-s N]"
            " [--artifact-cache DIR]\n"
-           "      [--port-file FILE]   (see docs/SERVER.md)\n"
+           "      [--port-file FILE] [--disable-protocol-v2]"
+           "   (see docs/SERVER.md)\n"
            "  tracelens query METHOD --connect HOST:PORT"
            " [--params JSON]\n"
-           "      [--deadline-ms N] [--timeout-ms N]\n"
+           "      [--deadline-ms N] [--timeout-ms N]"
+           " [--protocol auto|v1|v2] [--wire-stats]\n"
            "  tracelens version   (also --version)\n"
            "\nPATH is a .tlc corpus file or a directory of shards; "
            "corpus-reading\ncommands accept --mmap (zero-copy "
@@ -361,17 +365,20 @@ cmdGenerate(const Args &args)
     std::size_t shards = 1;
     if (auto v = args.flag("shards"))
         shards = parseUnsignedFlag("--shards", *v, 100'000);
+    CorpusWriteOptions write;
+    write.compressEvents = args.has("compress");
 
     const TraceCorpus corpus = generateCorpus(spec);
     if (shards > 1) {
-        const auto paths = writeShardedCorpusDir(corpus, *out, shards);
+        const auto paths =
+            writeShardedCorpusDir(corpus, *out, shards, write);
         TL_LOG(Info, "wrote ", corpus.streamCount(), " streams / ",
                corpus.instances().size(), " instances / ",
                corpus.totalEvents(), " events to ", paths.size(),
                " shards under ", *out);
         return 0;
     }
-    writeCorpusFile(corpus, *out);
+    writeCorpusFile(corpus, *out, write);
     TL_LOG(Info, "wrote ", corpus.streamCount(), " streams / ",
            corpus.instances().size(), " instances / ",
            corpus.totalEvents(), " events to ", *out);
@@ -711,7 +718,10 @@ cmdVersion()
               << "  artifact cache:  TLA1 v" << artifactCacheVersion()
               << "\n"
               << "  server protocol: v" << server::kProtocolVersion
-              << "\n"
+              << " (speaks";
+    for (std::uint32_t revision : server::supportedProtocolVersions())
+        std::cout << " v" << revision;
+    std::cout << ")\n"
               << "  build:           "
 #if defined(__clang__)
               << "clang " << __clang_major__ << "." << __clang_minor__
@@ -796,6 +806,9 @@ cmdServe(const Args &args)
     }
     config.registry.source = sourceOptionsFlag(args);
     config.enableTestMethods = args.has("enable-test-methods");
+    // Ops escape hatch: behave like a pre-v2 daemon (clients fall
+    // back to JSON lines), e.g. to bisect a protocol regression.
+    config.enableProtocolV2 = !args.has("disable-protocol-v2");
 
     server::Server daemon(config);
     Expected<std::uint16_t> port = daemon.start();
@@ -846,28 +859,54 @@ cmdQuery(const Args &args)
             TL_FATAL("--params must be a JSON object");
         params = std::move(parsed.value());
     }
-    std::uint64_t deadlineMs = 0;
+    const std::optional<server::Method> method =
+        server::parseMethod(args.positional()[0]);
+    if (!method)
+        TL_FATAL("unknown method '", args.positional()[0], "'");
+
+    server::CallOptions call;
     if (auto v = args.flag("deadline-ms")) {
-        deadlineMs =
+        call.deadlineMs =
             parseUnsignedFlag("--deadline-ms", *v, 86'400'000);
     }
-    auto timeout = std::chrono::milliseconds(120'000);
+    server::SessionOptions options;
+    options.ioTimeout = std::chrono::milliseconds(120'000);
     if (auto v = args.flag("timeout-ms")) {
-        timeout = std::chrono::milliseconds(
+        options.ioTimeout = std::chrono::milliseconds(
             parseUnsignedFlag("--timeout-ms", *v, 86'400'000));
     }
+    if (auto v = args.flag("protocol")) {
+        if (*v == "v1")
+            options.prefer = server::ProtocolPreference::V1;
+        else if (*v == "v2")
+            options.prefer = server::ProtocolPreference::V2;
+        else if (*v != "auto")
+            TL_FATAL("--protocol expects auto|v1|v2, got '", *v, "'");
+    }
 
-    Expected<server::Client> client = server::Client::connect(
-        address.value().first, address.value().second, timeout);
-    if (!client)
-        TL_FATAL(client.error().render());
-    Expected<server::CallResult> response = client.value().call(
-        args.positional()[0], params, deadlineMs);
+    Expected<server::Session> session = server::Session::connect(
+        address.value().first, address.value().second, options);
+    if (!session)
+        TL_FATAL(session.error().render());
+    Expected<server::Response> response =
+        session.value().call(*method, params, call);
     if (!response)
         TL_FATAL(response.error().render());
+    if (args.has("wire-stats")) {
+        // stderr, not TL_LOG(Info): the query result owns stdout so
+        // the output stays pipeable with --wire-stats on.
+        const server::WireStats wire = session.value().wireStats();
+        std::cerr << "query: protocol v"
+                  << session.value().protocolVersion() << ", "
+                  << wire.bytesSent << " bytes out / "
+                  << wire.bytesReceived << " bytes in ("
+                  << wire.framesSent << "/" << wire.framesReceived
+                  << " frames)\n";
+    }
     if (!response.value().ok) {
-        TL_LOG(Error, "server error [", response.value().errorCode,
-               "]: ", response.value().errorMessage);
+        TL_LOG(Error, "server error [",
+               server::errorCodeName(response.value().error.code),
+               "]: ", response.value().error.message);
         return 1;
     }
     std::cout << response.value().result.render() << "\n";
