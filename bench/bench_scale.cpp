@@ -32,7 +32,12 @@
  * run gates the v2 transport contracts: session wire bytes <= 1/3 of
  * v1 (BENCH_scale_proto_wire_ratio) and interactive probe p95 >= 5x
  * better than v1 under load
- * (BENCH_scale_proto_multiplex_speedup_p95).
+ * (BENCH_scale_proto_multiplex_speedup_p95). The cluster run
+ * (coordinator + 2 local workers vs a single-node daemon over the
+ * same sharded corpus, BENCH_cluster.json) gates the scale-out
+ * contract of src/server/coordinator.h: >= 1.6x single-node
+ * throughput with byte-identical merged reports, enforced on >= 2
+ * hardware threads (BENCH_scale_cluster_speedup).
  */
 
 #include <algorithm>
@@ -878,6 +883,193 @@ main(int argc, char **argv)
         std::cout << "wrote BENCH_proto.json\n";
     }
 
+    // ---- cluster mode: coordinator + 2 workers vs single-node ------
+    // The corpus from above sharded on disk, three plain daemons (two
+    // cluster workers and a single-node reference) plus a coordinator,
+    // all with one analysis thread per request so the comparison
+    // isolates *shard-level scatter* as the only parallelism. Every
+    // timed query varies the thresholds, which defeats the per-worker
+    // partial caches and the single-node response cache alike — each
+    // request pays the real classification/impact/AWG cost. The gate
+    // (docs/SERVER.md): with 2 local workers the coordinator must
+    // reach >= 1.6x single-node throughput. Scale-out needs hardware
+    // to scale onto, so the gate is enforced on >= 2 hardware
+    // threads and recorded (not enforced) on a single-core host,
+    // like every other parallel speedup in this bench.
+    const std::filesystem::path cluster_dir =
+        std::filesystem::temp_directory_path() /
+        "tracelens_bench_cluster";
+    std::filesystem::remove_all(cluster_dir);
+    std::filesystem::create_directories(cluster_dir);
+    const std::string cluster_corpus = (cluster_dir / "corpus").string();
+    const std::size_t cluster_shards = 8;
+    writeShardedCorpusDir(corpus, cluster_corpus, cluster_shards);
+
+    server::ServerConfig node_config;
+    node_config.host = "127.0.0.1";
+    node_config.port = 0;
+    node_config.workers = std::max(4u, threads);
+    node_config.maxInflight = 256;
+    node_config.registry.analysisThreads = 1;
+
+    server::Server worker_a(node_config);
+    server::Server worker_b(node_config);
+    server::Server single_node(node_config);
+    startDaemon(worker_a);
+    startDaemon(worker_b);
+    startDaemon(single_node);
+
+    server::ServerConfig coord_config = node_config;
+    coord_config.coordinator = true;
+    coord_config.workerAddrs = {
+        "127.0.0.1:" + std::to_string(worker_a.port()),
+        "127.0.0.1:" + std::to_string(worker_b.port())};
+    server::Server coordinator(coord_config);
+    startDaemon(coordinator);
+
+    // Thresholds scaled by @p k (kept ordered: both scale together).
+    auto clusterParams = [&](const ScenarioThresholds &scenario,
+                             double k) {
+        JsonValue params = JsonValue::makeObject();
+        params.set("corpus", JsonValue(cluster_corpus));
+        params.set("scenario", JsonValue(scenario.name));
+        params.set("tfast_ms", JsonValue(scenario.tFast * k));
+        params.set("tslow_ms", JsonValue(scenario.tSlow * k));
+        return params;
+    };
+
+    // Byte-identity first (this also warms the threshold-independent
+    // wait-graph artifacts on every daemon, so the timed phase below
+    // measures the per-query scenario stages on both sides).
+    bool cluster_identical = true;
+    {
+        server::Session coord_client =
+            connectClient(coordinator.port());
+        server::Session single_client =
+            connectClient(single_node.port());
+        for (const ScenarioThresholds &scenario : scenarios) {
+            const JsonValue params = clusterParams(scenario, 1.0);
+            const auto via_coord = coord_client.call(
+                server::Method::Analyze, params);
+            const auto via_single = single_client.call(
+                server::Method::Analyze, params);
+            if (!via_coord.ok() || !via_coord.value().ok ||
+                !via_single.ok() || !via_single.value().ok) {
+                std::cerr << "cluster identity query failed for "
+                          << scenario.name << "\n";
+                return 1;
+            }
+            if (via_coord.value().result.render() !=
+                via_single.value().result.render()) {
+                std::cerr << "cluster report differs from single-node "
+                             "for " << scenario.name << "\n";
+                cluster_identical = false;
+            }
+        }
+    }
+    if (!cluster_identical)
+        return 1;
+
+    // Timed phase: the same threshold-varied query sequence against
+    // each target; every (scenario, k) pair is unique, so no response
+    // or partial cache can answer for the pipeline.
+    const std::size_t cluster_rounds = 3;
+    auto timedQueries = [&](std::uint16_t port) {
+        server::Session client = connectClient(port);
+        std::size_t index = 0;
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t round = 0; round < cluster_rounds; ++round) {
+            for (const ScenarioThresholds &scenario : scenarios) {
+                const double k =
+                    1.0 + 0.003 * static_cast<double>(++index);
+                const auto reply = client.call(
+                    server::Method::Analyze,
+                    clusterParams(scenario, k));
+                if (!reply.ok() || !reply.value().ok) {
+                    std::cerr << "cluster timed query failed for "
+                              << scenario.name << "\n";
+                    std::exit(1);
+                }
+            }
+        }
+        return msSince(start);
+    };
+    const std::size_t cluster_queries =
+        cluster_rounds * scenarios.size();
+    const double single_node_ms = timedQueries(single_node.port());
+    const double cluster_ms = timedQueries(coordinator.port());
+    const double cluster_speedup = speedup(single_node_ms, cluster_ms);
+    auto qps = [cluster_queries](double ms) {
+        return ms <= 0.0 ? 0.0
+                         : static_cast<double>(cluster_queries) /
+                               (ms / 1000.0);
+    };
+
+    coordinator.requestStop();
+    coordinator.wait();
+    worker_a.requestStop();
+    worker_a.wait();
+    worker_b.requestStop();
+    worker_b.wait();
+    single_node.requestStop();
+    single_node.wait();
+    std::filesystem::remove_all(cluster_dir);
+
+    const unsigned hardware_threads =
+        std::max(1u, std::thread::hardware_concurrency());
+    const bool cluster_gate_enforced = hardware_threads >= 2;
+
+    std::cout << "\n== Cluster scale-out (" << cluster_shards
+              << " shards, 2 workers, " << cluster_queries
+              << " threshold-varied queries) ==\n";
+    TextTable cluster_table({"Target", "ms", "queries/s", "speedup"});
+    cluster_table.addRow({"single node",
+                          TextTable::num(single_node_ms, 0),
+                          TextTable::num(qps(single_node_ms), 2),
+                          "1.00"});
+    cluster_table.addRow({"coordinator + 2 workers",
+                          TextTable::num(cluster_ms, 0),
+                          TextTable::num(qps(cluster_ms), 2),
+                          TextTable::num(cluster_speedup, 2)});
+    std::cout << cluster_table.render();
+    std::cout << "merged reports byte-identical to single-node: yes\n";
+    if (cluster_gate_enforced && cluster_speedup < 1.6) {
+        std::cerr << "cluster speedup "
+                  << TextTable::num(cluster_speedup, 2)
+                  << "x below the 1.6x scale-out contract\n";
+        return 1;
+    }
+    if (!cluster_gate_enforced) {
+        std::cout << "(single hardware thread: scale-out gate "
+                     "recorded, not enforced)\n";
+    }
+
+    {
+        std::ofstream json("BENCH_cluster.json");
+        json << "{\n"
+             << "  \"shards\": " << cluster_shards << ",\n"
+             << "  \"workers\": 2,\n"
+             << "  \"analysis_threads_per_request\": 1,\n"
+             << "  \"hardware_threads\": " << hardware_threads << ",\n"
+             << "  \"queries\": " << cluster_queries << ",\n"
+             << "  \"byte_identical\": true,\n"
+             << "  \"single_node_ms\": " << single_node_ms << ",\n"
+             << "  \"single_node_qps\": " << qps(single_node_ms)
+             << ",\n"
+             << "  \"cluster_ms\": " << cluster_ms << ",\n"
+             << "  \"cluster_qps\": " << qps(cluster_ms) << ",\n"
+             << "  \"cluster_speedup\": " << cluster_speedup << ",\n"
+             << "  \"speedup_floor\": 1.6,\n"
+             << "  \"gate_enforced\": "
+             << (cluster_gate_enforced ? "true" : "false") << ",\n"
+             << "  \"gate_pass\": "
+             << (!cluster_gate_enforced || cluster_speedup >= 1.6
+                     ? "true"
+                     : "false")
+             << "\n}\n";
+        std::cout << "wrote BENCH_cluster.json\n";
+    }
+
     std::cout << "\nBENCH_scale_threads=" << threads << "\n"
               << "BENCH_scale_instances=" << corpus.instances().size()
               << "\n"
@@ -904,7 +1096,9 @@ main(int argc, char **argv)
               << warm_speedup_p50 << "\n"
               << "BENCH_scale_proto_wire_ratio=" << wire_ratio << "\n"
               << "BENCH_scale_proto_multiplex_speedup_p95="
-              << multiplex_speedup << "\n";
+              << multiplex_speedup << "\n"
+              << "BENCH_scale_cluster_speedup=" << cluster_speedup
+              << "\n";
     std::cout << "(speedups track the worker count on multicore "
                  "hardware; on a single hardware thread they stay "
                  "near 1.0)\n";

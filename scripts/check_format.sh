@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Formatting guardrail: clang-format --dry-run --Werror over every C++
+# file under src/, tests/, bench/ and tools/, against the committed
+# .clang-format. Skips with exit 0 where clang-format is not installed
+# (minimal build containers), so the check is enforced exactly where
+# the tool exists.
+#
+# Usage: check_format.sh /path/to/repo
+set -euo pipefail
+
+ROOT="${1:?usage: check_format.sh /path/to/repo}"
+cd "$ROOT"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "check_format: clang-format not installed; skipping"
+    exit 0
+fi
+
+mapfile -t files < <(find src tests bench tools \
+    \( -name '*.cpp' -o -name '*.h' \) -type f | sort)
+[[ ${#files[@]} -gt 0 ]] || { echo "check_format: no files"; exit 1; }
+
+clang-format --dry-run --Werror "${files[@]}"
+echo "check_format: OK (${#files[@]} files)"

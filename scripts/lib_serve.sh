@@ -1,0 +1,68 @@
+# Shared helper for the end-to-end smoke scripts: start `tracelens
+# serve` daemons on ephemeral ports (--listen 127.0.0.1:0) and discover
+# each port through --port-file, so smoke scripts running under
+# `ctest -j` can never collide on a fixed port.
+#
+# Usage (after setting CLI and WORK, with `set -euo pipefail`):
+#
+#   . "$(dirname "${BASH_SOURCE[0]}")/lib_serve.sh"
+#   tl_start_daemon w1 --workers 2        # extra `serve` flags verbatim
+#   "$CLI" query health --connect "$w1_ADDR"
+#   tl_stop_daemon w1
+#
+# tl_start_daemon NAME [serve flags...] exports NAME_PID, NAME_PORT,
+# NAME_ADDR and NAME_LOG, and registers the daemon so
+# tl_stop_all_daemons (call it from your EXIT trap) reaps strays.
+
+TL_DAEMON_PIDS=()
+
+tl_start_daemon() {
+    local name="$1"
+    shift
+    local log="$WORK/$name.log" portfile="$WORK/$name.port"
+    rm -f "$portfile"
+    "$CLI" serve --listen 127.0.0.1:0 --port-file "$portfile" "$@" \
+        >"$log" 2>&1 &
+    local pid=$!
+    local _tick
+    for _tick in $(seq 1 100); do
+        [[ -s "$portfile" ]] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "lib_serve: daemon '$name' died on startup:" >&2
+            cat "$log" >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+    if [[ ! -s "$portfile" ]]; then
+        echo "lib_serve: daemon '$name' never wrote its port file" >&2
+        return 1
+    fi
+    local port
+    port="$(cat "$portfile")"
+    printf -v "${name}_PID" '%s' "$pid"
+    printf -v "${name}_PORT" '%s' "$port"
+    printf -v "${name}_ADDR" '%s' "127.0.0.1:$port"
+    printf -v "${name}_LOG" '%s' "$log"
+    TL_DAEMON_PIDS+=("$pid")
+}
+
+# Stop one daemon by name (SIGTERM + reap); tolerates already-dead.
+tl_stop_daemon() {
+    local pidvar="${1}_PID" pid
+    pid="${!pidvar:-}"
+    [[ -n "$pid" ]] || return 0
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    printf -v "$pidvar" '%s' ""
+}
+
+# Reap every daemon this script started (for the EXIT trap).
+tl_stop_all_daemons() {
+    local pid
+    for pid in ${TL_DAEMON_PIDS[@]+"${TL_DAEMON_PIDS[@]}"}; do
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
+    TL_DAEMON_PIDS=()
+}

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Multi-process smoke test of cluster mode (docs/SERVER.md): two
+# worker daemons, one coordinator, and one single-node daemon over a
+# real sharded corpus, all as separate OS processes talking TCP.
+# Verifies
+#   - coordinator analyze/mine/impact are byte-identical to the
+#     single-node answers over the same corpus,
+#   - `tracelens cluster-status` reports a healthy fleet (exit 0),
+#   - a server error response makes `tracelens query` exit nonzero,
+#   - killing one worker mid-session degrades to a replica retry with
+#     a still byte-identical answer,
+#   - killing the whole fleet degrades to a structured
+#     "partial_results" response instead of a hang, and
+#     cluster-status then exits nonzero.
+#
+# Usage: smoke_cluster.sh /path/to/tracelens
+set -euo pipefail
+
+CLI="${1:?usage: smoke_cluster.sh /path/to/tracelens}"
+
+# Ephemeral-port daemon management (shared with smoke_server.sh).
+. "$(dirname "${BASH_SOURCE[0]}")/lib_serve.sh"
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/tracelens_cluster.XXXXXX")"
+cleanup() {
+    tl_stop_all_daemons
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "smoke_cluster: FAIL: $*" >&2; exit 1; }
+
+"$CLI" generate --out "$WORK/corpus" --machines 12 --seed 7171 \
+    --shards 4 >/dev/null 2>&1 || fail "corpus generation"
+
+tl_start_daemon w1 --log-level warn || fail "worker 1 startup"
+tl_start_daemon w2 --log-level warn || fail "worker 2 startup"
+tl_start_daemon coord --coordinator \
+    --cluster-workers "$w1_ADDR,$w2_ADDR" --shard-deadline-ms 5000 \
+    --log-level warn || fail "coordinator startup"
+tl_start_daemon single --log-level warn || fail "single-node startup"
+
+ANALYZE="{\"corpus\":\"$WORK/corpus\",\"scenario\":\"BrowserTabCreate\"}"
+MINE="$ANALYZE"
+IMPACT="{\"corpus\":\"$WORK/corpus\"}"
+
+# The healthy fleet answers cluster-status with exit 0.
+"$CLI" cluster-status --connect "$coord_ADDR" >/dev/null \
+    || fail "cluster-status on a healthy fleet"
+
+# Scatter/gather must be invisible in the payload: every report the
+# coordinator merges from per-shard partials is byte-identical to the
+# single-node answer over the same corpus.
+for method in analyze mine impact; do
+    params="$ANALYZE"
+    [[ "$method" == impact ]] && params="$IMPACT"
+    COORD_OUT="$("$CLI" query "$method" --connect "$coord_ADDR" \
+        --params "$params")" || fail "$method via coordinator"
+    SINGLE_OUT="$("$CLI" query "$method" --connect "$single_ADDR" \
+        --params "$params")" || fail "$method via single node"
+    [[ "$COORD_OUT" == "$SINGLE_OUT" ]] \
+        || fail "$method: coordinator differs from single-node"
+    echo "$COORD_OUT" | grep -q '"partial_results"' \
+        && fail "$method: full gather must not carry partial_results"
+done
+
+# A server error response (scenario absent everywhere) must exit
+# nonzero from both roles.
+if "$CLI" query analyze --connect "$coord_ADDR" \
+    --params "{\"corpus\":\"$WORK/corpus\",\"scenario\":\"NoSuchScenario\",\"tfast_ms\":100,\"tslow_ms\":500}" \
+    >/dev/null 2>&1; then
+    fail "coordinator error response should exit nonzero"
+fi
+if "$CLI" query analyze --connect "$single_ADDR" \
+    --params "{\"corpus\":\"$WORK/corpus\",\"scenario\":\"NoSuchScenario\",\"tfast_ms\":100,\"tslow_ms\":500}" \
+    >/dev/null 2>&1; then
+    fail "single-node error response should exit nonzero"
+fi
+
+BASELINE="$("$CLI" query analyze --connect "$coord_ADDR" \
+    --params "$ANALYZE")" || fail "baseline analyze"
+
+# Kill one worker: its shards must be retried on the replica and the
+# answer must not change by a byte.
+tl_stop_daemon w1
+RETRIED="$("$CLI" query analyze --connect "$coord_ADDR" \
+    --params "$ANALYZE")" || fail "analyze after killing worker 1"
+[[ "$RETRIED" == "$BASELINE" ]] \
+    || fail "retried answer differs from baseline"
+
+# Kill the other worker too: no owner, no replica. The query must
+# come back inside the deadline as a structured degraded response,
+# never a hang or a corrupt merge.
+tl_stop_daemon w2
+DEGRADED="$("$CLI" query analyze --connect "$coord_ADDR" \
+    --deadline-ms 30000 --params "$ANALYZE")" \
+    || fail "degraded analyze should still answer ok"
+echo "$DEGRADED" | grep -q '"partial_results":true' \
+    || fail "degraded answer must carry partial_results:true"
+echo "$DEGRADED" | grep -q '"missing_shards"' \
+    || fail "degraded answer must list missing shards"
+
+# And cluster-status now reports the outage with a nonzero exit.
+if "$CLI" cluster-status --connect "$coord_ADDR" >/dev/null 2>&1; then
+    fail "cluster-status should exit nonzero with workers down"
+fi
+
+echo "smoke_cluster: OK (coordinator port $coord_PORT)"

@@ -8,13 +8,12 @@ set -euo pipefail
 
 CLI="${1:?usage: smoke_server.sh /path/to/tracelens}"
 
+# Ephemeral-port daemon management (shared with smoke_cluster.sh).
+. "$(dirname "${BASH_SOURCE[0]}")/lib_serve.sh"
+
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/tracelens_smoke.XXXXXX")"
-SERVE_PID=""
 cleanup() {
-    if [[ -n "$SERVE_PID" ]] && kill -0 "$SERVE_PID" 2>/dev/null; then
-        kill "$SERVE_PID" 2>/dev/null || true
-        wait "$SERVE_PID" 2>/dev/null || true
-    fi
+    tl_stop_all_daemons
     rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -24,20 +23,9 @@ fail() { echo "smoke_server: FAIL: $*" >&2; exit 1; }
 "$CLI" generate --out "$WORK/corpus.tlc" --machines 10 --seed 42 \
     >/dev/null 2>&1 || fail "corpus generation"
 
-# Ephemeral port; the daemon advertises it via --port-file.
-"$CLI" serve --listen 127.0.0.1:0 --port-file "$WORK/port" \
-    --workers 2 --artifact-cache "$WORK/artifacts" \
-    >"$WORK/serve.log" 2>&1 &
-SERVE_PID=$!
-
-for _ in $(seq 1 100); do
-    [[ -s "$WORK/port" ]] && break
-    kill -0 "$SERVE_PID" 2>/dev/null || fail "daemon died on startup: $(cat "$WORK/serve.log")"
-    sleep 0.1
-done
-[[ -s "$WORK/port" ]] || fail "daemon never wrote its port file"
-PORT="$(cat "$WORK/port")"
-ADDR="127.0.0.1:$PORT"
+tl_start_daemon srv --workers 2 --artifact-cache "$WORK/artifacts" \
+    || fail "daemon startup"
+ADDR="$srv_ADDR"
 
 "$CLI" query health --connect "$ADDR" | grep -q '"status":"ok"' \
     || fail "health check"
@@ -81,11 +69,20 @@ if "$CLI" query analyze --connect "$ADDR" --params "not json" \
     fail "bad --params should exit nonzero"
 fi
 
+# A *server* error (well-formed request, error response) must exit
+# nonzero too, so scripts can branch on the exit code alone.
+if "$CLI" query analyze --connect "$ADDR" \
+    --params "{\"corpus\":\"$WORK/corpus.tlc\",\"scenario\":\"NoSuchScenario\",\"tfast_ms\":100,\"tslow_ms\":500}" \
+    >/dev/null 2>&1; then
+    fail "server error response should exit nonzero"
+fi
+
 # Graceful shutdown over the wire: the daemon drains and exits 0.
 "$CLI" query shutdown --connect "$ADDR" | grep -q '"stopping":true' \
     || fail "shutdown query"
-wait "$SERVE_PID" || fail "daemon exited nonzero after shutdown"
-SERVE_PID=""
+wait "$srv_PID" || fail "daemon exited nonzero after shutdown"
+srv_PID=""
+TL_DAEMON_PIDS=()
 
-grep -q "drained" "$WORK/serve.log" || fail "daemon never logged drain"
-echo "smoke_server: OK (port $PORT)"
+grep -q "drained" "$srv_LOG" || fail "daemon never logged drain"
+echo "smoke_server: OK (port $srv_PORT)"

@@ -7,10 +7,9 @@
 #include "src/awg/awg.h"
 
 #include <algorithm>
-#include <memory>
 #include <sstream>
-#include <unordered_map>
 
+#include "src/core/partial.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
 #include "src/util/telemetry.h"
@@ -151,18 +150,6 @@ AggregatedWaitGraph::renderDot(const SymbolTable &symbols,
     return oss.str();
 }
 
-/** Trie child-lookup table used during one aggregate() call. */
-struct AwgBuilder::Lookup
-{
-    // parent node index (kInvalidIndex for the root level) -> key -> node.
-    std::unordered_map<std::uint32_t,
-                       std::unordered_map<AwgKey, std::uint32_t,
-                                          AwgKeyHash>>
-        children;
-};
-
-AwgBuilder::~AwgBuilder() = default;
-
 AwgBuilder::AwgBuilder(const TraceCorpus &corpus, NameFilter components,
                        AwgOptions options)
     : corpus_(corpus), components_(std::move(components)),
@@ -239,92 +226,12 @@ AwgBuilder::process(const WaitGraph &graph, std::uint32_t node_index,
 }
 
 void
-AwgBuilder::merge(AggregatedWaitGraph &awg, std::uint32_t awg_parent,
-                  const ProcNode &node) const
+AwgBuilder::mergeProc(PartialAwg &partial, std::uint32_t parent,
+                      const ProcNode &node)
 {
-    // Lookup entries store node index + 1 so that the map's
-    // default-constructed 0 means "absent".
-    std::uint32_t id;
-    std::uint32_t &encoded = lookup_->children[awg_parent][node.key];
-    if (encoded == 0) {
-        id = static_cast<std::uint32_t>(awg.nodes_.size());
-        awg.nodes_.emplace_back();
-        awg.nodes_.back().key = node.key;
-        encoded = id + 1;
-        if (awg_parent == kInvalidIndex)
-            awg.roots_.push_back(id);
-        else
-            awg.nodes_[awg_parent].children.push_back(id);
-    } else {
-        id = encoded - 1;
-    }
-
-    AggregatedWaitGraph::Node &merged = awg.nodes_[id];
-    merged.cost += node.cost;
-    merged.count += 1;
-    merged.maxCost = std::max(merged.maxCost, node.cost);
-
+    const std::uint32_t id = partial.absorb(parent, node.key, node.cost);
     for (const ProcNode &child : node.children)
-        merge(awg, id, child);
-}
-
-void
-AwgBuilder::reduce(AggregatedWaitGraph &awg) const
-{
-    // Identify root waiting nodes whose only child is a single
-    // hardware-service leaf; their cost is pure non-propagated hardware
-    // time that developers cannot optimize.
-    std::vector<std::uint32_t> kept_roots;
-    std::vector<char> removed(awg.nodes_.size(), 0);
-    for (std::uint32_t root : awg.roots_) {
-        const auto &n = awg.nodes_[root];
-        // "Single hardware-service leaf" in aggregated terms: a direct
-        // device wait — signalled by the device itself (no component
-        // unwait signature) with nothing under it but hardware leaves
-        // (queue-mates on the same device are still pure hardware
-        // time). Lock waits *fed* by hardware keep their component
-        // unwait signature and survive: that time did propagate.
-        // Childless device-readied waits are also pure hardware time:
-        // their service interval was claimed by an earlier window.
-        bool prunable = n.key.status == AwgStatus::Waiting &&
-                        n.key.secondary == kNoFrame;
-        for (std::uint32_t child : n.children) {
-            prunable = prunable &&
-                       awg.nodes_[child].key.status ==
-                           AwgStatus::Hardware &&
-                       awg.nodes_[child].children.empty();
-        }
-        if (prunable) {
-            awg.reducedCost_ += n.cost;
-            awg.reducedNodes_ += 1 + n.children.size();
-            removed[root] = 1;
-            for (std::uint32_t child : n.children)
-                removed[child] = 1;
-        } else {
-            kept_roots.push_back(root);
-        }
-    }
-    if (awg.reducedNodes_ == 0)
-        return;
-
-    // Compact the node vector, dropping pruned structures.
-    std::vector<std::uint32_t> remap(awg.nodes_.size(), kInvalidIndex);
-    std::vector<AggregatedWaitGraph::Node> compacted;
-    compacted.reserve(awg.nodes_.size());
-    for (std::uint32_t i = 0; i < awg.nodes_.size(); ++i) {
-        if (removed[i])
-            continue;
-        remap[i] = static_cast<std::uint32_t>(compacted.size());
-        compacted.push_back(std::move(awg.nodes_[i]));
-    }
-    for (auto &n : compacted) {
-        for (auto &child : n.children)
-            child = remap[child];
-    }
-    for (auto &root : kept_roots)
-        root = remap[root];
-    awg.nodes_ = std::move(compacted);
-    awg.roots_ = std::move(kept_roots);
+        mergeProc(partial, id, child);
 }
 
 std::vector<AwgBuilder::ProcNode>
@@ -360,23 +267,22 @@ AwgBuilder::processGraph(const WaitGraph &graph) const
     return processed;
 }
 
-AggregatedWaitGraph
-AwgBuilder::aggregate(std::span<const WaitGraph> graphs,
-                      unsigned threads) const
+PartialAwg
+AwgBuilder::aggregatePartial(std::span<const WaitGraph> graphs,
+                             unsigned threads) const
 {
     Span span("awg.aggregate", "analysis");
     if (span.active())
         span.arg("graphs", static_cast<std::uint64_t>(graphs.size()));
 
-    AggregatedWaitGraph awg;
-    awg.sourceGraphs_ = graphs.size();
-    lookup_ = std::make_unique<Lookup>();
+    PartialAwg partial;
+    partial.addSourceGraphs(graphs.size());
 
     if (resolveThreads(threads) <= 1 || graphs.size() < 2) {
         for (const WaitGraph &graph : graphs) {
             // Step 3: merge into the trie by common signature prefix.
             for (const ProcNode &root : processGraph(graph))
-                merge(awg, kInvalidIndex, root);
+                mergeProc(partial, kInvalidIndex, root);
         }
     } else {
         // Shard the per-graph processing (the expensive phase: it
@@ -390,16 +296,19 @@ AwgBuilder::aggregate(std::span<const WaitGraph> graphs,
                 [&](std::size_t i) { return processGraph(graphs[i]); });
         for (const std::vector<ProcNode> &forest : processed) {
             for (const ProcNode &root : forest)
-                merge(awg, kInvalidIndex, root);
+                mergeProc(partial, kInvalidIndex, root);
         }
     }
+    return partial;
+}
 
-    // Step 4: non-optimizable reduction.
-    if (options_.reduceNonOptimizable)
-        reduce(awg);
-
-    lookup_.reset();
-    return awg;
+AggregatedWaitGraph
+AwgBuilder::aggregate(std::span<const WaitGraph> graphs,
+                      unsigned threads) const
+{
+    // Step 4 (the non-optimizable reduction) happens in finalize().
+    return aggregatePartial(graphs, threads)
+        .finalize(options_.reduceNonOptimizable);
 }
 
 } // namespace tracelens

@@ -46,6 +46,8 @@
 namespace tracelens
 {
 
+class PartialAwg; // src/core/partial.h
+
 /** Node status in an Aggregated Wait Graph (Definition 2). */
 enum class AwgStatus : std::uint8_t
 {
@@ -131,6 +133,8 @@ class AggregatedWaitGraph
     friend class AwgBuilder;
     /** Binary artifact-cache codec (src/core/artifacts.cpp). */
     friend struct AwgCodec;
+    /** The trie-under-construction accumulator (src/core/partial.h). */
+    friend class PartialAwg;
 
     std::vector<Node> nodes_;
     std::vector<std::uint32_t> roots_;
@@ -161,7 +165,6 @@ class AwgBuilder
   public:
     AwgBuilder(const TraceCorpus &corpus, NameFilter components,
                AwgOptions options = {});
-    ~AwgBuilder(); // out of line: Lookup is incomplete here
 
     /**
      * Aggregate @p graphs into one AWG.
@@ -171,11 +174,22 @@ class AwgBuilder
      *        Algorithm 1 run per graph and are sharded over instance
      *        partitions; the trie merge (step 3) is associative but
      *        order-sensitive in node layout, so it folds the processed
-     *        forests serially in graph order. The result is
+     *        forests serially in graph order through a PartialAwg
+     *        accumulator (src/core/partial.h). The result is
      *        bit-identical to the serial path for every thread count.
      */
     AggregatedWaitGraph aggregate(std::span<const WaitGraph> graphs,
                                   unsigned threads = 1) const;
+
+    /**
+     * aggregate() without the finalize: the still-mergeable,
+     * unreduced trie. Shard fragments produced this way merge (in
+     * shard order) into exactly the trie aggregate() would build over
+     * the concatenated graphs; the non-optimizable reduction is then
+     * applied once by PartialAwg::finalize().
+     */
+    PartialAwg aggregatePartial(std::span<const WaitGraph> graphs,
+                                unsigned threads = 1) const;
 
     const NameFilter &components() const { return components_; }
 
@@ -210,22 +224,14 @@ class AwgBuilder
     void process(const WaitGraph &graph, std::uint32_t node_index,
                  std::vector<ProcNode> &out) const;
 
-    /** Merge a processed tree into the AWG trie (step 3). */
-    void merge(AggregatedWaitGraph &awg, std::uint32_t awg_parent,
-               const ProcNode &node) const;
-
-    /** Apply the non-optimizable reduction (step 4). */
-    void reduce(AggregatedWaitGraph &awg) const;
+    /** Merge a processed tree into @p partial under @p parent
+     *  (step 3's trie merge, one source node at a time). */
+    static void mergeProc(PartialAwg &partial, std::uint32_t parent,
+                          const ProcNode &node);
 
     const TraceCorpus &corpus_;
     NameFilter components_;
     AwgOptions options_;
-
-    // Child-lookup side tables for the trie, keyed by (parent, key);
-    // parent kInvalidIndex means root level. Rebuilt per aggregate()
-    // call; mutable because aggregation is logically const.
-    struct Lookup;
-    mutable std::unique_ptr<Lookup> lookup_;
 };
 
 } // namespace tracelens

@@ -244,6 +244,73 @@ Analyzer::classify(std::uint32_t scenario, DurationNs t_fast,
     return *classes;
 }
 
+ScenarioPartial
+Analyzer::scenarioPartial(std::string_view name, DurationNs t_fast,
+                          DurationNs t_slow) const
+{
+    Span span("analyzer.scenario-partial", "analysis");
+    if (span.active())
+        span.arg("scenario", std::string(name));
+
+    ScenarioPartial partial;
+    partial.streamCount =
+        static_cast<std::uint32_t>(corpus_->streamCount());
+    const SymbolTable &symbols = corpus_->symbols();
+    partial.frames.reserve(symbols.frameCount());
+    for (FrameId f = 0; f < symbols.frameCount(); ++f)
+        partial.frames.push_back(symbols.frameName(f));
+
+    const std::uint32_t scenario = corpus_->findScenario(name);
+    if (scenario == UINT32_MAX)
+        return partial; // no instances here: empty, still mergeable
+
+    const ContrastClasses classes = classify(scenario, t_fast, t_slow);
+    partial.classes.fast = classes.fast.size();
+    partial.classes.middle = classes.middle.size();
+    partial.classes.slow = classes.slow.size();
+    for (std::uint32_t i : classes.slow)
+        partial.classes.slowDuration +=
+            corpus_->instances()[i].duration();
+
+    const std::vector<WaitGraph> &all = graphs();
+    auto gather = [&](const std::vector<std::uint32_t> &indices) {
+        std::vector<WaitGraph> subset;
+        subset.reserve(indices.size());
+        for (std::uint32_t i : indices)
+            subset.push_back(all[i]);
+        return subset;
+    };
+
+    ImpactAnalysis impact(*corpus_, components_);
+    partial.slowImpact =
+        impact.analyzePartial(gather(classes.slow), config_.threads);
+
+    AwgBuilder builder(*corpus_, components_, config_.awg);
+    partial.awgFast =
+        builder.aggregatePartial(gather(classes.fast), config_.threads);
+    partial.awgSlow =
+        builder.aggregatePartial(gather(classes.slow), config_.threads);
+    return partial;
+}
+
+ImpactPartial
+Analyzer::impactPartial() const
+{
+    Span span("analyzer.impact-partial", "analysis");
+
+    ImpactPartial partial;
+    partial.streamCount =
+        static_cast<std::uint32_t>(corpus_->streamCount());
+    ImpactAnalysis impact(*corpus_, components_);
+    partial.all = impact.analyzePartial(graphs(), config_.threads);
+    for (auto &[scenario, accumulator] :
+         impact.analyzePerScenarioPartial(graphs(), config_.threads)) {
+        partial.perScenario.emplace_back(
+            corpus_->scenarioName(scenario), std::move(accumulator));
+    }
+    return partial;
+}
+
 ScenarioAnalysis
 Analyzer::analyzeScenario(std::string_view name, DurationNs t_fast,
                           DurationNs t_slow) const

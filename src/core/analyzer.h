@@ -45,6 +45,7 @@
 
 #include "src/awg/awg.h"
 #include "src/core/artifacts.h"
+#include "src/core/partial.h"
 #include "src/impact/impact.h"
 #include "src/mining/coverage.h"
 #include "src/mining/miner.h"
@@ -180,6 +181,24 @@ class Analyzer
      */
     std::vector<ScenarioAnalysis>
     analyzeScenarios(std::span<const ScenarioThresholds> scenarios) const;
+
+    /**
+     * This corpus's contribution to a scatter/gathered scenario
+     * analysis (the worker side of coordinator mode, docs/SERVER.md):
+     * classification tally, slow-class impact accumulator, and the
+     * two unreduced AWG fragments, plus the frame table and stream
+     * count that let the coordinator rebuild global identity. A
+     * scenario absent from this corpus yields empty partials (still
+     * carrying the frame table — the coordinator interns every
+     * shard's frames, present or not, to reproduce single-node
+     * interning order).
+     */
+    ScenarioPartial scenarioPartial(std::string_view name,
+                                    DurationNs t_fast,
+                                    DurationNs t_slow) const;
+
+    /** This corpus's corpus-wide + per-scenario impact partials. */
+    ImpactPartial impactPartial() const;
 
     /**
      * The per-instance wait graphs, in instance order. Assembled from

@@ -31,6 +31,7 @@
 #include <optional>
 #include <sstream>
 
+#include "src/util/bytecodec.h"
 #include "src/util/logging.h"
 #include "src/util/telemetry.h"
 
@@ -46,111 +47,6 @@ constexpr std::uint32_t kVersion = 1;
 /** Fixed-size header preceding every artifact payload. */
 constexpr std::size_t kHeaderBytes =
     4 + 4 + 4 + 8 + 8 + 8 + 8 + 8; // magic..checksum
-
-void
-putU32(std::string &out, std::uint32_t v)
-{
-    for (int i = 0; i < 4; ++i)
-        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-
-void
-putU64(std::string &out, std::uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-
-void
-putI64(std::string &out, std::int64_t v)
-{
-    putU64(out, static_cast<std::uint64_t>(v));
-}
-
-void
-putU8(std::string &out, std::uint8_t v)
-{
-    out.push_back(static_cast<char>(v));
-}
-
-/** Bounds-checked little-endian reader over an artifact payload. */
-class ByteReader
-{
-  public:
-    explicit ByteReader(const std::string &bytes) : bytes_(bytes) {}
-
-    bool failed() const { return failed_; }
-    bool atEnd() const { return pos_ == bytes_.size(); }
-
-    std::uint8_t
-    u8()
-    {
-        if (!need(1))
-            return 0;
-        return static_cast<std::uint8_t>(bytes_[pos_++]);
-    }
-
-    std::uint32_t
-    u32()
-    {
-        if (!need(4))
-            return 0;
-        std::uint32_t v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= static_cast<std::uint32_t>(
-                     static_cast<unsigned char>(bytes_[pos_ + i]))
-                 << (8 * i);
-        pos_ += 4;
-        return v;
-    }
-
-    std::uint64_t
-    u64()
-    {
-        if (!need(8))
-            return 0;
-        std::uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<std::uint64_t>(
-                     static_cast<unsigned char>(bytes_[pos_ + i]))
-                 << (8 * i);
-        pos_ += 8;
-        return v;
-    }
-
-    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-
-    /**
-     * Validate a count of records of at least @p recordBytes each
-     * against the remaining buffer, so a hostile count cannot drive a
-     * multi-gigabyte reserve before the per-record reads would fail.
-     */
-    bool
-    countFits(std::uint64_t count, std::size_t recordBytes)
-    {
-        const std::uint64_t remaining = bytes_.size() - pos_;
-        if (count > remaining / recordBytes) {
-            failed_ = true;
-            return false;
-        }
-        return true;
-    }
-
-  private:
-    bool
-    need(std::size_t n)
-    {
-        if (failed_ || bytes_.size() - pos_ < n) {
-            failed_ = true;
-            return false;
-        }
-        return true;
-    }
-
-    const std::string &bytes_;
-    std::size_t pos_ = 0;
-    bool failed_ = false;
-};
 
 double
 msSince(std::chrono::steady_clock::time_point start)

@@ -6,9 +6,11 @@
 
 #include "src/impact/impact.h"
 
+#include <algorithm>
 #include <deque>
 #include <sstream>
 
+#include "src/core/partial.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
 #include "src/util/table.h"
@@ -114,47 +116,74 @@ ImpactAnalysis::collect(const WaitGraph &graph) const
     return contribution;
 }
 
-void
-ImpactAnalysis::mergeInto(const GraphContribution &contribution,
-                          ImpactResult &result,
-                          std::unordered_set<EventRef, EventRefHash> &seen)
+PartialImpact
+ImpactAnalysis::analyzePartial(std::span<const WaitGraph> graphs,
+                               unsigned threads) const
 {
-    ++result.instances;
-    result.dScn += contribution.dScn;
-    result.dRun += contribution.dRun;
-    for (const auto &[ref, cost] : contribution.waitHits) {
-        result.dWait += cost;
-        if (seen.insert(ref).second)
-            result.dWaitDist += cost;
+    Span span("impact.analyze", "analysis");
+    if (span.active())
+        span.arg("graphs", static_cast<std::uint64_t>(graphs.size()));
+
+    PartialImpact partial;
+    if (resolveThreads(threads) <= 1 || graphs.size() < 2) {
+        for (const WaitGraph &graph : graphs) {
+            const GraphContribution c = collect(graph);
+            partial.absorbInstance(c.dScn, c.dRun, c.waitHits);
+        }
+        return partial;
     }
+
+    // Parallel per-graph scans, serial in-order dedup fold: the
+    // accumulator sees the same (ref, cost) sequence as the serial
+    // path, so the result is bit-identical.
+    const std::vector<GraphContribution> contributions =
+        parallelMap<GraphContribution>(
+            threads, graphs.size(),
+            [&](std::size_t i) { return collect(graphs[i]); });
+    for (const GraphContribution &c : contributions)
+        partial.absorbInstance(c.dScn, c.dRun, c.waitHits);
+    return partial;
 }
 
 ImpactResult
 ImpactAnalysis::analyze(std::span<const WaitGraph> graphs,
                         unsigned threads) const
 {
-    Span span("impact.analyze", "analysis");
-    if (span.active())
-        span.arg("graphs", static_cast<std::uint64_t>(graphs.size()));
+    return analyzePartial(graphs, threads).finalize();
+}
 
-    ImpactResult result;
-    std::unordered_set<EventRef, EventRefHash> seen;
+std::vector<std::pair<std::uint32_t, PartialImpact>>
+ImpactAnalysis::analyzePerScenarioPartial(
+    std::span<const WaitGraph> graphs, unsigned threads) const
+{
+    std::unordered_map<std::uint32_t, PartialImpact> partials;
     if (resolveThreads(threads) <= 1 || graphs.size() < 2) {
-        for (const WaitGraph &graph : graphs)
-            mergeInto(collect(graph), result, seen);
-        return result;
+        for (const WaitGraph &graph : graphs) {
+            const GraphContribution c = collect(graph);
+            partials[graph.instance().scenario].absorbInstance(
+                c.dScn, c.dRun, c.waitHits);
+        }
+    } else {
+        const std::vector<GraphContribution> contributions =
+            parallelMap<GraphContribution>(
+                threads, graphs.size(),
+                [&](std::size_t i) { return collect(graphs[i]); });
+        for (std::size_t i = 0; i < graphs.size(); ++i) {
+            const GraphContribution &c = contributions[i];
+            partials[graphs[i].instance().scenario].absorbInstance(
+                c.dScn, c.dRun, c.waitHits);
+        }
     }
 
-    // Parallel per-graph scans, serial in-order dedup fold: the fold
-    // sees the same (ref, cost) sequence as the serial path, so the
-    // result is bit-identical.
-    const std::vector<GraphContribution> contributions =
-        parallelMap<GraphContribution>(
-            threads, graphs.size(),
-            [&](std::size_t i) { return collect(graphs[i]); });
-    for (const GraphContribution &contribution : contributions)
-        mergeInto(contribution, result, seen);
-    return result;
+    std::vector<std::pair<std::uint32_t, PartialImpact>> ordered;
+    ordered.reserve(partials.size());
+    for (auto &[scenario, partial] : partials)
+        ordered.emplace_back(scenario, std::move(partial));
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return ordered;
 }
 
 std::unordered_map<std::uint32_t, ImpactResult>
@@ -162,25 +191,9 @@ ImpactAnalysis::analyzePerScenario(std::span<const WaitGraph> graphs,
                                    unsigned threads) const
 {
     std::unordered_map<std::uint32_t, ImpactResult> results;
-    std::unordered_map<std::uint32_t,
-                       std::unordered_set<EventRef, EventRefHash>>
-        seen;
-    if (resolveThreads(threads) <= 1 || graphs.size() < 2) {
-        for (const WaitGraph &graph : graphs) {
-            const std::uint32_t scenario = graph.instance().scenario;
-            mergeInto(collect(graph), results[scenario], seen[scenario]);
-        }
-        return results;
-    }
-
-    const std::vector<GraphContribution> contributions =
-        parallelMap<GraphContribution>(
-            threads, graphs.size(),
-            [&](std::size_t i) { return collect(graphs[i]); });
-    for (std::size_t i = 0; i < graphs.size(); ++i) {
-        const std::uint32_t scenario = graphs[i].instance().scenario;
-        mergeInto(contributions[i], results[scenario], seen[scenario]);
-    }
+    for (const auto &[scenario, partial] :
+         analyzePerScenarioPartial(graphs, threads))
+        results.emplace(scenario, partial.finalize());
     return results;
 }
 

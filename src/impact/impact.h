@@ -41,6 +41,8 @@
 namespace tracelens
 {
 
+class PartialImpact; // src/core/partial.h
+
 /** Aggregated impact metrics for one set of instances. */
 struct ImpactResult
 {
@@ -101,6 +103,23 @@ class ImpactAnalysis
     analyzePerScenario(std::span<const WaitGraph> graphs,
                        unsigned threads = 1) const;
 
+    /**
+     * analyze() without the finalize: the mergeable accumulator,
+     * for callers that combine several instance subsets (the
+     * coordinator's cross-shard gather). analyze() is exactly
+     * analyzePartial().finalize().
+     */
+    PartialImpact analyzePartial(std::span<const WaitGraph> graphs,
+                                 unsigned threads = 1) const;
+
+    /**
+     * analyzePerScenario() as accumulators, one per scenario id in
+     * ascending id order (deterministic for encoding).
+     */
+    std::vector<std::pair<std::uint32_t, PartialImpact>>
+    analyzePerScenarioPartial(std::span<const WaitGraph> graphs,
+                              unsigned threads = 1) const;
+
     const NameFilter &components() const { return components_; }
 
   private:
@@ -119,11 +138,6 @@ class ImpactAnalysis
 
     /** Scan one graph (thread-safe: touches only primed caches). */
     GraphContribution collect(const WaitGraph &graph) const;
-
-    /** Fold one contribution into @p result using @p seen for dedup. */
-    static void
-    mergeInto(const GraphContribution &contribution, ImpactResult &result,
-              std::unordered_set<EventRef, EventRefHash> &seen);
 
     const TraceCorpus &corpus_;
     NameFilter components_;

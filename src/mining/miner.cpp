@@ -11,6 +11,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "src/core/partial.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
 #include "src/util/telemetry.h"
@@ -162,35 +163,32 @@ ContrastMiner::enumerateMetaPatterns(const AggregatedWaitGraph &awg,
         return metas;
     }
 
-    // Shard the segment-start nodes; per-shard maps merge by integer
-    // summation, which is associative and commutative, so the merged
-    // map's contents match the serial enumeration exactly.
+    // Shard the segment-start nodes; per-shard tallies merge through
+    // PartialMeta (integer summation — associative and commutative),
+    // so the merged map's contents match the serial enumeration
+    // exactly.
     const unsigned shard_count = std::min<unsigned>(
         workers * 4, static_cast<unsigned>(node_count));
-    const std::vector<MetaMap> shards = parallelMap<MetaMap>(
+    const std::vector<PartialMeta> shards = parallelMap<PartialMeta>(
         threads, shard_count, [&](std::size_t shard) {
             const std::size_t begin = node_count * shard / shard_count;
             const std::size_t end =
                 node_count * (shard + 1) / shard_count;
-            MetaMap metas;
+            PartialMeta metas;
             std::vector<std::uint32_t> chain;
             chain.reserve(options_.maxSegmentLength);
             for (std::size_t id = begin; id < end; ++id) {
                 enumerateFrom(awg, static_cast<std::uint32_t>(id),
-                              options_.maxSegmentLength, chain, metas);
+                              options_.maxSegmentLength, chain,
+                              metas.metas);
             }
             return metas;
         });
 
-    MetaMap merged;
-    for (const MetaMap &shard : shards) {
-        for (const auto &[tuple, stats] : shard) {
-            MetaPatternStats &into = merged[tuple];
-            into.cost += stats.cost;
-            into.count += stats.count;
-        }
-    }
-    return merged;
+    PartialMeta merged;
+    for (const PartialMeta &shard : shards)
+        merged.merge(shard);
+    return std::move(merged.metas);
 }
 
 MiningResult
@@ -249,18 +247,9 @@ ContrastMiner::mine(const AggregatedWaitGraph &fast,
 
     // Step 3: full-path contrast patterns over the slow AWG, sharded
     // per root subtree. Each shard mines its subtree independently;
-    // shard maps merge by summation and the ranking below imposes a
-    // strict total order, so the output is thread-count independent.
-    using PatternMap =
-        std::unordered_map<SignatureSetTuple, ContrastPattern,
-                           SignatureSetTupleHash>;
-    struct RootMined
-    {
-        PatternMap patterns;
-        std::size_t fullPaths = 0;
-        std::size_t selectedPaths = 0;
-    };
-
+    // shard tallies merge through PartialPatterns (summation + max)
+    // and the ranking below imposes a strict total order, so the
+    // output is thread-count independent.
     auto pathSelected = [&](const std::vector<std::uint32_t> &path) {
         if (!options_.useMetaPatternGate)
             return true;
@@ -283,7 +272,7 @@ ContrastMiner::mine(const AggregatedWaitGraph &fast,
     };
 
     auto mineRoot = [&](std::uint32_t root) {
-        RootMined mined;
+        PartialPatterns mined;
         std::vector<std::uint32_t> chain;
         auto walk = [&](auto &&self, std::uint32_t node_id) -> void {
             chain.push_back(node_id);
@@ -312,33 +301,27 @@ ContrastMiner::mine(const AggregatedWaitGraph &fast,
     };
 
     const auto &slow_roots = slow.roots();
-    std::vector<RootMined> mined_roots;
+    std::vector<PartialPatterns> mined_roots;
     if (resolveThreads(threads) <= 1 || slow_roots.size() < 2) {
         mined_roots.reserve(slow_roots.size());
         for (std::uint32_t root : slow_roots)
             mined_roots.push_back(mineRoot(root));
     } else {
-        mined_roots = parallelMap<RootMined>(
+        mined_roots = parallelMap<PartialPatterns>(
             threads, slow_roots.size(),
             [&](std::size_t i) { return mineRoot(slow_roots[i]); });
     }
 
-    PatternMap merged;
-    for (RootMined &mined : mined_roots) {
-        result.stats.fullPaths += mined.fullPaths;
-        result.stats.selectedPaths += mined.selectedPaths;
-        for (auto &[tuple, pattern] : mined.patterns) {
-            ContrastPattern &into = merged[tuple];
-            if (into.count == 0)
-                into.tuple = pattern.tuple;
-            into.cost += pattern.cost;
-            into.count += pattern.count;
-            into.maxExec = std::max(into.maxExec, pattern.maxExec);
-        }
-    }
+    PartialPatterns merged;
+    for (const PartialPatterns &mined : mined_roots)
+        merged.merge(mined);
+    result.stats.fullPaths =
+        static_cast<std::size_t>(merged.fullPaths);
+    result.stats.selectedPaths =
+        static_cast<std::size_t>(merged.selectedPaths);
 
-    result.patterns.reserve(merged.size());
-    for (auto &[tuple, pattern] : merged)
+    result.patterns.reserve(merged.patterns.size());
+    for (auto &[tuple, pattern] : merged.patterns)
         result.patterns.push_back(std::move(pattern));
     std::sort(result.patterns.begin(), result.patterns.end(),
               rankBefore);

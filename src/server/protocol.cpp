@@ -43,6 +43,14 @@ methodName(Method method)
         return "ingest";
     case Method::Sleep:
         return "sleep";
+    case Method::AnalyzePartial:
+        return "analyze_partial";
+    case Method::ImpactPartial:
+        return "impact_partial";
+    case Method::MinePartial:
+        return "mine_partial";
+    case Method::ClusterStatus:
+        return "cluster_status";
     }
     return "health";
 }
@@ -51,9 +59,12 @@ std::optional<Method>
 parseMethod(std::string_view name)
 {
     static constexpr Method kAll[] = {
-        Method::Health, Method::Stats,  Method::Shutdown,
-        Method::Analyze, Method::Impact, Method::Mine,
-        Method::Ingest, Method::Sleep};
+        Method::Health,        Method::Stats,
+        Method::Shutdown,      Method::Analyze,
+        Method::Impact,        Method::Mine,
+        Method::Ingest,        Method::Sleep,
+        Method::AnalyzePartial, Method::ImpactPartial,
+        Method::MinePartial,   Method::ClusterStatus};
     for (const Method method : kAll) {
         if (methodName(method) == name)
             return method;
@@ -70,7 +81,7 @@ methodWireByte(Method method)
 std::optional<Method>
 methodFromWireByte(std::uint8_t byte)
 {
-    if (byte > methodWireByte(Method::Sleep))
+    if (byte > methodWireByte(Method::ClusterStatus))
         return std::nullopt;
     return static_cast<Method>(byte);
 }
@@ -189,6 +200,54 @@ SleepRequest::toParams() const
     JsonValue params = JsonValue::makeObject();
     params.set("ms", JsonValue(ms));
     return params;
+}
+
+JsonValue
+AnalyzePartialRequest::toParams() const
+{
+    JsonValue params = JsonValue::makeObject();
+    params.set("corpus", JsonValue(corpus));
+    params.set("scenario", JsonValue(scenario));
+    params.set("tfast_ms", JsonValue(tfastMs));
+    params.set("tslow_ms", JsonValue(tslowMs));
+    if (!components.empty()) {
+        JsonValue list = JsonValue::makeArray();
+        for (const std::string &glob : components)
+            list.push(JsonValue(glob));
+        params.set("components", std::move(list));
+    }
+    return params;
+}
+
+JsonValue
+ImpactPartialRequest::toParams() const
+{
+    JsonValue params = JsonValue::makeObject();
+    params.set("corpus", JsonValue(corpus));
+    if (!components.empty()) {
+        JsonValue list = JsonValue::makeArray();
+        for (const std::string &glob : components)
+            list.push(JsonValue(glob));
+        params.set("components", std::move(list));
+    }
+    return params;
+}
+
+JsonValue
+MinePartialRequest::toParams() const
+{
+    JsonValue params = JsonValue::makeObject();
+    params.set("corpus", JsonValue(corpus));
+    params.set("scenario", JsonValue(scenario));
+    params.set("tfast_ms", JsonValue(tfastMs));
+    params.set("tslow_ms", JsonValue(tslowMs));
+    return params;
+}
+
+JsonValue
+ClusterStatusRequest::toParams() const
+{
+    return JsonValue::makeObject();
 }
 
 // ------------------------------------------------------ v1 line codec

@@ -76,6 +76,13 @@ enum class Method : std::uint8_t
     Mine = 5,     //!< Raw contrast patterns (no knowledge filter).
     Ingest = 6,   //!< Corpus ingestion summary.
     Sleep = 7,    //!< Test-only worker occupancy (enableTestMethods).
+    // Coordinator-mode worker methods (docs/SERVER.md): each returns
+    // a base64 TLP1 partial-result payload instead of a finished
+    // report, for the coordinator's scatter/gather.
+    AnalyzePartial = 8, //!< One shard's scenario partial.
+    ImpactPartial = 9,  //!< One shard's corpus-wide impact partial.
+    MinePartial = 10,   //!< Alias of AnalyzePartial for mine gathers.
+    ClusterStatus = 11, //!< Coordinator topology + worker health.
 };
 
 /** Stable wire name of @p method ("analyze", ...). */
@@ -205,6 +212,51 @@ struct SleepRequest
     double ms = 10.0;
     JsonValue toParams() const;
     static constexpr Method kMethod = Method::Sleep;
+};
+
+/**
+ * One shard's scenario partial (coordinator scatter). Unlike
+ * AnalyzeRequest, the thresholds are mandatory: the coordinator
+ * resolves catalog defaults once and ships explicit values so every
+ * worker classifies identically.
+ */
+struct AnalyzePartialRequest
+{
+    std::string corpus; //!< One shard file, not a directory.
+    std::string scenario;
+    double tfastMs = 0;
+    double tslowMs = 0;
+    std::vector<std::string> components;
+    JsonValue toParams() const;
+    static constexpr Method kMethod = Method::AnalyzePartial;
+};
+
+/** One shard's corpus-wide impact partial (coordinator scatter). */
+struct ImpactPartialRequest
+{
+    std::string corpus; //!< One shard file, not a directory.
+    std::vector<std::string> components;
+    JsonValue toParams() const;
+    static constexpr Method kMethod = Method::ImpactPartial;
+};
+
+/** Same payload as AnalyzePartialRequest, under the mine_partial
+ *  method name (the coordinator's mine gather). */
+struct MinePartialRequest
+{
+    std::string corpus;
+    std::string scenario;
+    double tfastMs = 0;
+    double tslowMs = 0;
+    JsonValue toParams() const;
+    static constexpr Method kMethod = Method::MinePartial;
+};
+
+/** Coordinator topology probe (no params). */
+struct ClusterStatusRequest
+{
+    JsonValue toParams() const;
+    static constexpr Method kMethod = Method::ClusterStatus;
 };
 
 // ---------------------------------------------------------- responses

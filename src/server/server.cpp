@@ -23,7 +23,11 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/partial.h"
+#include "src/mining/coverage.h"
 #include "src/mining/knowledge.h"
+#include "src/mining/miner.h"
+#include "src/server/coordinator.h"
 #include "src/util/logging.h"
 #include "src/util/telemetry.h"
 #include "src/workload/scenarios.h"
@@ -268,6 +272,27 @@ Server::start()
 {
     if (started_.exchange(true))
         return SourceError{"<server>", 0, "server already started"};
+
+    if (config_.coordinator) {
+        if (config_.workerAddrs.empty()) {
+            return SourceError{
+                "<server>", 0,
+                "coordinator mode needs at least one worker "
+                "(--cluster-workers host:port,...)"};
+        }
+        for (const std::string &address : config_.workerAddrs) {
+            if (!parseHostPort(address)) {
+                return SourceError{"<server>", 0,
+                                   "invalid worker address '" +
+                                       address +
+                                       "' (expected host:port)"};
+            }
+        }
+        CoordinatorConfig coordConfig;
+        coordConfig.workers = config_.workerAddrs;
+        coordConfig.shardDeadlineMs = config_.shardDeadlineMs;
+        coordinator_ = std::make_unique<Coordinator>(coordConfig);
+    }
 
     workerCount_ = resolveThreads(config_.workers);
 
@@ -843,6 +868,13 @@ Server::routeRequest(const std::shared_ptr<Connection> &conn,
              supportedProtocolVersions())
             protocols.push(JsonValue(version));
         result.set("protocols", std::move(protocols));
+        // Partial-result wire revision: the coordinator's
+        // mixed-version handshake reads this (docs/SERVER.md).
+        result.set("partial_encoding",
+                   JsonValue(partialEncodingRevision()));
+        result.set("role", JsonValue(config_.coordinator
+                                         ? "coordinator"
+                                         : "worker"));
         ok_.fetch_add(1, std::memory_order_relaxed);
         respondOk(conn, stream, request.id, result.render());
         return;
@@ -865,6 +897,10 @@ Server::routeRequest(const std::shared_ptr<Connection> &conn,
     const bool known =
         request.method == "analyze" || request.method == "impact" ||
         request.method == "mine" || request.method == "ingest" ||
+        request.method == "analyze_partial" ||
+        request.method == "impact_partial" ||
+        request.method == "mine_partial" ||
+        request.method == "cluster_status" ||
         (config_.enableTestMethods && request.method == "sleep");
     if (!known) {
         errors_.fetch_add(1, std::memory_order_relaxed);
@@ -985,18 +1021,49 @@ Server::process(QueuedRequest request)
         }
         JsonValue result;
         const std::string &method = request.request.method;
-        if (method == "analyze")
-            result = handleAnalyze(request);
-        else if (method == "impact")
-            result = handleImpact(request);
-        else if (method == "mine")
-            result = handleMine(request);
-        else if (method == "ingest")
+        if (method == "analyze") {
+            result = config_.coordinator ? handleCoordAnalyze(request)
+                                         : handleAnalyze(request);
+        } else if (method == "impact") {
+            result = config_.coordinator ? handleCoordImpact(request)
+                                         : handleImpact(request);
+        } else if (method == "mine") {
+            result = config_.coordinator ? handleCoordMine(request)
+                                         : handleMine(request);
+        } else if (method == "ingest") {
+            if (config_.coordinator) {
+                failRequest(ErrorCode::BadRequest,
+                            "ingest is not available in coordinator "
+                            "mode (ingest on the workers)");
+            }
             result = handleIngest(request);
-        else if (method == "sleep")
+        } else if (method == "analyze_partial" ||
+                   method == "mine_partial") {
+            if (config_.coordinator) {
+                failRequest(ErrorCode::BadRequest,
+                            "partial methods are served by workers, "
+                            "not the coordinator");
+            }
+            result = handleAnalyzePartial(request);
+        } else if (method == "impact_partial") {
+            if (config_.coordinator) {
+                failRequest(ErrorCode::BadRequest,
+                            "partial methods are served by workers, "
+                            "not the coordinator");
+            }
+            result = handleImpactPartial(request);
+        } else if (method == "cluster_status") {
+            if (!config_.coordinator) {
+                failRequest(ErrorCode::BadRequest,
+                            "this daemon is not a coordinator "
+                            "(start with --coordinator)");
+            }
+            result = handleClusterStatus(request);
+        } else if (method == "sleep") {
             result = handleSleep(request);
-        else
+        } else {
             failRequest(ErrorCode::Internal, "unroutable method");
+        }
         resultJson = result.render();
         ok_.fetch_add(1, std::memory_order_relaxed);
     } catch (const HandlerError &e) {
@@ -1404,6 +1471,316 @@ Server::handleSleep(const QueuedRequest &request)
     JsonValue result = JsonValue::makeObject();
     result.set("slept_ms", JsonValue(ms));
     return result;
+}
+
+// ------------------------------------ worker-side partial handlers
+
+JsonValue
+Server::handleAnalyzePartial(const QueuedRequest &request)
+{
+    const JsonValue &params = request.request.params;
+    const std::string corpusPath = stringParam(params, "corpus");
+    const std::string scenario = stringParam(params, "scenario");
+    // Unlike `analyze`, the thresholds are mandatory: the coordinator
+    // resolves catalog defaults once and ships explicit values so
+    // every worker classifies identically.
+    const double fastMs = numberParamOr(params, "tfast_ms", 0.0);
+    const double slowMs = numberParamOr(params, "tslow_ms", 0.0);
+    const DurationNs tFast = fromMs(fastMs);
+    const DurationNs tSlow = fromMs(slowMs);
+    if (tFast <= 0 || tSlow <= tFast) {
+        failRequest(ErrorCode::BadRequest,
+                    "need 0 < tfast_ms < tslow_ms (partial requests "
+                    "carry explicit thresholds)");
+    }
+    const std::vector<std::string> components =
+        stringListParam(params, "components");
+
+    Expected<SessionRegistry::Handle> session =
+        registry_.acquire(corpusPath, components);
+    if (!session)
+        failRequest(ErrorCode::NotFound, session.error().render());
+    checkDeadline(request.deadline);
+
+    Digest cacheKey;
+    cacheKey.mix("analyze_partial")
+        .mix(session.value()->corpusDigest())
+        .mix(scenario)
+        .mix(static_cast<std::uint64_t>(tFast))
+        .mix(static_cast<std::uint64_t>(tSlow));
+    if (auto cached = session.value()->cachedResponse(cacheKey)) {
+        TL_SPAN("server.response-cache-hit", "server");
+        return std::move(JsonValue::parse(*cached).value());
+    }
+
+    Analyzer &analyzer = session.value()->analyzer();
+    const bool found =
+        analyzer.corpus().findScenario(scenario) != UINT32_MAX;
+    const ScenarioPartial partial =
+        analyzer.scenarioPartial(scenario, tFast, tSlow);
+    checkDeadline(request.deadline);
+
+    JsonValue result = JsonValue::makeObject();
+    result.set("encoding_revision",
+               JsonValue(partialEncodingRevision()));
+    result.set("scenario_found", JsonValue(found));
+    result.set("partial",
+               JsonValue(base64Encode(encodeScenarioPartial(partial))));
+
+    session.value()->cacheResponse(
+        cacheKey,
+        std::make_shared<const std::string>(result.render()));
+    return result;
+}
+
+JsonValue
+Server::handleImpactPartial(const QueuedRequest &request)
+{
+    const JsonValue &params = request.request.params;
+    const std::string corpusPath = stringParam(params, "corpus");
+    const std::vector<std::string> components =
+        stringListParam(params, "components");
+
+    Expected<SessionRegistry::Handle> session =
+        registry_.acquire(corpusPath, components);
+    if (!session)
+        failRequest(ErrorCode::NotFound, session.error().render());
+    checkDeadline(request.deadline);
+
+    Digest cacheKey;
+    cacheKey.mix("impact_partial")
+        .mix(session.value()->corpusDigest());
+    if (auto cached = session.value()->cachedResponse(cacheKey)) {
+        TL_SPAN("server.response-cache-hit", "server");
+        return std::move(JsonValue::parse(*cached).value());
+    }
+
+    const ImpactPartial partial =
+        session.value()->analyzer().impactPartial();
+    checkDeadline(request.deadline);
+
+    JsonValue result = JsonValue::makeObject();
+    result.set("encoding_revision",
+               JsonValue(partialEncodingRevision()));
+    result.set("partial",
+               JsonValue(base64Encode(encodeImpactPartial(partial))));
+
+    session.value()->cacheResponse(
+        cacheKey,
+        std::make_shared<const std::string>(result.render()));
+    return result;
+}
+
+// ------------------------------------------- coordinator handlers
+
+namespace
+{
+
+/** Degradation markers — ABSENT on a full result, so a non-degraded
+ *  coordinator response stays byte-identical to single-node. */
+void
+attachGatherReport(JsonValue &result, const GatherReport &report)
+{
+    if (!report.degraded())
+        return;
+    result.set("partial_results", JsonValue(true));
+    JsonValue missing = JsonValue::makeArray();
+    for (const ShardFailure &failure : report.missing) {
+        JsonValue entry = JsonValue::makeObject();
+        entry.set("shard", JsonValue(failure.shard));
+        entry.set("worker", JsonValue(failure.worker));
+        entry.set("reason", JsonValue(failure.reason));
+        missing.push(std::move(entry));
+    }
+    result.set("missing_shards", std::move(missing));
+}
+
+/** Mine the merged AWGs exactly as a single-node analyzer would
+ *  (AnalyzerConfig mining defaults; thread count never changes the
+ *  ranked result). The miner only reads the AWGs, not the corpus. */
+MiningResult
+mineGathered(const AggregatedWaitGraph &fast,
+             const AggregatedWaitGraph &slow, DurationNs tFast,
+             DurationNs tSlow)
+{
+    const AnalyzerConfig defaults;
+    MiningOptions options;
+    options.maxSegmentLength = defaults.maxSegmentLength;
+    options.tFast = tFast;
+    options.tSlow = tSlow;
+    options.useMetaPatternGate = defaults.useMetaPatternGate;
+    const TraceCorpus dummy;
+    ContrastMiner miner(dummy, options);
+    return miner.mine(fast, slow, 1);
+}
+
+} // namespace
+
+JsonValue
+Server::handleCoordAnalyze(const QueuedRequest &request)
+{
+    const JsonValue &params = request.request.params;
+    const std::string corpusPath = stringParam(params, "corpus");
+    const std::string scenario = stringParam(params, "scenario");
+    DurationNs tFast = 0, tSlow = 0;
+    resolveThresholds(params, scenario, tFast, tSlow);
+    const double topRaw = numberParamOr(params, "top", 5.0);
+    if (topRaw < 0 || topRaw > 10000)
+        failRequest(ErrorCode::BadRequest,
+                    "param \"top\" must be in [0, 10000]");
+    const std::size_t top = static_cast<std::size_t>(topRaw);
+    const bool applyFilter =
+        boolParamOr(params, "knowledge_filter", true);
+    const std::vector<std::string> components =
+        stringListParam(params, "components");
+
+    ScenarioGather gather;
+    if (auto error = coordinator_->gatherScenario(
+            Method::AnalyzePartial, corpusPath, scenario, toMs(tFast),
+            toMs(tSlow), components, request.deadline, gather))
+        failRequest(error->code, error->message);
+    checkDeadline(request.deadline);
+
+    const ImpactResult slowImpact = gather.slowImpact.finalize();
+    const AggregatedWaitGraph awgFast =
+        std::move(gather.awgFast).finalize(true);
+    const AggregatedWaitGraph awgSlow =
+        std::move(gather.awgSlow).finalize(true);
+    const MiningResult mining =
+        mineGathered(awgFast, awgSlow, tFast, tSlow);
+    checkDeadline(request.deadline);
+    const CoverageResult coverage = computeCoverage(
+        mining, awgSlow.reducedCost() + awgSlow.totalRootCost(),
+        tSlow);
+
+    std::vector<ContrastPattern> patterns = mining.patterns;
+    std::size_t suppressed = 0;
+    if (applyFilter) {
+        const auto filtered =
+            KnowledgeBase::defaults().apply(mining, gather.symbols);
+        suppressed = filtered.suppressed.size();
+        patterns = filtered.kept;
+    }
+
+    const double driverCostShare =
+        gather.classes.slowDuration == 0
+            ? 0.0
+            : static_cast<double>(slowImpact.dWait +
+                                  slowImpact.dRun) /
+                  static_cast<double>(gather.classes.slowDuration);
+
+    JsonValue result = JsonValue::makeObject();
+    result.set("scenario", JsonValue(scenario));
+    result.set("tfast_ms", JsonValue(toMs(tFast)));
+    result.set("tslow_ms", JsonValue(toMs(tSlow)));
+    JsonValue classes = JsonValue::makeObject();
+    classes.set("fast", JsonValue(gather.classes.fast));
+    classes.set("middle", JsonValue(gather.classes.middle));
+    classes.set("slow", JsonValue(gather.classes.slow));
+    result.set("classes", std::move(classes));
+    result.set("slow_impact", impactJson(slowImpact));
+    result.set("driver_cost_share", JsonValue(driverCostShare));
+    result.set("coverage", JsonValue(coverage.render()));
+    result.set("mining_stats", JsonValue(mining.stats.render()));
+    result.set("suppressed", JsonValue(suppressed));
+    JsonValue list = JsonValue::makeArray();
+    for (std::size_t i = 0; i < std::min(top, patterns.size()); ++i) {
+        list.push(patternJson(patterns[i], tSlow, gather.symbols,
+                              i + 1));
+    }
+    result.set("patterns", std::move(list));
+    attachGatherReport(result, gather.report);
+    return result;
+}
+
+JsonValue
+Server::handleCoordImpact(const QueuedRequest &request)
+{
+    const JsonValue &params = request.request.params;
+    const std::string corpusPath = stringParam(params, "corpus");
+    const std::vector<std::string> components =
+        stringListParam(params, "components");
+
+    ImpactGather gather;
+    if (auto error = coordinator_->gatherImpact(
+            corpusPath, components, request.deadline, gather))
+        failRequest(error->code, error->message);
+    checkDeadline(request.deadline);
+
+    // The resolved component filter, exactly as a worker session
+    // resolves it (SessionRegistry: empty = analyzer default).
+    const std::vector<std::string> &resolved =
+        components.empty() ? AnalyzerConfig{}.components : components;
+
+    JsonValue result = JsonValue::makeObject();
+    JsonValue componentsJson = JsonValue::makeArray();
+    for (const std::string &glob : resolved)
+        componentsJson.push(JsonValue(glob));
+    result.set("components", std::move(componentsJson));
+    result.set("all", impactJson(gather.all.finalize()));
+    JsonValue perScenario = JsonValue::makeObject();
+    for (const auto &[name, accumulator] : gather.perScenario)
+        perScenario.set(name, impactJson(accumulator.finalize()));
+    result.set("per_scenario", std::move(perScenario));
+    attachGatherReport(result, gather.report);
+    return result;
+}
+
+JsonValue
+Server::handleCoordMine(const QueuedRequest &request)
+{
+    const JsonValue &params = request.request.params;
+    const std::string corpusPath = stringParam(params, "corpus");
+    const std::string scenario = stringParam(params, "scenario");
+    DurationNs tFast = 0, tSlow = 0;
+    resolveThresholds(params, scenario, tFast, tSlow);
+    const double maxRaw =
+        numberParamOr(params, "max_patterns", 100.0);
+    if (maxRaw < 1 || maxRaw > 10000)
+        failRequest(ErrorCode::BadRequest,
+                    "param \"max_patterns\" must be in [1, 10000]");
+    const std::size_t maxPatterns = static_cast<std::size_t>(maxRaw);
+
+    ScenarioGather gather;
+    if (auto error = coordinator_->gatherScenario(
+            Method::MinePartial, corpusPath, scenario, toMs(tFast),
+            toMs(tSlow), {}, request.deadline, gather))
+        failRequest(error->code, error->message);
+    checkDeadline(request.deadline);
+
+    const AggregatedWaitGraph awgFast =
+        std::move(gather.awgFast).finalize(true);
+    const AggregatedWaitGraph awgSlow =
+        std::move(gather.awgSlow).finalize(true);
+    const MiningResult mining =
+        mineGathered(awgFast, awgSlow, tFast, tSlow);
+    checkDeadline(request.deadline);
+    const CoverageResult coverage = computeCoverage(
+        mining, awgSlow.reducedCost() + awgSlow.totalRootCost(),
+        tSlow);
+
+    JsonValue result = JsonValue::makeObject();
+    result.set("scenario", JsonValue(scenario));
+    result.set("mining_stats", JsonValue(mining.stats.render()));
+    result.set("coverage", JsonValue(coverage.render()));
+    JsonValue list = JsonValue::makeArray();
+    const auto &patterns = mining.patterns;
+    for (std::size_t i = 0;
+         i < std::min(maxPatterns, patterns.size()); ++i) {
+        list.push(patternJson(patterns[i], tSlow, gather.symbols,
+                              i + 1));
+    }
+    result.set("patterns", std::move(list));
+    result.set("total_patterns", JsonValue(patterns.size()));
+    attachGatherReport(result, gather.report);
+    return result;
+}
+
+JsonValue
+Server::handleClusterStatus(const QueuedRequest &request)
+{
+    checkDeadline(request.deadline);
+    return coordinator_->clusterStatus();
 }
 
 JsonValue

@@ -86,6 +86,18 @@ struct ServerConfig
      *  daemon answers the preface with a JSON bad_request line and v2
      *  clients fall back to v1 — the interop tests' "old server". */
     bool enableProtocolV2 = true;
+    /**
+     * Coordinator mode (CLI: `tracelens serve --coordinator`): the
+     * daemon answers analyze/impact/mine by scatter/gathering
+     * `*_partial` requests over the worker daemons listed in
+     * workerAddrs instead of analyzing locally (src/server/
+     * coordinator.h). Requires a non-empty workerAddrs.
+     */
+    bool coordinator = false;
+    /** Worker addresses ("host:port"), CLI --cluster-workers. */
+    std::vector<std::string> workerAddrs;
+    /** Coordinator per-shard request deadline (--shard-deadline-ms). */
+    std::uint64_t shardDeadlineMs = 10000;
     /** Session layer: ingestion options, artifact cache, eviction. */
     RegistryConfig registry;
 };
@@ -104,6 +116,8 @@ struct ServerStats
     std::uint64_t v2Connections = 0;   //!< Connections upgraded to v2.
     std::uint64_t protocolErrors = 0;  //!< Framing violations seen.
 };
+
+class Coordinator; // src/server/coordinator.h
 
 class Server
 {
@@ -263,12 +277,23 @@ class Server
     JsonValue handleMine(const QueuedRequest &request);
     JsonValue handleIngest(const QueuedRequest &request);
     JsonValue handleSleep(const QueuedRequest &request);
+    /** Worker-side partial handlers (analyze_partial/mine_partial and
+     *  impact_partial): one shard in, a TLP1 payload out. */
+    JsonValue handleAnalyzePartial(const QueuedRequest &request);
+    JsonValue handleImpactPartial(const QueuedRequest &request);
+    /** Coordinator-side handlers: scatter/gather via coordinator_. */
+    JsonValue handleCoordAnalyze(const QueuedRequest &request);
+    JsonValue handleCoordImpact(const QueuedRequest &request);
+    JsonValue handleCoordMine(const QueuedRequest &request);
+    JsonValue handleClusterStatus(const QueuedRequest &request);
     JsonValue statsResult();
 
     void drain();
 
     ServerConfig config_;
     SessionRegistry registry_;
+    /** Present only in coordinator mode (config_.coordinator). */
+    std::unique_ptr<Coordinator> coordinator_;
 
     int listenFd_ = -1;
     std::uint16_t port_ = 0;

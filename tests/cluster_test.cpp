@@ -1,0 +1,642 @@
+/**
+ * @file
+ * Tests for the sharded-cluster layer (src/server/coordinator.h): the
+ * consistent-hash ring, shard enumeration (which must mirror the
+ * single-node ingest order exactly), the coordinator's scatter/gather
+ * byte-identity contract against a single-node daemon, worker-failure
+ * semantics (replica retry, degraded responses under a deadline), the
+ * mixed-revision handshake, and the worker-side `*_partial` methods.
+ * Built into the "server" ctest label so the whole file runs under
+ * both sanitizers (ctest --preset asan-server / tsan-server).
+ */
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/partial.h"
+#include "src/server/client.h"
+#include "src/server/coordinator.h"
+#include "src/server/protocol.h"
+#include "src/server/server.h"
+#include "src/trace/serialize.h"
+#include "src/util/json.h"
+#include "src/workload/generator.h"
+
+namespace tracelens
+{
+namespace server
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Self-cleaning scratch dir (pid-suffixed: binaries run under -j). */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &name)
+        : path_(fs::temp_directory_path() /
+                ("tracelens_cluster_test_" +
+                 std::to_string(::getpid()) + "_" + name))
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~ScratchDir() { fs::remove_all(path_); }
+
+    std::string str() const { return path_.string(); }
+    const fs::path &path() const { return path_; }
+
+  private:
+    fs::path path_;
+};
+
+// ---------------------------------------------------------- hash ring
+
+TEST(HashRing, PlacementIsDeterministicAndCoversEveryWorker)
+{
+    const std::vector<std::string> workers = {"a:1", "b:2", "c:3"};
+    HashRing ring(workers);
+    HashRing again(workers);
+
+    std::set<std::uint32_t> owners;
+    for (int i = 0; i < 1000; ++i) {
+        const std::string key = "shard-" + std::to_string(i) + ".tlc";
+        const std::uint32_t primary = ring.primary(key);
+        ASSERT_LT(primary, workers.size());
+        // Placement is a pure function of the worker list.
+        EXPECT_EQ(primary, again.primary(key));
+        owners.insert(primary);
+
+        const auto replica = ring.replica(key);
+        ASSERT_TRUE(replica.has_value());
+        EXPECT_NE(*replica, primary)
+            << "replica must be a distinct worker for " << key;
+    }
+    // 64 virtual nodes per worker: 1000 keys cannot all miss a worker.
+    EXPECT_EQ(owners.size(), workers.size());
+}
+
+TEST(HashRing, SingleWorkerOwnsEverythingAndHasNoReplica)
+{
+    HashRing ring({"only:1"});
+    for (int i = 0; i < 100; ++i) {
+        std::string key = "k";
+        key += std::to_string(i);
+        EXPECT_EQ(ring.primary(key), 0u);
+        EXPECT_FALSE(ring.replica(key).has_value());
+    }
+}
+
+// ---------------------------------------------------- shard enumeration
+
+TEST(EnumerateShards, MirrorsSingleNodeIngestOrder)
+{
+    ScratchDir scratch("enumerate");
+    CorpusSpec spec;
+    spec.machines = 4;
+    spec.seed = 7;
+    const std::string dir = (scratch.path() / "corpus").string();
+    const std::vector<std::string> written =
+        writeShardedCorpusDir(generateCorpus(spec), dir, 3);
+    ASSERT_EQ(written.size(), 3u);
+
+    // Non-shard clutter must be ignored, exactly as openSource does.
+    std::ofstream(scratch.path() / "corpus" / "README.txt") << "hi";
+    fs::create_directories(scratch.path() / "corpus" / "sub");
+
+    Expected<std::vector<std::string>> shards =
+        Coordinator::enumerateShards(dir);
+    ASSERT_TRUE(shards.ok()) << shards.error().render();
+    std::vector<std::string> expected = written;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(shards.value(), expected);
+
+    // A plain corpus file enumerates to itself.
+    Expected<std::vector<std::string>> single =
+        Coordinator::enumerateShards(written[0]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(single.value(),
+              std::vector<std::string>{written[0]});
+}
+
+TEST(EnumerateShards, EmptyDirAndMissingPathFail)
+{
+    ScratchDir scratch("enumerate_bad");
+    const std::string empty = (scratch.path() / "empty").string();
+    fs::create_directories(empty);
+    Expected<std::vector<std::string>> none =
+        Coordinator::enumerateShards(empty);
+    ASSERT_FALSE(none.ok());
+    EXPECT_NE(none.error().render().find("*.tlc"), std::string::npos);
+
+    Expected<std::vector<std::string>> missing =
+        Coordinator::enumerateShards(
+            (scratch.path() / "nope").string());
+    EXPECT_FALSE(missing.ok());
+}
+
+// ----------------------------------------------------- cluster fixture
+
+/** A sharded corpus + helpers to start workers and a coordinator. */
+class ClusterTest : public ::testing::Test
+{
+  protected:
+    struct Daemon
+    {
+        std::unique_ptr<Server> server;
+        std::uint16_t port = 0;
+
+        std::string
+        address() const
+        {
+            return "127.0.0.1:" + std::to_string(port);
+        }
+    };
+
+    void
+    SetUp() override
+    {
+        scratch_ = std::make_unique<ScratchDir>(
+            ::testing::UnitTest::GetInstance()
+                ->current_test_info()
+                ->name());
+        CorpusSpec spec;
+        spec.machines = 8;
+        spec.seed = 1337;
+        corpusDir_ = (scratch_->path() / "corpus").string();
+        writeShardedCorpusDir(generateCorpus(spec), corpusDir_, 4);
+    }
+
+    Daemon
+    startDaemon(ServerConfig config = {})
+    {
+        config.host = "127.0.0.1";
+        config.port = 0;
+        Daemon daemon;
+        daemon.server = std::make_unique<Server>(config);
+        Expected<std::uint16_t> port = daemon.server->start();
+        EXPECT_TRUE(port.ok()) << port.error().render();
+        daemon.port = port.ok() ? port.value() : 0;
+        return daemon;
+    }
+
+    Daemon
+    startWorker()
+    {
+        return startDaemon();
+    }
+
+    Daemon
+    startCoordinator(const std::vector<std::string> &workers,
+                     std::uint64_t shardDeadlineMs = 10000)
+    {
+        ServerConfig config;
+        config.coordinator = true;
+        config.workerAddrs = workers;
+        config.shardDeadlineMs = shardDeadlineMs;
+        return startDaemon(config);
+    }
+
+    static void
+    stopDaemon(Daemon &daemon)
+    {
+        daemon.server->requestStop();
+        daemon.server->wait();
+    }
+
+    static Session
+    connect(const Daemon &daemon)
+    {
+        SessionOptions options;
+        options.ioTimeout = std::chrono::milliseconds(60000);
+        Expected<Session> session =
+            Session::connect("127.0.0.1", daemon.port, options);
+        EXPECT_TRUE(session.ok());
+        return std::move(session.value());
+    }
+
+    AnalyzeRequest
+    analyzeRequest() const
+    {
+        AnalyzeRequest request;
+        request.corpus = corpusDir_;
+        request.scenario = "BrowserTabCreate";
+        return request;
+    }
+
+    void
+    TearDown() override
+    {
+        for (Daemon *daemon : live_)
+            if (daemon->server != nullptr && !daemon->server->stopped())
+                stopDaemon(*daemon);
+        scratch_.reset();
+    }
+
+    /** Register for TearDown (daemons live in the test body). */
+    void
+    manage(Daemon &daemon)
+    {
+        live_.push_back(&daemon);
+    }
+
+    std::unique_ptr<ScratchDir> scratch_;
+    std::string corpusDir_;
+    std::vector<Daemon *> live_;
+};
+
+// -------------------------------------------------------- byte identity
+
+TEST_F(ClusterTest, CoordinatorReportsAreByteIdenticalToSingleNode)
+{
+    Daemon worker1 = startWorker();
+    Daemon worker2 = startWorker();
+    Daemon coord = startCoordinator(
+        {worker1.address(), worker2.address()});
+    Daemon single = startWorker();
+    manage(worker1);
+    manage(worker2);
+    manage(coord);
+    manage(single);
+
+    Session coordSession = connect(coord);
+    Session singleSession = connect(single);
+
+    // analyze
+    Expected<Response> coordAnalyze =
+        coordSession.analyze(analyzeRequest());
+    Expected<Response> singleAnalyze =
+        singleSession.analyze(analyzeRequest());
+    ASSERT_TRUE(coordAnalyze.ok()) << coordAnalyze.error().render();
+    ASSERT_TRUE(singleAnalyze.ok());
+    ASSERT_TRUE(coordAnalyze.value().ok)
+        << coordAnalyze.value().error.message;
+    ASSERT_TRUE(singleAnalyze.value().ok)
+        << singleAnalyze.value().error.message;
+    EXPECT_EQ(coordAnalyze.value().result.render(),
+              singleAnalyze.value().result.render());
+    // A full gather carries no degradation markers at all.
+    EXPECT_EQ(coordAnalyze.value().result.find("partial_results"),
+              nullptr);
+
+    // impact
+    ImpactRequest impact;
+    impact.corpus = corpusDir_;
+    Expected<Response> coordImpact = coordSession.impact(impact);
+    Expected<Response> singleImpact = singleSession.impact(impact);
+    ASSERT_TRUE(coordImpact.ok());
+    ASSERT_TRUE(singleImpact.ok());
+    ASSERT_TRUE(coordImpact.value().ok)
+        << coordImpact.value().error.message;
+    ASSERT_TRUE(singleImpact.value().ok);
+    EXPECT_EQ(coordImpact.value().result.render(),
+              singleImpact.value().result.render());
+
+    // mine
+    MineRequest mine;
+    mine.corpus = corpusDir_;
+    mine.scenario = "BrowserTabCreate";
+    Expected<Response> coordMine = coordSession.mine(mine);
+    Expected<Response> singleMine = singleSession.mine(mine);
+    ASSERT_TRUE(coordMine.ok());
+    ASSERT_TRUE(singleMine.ok());
+    ASSERT_TRUE(coordMine.value().ok)
+        << coordMine.value().error.message;
+    ASSERT_TRUE(singleMine.value().ok);
+    EXPECT_EQ(coordMine.value().result.render(),
+              singleMine.value().result.render());
+}
+
+// ------------------------------------------------------ failure handling
+
+TEST_F(ClusterTest, StoppedWorkerIsRetriedOnItsReplica)
+{
+    Daemon worker1 = startWorker();
+    Daemon worker2 = startWorker();
+    Daemon coord = startCoordinator(
+        {worker1.address(), worker2.address()});
+    manage(worker1);
+    manage(worker2);
+    manage(coord);
+
+    Session before = connect(coord);
+    Expected<Response> baseline = before.analyze(analyzeRequest());
+    ASSERT_TRUE(baseline.ok());
+    ASSERT_TRUE(baseline.value().ok)
+        << baseline.value().error.message;
+
+    // Kill one worker; its shards must be answered by the survivor.
+    stopDaemon(worker1);
+
+    Session after = connect(coord);
+    Expected<Response> retried = after.analyze(analyzeRequest());
+    ASSERT_TRUE(retried.ok()) << retried.error().render();
+    ASSERT_TRUE(retried.value().ok)
+        << retried.value().error.message;
+    // The retried gather is still a *full* gather: byte-identical,
+    // no degradation markers.
+    EXPECT_EQ(retried.value().result.render(),
+              baseline.value().result.render());
+    EXPECT_EQ(retried.value().result.find("partial_results"), nullptr);
+}
+
+TEST_F(ClusterTest, SoleWorkerDownDegradesInsideTheDeadline)
+{
+    // Grab a port that is guaranteed closed by starting and stopping
+    // a real daemon on it.
+    Daemon doomed = startWorker();
+    const std::string deadAddr = doomed.address();
+    stopDaemon(doomed);
+
+    Daemon coord = startCoordinator({deadAddr}, 2000);
+    manage(coord);
+    Session session = connect(coord);
+
+    CallOptions options;
+    options.deadlineMs = 30000;
+    const auto start = std::chrono::steady_clock::now();
+    Expected<Response> response =
+        session.call(Method::Analyze, analyzeRequest().toParams(),
+                     options);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    ASSERT_TRUE(response.ok()) << response.error().render();
+    // Connection refused on every shard, no replica to retry: the
+    // query degrades instead of failing or hanging.
+    EXPECT_LT(elapsed, std::chrono::seconds(20));
+    ASSERT_TRUE(response.value().ok)
+        << response.value().error.message;
+    const JsonValue *partial =
+        response.value().result.find("partial_results");
+    ASSERT_NE(partial, nullptr);
+    EXPECT_TRUE(partial->asBool());
+    const JsonValue *missing =
+        response.value().result.find("missing_shards");
+    ASSERT_NE(missing, nullptr);
+    ASSERT_TRUE(missing->isArray());
+    EXPECT_EQ(missing->asArray().size(), 4u)
+        << "all four shards were unreachable";
+}
+
+// -------------------------------------------------- revision handshake
+
+/**
+ * A fake pre-partial-encoding daemon: speaks protocol v1 only and
+ * answers `health` without the "partial_encoding" field, exactly like
+ * a build that predates the partial-result layer. The coordinator's
+ * handshake must reject it up front.
+ */
+class FakeOldWorker
+{
+  public:
+    FakeOldWorker()
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd_, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = 0;
+        EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        EXPECT_EQ(::listen(fd_, 4), 0);
+        socklen_t len = sizeof(addr);
+        EXPECT_EQ(::getsockname(fd_,
+                                reinterpret_cast<sockaddr *>(&addr),
+                                &len),
+                  0);
+        port_ = ntohs(addr.sin_port);
+        thread_ = std::thread([this] { serve(); });
+    }
+
+    ~FakeOldWorker()
+    {
+        if (fd_ >= 0)
+            ::shutdown(fd_, SHUT_RDWR);
+        ::close(fd_);
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+    std::uint16_t port() const { return port_; }
+    std::string
+    address() const
+    {
+        return "127.0.0.1:" + std::to_string(port_);
+    }
+
+  private:
+    void
+    serve()
+    {
+        const int client = ::accept(fd_, nullptr, nullptr);
+        if (client < 0)
+            return;
+        std::string buffer;
+        // Line 1 is the v2 preface: answer a JSON line so the client
+        // falls back to v1. Line 2 is the v1 health request: answer
+        // ok *without* "partial_encoding" (and echo id 1 — the first
+        // id a fresh Session assigns).
+        static const char *replies[] = {
+            "{\"ok\":false,\"error\":{\"code\":\"bad_request\","
+            "\"message\":\"parse error\"}}\n",
+            "{\"id\":1,\"ok\":true,\"result\":{\"protocol\":1,"
+            "\"protocols\":[1],\"status\":\"ok\"}}\n",
+        };
+        for (const char *reply : replies) {
+            while (buffer.find('\n') == std::string::npos) {
+                char chunk[512];
+                const ssize_t n =
+                    ::recv(client, chunk, sizeof(chunk), 0);
+                if (n <= 0) {
+                    ::close(client);
+                    return;
+                }
+                buffer.append(chunk, static_cast<std::size_t>(n));
+            }
+            buffer.erase(0, buffer.find('\n') + 1);
+            const std::size_t length = std::strlen(reply);
+            if (::send(client, reply, length, 0) !=
+                static_cast<ssize_t>(length))
+                break;
+        }
+        // Hold the socket open until the test tears us down, so the
+        // coordinator's error is the handshake's, not a reset.
+        char sink[512];
+        while (::recv(client, sink, sizeof(sink), 0) > 0) {
+        }
+        ::close(client);
+    }
+
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread thread_;
+};
+
+TEST_F(ClusterTest, MixedRevisionWorkerIsRejectedUpFront)
+{
+    FakeOldWorker old;
+    Daemon coord = startCoordinator({old.address()});
+    manage(coord);
+    Session session = connect(coord);
+
+    Expected<Response> response = session.analyze(analyzeRequest());
+    ASSERT_TRUE(response.ok()) << response.error().render();
+    EXPECT_FALSE(response.value().ok);
+    EXPECT_EQ(response.value().error.code, ErrorCode::BadRequest);
+    EXPECT_NE(
+        response.value().error.message.find("revision mismatch"),
+        std::string::npos)
+        << response.value().error.message;
+}
+
+// ------------------------------------------------- worker-side partials
+
+TEST_F(ClusterTest, PartialMethodsRequireExplicitThresholds)
+{
+    Daemon worker = startWorker();
+    manage(worker);
+    Session session = connect(worker);
+
+    // Thresholds are mandatory on the partial plane: workers never
+    // resolve catalog defaults (the coordinator resolves them once).
+    JsonValue params = JsonValue::makeObject();
+    params.set("corpus", JsonValue(corpusDir_));
+    params.set("scenario", JsonValue("BrowserTabCreate"));
+    Expected<Response> bare =
+        session.call(Method::AnalyzePartial, params);
+    ASSERT_TRUE(bare.ok());
+    EXPECT_FALSE(bare.value().ok);
+    EXPECT_EQ(bare.value().error.code, ErrorCode::BadRequest);
+
+    params.set("tfast_ms", JsonValue(100.0));
+    params.set("tslow_ms", JsonValue(500.0));
+    Expected<Response> full =
+        session.call(Method::AnalyzePartial, params);
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(full.value().ok) << full.value().error.message;
+    const JsonValue *revision =
+        full.value().result.find("encoding_revision");
+    ASSERT_NE(revision, nullptr);
+    EXPECT_EQ(revision->asNumber(), partialEncodingRevision());
+    const JsonValue *partial = full.value().result.find("partial");
+    ASSERT_NE(partial, nullptr);
+    EXPECT_FALSE(partial->asString().empty());
+
+    // mine_partial is the same payload and the same handler.
+    Expected<Response> mined =
+        session.call(Method::MinePartial, params);
+    ASSERT_TRUE(mined.ok());
+    EXPECT_TRUE(mined.value().ok) << mined.value().error.message;
+}
+
+TEST_F(ClusterTest, RoleMismatchedMethodsAreRejected)
+{
+    Daemon worker = startWorker();
+    Daemon coord = startCoordinator({worker.address()});
+    manage(worker);
+    manage(coord);
+
+    // cluster_status is a coordinator method...
+    Session workerSession = connect(worker);
+    Expected<Response> status = workerSession.call(
+        Method::ClusterStatus, JsonValue::makeObject());
+    ASSERT_TRUE(status.ok());
+    EXPECT_FALSE(status.value().ok);
+    EXPECT_EQ(status.value().error.code, ErrorCode::BadRequest);
+
+    // ...while ingest and the partial plane live on the workers.
+    Session coordSession = connect(coord);
+    IngestRequest ingest;
+    ingest.corpus = corpusDir_;
+    Expected<Response> ingested = coordSession.ingest(ingest);
+    ASSERT_TRUE(ingested.ok());
+    EXPECT_FALSE(ingested.value().ok);
+    EXPECT_EQ(ingested.value().error.code, ErrorCode::BadRequest);
+
+    JsonValue params = JsonValue::makeObject();
+    params.set("corpus", JsonValue(corpusDir_));
+    params.set("scenario", JsonValue("BrowserTabCreate"));
+    params.set("tfast_ms", JsonValue(100.0));
+    params.set("tslow_ms", JsonValue(500.0));
+    Expected<Response> partial =
+        coordSession.call(Method::AnalyzePartial, params);
+    ASSERT_TRUE(partial.ok());
+    EXPECT_FALSE(partial.value().ok);
+    EXPECT_EQ(partial.value().error.code, ErrorCode::BadRequest);
+}
+
+TEST_F(ClusterTest, ClusterStatusReportsTopologyAndHealth)
+{
+    Daemon worker = startWorker();
+    Daemon doomed = startWorker();
+    const std::string deadAddr = doomed.address();
+    stopDaemon(doomed);
+    Daemon coord =
+        startCoordinator({worker.address(), deadAddr});
+    manage(worker);
+    manage(coord);
+
+    Session session = connect(coord);
+    Expected<Response> response =
+        session.call(Method::ClusterStatus, JsonValue::makeObject());
+    ASSERT_TRUE(response.ok());
+    ASSERT_TRUE(response.value().ok)
+        << response.value().error.message;
+    const JsonValue &result = response.value().result;
+    const JsonValue *revision = result.find("partial_encoding");
+    ASSERT_NE(revision, nullptr);
+    EXPECT_EQ(revision->asNumber(), partialEncodingRevision());
+    const JsonValue *workers = result.find("workers");
+    ASSERT_NE(workers, nullptr);
+    ASSERT_TRUE(workers->isArray());
+    ASSERT_EQ(workers->asArray().size(), 2u);
+
+    bool sawOk = false;
+    bool sawUnreachable = false;
+    for (const JsonValue &entry : workers->asArray()) {
+        const JsonValue *status = entry.find("status");
+        ASSERT_NE(status, nullptr);
+        if (status->asString() == "ok") {
+            sawOk = true;
+            const JsonValue *compatible = entry.find("compatible");
+            ASSERT_NE(compatible, nullptr);
+            EXPECT_TRUE(compatible->asBool());
+        } else {
+            sawUnreachable = true;
+            EXPECT_EQ(status->asString(), "unreachable");
+        }
+    }
+    EXPECT_TRUE(sawOk);
+    EXPECT_TRUE(sawUnreachable);
+
+    // Workers advertise the partial-encoding revision in health too —
+    // the field the coordinator's handshake keys on.
+    Session workerSession = connect(worker);
+    Expected<Response> health = workerSession.health();
+    ASSERT_TRUE(health.ok());
+    ASSERT_TRUE(health.value().ok);
+    const JsonValue *advertised =
+        health.value().result.find("partial_encoding");
+    ASSERT_NE(advertised, nullptr);
+    EXPECT_EQ(advertised->asNumber(), partialEncodingRevision());
+}
+
+} // namespace
+} // namespace server
+} // namespace tracelens

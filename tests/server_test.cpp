@@ -556,6 +556,63 @@ TEST_F(ServerTest, ShutdownDrainsInflightRequestsFirst)
     EXPECT_GE(server_->stats().ok, 1u);
 }
 
+TEST_F(ServerTest, RegistryEvictionSurvivesConcurrentHandleChurn)
+{
+    // No daemon here: hammer the registry directly. A tiny resident
+    // bound plus a zero idle timeout makes eviction fire constantly
+    // while handles are being acquired and released, which is exactly
+    // the race the ref-counting must survive (run under tsan-server).
+    RegistryConfig config;
+    config.maxSessions = 1;
+    config.idleTimeout = std::chrono::seconds(0);
+    SessionRegistry registry(config);
+
+    // A second corpus so the LRU bound actually evicts.
+    const std::string otherPath =
+        (scratch_->path() / "other.tlc").string();
+    CorpusSpec spec;
+    spec.machines = 2;
+    spec.seed = 99;
+    writeCorpusFile(generateCorpus(spec), otherPath);
+
+    constexpr int kThreads = 4;
+    constexpr int kIterations = 40;
+    std::vector<std::thread> churn;
+    churn.reserve(kThreads + 1);
+    for (int t = 0; t < kThreads; ++t) {
+        churn.emplace_back([&, t] {
+            for (int i = 0; i < kIterations; ++i) {
+                const std::string &path =
+                    ((t + i) % 2 == 0) ? corpusPath_ : otherPath;
+                Expected<SessionRegistry::Handle> handle =
+                    registry.acquire(path);
+                ASSERT_TRUE(handle.ok())
+                    << handle.error().render();
+                // Touch the session while eviction races us: the
+                // handle pins it, so this can never dangle.
+                EXPECT_FALSE(
+                    handle.value()->ingestInfo().describe.empty());
+            }
+        });
+    }
+    churn.emplace_back([&] {
+        for (int i = 0; i < kThreads * kIterations; ++i) {
+            registry.evictIdle();
+            std::this_thread::yield();
+        }
+    });
+    for (std::thread &t : churn)
+        t.join();
+
+    const RegistryStats stats = registry.stats();
+    EXPECT_EQ(stats.activeHandles, 0u);
+    EXPECT_LE(stats.openSessions, config.maxSessions);
+    EXPECT_GE(stats.evicted, 1u)
+        << "zero idle timeout + LRU bound of one must have evicted";
+    registry.evictAll();
+    EXPECT_EQ(registry.stats().openSessions, 0u);
+}
+
 TEST(ServerUtil, ParseHostPort)
 {
     auto good = parseHostPort("127.0.0.1:7070");

@@ -167,12 +167,16 @@ usage()
            " [--analysis-threads N]\n"
            "      [--max-sessions N] [--idle-timeout-s N]"
            " [--artifact-cache DIR]\n"
-           "      [--port-file FILE] [--disable-protocol-v2]"
-           "   (see docs/SERVER.md)\n"
+           "      [--port-file FILE] [--disable-protocol-v2]\n"
+           "      [--coordinator --cluster-workers HOST:PORT,...]"
+           " [--shard-deadline-ms N]\n"
+           "      (see docs/SERVER.md)\n"
            "  tracelens query METHOD --connect HOST:PORT"
            " [--params JSON]\n"
            "      [--deadline-ms N] [--timeout-ms N]"
            " [--protocol auto|v1|v2] [--wire-stats]\n"
+           "  tracelens cluster-status --connect HOST:PORT"
+           " [--timeout-ms N]\n"
            "  tracelens version   (also --version)\n"
            "\nPATH is a .tlc corpus file or a directory of shards; "
            "corpus-reading\ncommands accept --mmap (zero-copy "
@@ -193,7 +197,7 @@ usage()
 }
 
 /** Daemon/client version; format revisions print alongside it. */
-constexpr const char *kTracelensVersion = "0.5.0";
+constexpr const char *kTracelensVersion = "0.6.0";
 
 /**
  * Parse an unsigned flag value in [0, @p max]; fatal (nonzero exit)
@@ -722,6 +726,9 @@ cmdVersion()
     for (std::uint32_t revision : server::supportedProtocolVersions())
         std::cout << " v" << revision;
     std::cout << ")\n"
+              << "  partial encoding: TLP1 v"
+              << partialEncodingRevision()
+              << " (cluster scatter/gather)\n"
               << "  build:           "
 #if defined(__clang__)
               << "clang " << __clang_major__ << "." << __clang_minor__
@@ -806,6 +813,30 @@ cmdServe(const Args &args)
     }
     config.registry.source = sourceOptionsFlag(args);
     config.enableTestMethods = args.has("enable-test-methods");
+    config.coordinator = args.has("coordinator");
+    if (auto v = args.flag("cluster-workers")) {
+        // Comma-separated host:port list; validated by start().
+        std::string_view rest = *v;
+        while (!rest.empty()) {
+            const std::size_t comma = rest.find(',');
+            const std::string_view item = rest.substr(0, comma);
+            if (!item.empty())
+                config.workerAddrs.emplace_back(item);
+            if (comma == std::string_view::npos)
+                break;
+            rest.remove_prefix(comma + 1);
+        }
+        if (config.workerAddrs.empty())
+            TL_FATAL("--cluster-workers expects host:port,...");
+        if (!config.coordinator)
+            TL_FATAL("--cluster-workers requires --coordinator");
+    }
+    if (auto v = args.flag("shard-deadline-ms")) {
+        config.shardDeadlineMs = parseUnsignedFlag(
+            "--shard-deadline-ms", *v, 86'400'000);
+        if (config.shardDeadlineMs == 0)
+            TL_FATAL("--shard-deadline-ms must be at least 1");
+    }
     // Ops escape hatch: behave like a pre-v2 daemon (clients fall
     // back to JSON lines), e.g. to bisect a protocol regression.
     config.enableProtocolV2 = !args.has("disable-protocol-v2");
@@ -913,6 +944,79 @@ cmdQuery(const Args &args)
     return 0;
 }
 
+int
+cmdClusterStatus(const Args &args)
+{
+    // Sugar over `query cluster_status`: probe the coordinator and
+    // print a human-readable worker roster.
+    const auto connect = args.flag("connect");
+    if (!connect || connect->empty())
+        return usage();
+    Expected<std::pair<std::string, std::uint16_t>> address =
+        server::parseHostPort(*connect);
+    if (!address)
+        TL_FATAL("--connect: ", address.error().reason);
+
+    server::SessionOptions options;
+    options.ioTimeout = std::chrono::milliseconds(30'000);
+    if (auto v = args.flag("timeout-ms")) {
+        options.ioTimeout = std::chrono::milliseconds(
+            parseUnsignedFlag("--timeout-ms", *v, 86'400'000));
+    }
+    Expected<server::Session> session = server::Session::connect(
+        address.value().first, address.value().second, options);
+    if (!session)
+        TL_FATAL(session.error().render());
+    Expected<server::Response> response = session.value().call(
+        server::Method::ClusterStatus, JsonValue::makeObject());
+    if (!response)
+        TL_FATAL(response.error().render());
+    if (!response.value().ok) {
+        TL_LOG(Error, "server error [",
+               server::errorCodeName(response.value().error.code),
+               "]: ", response.value().error.message);
+        return 1;
+    }
+
+    const JsonValue &result = response.value().result;
+    std::cout << "coordinator " << *connect;
+    if (const JsonValue *revision = result.find("partial_encoding");
+        revision != nullptr && revision->isNumber()) {
+        std::cout << " (partial encoding v"
+                  << static_cast<std::uint64_t>(revision->asNumber())
+                  << ")";
+    }
+    std::cout << "\n";
+    bool healthy = true;
+    if (const JsonValue *workers = result.find("workers");
+        workers != nullptr && workers->isArray()) {
+        for (const JsonValue &entry : workers->asArray()) {
+            const JsonValue *addr = entry.find("address");
+            const JsonValue *status = entry.find("status");
+            const JsonValue *compatible = entry.find("compatible");
+            const std::string state =
+                status != nullptr && status->isString()
+                    ? status->asString()
+                    : "unknown";
+            std::cout << "  worker "
+                      << (addr != nullptr && addr->isString()
+                              ? addr->asString()
+                              : "?")
+                      << ": " << state;
+            if (compatible != nullptr && compatible->isBool() &&
+                !compatible->asBool()) {
+                std::cout << " (INCOMPATIBLE partial encoding)";
+                healthy = false;
+            }
+            if (state != "ok")
+                healthy = false;
+            std::cout << "\n";
+        }
+    }
+    std::cout << result.render() << "\n";
+    return healthy ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -968,6 +1072,8 @@ main(int argc, char **argv)
             return cmdServe(args);
         if (command == "query")
             return cmdQuery(args);
+        if (command == "cluster-status")
+            return cmdClusterStatus(args);
         if (command == "version" || command == "--version" ||
             command == "-V")
             return cmdVersion();
