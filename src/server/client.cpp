@@ -250,6 +250,9 @@ Session::connect(const std::string &host, std::uint16_t port,
     mine.protocolVersion = kProtocolVersionV2;
     mine.maxFramePayload = options.maxFramePayload;
     mine.initialWindow = options.initialWindow;
+    mine.tracing = options.tracing;
+    session.tracingNegotiated_ =
+        options.tracing && session.serverSettings_.tracing;
     std::string out;
     wire::appendFrame(out, wire::FrameType::Settings, 0, 0,
                       wire::encodeSettings(mine));
@@ -428,9 +431,16 @@ Session::sendV2(Method method, const JsonValue &params,
     const std::uint32_t stream = nextStream_;
     nextStream_ += 2;
     const std::uint64_t id = nextId_++;
+    // Propagate the caller's explicit context, else whatever span the
+    // calling thread is inside (empty when telemetry is off). The
+    // field is only encoded when both ends advertised tracing.
+    SpanContext context = options.traceContext;
+    if (!context.valid())
+        context = Telemetry::currentContext();
     const std::string payload = wire::encodeRequestPayload(
         method, options.priority, options.deadlineMs, paramsJson,
-        sendDict_);
+        sendDict_, context.valid() ? &context : nullptr,
+        tracingNegotiated_);
     std::string out;
     wire::appendFrame(out, wire::FrameType::Request,
                       wire::kFlagEndStream, stream, payload);

@@ -144,6 +144,13 @@ struct SessionOptions
     std::uint32_t initialWindow = wire::kDefaultInitialWindow;
     /** v2: largest frame payload this client accepts. */
     std::uint32_t maxFramePayload = wire::kDefaultMaxFramePayload;
+    /**
+     * Advertise trace-context propagation in the v2 SETTINGS
+     * exchange. Requests carry a span-context field only when *both*
+     * sides advertised it (see wire::Settings::tracing), so turning
+     * this off speaks byte-identical frames to a pre-tracing client.
+     */
+    bool tracing = true;
 };
 
 /** Per-request knobs. */
@@ -153,6 +160,14 @@ struct CallOptions
     std::uint64_t deadlineMs = 0;
     /** kPriority* (v2 scheduling class; ignored over v1). */
     std::uint8_t priority = kPriorityNormal;
+    /**
+     * Span context to propagate with the request (v2 only, and only
+     * when tracing was negotiated — silently dropped otherwise).
+     * When invalid (traceId == 0), sendV2 falls back to the calling
+     * thread's Telemetry::currentContext(), so code running inside a
+     * traced span propagates automatically.
+     */
+    SpanContext traceContext;
 };
 
 /** Transport-level counters (the wire-bytes bench reads these). */
@@ -177,6 +192,8 @@ class Session
     bool connected() const { return conn_.connected(); }
     /** Negotiated revision: kProtocolVersionV1 or V2. */
     std::uint32_t protocolVersion() const { return version_; }
+    /** True when both ends advertised trace-context propagation. */
+    bool tracingNegotiated() const { return tracingNegotiated_; }
     WireStats wireStats() const;
 
     // ---- typed blocking calls
@@ -231,6 +248,7 @@ class Session
     RawConn conn_;
     std::uint32_t version_ = kProtocolVersionV1;
     SessionOptions options_;
+    bool tracingNegotiated_ = false;
     std::uint64_t framesSent_ = 0;
     std::uint64_t framesReceived_ = 0;
 

@@ -396,6 +396,10 @@ class Coordinator::Scatter
         options.deadlineMs =
             std::min<std::uint64_t>(shardDeadlineMs_,
                                     remainingMs(deadline_));
+        // Hand the incoming request's span context (installed by
+        // Server::process) down to the workers, so one query's spans
+        // stitch into a single cross-node trace.
+        options.traceContext = Telemetry::currentContext();
         return options;
     }
 
@@ -704,6 +708,34 @@ Coordinator::gatherImpact(
     return std::nullopt;
 }
 
+namespace
+{
+
+/** Dial one worker with a short probe timeout (status/metrics/trace
+ *  pulls — not the scatter path, which pools sessions). */
+Expected<Session>
+dialWorker(const std::string &address, std::uint64_t timeoutMs)
+{
+    const auto colon = address.rfind(':');
+    const std::string host = address.substr(0, colon);
+    const std::uint16_t port = static_cast<std::uint16_t>(
+        std::stoul(address.substr(colon + 1)));
+    SessionOptions options;
+    options.ioTimeout = std::chrono::milliseconds(timeoutMs);
+    return Session::connect(host, port, options);
+}
+
+/** Copy a numeric member of @p from into @p to when present. */
+void
+copyNumber(const JsonValue &from, JsonValue &to, std::string_view key)
+{
+    if (const JsonValue *value = from.find(key);
+        value != nullptr && value->isNumber())
+        to.set(key, JsonValue(value->asNumber()));
+}
+
+} // namespace
+
 JsonValue
 Coordinator::clusterStatus() const
 {
@@ -712,15 +744,7 @@ Coordinator::clusterStatus() const
         JsonValue entry = JsonValue::makeObject();
         entry.set("address", JsonValue(address));
 
-        const auto colon = address.rfind(':');
-        const std::string host = address.substr(0, colon);
-        const std::uint16_t port = static_cast<std::uint16_t>(
-            std::stoul(address.substr(colon + 1)));
-
-        SessionOptions options;
-        options.ioTimeout = std::chrono::milliseconds(2000);
-        Expected<Session> session =
-            Session::connect(host, port, options);
+        Expected<Session> session = dialWorker(address, 2000);
         if (!session) {
             entry.set("status", JsonValue("unreachable"));
             entry.set("error", JsonValue(session.error().reason));
@@ -742,9 +766,12 @@ Coordinator::clusterStatus() const
             entry.set("status", JsonValue(status->asString()));
         else
             entry.set("status", JsonValue("ok"));
-        if (const JsonValue *protocol = result.find("protocol");
-            protocol != nullptr && protocol->isNumber())
-            entry.set("protocol", JsonValue(protocol->asNumber()));
+        copyNumber(result, entry, "protocol");
+        // Liveness extras for the status table (absent from old
+        // workers' health results — the table renders "-" then).
+        copyNumber(result, entry, "uptime_s");
+        copyNumber(result, entry, "inflight");
+        copyNumber(result, entry, "sessions");
         const JsonValue *revision = result.find("partial_encoding");
         const std::uint32_t theirs =
             revision != nullptr && revision->isNumber()
@@ -765,6 +792,72 @@ Coordinator::clusterStatus() const
                JsonValue(config_.shardDeadlineMs));
     result.set("workers", std::move(workers));
     return result;
+}
+
+JsonValue
+Coordinator::clusterMetrics(MetricsRegistry &aggregate) const
+{
+    Span span("coordinator.cluster-metrics", "server");
+    JsonValue pulls = JsonValue::makeArray();
+    for (const std::string &address : ring_.workers()) {
+        JsonValue entry = JsonValue::makeObject();
+        entry.set("node", JsonValue(address));
+        Expected<Session> session = dialWorker(address, 2000);
+        if (!session) {
+            entry.set("ok", JsonValue(false));
+            entry.set("error", JsonValue(session.error().reason));
+            pulls.push(std::move(entry));
+            continue;
+        }
+        CallOptions probe;
+        probe.deadlineMs = 2000;
+        Expected<Response> response = session.value().call(
+            Method::Metrics, JsonValue::makeObject(), probe);
+        if (!response || !response.value().ok) {
+            entry.set("ok", JsonValue(false));
+            entry.set("error",
+                      JsonValue(response
+                                    ? response.value().error.message
+                                    : response.error().reason));
+            pulls.push(std::move(entry));
+            continue;
+        }
+        aggregate.merge(
+            parseMetricsSnapshot(response.value().result));
+        entry.set("ok", JsonValue(true));
+        pulls.push(std::move(entry));
+    }
+    return pulls;
+}
+
+std::vector<NodeSpans>
+Coordinator::pullWorkerSpans() const
+{
+    Span span("coordinator.pull-spans", "server");
+    std::vector<NodeSpans> nodes;
+    for (const std::string &address : ring_.workers()) {
+        Expected<Session> session = dialWorker(address, 2000);
+        if (!session) {
+            TL_LOG(Warn, "coordinator: telemetry pull: worker ",
+                   address, " unreachable (", session.error().reason,
+                   ")");
+            continue;
+        }
+        CallOptions probe;
+        probe.deadlineMs = 2000;
+        Expected<Response> response = session.value().call(
+            Method::TelemetryPull, JsonValue::makeObject(), probe);
+        if (!response || !response.value().ok) {
+            TL_LOG(Warn, "coordinator: telemetry pull failed on ",
+                   address);
+            continue;
+        }
+        NodeSpans node = parseNodeSpans(response.value().result);
+        if (node.node.empty())
+            node.node = "worker @ " + address;
+        nodes.push_back(std::move(node));
+    }
+    return nodes;
 }
 
 } // namespace server

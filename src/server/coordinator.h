@@ -208,9 +208,28 @@ class Coordinator
     /**
      * Probe every worker's `health` (short per-worker timeout) and
      * report the topology: address, reachability, protocol and
-     * partial-encoding revisions (the `cluster_status` method).
+     * partial-encoding revisions, plus the liveness extras (uptime,
+     * inflight, open sessions) the status table renders (the
+     * `cluster_status` method).
      */
     JsonValue clusterStatus() const;
+
+    /**
+     * Pull every worker's metrics registry (`metrics` method) and
+     * fold the snapshots into @p aggregate — bucket-exact for
+     * histograms (Histogram::State). Returns one entry per worker:
+     * {"node", "ok", ["error"]} describing the pull.
+     */
+    JsonValue clusterMetrics(MetricsRegistry &aggregate) const;
+
+    /**
+     * Pull every reachable worker's span buffer (`telemetry_pull`)
+     * as NodeSpans ready for Telemetry::renderChromeTraceMerged().
+     * Pids are NOT assigned here — the caller namespaces them after
+     * prepending its own node. Unreachable workers are skipped with
+     * a warning (a stitched trace is best-effort by nature).
+     */
+    std::vector<NodeSpans> pullWorkerSpans() const;
 
   private:
     class Scatter; // per-gather session bookkeeping (coordinator.cpp)

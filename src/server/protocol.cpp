@@ -51,6 +51,14 @@ methodName(Method method)
         return "mine_partial";
     case Method::ClusterStatus:
         return "cluster_status";
+    case Method::TelemetryPull:
+        return "telemetry_pull";
+    case Method::Metrics:
+        return "metrics";
+    case Method::FlightRecorder:
+        return "flight_recorder";
+    case Method::ClusterTrace:
+        return "cluster_trace";
     }
     return "health";
 }
@@ -64,7 +72,9 @@ parseMethod(std::string_view name)
         Method::Impact,        Method::Mine,
         Method::Ingest,        Method::Sleep,
         Method::AnalyzePartial, Method::ImpactPartial,
-        Method::MinePartial,   Method::ClusterStatus};
+        Method::MinePartial,   Method::ClusterStatus,
+        Method::TelemetryPull, Method::Metrics,
+        Method::FlightRecorder, Method::ClusterTrace};
     for (const Method method : kAll) {
         if (methodName(method) == name)
             return method;
@@ -81,7 +91,7 @@ methodWireByte(Method method)
 std::optional<Method>
 methodFromWireByte(std::uint8_t byte)
 {
-    if (byte > methodWireByte(Method::ClusterStatus))
+    if (byte > methodWireByte(Method::ClusterTrace))
         return std::nullopt;
     return static_cast<Method>(byte);
 }
@@ -89,8 +99,15 @@ methodFromWireByte(std::uint8_t byte)
 bool
 isControlMethod(Method method)
 {
+    // The observability probes are control-plane on purpose: a
+    // saturated worker queue is exactly when you pull metrics and the
+    // flight recorder. cluster_trace is NOT control — it fans out
+    // over TCP to every worker and must not block a reader thread.
     return method == Method::Health || method == Method::Stats ||
-           method == Method::Shutdown;
+           method == Method::Shutdown ||
+           method == Method::TelemetryPull ||
+           method == Method::Metrics ||
+           method == Method::FlightRecorder;
 }
 
 // -------------------------------------------------------- error codes
@@ -247,6 +264,33 @@ MinePartialRequest::toParams() const
 JsonValue
 ClusterStatusRequest::toParams() const
 {
+    JsonValue params = JsonValue::makeObject();
+    if (metrics)
+        params.set("metrics", JsonValue(true));
+    return params;
+}
+
+JsonValue
+TelemetryPullRequest::toParams() const
+{
+    return JsonValue::makeObject();
+}
+
+JsonValue
+MetricsRequest::toParams() const
+{
+    return JsonValue::makeObject();
+}
+
+JsonValue
+FlightRecorderRequest::toParams() const
+{
+    return JsonValue::makeObject();
+}
+
+JsonValue
+ClusterTraceRequest::toParams() const
+{
     return JsonValue::makeObject();
 }
 
@@ -361,6 +405,188 @@ renderErrorObject(const ErrorInfo &error)
     if (error.offset != 0)
         object.set("offset", JsonValue(error.offset));
     return object.render();
+}
+
+// ------------------------------------ observability payload codecs
+
+JsonValue
+metricsSnapshotJson(const MetricsSnapshot &snapshot)
+{
+    JsonValue counters = JsonValue::makeObject();
+    for (const auto &[name, value] : snapshot.counters)
+        counters.set(name, JsonValue(value));
+    JsonValue gauges = JsonValue::makeObject();
+    for (const auto &[name, value] : snapshot.gauges)
+        gauges.set(name, JsonValue(value));
+    JsonValue histograms = JsonValue::makeObject();
+    for (const auto &[name, state] : snapshot.histograms) {
+        JsonValue entry = JsonValue::makeObject();
+        entry.set("count", JsonValue(state.count));
+        entry.set("sum", JsonValue(state.sum));
+        entry.set("max", JsonValue(state.max));
+        JsonValue buckets = JsonValue::makeArray();
+        for (const auto &[index, occupancy] : state.buckets) {
+            JsonValue pair = JsonValue::makeArray();
+            pair.push(JsonValue(index));
+            pair.push(JsonValue(occupancy));
+            buckets.push(std::move(pair));
+        }
+        entry.set("buckets", std::move(buckets));
+        histograms.set(name, std::move(entry));
+    }
+    JsonValue json = JsonValue::makeObject();
+    json.set("counters", std::move(counters));
+    json.set("gauges", std::move(gauges));
+    json.set("histograms", std::move(histograms));
+    return json;
+}
+
+namespace
+{
+
+std::uint64_t
+u64Member(const JsonValue &object, std::string_view key)
+{
+    const JsonValue *value = object.find(key);
+    if (value == nullptr || !value->isNumber() ||
+        value->asNumber() < 0)
+        return 0;
+    return static_cast<std::uint64_t>(value->asNumber());
+}
+
+} // namespace
+
+MetricsSnapshot
+parseMetricsSnapshot(const JsonValue &json)
+{
+    MetricsSnapshot snapshot;
+    if (const JsonValue *counters = json.find("counters");
+        counters != nullptr && counters->isObject()) {
+        for (const auto &[name, value] : counters->asObject()) {
+            if (value.isNumber() && value.asNumber() >= 0)
+                snapshot.counters.emplace_back(
+                    name,
+                    static_cast<std::uint64_t>(value.asNumber()));
+        }
+    }
+    if (const JsonValue *gauges = json.find("gauges");
+        gauges != nullptr && gauges->isObject()) {
+        for (const auto &[name, value] : gauges->asObject()) {
+            if (value.isNumber())
+                snapshot.gauges.emplace_back(name, value.asNumber());
+        }
+    }
+    if (const JsonValue *histograms = json.find("histograms");
+        histograms != nullptr && histograms->isObject()) {
+        for (const auto &[name, entry] : histograms->asObject()) {
+            if (!entry.isObject())
+                continue;
+            Histogram::State state;
+            state.count = u64Member(entry, "count");
+            state.sum = u64Member(entry, "sum");
+            state.max = u64Member(entry, "max");
+            if (const JsonValue *buckets = entry.find("buckets");
+                buckets != nullptr && buckets->isArray()) {
+                for (const JsonValue &pair : buckets->asArray()) {
+                    if (!pair.isArray() ||
+                        pair.asArray().size() != 2 ||
+                        !pair.asArray()[0].isNumber() ||
+                        !pair.asArray()[1].isNumber())
+                        continue;
+                    state.buckets.emplace_back(
+                        static_cast<std::uint32_t>(
+                            pair.asArray()[0].asNumber()),
+                        static_cast<std::uint64_t>(
+                            pair.asArray()[1].asNumber()));
+                }
+            }
+            snapshot.histograms.emplace_back(name, std::move(state));
+        }
+    }
+    return snapshot;
+}
+
+JsonValue
+nodeSpansJson(const NodeSpans &node)
+{
+    JsonValue spans = JsonValue::makeArray();
+    for (const SpanSnapshot &span : node.spans) {
+        JsonValue entry = JsonValue::makeObject();
+        entry.set("name", JsonValue(span.name));
+        entry.set("category", JsonValue(span.category));
+        entry.set("tid", JsonValue(span.tid));
+        entry.set("depth", JsonValue(span.depth));
+        entry.set("start_us", JsonValue(span.startUs));
+        entry.set("dur_us", JsonValue(span.durUs));
+        entry.set("cpu_ns", JsonValue(span.cpuNs));
+        if (span.traceId != 0) {
+            entry.set("trace_id", JsonValue(hexId(span.traceId)));
+            entry.set("span_id", JsonValue(hexId(span.spanId)));
+            entry.set("parent_span_id",
+                      JsonValue(hexId(span.parentSpanId)));
+        }
+        if (!span.args.empty()) {
+            JsonValue args = JsonValue::makeObject();
+            for (const auto &[key, value] : span.args)
+                args.set(key, JsonValue(value));
+            entry.set("args", std::move(args));
+        }
+        spans.push(std::move(entry));
+    }
+    JsonValue json = JsonValue::makeObject();
+    json.set("node", JsonValue(node.node));
+    json.set("epoch_unix_us", JsonValue(node.epochUnixUs));
+    json.set("spans", std::move(spans));
+    return json;
+}
+
+NodeSpans
+parseNodeSpans(const JsonValue &json)
+{
+    NodeSpans node;
+    if (const JsonValue *name = json.find("node");
+        name != nullptr && name->isString())
+        node.node = name->asString();
+    node.epochUnixUs = u64Member(json, "epoch_unix_us");
+    const JsonValue *spans = json.find("spans");
+    if (spans == nullptr || !spans->isArray())
+        return node;
+    for (const JsonValue &entry : spans->asArray()) {
+        if (!entry.isObject())
+            continue;
+        const JsonValue *name = entry.find("name");
+        if (name == nullptr || !name->isString())
+            continue;
+        SpanSnapshot span;
+        span.name = name->asString();
+        if (const JsonValue *category = entry.find("category");
+            category != nullptr && category->isString())
+            span.category = category->asString();
+        span.tid = static_cast<std::uint32_t>(u64Member(entry, "tid"));
+        span.depth =
+            static_cast<std::uint32_t>(u64Member(entry, "depth"));
+        span.startUs = u64Member(entry, "start_us");
+        span.durUs = u64Member(entry, "dur_us");
+        span.cpuNs = u64Member(entry, "cpu_ns");
+        if (const JsonValue *id = entry.find("trace_id");
+            id != nullptr && id->isString())
+            span.traceId = parseHexId(id->asString());
+        if (const JsonValue *id = entry.find("span_id");
+            id != nullptr && id->isString())
+            span.spanId = parseHexId(id->asString());
+        if (const JsonValue *id = entry.find("parent_span_id");
+            id != nullptr && id->isString())
+            span.parentSpanId = parseHexId(id->asString());
+        if (const JsonValue *args = entry.find("args");
+            args != nullptr && args->isObject()) {
+            for (const auto &[key, value] : args->asObject()) {
+                if (value.isString())
+                    span.args.emplace_back(key, value.asString());
+            }
+        }
+        node.spans.push_back(std::move(span));
+    }
+    return node;
 }
 
 ErrorInfo

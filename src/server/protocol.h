@@ -41,6 +41,7 @@
 
 #include "src/util/expected.h"
 #include "src/util/json.h"
+#include "src/util/telemetry.h"
 
 namespace tracelens
 {
@@ -83,6 +84,16 @@ enum class Method : std::uint8_t
     ImpactPartial = 9,  //!< One shard's corpus-wide impact partial.
     MinePartial = 10,   //!< Alias of AnalyzePartial for mine gathers.
     ClusterStatus = 11, //!< Coordinator topology + worker health.
+    // Observability methods (docs/TELEMETRY.md, "Distributed tracing
+    // & metrics"): answered inline so they stay usable exactly when
+    // the data plane is saturated — the moment you need them.
+    TelemetryPull = 12,  //!< This node's recorded span buffer.
+    Metrics = 13,        //!< Metrics-registry snapshot (with buckets).
+    FlightRecorder = 14, //!< Recent completed-request ring.
+    /** Coordinator-side span stitching: pull every worker's spans via
+     *  telemetry_pull, merge with the coordinator's own buffer, and
+     *  return one Chrome trace (queued — it fans out over TCP). */
+    ClusterTrace = 15,
 };
 
 /** Stable wire name of @p method ("analyze", ...). */
@@ -161,6 +172,9 @@ struct Request
     std::uint64_t deadlineMs = 0;
     /** Scheduling class (kPriority*); v1 always Normal. */
     std::uint8_t priority = kPriorityNormal;
+    /** Propagated span context (v2 with tracing negotiated; traceId
+     *  0 = the request carried none). */
+    SpanContext context;
 };
 
 /**
@@ -252,11 +266,42 @@ struct MinePartialRequest
     static constexpr Method kMethod = Method::MinePartial;
 };
 
-/** Coordinator topology probe (no params). */
+/** Coordinator topology probe. With @c metrics the response also
+ *  aggregates every worker's metrics registry (exact histogram
+ *  merge) into one "metrics" object. */
 struct ClusterStatusRequest
 {
+    bool metrics = false;
     JsonValue toParams() const;
     static constexpr Method kMethod = Method::ClusterStatus;
+};
+
+/** This node's span buffer (spans recorded since startup/reset). */
+struct TelemetryPullRequest
+{
+    JsonValue toParams() const;
+    static constexpr Method kMethod = Method::TelemetryPull;
+};
+
+/** This node's metrics registry, bucket-exact. */
+struct MetricsRequest
+{
+    JsonValue toParams() const;
+    static constexpr Method kMethod = Method::Metrics;
+};
+
+/** The flight recorder's recent completed-request records. */
+struct FlightRecorderRequest
+{
+    JsonValue toParams() const;
+    static constexpr Method kMethod = Method::FlightRecorder;
+};
+
+/** Coordinator-stitched cluster-wide Chrome trace. */
+struct ClusterTraceRequest
+{
+    JsonValue toParams() const;
+    static constexpr Method kMethod = Method::ClusterTrace;
 };
 
 // ---------------------------------------------------------- responses
@@ -303,6 +348,34 @@ std::string renderErrorObject(const ErrorInfo &error);
 
 /** Decode an "error" object (v2 response payloads). */
 ErrorInfo parseErrorObject(const JsonValue &error);
+
+// ------------------------------------ observability payload codecs
+//
+// The `metrics` and `telemetry_pull` methods ship structured
+// telemetry as JSON; these helpers are the single definition of
+// those shapes, used by the server to render and by the coordinator
+// to parse when aggregating. 64-bit ids cross as 16-hex-digit
+// strings (a JSON number is a double and cannot hold them); bucket
+// state crosses in full so coordinator-side histogram merges are
+// exact.
+
+/** {"counters": {...}, "gauges": {...}, "histograms": {name:
+ *  {"count", "sum", "max", "buckets": [[index, count], ...]}}} */
+JsonValue metricsSnapshotJson(const MetricsSnapshot &snapshot);
+
+/** Inverse of metricsSnapshotJson(); tolerant of missing members
+ *  (absent sections parse as empty). */
+MetricsSnapshot parseMetricsSnapshot(const JsonValue &json);
+
+/** {"node": ..., "epoch_unix_us": N, "spans": [{"name", "category",
+ *  "tid", "depth", "start_us", "dur_us", "cpu_ns", "trace_id",
+ *  "span_id", "parent_span_id", "args": {...}}, ...]} — the
+ *  telemetry_pull result body (NodeSpans::pid is assigned by the
+ *  stitcher, not carried on the wire). */
+JsonValue nodeSpansJson(const NodeSpans &node);
+
+/** Inverse of nodeSpansJson(); malformed span entries are skipped. */
+NodeSpans parseNodeSpans(const JsonValue &json);
 
 } // namespace server
 } // namespace tracelens

@@ -13,6 +13,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -28,6 +29,7 @@
 #include "src/mining/knowledge.h"
 #include "src/mining/miner.h"
 #include "src/server/coordinator.h"
+#include "src/trace/selftrace.h"
 #include "src/util/logging.h"
 #include "src/util/telemetry.h"
 #include "src/workload/scenarios.h"
@@ -251,7 +253,8 @@ Server::Connection::shutdownBoth()
 // ----------------------------------------------------------- Server
 
 Server::Server(ServerConfig config)
-    : config_(std::move(config)), registry_(config_.registry)
+    : config_(std::move(config)), registry_(config_.registry),
+      flightRecorder_(config_.flightRecorderCapacity)
 {
 }
 
@@ -358,6 +361,60 @@ Server::start()
     ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
                   &boundLen);
     port_ = ntohs(bound.sin_port);
+
+    startTime_ = Clock::now();
+    // Self-tracing needs spans recorded regardless of --trace-out.
+    if (!config_.selfTraceCorpusDir.empty())
+        Telemetry::setEnabled(true);
+
+    if (!config_.metricsListen.empty()) {
+        Expected<std::pair<std::string, std::uint16_t>> endpoint =
+            parseHostPort(config_.metricsListen);
+        if (!endpoint) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+            return SourceError{"<server>", 0,
+                               "--metrics-listen: " +
+                                   endpoint.error().reason};
+        }
+        metricsFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (metricsFd_ < 0) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+            return SourceError{"<server>", 0,
+                               std::string("metrics socket: ") +
+                                   std::strerror(errno)};
+        }
+        ::setsockopt(metricsFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in maddr{};
+        maddr.sin_family = AF_INET;
+        maddr.sin_port = htons(endpoint.value().second);
+        if (::inet_pton(AF_INET, endpoint.value().first.c_str(),
+                        &maddr.sin_addr) != 1 ||
+            ::bind(metricsFd_, reinterpret_cast<sockaddr *>(&maddr),
+                   sizeof(maddr)) != 0 ||
+            ::listen(metricsFd_, 16) != 0) {
+            const int err = errno;
+            ::close(metricsFd_);
+            metricsFd_ = -1;
+            ::close(listenFd_);
+            listenFd_ = -1;
+            return SourceError{"<server>", 0,
+                               "metrics listen " +
+                                   config_.metricsListen + ": " +
+                                   std::strerror(err)};
+        }
+        sockaddr_in mbound{};
+        socklen_t mboundLen = sizeof(mbound);
+        ::getsockname(metricsFd_,
+                      reinterpret_cast<sockaddr *>(&mbound),
+                      &mboundLen);
+        metricsPort_ = ntohs(mbound.sin_port);
+        metricsThread_ = std::thread([this] { metricsLoop(); });
+        TL_LOG(Info, "serve: metrics exposition on ",
+               endpoint.value().first, ":", metricsPort_);
+    }
 
     pool_ = std::make_unique<ThreadPool>(workerCount_);
     poolDriver_ = std::thread([this] {
@@ -614,6 +671,9 @@ Server::readV2Frames(const std::shared_ptr<Connection> &conn,
         mine.maxFramePayload = static_cast<std::uint32_t>(
             std::min<std::size_t>(config_.maxLineBytes,
                                   wire::kMaxSaneFramePayload));
+        // Advertise the span-context request field; it appears on
+        // the wire only if the client advertises it back.
+        mine.tracing = true;
         std::string frame;
         wire::appendFrame(frame, wire::FrameType::Settings, 0, 0,
                           wire::encodeSettings(mine));
@@ -737,8 +797,12 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
                          frameStart);
             return true;
         }
+        // The field appears iff BOTH sides advertised tracing; the
+        // server always does, so the peer's flag decides. state.peer
+        // is written by this same reader thread at SETTINGS receipt.
         Expected<wire::RequestFrame> frame =
-            wire::decodeRequestPayload(payload, state.recvDict);
+            wire::decodeRequestPayload(payload, state.recvDict,
+                                       state.peer.tracing);
         if (!frame) {
             // A dictionary/encoding failure leaves the session's
             // tables out of lockstep — report it on the stream, then
@@ -755,6 +819,21 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
                        "request payload undecodable: " +
                            frame.error().reason);
             return false;
+        }
+        if (frame.value().contextRejected) {
+            // The span-context length escaped the payload — hostile
+            // or corrupt, but recoverable: the field precedes the
+            // dictionary-encoded params, so the symbol tables never
+            // advanced and the connection stays usable.
+            protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+            errors_.fetch_add(1, std::memory_order_relaxed);
+            errorsCounter_->add(1);
+            respondError(conn, header.stream, std::nullopt,
+                         ErrorCode::ProtocolError,
+                         "malformed span-context field; request "
+                         "dropped",
+                         frameStart);
+            return true;
         }
         const std::optional<Method> method =
             methodFromWireByte(frame.value().methodByte);
@@ -783,6 +862,7 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
         request.params = std::move(params.value());
         request.deadlineMs = frame.value().deadlineMs;
         request.priority = frame.value().priority;
+        request.context = frame.value().context;
         routeRequest(conn, std::move(request), header.stream);
         return true;
     }
@@ -875,8 +955,37 @@ Server::routeRequest(const std::shared_ptr<Connection> &conn,
         result.set("role", JsonValue(config_.coordinator
                                          ? "coordinator"
                                          : "worker"));
+        // Cheap liveness extras the coordinator's cluster-status
+        // table reads per worker (one probe, one row).
+        result.set("uptime_s",
+                   JsonValue(static_cast<double>(
+                                 std::chrono::duration_cast<
+                                     std::chrono::seconds>(
+                                     Clock::now() - startTime_)
+                                     .count())));
+        result.set("inflight", JsonValue(stats().inflight));
+        result.set("sessions",
+                   JsonValue(registry_.stats().openSessions));
         ok_.fetch_add(1, std::memory_order_relaxed);
         respondOk(conn, stream, request.id, result.render());
+        return;
+    }
+    if (request.method == "telemetry_pull") {
+        ok_.fetch_add(1, std::memory_order_relaxed);
+        respondOk(conn, stream, request.id,
+                  telemetryPullResult().render());
+        return;
+    }
+    if (request.method == "metrics") {
+        ok_.fetch_add(1, std::memory_order_relaxed);
+        respondOk(conn, stream, request.id,
+                  metricsResult().render());
+        return;
+    }
+    if (request.method == "flight_recorder") {
+        ok_.fetch_add(1, std::memory_order_relaxed);
+        respondOk(conn, stream, request.id,
+                  flightRecorderResult().render());
         return;
     }
     if (request.method == "stats") {
@@ -901,6 +1010,7 @@ Server::routeRequest(const std::shared_ptr<Connection> &conn,
         request.method == "impact_partial" ||
         request.method == "mine_partial" ||
         request.method == "cluster_status" ||
+        request.method == "cluster_trace" ||
         (config_.enableTestMethods && request.method == "sleep");
     if (!known) {
         errors_.fetch_add(1, std::memory_order_relaxed);
@@ -1006,10 +1116,18 @@ Server::workerLoop()
 void
 Server::process(QueuedRequest request)
 {
+    // Install the propagated context first so the request span (and
+    // everything under it) records the caller's trace id, with the
+    // caller's span as parent — the receiving half of cross-process
+    // propagation.
+    std::optional<TraceContextScope> contextScope;
+    if (request.request.context.valid())
+        contextScope.emplace(request.request.context);
     Span span("server.request", "server");
     if (span.active())
         span.arg("method", request.request.method);
-    queueWaitHist_->record(usSince(request.arrival));
+    const std::uint64_t queueWaitUs = usSince(request.arrival);
+    queueWaitHist_->record(queueWaitUs);
 
     std::string resultJson;
     std::optional<HandlerError> failure;
@@ -1059,6 +1177,13 @@ Server::process(QueuedRequest request)
                             "(start with --coordinator)");
             }
             result = handleClusterStatus(request);
+        } else if (method == "cluster_trace") {
+            if (!config_.coordinator) {
+                failRequest(ErrorCode::BadRequest,
+                            "this daemon is not a coordinator "
+                            "(start with --coordinator)");
+            }
+            result = handleClusterTrace(request);
         } else if (method == "sleep") {
             result = handleSleep(request);
         } else {
@@ -1078,9 +1203,53 @@ Server::process(QueuedRequest request)
         errorsCounter_->add(1);
     }
 
-    latencyHist_->record(usSince(request.arrival));
+    const std::uint64_t totalUs = usSince(request.arrival);
+    latencyHist_->record(totalUs);
     if (span.active())
         span.arg("outcome", std::string(outcome));
+
+    FlightRecord record;
+    record.method = request.request.method;
+    if (const JsonValue *corpus =
+            request.request.params.find("corpus");
+        corpus != nullptr && corpus->isString())
+        record.session = corpus->asString();
+    record.completedUnixUs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    record.queueWaitUs = queueWaitUs;
+    record.totalUs = totalUs;
+    if (request.deadline) {
+        record.hasDeadline = true;
+        record.deadlineSlackMs =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                *request.deadline - Clock::now())
+                .count();
+    }
+    record.outcome = outcome;
+    record.responseBytes =
+        failure ? failure->message.size() : resultJson.size();
+    if (config_.coordinator &&
+        (record.method == "analyze" || record.method == "impact" ||
+         record.method == "mine" || record.method == "cluster_trace"))
+        record.fanout = config_.workerAddrs.size();
+    record.traceId = request.request.context.traceId;
+    record.protocol = request.stream == 0 ? 1 : 2;
+    record.priority = request.request.priority;
+    flightRecorder_.record(std::move(record));
+
+    if (config_.slowRequestMs != 0 &&
+        totalUs > config_.slowRequestMs * 1000) {
+        TL_LOG(Warn, "serve: slow request: ", request.request.method,
+               " took ", totalUs / 1000, " ms (queue wait ",
+               queueWaitUs / 1000, " ms, outcome ", outcome,
+               request.request.context.valid()
+                   ? ", trace " + hexId(request.request.context.traceId)
+                   : std::string(),
+               ")");
+    }
+
     if (failure) {
         respondError(request.conn, request.stream,
                      request.request.id, failure->code,
@@ -1780,7 +1949,182 @@ JsonValue
 Server::handleClusterStatus(const QueuedRequest &request)
 {
     checkDeadline(request.deadline);
-    return coordinator_->clusterStatus();
+    JsonValue result = coordinator_->clusterStatus();
+    if (boolParamOr(request.request.params, "metrics", false)) {
+        // Aggregate the coordinator's own registry plus every
+        // worker's, bucket-exact (Histogram::State merges).
+        MetricsRegistry aggregate;
+        aggregate.merge(MetricsRegistry::global().snapshot());
+        JsonValue pulls = coordinator_->clusterMetrics(aggregate);
+        checkDeadline(request.deadline);
+        result.set("metrics",
+                   metricsSnapshotJson(aggregate.snapshot()));
+        result.set("metrics_pulls", std::move(pulls));
+    }
+    return result;
+}
+
+JsonValue
+Server::handleClusterTrace(const QueuedRequest &request)
+{
+    checkDeadline(request.deadline);
+    // The coordinator's own buffer renders as pid 1; workers get
+    // pids 2+ in topology order. Distinct pids per node are what
+    // keep two nodes' tid 0 from aliasing in the merged trace.
+    std::vector<NodeSpans> nodes;
+    NodeSpans own;
+    own.node = nodeName();
+    own.pid = 1;
+    own.epochUnixUs = Telemetry::epochUnixUs();
+    own.spans = Telemetry::snapshotSpans();
+    nodes.push_back(std::move(own));
+    for (NodeSpans &node : coordinator_->pullWorkerSpans()) {
+        node.pid = static_cast<std::uint32_t>(nodes.size() + 1);
+        nodes.push_back(std::move(node));
+    }
+    checkDeadline(request.deadline);
+
+    std::size_t spanCount = 0;
+    for (const NodeSpans &node : nodes)
+        spanCount += node.spans.size();
+
+    JsonValue result = JsonValue::makeObject();
+    result.set("nodes", JsonValue(nodes.size()));
+    result.set("spans", JsonValue(spanCount));
+    result.set("trace",
+               JsonValue(Telemetry::renderChromeTraceMerged(nodes)));
+    return result;
+}
+
+// --------------------------------------------- observability results
+
+std::string
+Server::nodeName() const
+{
+    return std::string(config_.coordinator ? "coordinator"
+                                           : "worker") +
+           " @ " + config_.host + ":" + std::to_string(port_);
+}
+
+JsonValue
+Server::telemetryPullResult() const
+{
+    NodeSpans node;
+    node.node = nodeName();
+    node.epochUnixUs = Telemetry::epochUnixUs();
+    node.spans = Telemetry::snapshotSpans();
+    JsonValue result = nodeSpansJson(node);
+    result.set("enabled", JsonValue(Telemetry::enabled()));
+    return result;
+}
+
+JsonValue
+Server::metricsResult() const
+{
+    JsonValue result =
+        metricsSnapshotJson(MetricsRegistry::global().snapshot());
+    result.set("node", JsonValue(config_.host + ":" +
+                                 std::to_string(port_)));
+    result.set("role", JsonValue(config_.coordinator ? "coordinator"
+                                                     : "worker"));
+    return result;
+}
+
+JsonValue
+Server::flightRecorderResult() const
+{
+    JsonValue records = JsonValue::makeArray();
+    for (const FlightRecord &record : flightRecorder_.snapshot()) {
+        JsonValue entry = JsonValue::makeObject();
+        entry.set("method", JsonValue(record.method));
+        if (!record.session.empty())
+            entry.set("session", JsonValue(record.session));
+        entry.set("completed_unix_us",
+                  JsonValue(record.completedUnixUs));
+        entry.set("queue_wait_us", JsonValue(record.queueWaitUs));
+        entry.set("total_us", JsonValue(record.totalUs));
+        if (record.hasDeadline)
+            entry.set("deadline_slack_ms",
+                      JsonValue(record.deadlineSlackMs));
+        entry.set("outcome", JsonValue(record.outcome));
+        entry.set("response_bytes", JsonValue(record.responseBytes));
+        if (record.fanout != 0)
+            entry.set("fanout", JsonValue(record.fanout));
+        if (record.traceId != 0)
+            entry.set("trace_id", JsonValue(hexId(record.traceId)));
+        entry.set("protocol", JsonValue(record.protocol));
+        entry.set("priority", JsonValue(record.priority));
+        records.push(std::move(entry));
+    }
+    JsonValue result = JsonValue::makeObject();
+    result.set("total", JsonValue(flightRecorder_.total()));
+    result.set("capacity", JsonValue(flightRecorder_.capacity()));
+    result.set("records", std::move(records));
+    return result;
+}
+
+// ------------------------------------------- metrics HTTP listener
+
+void
+Server::metricsLoop()
+{
+    while (!metricsStop_.load(std::memory_order_acquire)) {
+        pollfd fds[1];
+        fds[0].fd = metricsFd_;
+        fds[0].events = POLLIN;
+        const int ready = ::poll(fds, 1, 250);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (ready == 0 || (fds[0].revents & POLLIN) == 0)
+            continue;
+        const int fd = ::accept(metricsFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        // One tiny blocking exchange per scrape: read the request
+        // head, answer the full registry, close. Prometheus scrapers
+        // and curl both speak exactly this.
+        timeval timeout{};
+        timeout.tv_sec = 2;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof(timeout));
+        std::string head;
+        char buffer[1024];
+        while (head.find("\r\n\r\n") == std::string::npos &&
+               head.size() < 16384) {
+            const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+            if (n <= 0)
+                break;
+            head.append(buffer, static_cast<std::size_t>(n));
+        }
+        const std::string body = renderPrometheus(
+            MetricsRegistry::global().snapshot(),
+            {{"node",
+              config_.host + ":" + std::to_string(port_)},
+             {"role",
+              config_.coordinator ? "coordinator" : "worker"}});
+        std::string response =
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4; "
+            "charset=utf-8\r\n"
+            "Content-Length: " +
+            std::to_string(body.size()) +
+            "\r\n"
+            "Connection: close\r\n\r\n" +
+            body;
+        std::size_t sent = 0;
+        while (sent < response.size()) {
+            const ssize_t n =
+                ::send(fd, response.data() + sent,
+                       response.size() - sent, MSG_NOSIGNAL);
+            if (n <= 0)
+                break;
+            sent += static_cast<std::size_t>(n);
+        }
+        ::close(fd);
+    }
 }
 
 JsonValue
@@ -1862,6 +2206,24 @@ Server::drain()
     }
     reapReaders(true);
     registry_.evictAll();
+
+    if (metricsThread_.joinable()) {
+        metricsStop_.store(true, std::memory_order_release);
+        metricsThread_.join();
+    }
+    if (metricsFd_ >= 0) {
+        ::close(metricsFd_);
+        metricsFd_ = -1;
+    }
+
+    if (!config_.selfTraceCorpusDir.empty()) {
+        const std::string written = writeSelfTraceCorpus(
+            Telemetry::snapshotSpans(), config_.selfTraceCorpusDir,
+            nodeName());
+        if (!written.empty())
+            TL_LOG(Info, "serve: self-trace corpus written to ",
+                   written);
+    }
 
     TL_LOG(Info, "serve: drained");
     {

@@ -52,6 +52,7 @@
 #include <string>
 #include <thread>
 
+#include "src/server/flightrecorder.h"
 #include "src/server/protocol.h"
 #include "src/server/registry.h"
 #include "src/server/wire.h"
@@ -98,6 +99,24 @@ struct ServerConfig
     std::vector<std::string> workerAddrs;
     /** Coordinator per-shard request deadline (--shard-deadline-ms). */
     std::uint64_t shardDeadlineMs = 10000;
+    /**
+     * Prometheus exposition listener ("HOST:PORT", CLI
+     * --metrics-listen); empty = no listener. Serves the process
+     * metrics registry as text format 0.0.4 over plain HTTP.
+     */
+    std::string metricsListen;
+    /** Write the metrics listener's bound port here (ephemeral-port
+     *  discovery for scripts, CLI --metrics-port-file). */
+    std::string metricsPortFile;
+    /** Log completed requests slower than this at warn level
+     *  (CLI --slow-request-ms); 0 = off. */
+    std::uint64_t slowRequestMs = 0;
+    /** Write this node's spans as a TLC1 corpus under this directory
+     *  at drain (CLI --self-trace-corpus); empty = off. Implies span
+     *  recording while the daemon runs. */
+    std::string selfTraceCorpusDir;
+    /** Flight-recorder ring size (completed-request records). */
+    std::size_t flightRecorderCapacity = 256;
     /** Session layer: ingestion options, artifact cache, eviction. */
     RegistryConfig registry;
 };
@@ -157,6 +176,12 @@ class Server
     ServerStats stats() const;
     const SessionRegistry &registry() const { return registry_; }
     const ServerConfig &config() const { return config_; }
+    /** Metrics listener's bound port (0 = no listener). */
+    std::uint16_t metricsPort() const { return metricsPort_; }
+    const FlightRecorder &flightRecorder() const
+    {
+        return flightRecorder_;
+    }
 
   private:
     /** One client connection; shared between its reader thread and
@@ -286,7 +311,18 @@ class Server
     JsonValue handleCoordImpact(const QueuedRequest &request);
     JsonValue handleCoordMine(const QueuedRequest &request);
     JsonValue handleClusterStatus(const QueuedRequest &request);
+    /** Coordinator-side span stitching (queued: fans out over TCP). */
+    JsonValue handleClusterTrace(const QueuedRequest &request);
     JsonValue statsResult();
+    // Observability results (answered inline — see isControlMethod).
+    JsonValue telemetryPullResult() const;
+    JsonValue metricsResult() const;
+    JsonValue flightRecorderResult() const;
+    /** "host:port (role)" — how this node names itself in telemetry
+     *  pulls and metrics labels. */
+    std::string nodeName() const;
+    /** Accept loop of the --metrics-listen HTTP endpoint. */
+    void metricsLoop();
 
     void drain();
 
@@ -299,6 +335,15 @@ class Server
     std::uint16_t port_ = 0;
     int wakeRead_ = -1;
     int wakeWrite_ = -1;
+
+    /** --metrics-listen endpoint (Prometheus text exposition). */
+    int metricsFd_ = -1;
+    std::uint16_t metricsPort_ = 0;
+    std::thread metricsThread_;
+    std::atomic<bool> metricsStop_{false};
+
+    FlightRecorder flightRecorder_;
+    std::chrono::steady_clock::time_point startTime_;
 
     std::thread acceptThread_;
     std::thread poolDriver_;

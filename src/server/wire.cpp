@@ -68,6 +68,7 @@ namespace
 inline constexpr std::uint64_t kSettingProtocolVersion = 1;
 inline constexpr std::uint64_t kSettingMaxFramePayload = 2;
 inline constexpr std::uint64_t kSettingInitialWindow = 3;
+inline constexpr std::uint64_t kSettingTracing = 4;
 
 } // namespace
 
@@ -81,6 +82,13 @@ encodeSettings(const Settings &settings)
     putVarint(out, settings.maxFramePayload);
     putVarint(out, kSettingInitialWindow);
     putVarint(out, settings.initialWindow);
+    if (settings.tracing) {
+        // Only advertised, never implied: a peer from before this
+        // setting existed skips the unknown id (and never sends it),
+        // so both sides agree the request layout is the legacy one.
+        putVarint(out, kSettingTracing);
+        putVarint(out, 1);
+    }
     return out;
 }
 
@@ -117,6 +125,9 @@ decodeSettings(std::string_view payload)
             }
             settings.initialWindow = static_cast<std::uint32_t>(value);
             break;
+        case kSettingTracing:
+            settings.tracing = value != 0;
+            break;
         default:
             break; // unknown setting: skip (forward compatibility)
         }
@@ -129,18 +140,33 @@ decodeSettings(std::string_view payload)
 std::string
 encodeRequestPayload(Method method, std::uint8_t priority,
                      std::uint64_t deadlineMs,
-                     std::string_view paramsJson, SymbolDict &dict)
+                     std::string_view paramsJson, SymbolDict &dict,
+                     const SpanContext *context,
+                     bool tracingNegotiated)
 {
     std::string out;
     out.push_back(static_cast<char>(methodWireByte(method)));
     out.push_back(static_cast<char>(priority));
     putVarint(out, deadlineMs);
+    if (tracingNegotiated) {
+        if (context != nullptr && context->valid()) {
+            std::string ctx;
+            putVarint(ctx, context->traceId);
+            putVarint(ctx, context->parentSpanId);
+            ctx.push_back(context->sampled ? '\x01' : '\x00');
+            out.push_back(static_cast<char>(ctx.size()));
+            out.append(ctx);
+        } else {
+            out.push_back('\x00'); // field present, context absent
+        }
+    }
     dict.encode(paramsJson, out);
     return out;
 }
 
 Expected<RequestFrame>
-decodeRequestPayload(std::string_view payload, SymbolDict &dict)
+decodeRequestPayload(std::string_view payload, SymbolDict &dict,
+                     bool tracingNegotiated)
 {
     if (payload.size() < 2) {
         return SourceError{"<request-frame>", 0,
@@ -156,6 +182,50 @@ decodeRequestPayload(std::string_view payload, SymbolDict &dict)
                    frame.deadlineMs)) {
         return SourceError{"<request-frame>", pos,
                            "truncated request deadline"};
+    }
+    if (tracingNegotiated) {
+        if (pos >= payload.size()) {
+            return SourceError{"<request-frame>", pos,
+                               "truncated span-context field"};
+        }
+        const auto ctxLen =
+            static_cast<std::size_t>(
+                static_cast<unsigned char>(payload[pos]));
+        ++pos;
+        if (ctxLen > kMaxSpanContextBytes ||
+            ctxLen > payload.size() - pos) {
+            // The length escapes the payload, so the params cannot be
+            // located. Reject this request — and only this request:
+            // nothing has touched the dictionary yet, so the
+            // connection's tables stay in lockstep and later requests
+            // decode fine.
+            frame.contextRejected = true;
+            frame.paramsJson = "{}";
+            return frame;
+        }
+        if (ctxLen > 0) {
+            const std::string_view ctx = payload.substr(pos, ctxLen);
+            std::size_t cpos = 0;
+            SpanContext parsed;
+            std::uint64_t sampled = 0;
+            if (getVarint(bytesOf(ctx), ctx.size(), cpos,
+                          parsed.traceId) &&
+                getVarint(bytesOf(ctx), ctx.size(), cpos,
+                          parsed.parentSpanId) &&
+                cpos < ctx.size() && parsed.traceId != 0) {
+                // Sampling-flag bytes other than 0/1 mean "sampled"
+                // (fuzz tolerance); bytes past the flag are ignored
+                // for forward compatibility.
+                sampled =
+                    static_cast<unsigned char>(ctx[cpos]) != 0 ? 1 : 0;
+                parsed.sampled = sampled != 0;
+                frame.context = parsed;
+            }
+            // Malformed content is dropped, not fatal: the length
+            // still locates the params, so the request proceeds
+            // without a context.
+            pos += ctxLen;
+        }
     }
     Expected<std::string> params = dict.decode(payload.substr(pos));
     if (!params) {

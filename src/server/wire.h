@@ -62,6 +62,7 @@
 
 #include "src/server/protocol.h"
 #include "src/util/expected.h"
+#include "src/util/telemetry.h"
 
 namespace tracelens
 {
@@ -125,12 +126,31 @@ struct Settings
     std::uint32_t maxFramePayload = kDefaultMaxFramePayload;
     /** Per-stream response window the sender grants initially. */
     std::uint32_t initialWindow = kDefaultInitialWindow;
+    /**
+     * Whether the sender understands the span-context request field
+     * (setting id 4). Request payloads carry the field only when BOTH
+     * sides advertised it, so a peer from before this setting existed
+     * skips the unknown id and the request layout it sees is
+     * unchanged — that is the whole negotiation.
+     */
+    bool tracing = false;
 };
 
 std::string encodeSettings(const Settings &settings);
 Expected<Settings> decodeSettings(std::string_view payload);
 
 // ----------------------------------------------------- request frames
+
+/**
+ * Ceiling on the span-context field's length byte. The current
+ * encoding needs at most 21 bytes (two max-length varints + the
+ * sampling flag); the slack is forward-compat room. A length beyond
+ * this (or past the payload end) is hostile and rejects the request
+ * — but only the request: span context sits before the
+ * dictionary-encoded params, so a corrupt context never desyncs the
+ * connection's symbol tables and never costs a GOAWAY.
+ */
+inline constexpr std::size_t kMaxSpanContextBytes = 64;
 
 /** Decoded Request frame payload. */
 struct RequestFrame
@@ -140,19 +160,47 @@ struct RequestFrame
     std::uint64_t deadlineMs = 0;
     /** Dictionary-decoded params JSON text. */
     std::string paramsJson;
+    /** Propagated span context (traceId 0 = none on this request). */
+    SpanContext context;
+    /**
+     * Set when the span-context field was malformed in a way that
+     * hides where the params start (oversized/truncated length): the
+     * receiver must fail this one request with protocol_error and
+     * keep the connection. Recoverable by construction — see
+     * kMaxSpanContextBytes.
+     */
+    bool contextRejected = false;
 };
 
 class SymbolDict;
 
-/** Encode a Request payload (mutates the sender's @p dict). */
+/**
+ * Encode a Request payload (mutates the sender's @p dict). With
+ * @p tracingNegotiated the payload carries the span-context field
+ * (u8 length, then varint trace id, varint parent span id, u8
+ * sampled); @p context may be null or invalid, encoding length 0.
+ */
 std::string encodeRequestPayload(Method method, std::uint8_t priority,
                                  std::uint64_t deadlineMs,
                                  std::string_view paramsJson,
-                                 SymbolDict &dict);
+                                 SymbolDict &dict,
+                                 const SpanContext *context = nullptr,
+                                 bool tracingNegotiated = false);
 
-/** Decode a Request payload (mutates the receiver's @p dict). */
+/**
+ * Decode a Request payload (mutates the receiver's @p dict).
+ * @p tracingNegotiated must mirror the sender's view (both SETTINGS
+ * advertised tracing) — it decides whether a span-context field is
+ * expected before the params. A context whose *content* is malformed
+ * (bad varints, zero trace id) is dropped, not fatal: the field's
+ * length still locates the params, so the request proceeds without a
+ * context. Only a length that escapes the payload rejects the
+ * request (RequestFrame::contextRejected).
+ */
 Expected<RequestFrame> decodeRequestPayload(std::string_view payload,
-                                            SymbolDict &dict);
+                                            SymbolDict &dict,
+                                            bool tracingNegotiated
+                                            = false);
 
 // ------------------------------------------------------------- goaway
 

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Span-buffer -> TLC1 corpus conversion (src/trace/selftrace.h).
+ */
+
+#include "src/trace/selftrace.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "src/trace/builder.h"
+#include "src/trace/serialize.h"
+#include "src/util/logging.h"
+
+namespace tracelens
+{
+
+TraceCorpus
+buildSelfTraceCorpus(const std::vector<SpanSnapshot> &spans,
+                     const std::string &node)
+{
+    TraceCorpus corpus;
+    StreamBuilder builder(corpus, node.empty() ? "self-trace" : node);
+    const std::string bottom = node.empty() ? "tracelens" : node;
+    for (const SpanSnapshot &span : spans) {
+        if (span.name.empty())
+            continue;
+        const std::vector<std::string> frames = {
+            bottom,
+            span.category.empty() ? "uncategorized" : span.category,
+            span.name};
+        const CallstackId stackId = builder.stack(frames);
+        const TimeNs t0 =
+            static_cast<TimeNs>(span.startUs) * 1000;
+        const DurationNs cost =
+            static_cast<DurationNs>(std::max<std::uint64_t>(
+                span.durUs, 1)) * 1000;
+        builder.running(static_cast<ThreadId>(span.tid), t0, cost,
+                        stackId);
+        if (span.name == "server.request") {
+            // The request-dispatch span records the method name as an
+            // arg — that method IS the scenario from the analyzer's
+            // point of view.
+            std::string scenario = "request";
+            for (const auto &[key, value] : span.args) {
+                if (key == "method" && !value.empty()) {
+                    scenario = value;
+                    break;
+                }
+            }
+            builder.instance("request:" + scenario,
+                             static_cast<ThreadId>(span.tid), t0,
+                             t0 + static_cast<TimeNs>(cost));
+        }
+    }
+    builder.finish();
+    return corpus;
+}
+
+std::string
+writeSelfTraceCorpus(const std::vector<SpanSnapshot> &spans,
+                     const std::string &dir, const std::string &node)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        TL_LOG(Warn, "self-trace: cannot create ", dir, ": ",
+               ec.message());
+        return "";
+    }
+    const TraceCorpus corpus = buildSelfTraceCorpus(spans, node);
+    const std::string path =
+        (std::filesystem::path(dir) / "self-trace.tlc").string();
+    // Not writeCorpusFile(): that is fatal on I/O failure, and a full
+    // disk must not take down the daemon's drain path.
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        TL_LOG(Warn, "self-trace: cannot open ", path,
+               " for writing");
+        return "";
+    }
+    writeCorpus(corpus, out);
+    if (!out) {
+        TL_LOG(Warn, "self-trace: write to ", path, " failed");
+        return "";
+    }
+    return path;
+}
+
+} // namespace tracelens

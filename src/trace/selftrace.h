@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Self-analysis bridge: convert the telemetry layer's recorded spans
+ * into a TLC1 corpus so `tracelens analyze` runs on tracelens's own
+ * service traces (docs/TELEMETRY.md, "Self-trace corpus").
+ *
+ * The mapping is deliberately literal:
+ *
+ *  - every span becomes one Running event whose callstack is
+ *    {node, category, name} bottom-to-top, with timestamps in
+ *    nanoseconds (span startUs * 1000) and cost = max(durUs, 1) us —
+ *    zero-cost events would vanish from duration accounting;
+ *  - every "server.request" span additionally becomes a
+ *    ScenarioInstance whose scenario name is the request method (the
+ *    span's "method" arg), so the analyzer's per-scenario machinery
+ *    ranks request handling exactly the way it ranks any workload.
+ *
+ * One process's spans become one stream; thread ids carry over
+ * verbatim, so per-thread interleavings survive the round trip.
+ */
+
+#ifndef TRACELENS_TRACE_SELFTRACE_H
+#define TRACELENS_TRACE_SELFTRACE_H
+
+#include <string>
+#include <vector>
+
+#include "src/trace/stream.h"
+#include "src/util/telemetry.h"
+
+namespace tracelens
+{
+
+/**
+ * Build a single-stream corpus from @p spans. @p node names the
+ * process ("server @ host:port") and becomes the bottom stack frame
+ * of every event, so multi-node corpora stay attributable after a
+ * merge. Spans with empty names are skipped.
+ */
+TraceCorpus buildSelfTraceCorpus(const std::vector<SpanSnapshot> &spans,
+                                 const std::string &node);
+
+/**
+ * Write buildSelfTraceCorpus(spans, node) to `<dir>/self-trace.tlc`,
+ * creating @p dir if missing. Returns the written path, or "" on
+ * failure (logged, never fatal — self-tracing must not take down a
+ * drain path).
+ */
+std::string writeSelfTraceCorpus(const std::vector<SpanSnapshot> &spans,
+                                 const std::string &dir,
+                                 const std::string &node);
+
+} // namespace tracelens
+
+#endif // TRACELENS_TRACE_SELFTRACE_H

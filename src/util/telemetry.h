@@ -109,6 +109,25 @@ class Histogram
     /** Exact buckets 0..7, then 8 per octave for msb 3..63. */
     static constexpr std::size_t kBuckets = kSubBuckets * 62;
 
+    /**
+     * Transportable bucket state: the exact occupied buckets plus the
+     * scalar accumulators. Because the bucket boundaries are fixed for
+     * every Histogram, merging two states bucket-wise is *exact* — a
+     * merged histogram answers every percentile query identically to
+     * one that recorded the whole population directly. This is what
+     * lets the coordinator aggregate worker latency histograms without
+     * the quantile-averaging error naive aggregation incurs.
+     */
+    struct State
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t max = 0;
+        /** (bucket index, occupancy), occupied buckets only, index
+         *  ascending. */
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+    };
+
     void record(std::uint64_t value);
 
     std::uint64_t count() const
@@ -133,6 +152,13 @@ class Histogram
     /** Fold @p other's samples into this histogram. */
     void mergeFrom(const Histogram &other);
 
+    /** Snapshot the bucket state (see State). */
+    State state() const;
+
+    /** Fold a snapshot (e.g. one shipped from a worker) into this
+     *  histogram; out-of-range bucket indices are ignored. */
+    void mergeState(const State &other);
+
   private:
     static std::uint32_t bucketOf(std::uint64_t value);
     /** Representative (midpoint) value of bucket @p bucket. */
@@ -143,6 +169,34 @@ class Histogram
     std::atomic<std::uint64_t> sum_{0};
     std::atomic<std::uint64_t> max_{0};
 };
+
+/**
+ * A point-in-time copy of a registry's metrics, detached from the
+ * live atomics — the unit that crosses process boundaries (the
+ * `metrics` protocol method ships one as JSON) and the input to both
+ * exposition renderers. Histograms carry full bucket state, so
+ * merging snapshots from many workers into one registry is exact.
+ */
+struct MetricsSnapshot
+{
+    /** (name, value), name ascending. */
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Histogram::State>> histograms;
+};
+
+/**
+ * Render a snapshot in the Prometheus text exposition format
+ * (version 0.0.4). Metric names are prefixed "tracelens_" and
+ * sanitized (dots -> underscores); @p labels (e.g. {{"node",
+ * "10.0.0.1:7070"}, {"role", "worker"}}) are attached to every
+ * sample. Counters render as `counter`, gauges as `gauge`, and
+ * histograms as `summary` (p50/p90/p99 quantiles plus _sum/_count,
+ * the idiomatic shape for client-side quantiles).
+ */
+std::string renderPrometheus(
+    const MetricsSnapshot &snapshot,
+    const std::vector<std::pair<std::string, std::string>> &labels);
 
 /**
  * Named metrics, created on first use and stable for the registry's
@@ -183,6 +237,16 @@ class MetricsRegistry
      */
     std::string renderJson() const;
 
+    /** Detached copy of every metric, names ascending. */
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Fold a snapshot into this registry by name: counters add,
+     * gauges overwrite, histograms merge bucket state (exact — see
+     * Histogram::State).
+     */
+    void merge(const MetricsSnapshot &snapshot);
+
     /** Drop every metric (tests). Outstanding references invalidate. */
     void reset();
 
@@ -204,10 +268,52 @@ class MetricsRegistry
 // ----------------------------------------------------------------- spans
 
 /**
+ * Propagated trace identity: which distributed trace the current work
+ * belongs to and which span caused it. This is the compact context
+ * the protocol-v2 REQUEST frame carries across the wire (trace id,
+ * parent span id, sampling flag), so a query's spans on the client,
+ * the coordinator, and every worker stitch into one causal tree.
+ * A zero trace id means "no context".
+ */
+struct SpanContext
+{
+    std::uint64_t traceId = 0;
+    std::uint64_t parentSpanId = 0;
+    bool sampled = false;
+
+    bool valid() const { return traceId != 0; }
+};
+
+/**
+ * Installs @p context as the calling thread's current trace context
+ * for the scope's lifetime (restoring the previous one on exit).
+ * Spans opened while the scope is active record the context's trace
+ * id, and a root-level span adopts the context's parent span id —
+ * the receiving half of cross-process propagation.
+ */
+class TraceContextScope
+{
+  public:
+    explicit TraceContextScope(const SpanContext &context);
+    ~TraceContextScope();
+
+    TraceContextScope(const TraceContextScope &) = delete;
+    TraceContextScope &operator=(const TraceContextScope &) = delete;
+
+  private:
+    SpanContext saved_;
+};
+
+/**
  * RAII span: records one entry into the calling thread's telemetry
  * buffer when recording is enabled (Telemetry::setEnabled), and costs
  * a single relaxed atomic load when it is not. Name and category must
  * be string literals (the recording keeps the pointers).
+ *
+ * Every active span is assigned a process-unique 64-bit id and
+ * records its parent (the innermost enclosing span on the thread, or
+ * the thread's propagated remote parent at the root) plus the current
+ * trace id — the edges the distributed stitcher walks.
  */
 class Span
 {
@@ -221,6 +327,9 @@ class Span
     /** Whether this span is recording (telemetry enabled at entry). */
     bool active() const { return active_; }
 
+    /** This span's id (0 on an inactive span). */
+    std::uint64_t id() const { return spanId_; }
+
     /** Attach a key/value arg (shown in the trace viewer). The key
      *  must be a string literal. No-op on an inactive span. */
     void arg(const char *key, std::string value);
@@ -231,8 +340,55 @@ class Span
     const char *category_;
     std::uint64_t startUs_ = 0;
     std::uint64_t cpuStartNs_ = 0;
+    std::uint64_t spanId_ = 0;
+    std::uint64_t parentSpanId_ = 0;
+    std::uint64_t traceId_ = 0;
     std::vector<std::pair<const char *, std::string>> args_;
     bool active_ = false;
+};
+
+/**
+ * A 64-bit telemetry id rendered as 16 hex digits. Trace/span ids
+ * cross JSON as strings in this form — a JSON number is a double and
+ * cannot hold 64 bits losslessly.
+ */
+std::string hexId(std::uint64_t id);
+
+/** Inverse of hexId(); returns 0 (the "no id" value) on malformed
+ *  or oversized input. */
+std::uint64_t parseHexId(std::string_view text);
+
+/** One finished span, detached from the recording buffers — the unit
+ *  `telemetry_pull` ships and the TLC1 self-trace writer consumes. */
+struct SpanSnapshot
+{
+    std::string name;
+    std::string category;
+    std::uint32_t tid = 0;
+    std::uint32_t depth = 0;
+    std::uint64_t startUs = 0; //!< Relative to Telemetry::epochUnixUs.
+    std::uint64_t durUs = 0;
+    std::uint64_t cpuNs = 0;
+    std::uint64_t traceId = 0;
+    std::uint64_t spanId = 0;
+    std::uint64_t parentSpanId = 0;
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/**
+ * One process's span buffer in a multi-node merge: the spans, the
+ * Chrome-trace pid namespace they render under, and the node's
+ * telemetry epoch as wall-clock microseconds (used to rebase every
+ * node onto one timeline). Distinct nodes MUST use distinct pids —
+ * that is the fix for the tid-aliasing bug two processes' traces
+ * used to hit when concatenated.
+ */
+struct NodeSpans
+{
+    std::string node;       //!< Display name ("coordinator @ host:port").
+    std::uint32_t pid = 1;  //!< Chrome-trace pid namespace for the node.
+    std::uint64_t epochUnixUs = 0; //!< 0 = leave timestamps as recorded.
+    std::vector<SpanSnapshot> spans;
 };
 
 #define TL_TELEMETRY_CONCAT2(a, b) a##b
@@ -272,11 +428,43 @@ class Telemetry
      */
     static std::string renderChromeTrace();
 
+    /**
+     * Merge several nodes' span buffers into one Chrome trace. Every
+     * node renders under its own pid with `process_name` /
+     * `thread_name` metadata events (so two nodes' thread ids can
+     * never alias), timestamps are rebased onto one wall-clock
+     * timeline via each node's epoch, and a flow arrow is emitted for
+     * every cross-node parent edge — a distributed gather renders as
+     * one causal tree.
+     */
+    static std::string
+    renderChromeTraceMerged(const std::vector<NodeSpans> &nodes);
+
+    /** Detached copies of every recorded span, across all threads. */
+    static std::vector<SpanSnapshot> snapshotSpans();
+
     /** Write renderChromeTrace() to @p path; false on I/O failure. */
     static bool writeChromeTrace(const std::string &path);
 
     /** Write the global metrics registry's JSON to @p path. */
     static bool writeMetricsJson(const std::string &path);
+
+    /**
+     * The wall-clock time (unix microseconds) of the process's
+     * telemetry epoch — span startUs values are relative to this.
+     */
+    static std::uint64_t epochUnixUs();
+
+    /** A fresh process-unique-ish 64-bit trace id (never 0). */
+    static std::uint64_t newTraceId();
+
+    /**
+     * The context to propagate to a downstream call made from the
+     * calling thread: the current trace id and sampling flag (from
+     * the innermost TraceContextScope), with the innermost active
+     * span on this thread as the parent.
+     */
+    static SpanContext currentContext();
 
   private:
     static std::atomic<bool> enabled_;

@@ -18,6 +18,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -33,6 +34,7 @@
 #include "src/server/server.h"
 #include "src/trace/serialize.h"
 #include "src/util/json.h"
+#include "src/util/telemetry.h"
 #include "src/workload/generator.h"
 
 namespace tracelens
@@ -635,6 +637,159 @@ TEST_F(ClusterTest, ClusterStatusReportsTopologyAndHealth)
         health.value().result.find("partial_encoding");
     ASSERT_NE(advertised, nullptr);
     EXPECT_EQ(advertised->asNumber(), partialEncodingRevision());
+}
+
+// ----------------------------------------------- distributed tracing
+
+TEST_F(ClusterTest, OneTraceIdSpansCoordinatorAndWorkers)
+{
+    Daemon worker1 = startWorker();
+    Daemon worker2 = startWorker();
+    Daemon coord = startCoordinator(
+        {worker1.address(), worker2.address()});
+    manage(worker1);
+    manage(worker2);
+    manage(coord);
+
+    Telemetry::setEnabled(true);
+    Telemetry::reset();
+
+    // Root a trace at the client; the coordinator adopts it and the
+    // scatter propagates it over real TCP to every worker, so every
+    // server.request span in the gather carries the one trace id.
+    const std::uint64_t traceId = 0x1ce7ea5eb0b5ca1eull;
+    Session session = connect(coord);
+    ASSERT_TRUE(session.tracingNegotiated());
+    CallOptions options;
+    options.traceContext.traceId = traceId;
+    options.traceContext.parentSpanId = 0xbeef;
+    options.traceContext.sampled = true;
+    Expected<Response> response =
+        session.analyze(analyzeRequest(), options);
+    ASSERT_TRUE(response.ok()) << response.error().render();
+    ASSERT_TRUE(response.value().ok)
+        << response.value().error.message;
+
+    // Spans commit when their scopes close (after the responses are
+    // sent), so poll. Every daemon runs in this process, so the
+    // process-wide buffer holds all three nodes' spans.
+    std::vector<SpanSnapshot> traced;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    std::size_t partials = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+        traced.clear();
+        partials = 0;
+        for (SpanSnapshot &span : Telemetry::snapshotSpans())
+            if (span.traceId == traceId)
+                traced.push_back(std::move(span));
+        for (const SpanSnapshot &span : traced)
+            for (const auto &[key, value] : span.args)
+                if (key == "method" && value == "analyze_partial")
+                    ++partials;
+        if (partials >= 2)
+            break;
+        ::usleep(20'000);
+    }
+
+    // The coordinator's request span is the root: it adopted the
+    // client's parent id.
+    std::map<std::uint64_t, const SpanSnapshot *> byId;
+    const SpanSnapshot *root = nullptr;
+    for (const SpanSnapshot &span : traced) {
+        if (span.spanId != 0)
+            byId[span.spanId] = &span;
+        for (const auto &[key, value] : span.args)
+            if (key == "method" && value == "analyze" &&
+                span.name == "server.request")
+                root = &span;
+    }
+    ASSERT_NE(root, nullptr) << "no coordinator request span";
+    EXPECT_EQ(root->parentSpanId, 0xbeefu);
+
+    // Every worker-side partial span must chain back to that root
+    // through resolvable parent edges — the property the stitcher's
+    // flow arrows render. 4 shards over 2 workers means at least two
+    // partial requests crossed the wire.
+    EXPECT_GE(partials, 2u);
+    std::size_t chained = 0;
+    for (const SpanSnapshot &span : traced) {
+        bool isPartial = false;
+        for (const auto &[key, value] : span.args)
+            if (key == "method" && value == "analyze_partial")
+                isPartial = true;
+        if (!isPartial)
+            continue;
+        const SpanSnapshot *hop = &span;
+        for (int depth = 0; depth < 16 && hop != nullptr &&
+                            hop != root;
+             ++depth) {
+            const auto parent = byId.find(hop->parentSpanId);
+            hop = parent == byId.end() ? nullptr : parent->second;
+        }
+        EXPECT_EQ(hop, root)
+            << "partial span does not chain to the root";
+        if (hop == root)
+            ++chained;
+    }
+    EXPECT_EQ(chained, partials);
+
+    Telemetry::setEnabled(false);
+    Telemetry::reset();
+}
+
+TEST_F(ClusterTest, ClusterTraceStitchesEveryNode)
+{
+    Daemon worker1 = startWorker();
+    Daemon worker2 = startWorker();
+    Daemon coord = startCoordinator(
+        {worker1.address(), worker2.address()});
+    manage(worker1);
+    manage(worker2);
+    manage(coord);
+
+    Telemetry::setEnabled(true);
+    Telemetry::reset();
+
+    Session session = connect(coord);
+    Expected<Response> analyzed =
+        session.analyze(analyzeRequest());
+    ASSERT_TRUE(analyzed.ok());
+    ASSERT_TRUE(analyzed.value().ok);
+
+    Expected<Response> stitched = session.call(
+        Method::ClusterTrace, JsonValue::makeObject(), {});
+    ASSERT_TRUE(stitched.ok()) << stitched.error().render();
+    ASSERT_TRUE(stitched.value().ok)
+        << stitched.value().error.message;
+    const JsonValue &result = stitched.value().result;
+    const JsonValue *nodes = result.find("nodes");
+    ASSERT_NE(nodes, nullptr);
+    EXPECT_EQ(nodes->asNumber(), 3.0); // coordinator + 2 workers
+    const JsonValue *trace = result.find("trace");
+    ASSERT_NE(trace, nullptr);
+    ASSERT_TRUE(trace->isString());
+
+    // The stitched document is valid Chrome-trace JSON with one pid
+    // namespace per node (metadata events name them).
+    Expected<JsonValue> parsed = JsonValue::parse(trace->asString());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().render();
+    EXPECT_NE(trace->asString().find("\"process_name\""),
+              std::string::npos);
+    EXPECT_NE(trace->asString().find("coordinator @"),
+              std::string::npos);
+    EXPECT_NE(trace->asString().find("worker @"),
+              std::string::npos);
+
+    // A worker must refuse the coordinator-only method.
+    Session workerSession = connect(worker1);
+    Expected<Response> refused = workerSession.call(
+        Method::ClusterTrace, JsonValue::makeObject(), {});
+    ASSERT_TRUE(refused.ok());
+    EXPECT_FALSE(refused.value().ok);
+
+    Telemetry::setEnabled(false);
+    Telemetry::reset();
 }
 
 } // namespace

@@ -29,6 +29,7 @@
 #include "src/server/wire.h"
 #include "src/trace/serialize.h"
 #include "src/util/json.h"
+#include "src/util/telemetry.h"
 #include "src/util/varint.h"
 #include "src/workload/generator.h"
 
@@ -286,9 +287,11 @@ class Protocol2Test : public ::testing::Test
         return frame;
     }
 
-    /** Preface + SETTINGS exchange by hand. */
+    /** Preface + SETTINGS exchange by hand. @p tracing advertises
+     *  trace-context propagation — both sides must for the request
+     *  payloads to carry the span-context field. */
     std::optional<RawV2>
-    handshake()
+    handshake(bool tracing = false)
     {
         RawV2 v2;
         v2.conn = connectRaw();
@@ -310,11 +313,35 @@ class Protocol2Test : public ::testing::Test
         }
         v2.server = decoded.value();
         EXPECT_EQ(v2.server.protocolVersion, kProtocolVersionV2);
+        EXPECT_TRUE(v2.server.tracing); // current servers advertise
+        wire::Settings mine;
+        mine.tracing = tracing;
         std::string out;
         wire::appendFrame(out, wire::FrameType::Settings, 0, 0,
-                          wire::encodeSettings(wire::Settings{}));
+                          wire::encodeSettings(mine));
         EXPECT_TRUE(v2.conn.sendRaw(out));
         return v2;
+    }
+
+    /** A request frame whose span-context field is @p ctx verbatim
+     *  (length byte included) — the corruption tests' raw entry. */
+    bool
+    sendRequestFrameWithRawContext(RawV2 &v2, std::uint32_t stream,
+                                   Method method,
+                                   const JsonValue &params,
+                                   const std::string &ctx)
+    {
+        std::string payload;
+        payload.push_back(
+            static_cast<char>(methodWireByte(method)));
+        payload.push_back(static_cast<char>(kPriorityNormal));
+        putVarint(payload, 0); // deadline
+        payload += ctx;
+        v2.sendDict.encode(params.render(), payload);
+        std::string out;
+        wire::appendFrame(out, wire::FrameType::Request,
+                          wire::kFlagEndStream, stream, payload);
+        return v2.conn.sendRaw(out);
     }
 
     bool
@@ -659,6 +686,238 @@ TEST_F(Protocol2Test, OversizedRequestFrameIsSkippedRecoverably)
     EXPECT_FALSE(accepted->isError);
     EXPECT_TRUE(accepted->body.isObject());
     EXPECT_GE(server_->stats().protocolErrors, 1u);
+}
+
+// --------------------------------------------- span-context corruption
+
+TEST_F(Protocol2Test, EscapingSpanContextLengthIsRejectedRecoverably)
+{
+    startServer();
+    std::optional<RawV2> v2 = handshake(/*tracing=*/true);
+    ASSERT_TRUE(v2.has_value());
+
+    // Length byte claiming 200 bytes of context — over the 64-byte
+    // cap. The length cannot locate the params, so this request (and
+    // only this request) is rejected; nothing touched either
+    // dictionary, so the connection stays usable.
+    std::string oversized;
+    oversized.push_back(static_cast<char>(200));
+    oversized += std::string(200, '\x00');
+    {
+        // Params appended raw (no dict instructions) so the mirror
+        // table does not advance on a request the server never
+        // dict-decodes.
+        std::string payload;
+        payload.push_back(
+            static_cast<char>(methodWireByte(Method::Health)));
+        payload.push_back(static_cast<char>(kPriorityNormal));
+        putVarint(payload, 0);
+        payload += oversized;
+        std::string frame;
+        wire::appendFrame(frame, wire::FrameType::Request,
+                          wire::kFlagEndStream, 1, payload);
+        ASSERT_TRUE(v2->conn.sendRaw(frame));
+    }
+    std::optional<RawResponse> rejected = readResponse(*v2, 1);
+    ASSERT_TRUE(rejected.has_value());
+    EXPECT_TRUE(rejected->isError);
+    const ErrorInfo error = parseErrorObject(rejected->body);
+    EXPECT_EQ(error.code, ErrorCode::ProtocolError);
+    EXPECT_NE(error.message.find("span-context"), std::string::npos);
+
+    // A length byte that outruns the frame itself takes the same
+    // per-request path.
+    {
+        std::string payload;
+        payload.push_back(
+            static_cast<char>(methodWireByte(Method::Health)));
+        payload.push_back(static_cast<char>(kPriorityNormal));
+        putVarint(payload, 0);
+        payload.push_back(static_cast<char>(50));
+        payload += "ab"; // only 2 of the claimed 50 bytes exist
+        std::string frame;
+        wire::appendFrame(frame, wire::FrameType::Request,
+                          wire::kFlagEndStream, 3, payload);
+        ASSERT_TRUE(v2->conn.sendRaw(frame));
+    }
+    std::optional<RawResponse> truncated = readResponse(*v2, 3);
+    ASSERT_TRUE(truncated.has_value());
+    EXPECT_TRUE(truncated->isError);
+    EXPECT_EQ(parseErrorObject(truncated->body).code,
+              ErrorCode::ProtocolError);
+
+    // Same connection, next stream: a request with an empty context
+    // field succeeds — no GOAWAY was drawn.
+    ASSERT_TRUE(sendRequestFrameWithRawContext(
+        *v2, 5, Method::Health, JsonValue::makeObject(),
+        std::string(1, '\x00')));
+    std::optional<RawResponse> healthy = readResponse(*v2, 5);
+    ASSERT_TRUE(healthy.has_value());
+    EXPECT_FALSE(healthy->isError);
+    EXPECT_GE(server_->stats().protocolErrors, 2u);
+}
+
+TEST_F(Protocol2Test, MalformedSpanContextContentIsDroppedSilently)
+{
+    startServer();
+    std::optional<RawV2> v2 = handshake(/*tracing=*/true);
+    ASSERT_TRUE(v2.has_value());
+
+    // Content that cannot parse (an unterminated varint): the length
+    // still locates the params, so the request proceeds without a
+    // context instead of failing.
+    std::string garbage;
+    garbage.push_back(static_cast<char>(3));
+    garbage += "\xff\xff\xff";
+    ASSERT_TRUE(sendRequestFrameWithRawContext(
+        *v2, 1, Method::Health, JsonValue::makeObject(), garbage));
+    std::optional<RawResponse> first = readResponse(*v2, 1);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_FALSE(first->isError);
+
+    // A zero trace id means "no context" — also dropped, also fine.
+    std::string zeroId;
+    {
+        std::string ctx;
+        putVarint(ctx, 0); // trace id 0
+        putVarint(ctx, 77);
+        ctx.push_back('\x01');
+        zeroId.push_back(static_cast<char>(ctx.size()));
+        zeroId += ctx;
+    }
+    ASSERT_TRUE(sendRequestFrameWithRawContext(
+        *v2, 3, Method::Health, JsonValue::makeObject(), zeroId));
+    std::optional<RawResponse> second = readResponse(*v2, 3);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_FALSE(second->isError);
+    EXPECT_EQ(server_->stats().protocolErrors, 0u);
+}
+
+TEST_F(Protocol2Test, SamplingFlagFuzzAndTrailingBytesAreTolerated)
+{
+    ServerConfig config;
+    startServer(config);
+    Telemetry::setEnabled(true);
+    Telemetry::reset();
+    std::optional<RawV2> v2 = handshake(/*tracing=*/true);
+    ASSERT_TRUE(v2.has_value());
+
+    // Flag byte 0x7f (any nonzero means sampled) and trailing bytes
+    // past the flag (a future revision's extension) must both be
+    // tolerated, and the trace id must still reach the server's
+    // request span.
+    const std::uint64_t traceId = 0x5a5a5a5a5a5a5a5aull;
+    std::string ctx;
+    putVarint(ctx, traceId);
+    putVarint(ctx, 0x1234);
+    ctx.push_back('\x7f');
+    ctx += "future-extension";
+    std::string field;
+    field.push_back(static_cast<char>(ctx.size()));
+    field += ctx;
+
+    JsonValue params = JsonValue::makeObject();
+    params.set("ms", JsonValue(1));
+    ASSERT_TRUE(sendRequestFrameWithRawContext(*v2, 1, Method::Sleep,
+                                               params, field));
+    std::optional<RawResponse> response = readResponse(*v2, 1);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_FALSE(response->isError);
+
+    // The server runs in-process, so its spans are directly visible.
+    // The request span commits only after the response is sent, so
+    // poll briefly instead of racing the worker thread.
+    bool found = false;
+    const auto pollStart = steady_clock::now();
+    while (!found && msSince(pollStart) < 2000) {
+        for (const SpanSnapshot &span : Telemetry::snapshotSpans()) {
+            if (span.name == "server.request" &&
+                span.traceId == traceId) {
+                EXPECT_EQ(span.parentSpanId, 0x1234u);
+                found = true;
+            }
+        }
+        if (!found)
+            ::usleep(10'000);
+    }
+    EXPECT_TRUE(found) << "no server.request span carried the "
+                          "propagated trace id";
+    Telemetry::setEnabled(false);
+    Telemetry::reset();
+}
+
+TEST_F(Protocol2Test, NoTracingPeerInteropsWithoutContextField)
+{
+    startServer();
+
+    // Typed session that opted out: negotiation must land on "no
+    // tracing" against a server that advertises it, and requests —
+    // which then carry no span-context field — must work.
+    SessionOptions quiet;
+    quiet.tracing = false;
+    Session session = connect(quiet);
+    ASSERT_EQ(session.protocolVersion(), kProtocolVersionV2);
+    EXPECT_FALSE(session.tracingNegotiated());
+    Expected<Response> health = session.health();
+    ASSERT_TRUE(health.ok()) << health.error().render();
+    EXPECT_TRUE(health.value().ok);
+
+    // The default session negotiates tracing against the same server.
+    Session tracing = connect();
+    EXPECT_TRUE(tracing.tracingNegotiated());
+    Expected<Response> traced = tracing.health();
+    ASSERT_TRUE(traced.ok()) << traced.error().render();
+    EXPECT_TRUE(traced.value().ok);
+    EXPECT_EQ(server_->stats().protocolErrors, 0u);
+}
+
+TEST_F(Protocol2Test, SessionCallOptionsPropagateTraceContext)
+{
+    startServer();
+    Telemetry::setEnabled(true);
+    Telemetry::reset();
+
+    Session session = connect();
+    ASSERT_TRUE(session.tracingNegotiated());
+    CallOptions options;
+    options.traceContext.traceId = 0xfeedfacecafef00dull;
+    options.traceContext.parentSpanId = 0xbeef;
+    options.traceContext.sampled = true;
+    SleepRequest nap;
+    nap.ms = 1;
+    Expected<Response> response =
+        session.call(Method::Sleep, nap.toParams(), options);
+    ASSERT_TRUE(response.ok()) << response.error().render();
+    EXPECT_TRUE(response.value().ok);
+
+    // The propagated context must round-trip through the server's
+    // span buffer — checked over the wire via `telemetry_pull`, the
+    // same pull the coordinator's stitcher uses. The request span
+    // commits only after the response is sent, so poll briefly.
+    bool found = false;
+    const auto pollStart = steady_clock::now();
+    while (!found && msSince(pollStart) < 2000) {
+        Expected<Response> pulled = session.call(
+            Method::TelemetryPull, JsonValue::makeObject(), {});
+        ASSERT_TRUE(pulled.ok()) << pulled.error().render();
+        ASSERT_TRUE(pulled.value().ok);
+        const NodeSpans node = parseNodeSpans(pulled.value().result);
+        EXPECT_NE(node.node.find("worker"), std::string::npos);
+        for (const SpanSnapshot &span : node.spans) {
+            if (span.traceId == 0xfeedfacecafef00dull &&
+                span.name == "server.request") {
+                EXPECT_EQ(span.parentSpanId, 0xbeefu);
+                EXPECT_NE(span.spanId, 0u);
+                found = true;
+            }
+        }
+        if (!found)
+            ::usleep(10'000);
+    }
+    EXPECT_TRUE(found)
+        << "telemetry_pull returned no span with the sent trace id";
+    Telemetry::setEnabled(false);
+    Telemetry::reset();
 }
 
 // ------------------------------------- flow control and multiplexing

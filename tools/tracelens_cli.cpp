@@ -54,8 +54,10 @@
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -170,12 +172,19 @@ usage()
            "      [--port-file FILE] [--disable-protocol-v2]\n"
            "      [--coordinator --cluster-workers HOST:PORT,...]"
            " [--shard-deadline-ms N]\n"
-           "      (see docs/SERVER.md)\n"
+           "      [--metrics-listen HOST:PORT]"
+           " [--metrics-port-file FILE]\n"
+           "      [--slow-request-ms N] [--self-trace-corpus DIR]\n"
+           "      [--flight-recorder N]"
+           " (see docs/SERVER.md, docs/TELEMETRY.md)\n"
            "  tracelens query METHOD --connect HOST:PORT"
            " [--params JSON]\n"
            "      [--deadline-ms N] [--timeout-ms N]"
            " [--protocol auto|v1|v2] [--wire-stats]\n"
+           "      [--no-trace]\n"
            "  tracelens cluster-status --connect HOST:PORT"
+           " [--timeout-ms N] [--metrics]\n"
+           "  tracelens cluster-trace --connect HOST:PORT --out FILE"
            " [--timeout-ms N]\n"
            "  tracelens version   (also --version)\n"
            "\nPATH is a .tlc corpus file or a directory of shards; "
@@ -837,6 +846,26 @@ cmdServe(const Args &args)
         if (config.shardDeadlineMs == 0)
             TL_FATAL("--shard-deadline-ms must be at least 1");
     }
+    if (auto v = args.flag("metrics-listen")) {
+        if (v->empty())
+            TL_FATAL("--metrics-listen expects HOST:PORT");
+        config.metricsListen = *v;
+    }
+    if (auto v = args.flag("slow-request-ms")) {
+        config.slowRequestMs = parseUnsignedFlag(
+            "--slow-request-ms", *v, 86'400'000);
+    }
+    if (auto dir = args.flag("self-trace-corpus")) {
+        if (dir->empty())
+            TL_FATAL("--self-trace-corpus expects a directory path");
+        config.selfTraceCorpusDir = *dir;
+    }
+    if (auto v = args.flag("flight-recorder")) {
+        config.flightRecorderCapacity = static_cast<std::size_t>(
+            parseUnsignedFlag("--flight-recorder", *v, 1'000'000));
+        if (config.flightRecorderCapacity == 0)
+            TL_FATAL("--flight-recorder must be at least 1");
+    }
     // Ops escape hatch: behave like a pre-v2 daemon (clients fall
     // back to JSON lines), e.g. to bisect a protocol regression.
     config.enableProtocolV2 = !args.has("disable-protocol-v2");
@@ -855,6 +884,15 @@ cmdServe(const Args &args)
         out << port.value() << "\n";
         if (!out)
             TL_FATAL("cannot write --port-file ", *portFile);
+    }
+    // Same dance for the metrics endpoint (--metrics-listen HOST:0).
+    if (auto portFile = args.flag("metrics-port-file")) {
+        if (portFile->empty())
+            TL_FATAL("--metrics-port-file expects a file path");
+        std::ofstream out(*portFile, std::ios::trunc);
+        out << daemon.metricsPort() << "\n";
+        if (!out)
+            TL_FATAL("cannot write --metrics-port-file ", *portFile);
     }
 
     g_server = &daemon;
@@ -919,6 +957,16 @@ cmdQuery(const Args &args)
         address.value().first, address.value().second, options);
     if (!session)
         TL_FATAL(session.error().render());
+    // Root a fresh distributed trace at the CLI when the server
+    // negotiated tracing, so a coordinator query stitches end to end
+    // under one id (--no-trace opts out; v1 silently skips).
+    if (!args.has("no-trace") && session.value().tracingNegotiated()) {
+        call.traceContext.traceId = Telemetry::newTraceId();
+        call.traceContext.parentSpanId = 0;
+        call.traceContext.sampled = true;
+        TL_LOG(Debug, "query: trace id ",
+               hexId(call.traceContext.traceId));
+    }
     Expected<server::Response> response =
         session.value().call(*method, params, call);
     if (!response)
@@ -967,8 +1015,11 @@ cmdClusterStatus(const Args &args)
         address.value().first, address.value().second, options);
     if (!session)
         TL_FATAL(session.error().render());
+    JsonValue params = JsonValue::makeObject();
+    if (args.has("metrics"))
+        params.set("metrics", JsonValue(true));
     Expected<server::Response> response = session.value().call(
-        server::Method::ClusterStatus, JsonValue::makeObject());
+        server::Method::ClusterStatus, params);
     if (!response)
         TL_FATAL(response.error().render());
     if (!response.value().ok) {
@@ -987,6 +1038,23 @@ cmdClusterStatus(const Args &args)
                   << ")";
     }
     std::cout << "\n";
+    // One row per worker; columns absent from old workers (no
+    // liveness extras in their health result) render as "-".
+    const auto cell = [](const JsonValue &entry, const char *key,
+                         int decimals) -> std::string {
+        const JsonValue *value = entry.find(key);
+        if (value == nullptr || !value->isNumber())
+            return "-";
+        std::ostringstream text;
+        text << std::fixed << std::setprecision(decimals)
+             << value->asNumber();
+        return text.str();
+    };
+    std::cout << "  " << std::left << std::setw(22) << "worker"
+              << std::setw(13) << "status" << std::setw(10)
+              << "uptime_s" << std::setw(10) << "inflight"
+              << std::setw(10) << "sessions" << std::setw(9)
+              << "partial" << "\n";
     bool healthy = true;
     if (const JsonValue *workers = result.find("workers");
         workers != nullptr && workers->isArray()) {
@@ -998,11 +1066,15 @@ cmdClusterStatus(const Args &args)
                 status != nullptr && status->isString()
                     ? status->asString()
                     : "unknown";
-            std::cout << "  worker "
+            std::cout << "  " << std::left << std::setw(22)
                       << (addr != nullptr && addr->isString()
                               ? addr->asString()
                               : "?")
-                      << ": " << state;
+                      << std::setw(13) << state << std::setw(10)
+                      << cell(entry, "uptime_s", 1) << std::setw(10)
+                      << cell(entry, "inflight", 0) << std::setw(10)
+                      << cell(entry, "sessions", 0) << std::setw(9)
+                      << cell(entry, "partial_encoding", 0);
             if (compatible != nullptr && compatible->isBool() &&
                 !compatible->asBool()) {
                 std::cout << " (INCOMPATIBLE partial encoding)";
@@ -1015,6 +1087,62 @@ cmdClusterStatus(const Args &args)
     }
     std::cout << result.render() << "\n";
     return healthy ? 0 : 1;
+}
+
+int
+cmdClusterTrace(const Args &args)
+{
+    // Ask the coordinator for a stitched cross-node Chrome trace
+    // (its spans + every worker's, one pid per node) and write it to
+    // --out, ready for Perfetto / chrome://tracing.
+    const auto connect = args.flag("connect");
+    const auto out = args.flag("out");
+    if (!connect || connect->empty() || !out || out->empty())
+        return usage();
+    Expected<std::pair<std::string, std::uint16_t>> address =
+        server::parseHostPort(*connect);
+    if (!address)
+        TL_FATAL("--connect: ", address.error().reason);
+
+    server::SessionOptions options;
+    options.ioTimeout = std::chrono::milliseconds(30'000);
+    if (auto v = args.flag("timeout-ms")) {
+        options.ioTimeout = std::chrono::milliseconds(
+            parseUnsignedFlag("--timeout-ms", *v, 86'400'000));
+    }
+    Expected<server::Session> session = server::Session::connect(
+        address.value().first, address.value().second, options);
+    if (!session)
+        TL_FATAL(session.error().render());
+    Expected<server::Response> response = session.value().call(
+        server::Method::ClusterTrace, JsonValue::makeObject());
+    if (!response)
+        TL_FATAL(response.error().render());
+    if (!response.value().ok) {
+        TL_LOG(Error, "server error [",
+               server::errorCodeName(response.value().error.code),
+               "]: ", response.value().error.message);
+        return 1;
+    }
+    const JsonValue *trace = response.value().result.find("trace");
+    if (trace == nullptr || !trace->isString())
+        TL_FATAL("cluster_trace result carries no trace document");
+    std::ofstream file(*out, std::ios::trunc);
+    file << trace->asString();
+    if (!file)
+        TL_FATAL("cannot write --out ", *out);
+    const JsonValue *nodes = response.value().result.find("nodes");
+    const JsonValue *spans = response.value().result.find("spans");
+    std::cout << "wrote " << *out << " ("
+              << (nodes != nullptr && nodes->isNumber()
+                      ? static_cast<std::uint64_t>(nodes->asNumber())
+                      : 0)
+              << " nodes, "
+              << (spans != nullptr && spans->isNumber()
+                      ? static_cast<std::uint64_t>(spans->asNumber())
+                      : 0)
+              << " spans)\n";
+    return 0;
 }
 
 } // namespace
@@ -1074,6 +1202,8 @@ main(int argc, char **argv)
             return cmdQuery(args);
         if (command == "cluster-status")
             return cmdClusterStatus(args);
+        if (command == "cluster-trace")
+            return cmdClusterTrace(args);
         if (command == "version" || command == "--version" ||
             command == "-V")
             return cmdVersion();
