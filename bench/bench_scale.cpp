@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "src/core/analyzer.h"
+#include "src/fleet/service.h"
 #include "src/impact/impact.h"
 #include "src/server/client.h"
 #include "src/server/server.h"
@@ -1192,6 +1193,122 @@ main(int argc, char **argv)
                      : "false")
              << "\n}\n";
         std::cout << "wrote BENCH_cluster.json\n";
+    }
+
+    // ---- continuous fleet mode: ingest rate, alert latency ---------
+    // Push-mode FleetService (no spool): three calm windows feed the
+    // rolling ring, then a regressed cohort (encryption everywhere,
+    // slower disks) lands in a fourth window and the sentinel must
+    // catch it. Timed per ingest: each call covers windowing, the
+    // per-shard partial, sentinel evaluation, and alert emission —
+    // the same work a live daemon does per `ingest_push`.
+    {
+        constexpr std::uint64_t fleet_window_ms = 60000;
+        FleetConfig fleet_config;
+        fleet_config.windowMs = fleet_window_ms;
+        fleet_config.sentinel.scenarios = scenarios;
+        fleet_config.sentinel.baselineWindows = 2;
+        FleetService fleet(fleet_config);
+
+        struct FleetShard
+        {
+            std::string name;
+            TraceCorpus corpus;
+            std::uint64_t stampMs;
+        };
+        std::vector<FleetShard> fleet_shards;
+        const std::size_t shards_per_window = 4;
+        auto addCohort = [&](std::uint64_t window, double encrypted,
+                             double hdd) {
+            CorpusSpec fleet_spec;
+            fleet_spec.machines = 32;
+            fleet_spec.seed = seed + 100 + window;
+            fleet_spec.encryptedFraction = encrypted;
+            fleet_spec.hddFraction = hdd;
+            std::vector<TraceCorpus> cohort =
+                generateShardedCorpus(fleet_spec, shards_per_window);
+            for (std::size_t i = 0; i < cohort.size(); ++i)
+                fleet_shards.push_back(
+                    {"shard-" + std::to_string(window) + "-" +
+                         std::to_string(i) + ".tlc",
+                     std::move(cohort[i]),
+                     window * fleet_window_ms + i});
+        };
+        addCohort(0, 0.0, 0.1);
+        addCohort(1, 0.0, 0.1);
+        addCohort(2, 0.0, 0.1);
+        addCohort(3, 1.0, 0.5); // the injected regression
+
+        std::size_t fleet_alerts = 0;
+        double alert_latency_ms = 0.0;
+        const auto fleet_start = std::chrono::steady_clock::now();
+        for (FleetShard &shard : fleet_shards) {
+            const auto arrival = std::chrono::steady_clock::now();
+            const IngestOutcome outcome = fleet.ingest(
+                std::move(shard.name), std::move(shard.corpus),
+                shard.stampMs);
+            if (outcome.alerts != 0 && fleet_alerts == 0)
+                alert_latency_ms = msSince(arrival);
+            fleet_alerts += outcome.alerts;
+        }
+        const double fleet_ingest_ms = msSince(fleet_start);
+        const double fleet_shards_per_s =
+            fleet_ingest_ms <= 0.0
+                ? 0.0
+                : static_cast<double>(fleet_shards.size()) /
+                      (fleet_ingest_ms / 1000.0);
+
+        const bool fleet_gate_enforced = hardware_threads >= 2;
+        std::cout << "\n== Continuous fleet mode ("
+                  << fleet_shards.size() << " shards, 4 windows, "
+                  << "regression injected in window 3) ==\n";
+        TextTable fleet_table({"Metric", "Value"});
+        fleet_table.addRow({"ingest shards/s",
+                            TextTable::num(fleet_shards_per_s, 1)});
+        fleet_table.addRow(
+            {"alert latency ms (arrival -> emission)",
+             TextTable::num(alert_latency_ms, 1)});
+        fleet_table.addRow(
+            {"alerts fired", std::to_string(fleet_alerts)});
+        std::cout << fleet_table.render();
+        if (fleet_gate_enforced && fleet_alerts == 0) {
+            std::cerr << "sentinel missed the injected regression\n";
+            return 1;
+        }
+        if (!fleet_gate_enforced) {
+            std::cout << "(single hardware thread: fleet gate "
+                         "recorded, not enforced)\n";
+        }
+
+        std::ofstream json("BENCH_fleet.json");
+        json << "{\n"
+             << "  \"shards\": " << fleet_shards.size() << ",\n"
+             << "  \"windows\": 4,\n"
+             << "  \"window_ms\": " << fleet_window_ms << ",\n"
+             << "  \"shards_per_window\": " << shards_per_window
+             << ",\n"
+             << "  \"hardware_threads\": " << hardware_threads
+             << ",\n"
+             << "  \"ingest_ms\": " << fleet_ingest_ms << ",\n"
+             << "  \"ingest_shards_per_s\": " << fleet_shards_per_s
+             << ",\n"
+             << "  \"alert_latency_ms\": " << alert_latency_ms
+             << ",\n"
+             << "  \"alerts_fired\": " << fleet_alerts << ",\n"
+             << "  \"gate_enforced\": "
+             << (fleet_gate_enforced ? "true" : "false") << ",\n"
+             << "  \"gate_pass\": "
+             << (!fleet_gate_enforced || fleet_alerts > 0 ? "true"
+                                                          : "false")
+             << "\n}\n";
+        std::cout << "wrote BENCH_fleet.json\n";
+
+        std::cout << "\nBENCH_scale_fleet_ingest_shards_per_s="
+                  << fleet_shards_per_s << "\n"
+                  << "BENCH_scale_fleet_alert_latency_ms="
+                  << alert_latency_ms << "\n"
+                  << "BENCH_scale_fleet_alerts=" << fleet_alerts
+                  << "\n";
     }
 
     std::cout << "\nBENCH_scale_threads=" << threads << "\n"

@@ -1,20 +1,26 @@
 /**
  * @file
- * Regression tracking across fleets: analyze the same scenario on two
- * fleets (e.g. before/after a driver update, or two hardware cohorts)
- * and diff the mined patterns to see what behaviour appeared,
- * disappeared, or changed cost.
+ * Regression tracking across fleets, continuous-mode style: feed two
+ * cohorts of shards into rolling windows (src/fleet/windows.h) — a
+ * baseline window and an after-the-rollout window — and let the
+ * regression sentinel (src/fleet/sentinel.h) diff them the way the
+ * live daemon does after every ingest.
  *
  * Here the "after" fleet ships storage encryption everywhere and
- * slower disks — the diff surfaces the new se.sys-based propagation
- * patterns that the rollout introduced.
+ * slower disks — the sentinel's pattern-diff evidence surfaces the
+ * new se.sys-based propagation patterns the rollout introduced, and
+ * the alerts carry the implicated component by name.
  *
  * Build & run:  ./build/examples/example_fleet_regression
  */
 
 #include <iostream>
+#include <utility>
+#include <vector>
 
-#include "src/core/analyzer.h"
+#include "src/fleet/alerts.h"
+#include "src/fleet/sentinel.h"
+#include "src/fleet/windows.h"
 #include "src/mining/diff.h"
 #include "src/workload/generator.h"
 
@@ -29,61 +35,80 @@ main()
     before_spec.seed = 2024;
     before_spec.encryptedFraction = 0.0;
     before_spec.hddFraction = 0.1;
-    const TraceCorpus before = generateCorpus(before_spec);
 
     // After the rollout: encryption everywhere, more HDDs.
     CorpusSpec after_spec = before_spec;
     after_spec.seed = 2025;
     after_spec.encryptedFraction = 1.0;
     after_spec.hddFraction = 0.5;
-    const TraceCorpus after = generateCorpus(after_spec);
+
+    // One-minute windows: the baseline cohort lands in window 0, the
+    // rollout cohort in window 1. Window membership is a pure function
+    // of the shard timestamp, so arrival order is irrelevant.
+    constexpr std::uint64_t kWindowNs = 60ull * 1000 * 1000 * 1000;
+    FleetWindowConfig window_config;
+    window_config.windowNs = kWindowNs;
+    WindowedAnalyzer windows(window_config);
+
+    std::vector<TraceCorpus> before_shards =
+        generateShardedCorpus(before_spec, 4);
+    for (std::size_t i = 0; i < before_shards.size(); ++i)
+        windows.addShard("before-" + std::to_string(i) + ".tlc",
+                         std::move(before_shards[i]),
+                         i * 1000 * 1000);
+    std::vector<TraceCorpus> after_shards =
+        generateShardedCorpus(after_spec, 4);
+    for (std::size_t i = 0; i < after_shards.size(); ++i)
+        windows.addShard("after-" + std::to_string(i) + ".tlc",
+                         std::move(after_shards[i]),
+                         kWindowNs + i * 1000 * 1000);
 
     const ScenarioSpec &scn = scenarioByName("BrowserTabCreate");
 
-    EagerSource ana_before_source(before);
+    // The sentinel watches window 1 against the one-window baseline —
+    // exactly what the daemon does after every ingest_push.
+    AlertSink sink;
+    SentinelConfig sentinel_config;
+    sentinel_config.scenarios = {{scn.name, scn.tFast, scn.tSlow}};
+    sentinel_config.baselineWindows = 1;
+    RegressionSentinel sentinel(windows, sink, sentinel_config);
+    sentinel.evaluate();
 
-    Analyzer ana_before(ana_before_source);
-    EagerSource ana_after_source(after);
-    Analyzer ana_after(ana_after_source);
-    const ScenarioAnalysis rb =
-        ana_before.analyzeScenario(scn.name, scn.tFast, scn.tSlow);
-    const ScenarioAnalysis ra =
-        ana_after.analyzeScenario(scn.name, scn.tFast, scn.tSlow);
+    // Per-window summaries ride the same partial-merge path the
+    // daemon's window_summary method serves.
+    const WindowScenarioSummary before_summary = windows.summarize(
+        {0}, scn.name, scn.tFast, scn.tSlow, 3, true);
+    const WindowScenarioSummary after_summary = windows.summarize(
+        {1}, scn.name, scn.tFast, scn.tSlow, 3, true);
+    std::cout << "baseline window: driver share "
+              << before_summary.summary.driverCostShare * 100 << "%\n";
+    std::cout << "rollout window:  driver share "
+              << after_summary.summary.driverCostShare * 100 << "%\n\n";
 
-    std::cout << "before: " << rb.classes.slow.size() << " slow of "
-              << rb.classes.slow.size() + rb.classes.middle.size() +
-                     rb.classes.fast.size()
-              << " instances; driver share "
-              << rb.driverCostShare() * 100 << "%\n";
-    std::cout << "after:  " << ra.classes.slow.size() << " slow of "
-              << ra.classes.slow.size() + ra.classes.middle.size() +
-                     ra.classes.fast.size()
-              << " instances; driver share "
-              << ra.driverCostShare() * 100 << "%\n\n";
-
+    // The pattern-level evidence behind the impact_rank rule.
     const MiningDiff diff = diffMiningResults(
-        rb.mining, before.symbols(), ra.mining, after.symbols());
-    std::cout << "pattern diff: " << diff.render(after.symbols(), 3);
+        before_summary.summary.mining, before_summary.symbols,
+        after_summary.summary.mining, after_summary.symbols);
+    std::cout << "pattern diff: "
+              << diff.render(after_summary.symbols, 3);
 
     // Count how many of the new patterns involve the rolled-out
     // encryption driver.
     int se_patterns = 0;
     for (const ContrastPattern &p : diff.appeared) {
-        bool has_se = false;
-        auto scan = [&](const std::vector<FrameId> &set) {
-            for (FrameId f : set) {
-                has_se = has_se ||
-                         (f != kNoFrame &&
-                          after.symbols().componentName(f) == "se.sys");
+        for (const std::string &component :
+             patternComponents(p, after_summary.symbols))
+            if (component == "se.sys") {
+                ++se_patterns;
+                break;
             }
-        };
-        scan(p.tuple.waits);
-        scan(p.tuple.unwaits);
-        scan(p.tuple.runnings);
-        se_patterns += has_se;
     }
     std::cout << "\n" << se_patterns << " of " << diff.appeared.size()
               << " new patterns involve se.sys — the rollout's "
-                 "signature.\n";
+                 "signature.\n\n";
+
+    std::cout << "alerts:\n";
+    for (const Alert &alert : sink.since(0))
+        std::cout << "  " << alertJson(alert).render() << "\n";
     return 0;
 }

@@ -20,7 +20,7 @@ fi
 # The scan only means something while the code it guards actually
 # lives under src/. If a subsystem is moved or renamed, this check
 # must fail loudly instead of silently scanning nothing.
-for subdir in core server trace util; do
+for subdir in core fleet server trace util; do
     if [ ! -d "$src/$subdir" ]; then
         echo "check_logging: expected subsystem '$src/$subdir'" \
              "missing — update scripts/check_logging.sh if the tree" \

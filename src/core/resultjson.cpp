@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared finalize-and-render path for merged scenario results (see
+ * src/core/resultjson.h for the byte-identity contract).
+ */
+
+#include "src/core/resultjson.h"
+
+#include <algorithm>
+
+#include "src/core/analyzer.h"
+#include "src/mining/knowledge.h"
+
+namespace tracelens
+{
+
+JsonValue
+impactJson(const ImpactResult &impact)
+{
+    JsonValue out = JsonValue::makeObject();
+    out.set("instances", JsonValue(impact.instances));
+    out.set("d_scn_ms", JsonValue(toMs(impact.dScn)));
+    out.set("d_wait_ms", JsonValue(toMs(impact.dWait)));
+    out.set("d_run_ms", JsonValue(toMs(impact.dRun)));
+    out.set("d_waitdist_ms", JsonValue(toMs(impact.dWaitDist)));
+    out.set("ia_run", JsonValue(impact.iaRun()));
+    out.set("ia_wait", JsonValue(impact.iaWait()));
+    out.set("ia_opt", JsonValue(impact.iaOpt()));
+    return out;
+}
+
+JsonValue
+patternJson(const ContrastPattern &pattern, DurationNs tSlow,
+            const SymbolTable &symbols, std::size_t rank)
+{
+    JsonValue out = JsonValue::makeObject();
+    out.set("rank", JsonValue(rank));
+    out.set("impact_ms",
+            JsonValue(toMs(static_cast<DurationNs>(pattern.impact()))));
+    out.set("count", JsonValue(pattern.count));
+    out.set("high_impact", JsonValue(pattern.highImpact(tSlow)));
+    out.set("tuple", JsonValue(pattern.tuple.renderCompact(symbols)));
+    return out;
+}
+
+MiningResult
+mineGathered(const AggregatedWaitGraph &fast,
+             const AggregatedWaitGraph &slow, DurationNs tFast,
+             DurationNs tSlow)
+{
+    const AnalyzerConfig defaults;
+    MiningOptions options;
+    options.maxSegmentLength = defaults.maxSegmentLength;
+    options.tFast = tFast;
+    options.tSlow = tSlow;
+    options.useMetaPatternGate = defaults.useMetaPatternGate;
+    const TraceCorpus dummy;
+    ContrastMiner miner(dummy, options);
+    return miner.mine(fast, slow, 1);
+}
+
+ScenarioSummary
+summarizeScenario(const std::string &scenario, DurationNs tFast,
+                  DurationNs tSlow, const PartialClasses &classes,
+                  const ImpactResult &slowImpact,
+                  const AggregatedWaitGraph &awgFast,
+                  const AggregatedWaitGraph &awgSlow,
+                  const SymbolTable &symbols, std::size_t top,
+                  bool applyKnowledgeFilter)
+{
+    ScenarioSummary summary;
+    summary.mining = mineGathered(awgFast, awgSlow, tFast, tSlow);
+    summary.coverage = computeCoverage(
+        summary.mining,
+        awgSlow.reducedCost() + awgSlow.totalRootCost(), tSlow);
+
+    std::vector<ContrastPattern> patterns = summary.mining.patterns;
+    std::size_t suppressed = 0;
+    if (applyKnowledgeFilter) {
+        const auto filtered =
+            KnowledgeBase::defaults().apply(summary.mining, symbols);
+        suppressed = filtered.suppressed.size();
+        patterns = filtered.kept;
+    }
+
+    summary.driverCostShare =
+        classes.slowDuration == 0
+            ? 0.0
+            : static_cast<double>(slowImpact.dWait + slowImpact.dRun) /
+                  static_cast<double>(classes.slowDuration);
+
+    JsonValue result = JsonValue::makeObject();
+    result.set("scenario", JsonValue(scenario));
+    result.set("tfast_ms", JsonValue(toMs(tFast)));
+    result.set("tslow_ms", JsonValue(toMs(tSlow)));
+    JsonValue classesJson = JsonValue::makeObject();
+    classesJson.set("fast", JsonValue(classes.fast));
+    classesJson.set("middle", JsonValue(classes.middle));
+    classesJson.set("slow", JsonValue(classes.slow));
+    result.set("classes", std::move(classesJson));
+    result.set("slow_impact", impactJson(slowImpact));
+    result.set("driver_cost_share", JsonValue(summary.driverCostShare));
+    result.set("coverage", JsonValue(summary.coverage.render()));
+    result.set("mining_stats",
+               JsonValue(summary.mining.stats.render()));
+    result.set("suppressed", JsonValue(suppressed));
+    JsonValue list = JsonValue::makeArray();
+    for (std::size_t i = 0; i < std::min(top, patterns.size()); ++i)
+        list.push(patternJson(patterns[i], tSlow, symbols, i + 1));
+    result.set("patterns", std::move(list));
+    summary.json = std::move(result);
+    return summary;
+}
+
+} // namespace tracelens

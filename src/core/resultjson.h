@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared JSON renderers for merged scenario results.
+ *
+ * The server's `analyze`/`coord-analyze` handlers and the fleet
+ * layer's rolling-window summaries (src/fleet/windows.h) must emit
+ * *byte-identical* JSON for the same underlying shards — that is the
+ * acceptance contract tested by tests/fleet_test.cpp and
+ * scripts/smoke_fleet.sh. Rather than keeping two renderers in sync
+ * by convention, the finalize-and-render path lives here once:
+ * impact/pattern JSON shapes, the gathered-AWG miner, and the full
+ * scenario-summary object built from merged Partial* state.
+ */
+
+#ifndef TRACELENS_CORE_RESULTJSON_H
+#define TRACELENS_CORE_RESULTJSON_H
+
+#include <cstddef>
+#include <string>
+
+#include "src/awg/awg.h"
+#include "src/core/partial.h"
+#include "src/impact/impact.h"
+#include "src/mining/coverage.h"
+#include "src/mining/miner.h"
+#include "src/trace/symbols.h"
+#include "src/util/json.h"
+#include "src/util/types.h"
+
+namespace tracelens
+{
+
+/** The `slow_impact` / `impact` JSON object shape. */
+JsonValue impactJson(const ImpactResult &impact);
+
+/** One ranked pattern entry of a `patterns` array. */
+JsonValue patternJson(const ContrastPattern &pattern, DurationNs tSlow,
+                      const SymbolTable &symbols, std::size_t rank);
+
+/**
+ * Mine two merged AWGs exactly as a single-node analyzer would
+ * (AnalyzerConfig mining defaults; thread count never changes the
+ * ranked result). The miner only reads the AWGs, not the corpus.
+ */
+MiningResult mineGathered(const AggregatedWaitGraph &fast,
+                          const AggregatedWaitGraph &slow,
+                          DurationNs tFast, DurationNs tSlow);
+
+/**
+ * A scenario summary finalized from merged partial state: the mined
+ * patterns plus the rendered JSON object — the exact shape `analyze`
+ * returns, so callers can byte-compare across batch, coordinator,
+ * and rolling-window paths.
+ */
+struct ScenarioSummary
+{
+    MiningResult mining;
+    CoverageResult coverage;
+    double driverCostShare = 0.0;
+    JsonValue json;
+};
+
+/**
+ * Finalize merged scenario partials into the canonical summary JSON:
+ * mine the AWGs, compute coverage, apply the knowledge filter when
+ * requested, and emit the result object with keys in `analyze` order
+ * (scenario, tfast_ms, tslow_ms, classes, slow_impact,
+ * driver_cost_share, coverage, mining_stats, suppressed, patterns).
+ *
+ * @p awgFast / @p awgSlow must already be finalized *reduced* graphs;
+ * @p slowImpact must already be finalized. @p symbols is the merged
+ * table the partial frames were interned into.
+ */
+ScenarioSummary
+summarizeScenario(const std::string &scenario, DurationNs tFast,
+                  DurationNs tSlow, const PartialClasses &classes,
+                  const ImpactResult &slowImpact,
+                  const AggregatedWaitGraph &awgFast,
+                  const AggregatedWaitGraph &awgSlow,
+                  const SymbolTable &symbols, std::size_t top,
+                  bool applyKnowledgeFilter);
+
+} // namespace tracelens
+
+#endif // TRACELENS_CORE_RESULTJSON_H

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Alert JSON schema and the multi-audience sink (src/fleet/alerts.h).
+ */
+
+#include "src/fleet/alerts.h"
+
+#include <chrono>
+#include <fstream>
+#include <utility>
+
+#include "src/fleet/fleet.h"
+#include "src/util/logging.h"
+#include "src/util/telemetry.h"
+
+namespace tracelens
+{
+
+JsonValue
+alertJson(const Alert &alert)
+{
+    JsonValue out = JsonValue::makeObject();
+    out.set("fleet_revision", JsonValue(fleetRevision()));
+    out.set("seq", JsonValue(alert.seq));
+    out.set("rule", JsonValue(alert.rule));
+    out.set("scenario", JsonValue(alert.scenario));
+    out.set("component", JsonValue(alert.component));
+    out.set("window", JsonValue(alert.window));
+    JsonValue baseline = JsonValue::makeArray();
+    for (std::uint64_t id : alert.baselineWindows)
+        baseline.push(JsonValue(id));
+    out.set("baseline_windows", std::move(baseline));
+    out.set("ratio", JsonValue(alert.ratio));
+    out.set("detail", JsonValue(alert.detail));
+    out.set("unix_ms", JsonValue(alert.unixMs));
+    return out;
+}
+
+std::optional<Alert>
+parseAlert(const JsonValue &value)
+{
+    if (!value.isObject())
+        return std::nullopt;
+    const JsonValue *revision = value.find("fleet_revision");
+    if (revision == nullptr || !revision->isNumber() ||
+        static_cast<std::uint32_t>(revision->asNumber()) !=
+            fleetRevision())
+        return std::nullopt;
+
+    Alert alert;
+    const auto number = [&](std::string_view key,
+                            std::uint64_t &out) {
+        const JsonValue *member = value.find(key);
+        if (member == nullptr || !member->isNumber())
+            return false;
+        out = static_cast<std::uint64_t>(member->asNumber());
+        return true;
+    };
+    const auto text = [&](std::string_view key, std::string &out) {
+        const JsonValue *member = value.find(key);
+        if (member == nullptr || !member->isString())
+            return false;
+        out = member->asString();
+        return true;
+    };
+    if (!number("seq", alert.seq) || !text("rule", alert.rule) ||
+        !text("scenario", alert.scenario) ||
+        !text("component", alert.component) ||
+        !number("window", alert.window) ||
+        !text("detail", alert.detail) ||
+        !number("unix_ms", alert.unixMs))
+        return std::nullopt;
+    const JsonValue *ratio = value.find("ratio");
+    if (ratio == nullptr || !ratio->isNumber())
+        return std::nullopt;
+    alert.ratio = ratio->asNumber();
+    const JsonValue *baseline = value.find("baseline_windows");
+    if (baseline == nullptr || !baseline->isArray())
+        return std::nullopt;
+    for (const JsonValue &id : baseline->asArray()) {
+        if (!id.isNumber())
+            return std::nullopt;
+        alert.baselineWindows.push_back(
+            static_cast<std::uint64_t>(id.asNumber()));
+    }
+    return alert;
+}
+
+AlertSink::AlertSink(Config config) : config_(std::move(config))
+{
+    if (config_.capacity == 0)
+        config_.capacity = 1;
+}
+
+std::uint64_t
+AlertSink::emit(Alert alert)
+{
+    std::string line;
+    std::uint64_t seq = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        alert.seq = nextSeq_++;
+        if (alert.unixMs == 0) {
+            alert.unixMs = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::system_clock::now()
+                        .time_since_epoch())
+                    .count());
+        }
+        seq = alert.seq;
+        line = alertJson(alert).render();
+        ring_.push_back(std::move(alert));
+        while (ring_.size() > config_.capacity)
+            ring_.pop_front();
+    }
+    // File and metrics I/O outside the lock; waiters only need the
+    // ring.
+    if (!config_.path.empty()) {
+        std::ofstream out(config_.path, std::ios::app);
+        if (out)
+            out << line << "\n";
+        else
+            TL_LOG(Warn, "fleet: cannot append alert to ",
+                   config_.path);
+    }
+    MetricsRegistry::global().counter("fleet.alerts").add(1);
+    cv_.notify_all();
+    return seq;
+}
+
+std::vector<Alert>
+AlertSink::sinceLocked(std::uint64_t afterSeq) const
+{
+    std::vector<Alert> out;
+    for (const Alert &alert : ring_) {
+        if (alert.seq > afterSeq)
+            out.push_back(alert);
+    }
+    return out;
+}
+
+std::vector<Alert>
+AlertSink::since(std::uint64_t afterSeq) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sinceLocked(afterSeq);
+}
+
+std::vector<Alert>
+AlertSink::waitFor(std::uint64_t afterSeq, std::uint64_t maxWaitMs)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, std::chrono::milliseconds(maxWaitMs), [&] {
+        return nextSeq_ > afterSeq + 1;
+    });
+    return sinceLocked(afterSeq);
+}
+
+std::uint64_t
+AlertSink::lastSeq() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return nextSeq_ - 1;
+}
+
+} // namespace tracelens

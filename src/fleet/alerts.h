@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Structured regression alerts and their sink.
+ *
+ * The sentinel (src/fleet/sentinel.h) emits Alert records; the sink
+ * gives them three audiences at once:
+ *
+ *  - a JSON-lines file (one alertJson() object per line) for log
+ *    shippers and post-mortems,
+ *  - an in-memory ring served by the server's `alerts` method, with a
+ *    condition-variable waitFor() so clients can long-poll instead of
+ *    spinning,
+ *  - the process metrics registry (`fleet.alerts` counter,
+ *    `fleet.alert_latency_ms` histogram) for the PR 9 Prometheus
+ *    endpoint.
+ *
+ * The JSON schema (docs/FLEET.md "Alert schema") round-trips through
+ * parseAlert() and is covered by fleetRevision(): consumers of the
+ * sink file should check the revision before trusting field
+ * semantics.
+ */
+
+#ifndef TRACELENS_FLEET_ALERTS_H
+#define TRACELENS_FLEET_ALERTS_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace tracelens
+{
+
+/** One sentinel finding. */
+struct Alert
+{
+    /** Sink-assigned, strictly increasing from 1. */
+    std::uint64_t seq = 0;
+    /** Rule that fired: "cost_regression" | "impact_rank". */
+    std::string rule;
+    std::string scenario;
+    /** Implicated component ("se.sys"), empty when not attributable. */
+    std::string component;
+    /** Window the regression was observed in. */
+    std::uint64_t window = 0;
+    /** Baseline window ids the current window was compared against. */
+    std::vector<std::uint64_t> baselineWindows;
+    /** Rule-specific severity ratio (current / baseline). */
+    double ratio = 0.0;
+    /** Human-readable evidence (top diff patterns, shares). */
+    std::string detail;
+    /** Emission wall-clock, milliseconds since the Unix epoch. */
+    std::uint64_t unixMs = 0;
+};
+
+/** Render one alert as its schema object (fields in schema order). */
+JsonValue alertJson(const Alert &alert);
+
+/** Parse an alertJson() object; nullopt on schema violations. */
+std::optional<Alert> parseAlert(const JsonValue &value);
+
+/** See file comment. Thread-safe. */
+class AlertSink
+{
+  public:
+    struct Config
+    {
+        /** JSONL sink file; empty = in-memory ring only. */
+        std::string path;
+        /** In-memory ring capacity (older alerts roll off). */
+        std::size_t capacity = 256;
+    };
+
+    AlertSink() : AlertSink(Config{}) {}
+    explicit AlertSink(Config config);
+
+    /**
+     * Assign the next sequence number, record, append to the sink
+     * file, bump metrics, and wake long-pollers. Returns the
+     * assigned sequence number.
+     */
+    std::uint64_t emit(Alert alert);
+
+    /** Ring alerts with seq > @p afterSeq, ascending. */
+    std::vector<Alert> since(std::uint64_t afterSeq) const;
+
+    /**
+     * since(afterSeq), blocking up to @p maxWaitMs for the first new
+     * alert when none is pending (the server's long-poll).
+     */
+    std::vector<Alert> waitFor(std::uint64_t afterSeq,
+                               std::uint64_t maxWaitMs);
+
+    /** Highest sequence number assigned so far (0 = none). */
+    std::uint64_t lastSeq() const;
+
+    const Config &config() const { return config_; }
+
+  private:
+    std::vector<Alert> sinceLocked(std::uint64_t afterSeq) const;
+
+    Config config_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Alert> ring_;
+    std::uint64_t nextSeq_ = 1;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_FLEET_ALERTS_H

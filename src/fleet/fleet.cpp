@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Fleet-mode revision stamp (src/fleet/fleet.h).
+ */
+
+#include "src/fleet/fleet.h"
+
+namespace tracelens
+{
+
+std::uint32_t
+fleetRevision()
+{
+    return 1;
+}
+
+} // namespace tracelens

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fleet-mode revision stamp.
+ *
+ * Continuous mode (docs/FLEET.md) spans processes: agents push shards
+ * with `ingest_push`, daemons serve `window_summary` and `alerts`,
+ * and `tracelens watch` tails a spool directory. Window semantics,
+ * the alert JSON schema, and the ingest-push parameter contract must
+ * all agree across those processes, so — exactly like
+ * partialEncodingRevision() for the TLP1 payloads — a single integer
+ * names the fleet protocol generation. `tracelens version` and the
+ * server's `health` response advertise it, and `ingest_push` rejects
+ * a mismatched pusher up front: mixed-version fleets fail the
+ * handshake loudly instead of mis-bucketing windows silently.
+ */
+
+#ifndef TRACELENS_FLEET_FLEET_H
+#define TRACELENS_FLEET_FLEET_H
+
+#include <cstdint>
+
+namespace tracelens
+{
+
+/**
+ * Revision of the fleet/watch contract: window bucketing semantics,
+ * alert schema, and the `ingest_push` / `window_summary` / `alerts`
+ * parameter shapes. Bump on any incompatible change.
+ */
+std::uint32_t fleetRevision();
+
+} // namespace tracelens
+
+#endif // TRACELENS_FLEET_FLEET_H

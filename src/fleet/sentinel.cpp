@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Window-over-window regression rules (src/fleet/sentinel.h).
+ */
+
+#include "src/fleet/sentinel.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "src/mining/diff.h"
+
+namespace tracelens
+{
+
+namespace
+{
+
+/** Per-component total pattern impact, ranked descending. */
+std::vector<std::pair<std::string, double>>
+componentImpacts(const MiningResult &mining,
+                 const SymbolTable &symbols)
+{
+    std::map<std::string, double> totals;
+    for (const ContrastPattern &pattern : mining.patterns) {
+        for (const std::string &component :
+             patternComponents(pattern, symbols))
+            totals[component] += pattern.impact();
+    }
+    std::vector<std::pair<std::string, double>> ranked(
+        totals.begin(), totals.end());
+    // Ties break by name (the map is name-sorted already), keeping
+    // the ranking deterministic across arrival interleavings.
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second > b.second;
+                     });
+    return ranked;
+}
+
+} // namespace
+
+std::vector<std::string>
+patternComponents(const ContrastPattern &pattern,
+                  const SymbolTable &symbols)
+{
+    std::vector<std::string> components;
+    const auto scan = [&](const std::vector<FrameId> &set) {
+        for (FrameId frame : set) {
+            if (frame == kNoFrame)
+                continue;
+            const std::string &name = symbols.componentName(frame);
+            if (std::find(components.begin(), components.end(),
+                          name) == components.end())
+                components.push_back(name);
+        }
+    };
+    scan(pattern.tuple.waits);
+    scan(pattern.tuple.unwaits);
+    scan(pattern.tuple.runnings);
+    return components;
+}
+
+RegressionSentinel::RegressionSentinel(WindowedAnalyzer &windows,
+                                       AlertSink &sink,
+                                       SentinelConfig config)
+    : windows_(windows), sink_(sink), config_(std::move(config))
+{
+    if (config_.baselineWindows == 0)
+        config_.baselineWindows = 1;
+    if (config_.topK == 0)
+        config_.topK = 1;
+}
+
+std::size_t
+RegressionSentinel::evaluate()
+{
+    const std::optional<std::uint64_t> current =
+        windows_.currentWindow();
+    if (!current)
+        return 0;
+    // Baseline: the most recent windows strictly before the current
+    // one, up to baselineWindows of them.
+    std::vector<std::uint64_t> baseline;
+    for (std::uint64_t id : windows_.allWindows()) {
+        if (id < *current)
+            baseline.push_back(id);
+    }
+    if (baseline.size() > config_.baselineWindows)
+        baseline.erase(baseline.begin(),
+                       baseline.begin() +
+                           static_cast<std::ptrdiff_t>(
+                               baseline.size() -
+                               config_.baselineWindows));
+    if (baseline.empty())
+        return 0; // nothing to regress against yet
+
+    std::size_t emitted = 0;
+    for (const ScenarioThresholds &scenario : config_.scenarios)
+        emitted += evaluateScenario(scenario, *current, baseline);
+    return emitted;
+}
+
+std::size_t
+RegressionSentinel::evaluateScenario(
+    const ScenarioThresholds &scenario, std::uint64_t current,
+    const std::vector<std::uint64_t> &baseline)
+{
+    const WindowScenarioSummary now = windows_.summarize(
+        {current}, scenario.name, scenario.tFast, scenario.tSlow,
+        /*top=*/5, /*applyKnowledgeFilter=*/true);
+    if (!now.scenarioFound)
+        return 0;
+    const WindowScenarioSummary base = windows_.summarize(
+        baseline, scenario.name, scenario.tFast, scenario.tSlow,
+        /*top=*/5, /*applyKnowledgeFilter=*/true);
+    if (!base.scenarioFound)
+        return 0;
+
+    const MiningDiff diff = diffMiningResults(
+        base.summary.mining, base.symbols, now.summary.mining,
+        now.symbols, config_.changeRatio);
+
+    std::size_t emitted = 0;
+
+    // Rule 1: driver cost share of the slow class regressed.
+    if (base.summary.driverCostShare > 0.0) {
+        const double ratio = now.summary.driverCostShare /
+                             base.summary.driverCostShare;
+        if (ratio > config_.costRatio) {
+            Alert alert;
+            alert.rule = "cost_regression";
+            alert.scenario = scenario.name;
+            alert.window = current;
+            alert.baselineWindows = baseline;
+            alert.ratio = ratio;
+            std::ostringstream detail;
+            detail << "driver cost share "
+                   << base.summary.driverCostShare * 100 << "% -> "
+                   << now.summary.driverCostShare * 100 << "%; "
+                   << diff.appeared.size() << " patterns appeared, "
+                   << diff.changed.size() << " changed";
+            alert.detail = detail.str();
+            if (fireOnce(std::move(alert)))
+                ++emitted;
+        }
+    }
+
+    // Rule 2: a component entered the top-K impact ranking.
+    const auto nowRanked =
+        componentImpacts(now.summary.mining, now.symbols);
+    const auto baseRanked =
+        componentImpacts(base.summary.mining, base.symbols);
+    const std::size_t k = config_.topK;
+    std::vector<std::string> baseTop;
+    for (std::size_t i = 0; i < std::min(k, baseRanked.size()); ++i)
+        baseTop.push_back(baseRanked[i].first);
+    for (std::size_t i = 0; i < std::min(k, nowRanked.size()); ++i) {
+        const auto &[component, impact] = nowRanked[i];
+        if (std::find(baseTop.begin(), baseTop.end(), component) !=
+            baseTop.end())
+            continue;
+        double baseImpact = 0.0;
+        for (const auto &[name, value] : baseRanked) {
+            if (name == component)
+                baseImpact = value;
+        }
+        Alert alert;
+        alert.rule = "impact_rank";
+        alert.scenario = scenario.name;
+        alert.component = component;
+        alert.window = current;
+        alert.baselineWindows = baseline;
+        // 1e9 stands in for "not ranked at all before" — infinities
+        // do not survive JSON.
+        alert.ratio =
+            baseImpact > 0.0 ? impact / baseImpact : 1e9;
+        std::ostringstream detail;
+        detail << component << " entered impact top-" << k
+               << " at rank " << i + 1 << "; evidence:\n"
+               << diff.render(now.symbols, 3);
+        alert.detail = detail.str();
+        if (fireOnce(std::move(alert)))
+            ++emitted;
+    }
+    return emitted;
+}
+
+bool
+RegressionSentinel::fireOnce(Alert alert)
+{
+    std::string key = alert.rule;
+    key += '|';
+    key += alert.scenario;
+    key += '|';
+    key += alert.component;
+    key += '|';
+    key += std::to_string(alert.window);
+    if (!fired_.insert(std::move(key)).second)
+        return false;
+    sink_.emit(std::move(alert));
+    return true;
+}
+
+} // namespace tracelens

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * RegressionSentinel: the always-on answer to "which driver's impact
+ * changed this week?".
+ *
+ * After every ingest the sentinel compares the current window against
+ * a trailing baseline (the previous N windows merged) for each
+ * watched scenario, through two rules:
+ *
+ *  - cost_regression — the scenario's driver cost share (the paper's
+ *    headline (D_wait + D_run) / D_scn figure) grew by more than
+ *    costRatio against the baseline.
+ *  - impact_rank — a component entered the top-K of the per-component
+ *    pattern-impact ranking that was not in the baseline's top-K.
+ *    Evidence comes from diffMiningResults() (src/mining/diff.h):
+ *    the appeared/changed patterns naming the component.
+ *
+ * Both rules fire *exactly once* per (rule, scenario, component,
+ * window): a fired-key set suppresses re-firing while the window
+ * keeps filling and evaluations repeat, so a persistent condition
+ * produces one alert per window, never a flap per shard
+ * (tests/fleet_test.cpp). Alerts go to an AlertSink
+ * (src/fleet/alerts.h).
+ *
+ * Not thread-safe — FleetService serializes evaluate() with ingest.
+ */
+
+#ifndef TRACELENS_FLEET_SENTINEL_H
+#define TRACELENS_FLEET_SENTINEL_H
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/analyzer.h"
+#include "src/fleet/alerts.h"
+#include "src/fleet/windows.h"
+
+namespace tracelens
+{
+
+/** Sentinel rule thresholds. */
+struct SentinelConfig
+{
+    /** Scenarios to watch, with their classification thresholds. */
+    std::vector<ScenarioThresholds> scenarios;
+    /** Trailing windows merged into the baseline. */
+    std::size_t baselineWindows = 3;
+    /** cost_regression fires above current/baseline cost-share ratio. */
+    double costRatio = 1.5;
+    /** diffMiningResults change ratio (pattern-level evidence). */
+    double changeRatio = 1.5;
+    /** impact_rank watches the top-K components by pattern impact. */
+    std::size_t topK = 3;
+};
+
+/** See file comment. */
+class RegressionSentinel
+{
+  public:
+    RegressionSentinel(WindowedAnalyzer &windows, AlertSink &sink,
+                       SentinelConfig config);
+
+    /**
+     * Compare the current window against its trailing baseline for
+     * every watched scenario; emit alerts for fresh findings.
+     * Returns the number of alerts emitted by this call.
+     */
+    std::size_t evaluate();
+
+    const SentinelConfig &config() const { return config_; }
+
+  private:
+    /** Evaluate one scenario; returns alerts emitted. */
+    std::size_t evaluateScenario(const ScenarioThresholds &scenario,
+                                 std::uint64_t current,
+                                 const std::vector<std::uint64_t>
+                                     &baseline);
+
+    /** Emit unless (rule, scenario, component, window) already fired. */
+    bool fireOnce(Alert alert);
+
+    WindowedAnalyzer &windows_;
+    AlertSink &sink_;
+    SentinelConfig config_;
+    std::unordered_set<std::string> fired_;
+};
+
+/**
+ * Components named by @p pattern's signature tuple, deduplicated
+ * (each frame's component via @p symbols). The attribution the
+ * impact_rank rule aggregates over.
+ */
+std::vector<std::string>
+patternComponents(const ContrastPattern &pattern,
+                  const SymbolTable &symbols);
+
+} // namespace tracelens
+
+#endif // TRACELENS_FLEET_SENTINEL_H

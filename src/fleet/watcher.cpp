@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Poll-based spool-directory watcher (src/fleet/watcher.h).
+ */
+
+#include "src/fleet/watcher.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "src/trace/source.h"
+
+namespace tracelens
+{
+
+CorpusWatcher::CorpusWatcher(std::string dir) : dir_(std::move(dir)) {}
+
+std::vector<std::string>
+CorpusWatcher::poll()
+{
+    ++stats_.polls;
+    std::vector<std::string> fresh;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir_, ec);
+    if (ec)
+        return fresh; // spool not created yet, or transient error
+    for (const auto &entry : it) {
+        if (!entry.is_regular_file())
+            continue;
+        if (!isShardFilename(entry.path().filename().string())) {
+            ++stats_.skippedEntries;
+            continue;
+        }
+        std::string path = entry.path().string();
+        if (seen_.count(path) != 0)
+            continue;
+        fresh.push_back(std::move(path));
+    }
+    std::sort(fresh.begin(), fresh.end());
+    for (const std::string &path : fresh)
+        seen_.insert(path);
+    stats_.reportedShards += fresh.size();
+    return fresh;
+}
+
+void
+CorpusWatcher::markSeen(const std::string &path)
+{
+    seen_.insert(path);
+}
+
+} // namespace tracelens

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * CorpusWatcher: poll-based discovery of finished shards in a spool
+ * directory.
+ *
+ * Writers follow the rename-into-place convention (docs/TRACE_FORMAT.md
+ * "Sharded corpora"): stage bytes under a temporary name (`*.tmp` or a
+ * dotfile) in the *same directory*, then rename() to the final `*.tlc`
+ * name. rename(2) within a filesystem is atomic, so a finished name
+ * always denotes complete bytes; the watcher only ever reports names
+ * accepted by isShardFilename() (src/trace/source.h), which is the
+ * same predicate every corpus-directory scan uses.
+ *
+ * Polling, not inotify: the spool may live on NFS or be bind-mounted
+ * into a container, where change notification is unreliable; a fleet
+ * spool sees shards per tens of seconds, so a sub-second poll is far
+ * below the noise floor. Each poll reports newly appeared shards in
+ * filename order — the canonical merge order — and never reports the
+ * same path twice.
+ */
+
+#ifndef TRACELENS_FLEET_WATCHER_H
+#define TRACELENS_FLEET_WATCHER_H
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace tracelens
+{
+
+/** Poll counters (surfaced by FleetService::status). */
+struct WatcherStats
+{
+    std::size_t polls = 0;
+    /** Directory entries skipped as unfinished/non-shard files. */
+    std::size_t skippedEntries = 0;
+    /** Finished shards reported over the watcher's lifetime. */
+    std::size_t reportedShards = 0;
+};
+
+/** See file comment. Not thread-safe; callers serialize poll(). */
+class CorpusWatcher
+{
+  public:
+    explicit CorpusWatcher(std::string dir);
+
+    /**
+     * Scan the spool once. Returns the full paths of finished shards
+     * that appeared since the previous poll, sorted by filename. A
+     * missing or unreadable directory yields an empty batch (the
+     * spool may be created after the watcher starts).
+     */
+    std::vector<std::string> poll();
+
+    /**
+     * Record @p path as already reported so a later poll() skips it.
+     * The server's `ingest_push` handler writes shards into the spool
+     * itself and ingests them synchronously; marking the landed path
+     * here keeps the poll loop from ingesting the same shard twice.
+     */
+    void markSeen(const std::string &path);
+
+    const std::string &dir() const { return dir_; }
+    const WatcherStats &stats() const { return stats_; }
+
+  private:
+    std::string dir_;
+    /** Full paths already reported. */
+    std::unordered_set<std::string> seen_;
+    WatcherStats stats_;
+};
+
+} // namespace tracelens
+
+#endif // TRACELENS_FLEET_WATCHER_H

@@ -12,6 +12,7 @@
 #include <map>
 
 #include "src/server/client.h"
+#include "src/trace/source.h"
 #include "src/util/logging.h"
 #include "src/util/telemetry.h"
 
@@ -137,7 +138,7 @@ Coordinator::enumerateShards(const std::string &corpusPath)
         for (const auto &entry :
              std::filesystem::directory_iterator(corpusPath, ec)) {
             if (entry.is_regular_file() &&
-                entry.path().extension() == ".tlc")
+                isShardFilename(entry.path().filename().string()))
                 shards.push_back(entry.path().string());
         }
         if (ec) {

@@ -59,6 +59,12 @@ methodName(Method method)
         return "flight_recorder";
     case Method::ClusterTrace:
         return "cluster_trace";
+    case Method::IngestPush:
+        return "ingest_push";
+    case Method::WindowSummary:
+        return "window_summary";
+    case Method::Alerts:
+        return "alerts";
     }
     return "health";
 }
@@ -74,7 +80,9 @@ parseMethod(std::string_view name)
         Method::AnalyzePartial, Method::ImpactPartial,
         Method::MinePartial,   Method::ClusterStatus,
         Method::TelemetryPull, Method::Metrics,
-        Method::FlightRecorder, Method::ClusterTrace};
+        Method::FlightRecorder, Method::ClusterTrace,
+        Method::IngestPush,    Method::WindowSummary,
+        Method::Alerts};
     for (const Method method : kAll) {
         if (methodName(method) == name)
             return method;
@@ -91,7 +99,7 @@ methodWireByte(Method method)
 std::optional<Method>
 methodFromWireByte(std::uint8_t byte)
 {
-    if (byte > methodWireByte(Method::ClusterTrace))
+    if (byte > methodWireByte(Method::Alerts))
         return std::nullopt;
     return static_cast<Method>(byte);
 }
@@ -292,6 +300,49 @@ JsonValue
 ClusterTraceRequest::toParams() const
 {
     return JsonValue::makeObject();
+}
+
+JsonValue
+IngestPushRequest::toParams() const
+{
+    JsonValue params = JsonValue::makeObject();
+    params.set("name", JsonValue(name));
+    params.set("payload", JsonValue(payloadBase64));
+    params.set("fleet_revision", JsonValue(fleetRevision));
+    if (timestampMs)
+        params.set("timestamp_ms", JsonValue(*timestampMs));
+    return params;
+}
+
+JsonValue
+WindowSummaryRequest::toParams() const
+{
+    JsonValue params = JsonValue::makeObject();
+    params.set("scenario", JsonValue(scenario));
+    if (tfastMs)
+        params.set("tfast_ms", JsonValue(*tfastMs));
+    if (tslowMs)
+        params.set("tslow_ms", JsonValue(*tslowMs));
+    if (!windows.empty())
+        params.set("windows", JsonValue(windows));
+    if (trailing)
+        params.set("trailing", JsonValue(*trailing));
+    if (top)
+        params.set("top", JsonValue(*top));
+    if (knowledgeFilter)
+        params.set("knowledge_filter", JsonValue(*knowledgeFilter));
+    return params;
+}
+
+JsonValue
+AlertsRequest::toParams() const
+{
+    JsonValue params = JsonValue::makeObject();
+    if (afterSeq != 0)
+        params.set("after_seq", JsonValue(afterSeq));
+    if (waitMs)
+        params.set("wait_ms", JsonValue(*waitMs));
+    return params;
 }
 
 // ------------------------------------------------------ v1 line codec

@@ -94,6 +94,11 @@ enum class Method : std::uint8_t
      *  telemetry_pull, merge with the coordinator's own buffer, and
      *  return one Chrome trace (queued — it fans out over TCP). */
     ClusterTrace = 15,
+    // Continuous fleet mode (docs/FLEET.md): only served when the
+    // daemon runs with --watch; rejected with BadRequest otherwise.
+    IngestPush = 16,    //!< Stream one TLC1 shard into the live spool.
+    WindowSummary = 17, //!< Rolling-window scenario summary.
+    Alerts = 18,        //!< Sentinel alerts, optionally long-polled.
 };
 
 /** Stable wire name of @p method ("analyze", ...). */
@@ -302,6 +307,55 @@ struct ClusterTraceRequest
 {
     JsonValue toParams() const;
     static constexpr Method kMethod = Method::ClusterTrace;
+};
+
+/**
+ * Stream one finished TLC1 shard into a watched daemon's spool. The
+ * shard lands via the rename-into-place convention and is ingested
+ * synchronously: when the response arrives, the shard is in its
+ * window and the sentinel has run. `fleet_revision` is mandatory so
+ * mixed-version fleets fail loudly instead of mis-bucketing windows.
+ */
+struct IngestPushRequest
+{
+    /** Spool filename ("shard-0042.tlc"; no directories, no dots
+     *  prefix). */
+    std::string name;
+    /** Raw TLC1 bytes, base64-encoded. */
+    std::string payloadBase64;
+    /** Pusher's fleetRevision() — checked against the daemon's. */
+    std::uint32_t fleetRevision = 0;
+    /** Window-bucketing override (ms since epoch); absent = daemon
+     *  wall clock at ingest. */
+    std::optional<std::uint64_t> timestampMs;
+    JsonValue toParams() const;
+    static constexpr Method kMethod = Method::IngestPush;
+};
+
+/** Rolling-window scenario summary from a watched daemon. */
+struct WindowSummaryRequest
+{
+    std::string scenario;
+    std::optional<double> tfastMs;
+    std::optional<double> tslowMs;
+    /** "current" (default), "all", or a decimal window id. */
+    std::string windows;
+    /** Merge the N windows up to the selection (0/1 = just it). */
+    std::optional<std::size_t> trailing;
+    std::optional<std::size_t> top;
+    std::optional<bool> knowledgeFilter;
+    JsonValue toParams() const;
+    static constexpr Method kMethod = Method::WindowSummary;
+};
+
+/** Sentinel alerts with seq > afterSeq; waitMs long-polls for the
+ *  first new alert before answering (bounded by the deadline). */
+struct AlertsRequest
+{
+    std::uint64_t afterSeq = 0;
+    std::optional<std::uint64_t> waitMs;
+    JsonValue toParams() const;
+    static constexpr Method kMethod = Method::Alerts;
 };
 
 // ---------------------------------------------------------- responses

@@ -73,6 +73,14 @@ CorpusSession::cacheResponse(const Digest &key,
     responses_.insert_or_assign(key, std::move(line));
 }
 
+void
+CorpusSession::absorbShard(const TraceCorpus &corpus)
+{
+    const std::unique_lock<std::shared_mutex> lock(analysisMutex_);
+    analyzer_->addStreams(corpus);
+    corpusDigest_ = analyzer_->corpusDigest();
+}
+
 SessionRegistry::Handle::Handle(std::shared_ptr<Entry> entry,
                                 std::shared_ptr<CorpusSession> session,
                                 SessionRegistry *registry)

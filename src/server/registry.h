@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -106,6 +107,24 @@ class CorpusSession
     void cacheResponse(const Digest &key,
                        std::shared_ptr<const std::string> line);
 
+    /**
+     * Absorb a pushed shard into the warm Analyzer and refresh the
+     * response-cache digest so stale cached renders stop matching
+     * (continuous mode's `ingest_push`). Takes the exclusive side of
+     * analysisLock() for the brief append.
+     */
+    void absorbShard(const TraceCorpus &corpus);
+
+    /**
+     * Shared lock a request handler holds while it reads the warm
+     * Analyzer and corpusDigest(); absorbShard() excludes them while
+     * it mutates the corpus. Plain analyze traffic only ever shares.
+     */
+    std::shared_lock<std::shared_mutex> analysisLock() const
+    {
+        return std::shared_lock<std::shared_mutex>(analysisMutex_);
+    }
+
   private:
     friend class SessionRegistry;
 
@@ -114,6 +133,9 @@ class CorpusSession
     std::unique_ptr<Analyzer> analyzer_;
     SessionIngestInfo ingest_;
     Digest corpusDigest_;
+
+    /** Readers = analysis handlers; writer = absorbShard(). */
+    mutable std::shared_mutex analysisMutex_;
 
     mutable std::mutex responseMutex_;
     std::unordered_map<Digest, std::shared_ptr<const std::string>,

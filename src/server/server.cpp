@@ -21,15 +21,23 @@
 #include <charconv>
 #include <cmath>
 #include <cstring>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
+#include <filesystem>
+#include <fstream>
+
 #include "src/core/partial.h"
+#include "src/core/resultjson.h"
+#include "src/fleet/fleet.h"
 #include "src/mining/coverage.h"
 #include "src/mining/knowledge.h"
 #include "src/mining/miner.h"
 #include "src/server/coordinator.h"
 #include "src/trace/selftrace.h"
+#include "src/trace/serialize.h"
+#include "src/trace/source.h"
 #include "src/util/logging.h"
 #include "src/util/telemetry.h"
 #include "src/workload/scenarios.h"
@@ -165,35 +173,6 @@ resolveThresholds(const JsonValue &params, const std::string &scenario,
     }
 }
 
-JsonValue
-impactJson(const ImpactResult &impact)
-{
-    JsonValue out = JsonValue::makeObject();
-    out.set("instances", JsonValue(impact.instances));
-    out.set("d_scn_ms", JsonValue(toMs(impact.dScn)));
-    out.set("d_wait_ms", JsonValue(toMs(impact.dWait)));
-    out.set("d_run_ms", JsonValue(toMs(impact.dRun)));
-    out.set("d_waitdist_ms", JsonValue(toMs(impact.dWaitDist)));
-    out.set("ia_run", JsonValue(impact.iaRun()));
-    out.set("ia_wait", JsonValue(impact.iaWait()));
-    out.set("ia_opt", JsonValue(impact.iaOpt()));
-    return out;
-}
-
-JsonValue
-patternJson(const ContrastPattern &pattern, DurationNs tSlow,
-            const SymbolTable &symbols, std::size_t rank)
-{
-    JsonValue out = JsonValue::makeObject();
-    out.set("rank", JsonValue(rank));
-    out.set("impact_ms",
-            JsonValue(toMs(static_cast<DurationNs>(pattern.impact()))));
-    out.set("count", JsonValue(pattern.count));
-    out.set("high_impact", JsonValue(pattern.highImpact(tSlow)));
-    out.set("tuple", JsonValue(pattern.tuple.renderCompact(symbols)));
-    return out;
-}
-
 /** Assemble an ok-response line around an already-rendered result. */
 std::string
 assembleOk(const std::optional<double> &id,
@@ -295,6 +274,30 @@ Server::start()
         coordConfig.workers = config_.workerAddrs;
         coordConfig.shardDeadlineMs = config_.shardDeadlineMs;
         coordinator_ = std::make_unique<Coordinator>(coordConfig);
+    }
+
+    if (!config_.fleetWatchDir.empty()) {
+        FleetConfig fleetConfig;
+        fleetConfig.dir = config_.fleetWatchDir;
+        fleetConfig.windowMs = config_.fleetWindowMs;
+        fleetConfig.maxWindows = config_.fleetMaxWindows;
+        fleetConfig.pollMs = config_.fleetPollMs;
+        fleetConfig.alertsPath = config_.fleetAlertsPath;
+        fleetConfig.analyzer.artifactCacheDir =
+            config_.registry.artifactCacheDir;
+        fleetConfig.sentinel.baselineWindows =
+            config_.fleetBaselineWindows;
+        for (const ScenarioSpec &spec : scenarioCatalog()) {
+            if (!config_.fleetScenarios.empty() &&
+                std::find(config_.fleetScenarios.begin(),
+                          config_.fleetScenarios.end(),
+                          spec.name) == config_.fleetScenarios.end())
+                continue;
+            fleetConfig.sentinel.scenarios.push_back(
+                {spec.name, spec.tFast, spec.tSlow});
+        }
+        fleet_ = std::make_unique<FleetService>(fleetConfig);
+        fleet_->start();
     }
 
     workerCount_ = resolveThreads(config_.workers);
@@ -955,6 +958,11 @@ Server::routeRequest(const std::shared_ptr<Connection> &conn,
         result.set("role", JsonValue(config_.coordinator
                                          ? "coordinator"
                                          : "worker"));
+        // Fleet/watch contract revision: ingest_push rejects
+        // mismatched pushers; clients can pre-check here
+        // (docs/FLEET.md).
+        result.set("fleet_revision", JsonValue(fleetRevision()));
+        result.set("fleet_watch", JsonValue(fleet_ != nullptr));
         // Cheap liveness extras the coordinator's cluster-status
         // table reads per worker (one probe, one row).
         result.set("uptime_s",
@@ -1011,6 +1019,9 @@ Server::routeRequest(const std::shared_ptr<Connection> &conn,
         request.method == "mine_partial" ||
         request.method == "cluster_status" ||
         request.method == "cluster_trace" ||
+        request.method == "ingest_push" ||
+        request.method == "window_summary" ||
+        request.method == "alerts" ||
         (config_.enableTestMethods && request.method == "sleep");
     if (!known) {
         errors_.fetch_add(1, std::memory_order_relaxed);
@@ -1184,6 +1195,12 @@ Server::process(QueuedRequest request)
                             "(start with --coordinator)");
             }
             result = handleClusterTrace(request);
+        } else if (method == "ingest_push") {
+            result = handleIngestPush(request);
+        } else if (method == "window_summary") {
+            result = handleWindowSummary(request);
+        } else if (method == "alerts") {
+            result = handleAlerts(request);
         } else if (method == "sleep") {
             result = handleSleep(request);
         } else {
@@ -1416,6 +1433,11 @@ Server::handleAnalyze(const QueuedRequest &request)
         failRequest(ErrorCode::NotFound, session.error().render());
     checkDeadline(request.deadline);
 
+    // Shared-side analysis lock: excludes ingest_push's absorbShard
+    // while this handler reads the warm analyzer and its digest.
+    const std::shared_lock<std::shared_mutex> analysisLock =
+        session.value()->analysisLock();
+
     Digest cacheKey;
     cacheKey.mix("analyze").mix(session.value()->corpusDigest());
     cacheKey.mix(scenario)
@@ -1491,6 +1513,11 @@ Server::handleImpact(const QueuedRequest &request)
         failRequest(ErrorCode::NotFound, session.error().render());
     checkDeadline(request.deadline);
 
+    // Shared-side analysis lock: excludes ingest_push's absorbShard
+    // while this handler reads the warm analyzer and its digest.
+    const std::shared_lock<std::shared_mutex> analysisLock =
+        session.value()->analysisLock();
+
     Digest cacheKey;
     cacheKey.mix("impact").mix(session.value()->corpusDigest());
     if (auto cached = session.value()->cachedResponse(cacheKey)) {
@@ -1544,6 +1571,11 @@ Server::handleMine(const QueuedRequest &request)
     if (!session)
         failRequest(ErrorCode::NotFound, session.error().render());
     checkDeadline(request.deadline);
+
+    // Shared-side analysis lock: excludes ingest_push's absorbShard
+    // while this handler reads the warm analyzer and its digest.
+    const std::shared_lock<std::shared_mutex> analysisLock =
+        session.value()->analysisLock();
 
     Digest cacheKey;
     cacheKey.mix("mine").mix(session.value()->corpusDigest());
@@ -1671,6 +1703,11 @@ Server::handleAnalyzePartial(const QueuedRequest &request)
         failRequest(ErrorCode::NotFound, session.error().render());
     checkDeadline(request.deadline);
 
+    // Shared-side analysis lock: excludes ingest_push's absorbShard
+    // while this handler reads the warm analyzer and its digest.
+    const std::shared_lock<std::shared_mutex> analysisLock =
+        session.value()->analysisLock();
+
     Digest cacheKey;
     cacheKey.mix("analyze_partial")
         .mix(session.value()->corpusDigest())
@@ -1715,6 +1752,11 @@ Server::handleImpactPartial(const QueuedRequest &request)
     if (!session)
         failRequest(ErrorCode::NotFound, session.error().render());
     checkDeadline(request.deadline);
+
+    // Shared-side analysis lock: excludes ingest_push's absorbShard
+    // while this handler reads the warm analyzer and its digest.
+    const std::shared_lock<std::shared_mutex> analysisLock =
+        session.value()->analysisLock();
 
     Digest cacheKey;
     cacheKey.mix("impact_partial")
@@ -1764,25 +1806,6 @@ attachGatherReport(JsonValue &result, const GatherReport &report)
     result.set("missing_shards", std::move(missing));
 }
 
-/** Mine the merged AWGs exactly as a single-node analyzer would
- *  (AnalyzerConfig mining defaults; thread count never changes the
- *  ranked result). The miner only reads the AWGs, not the corpus. */
-MiningResult
-mineGathered(const AggregatedWaitGraph &fast,
-             const AggregatedWaitGraph &slow, DurationNs tFast,
-             DurationNs tSlow)
-{
-    const AnalyzerConfig defaults;
-    MiningOptions options;
-    options.maxSegmentLength = defaults.maxSegmentLength;
-    options.tFast = tFast;
-    options.tSlow = tSlow;
-    options.useMetaPatternGate = defaults.useMetaPatternGate;
-    const TraceCorpus dummy;
-    ContrastMiner miner(dummy, options);
-    return miner.mine(fast, slow, 1);
-}
-
 } // namespace
 
 JsonValue
@@ -1815,49 +1838,13 @@ Server::handleCoordAnalyze(const QueuedRequest &request)
         std::move(gather.awgFast).finalize(true);
     const AggregatedWaitGraph awgSlow =
         std::move(gather.awgSlow).finalize(true);
-    const MiningResult mining =
-        mineGathered(awgFast, awgSlow, tFast, tSlow);
     checkDeadline(request.deadline);
-    const CoverageResult coverage = computeCoverage(
-        mining, awgSlow.reducedCost() + awgSlow.totalRootCost(),
-        tSlow);
+    ScenarioSummary summary = summarizeScenario(
+        scenario, tFast, tSlow, gather.classes, slowImpact, awgFast,
+        awgSlow, gather.symbols, top, applyFilter);
+    checkDeadline(request.deadline);
 
-    std::vector<ContrastPattern> patterns = mining.patterns;
-    std::size_t suppressed = 0;
-    if (applyFilter) {
-        const auto filtered =
-            KnowledgeBase::defaults().apply(mining, gather.symbols);
-        suppressed = filtered.suppressed.size();
-        patterns = filtered.kept;
-    }
-
-    const double driverCostShare =
-        gather.classes.slowDuration == 0
-            ? 0.0
-            : static_cast<double>(slowImpact.dWait +
-                                  slowImpact.dRun) /
-                  static_cast<double>(gather.classes.slowDuration);
-
-    JsonValue result = JsonValue::makeObject();
-    result.set("scenario", JsonValue(scenario));
-    result.set("tfast_ms", JsonValue(toMs(tFast)));
-    result.set("tslow_ms", JsonValue(toMs(tSlow)));
-    JsonValue classes = JsonValue::makeObject();
-    classes.set("fast", JsonValue(gather.classes.fast));
-    classes.set("middle", JsonValue(gather.classes.middle));
-    classes.set("slow", JsonValue(gather.classes.slow));
-    result.set("classes", std::move(classes));
-    result.set("slow_impact", impactJson(slowImpact));
-    result.set("driver_cost_share", JsonValue(driverCostShare));
-    result.set("coverage", JsonValue(coverage.render()));
-    result.set("mining_stats", JsonValue(mining.stats.render()));
-    result.set("suppressed", JsonValue(suppressed));
-    JsonValue list = JsonValue::makeArray();
-    for (std::size_t i = 0; i < std::min(top, patterns.size()); ++i) {
-        list.push(patternJson(patterns[i], tSlow, gather.symbols,
-                              i + 1));
-    }
-    result.set("patterns", std::move(list));
+    JsonValue result = std::move(summary.json);
     attachGatherReport(result, gather.report);
     return result;
 }
@@ -1993,6 +1980,208 @@ Server::handleClusterTrace(const QueuedRequest &request)
     result.set("spans", JsonValue(spanCount));
     result.set("trace",
                JsonValue(Telemetry::renderChromeTraceMerged(nodes)));
+    return result;
+}
+
+// ------------------------------------------ continuous-mode methods
+
+void
+Server::requireFleet() const
+{
+    if (!fleet_)
+        failRequest(ErrorCode::BadRequest,
+                    "this daemon is not in continuous mode (start "
+                    "with --watch DIR)");
+}
+
+JsonValue
+Server::handleIngestPush(const QueuedRequest &request)
+{
+    requireFleet();
+    checkDeadline(request.deadline);
+    const JsonValue &params = request.request.params;
+
+    const std::string name = stringParam(params, "name");
+    if (!isShardFilename(name) ||
+        name.find('/') != std::string::npos ||
+        name.find('\\') != std::string::npos) {
+        failRequest(ErrorCode::BadRequest,
+                    "param \"name\" must be a plain *.tlc filename "
+                    "(no directories, no dotfiles)");
+    }
+
+    // Refuse loudly on a revision mismatch rather than misrendering
+    // alerts for a newer pusher — same handshake contract as the
+    // cluster's partial_revision.
+    const auto pushed = static_cast<std::uint32_t>(
+        numberParamOr(params, "fleet_revision", 0));
+    if (pushed != fleetRevision()) {
+        failRequest(ErrorCode::BadRequest,
+                    "fleet revision mismatch: pusher has " +
+                        std::to_string(pushed) + ", daemon has " +
+                        std::to_string(fleetRevision()) +
+                        " (upgrade the older side)");
+    }
+
+    const std::string payload = stringParam(params, "payload");
+    const std::optional<std::string> bytes = base64Decode(payload);
+    if (!bytes)
+        failRequest(ErrorCode::BadRequest,
+                    "param \"payload\" is not valid base64");
+    Expected<TraceCorpus> corpus = parseCorpus(
+        std::as_bytes(std::span(bytes->data(), bytes->size())), name);
+    if (!corpus)
+        failRequest(ErrorCode::BadRequest,
+                    "payload is not a corpus shard: " +
+                        corpus.error().render());
+
+    std::optional<std::uint64_t> timestampMs;
+    if (const JsonValue *stamp = params.find("timestamp_ms");
+        stamp != nullptr) {
+        if (!stamp->isNumber() || stamp->asNumber() < 0)
+            failRequest(ErrorCode::BadRequest,
+                        "param \"timestamp_ms\" must be a "
+                        "non-negative number");
+        timestampMs =
+            static_cast<std::uint64_t>(stamp->asNumber());
+    }
+    checkDeadline(request.deadline);
+
+    // Warm the spool session *before* the shard lands: a session
+    // opened now scans the spool without the new shard, so
+    // addStreams() below is the only path that adds it — never a
+    // directory rescan racing the rename. An acquire failure (e.g.
+    // an empty spool on the very first push) just means there is no
+    // warm session to extend yet.
+    Expected<SessionRegistry::Handle> session =
+        registry_.acquire(config_.fleetWatchDir);
+
+    // Land the shard in the spool by the same rename-into-place
+    // convention on-host writers use (docs/TRACE_FORMAT.md), so a
+    // daemon restart replays it from disk.
+    namespace fs = std::filesystem;
+    const fs::path dir(config_.fleetWatchDir);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    const fs::path staged = dir / ("." + name + ".tmp");
+    const fs::path finished = dir / name;
+    {
+        std::ofstream out(staged,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes->data(),
+                  static_cast<std::streamsize>(bytes->size()));
+        out.flush();
+        if (!out) {
+            fs::remove(staged, ec);
+            failRequest(ErrorCode::Internal,
+                        "cannot stage shard in spool " +
+                            dir.string());
+        }
+    }
+    fs::rename(staged, finished, ec);
+    if (ec) {
+        fs::remove(staged, ec);
+        failRequest(ErrorCode::Internal,
+                    "cannot finish shard rename: " + ec.message());
+    }
+
+    // Extend the warm batch session in place. The corpus digest
+    // changes, so cached responses self-invalidate.
+    if (session)
+        session.value()->absorbShard(corpus.value());
+
+    const IngestOutcome outcome = fleet_->ingest(
+        name, std::move(corpus.value()), timestampMs);
+
+    JsonValue result = JsonValue::makeObject();
+    result.set("fleet_revision", JsonValue(fleetRevision()));
+    result.set("shard", JsonValue(name));
+    result.set("window", JsonValue(outcome.window));
+    result.set("alerts", JsonValue(outcome.alerts));
+    result.set("evicted", JsonValue(outcome.evicted));
+    result.set("ingested_total",
+               JsonValue(fleet_->ingestedShards()));
+    return result;
+}
+
+JsonValue
+Server::handleWindowSummary(const QueuedRequest &request)
+{
+    requireFleet();
+    checkDeadline(request.deadline);
+    const JsonValue &params = request.request.params;
+
+    const std::string scenario = stringParam(params, "scenario");
+    DurationNs tFast = 0;
+    DurationNs tSlow = 0;
+    resolveThresholds(params, scenario, tFast, tSlow);
+
+    std::string windowsSel;
+    if (const JsonValue *sel = params.find("windows");
+        sel != nullptr) {
+        if (!sel->isString())
+            failRequest(ErrorCode::BadRequest,
+                        "param \"windows\" must be \"current\", "
+                        "\"all\", or a window id");
+        windowsSel = sel->asString();
+    }
+    if (!windowsSel.empty() && windowsSel != "current" &&
+        windowsSel != "all" &&
+        windowsSel.find_first_not_of("0123456789") !=
+            std::string::npos) {
+        failRequest(ErrorCode::BadRequest,
+                    "param \"windows\" must be \"current\", "
+                    "\"all\", or a window id");
+    }
+    const auto trailing = static_cast<std::size_t>(
+        numberParamOr(params, "trailing", 0));
+    const auto top = static_cast<std::size_t>(
+        numberParamOr(params, "top", 5));
+    const bool applyFilter =
+        boolParamOr(params, "knowledge_filter", true);
+
+    checkDeadline(request.deadline);
+    return fleet_->windowSummary(scenario, tFast, tSlow, windowsSel,
+                                 trailing, top, applyFilter);
+}
+
+JsonValue
+Server::handleAlerts(const QueuedRequest &request)
+{
+    requireFleet();
+    checkDeadline(request.deadline);
+    const JsonValue &params = request.request.params;
+
+    const auto afterSeq = static_cast<std::uint64_t>(
+        numberParamOr(params, "after_seq", 0));
+    auto waitMs = static_cast<std::uint64_t>(
+        numberParamOr(params, "wait_ms", 0));
+    if (waitMs != 0 && request.deadline) {
+        // The long-poll must resolve inside the request deadline or
+        // the client times out with nothing.
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                *request.deadline - Clock::now())
+                .count();
+        if (remaining <= 0)
+            waitMs = 0;
+        else
+            waitMs = std::min(
+                waitMs, static_cast<std::uint64_t>(remaining));
+    }
+
+    AlertSink &sink = fleet_->alerts();
+    const std::vector<Alert> alerts =
+        waitMs != 0 ? sink.waitFor(afterSeq, waitMs)
+                    : sink.since(afterSeq);
+
+    JsonValue result = JsonValue::makeObject();
+    result.set("fleet_revision", JsonValue(fleetRevision()));
+    JsonValue list = JsonValue::makeArray();
+    for (const Alert &alert : alerts)
+        list.push(alertJson(alert));
+    result.set("alerts", std::move(list));
+    result.set("last_seq", JsonValue(sink.lastSeq()));
     return result;
 }
 
@@ -2182,6 +2371,8 @@ Server::drain()
     TL_LOG(Info, "serve: draining (", stats().inflight,
            " requests inflight)");
     draining_.store(true, std::memory_order_release);
+    if (fleet_)
+        fleet_->stop();
     if (listenFd_ >= 0) {
         ::close(listenFd_);
         listenFd_ = -1;

@@ -52,6 +52,7 @@
 #include <string>
 #include <thread>
 
+#include "src/fleet/service.h"
 #include "src/server/flightrecorder.h"
 #include "src/server/protocol.h"
 #include "src/server/registry.h"
@@ -119,6 +120,26 @@ struct ServerConfig
     std::size_t flightRecorderCapacity = 256;
     /** Session layer: ingestion options, artifact cache, eviction. */
     RegistryConfig registry;
+    /**
+     * Continuous fleet mode (CLI: `tracelens serve --watch DIR`,
+     * docs/FLEET.md): watch DIR for renamed-into-place shards, serve
+     * ingest_push / window_summary / alerts, and run the regression
+     * sentinel. Empty = fleet methods answer BadRequest.
+     */
+    std::string fleetWatchDir;
+    /** Window width (--window-ms). */
+    std::uint64_t fleetWindowMs = 60000;
+    /** Bounded window ring (--max-windows). */
+    std::size_t fleetMaxWindows = 8;
+    /** Spool poll interval (--poll-ms). */
+    std::uint64_t fleetPollMs = 200;
+    /** Sentinel baseline width in windows (--baseline-windows). */
+    std::size_t fleetBaselineWindows = 3;
+    /** Watched scenarios (--watch-scenario, repeatable; empty = the
+     *  full catalog). */
+    std::vector<std::string> fleetScenarios;
+    /** Alert JSONL sink (--alerts-out); empty = in-memory only. */
+    std::string fleetAlertsPath;
 };
 
 /** Point-in-time server counters (the `stats` method's source). */
@@ -313,6 +334,11 @@ class Server
     JsonValue handleClusterStatus(const QueuedRequest &request);
     /** Coordinator-side span stitching (queued: fans out over TCP). */
     JsonValue handleClusterTrace(const QueuedRequest &request);
+    /** Continuous-mode handlers; BadRequest unless --watch is on. */
+    void requireFleet() const;
+    JsonValue handleIngestPush(const QueuedRequest &request);
+    JsonValue handleWindowSummary(const QueuedRequest &request);
+    JsonValue handleAlerts(const QueuedRequest &request);
     JsonValue statsResult();
     // Observability results (answered inline — see isControlMethod).
     JsonValue telemetryPullResult() const;
@@ -330,6 +356,8 @@ class Server
     SessionRegistry registry_;
     /** Present only in coordinator mode (config_.coordinator). */
     std::unique_ptr<Coordinator> coordinator_;
+    /** Present only in fleet mode (config_.fleetWatchDir). */
+    std::unique_ptr<FleetService> fleet_;
 
     int listenFd_ = -1;
     std::uint16_t port_ = 0;

@@ -459,7 +459,7 @@ openSource(const std::string &path, const SourceOptions &options)
         for (const auto &entry :
              std::filesystem::directory_iterator(path, ec)) {
             if (entry.is_regular_file() &&
-                entry.path().extension() == ".tlc")
+                isShardFilename(entry.path().filename().string()))
                 shards.push_back(entry.path().string());
         }
         if (ec) {
@@ -481,6 +481,16 @@ openSource(const std::string &path, const SourceOptions &options)
     }
     return std::unique_ptr<TraceSource>(
         std::make_unique<EagerSource>(std::move(shards)));
+}
+
+bool
+isShardFilename(std::string_view filename)
+{
+    if (filename.empty() || filename.front() == '.')
+        return false;
+    constexpr std::string_view kExt = ".tlc";
+    return filename.size() > kExt.size() &&
+           filename.substr(filename.size() - kExt.size()) == kExt;
 }
 
 } // namespace tracelens

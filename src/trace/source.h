@@ -34,6 +34,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -241,6 +242,20 @@ class MmapSource : public TraceSource
  */
 Expected<std::unique_ptr<TraceSource>>
 openSource(const std::string &path, const SourceOptions &options = {});
+
+/**
+ * True when @p filename (the final path component, no directory) is a
+ * finished shard a corpus-directory scan should pick up: a `*.tlc`
+ * name that is not hidden. Dotfiles and any other extension —
+ * notably the `*.tmp` staging names of the rename-into-place
+ * convention (docs/TRACE_FORMAT.md "Sharded corpora") — are skipped,
+ * so a writer racing a reader can never surface a torn shard as a
+ * corrupt-input error. Every directory scan (openSource, the
+ * coordinator's enumerateShards, the fleet watcher) shares this
+ * predicate: shard *selection* feeding shard order IS merge order,
+ * so any divergence breaks byte-identity.
+ */
+bool isShardFilename(std::string_view filename);
 
 /**
  * Estimated resident bytes of a materialized corpus (events,

@@ -13,6 +13,29 @@
 namespace tracelens
 {
 
+SymbolTable::SymbolTable(const SymbolTable &other)
+    : names_(other.names_), components_(other.components_),
+      frames_(other.frames_), framePool_(other.framePool_),
+      stacks_(other.stacks_), stackIndex_(other.stackIndex_),
+      filterCache_(other.filterCache_)
+{
+    frameIndex_.reserve(frames_.size());
+    for (std::size_t f = 0; f < frames_.size(); ++f)
+        frameIndex_.emplace(
+            std::string_view(names_.lookup(frames_[f].name)),
+            static_cast<FrameId>(f));
+}
+
+SymbolTable &
+SymbolTable::operator=(const SymbolTable &other)
+{
+    if (this != &other) {
+        SymbolTable copy(other);
+        *this = std::move(copy);
+    }
+    return *this;
+}
+
 FrameId
 SymbolTable::internFrame(std::string_view signature)
 {

@@ -35,6 +35,17 @@ namespace tracelens
 class SymbolTable
 {
   public:
+    SymbolTable() = default;
+
+    // frameIndex_ keys are string_views into names_'s storage; a
+    // memberwise copy would leave them viewing the source table.
+    // The copy rebuilds the index from its own interner, and moves
+    // are noexcept so containers of corpora relocate by move.
+    SymbolTable(const SymbolTable &other);
+    SymbolTable &operator=(const SymbolTable &other);
+    SymbolTable(SymbolTable &&) noexcept = default;
+    SymbolTable &operator=(SymbolTable &&) noexcept = default;
+
     /** Intern a frame like "fs.sys!AcquireMDU"; idempotent. */
     FrameId internFrame(std::string_view signature);
 

@@ -12,6 +12,25 @@
 namespace tracelens
 {
 
+StringInterner::StringInterner(const StringInterner &other)
+    : strings_(other.strings_)
+{
+    index_.reserve(strings_.size());
+    std::uint32_t id = 0;
+    for (const std::string &s : strings_)
+        index_.emplace(std::string_view(s), id++);
+}
+
+StringInterner &
+StringInterner::operator=(const StringInterner &other)
+{
+    if (this != &other) {
+        StringInterner copy(other);
+        *this = std::move(copy);
+    }
+    return *this;
+}
+
 std::uint32_t
 StringInterner::intern(std::string_view s)
 {

@@ -27,6 +27,20 @@ namespace tracelens
 class StringInterner
 {
   public:
+    StringInterner() = default;
+
+    // index_ keys are string_views into this instance's strings_
+    // deque. A memberwise copy would leave the new map's keys viewing
+    // the *source's* storage — dangling once the source dies — so the
+    // copy rebuilds the index over its own strings. Moves transfer
+    // both containers wholesale (deque elements are address-stable)
+    // and are noexcept so vector reallocation moves instead of
+    // falling back to the copy.
+    StringInterner(const StringInterner &other);
+    StringInterner &operator=(const StringInterner &other);
+    StringInterner(StringInterner &&) noexcept = default;
+    StringInterner &operator=(StringInterner &&) noexcept = default;
+
     /** Intern @p s, returning its id (existing or newly assigned). */
     std::uint32_t intern(std::string_view s);
 

@@ -244,22 +244,15 @@ class ClusterTest : public ::testing::Test
     void
     TearDown() override
     {
-        for (Daemon *daemon : live_)
-            if (daemon->server != nullptr && !daemon->server->stopped())
-                stopDaemon(*daemon);
         scratch_.reset();
     }
 
-    /** Register for TearDown (daemons live in the test body). */
-    void
-    manage(Daemon &daemon)
-    {
-        live_.push_back(&daemon);
-    }
+    // Daemons are test-body locals: ~Server stops and joins on
+    // destruction, so scope exit is the cleanup. TearDown must not
+    // touch them — it runs after the body's locals are gone.
 
     std::unique_ptr<ScratchDir> scratch_;
     std::string corpusDir_;
-    std::vector<Daemon *> live_;
 };
 
 // -------------------------------------------------------- byte identity
@@ -271,10 +264,6 @@ TEST_F(ClusterTest, CoordinatorReportsAreByteIdenticalToSingleNode)
     Daemon coord = startCoordinator(
         {worker1.address(), worker2.address()});
     Daemon single = startWorker();
-    manage(worker1);
-    manage(worker2);
-    manage(coord);
-    manage(single);
 
     Session coordSession = connect(coord);
     Session singleSession = connect(single);
@@ -332,9 +321,6 @@ TEST_F(ClusterTest, StoppedWorkerIsRetriedOnItsReplica)
     Daemon worker2 = startWorker();
     Daemon coord = startCoordinator(
         {worker1.address(), worker2.address()});
-    manage(worker1);
-    manage(worker2);
-    manage(coord);
 
     Session before = connect(coord);
     Expected<Response> baseline = before.analyze(analyzeRequest());
@@ -366,7 +352,6 @@ TEST_F(ClusterTest, SoleWorkerDownDegradesInsideTheDeadline)
     stopDaemon(doomed);
 
     Daemon coord = startCoordinator({deadAddr}, 2000);
-    manage(coord);
     Session session = connect(coord);
 
     CallOptions options;
@@ -494,7 +479,6 @@ TEST_F(ClusterTest, MixedRevisionWorkerIsRejectedUpFront)
 {
     FakeOldWorker old;
     Daemon coord = startCoordinator({old.address()});
-    manage(coord);
     Session session = connect(coord);
 
     Expected<Response> response = session.analyze(analyzeRequest());
@@ -512,7 +496,6 @@ TEST_F(ClusterTest, MixedRevisionWorkerIsRejectedUpFront)
 TEST_F(ClusterTest, PartialMethodsRequireExplicitThresholds)
 {
     Daemon worker = startWorker();
-    manage(worker);
     Session session = connect(worker);
 
     // Thresholds are mandatory on the partial plane: workers never
@@ -551,8 +534,6 @@ TEST_F(ClusterTest, RoleMismatchedMethodsAreRejected)
 {
     Daemon worker = startWorker();
     Daemon coord = startCoordinator({worker.address()});
-    manage(worker);
-    manage(coord);
 
     // cluster_status is a coordinator method...
     Session workerSession = connect(worker);
@@ -591,8 +572,6 @@ TEST_F(ClusterTest, ClusterStatusReportsTopologyAndHealth)
     stopDaemon(doomed);
     Daemon coord =
         startCoordinator({worker.address(), deadAddr});
-    manage(worker);
-    manage(coord);
 
     Session session = connect(coord);
     Expected<Response> response =
@@ -647,9 +626,6 @@ TEST_F(ClusterTest, OneTraceIdSpansCoordinatorAndWorkers)
     Daemon worker2 = startWorker();
     Daemon coord = startCoordinator(
         {worker1.address(), worker2.address()});
-    manage(worker1);
-    manage(worker2);
-    manage(coord);
 
     Telemetry::setEnabled(true);
     Telemetry::reset();
@@ -744,9 +720,6 @@ TEST_F(ClusterTest, ClusterTraceStitchesEveryNode)
     Daemon worker2 = startWorker();
     Daemon coord = startCoordinator(
         {worker1.address(), worker2.address()});
-    manage(worker1);
-    manage(worker2);
-    manage(coord);
 
     Telemetry::setEnabled(true);
     Telemetry::reset();

@@ -6,7 +6,11 @@
  *   generate   --out PATH [--machines N] [--seed S] [--scenario NAME]
  *              [--shards N]
  *              Synthesize a corpus; write one corpus file, or with
- *              --shards > 1 a directory of shard files.
+ *              --shards > 1 a directory of shard files. Fleet knobs
+ *              (--encrypted-fraction F, --hdd-fraction F,
+ *              --stressed-fraction F) tilt the machine mix; --drip DIR
+ *              --interval-ms N feeds shards into a spool one by one by
+ *              the rename-into-place convention (live-ingestion demo).
  *   ingest     PATH [--mmap] [--cache-bytes N]
  *              Streaming ingestion summary (per-scenario instance
  *              counts/durations) plus throughput and cache stats —
@@ -29,8 +33,14 @@
  *              (newline-delimited JSON), negotiated per connection.
  *   query      METHOD --connect HOST:PORT [--params JSON]
  *              One request against a running daemon; prints the
- *              result JSON. --protocol auto|v1|v2 picks the wire
- *              revision (default auto).
+ *              result JSON (--field KEY prints just that field).
+ *              --protocol auto|v1|v2 picks the wire revision
+ *              (default auto).
+ *   watch      DIR [--scenario NAME]... [--window-ms N] [...]
+ *              Continuous mode without a daemon (docs/FLEET.md):
+ *              poll DIR for renamed-into-place shards, bucket them
+ *              into rolling windows, and print regression alerts as
+ *              JSON lines as the sentinel emits them.
  *   version    Build info plus format/protocol revisions (--version).
  *
  * Every PATH that names a corpus accepts either a single .tlc file or
@@ -49,10 +59,13 @@
  *   --log-level LEVEL   debug|info|warn|error|off (default info).
  */
 
+#include <algorithm>
+#include <atomic>
 #include <charconv>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -60,10 +73,13 @@
 #include <sstream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/analyzer.h"
 #include "src/core/htmlreport.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/service.h"
 #include "src/core/report.h"
 #include "src/impact/thresholds.h"
 #include "src/mining/diff.h"
@@ -147,6 +163,10 @@ usage()
         << "usage:\n"
            "  tracelens generate --out PATH [--machines N] [--seed S]"
            " [--scenario NAME] [--shards N] [--compress]\n"
+           "      [--encrypted-fraction F] [--hdd-fraction F]"
+           " [--stressed-fraction F]\n"
+           "      [--drip DIR --interval-ms N]   (spool feed via"
+           " rename-into-place)\n"
            "  tracelens ingest PATH\n"
            "  tracelens validate PATH\n"
            "  tracelens impact PATH [--components GLOB]..."
@@ -177,11 +197,21 @@ usage()
            "      [--slow-request-ms N] [--self-trace-corpus DIR]\n"
            "      [--flight-recorder N]"
            " (see docs/SERVER.md, docs/TELEMETRY.md)\n"
+           "      [--watch DIR] [--window-ms N] [--max-windows N]"
+           " [--poll-ms N]\n"
+           "      [--baseline-windows N] [--watch-scenario NAME]..."
+           " [--alerts-out FILE]\n"
+           "      (continuous mode, docs/FLEET.md)\n"
            "  tracelens query METHOD --connect HOST:PORT"
            " [--params JSON]\n"
            "      [--deadline-ms N] [--timeout-ms N]"
            " [--protocol auto|v1|v2] [--wire-stats]\n"
-           "      [--no-trace]\n"
+           "      [--no-trace] [--field KEY] [--params-file FILE]\n"
+           "  tracelens watch DIR [--scenario NAME]..."
+           " [--window-ms N] [--max-windows N]\n"
+           "      [--poll-ms N] [--baseline-windows N]"
+           " [--alerts-out FILE] [--max-ticks N]\n"
+           "      (continuous mode without a daemon, docs/FLEET.md)\n"
            "  tracelens cluster-status --connect HOST:PORT"
            " [--timeout-ms N] [--metrics]\n"
            "  tracelens cluster-trace --connect HOST:PORT --out FILE"
@@ -239,6 +269,17 @@ parseDoubleFlag(const char *flag, const std::string &value)
         TL_FATAL(flag, " expects a non-negative number, got '", value,
                  "'");
     }
+    return parsed;
+}
+
+/** Parse a fraction flag in [0, 1]; fatal otherwise. */
+double
+parseFraction(const char *flag, const std::string &value)
+{
+    const double parsed = parseDoubleFlag(flag, value);
+    if (parsed > 1.0)
+        TL_FATAL(flag, " expects a fraction in [0, 1], got '", value,
+                 "'");
     return parsed;
 }
 
@@ -363,7 +404,8 @@ int
 cmdGenerate(const Args &args)
 {
     const auto out = args.flag("out");
-    if (!out)
+    const auto drip = args.flag("drip");
+    if (!out && !drip)
         return usage();
     CorpusSpec spec;
     if (auto v = args.flag("machines")) {
@@ -374,12 +416,62 @@ cmdGenerate(const Args &args)
         spec.seed = parseUnsignedFlag("--seed", *v, UINT64_MAX);
     for (const std::string &name : args.flagAll("scenario"))
         spec.onlyScenarios.push_back(name);
+    if (auto v = args.flag("encrypted-fraction")) {
+        spec.encryptedFraction =
+            parseFraction("--encrypted-fraction", *v);
+    }
+    if (auto v = args.flag("hdd-fraction"))
+        spec.hddFraction = parseFraction("--hdd-fraction", *v);
+    if (auto v = args.flag("stressed-fraction")) {
+        spec.stressedFraction =
+            parseFraction("--stressed-fraction", *v);
+    }
 
     std::size_t shards = 1;
     if (auto v = args.flag("shards"))
         shards = parseUnsignedFlag("--shards", *v, 100'000);
     CorpusWriteOptions write;
     write.compressEvents = args.has("compress");
+
+    if (drip) {
+        // Live-ingestion feed: land each shard by the same
+        // rename-into-place convention on-host writers use
+        // (docs/TRACE_FORMAT.md), pacing by --interval-ms so a
+        // watcher sees a realistic arrival stream.
+        if (drip->empty())
+            TL_FATAL("--drip expects a directory path");
+        std::uint64_t intervalMs = 0;
+        if (auto v = args.flag("interval-ms")) {
+            intervalMs =
+                parseUnsignedFlag("--interval-ms", *v, 3'600'000);
+        }
+        const std::vector<TraceCorpus> parts =
+            generateShardedCorpus(spec, std::max<std::size_t>(shards, 1));
+        namespace fs = std::filesystem;
+        std::error_code ec;
+        fs::create_directories(*drip, ec);
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+            std::ostringstream name;
+            name << "shard-" << std::setfill('0') << std::setw(4) << i
+                 << ".tlc";
+            const fs::path staged =
+                fs::path(*drip) / ("." + name.str() + ".tmp");
+            const fs::path finished = fs::path(*drip) / name.str();
+            writeCorpusFile(parts[i], staged.string(), write);
+            fs::rename(staged, finished, ec);
+            if (ec) {
+                TL_FATAL("cannot rename ", staged.string(),
+                         " into place: ", ec.message());
+            }
+            TL_LOG(Info, "drip: ", finished.string(), " (", i + 1, "/",
+                   parts.size(), ")");
+            if (intervalMs != 0 && i + 1 < parts.size()) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(intervalMs));
+            }
+        }
+        return 0;
+    }
 
     const TraceCorpus corpus = generateCorpus(spec);
     if (shards > 1) {
@@ -738,6 +830,8 @@ cmdVersion()
               << "  partial encoding: TLP1 v"
               << partialEncodingRevision()
               << " (cluster scatter/gather)\n"
+              << "  fleet:           v" << fleetRevision()
+              << " (continuous mode: windows, sentinel, alerts)\n"
               << "  build:           "
 #if defined(__clang__)
               << "clang " << __clang_major__ << "." << __clang_minor__
@@ -866,6 +960,46 @@ cmdServe(const Args &args)
         if (config.flightRecorderCapacity == 0)
             TL_FATAL("--flight-recorder must be at least 1");
     }
+    if (auto dir = args.flag("watch")) {
+        if (dir->empty())
+            TL_FATAL("--watch expects a directory path");
+        config.fleetWatchDir = *dir;
+    }
+    if (auto v = args.flag("window-ms")) {
+        config.fleetWindowMs =
+            parseUnsignedFlag("--window-ms", *v, 86'400'000);
+        if (config.fleetWindowMs == 0)
+            TL_FATAL("--window-ms must be at least 1");
+    }
+    if (auto v = args.flag("max-windows")) {
+        config.fleetMaxWindows = parseUnsignedFlag(
+            "--max-windows", *v, 100'000);
+        if (config.fleetMaxWindows == 0)
+            TL_FATAL("--max-windows must be at least 1");
+    }
+    if (auto v = args.flag("poll-ms")) {
+        config.fleetPollMs =
+            parseUnsignedFlag("--poll-ms", *v, 3'600'000);
+        if (config.fleetPollMs == 0)
+            TL_FATAL("--poll-ms must be at least 1");
+    }
+    if (auto v = args.flag("baseline-windows")) {
+        config.fleetBaselineWindows = parseUnsignedFlag(
+            "--baseline-windows", *v, 100'000);
+    }
+    for (const std::string &name : args.flagAll("watch-scenario"))
+        config.fleetScenarios.push_back(name);
+    if (auto v = args.flag("alerts-out")) {
+        if (v->empty())
+            TL_FATAL("--alerts-out expects a file path");
+        config.fleetAlertsPath = *v;
+    }
+    if (config.fleetWatchDir.empty() &&
+        (args.has("window-ms") || args.has("max-windows") ||
+         args.has("poll-ms") || args.has("baseline-windows") ||
+         args.has("watch-scenario") || args.has("alerts-out"))) {
+        TL_FATAL("continuous-mode flags require --watch DIR");
+    }
     // Ops escape hatch: behave like a pre-v2 daemon (clients fall
     // back to JSON lines), e.g. to bisect a protocol regression.
     config.enableProtocolV2 = !args.has("disable-protocol-v2");
@@ -920,8 +1054,21 @@ cmdQuery(const Args &args)
         TL_FATAL("--connect: ", address.error().reason);
 
     JsonValue params = JsonValue::makeObject();
-    if (auto text = args.flag("params")) {
-        Expected<JsonValue> parsed = JsonValue::parse(*text);
+    std::string paramsText;
+    if (auto file = args.flag("params-file")) {
+        // Large payloads (ingest_push shards) overflow a single argv
+        // string; read the object from a file instead.
+        std::ifstream in(*file, std::ios::binary);
+        if (!in)
+            TL_FATAL("cannot read --params-file ", *file);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        paramsText = buffer.str();
+    } else if (auto text = args.flag("params")) {
+        paramsText = *text;
+    }
+    if (!paramsText.empty()) {
+        Expected<JsonValue> parsed = JsonValue::parse(paramsText);
         if (!parsed)
             TL_FATAL("--params: ", parsed.error().reason);
         if (!parsed.value().isObject())
@@ -987,6 +1134,17 @@ cmdQuery(const Args &args)
                server::errorCodeName(response.value().error.code),
                "]: ", response.value().error.message);
         return 1;
+    }
+    if (auto field = args.flag("field")) {
+        // Print one top-level field (rendered JSON). Scripts diff
+        // e.g. window_summary's "summary" against a batch analyze
+        // without fishing through the envelope (scripts/smoke_fleet.sh).
+        const JsonValue *value =
+            response.value().result.find(*field);
+        if (value == nullptr)
+            TL_FATAL("result has no field '", *field, "'");
+        std::cout << value->render() << "\n";
+        return 0;
     }
     std::cout << response.value().result.render() << "\n";
     return 0;
@@ -1145,6 +1303,92 @@ cmdClusterTrace(const Args &args)
     return 0;
 }
 
+/** Ctrl-C flag for `tracelens watch`. */
+std::atomic<bool> g_watchStop{false};
+
+void
+handleWatchSignal(int)
+{
+    g_watchStop.store(true, std::memory_order_release);
+}
+
+int
+cmdWatch(const Args &args)
+{
+    if (args.positional().empty())
+        return usage();
+    FleetConfig config;
+    config.dir = args.positional()[0];
+    if (auto v = args.flag("window-ms")) {
+        config.windowMs =
+            parseUnsignedFlag("--window-ms", *v, 86'400'000);
+        if (config.windowMs == 0)
+            TL_FATAL("--window-ms must be at least 1");
+    }
+    if (auto v = args.flag("max-windows")) {
+        config.maxWindows = parseUnsignedFlag(
+            "--max-windows", *v, 100'000);
+        if (config.maxWindows == 0)
+            TL_FATAL("--max-windows must be at least 1");
+    }
+    if (auto v = args.flag("poll-ms")) {
+        config.pollMs = parseUnsignedFlag("--poll-ms", *v, 3'600'000);
+        if (config.pollMs == 0)
+            TL_FATAL("--poll-ms must be at least 1");
+    }
+    if (auto v = args.flag("baseline-windows")) {
+        config.sentinel.baselineWindows = parseUnsignedFlag(
+            "--baseline-windows", *v, 100'000);
+    }
+    if (auto v = args.flag("alerts-out")) {
+        if (v->empty())
+            TL_FATAL("--alerts-out expects a file path");
+        config.alertsPath = *v;
+    }
+    config.analyzer = analyzerConfigFlag(args);
+    const std::vector<std::string> watched = args.flagAll("scenario");
+    for (const ScenarioSpec &spec : scenarioCatalog()) {
+        if (!watched.empty() &&
+            std::find(watched.begin(), watched.end(), spec.name) ==
+                watched.end())
+            continue;
+        config.sentinel.scenarios.push_back(
+            {spec.name, spec.tFast, spec.tSlow});
+    }
+    std::uint64_t maxTicks = 0;
+    if (auto v = args.flag("max-ticks"))
+        maxTicks = parseUnsignedFlag("--max-ticks", *v, UINT64_MAX);
+
+    // The loop below is the poll thread: drive ticks inline instead
+    // of start()ing the background one, so --max-ticks is exact and
+    // alerts print as soon as the emitting poll returns.
+    FleetService fleet(config);
+    std::signal(SIGINT, handleWatchSignal);
+    std::signal(SIGTERM, handleWatchSignal);
+    TL_LOG(Info, "watch: ", config.dir, " every ", config.pollMs,
+           " ms (window ", config.windowMs, " ms, ring ",
+           config.maxWindows, ", ", config.sentinel.scenarios.size(),
+           " scenario(s))");
+
+    std::uint64_t printed = 0;
+    std::uint64_t ticks = 0;
+    while (!g_watchStop.load(std::memory_order_acquire)) {
+        fleet.pollOnce();
+        for (const Alert &alert : fleet.alerts().since(printed)) {
+            std::cout << alertJson(alert).render() << "\n"
+                      << std::flush;
+            printed = alert.seq;
+        }
+        ++ticks;
+        if (maxTicks != 0 && ticks >= maxTicks)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(config.pollMs));
+    }
+    std::cout << fleet.status().render() << "\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -1204,6 +1448,8 @@ main(int argc, char **argv)
             return cmdClusterStatus(args);
         if (command == "cluster-trace")
             return cmdClusterTrace(args);
+        if (command == "watch")
+            return cmdWatch(args);
         if (command == "version" || command == "--version" ||
             command == "-V")
             return cmdVersion();
